@@ -1,0 +1,132 @@
+"""Ablation — common-factor extraction in delta propagation (Section 4.3).
+
+Section 4.3: without extracting common factors, the ``A^8`` program's
+deltas stack to widths 3, 9, 27 (3x per statement); with extraction the
+widths are 2, 4, 8.  Width drives every downstream cost, so CFE keeps
+the factored representation viable over long squaring chains.
+
+Both arms are numerically identical — only the block bookkeeping
+differs:
+
+* CFE:    ``dP_2i = [U | P U + U (V'U)] [P'V | V]'``        (width 2w)
+* no-CFE: ``dP_2i = [U | P U | U (V'U)] [P'V | V | V]'``    (width 3w)
+"""
+
+import numpy as np
+import pytest
+
+from conftest import make_matrix, row_update
+from repro.bench import time_refresh_trimmed
+from repro.iterative import Model
+
+N = 256
+K = 16
+
+
+class _SquaringChain:
+    """Shared power-view plumbing for the two propagation arms."""
+
+    def __init__(self, a: np.ndarray, k: int):
+        self.k = k
+        self.schedule = Model.exponential().schedule(k)
+        self.powers = {1: np.array(a, dtype=np.float64)}
+        for i in self.schedule[1:]:
+            half = self.powers[i // 2]
+            self.powers[i] = half @ half
+        self.last_widths: dict[int, int] = {}
+
+    def refresh(self, u: np.ndarray, v: np.ndarray) -> None:
+        factors = {1: (u.reshape(-1, 1), v.reshape(-1, 1))}
+        self.last_widths = {1: 1}
+        for i in self.schedule[1:]:
+            big_u, big_v = factors[i // 2]
+            factors[i] = self._propagate(self.powers[i // 2], big_u, big_v)
+            self.last_widths[i] = factors[i][0].shape[1]
+        for i in self.schedule:
+            big_u, big_v = factors[i]
+            self.powers[i] += big_u @ big_v.T
+
+    def _propagate(self, p, big_u, big_v):
+        raise NotImplementedError
+
+    def result(self) -> np.ndarray:
+        return self.powers[self.k]
+
+
+class WithCFE(_SquaringChain):
+    """Width 2w per level — the paper's Section 4.3 construction."""
+
+    def _propagate(self, p, big_u, big_v):
+        left = np.hstack([big_u, p @ big_u + big_u @ (big_v.T @ big_u)])
+        right = np.hstack([p.T @ big_v, big_v])
+        return left, right
+
+
+class WithoutCFE(_SquaringChain):
+    """Width 3w per level — one block per monomial, no sharing."""
+
+    def _propagate(self, p, big_u, big_v):
+        left = np.hstack([big_u, p @ big_u, big_u @ (big_v.T @ big_u)])
+        right = np.hstack([p.T @ big_v, big_v, big_v])
+        return left, right
+
+
+@pytest.mark.parametrize("arm", ["CFE", "NO-CFE"])
+def test_cfe_refresh(benchmark, arm):
+    cls = WithCFE if arm == "CFE" else WithoutCFE
+    maintainer = cls(make_matrix(N), K)
+    state = {"seed": 0}
+
+    def call():
+        state["seed"] += 1
+        u, v = row_update(N, state["seed"])
+        maintainer.refresh(u, v)
+
+    benchmark.pedantic(call, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_report_ablation_cfe(benchmark, capsys):
+    # Widths match Section 4.3: CFE doubles per level, no-CFE triples —
+    # and both arms equal dense reference values.
+    a = make_matrix(64)
+    cfe = WithCFE(a, 8)
+    naive = WithoutCFE(a, 8)
+    dense = a.copy()
+    for seed in range(3):
+        u, v = row_update(64, seed)
+        cfe.refresh(u, v)
+        naive.refresh(u, v)
+        dense += u @ v.T
+    assert cfe.last_widths == {1: 1, 2: 2, 4: 4, 8: 8}
+    assert naive.last_widths == {1: 1, 2: 3, 4: 9, 8: 27}
+    expected = np.linalg.matrix_power(dense, 8)
+    np.testing.assert_allclose(cfe.result(), expected, atol=1e-8)
+    np.testing.assert_allclose(naive.result(), expected, atol=1e-8)
+
+    updates = [row_update(N, seed) for seed in range(12)]
+    times = {}
+    for arm, cls in (("CFE", WithCFE), ("NO-CFE", WithoutCFE)):
+        times[arm] = time_refresh_trimmed(cls(make_matrix(N), K),
+                                          list(updates))
+
+    with capsys.disabled():
+        print(f"\n== Ablation: common-factor extraction (A^{K}, n={N}) ==")
+        print(f"  widths with CFE:    2, 4, 8, 16")
+        print(f"  widths without CFE: 3, 9, 27, 81")
+        for arm, seconds in times.items():
+            print(f"  {arm:<7}: {seconds * 1e3:8.2f} ms/refresh")
+        print(f"  CFE speedup: {times['NO-CFE'] / times['CFE']:.1f}x")
+
+    # Widths 81 vs 16 at the last level: the no-CFE arm must be
+    # substantially slower.
+    assert times["CFE"] < times["NO-CFE"]
+
+    maintainer = WithCFE(make_matrix(N), K)
+    state = {"seed": 100}
+
+    def call():
+        state["seed"] += 1
+        u, v = row_update(N, state["seed"])
+        maintainer.refresh(u, v)
+
+    benchmark.pedantic(call, rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,91 @@
+"""Ablation — cost-based product-chain ordering (Section 5.1).
+
+"The optimum evaluation order for this expression depends on the size
+of X and Y."  This ablation evaluates the same delta-style expression
+``A B v`` (square views times a vector) under the naive left-to-right
+association vs the chain-DP order from :mod:`repro.compiler.chain`:
+left-to-right runs an ``O(n^3)`` view-by-view product; the optimized
+order is two ``O(n^2)`` matrix–vector passes.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import make_matrix
+from repro.compiler.chain import chain_cost, left_to_right_cost, optimize_chains
+from repro.expr import MatMul, MatrixSymbol
+from repro.runtime import evaluate
+
+N = 512
+
+
+def _expression(n: int):
+    a = MatrixSymbol("A", n, n)
+    b = MatrixSymbol("B", n, n)
+    v = MatrixSymbol("v", n, 1)
+    return MatMul([MatMul([a, b]), v])  # left-to-right association
+
+
+def _env(n: int):
+    return {
+        "A": make_matrix(n, seed=11),
+        "B": make_matrix(n, seed=12),
+        "v": np.random.default_rng(13).standard_normal((n, 1)),
+    }
+
+
+@pytest.mark.parametrize("arm", ["LEFT-TO-RIGHT", "CHAIN-DP"])
+def test_chain_order_evaluation(benchmark, arm):
+    expr = _expression(N)
+    if arm == "CHAIN-DP":
+        expr = optimize_chains(expr, {})
+    env = _env(N)
+    benchmark.pedantic(lambda: evaluate(expr, env), rounds=3, iterations=1,
+                       warmup_rounds=1)
+
+
+def test_report_ablation_chain(benchmark, capsys):
+    import time
+
+    # Both associations agree numerically.
+    small_expr = _expression(128)
+    small_env = _env(128)
+    np.testing.assert_allclose(
+        evaluate(optimize_chains(small_expr, {}), small_env),
+        evaluate(small_expr, small_env),
+        atol=1e-8,
+    )
+
+    expr = _expression(N)
+    optimized = optimize_chains(expr, {})
+    env = _env(N)
+
+    def timed(target, repeats=7):
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            evaluate(target, env)
+            samples.append(time.perf_counter() - start)
+        samples.sort()
+        return sum(samples[1:-1]) / (repeats - 2)
+
+    naive_t = timed(expr)
+    opt_t = timed(optimized)
+    naive_flops = chain_cost(expr, {})
+    opt_flops = chain_cost(optimized, {})
+
+    with capsys.disabled():
+        print(f"\n== Ablation: chain ordering (A B v, n={N}) ==")
+        print(f"  left-to-right: {naive_t * 1e3:8.2f} ms "
+              f"({naive_flops:,} flops)")
+        print(f"  chain-DP:      {opt_t * 1e3:8.2f} ms "
+              f"({opt_flops:,} flops)")
+        print(f"  predicted flop ratio: {naive_flops / opt_flops:.0f}x, "
+              f"measured time ratio: {naive_t / opt_t:.0f}x")
+
+    # Predicted: 2n^3 + 2n^2 vs 4n^2 -> ratio ~ n/2.
+    assert opt_flops * 10 < naive_flops
+    assert opt_t < naive_t
+
+    benchmark.pedantic(lambda: evaluate(optimized, env), rounds=3,
+                       iterations=1, warmup_rounds=1)

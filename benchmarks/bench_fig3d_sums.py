@@ -1,0 +1,49 @@
+"""Fig. 3d — Sums of matrix powers I + A + ... + A^15 over n.
+
+Paper: same complexity as matrix powers, so the same picture — speedups
+grow with n (5.0x at n = 4K to 15.2x at n = 20K in Octave; 8.4x to 53x
+in Spark).  Reproduced over n in {128, 256, 512}.
+"""
+
+import pytest
+
+from conftest import make_matrix, refresh_timer, row_update
+from repro.bench import time_refresh
+from repro.iterative import Model, make_sums
+
+K = 16
+SIZES = [128, 256, 512]
+PAPER = "Octave: 5.0x (4K) .. 15.2x (20K); Spark: 8.4x .. 53.1x"
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("strategy", ["REEVAL", "INCR"])
+def test_sums_scale_n(benchmark, strategy, n):
+    maintainer = make_sums(strategy, make_matrix(n), K, Model.exponential())
+    benchmark.pedantic(refresh_timer(maintainer, n), rounds=3, iterations=1,
+                       warmup_rounds=1)
+
+
+def test_report_fig3d(benchmark, capsys):
+    speedups = {}
+    for n in SIZES:
+        times = {}
+        for strategy in ("REEVAL", "INCR"):
+            maintainer = make_sums(strategy, make_matrix(n), K,
+                                   Model.exponential())
+            updates = [row_update(n, seed) for seed in range(5)]
+            times[strategy] = time_refresh(maintainer, updates)
+        speedups[n] = times["REEVAL"] / times["INCR"]
+
+    maintainer = make_sums("INCR", make_matrix(SIZES[-1]), K,
+                           Model.exponential())
+    benchmark.pedantic(refresh_timer(maintainer, SIZES[-1]), rounds=3,
+                       iterations=1, warmup_rounds=1)
+
+    with capsys.disabled():
+        print(f"\n== Fig 3d: sums-of-powers speedup vs n (paper: {PAPER}) ==")
+        for n in SIZES:
+            print(f"  n={n:>5}: INCR-EXP is {speedups[n]:5.1f}x faster")
+
+    assert speedups[SIZES[-1]] > speedups[SIZES[0]]
+    assert speedups[SIZES[-1]] > 2.5

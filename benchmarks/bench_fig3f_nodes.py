@@ -1,0 +1,93 @@
+"""Fig. 3f — Matrix powers across cluster sizes (simulated Spark).
+
+Paper (Spark, n = 30K, k = 16, grids of 9..100 workers): re-evaluation
+scales with the number of nodes, while incremental evaluation "is less
+susceptible to the number of nodes" (10-26 s across every grid) because
+its time is bounded by broadcasting small factors, not compute.
+
+Reproduced on the BSP cluster simulator at n = 360 with the
+laptop-calibrated rate configuration (see DESIGN.md): the *simulated*
+wall-clock must show REEVAL strong-scaling and INCR staying flat.
+pytest-benchmark times the real in-process execution of one refresh.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import make_matrix
+from repro.distributed import (
+    Cluster,
+    ClusterConfig,
+    DistributedIncrementalPowers,
+    DistributedReevalPowers,
+)
+from repro.iterative import Model
+
+N = 360
+K = 16
+GRIDS = [3, 5, 7, 10]  # 9 .. 100 workers, like the paper's sweep
+PAPER = "Spark n=30K: REEVAL needs the cluster, INCR flat at 10-26s"
+
+
+def _maintainer(strategy: str, grid: int):
+    cluster = Cluster(ClusterConfig.laptop_scale(grid))
+    a0 = make_matrix(N)
+    if strategy == "REEVAL":
+        return DistributedReevalPowers(a0, K, Model.exponential(), cluster)
+    return DistributedIncrementalPowers(a0, K, Model.exponential(), cluster)
+
+
+def _one_update(seed: int):
+    rng = np.random.default_rng(seed)
+    u = np.zeros((N, 1))
+    u[int(rng.integers(0, N)), 0] = 1.0
+    return u, 0.01 * rng.standard_normal((N, 1))
+
+
+@pytest.mark.parametrize("grid", GRIDS)
+@pytest.mark.parametrize("strategy", ["REEVAL", "INCR"])
+def test_distributed_refresh(benchmark, strategy, grid):
+    maintainer = _maintainer(strategy, grid)
+    state = {"seed": 0}
+
+    def call():
+        state["seed"] += 1
+        u, v = _one_update(state["seed"])
+        maintainer.refresh(u, v)
+
+    benchmark.pedantic(call, rounds=2, iterations=1, warmup_rounds=1)
+
+
+def test_report_fig3f(benchmark, capsys):
+    simulated = {"REEVAL": [], "INCR": []}
+    for grid in GRIDS:
+        for strategy in ("REEVAL", "INCR"):
+            maintainer = _maintainer(strategy, grid)
+            maintainer.cluster.reset()
+            u, v = _one_update(42)
+            maintainer.refresh(u, v)
+            simulated[strategy].append(maintainer.cluster.elapsed)
+
+    maintainer = _maintainer("INCR", GRIDS[-1])
+
+    def call():
+        u, v = _one_update(7)
+        maintainer.refresh(u, v)
+
+    benchmark.pedantic(call, rounds=2, iterations=1, warmup_rounds=1)
+
+    with capsys.disabled():
+        print(f"\n== Fig 3f: simulated view refresh vs workers (paper: {PAPER}) ==")
+        print(f"{'workers':>8} {'REEVAL-EXP':>12} {'INCR-EXP':>10} {'speedup':>9}")
+        for grid, reeval, incr in zip(GRIDS, simulated["REEVAL"],
+                                      simulated["INCR"]):
+            print(f"{grid * grid:>8} {reeval:>11.3f}s {incr:>9.3f}s "
+                  f"{reeval / incr:>8.1f}x")
+
+    reeval, incr = simulated["REEVAL"], simulated["INCR"]
+    # REEVAL strong-scales with workers.
+    assert reeval[0] > 2 * reeval[-1]
+    # INCR is far less sensitive to the cluster size than REEVAL.
+    assert max(incr) / min(incr) < (reeval[0] / reeval[-1])
+    # And INCR wins at every size.
+    assert all(i < r for i, r in zip(incr, reeval))

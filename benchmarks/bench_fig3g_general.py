@@ -1,0 +1,70 @@
+"""Fig. 3g — T_{i+1} = A T_i (B = 0) across iterate widths p.
+
+Paper (Spark, n = 30K, k = 16, LIN model): at p = 1 HYBRID-LIN wins
+(16% over REEVAL-LIN, 53% over INCR-LIN) because factoring a rank-1
+``(n x 1)`` delta is pure overhead; REEVAL and HYBRID cost grows
+linearly with p while INCR stays flat, so INCR takes over once p is
+large enough to justify the factored form.
+
+Reproduced at n = 512 with p in {1, 16, 128}: the crossover — HYBRID
+at-or-near the best for p = 1, INCR strictly best at p = 128 — is the
+assertion; FLOP counters back the same ordering deterministically in
+``tests/test_iterative_general.py``.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import make_matrix, refresh_timer, row_update
+from repro.bench import time_refresh
+from repro.iterative import Model, make_general
+
+N = 512
+K = 16
+WIDTHS = [1, 16, 128]
+STRATEGIES = ["REEVAL", "INCR", "HYBRID"]
+PAPER = "Spark n=30K p=1: HYBRID > REEVAL (16%) > INCR (53%); INCR wins at large p"
+
+
+def _maintainer(strategy: str, p: int):
+    t0 = np.random.default_rng(11).standard_normal((N, p))
+    return make_general(strategy, make_matrix(N), None, t0, K, Model.linear())
+
+
+@pytest.mark.parametrize("p", WIDTHS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_general_refresh(benchmark, strategy, p):
+    maintainer = _maintainer(strategy, p)
+    benchmark.pedantic(refresh_timer(maintainer, N), rounds=3, iterations=1,
+                       warmup_rounds=1)
+
+
+def test_report_fig3g(benchmark, capsys):
+    times: dict[int, dict[str, float]] = {}
+    for p in WIDTHS:
+        times[p] = {}
+        for strategy in STRATEGIES:
+            maintainer = _maintainer(strategy, p)
+            updates = [row_update(N, seed) for seed in range(5)]
+            times[p][strategy] = time_refresh(maintainer, updates)
+
+    maintainer = _maintainer("HYBRID", 1)
+    benchmark.pedantic(refresh_timer(maintainer, N), rounds=3, iterations=1,
+                       warmup_rounds=1)
+
+    with capsys.disabled():
+        print(f"\n== Fig 3g: T=A*T, LIN model, n={N} (paper: {PAPER}) ==")
+        print(f"{'p':>6}" + "".join(f"{s:>12}" for s in STRATEGIES))
+        for p in WIDTHS:
+            row = "".join(f"{times[p][s] * 1e3:>10.2f}ms" for s in STRATEGIES)
+            print(f"{p:>6}{row}")
+
+    # p = 1: the factored form is overhead — HYBRID beats INCR.
+    assert times[1]["HYBRID"] < times[1]["INCR"]
+    # Large p: INCR is the clear winner over both.
+    assert times[128]["INCR"] < times[128]["HYBRID"]
+    assert times[128]["INCR"] < times[128]["REEVAL"]
+    # REEVAL cost grows with p; INCR's is comparatively flat.
+    reeval_growth = times[128]["REEVAL"] / times[1]["REEVAL"]
+    incr_growth = times[128]["INCR"] / times[1]["INCR"]
+    assert incr_growth < reeval_growth

@@ -1,0 +1,110 @@
+"""Table 2 — measured cost growth vs the closed-form complexity table.
+
+Table 2 is analytic; this benchmark *validates it empirically*: refresh
+FLOPs are counted over doubling sweeps of n and k and the fitted growth
+exponents are compared with the formulas' predictions for every
+strategy x model cell of the matrix-powers program (the general form's
+crossovers are asserted in tests/test_iterative_general.py).
+
+Predictions under rank-1 updates, k fixed:
+  REEVAL (any model):  ~ n^3        INCR (any model): ~ n^2
+and n fixed, k swept:
+  REEVAL-EXP ~ log k   INCR-LIN ~ k^2   INCR-EXP ~ k
+"""
+
+import numpy as np
+import pytest
+
+from conftest import make_matrix
+from repro.cost import Counter
+from repro.cost.complexity import fitted_exponent
+from repro.iterative import make_powers, parse_model
+
+N_SWEEP = [32, 64, 128, 256]
+K_SWEEP = [8, 16, 32, 64]
+
+
+def _refresh_flops(strategy: str, model_label: str, n: int, k: int) -> int:
+    counter = Counter()
+    maintainer = make_powers(strategy, make_matrix(n), k,
+                             parse_model(model_label), counter)
+    u = np.zeros((n, 1))
+    u[0, 0] = 1.0
+    counter.reset()
+    maintainer.refresh(u, 0.01 * np.ones((n, 1)))
+    return counter.total_flops
+
+
+@pytest.mark.parametrize("model_label", ["LIN", "SKIP-4", "EXP"])
+@pytest.mark.parametrize("strategy", ["REEVAL", "INCR"])
+def test_flop_count_one_refresh(benchmark, strategy, model_label):
+    benchmark.pedantic(
+        lambda: _refresh_flops(strategy, model_label, 128, 16),
+        rounds=2, iterations=1,
+    )
+
+
+def test_report_table2(benchmark, capsys):
+    rows = []
+    for strategy, model_label, expected in [
+        ("REEVAL", "LIN", 3.0),
+        ("REEVAL", "SKIP-4", 3.0),
+        ("REEVAL", "EXP", 3.0),
+        ("INCR", "LIN", 2.0),
+        ("INCR", "SKIP-4", 2.0),
+        ("INCR", "EXP", 2.0),
+    ]:
+        flops = [_refresh_flops(strategy, model_label, n, 16) for n in N_SWEEP]
+        measured = fitted_exponent([float(n) for n in N_SWEEP],
+                                   [float(f) for f in flops])
+        rows.append((f"{strategy}-{model_label}", "n", expected, measured))
+
+    for strategy, model_label, expected in [
+        ("INCR", "LIN", 2.0),   # n^2 k^2
+        ("INCR", "EXP", 1.0),   # n^2 k
+    ]:
+        flops = [_refresh_flops(strategy, model_label, 64, k) for k in K_SWEEP]
+        measured = fitted_exponent([float(k) for k in K_SWEEP],
+                                   [float(f) for f in flops])
+        rows.append((f"{strategy}-{model_label}", "k", expected, measured))
+
+    benchmark.pedantic(
+        lambda: _refresh_flops("INCR", "EXP", 128, 16), rounds=2, iterations=1
+    )
+
+    with capsys.disabled():
+        print("\n== Table 2: growth-exponent check (formula vs measured) ==")
+        print(f"{'cell':>14} {'var':>4} {'formula':>8} {'measured':>9}")
+        for cell, var, expected, measured in rows:
+            print(f"{cell:>14} {var:>4} {expected:>8.1f} {measured:>9.2f}")
+
+    for cell, var, expected, measured in rows:
+        assert abs(measured - expected) < 0.45, (cell, var, expected, measured)
+
+
+def test_report_table2_incr_never_cubic(benchmark, capsys):
+    """No INCR cell performs an O(n^3)-class operation on a refresh."""
+    findings = []
+    for model_label in ("LIN", "SKIP-4", "EXP"):
+        n, k = 192, 16
+        counter = Counter()
+        maintainer = make_powers("INCR", make_matrix(n), k,
+                                 parse_model(model_label), counter)
+        u = np.zeros((n, 1))
+        u[0, 0] = 1.0
+        counter.reset()
+        maintainer.refresh(u, 0.01 * np.ones((n, 1)))
+        dense_product = 2 * n**3
+        findings.append((model_label, counter.total_flops, dense_product))
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print("\n== Table 2 corollary: INCR refresh vs ONE dense product ==")
+        for model_label, total, dense in findings:
+            print(f"  INCR-{model_label:<7} {total:>14,} FLOPs "
+                  f"(one n^3 product = {dense:,})")
+
+    for model_label, total, dense in findings:
+        budget = 16 if model_label == "LIN" else 4
+        assert total < budget * dense, (model_label, total, dense)

@@ -1,0 +1,64 @@
+"""Linear ODE monitoring via an incrementally maintained matrix exponential.
+
+A controls engineer watches ``x'(t) = A x(t)`` where the system matrix
+``A`` drifts as parameters are re-identified online (each
+re-identification is a low-rank correction).  The propagator
+``expm(A t)`` — a weighted sum of matrix powers (Section 5.2) — is
+maintained incrementally, so each re-identification costs matrix-vector
+work instead of a fresh ``O(n^3)`` exponential.
+
+Also demonstrates the drift monitor: a production policy re-validating
+the maintained view on a fixed refresh schedule.
+
+Run:  python examples/matrix_exponential.py
+"""
+
+import numpy as np
+from scipy.linalg import expm as scipy_expm
+
+from repro.analytics import IncrementalExpm
+from repro.runtime import DriftMonitor
+
+N = 40
+ORDER = 14
+HORIZON = 0.5  # propagate half a time unit per query
+
+
+def stable_system(rng: np.random.Generator, n: int) -> np.ndarray:
+    """A damped random system (spectral radius < 1 for Taylor accuracy)."""
+    a = rng.standard_normal((n, n))
+    a = 0.6 * a / np.linalg.norm(a, ord=2)
+    return a - 0.2 * np.eye(n)
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    a = stable_system(rng, N)
+    x0 = rng.standard_normal(N)
+
+    view = IncrementalExpm(a, order=ORDER, t=HORIZON)
+    monitor = DriftMonitor(view, check_every=5, tolerance=1e-7)
+
+    print(f"x' = A x with A {N}x{N}; maintained expm(A t), t = {HORIZON}\n")
+    state = view.propagate(x0)
+    print(f"||x(t)|| initially: {np.linalg.norm(state):.6f}")
+
+    for event in range(10):
+        # Online re-identification: a small rank-1 correction to A.
+        u = 0.03 * rng.standard_normal((N, 1))
+        v = 0.03 * rng.standard_normal((N, 1))
+        monitor.refresh(u, v)
+        state = view.propagate(x0)
+        exact = scipy_expm(HORIZON * view.a) @ x0.reshape(-1, 1)
+        err = np.abs(state - exact).max()
+        print(f"correction {event + 1:>2}: ||x(t)|| = "
+              f"{np.linalg.norm(state):.6f}   |error| = {err:.2e}")
+
+    print(f"\ndrift probes run: {len(monitor.reports)}, "
+          f"worst drift: {max(r.drift for r in monitor.reports):.2e}")
+    print("(probes re-evaluate the Taylor sum from the current A and "
+          "compare against the maintained view)")
+
+
+if __name__ == "__main__":
+    main()

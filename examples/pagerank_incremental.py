@@ -1,0 +1,68 @@
+"""Incremental PageRank over an evolving link graph (Section 5.3).
+
+PageRank's power iteration is the general form ``T_{i+1} = A T_i + B``
+with ``p = 1``, where Section 5.3 recommends the HYBRID strategy: the
+rank vector's delta stays dense while the expensive square views are
+maintained in factored form.  Edge insertions/removals are rank-1
+column updates of the transition matrix.
+
+Run:  python examples/pagerank_incremental.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.analytics import IncrementalPageRank
+from repro.iterative import Model
+from repro.workloads import random_adjacency
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    nodes = 400
+    adjacency = random_adjacency(rng, nodes, avg_out_degree=6)
+
+    # Exponential model: REEVAL must maintain the P/S views with dense
+    # O(n^3) products, while HYBRID keeps them in factored form and the
+    # p=1 rank vector delta dense (Section 5.3's recommendation).
+    maintained = IncrementalPageRank(adjacency, k=32, strategy="HYBRID",
+                                     model=Model.exponential())
+    baseline = IncrementalPageRank(adjacency, k=32, strategy="REEVAL",
+                                   model=Model.exponential())
+
+    print(f"PageRank over {nodes} nodes, k=32 iterations, damping 0.85")
+    print("initial top-5:", [(node, round(score, 5))
+                             for node, score in maintained.top(5)])
+
+    churn = []
+    for _ in range(30):
+        src = int(rng.integers(0, nodes))
+        dst = int(rng.integers(0, nodes))
+        if src != dst:
+            churn.append((src, dst))
+
+    start = time.perf_counter()
+    for src, dst in churn:
+        maintained.add_edge(src, dst)
+    hybrid_seconds = (time.perf_counter() - start) / len(churn)
+
+    start = time.perf_counter()
+    for src, dst in churn:
+        baseline.add_edge(src, dst)
+    reeval_seconds = (time.perf_counter() - start) / len(churn)
+
+    agreement = np.abs(maintained.ranks - baseline.ranks).max()
+    print(f"\nafter {len(churn)} edge insertions:")
+    print("updated top-5:", [(node, round(score, 5))
+                             for node, score in maintained.top(5)])
+    print(f"  HYBRID refresh : {hybrid_seconds * 1e3:7.2f} ms/edge")
+    print(f"  REEVAL refresh : {reeval_seconds * 1e3:7.2f} ms/edge")
+    print(f"  speedup        : {reeval_seconds / hybrid_seconds:7.1f}x")
+    print(f"  strategy accord: {agreement:.2e}")
+    print(f"  rank mass      : {maintained.ranks.sum():.9f} (should be 1)")
+    print(f"  drift check    : {maintained.revalidate():.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,184 @@
+"""Incremental k-step Markov chain analysis (a Section 5.2 application).
+
+The paper motivates matrix powers with "computing the stochastic matrix
+of a Markov chain after k steps".  Two maintained views cover the two
+standard questions about a chain with column-stochastic transition
+matrix ``P``:
+
+* :class:`KStepTransitionMatrix` — the full ``k``-step matrix ``P^k``
+  (matrix powers, Section 5.2);
+* :class:`KStepDistribution` — the distribution ``pi_k = P^k pi_0`` for
+  one start distribution (the general form with ``B = 0`` and
+  ``p = 1``, Section 5.3 — where the paper's analysis says HYBRID
+  evaluation wins).
+
+Transition-probability changes are naturally low rank: re-estimating
+the outgoing probabilities of one state ``j`` replaces column ``j``,
+the rank-1 update ``dP = (new_col - old_col) e_j'``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cost import counters
+from ..iterative.models import Model
+from ..iterative.strategies import make_general, make_powers
+
+#: Tolerance for the column-stochasticity check.
+STOCHASTIC_ATOL = 1e-9
+
+
+def check_column_stochastic(p: np.ndarray, atol: float = STOCHASTIC_ATOL) -> None:
+    """Raise ``ValueError`` unless ``p`` is square column-stochastic."""
+    p = np.asarray(p)
+    if p.ndim != 2 or p.shape[0] != p.shape[1]:
+        raise ValueError(f"transition matrix must be square, got {p.shape}")
+    if np.any(p < -atol):
+        raise ValueError("transition probabilities must be non-negative")
+    sums = p.sum(axis=0)
+    if not np.allclose(sums, 1.0, atol=atol):
+        worst = int(np.argmax(np.abs(sums - 1.0)))
+        raise ValueError(
+            f"column {worst} sums to {sums[worst]:.6f}, expected 1.0"
+        )
+
+
+def reference_k_step(p: np.ndarray, k: int) -> np.ndarray:
+    """Ground truth ``P^k`` by repeated dense multiplication."""
+    return np.linalg.matrix_power(np.asarray(p, dtype=np.float64), k)
+
+
+def random_walk_matrix(adjacency: np.ndarray) -> np.ndarray:
+    """Column-stochastic simple-random-walk matrix of a digraph.
+
+    ``adjacency[i, j] = 1`` encodes ``j -> i``; states without
+    out-edges self-loop (stay put), keeping the matrix stochastic.
+    """
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    n = adjacency.shape[0]
+    p = np.array(adjacency)
+    for j in range(n):
+        total = p[:, j].sum()
+        if total == 0:
+            p[j, j] = 1.0
+        else:
+            p[:, j] /= total
+    return p
+
+
+class _ColumnPerturbMixin:
+    """Shared column-replacement plumbing for the Markov maintainers."""
+
+    p: np.ndarray
+
+    def perturb_column(self, j: int, new_column: np.ndarray) -> None:
+        """Replace the outgoing distribution of state ``j``.
+
+        Derives the rank-1 factors ``u = new_col - old_col``,
+        ``v = e_j`` and pushes them through the maintained views.
+        """
+        new_column = np.asarray(new_column, dtype=np.float64).reshape(-1)
+        n = self.p.shape[0]
+        if new_column.shape[0] != n:
+            raise ValueError(f"column length {new_column.shape[0]} != {n}")
+        if abs(float(new_column.sum()) - 1.0) > STOCHASTIC_ATOL:
+            raise ValueError("replacement column must sum to 1")
+        if np.any(new_column < -STOCHASTIC_ATOL):
+            raise ValueError("replacement column must be non-negative")
+        u = (new_column - self.p[:, j]).reshape(-1, 1)
+        v = np.zeros((n, 1))
+        v[j, 0] = 1.0
+        self.p = self.p + u @ v.T
+        self._refresh(u, v)
+
+    def _refresh(self, u: np.ndarray, v: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class KStepTransitionMatrix(_ColumnPerturbMixin):
+    """Maintained ``P^k`` of an evolving Markov chain.
+
+    ``strategy`` is ``REEVAL`` or ``INCR``; ``model`` defaults to the
+    exponential model (the Table 2 winner for powers).
+    """
+
+    def __init__(
+        self,
+        p: np.ndarray,
+        k: int = 16,
+        model: Model | None = None,
+        strategy: str = "INCR",
+        counter: counters.Counter = counters.NULL_COUNTER,
+    ):
+        check_column_stochastic(p)
+        self.p = np.array(p, dtype=np.float64)
+        self.k = k
+        self.model = model or Model.exponential()
+        self._maintainer = make_powers(strategy, self.p, k, self.model, counter)
+
+    def _refresh(self, u: np.ndarray, v: np.ndarray) -> None:
+        self._maintainer.refresh(u, v)
+
+    def result(self) -> np.ndarray:
+        """The current ``k``-step transition matrix."""
+        return self._maintainer.result()
+
+    def step_distribution(self, pi0: np.ndarray) -> np.ndarray:
+        """``pi_k`` for an arbitrary start distribution (one matvec)."""
+        pi0 = np.asarray(pi0, dtype=np.float64).reshape(-1, 1)
+        return self.result() @ pi0
+
+    def hitting_probability(self, target: int, pi0: np.ndarray) -> float:
+        """Probability mass on ``target`` after exactly ``k`` steps."""
+        return float(self.step_distribution(pi0)[target, 0])
+
+
+class KStepDistribution(_ColumnPerturbMixin):
+    """Maintained ``pi_k = P^k pi_0`` for one start distribution.
+
+    The ``p = 1`` instance of the general form — per Section 5.3 the
+    HYBRID strategy (dense ``n x 1`` deltas, factored power views) has
+    the lowest cost, and is the default here.
+    """
+
+    def __init__(
+        self,
+        p: np.ndarray,
+        pi0: np.ndarray,
+        k: int = 16,
+        model: Model | None = None,
+        strategy: str = "HYBRID",
+        counter: counters.Counter = counters.NULL_COUNTER,
+    ):
+        check_column_stochastic(p)
+        self.p = np.array(p, dtype=np.float64)
+        pi0 = np.asarray(pi0, dtype=np.float64).reshape(-1, 1)
+        if abs(float(pi0.sum()) - 1.0) > STOCHASTIC_ATOL:
+            raise ValueError("start distribution must sum to 1")
+        self.k = k
+        self.model = model or Model.linear()
+        self._maintainer = make_general(
+            strategy, self.p, None, pi0, k, self.model, counter
+        )
+
+    def _refresh(self, u: np.ndarray, v: np.ndarray) -> None:
+        self._maintainer.refresh(u, v)
+
+    def result(self) -> np.ndarray:
+        """The current ``k``-step distribution (an ``n x 1`` vector)."""
+        return self._maintainer.result()
+
+    def total_variation_from(self, other: np.ndarray) -> float:
+        """Total-variation distance of the maintained ``pi_k`` from ``other``."""
+        other = np.asarray(other, dtype=np.float64).reshape(-1, 1)
+        return 0.5 * float(np.abs(self.result() - other).sum())
+
+
+__all__ = [
+    "KStepDistribution",
+    "KStepTransitionMatrix",
+    "check_column_stochastic",
+    "random_walk_matrix",
+    "reference_k_step",
+]

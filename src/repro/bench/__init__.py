@@ -1,0 +1,20 @@
+"""Shared benchmark harness (timing protocol + paper-style reporting)."""
+
+from .harness import Series, compare_strategies, time_refresh, time_refresh_trimmed
+from .reporting import (
+    format_seconds,
+    paper_vs_measured,
+    render_comparison_table,
+    render_series,
+)
+
+__all__ = [
+    "Series",
+    "compare_strategies",
+    "format_seconds",
+    "paper_vs_measured",
+    "render_comparison_table",
+    "render_series",
+    "time_refresh",
+    "time_refresh_trimmed",
+]

@@ -1,0 +1,112 @@
+"""Benchmark harness: refresh-time measurement and series runners.
+
+The paper's figures report the *average view refresh time over a
+continuous stream of updates*.  :func:`time_refresh` reproduces that
+protocol: warm the maintainer with one update, then time ``repeats``
+further updates and average.  :func:`compare_strategies` runs a family
+of maintainers over the same update stream and returns a
+:class:`Series` of label -> seconds, which the reporting module renders
+in the figures' layout.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Series:
+    """A labelled series of measurements (one figure curve / bar group)."""
+
+    title: str
+    labels: list[str] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def add(self, label: str, value: float) -> None:
+        """Append one measurement."""
+        self.labels.append(label)
+        self.values.append(value)
+
+    def value(self, label: str) -> float:
+        """Look up a measurement by label."""
+        return self.values[self.labels.index(label)]
+
+    def speedup(self, base_label: str, other_label: str) -> float:
+        """Ratio ``base / other`` (how much faster ``other`` is)."""
+        return self.value(base_label) / self.value(other_label)
+
+
+def time_refresh(
+    maintainer,
+    updates: Sequence[tuple[np.ndarray, np.ndarray]],
+    warmup: int = 1,
+) -> float:
+    """Average seconds per ``refresh(u, v)`` over an update stream.
+
+    The first ``warmup`` updates are applied untimed (cache warming, lazy
+    materialization); the rest are individually timed and averaged.
+    """
+    updates = list(updates)
+    if len(updates) <= warmup:
+        raise ValueError("need more updates than warmup steps")
+    for u, v in updates[:warmup]:
+        maintainer.refresh(u, v)
+    start = time.perf_counter()
+    for u, v in updates[warmup:]:
+        maintainer.refresh(u, v)
+    elapsed = time.perf_counter() - start
+    return elapsed / (len(updates) - warmup)
+
+
+def time_refresh_trimmed(
+    maintainer,
+    updates: Sequence[tuple[np.ndarray, np.ndarray]],
+    warmup: int = 1,
+    trim: int = 2,
+) -> float:
+    """Trimmed-mean seconds per ``refresh(u, v)``.
+
+    Like :func:`time_refresh` but each refresh is timed individually and
+    the ``trim`` fastest and slowest samples are discarded before
+    averaging.  Shape assertions in the figure reports (e.g. "the
+    speedup grows with n") compare ratios of small timings, where a
+    single scheduler hiccup in a 4-sample mean can flip the ordering;
+    the trimmed mean makes those comparisons stable at laptop scale.
+    """
+    updates = list(updates)
+    if len(updates) - warmup <= 2 * trim:
+        raise ValueError("need more than warmup + 2*trim updates")
+    for u, v in updates[:warmup]:
+        maintainer.refresh(u, v)
+    samples: list[float] = []
+    for u, v in updates[warmup:]:
+        start = time.perf_counter()
+        maintainer.refresh(u, v)
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    kept = samples[trim:len(samples) - trim]
+    return sum(kept) / len(kept)
+
+
+def compare_strategies(
+    title: str,
+    factories: dict[str, Callable[[], object]],
+    updates_factory: Callable[[], Iterable[tuple[np.ndarray, np.ndarray]]],
+    warmup: int = 1,
+) -> Series:
+    """Time several maintainers over identical update streams.
+
+    ``factories`` maps labels to zero-argument constructors (fresh state
+    per strategy); ``updates_factory`` must yield the *same* stream each
+    call (seeded), so all strategies see identical updates.
+    """
+    series = Series(title)
+    for label, factory in factories.items():
+        maintainer = factory()
+        updates = list(updates_factory())
+        series.add(label, time_refresh(maintainer, updates, warmup))
+    return series

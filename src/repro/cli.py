@@ -1,0 +1,204 @@
+"""Command-line interface: compile matrix programs to update triggers.
+
+Mirrors the paper's compiler workflow (Figure 2) from the shell::
+
+    python -m repro compile program.lvw                 # trigger text
+    python -m repro compile program.lvw --backend python
+    python -m repro compile program.lvw --backend octave --optimize
+    python -m repro compile program.lvw --backend spark
+    python -m repro compile program.lvw --input A --rank 2
+    python -m repro compile program.lvw --dims n=4096   # chain-order products
+    python -m repro show program.lvw                    # parsed program
+    python -m repro advise powers --n 10000 --k 16      # Table 2 advisor
+    python -m repro advise general --n 30000 --p 1 --k 16
+
+Program files use the frontend language (see ``repro.frontend``)::
+
+    input A(n, n);
+    B := A * A;
+    C := B * B;
+    output C;
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .compiler import (
+    UnboundDimensionError,
+    compile_program,
+    generate_octave_trigger,
+    generate_python_trigger,
+    generate_spark_trigger,
+    optimize_trigger,
+    optimize_trigger_chains,
+)
+from .compiler.transform import materialize_inversions
+from .frontend import SyntaxErrorWithPosition, parse_program
+
+BACKENDS = ("trigger", "python", "octave", "spark")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LINVIEW reproduction: compile linear algebra programs "
+                    "into incremental update triggers.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    show = sub.add_parser("show", help="parse a program and print it")
+    show.add_argument("file", help="program source file")
+
+    comp = sub.add_parser("compile", help="compile a program to triggers")
+    comp.add_argument("file", help="program source file")
+    comp.add_argument("--backend", choices=BACKENDS, default="trigger",
+                      help="output form (default: trigger text)")
+    comp.add_argument("--input", dest="inputs", action="append",
+                      help="compile a trigger only for this input "
+                           "(repeatable; default: all inputs)")
+    comp.add_argument("--rank", type=int, default=1,
+                      help="width of the incoming update factors (default 1)")
+    comp.add_argument("--optimize", action="store_true",
+                      help="run the Section 6 optimizer (CSE, copies, DCE)")
+    comp.add_argument("--materialize-inversions", action="store_true",
+                      help="hoist nested inv(...) into their own views "
+                           "(the Example 4.2 restructuring)")
+    comp.add_argument("--dims", action="append", default=[],
+                      metavar="NAME=SIZE",
+                      help="bind a symbolic dimension and re-associate "
+                           "every product chain optimally for those sizes "
+                           "(repeatable, e.g. --dims n=4096)")
+
+    advise = sub.add_parser(
+        "advise",
+        help="rank maintenance strategies by the Table 2 cost model",
+    )
+    advise.add_argument("computation", choices=("powers", "general"),
+                        help="'powers' (A^k) or 'general' (T = A T + B)")
+    advise.add_argument("--n", type=int, required=True,
+                        help="matrix order n")
+    advise.add_argument("--k", type=int, required=True,
+                        help="iteration count k")
+    advise.add_argument("--p", type=int, default=1,
+                        help="iterate width p (general form only)")
+    advise.add_argument("--gamma", type=float, default=3.0,
+                        help="matrix-multiplication exponent (default 3.0)")
+    advise.add_argument("--memory-budget", type=float, default=None,
+                        help="max view footprint in matrix entries")
+    advise.add_argument("--top", type=int, default=5,
+                        help="how many configurations to print (default 5)")
+    return parser
+
+
+def _load_program(path: str):
+    source = Path(path).read_text()
+    return parse_program(source)
+
+
+def _run_advise(args) -> int:
+    from .cost.advisor import recommend_general, recommend_powers, speedup_estimate
+
+    try:
+        if args.computation == "powers":
+            ranked = recommend_powers(args.n, args.k, gamma=args.gamma,
+                                      memory_budget=args.memory_budget)
+            header = f"A^{args.k}, n = {args.n}"
+        else:
+            ranked = recommend_general(args.n, args.p, args.k,
+                                       gamma=args.gamma,
+                                       memory_budget=args.memory_budget)
+            header = f"T = A T + B, n = {args.n}, p = {args.p}, k = {args.k}"
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"# {header} (predicted operation counts, Table 2)")
+    print(f"{'rank':<5} {'config':<14} {'time':>12} {'space':>12}")
+    for i, rec in enumerate(ranked[:args.top], start=1):
+        print(f"{i:<5} {rec.label:<14} {rec.time:>12.4g} {rec.space:>12.4g}")
+    print(f"# predicted gain over best re-evaluation: "
+          f"{speedup_estimate(ranked):.1f}x")
+    return 0
+
+
+def _parse_dims(pairs: list[str]) -> dict[str, int]:
+    dims: dict[str, int] = {}
+    for pair in pairs:
+        name, _, size = pair.partition("=")
+        if not name or not size or not size.isdigit():
+            raise ValueError(f"expected NAME=SIZE, got {pair!r}")
+        dims[name] = int(size)
+    return dims
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "advise":
+        return _run_advise(args)
+
+    try:
+        program = _load_program(args.file)
+    except FileNotFoundError:
+        print(f"error: no such file: {args.file}", file=sys.stderr)
+        return 2
+    except SyntaxErrorWithPosition as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.command == "show":
+        print(program)
+        return 0
+
+    if args.materialize_inversions:
+        program = materialize_inversions(program)
+        print("# after inverse materialization:")
+        print("\n".join(f"#   {stmt!r}" for stmt in program.statements))
+        print()
+
+    try:
+        triggers = compile_program(
+            program,
+            dynamic_inputs=args.inputs,
+            rank=args.rank,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    try:
+        dims = _parse_dims(args.dims)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    for index, (name, trigger) in enumerate(sorted(triggers.items())):
+        if args.optimize:
+            trigger = optimize_trigger(trigger)
+        if dims:
+            try:
+                trigger = optimize_trigger_chains(trigger, dims)
+            except UnboundDimensionError as exc:
+                print(f"error: {exc} (bind it with --dims)", file=sys.stderr)
+                return 2
+        if index:
+            print()
+        if args.backend == "python":
+            print(generate_python_trigger(trigger))
+        elif args.backend == "octave":
+            print(generate_octave_trigger(trigger))
+        elif args.backend == "spark":
+            print(generate_spark_trigger(trigger))
+        else:
+            print(trigger)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""The LINVIEW compiler: programs, Algorithm 1, optimizer, code generators."""
+
+from .chain import (
+    UnboundDimensionError,
+    chain_cost,
+    chain_split,
+    left_to_right_cost,
+    optimize_chains,
+    optimize_trigger_chains,
+)
+from .codegen import (
+    compile_trigger_function,
+    generate_octave_trigger,
+    generate_python_trigger,
+    generate_spark_trigger,
+)
+from .compile import compile_program
+from .optimizer import (
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    optimize_trigger,
+    propagate_copies,
+)
+from .program import Program, ProgramError, Statement
+from .trigger import Assign, Trigger, Update
+
+__all__ = [
+    "Assign",
+    "UnboundDimensionError",
+    "Program",
+    "ProgramError",
+    "Statement",
+    "Trigger",
+    "Update",
+    "chain_cost",
+    "chain_split",
+    "compile_program",
+    "compile_trigger_function",
+    "eliminate_common_subexpressions",
+    "eliminate_dead_code",
+    "generate_octave_trigger",
+    "left_to_right_cost",
+    "optimize_chains",
+    "optimize_trigger_chains",
+    "generate_python_trigger",
+    "generate_spark_trigger",
+    "optimize_trigger",
+    "propagate_copies",
+]

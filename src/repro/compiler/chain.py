@@ -1,0 +1,182 @@
+"""Cost-based evaluation-order selection for product chains (Section 5.1).
+
+The paper observes that "the optimum evaluation order for this
+expression depends on the size of X and Y" — e.g. in the OLS delta
+``dbeta* = R S' X' Y`` the product must associate right-to-left when
+``Y`` is a vector and left-to-right when ``p`` is large.  The delta
+rules already *structurally* encode cheap orders for the factored forms
+they create (Section 4.2); this pass handles everything else: given
+concrete dimension bindings, it re-associates every maximal product
+chain in an expression by the classic matrix-chain dynamic program, so
+generated triggers evaluate each product in the provably FLOP-minimal
+order.
+
+Re-association preserves semantics exactly (matrix multiplication is
+associative); floating-point results may differ at rounding level, as
+with any BLAS reordering.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..cost.flops import matmul_flops
+from ..expr.ast import Expr, MatMul
+from ..expr.shapes import DimLike, DimSum, NamedDim
+from ..expr.visitors import rebuild
+
+
+class UnboundDimensionError(ValueError):
+    """A symbolic dimension had no binding when a chain was costed."""
+
+
+def resolve(dim: DimLike, binding: Mapping[str, int]) -> int:
+    """Resolve a possibly-symbolic dimension against ``binding``."""
+    if isinstance(dim, bool):
+        raise UnboundDimensionError("bool is not a dimension")
+    if isinstance(dim, int):
+        return dim
+    if isinstance(dim, NamedDim):
+        try:
+            return binding[dim.name]
+        except KeyError:
+            raise UnboundDimensionError(f"unbound dimension {dim.name!r}") from None
+    if isinstance(dim, DimSum):
+        return sum(resolve(a, binding) for a in dim.atoms) + dim.const
+    raise UnboundDimensionError(f"cannot resolve dimension {dim!r}")
+
+
+def chain_split(dims: Sequence[int]) -> tuple[int, list[list[int]]]:
+    """Optimal matrix-chain parenthesization (classic O(f^3) DP).
+
+    ``dims`` holds the ``f + 1`` boundary dimensions of an ``f``-factor
+    chain (factor ``i`` is ``dims[i] x dims[i+1]``).  Returns the
+    minimal FLOP count and the split table ``s`` where ``s[i][j]`` is
+    the last split point of the optimal order for factors ``i..j``.
+    """
+    f = len(dims) - 1
+    if f < 1:
+        raise ValueError("chain needs at least one factor")
+    cost = [[0] * f for _ in range(f)]
+    split = [[0] * f for _ in range(f)]
+    for length in range(2, f + 1):
+        for i in range(f - length + 1):
+            j = i + length - 1
+            best, best_k = None, i
+            for k in range(i, j):
+                c = (
+                    cost[i][k]
+                    + cost[k + 1][j]
+                    + matmul_flops(dims[i], dims[k + 1], dims[j + 1])
+                )
+                if best is None or c < best:
+                    best, best_k = c, k
+            cost[i][j] = best
+            split[i][j] = best_k
+    return cost[0][f - 1], split
+
+
+def left_to_right_cost(dims: Sequence[int]) -> int:
+    """FLOPs of the naive left-to-right association (the comparison base)."""
+    total = 0
+    rows = dims[0]
+    for i in range(1, len(dims) - 1):
+        total += matmul_flops(rows, dims[i], dims[i + 1])
+    return total
+
+
+def chain_factors(expr: Expr) -> list[Expr]:
+    """The maximal factor list of a product tree (nested MatMuls flattened).
+
+    Non-product nodes (symbols, transposes, sums, stacks, …) are atomic
+    factors; their *internal* chains are handled by the recursive
+    rewrite in :func:`optimize_chains`.
+    """
+    if not isinstance(expr, MatMul):
+        return [expr]
+    factors: list[Expr] = []
+    for child in expr.children:
+        factors.extend(chain_factors(child))
+    return factors
+
+
+def optimal_product(factors: Sequence[Expr], binding: Mapping[str, int]) -> Expr:
+    """Rebuild a product over ``factors`` in the DP-optimal association."""
+    factors = list(factors)
+    if len(factors) == 1:
+        return factors[0]
+    dims = [resolve(factors[0].shape.rows, binding)]
+    dims.extend(resolve(f.shape.cols, binding) for f in factors)
+    _, split = chain_split(dims)
+
+    def build(i: int, j: int) -> Expr:
+        if i == j:
+            return factors[i]
+        k = split[i][j]
+        return MatMul([build(i, k), build(k + 1, j)])
+
+    return build(0, len(factors) - 1)
+
+
+def optimize_chains(expr: Expr, binding: Mapping[str, int]) -> Expr:
+    """Re-associate every maximal product chain of ``expr`` optimally.
+
+    Children of atomic factors are rewritten first (bottom-up), so a
+    chain inside a transpose or a stacked block is optimized too.
+    Raises :class:`UnboundDimensionError` if a chain mentions a
+    dimension absent from ``binding``.
+    """
+    if isinstance(expr, MatMul):
+        factors = [optimize_chains(f, binding) for f in chain_factors(expr)]
+        return optimal_product(factors, binding)
+    if not expr.children:
+        return expr
+    new_children = tuple(optimize_chains(c, binding) for c in expr.children)
+    if new_children == expr.children:
+        return expr
+    return rebuild(expr, new_children)
+
+
+def chain_cost(expr: Expr, binding: Mapping[str, int]) -> int:
+    """FLOPs to evaluate ``expr`` *as associated* (products only).
+
+    Only multiplication cost is counted — the quantity the DP
+    minimizes; additions/transposes are association-invariant.
+    """
+    if isinstance(expr, MatMul):
+        total = 0
+        for child in expr.children:
+            total += chain_cost(child, binding)
+        rows = resolve(expr.children[0].shape.rows, binding)
+        for left, right in zip(expr.children, expr.children[1:]):
+            mid = resolve(left.shape.cols, binding)
+            cols = resolve(right.shape.cols, binding)
+            total += matmul_flops(rows, mid, cols)
+            # n-ary products evaluate left to right: the accumulated
+            # prefix keeps `rows` rows and takes `cols` columns.
+        return total
+    return sum(chain_cost(c, binding) for c in expr.children)
+
+
+def optimize_trigger_chains(trigger, binding: Mapping[str, int]):
+    """Apply :func:`optimize_chains` to every statement of a trigger."""
+    from .trigger import Assign, Trigger, Update
+
+    assigns = [Assign(a.target, optimize_chains(a.expr, binding))
+               for a in trigger.assigns]
+    updates = [Update(u.view, optimize_chains(u.expr, binding))
+               for u in trigger.updates]
+    return Trigger(trigger.input_name, trigger.params, assigns, updates)
+
+
+__all__ = [
+    "UnboundDimensionError",
+    "chain_cost",
+    "chain_factors",
+    "chain_split",
+    "left_to_right_cost",
+    "optimal_product",
+    "optimize_chains",
+    "optimize_trigger_chains",
+    "resolve",
+]

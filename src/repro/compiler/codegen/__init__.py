@@ -1,0 +1,12 @@
+"""Code generators: Python/NumPy, Octave, and Spark (Scala) backends."""
+
+from .octave_gen import generate_octave_trigger
+from .python_gen import compile_trigger_function, generate_python_trigger
+from .spark_gen import generate_spark_trigger
+
+__all__ = [
+    "compile_trigger_function",
+    "generate_octave_trigger",
+    "generate_python_trigger",
+    "generate_spark_trigger",
+]

@@ -1,0 +1,168 @@
+"""Python/NumPy code generation for trigger programs.
+
+:func:`generate_python_trigger` renders a trigger as the source of a
+plain Python function; :func:`compile_trigger_function` ``exec``-utes it
+and hands back the callable.  The generated function mutates a ``views``
+dict in place, binding every referenced view to a local *before* any
+update is applied, so all delta expressions see old values — the same
+contract the interpreter upholds.
+
+Generated signature::
+
+    def on_update_A(views, u_A, v_A, dims=None): ...
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ...expr.ast import (
+    Add,
+    Expr,
+    HStack,
+    Identity,
+    Inverse,
+    MatMul,
+    MatrixSymbol,
+    ScalarMul,
+    Transpose,
+    VStack,
+    ZeroMatrix,
+)
+from ...expr.shapes import DimLike, DimSum, NamedDim
+from ...expr.visitors import walk
+from ..trigger import Trigger
+
+_PREC_ADD = 1
+_PREC_MUL = 2
+_PREC_ATOM = 3
+
+
+def _emit_dim(dim: DimLike) -> str:
+    if isinstance(dim, int):
+        return str(dim)
+    if isinstance(dim, NamedDim):
+        return f"dims[{dim.name!r}]"
+    if isinstance(dim, DimSum):
+        parts = [f"dims[{a.name!r}]" for a in dim.atoms]
+        if dim.const:
+            parts.append(str(dim.const))
+        return " + ".join(parts)
+    raise TypeError(f"cannot emit dimension {dim!r}")
+
+
+def emit_expr(expr: Expr) -> str:
+    """NumPy source text for an expression (respects association order)."""
+    text, _ = _emit(expr)
+    return text
+
+
+def _paren(text: str, prec: int, parent: int) -> str:
+    return f"({text})" if prec < parent else text
+
+
+def _emit(expr: Expr) -> tuple[str, int]:
+    if isinstance(expr, MatrixSymbol):
+        return expr.name, _PREC_ATOM
+    if isinstance(expr, Identity):
+        return f"np.eye({_emit_dim(expr.shape.rows)})", _PREC_ATOM
+    if isinstance(expr, ZeroMatrix):
+        rows, cols = _emit_dim(expr.shape.rows), _emit_dim(expr.shape.cols)
+        return f"np.zeros(({rows}, {cols}))", _PREC_ATOM
+    if isinstance(expr, Add):
+        parts = []
+        for i, term in enumerate(expr.children):
+            if isinstance(term, ScalarMul) and term.coeff == -1.0:
+                inner, prec = _emit(term.child)
+                parts.append(f" - {_paren(inner, prec, _PREC_ADD + 1)}")
+            else:
+                inner, prec = _emit(term)
+                joined = _paren(inner, prec, _PREC_ADD)
+                parts.append(joined if i == 0 else f" + {joined}")
+        return "".join(parts), _PREC_ADD
+    if isinstance(expr, MatMul):
+        rendered = []
+        for position, factor in enumerate(expr.children):
+            inner, prec = _emit(factor)
+            # Leading factor may chain without parens (left-association);
+            # right-nested groups keep theirs to preserve evaluation order.
+            parent = _PREC_MUL if position == 0 else _PREC_MUL + 1
+            rendered.append(_paren(inner, prec, parent))
+        return " @ ".join(rendered), _PREC_MUL
+    if isinstance(expr, ScalarMul):
+        inner, prec = _emit(expr.child)
+        body = _paren(inner, prec, _PREC_MUL + 1)
+        if expr.coeff == -1.0:
+            return f"-{body}", _PREC_MUL
+        return f"{expr.coeff!r} * {body}", _PREC_MUL
+    if isinstance(expr, Transpose):
+        inner, prec = _emit(expr.child)
+        return f"{_paren(inner, prec, _PREC_ATOM)}.T", _PREC_ATOM
+    if isinstance(expr, Inverse):
+        inner, _ = _emit(expr.child)
+        return f"np.linalg.inv({inner})", _PREC_ATOM
+    if isinstance(expr, HStack):
+        blocks = ", ".join(emit_expr(b) for b in expr.children)
+        return f"np.hstack([{blocks}])", _PREC_ATOM
+    if isinstance(expr, VStack):
+        blocks = ", ".join(emit_expr(b) for b in expr.children)
+        return f"np.vstack([{blocks}])", _PREC_ATOM
+    raise TypeError(f"cannot emit node {type(expr).__name__}")
+
+
+def _referenced_views(trigger: Trigger) -> list[str]:
+    """View names referenced by the trigger, excluding params and temps."""
+    local = {p.name for p in trigger.params} | set(trigger.temp_names)
+    names: list[str] = []
+    seen: set[str] = set()
+    exprs = [a.expr for a in trigger.assigns] + [u.expr for u in trigger.updates]
+    for view in trigger.updated_views:
+        if view not in seen:
+            seen.add(view)
+            names.append(view)
+    for expr in exprs:
+        for node in walk(expr):
+            if (
+                isinstance(node, MatrixSymbol)
+                and node.name not in local
+                and node.name not in seen
+            ):
+                seen.add(node.name)
+                names.append(node.name)
+    return names
+
+
+def generate_python_trigger(trigger: Trigger, function_name: str | None = None) -> str:
+    """Render a trigger as Python function source text."""
+    name = function_name or f"on_update_{trigger.input_name}"
+    params = ", ".join(p.name for p in trigger.params)
+    views = _referenced_views(trigger)
+    lines = [
+        f"def {name}(views, {params}, dims=None):",
+        f'    """Maintain views for a factored update to {trigger.input_name}."""',
+        "    dims = dims or {}",
+    ]
+    for view in views:
+        lines.append(f"    {view} = views[{view!r}]")
+    for assign in trigger.assigns:
+        lines.append(f"    {assign.target.name} = {emit_expr(assign.expr)}")
+    for update in trigger.updates:
+        lines.append(f"    views[{update.view.name!r}] = {update.view.name}"
+                     f" + {emit_expr(update.expr)}")
+    return "\n".join(lines) + "\n"
+
+
+def compile_trigger_function(
+    trigger: Trigger, extra_globals: Mapping[str, object] | None = None
+) -> Callable:
+    """Generate, ``exec`` and return the trigger as a Python callable."""
+    source = generate_python_trigger(trigger)
+    namespace: dict[str, object] = {"np": np}
+    if extra_globals:
+        namespace.update(extra_globals)
+    exec(compile(source, f"<trigger:{trigger.input_name}>", "exec"), namespace)
+    fn = namespace[f"on_update_{trigger.input_name}"]
+    fn.__source__ = source  # type: ignore[attr-defined]
+    return fn

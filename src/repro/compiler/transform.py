@@ -1,0 +1,83 @@
+"""Program-level rewrites applied before Algorithm 1.
+
+:func:`materialize_inversions` performs the restructuring the paper
+applies by hand in Example 4.2: every ``inv(E)`` buried inside a larger
+expression is hoisted into its own pair of statements
+
+    Z_i := E            (when E is compound)
+    W_i := inv(Z_i)
+
+and references are substituted.  After the rewrite, every ``Inverse``
+node is the root of a statement, so Algorithm 1's Woodbury rule can
+reference the *materialized* old inverse (``W`` in Example 4.3) and no
+trigger ever re-inverts an ``n x n`` operand.
+"""
+
+from __future__ import annotations
+
+from ..expr.ast import Expr, Inverse, MatrixSymbol, inverse
+from ..expr.visitors import substitute, walk
+from .program import Program, Statement
+
+
+def materialize_inversions(program: Program, prefix: str = "inv") -> Program:
+    """Hoist nested inversions into dedicated statements.
+
+    Statements whose *entire* right-hand side is already ``inv(...)``
+    are left untouched.  Hoisted views are named ``{prefix}{i}`` (and
+    ``{prefix}{i}_arg`` for compound operands); the rewritten program
+    computes exactly the same outputs.
+    """
+    taken = set(program.input_names)
+    taken.update(s.target.name for s in program.statements)
+    counter = 0
+    statements: list[Statement] = []
+
+    for stmt in program.statements:
+        expr = stmt.expr
+        while True:
+            node = _nested_inverse(expr)
+            if node is None:
+                break
+            counter += 1
+            while f"{prefix}{counter}" in taken:
+                counter += 1
+            inv_name = f"{prefix}{counter}"
+            taken.add(inv_name)
+
+            operand = node.child
+            if not isinstance(operand, MatrixSymbol):
+                arg_name = f"{inv_name}_arg"
+                taken.add(arg_name)
+                arg_sym = MatrixSymbol(arg_name, operand.shape.rows,
+                                       operand.shape.cols)
+                statements.append(Statement(arg_sym, operand))
+                operand = arg_sym
+            inv_sym = MatrixSymbol(inv_name, node.shape.rows, node.shape.cols)
+            statements.append(Statement(inv_sym, inverse(operand)))
+            expr = substitute(expr, {node: inv_sym})
+        statements.append(Statement(stmt.target, expr))
+
+    return Program(program.inputs, statements, program.outputs)
+
+
+def _nested_inverse(expr: Expr) -> Inverse | None:
+    """An ``Inverse`` node that is not the expression root (or None).
+
+    Innermost-first, so nested inversions hoist inside-out.
+    """
+    candidates = [
+        node for node in walk(expr) if isinstance(node, Inverse) and node is not expr
+    ]
+    if not candidates:
+        return None
+    # Prefer a candidate containing no further inverse below it.
+    for node in candidates:
+        inner = [
+            child
+            for child in walk(node.child)
+            if isinstance(child, Inverse)
+        ]
+        if not inner:
+            return node
+    return candidates[-1]

@@ -1,0 +1,93 @@
+"""Trigger programs: the output of Algorithm 1.
+
+A :class:`Trigger` handles updates to one input matrix.  It consists of
+
+* *assignment* statements (``:=``) evaluating the factored delta blocks
+  (``U_B := [u_A, A*u_A + u_A*(v_A'*u_A)]`` in Example 4.6), and
+* *update* statements (``+=``) applying each factored delta to its view.
+
+Execution contract (what makes the deltas correct): **all assignments
+are evaluated before any update is applied**, and assignment expressions
+refer only to old view values and previously computed temporaries.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..expr.ast import Expr, MatrixSymbol
+from ..expr.printer import to_string
+
+
+class Assign:
+    """``name := expr`` — computes a temporary (delta factor block)."""
+
+    __slots__ = ("target", "expr")
+
+    def __init__(self, target: MatrixSymbol, expr: Expr):
+        if target.shape != expr.shape:
+            raise ValueError(
+                f"assign shape mismatch: {target.name} is {target.shape}, "
+                f"expr is {expr.shape}"
+            )
+        self.target = target
+        self.expr = expr
+
+    def __repr__(self) -> str:
+        return f"{self.target.name} := {to_string(self.expr)};"
+
+
+class Update:
+    """``view += expr`` — applies a delta to a materialized view."""
+
+    __slots__ = ("view", "expr")
+
+    def __init__(self, view: MatrixSymbol, expr: Expr):
+        if view.shape != expr.shape:
+            raise ValueError(
+                f"update shape mismatch: {view.name} is {view.shape}, "
+                f"expr is {expr.shape}"
+            )
+        self.view = view
+        self.expr = expr
+
+    def __repr__(self) -> str:
+        return f"{self.view.name} += {to_string(self.expr)};"
+
+
+class Trigger:
+    """The maintenance program for updates to one input matrix.
+
+    ``params`` are the update's factor symbols (``u_A``, ``v_A`` for a
+    rank-1 update; ``(n x k)`` blocks for rank-k).  ``assigns`` and
+    ``updates`` are executed in order, assigns first.
+    """
+
+    def __init__(
+        self,
+        input_name: str,
+        params: Sequence[MatrixSymbol],
+        assigns: Sequence[Assign],
+        updates: Sequence[Update],
+    ):
+        self.input_name = input_name
+        self.params = tuple(params)
+        self.assigns = tuple(assigns)
+        self.updates = tuple(updates)
+
+    @property
+    def updated_views(self) -> tuple[str, ...]:
+        """Names of all matrices this trigger maintains (input included)."""
+        return tuple(u.view.name for u in self.updates)
+
+    @property
+    def temp_names(self) -> tuple[str, ...]:
+        """Names of the temporaries the trigger computes."""
+        return tuple(a.target.name for a in self.assigns)
+
+    def __repr__(self) -> str:
+        params = ", ".join(p.name for p in self.params)
+        lines = [f"ON UPDATE {self.input_name} BY ({params}):"]
+        lines.extend(f"  {a!r}" for a in self.assigns)
+        lines.extend(f"  {u!r}" for u in self.updates)
+        return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Cost model: FLOP formulas, runtime counters, Table 2 complexity, memory."""
+
+from . import advisor, complexity, counters, flops, memory
+from .advisor import (
+    Recommendation,
+    best_general,
+    best_powers,
+    recommend_general,
+    recommend_powers,
+)
+from .counters import NULL_COUNTER, Counter, counting
+from .memory import MemoryComparison, gigabytes
+from .ops import Ops
+
+__all__ = [
+    "Counter",
+    "Recommendation",
+    "MemoryComparison",
+    "NULL_COUNTER",
+    "Ops",
+    "advisor",
+    "best_general",
+    "best_powers",
+    "complexity",
+    "counters",
+    "counting",
+    "flops",
+    "gigabytes",
+    "memory",
+    "recommend_general",
+    "recommend_powers",
+]

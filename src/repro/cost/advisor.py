@@ -1,0 +1,170 @@
+"""Strategy/model advisor built on the Table 2 cost formulas.
+
+Section 5 derives, by hand, which (strategy x iterative model) cell of
+Table 2 wins for given problem parameters — e.g. "the Lin model incurs
+the lowest time complexity when p << n", "HYBRID ... when the dimension
+p or n is comparable with k".  This module mechanizes that analysis:
+:func:`recommend_powers` and :func:`recommend_general` rank every
+admissible configuration by predicted refresh cost, optionally under a
+memory budget (incremental maintenance trades memory for time —
+Table 3), and pick the best skip size automatically.
+
+Predicted costs are *operation counts* from
+:mod:`repro.cost.complexity`; they rank configurations, they are not
+wall-clock estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import complexity as cx
+
+#: Strategy names.
+REEVAL = "REEVAL"
+INCR = "INCR"
+HYBRID = "HYBRID"
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One ranked configuration: strategy, model (with skip size), costs."""
+
+    strategy: str
+    model: str
+    s: int | None
+    time: float
+    space: float
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``INCR-EXP`` or ``HYBRID-SKIP-4``."""
+        model = {"linear": "LIN", "exponential": "EXP"}.get(self.model)
+        if model is None:
+            model = f"SKIP-{self.s}"
+        return f"{self.strategy}-{model}"
+
+
+def _skip_sizes(k: int) -> list[int]:
+    """Admissible skip sizes: powers of two dividing ``k``, ``1 < s < k``."""
+    sizes = []
+    s = 2
+    while s < k:
+        if k % s == 0:
+            sizes.append(s)
+        s *= 2
+    return sizes
+
+
+def _model_grid(k: int) -> list[tuple[str, int | None]]:
+    models: list[tuple[str, int | None]] = [("linear", None)]
+    if k >= 2 and (k & (k - 1)) == 0:
+        models.append(("exponential", None))
+        models.extend(("skip", s) for s in _skip_sizes(k))
+    return models
+
+
+def recommend_powers(
+    n: int,
+    k: int,
+    gamma: float = 3.0,
+    memory_budget: float | None = None,
+) -> list[Recommendation]:
+    """Ranked configurations for maintaining ``A^k`` under rank-1 updates.
+
+    ``memory_budget`` (in matrix *entries*, like the space formulas)
+    filters configurations whose view footprint exceeds it.  Raises
+    ``ValueError`` if the budget excludes everything.
+    """
+    candidates = []
+    for model, s in _model_grid(k):
+        candidates.append(Recommendation(
+            REEVAL, model, s,
+            cx.powers_reeval_time(n, k, model, s, gamma),
+            cx.powers_reeval_space(n, k, model, s),
+        ))
+        candidates.append(Recommendation(
+            INCR, model, s,
+            cx.powers_incr_time(n, k, model, s),
+            cx.powers_incr_space(n, k, model, s),
+        ))
+    return _rank(candidates, memory_budget)
+
+
+def recommend_general(
+    n: int,
+    p: int,
+    k: int,
+    gamma: float = 3.0,
+    memory_budget: float | None = None,
+) -> list[Recommendation]:
+    """Ranked configurations for ``T_{i+1} = A T_i + B`` maintenance."""
+    if p < 1:
+        raise ValueError(f"need p >= 1, got {p}")
+    candidates = []
+    for model, s in _model_grid(k):
+        candidates.append(Recommendation(
+            REEVAL, model, s,
+            cx.general_reeval_time(n, p, k, model, s, gamma),
+            cx.general_reeval_space(n, p, k, model, s),
+        ))
+        candidates.append(Recommendation(
+            INCR, model, s,
+            cx.general_incr_time(n, p, k, model, s),
+            cx.general_incr_space(n, p, k, model, s),
+        ))
+        candidates.append(Recommendation(
+            HYBRID, model, s,
+            cx.general_hybrid_time(n, p, k, model, s),
+            cx.general_hybrid_space(n, p, k, model, s),
+        ))
+    return _rank(candidates, memory_budget)
+
+
+def _rank(
+    candidates: list[Recommendation], memory_budget: float | None
+) -> list[Recommendation]:
+    if memory_budget is not None:
+        candidates = [c for c in candidates if c.space <= memory_budget]
+        if not candidates:
+            raise ValueError(
+                f"no configuration fits within {memory_budget:g} entries; "
+                "REEVAL-LIN needs the least memory"
+            )
+    return sorted(candidates, key=lambda c: (c.time, c.space))
+
+
+def best_powers(n: int, k: int, **kwargs) -> Recommendation:
+    """The single cheapest powers configuration."""
+    return recommend_powers(n, k, **kwargs)[0]
+
+
+def best_general(n: int, p: int, k: int, **kwargs) -> Recommendation:
+    """The single cheapest general-form configuration."""
+    return recommend_general(n, p, k, **kwargs)[0]
+
+
+def speedup_estimate(ranked: list[Recommendation]) -> float:
+    """Predicted gain of the best configuration over the best REEVAL.
+
+    Returns 1.0 when re-evaluation itself is ranked best (the advisor's
+    honest answer in regimes like large-batch updates).
+    """
+    best = ranked[0]
+    reeval_times = [c.time for c in ranked if c.strategy == REEVAL]
+    if not reeval_times or best.strategy == REEVAL:
+        return 1.0
+    return min(reeval_times) / best.time
+
+
+__all__ = [
+    "HYBRID",
+    "INCR",
+    "REEVAL",
+    "Recommendation",
+    "best_general",
+    "best_powers",
+    "recommend_general",
+    "recommend_powers",
+    "speedup_estimate",
+]

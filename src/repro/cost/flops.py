@@ -1,0 +1,48 @@
+"""Per-operation FLOP formulas.
+
+These are the standard dense-kernel counts used throughout the cost
+model, the runtime executor's instrumentation, and the Table 2
+complexity formulas.  Counting convention: one multiply-add pair is two
+FLOPs (the LAPACK convention), so a matrix product ``(n x m) * (m x p)``
+costs ``2nmp``.
+
+The paper writes matrix-multiplication cost as ``O(n^gamma)`` with
+``2 <= gamma <= 3``; the executor implements the classical kernel, so
+``gamma = 3`` here, and :func:`matmul_flops` is the exact count for it.
+"""
+
+from __future__ import annotations
+
+
+def matmul_flops(n: int, m: int, p: int) -> int:
+    """FLOPs of a dense ``(n x m) @ (m x p)`` product: ``2 n m p``."""
+    return 2 * n * m * p
+
+
+def add_flops(n: int, m: int) -> int:
+    """FLOPs of an element-wise add/subtract of ``(n x m)`` matrices."""
+    return n * m
+
+
+def scalar_mul_flops(n: int, m: int) -> int:
+    """FLOPs of scaling an ``(n x m)`` matrix by a constant."""
+    return n * m
+
+
+def inverse_flops(n: int) -> int:
+    """FLOPs of a dense ``(n x n)`` inversion via LU: ``~ 2 n^3``.
+
+    (``2/3 n^3`` for the factorization plus ``4/3 n^3`` for the solve
+    against the identity.)
+    """
+    return 2 * n * n * n
+
+
+def transpose_flops(n: int, m: int) -> int:
+    """Transpose moves data but performs no arithmetic."""
+    return 0
+
+
+def matrix_bytes(n: int, m: int, itemsize: int = 8) -> int:
+    """Memory footprint of a dense ``(n x m)`` matrix of float64."""
+    return n * m * itemsize

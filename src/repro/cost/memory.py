@@ -1,0 +1,61 @@
+"""Memory accounting helpers (the Table 3 experiment).
+
+Table 3 reports, for ``A^16`` at several matrix sizes, the bytes REEVAL
+and INCR must keep resident, the per-update times, and the ratio of
+achieved speedup to memory overhead.  The maintainers expose
+``memory_bytes()``; these helpers format and combine the numbers the
+way the table does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def gigabytes(n_bytes: int) -> float:
+    """Bytes to (decimal) gigabytes, as Table 3 reports them."""
+    return n_bytes / 1e9
+
+
+@dataclass(frozen=True)
+class MemoryComparison:
+    """One column of Table 3: REEVAL vs INCR at a given matrix size."""
+
+    n: int
+    reeval_bytes: int
+    incr_bytes: int
+    reeval_time: float
+    incr_time: float
+
+    @property
+    def speedup(self) -> float:
+        """Refresh-time speedup of INCR over REEVAL."""
+        return self.reeval_time / self.incr_time
+
+    @property
+    def memory_overhead(self) -> float:
+        """Memory ratio INCR / REEVAL (the cost of materializing views)."""
+        return self.incr_bytes / self.reeval_bytes
+
+    @property
+    def speedup_per_memory(self) -> float:
+        """Table 3's bottom row: speedup divided by memory overhead.
+
+        The paper concludes this ratio *grows* with dimensionality —
+        "the benefit of investing more memory resources increases with
+        higher dimensionality of the computation".
+        """
+        return self.speedup / self.memory_overhead
+
+    def row(self) -> dict[str, float]:
+        """The comparison as a flat dict (benchmark reporting)."""
+        return {
+            "n": self.n,
+            "reeval_gb": gigabytes(self.reeval_bytes),
+            "incr_gb": gigabytes(self.incr_bytes),
+            "reeval_time": self.reeval_time,
+            "incr_time": self.incr_time,
+            "speedup": self.speedup,
+            "memory_overhead": self.memory_overhead,
+            "speedup_per_memory": self.speedup_per_memory,
+        }

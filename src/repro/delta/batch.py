@@ -1,0 +1,151 @@
+"""Batch-update compaction: ship the rank, not the update count.
+
+Table 4's finding is that the cost of an incremental batch refresh is
+driven by the *rank* of the batched delta, not by how many rank-1
+updates the batch contains — a Zipf-skewed batch of 1000 row updates
+touching 10 distinct rows is a rank-10 change.  Stacking the updates
+naively gives factors of width = batch size; this module compresses
+them to the numerical rank first:
+
+    U V'  =  Q_u (R_u R_v') Q_v'          (thin QR of each factor)
+          =  Q_u (W S Z') Q_v'            (SVD of the small core)
+          =  (Q_u W S) (Q_v Z)'           (rank r <= batch size)
+
+at ``O(n m^2 + m^3)`` for an ``m``-update batch — cheap relative to the
+``O(n^2)``-per-unit-width propagation it saves downstream.
+
+:class:`BatchCollector` wraps the workflow: accumulate rank-1 updates,
+``flush()`` one compacted rank-``r`` refresh into any maintainer whose
+``refresh(u, v)`` accepts ``(n x k)`` factors (all the iterative and
+distributed maintainers do).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+#: Singular values below ``tol * s_max`` are treated as rank-deficient.
+DEFAULT_RTOL = 1e-12
+
+
+def stack_updates(
+    updates: Sequence[tuple[np.ndarray, np.ndarray]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Naive batching: column-stack the rank-1 pairs (width = count)."""
+    if not updates:
+        raise ValueError("cannot stack an empty batch")
+    lefts, rights = [], []
+    for u, v in updates:
+        lefts.append(np.asarray(u, dtype=np.float64).reshape(-1, 1))
+        rights.append(np.asarray(v, dtype=np.float64).reshape(-1, 1))
+    return np.hstack(lefts), np.hstack(rights)
+
+
+def compact_factors(
+    u: np.ndarray,
+    v: np.ndarray,
+    rtol: float = DEFAULT_RTOL,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Minimal-rank factors ``(L, R)`` with ``L R' == U V'`` numerically.
+
+    The result width is the numerical rank of ``U V'`` (relative
+    threshold ``rtol`` on the core's singular values).  A zero update
+    compacts to width-0 factors.
+    """
+    u = np.asarray(u, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    if u.ndim != 2 or v.ndim != 2 or u.shape[1] != v.shape[1]:
+        raise ValueError(
+            f"factors must be (n x m)/(p x m), got {u.shape} and {v.shape}"
+        )
+    qu, ru = np.linalg.qr(u, mode="reduced")
+    qv, rv = np.linalg.qr(v, mode="reduced")
+    core = ru @ rv.T
+    w, s, zt = np.linalg.svd(core, full_matrices=False)
+    # Threshold against the *input* magnitude, not the core's own top
+    # singular value — a batch that cancels to numerical zero must
+    # compact to width 0, which a purely relative cutoff never does.
+    scale = float(np.linalg.norm(ru) * np.linalg.norm(rv))
+    if s.size and scale > 0.0:
+        keep = s > rtol * scale
+    else:
+        keep = np.zeros(s.shape, dtype=bool)
+    left = qu @ (w[:, keep] * s[keep])
+    right = qv @ zt[keep].T
+    return left, right
+
+
+def compact_updates(
+    updates: Sequence[tuple[np.ndarray, np.ndarray]],
+    rtol: float = DEFAULT_RTOL,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stack a batch of rank-1 updates and compress to numerical rank."""
+    return compact_factors(*stack_updates(updates), rtol=rtol)
+
+
+class BatchCollector:
+    """Accumulates rank-1 updates; flushes one compacted rank-r refresh.
+
+    ``rank_cap`` optionally forces a flush-side truncation (lossy — use
+    only when the application tolerates approximate views; the dropped
+    mass is returned so callers can monitor it).
+    """
+
+    def __init__(self, rtol: float = DEFAULT_RTOL, rank_cap: int | None = None):
+        if rank_cap is not None and rank_cap < 1:
+            raise ValueError("rank_cap must be positive")
+        self.rtol = rtol
+        self.rank_cap = rank_cap
+        self._pending: list[tuple[np.ndarray, np.ndarray]] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def add(self, u: np.ndarray, v: np.ndarray) -> None:
+        """Queue one rank-1 update ``u v'``."""
+        self._pending.append((
+            np.asarray(u, dtype=np.float64).reshape(-1, 1),
+            np.asarray(v, dtype=np.float64).reshape(-1, 1),
+        ))
+
+    def compacted(self) -> tuple[np.ndarray, np.ndarray, float]:
+        """The pending batch as ``(L, R, dropped)`` without clearing it.
+
+        ``dropped`` is the spectral norm of the truncated remainder
+        (0.0 unless ``rank_cap`` cut actual mass).
+        """
+        left, right = compact_updates(self._pending, self.rtol)
+        dropped = 0.0
+        if self.rank_cap is not None and left.shape[1] > self.rank_cap:
+            # Factors arrive singular-value ordered from the SVD core.
+            norms = np.linalg.norm(left, axis=0) * np.linalg.norm(right, axis=0)
+            dropped = float(norms[self.rank_cap])
+            left = left[:, :self.rank_cap]
+            right = right[:, :self.rank_cap]
+        return left, right, dropped
+
+    def flush(self, maintainer) -> tuple[int, int, float]:
+        """Refresh ``maintainer`` with the compacted batch and clear it.
+
+        Returns ``(batch_size, compacted_rank, dropped)``.  An empty
+        collector is a no-op returning ``(0, 0, 0.0)``.
+        """
+        if not self._pending:
+            return 0, 0, 0.0
+        size = len(self._pending)
+        left, right, dropped = self.compacted()
+        if left.shape[1] > 0:
+            maintainer.refresh(left, right)
+        self._pending.clear()
+        return size, left.shape[1], dropped
+
+
+__all__ = [
+    "BatchCollector",
+    "DEFAULT_RTOL",
+    "compact_factors",
+    "compact_updates",
+    "stack_updates",
+]

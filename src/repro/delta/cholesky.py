@@ -1,0 +1,99 @@
+"""Rank-1 Cholesky factor maintenance (the Section 4.2 extension hook).
+
+Section 4.2 notes that "other work [13, 30] investigates rank-1 updates
+in different matrix factorizations, like SVD and Cholesky decomposition.
+We can further use these new primitives to enrich our language."  This
+module provides that primitive: given ``L`` with ``A = L L'``, maintain
+``L`` under ``A +/- v v'`` in ``O(n^2)`` (one pass of Givens-style
+eliminations, the classical LINPACK ``dchud``/``dchdd`` scheme) instead
+of refactorizing in ``O(n^3)``.
+
+Updates (``+ v v'``) always preserve positive definiteness; downdates
+(``- v v'``) may not, in which case :class:`SingularUpdateError` is
+raised and the caller should refactorize.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .inverse import SingularUpdateError
+
+
+def cholesky_update(l_factor: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """New lower Cholesky factor of ``L L' + v v'`` (returns a copy)."""
+    return _rank_one(l_factor, v, sign=1.0)
+
+
+def cholesky_downdate(l_factor: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """New lower Cholesky factor of ``L L' - v v'`` (returns a copy).
+
+    Raises :class:`SingularUpdateError` when the downdated matrix is not
+    positive definite.
+    """
+    return _rank_one(l_factor, v, sign=-1.0)
+
+
+def _rank_one(l_factor: np.ndarray, v: np.ndarray, sign: float) -> np.ndarray:
+    l_new = np.array(l_factor, dtype=np.float64)
+    work = np.array(v, dtype=np.float64).reshape(-1)
+    n = l_new.shape[0]
+    if l_new.shape != (n, n):
+        raise ValueError(f"factor must be square, got {l_new.shape}")
+    if work.shape[0] != n:
+        raise ValueError(f"vector length {work.shape[0]} != {n}")
+    for j in range(n):
+        ljj = l_new[j, j]
+        squared = ljj * ljj + sign * work[j] * work[j]
+        if squared <= 0.0:
+            raise SingularUpdateError(
+                "downdate makes the matrix indefinite; refactorize instead"
+            )
+        r = math.sqrt(squared)
+        c = r / ljj
+        s = work[j] / ljj
+        l_new[j, j] = r
+        if j + 1 < n:
+            l_new[j + 1:, j] = (l_new[j + 1:, j] + sign * s * work[j + 1:]) / c
+            work[j + 1:] = c * work[j + 1:] - s * l_new[j + 1:, j]
+    return l_new
+
+
+class CholeskyView:
+    """A maintained Cholesky factorization of a Gram-style view.
+
+    Keeps ``L`` with ``A = L L'`` current under rank-1 updates of ``A``
+    — the factorization analogue of the Sherman–Morrison-maintained
+    inverse view, usable e.g. to maintain the OLS normal equations in
+    factored (numerically friendlier) form.
+    """
+
+    def __init__(self, a: np.ndarray):
+        a = np.asarray(a, dtype=np.float64)
+        try:
+            self.l_factor = np.linalg.cholesky(a)
+        except np.linalg.LinAlgError as exc:
+            raise SingularUpdateError(
+                f"initial matrix is not positive definite: {exc}"
+            ) from exc
+
+    def update(self, v: np.ndarray) -> None:
+        """Absorb ``A += v v'``."""
+        self.l_factor = cholesky_update(self.l_factor, v)
+
+    def downdate(self, v: np.ndarray) -> None:
+        """Absorb ``A -= v v'`` (raises if A would lose definiteness)."""
+        self.l_factor = cholesky_downdate(self.l_factor, v)
+
+    def matrix(self) -> np.ndarray:
+        """The represented matrix ``L L'``."""
+        return self.l_factor @ self.l_factor.T
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` by two triangular solves (``O(n^2)``)."""
+        from scipy.linalg import solve_triangular
+
+        y = solve_triangular(self.l_factor, b, lower=True)
+        return solve_triangular(self.l_factor.T, y, lower=False)

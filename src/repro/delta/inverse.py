@@ -1,0 +1,119 @@
+"""Numeric incremental inversion: Sherman–Morrison and Woodbury.
+
+These are the runtime counterparts of the symbolic rule in
+:func:`repro.delta.rules.delta_inverse`.  They operate directly on NumPy
+arrays and are used by the analytics layer (OLS keeps ``W = inv(X'X)``
+maintained this way) and by tests that cross-check the symbolic rule.
+
+Both return the delta in factored form ``(P, Q)`` with
+``new_inverse = W + P @ Q.T`` so callers can keep propagating low-rank
+factors downstream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SingularUpdateError(ValueError):
+    """The update makes the matrix (numerically) singular.
+
+    Raised when the Sherman–Morrison denominator ``1 + v' W u`` or the
+    Woodbury capacitance matrix ``I + V' W U`` is not safely invertible.
+    Callers should fall back to full re-inversion of the updated matrix.
+    """
+
+
+#: Denominators / pivots smaller than this (relatively) are treated as zero.
+SINGULARITY_TOLERANCE = 1e-12
+
+
+def sherman_morrison_delta(
+    w: np.ndarray, u: np.ndarray, v: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Factored delta of ``inv(E)`` for a rank-1 update ``E += u v'``.
+
+    ``w`` is the current inverse ``inv(E)``; ``u``/``v`` are column
+    vectors ``(n x 1)``.  Returns ``(p, q)`` with ``d(inv) = p @ q.T``:
+
+        p = -(W u) / (1 + v' W u),     q = W' v
+
+    Cost is ``O(n^2)`` — two matrix-vector products and a scaling.
+    """
+    u = u.reshape(-1, 1)
+    v = v.reshape(-1, 1)
+    wu = w @ u
+    denominator = 1.0 + float((v.T @ wu)[0, 0])
+    if abs(denominator) <= SINGULARITY_TOLERANCE * (1.0 + abs(denominator - 1.0)):
+        raise SingularUpdateError(
+            f"Sherman-Morrison denominator ~ 0 ({denominator:.3e}); "
+            "update makes the matrix singular"
+        )
+    p = -wu / denominator
+    q = w.T @ v
+    return p, q
+
+
+def sherman_morrison_apply(w: np.ndarray, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """New inverse after ``E += u v'`` (returns a fresh array)."""
+    p, q = sherman_morrison_delta(w, u, v)
+    return w + p @ q.T
+
+
+def woodbury_delta(
+    w: np.ndarray, u_block: np.ndarray, v_block: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Factored delta of ``inv(E)`` for a rank-k update ``E += U V'``.
+
+    ``w`` is the current inverse; ``u_block``/``v_block`` are ``(n x k)``.
+    Returns ``(P, Q)`` with ``d(inv) = P @ Q.T`` where
+
+        P = -W U inv(I_k + V' W U),     Q = W' V
+
+    Only the ``k x k`` capacitance matrix is inverted; total cost is
+    ``O(k n^2 + k^3)``.
+    """
+    if u_block.ndim == 1:
+        u_block = u_block.reshape(-1, 1)
+    if v_block.ndim == 1:
+        v_block = v_block.reshape(-1, 1)
+    k = u_block.shape[1]
+    wu = w @ u_block
+    capacitance = np.eye(k) + v_block.T @ wu
+    # Solve instead of forming the inverse; detect singularity robustly.
+    try:
+        solved = np.linalg.solve(capacitance.T, wu.T).T
+    except np.linalg.LinAlgError as exc:
+        raise SingularUpdateError(f"singular capacitance matrix: {exc}") from exc
+    cond = np.linalg.cond(capacitance)
+    if not np.isfinite(cond) or cond > 1.0 / SINGULARITY_TOLERANCE:
+        raise SingularUpdateError(
+            f"capacitance matrix ill-conditioned (cond={cond:.3e})"
+        )
+    p = -solved
+    q = w.T @ v_block
+    return p, q
+
+
+def woodbury_apply(
+    w: np.ndarray, u_block: np.ndarray, v_block: np.ndarray
+) -> np.ndarray:
+    """New inverse after ``E += U V'`` (returns a fresh array)."""
+    p, q = woodbury_delta(w, u_block, v_block)
+    return w + p @ q.T
+
+
+def sequential_sherman_morrison(
+    w: np.ndarray, pairs: list[tuple[np.ndarray, np.ndarray]]
+) -> np.ndarray:
+    """Apply a sum of rank-1 updates one outer product at a time.
+
+    This is the textbook formulation the paper uses in Example 4.3:
+    each ``(u_i, v_i)`` pair is absorbed through Sherman–Morrison against
+    the running inverse.  Equivalent to one Woodbury step with the
+    stacked blocks (tested), but ``O(k)`` passes instead of one.
+    """
+    current = w
+    for u, v in pairs:
+        current = sherman_morrison_apply(current, u, v)
+    return current

@@ -1,0 +1,104 @@
+"""Delta rules for every operator of the language (Section 4.1).
+
+Each rule takes the *old* subexpressions and their (already derived)
+factored deltas and returns the factored delta of the compound node.
+The product rule implements the common-factor extraction of Section 4.3,
+which is what keeps factor widths from exploding: a product delta always
+has exactly the width ``k1 + k2`` of its operand deltas, never ``k1 +
+k2 + min(k1, k2)`` as the naive three-monomial form would.
+
+All rules are *total-delta* rules: they are valid when several input
+matrices change simultaneously, because for any decomposition
+``E1' = E1 + d1``, ``E2' = E2 + d2`` we have exactly
+
+    E1' E2' - E1 E2  =  d1 E2 + E1 d2 + d1 d2
+
+— the same identity the paper derives one update at a time (its
+``delta_D`` rule of Section 4.4; equivalence is tested in
+``tests/test_delta_multi.py``).
+"""
+
+from __future__ import annotations
+
+from ..expr.ast import Expr, Identity, add, inverse, matmul, scalar_mul, transpose
+from ..expr.shapes import Shape
+from .factored import FactoredDelta
+
+
+def delta_add(deltas: list[FactoredDelta], signs: list[float], shape: Shape) -> FactoredDelta:
+    """Delta of a signed sum: ``d(sum s_i E_i) = sum s_i d(E_i)``."""
+    result = FactoredDelta.zero(shape)
+    for d, sign in zip(deltas, signs):
+        result = result.plus(d if sign == 1.0 else d.scale(sign))
+    return result
+
+
+def delta_scalar_mul(coeff: float, d: FactoredDelta) -> FactoredDelta:
+    """Delta of ``coeff * E``: scale the delta."""
+    return d.scale(coeff)
+
+
+def delta_transpose(d: FactoredDelta) -> FactoredDelta:
+    """Delta of ``E'``: transpose of the delta (factors swap roles)."""
+    return d.transposed()
+
+
+def delta_product(
+    e1: Expr, e2: Expr, d1: FactoredDelta, d2: FactoredDelta
+) -> FactoredDelta:
+    """Delta of ``E1 @ E2`` with common-factor extraction (Section 4.3).
+
+    The three monomials ``d1 E2 + E1 d2 + d1 d2`` are regrouped by
+    shared factors into exactly two stacked monomials::
+
+        d1 E2            ->  U1 @ (E2' V1)'
+        (E1 + d1) d2     ->  (E1 U2 + U1 (V1' U2)) @ V2'
+
+    so the result width is ``k1 + k2``.  One-sided cases keep their
+    operand's width unchanged.
+    """
+    shape = Shape(e1.shape.rows, e2.shape.cols)
+    if d1.is_zero and d2.is_zero:
+        return FactoredDelta.zero(shape)
+    if d2.is_zero:
+        # d1 @ E2: per-monomial, right factors pick up E2'.
+        return d1.right_mul(e2)
+    if d1.is_zero:
+        # E1 @ d2: per-monomial, left factors pick up E1.
+        return d2.left_mul(e1)
+    u1, v1 = d1.u_expr, d1.v_expr
+    terms: list[tuple[Expr, Expr]] = []
+    # First group: d1 @ E2 keeps d1's left blocks as-is.
+    for left, right in d1.terms:
+        terms.append((left, matmul(transpose(e2), right)))
+    # Second group: (E1 + d1) @ d2 folds the cross term into E1@U2.
+    for left2, right2 in d2.terms:
+        cross = matmul(u1, matmul(transpose(v1), left2))
+        terms.append((add(matmul(e1, left2), cross), right2))
+    return FactoredDelta(shape, terms)
+
+
+def delta_inverse(
+    e: Expr, d: FactoredDelta, inv_ref: Expr | None = None
+) -> FactoredDelta:
+    """Delta of ``inv(E)`` for a factored update (Sherman–Morrison–Woodbury).
+
+    With ``dE = U V'`` of width ``k`` and ``W`` a reference to the *old*
+    inverse (a materialized view when available, ``inv(E)`` otherwise):
+
+        d(inv(E)) = -(W U) @ inv(I_k + V' W U) @ (W' V)'
+
+    a single monomial of width ``k`` whose evaluation inverts only the
+    ``k x k`` capacitance matrix — never the ``n x n`` operand.  For
+    ``k = 1`` this is exactly the Sherman–Morrison formula quoted in
+    Section 4.1.
+    """
+    if d.is_zero:
+        return FactoredDelta.zero(e.shape)
+    w = inv_ref if inv_ref is not None else inverse(e)
+    u, v = d.u_expr, d.v_expr
+    k = u.shape.cols
+    capacitance = add(Identity(k), matmul(transpose(v), w, u))
+    left = scalar_mul(-1.0, matmul(w, u, inverse(capacitance)))
+    right = matmul(transpose(w), v)
+    return FactoredDelta(e.shape, [(left, right)])

@@ -1,0 +1,150 @@
+"""Rank-1 SVD maintenance (the second Section 4.2 extension hook).
+
+Section 4.2 notes that "other work [13, 30] investigates rank-1 updates
+in different matrix factorizations, like SVD and Cholesky decomposition.
+We can further use these new primitives to enrich our language."  This
+module provides the SVD primitive: given a thin SVD ``A = U S V'`` of
+rank ``r``, maintain the factorization under ``A += a b'`` in
+``O((m + n) r^2 + r^3)`` (Brand's incremental SVD) instead of
+recomputing in ``O(m n min(m, n))``.
+
+The update never touches the full matrix: the rank-1 change is rotated
+into the ``(r+1) x (r+1)`` core ``K``, a *small* SVD of ``K`` is taken,
+and the tall factors are updated by one tall-skinny product each — the
+factorization analogue of the Sherman–Morrison inverse maintenance in
+:mod:`repro.delta.inverse`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Directions with residual norm below this never expand the rank.
+DEFAULT_TOL = 1e-10
+
+
+def svd_rank_one_update(
+    u: np.ndarray,
+    s: np.ndarray,
+    v: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    tol: float = DEFAULT_TOL,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Thin SVD of ``U diag(s) V' + a b'`` (Brand's update; returns copies).
+
+    ``u`` is ``(m x r)`` with orthonormal columns, ``s`` the length-``r``
+    singular values, ``v`` ``(n x r)`` orthonormal.  ``a``/``b`` are the
+    update vectors (column shape or flat).  The returned rank is ``r``,
+    ``r + 1``, or smaller if the update annihilates directions (singular
+    values below ``tol`` are dropped).
+    """
+    u = np.asarray(u, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    s = np.asarray(s, dtype=np.float64).reshape(-1)
+    a = np.asarray(a, dtype=np.float64).reshape(-1)
+    b = np.asarray(b, dtype=np.float64).reshape(-1)
+    m, r = u.shape
+    n = v.shape[0]
+    if v.shape[1] != r or s.shape[0] != r:
+        raise ValueError(
+            f"inconsistent thin SVD: U {u.shape}, s {s.shape}, V {v.shape}"
+        )
+    if a.shape[0] != m or b.shape[0] != n:
+        raise ValueError(
+            f"update vectors {a.shape[0]}/{b.shape[0]} do not match {m}x{n}"
+        )
+
+    # Project the update onto the current column/row spaces; the
+    # residuals p, q are the (at most one) new directions each side.
+    ua = u.T @ a                      # (r,)
+    p = a - u @ ua
+    ra = float(np.linalg.norm(p))
+    vb = v.T @ b                      # (r,)
+    q = b - v @ vb
+    rb = float(np.linalg.norm(q))
+
+    grow_col = ra > tol
+    grow_row = rb > tol
+
+    # Core matrix K = [diag(s) 0; 0 0] + [ua; ra][vb; rb]' restricted to
+    # the directions that actually appear.
+    ka = np.concatenate([ua, [ra]]) if grow_col else ua
+    kb = np.concatenate([vb, [rb]]) if grow_row else vb
+    dim_a, dim_b = ka.shape[0], kb.shape[0]
+    k_core = np.zeros((dim_a, dim_b))
+    k_core[:r, :r] = np.diag(s)
+    k_core += np.outer(ka, kb)
+
+    gu, gs, gvt = np.linalg.svd(k_core, full_matrices=False)
+
+    u_basis = np.column_stack([u, p / ra]) if grow_col else u
+    v_basis = np.column_stack([v, q / rb]) if grow_row else v
+    u_new = u_basis @ gu
+    v_new = v_basis @ gvt.T
+
+    keep = gs > tol
+    return u_new[:, keep], gs[keep], v_new[:, keep]
+
+
+class SVDView:
+    """A maintained thin SVD of a dynamically updated matrix.
+
+    The factorization analogue of the Sherman–Morrison-maintained
+    inverse view: ``refresh(a, b)`` absorbs ``A += a b'`` in
+    ``O((m + n) r^2)``.  Useful for maintaining spectral summaries
+    (principal subspaces, low-rank approximations) of views the
+    compiler already keeps current.
+    """
+
+    def __init__(self, a: np.ndarray, rank: int | None = None,
+                 tol: float = DEFAULT_TOL):
+        a = np.asarray(a, dtype=np.float64)
+        u, s, vt = np.linalg.svd(a, full_matrices=False)
+        keep = s > tol
+        u, s, v = u[:, keep], s[keep], vt[keep].T
+        if rank is not None:
+            u, s, v = u[:, :rank], s[:rank], v[:, :rank]
+        self.u, self.s, self.v = u, s, v
+        self.max_rank = rank
+        self.tol = tol
+        self._shape = a.shape
+
+    @property
+    def rank(self) -> int:
+        """Current numerical rank of the maintained factorization."""
+        return self.s.shape[0]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Shape of the represented matrix."""
+        return self._shape
+
+    def refresh(self, a: np.ndarray, b: np.ndarray) -> None:
+        """Absorb ``A += a b'``, truncating back to ``max_rank`` if set."""
+        u, s, v = svd_rank_one_update(self.u, self.s, self.v, a, b, self.tol)
+        if self.max_rank is not None and s.shape[0] > self.max_rank:
+            u, s, v = u[:, :self.max_rank], s[:self.max_rank], v[:, :self.max_rank]
+        self.u, self.s, self.v = u, s, v
+
+    def matrix(self) -> np.ndarray:
+        """The represented matrix ``U diag(s) V'`` (densified)."""
+        return (self.u * self.s) @ self.v.T
+
+    def spectral_norm(self) -> float:
+        """Largest singular value (0.0 for the empty factorization)."""
+        return float(self.s[0]) if self.s.size else 0.0
+
+    def orthogonality_drift(self) -> float:
+        """Max deviation of ``U'U`` and ``V'V`` from identity.
+
+        Brand updates compound floating-point error in the bases; track
+        this and re-factorize (rebuild the view) when it grows past the
+        application's tolerance.
+        """
+        du = np.max(np.abs(self.u.T @ self.u - np.eye(self.rank)))
+        dv = np.max(np.abs(self.v.T @ self.v - np.eye(self.rank)))
+        return float(max(du, dv))
+
+
+__all__ = ["DEFAULT_TOL", "SVDView", "svd_rank_one_update"]

@@ -1,0 +1,44 @@
+"""Simulated distributed backend (the paper's Spark substitute).
+
+Executes real block-matrix algebra in process while charging a BSP cost
+model (per-worker FLOPs, per-worker bytes, latency rounds) to a
+simulated cluster clock.  See DESIGN.md for why this preserves the
+paper's distributed findings.
+"""
+
+from .blockmatrix import BlockMatrix
+from .cluster import Cluster, ClusterConfig, StepCost
+from .comm import BROADCAST, GATHER, SHUFFLE, CommEvent, CommLog
+from .general import (
+    DistributedHybridGeneral,
+    DistributedIncrementalGeneral,
+    DistributedReevalGeneral,
+    make_distributed_general,
+)
+from .engine import DistributedEngine
+from .partitioner import GridPartitioner, hybrid_extra_bytes
+from .powers import DistributedIncrementalPowers, DistributedReevalPowers
+from .sums import DistributedIncrementalPowerSums, DistributedReevalPowerSums
+
+__all__ = [
+    "BROADCAST",
+    "BlockMatrix",
+    "CommEvent",
+    "CommLog",
+    "Cluster",
+    "ClusterConfig",
+    "DistributedEngine",
+    "DistributedHybridGeneral",
+    "DistributedIncrementalGeneral",
+    "DistributedIncrementalPowerSums",
+    "DistributedIncrementalPowers",
+    "DistributedReevalGeneral",
+    "DistributedReevalPowerSums",
+    "DistributedReevalPowers",
+    "GATHER",
+    "GridPartitioner",
+    "SHUFFLE",
+    "StepCost",
+    "make_distributed_general",
+    "hybrid_extra_bytes",
+]

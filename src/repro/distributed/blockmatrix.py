@@ -1,0 +1,66 @@
+"""Block matrices over a grid partitioning."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .partitioner import GridPartitioner
+
+
+class BlockMatrix:
+    """A dense matrix stored as ``g x g`` tiles on the simulated cluster.
+
+    Purely a data container — all distributed *operations* (and their
+    cost accounting) live in :mod:`repro.distributed.engine`.
+    """
+
+    def __init__(self, partitioner: GridPartitioner,
+                 tiles: dict[tuple[int, int], np.ndarray]):
+        self.partitioner = partitioner
+        expected = {
+            (bi, bj)
+            for bi in range(partitioner.grid)
+            for bj in range(partitioner.grid)
+        }
+        if set(tiles) != expected:
+            raise ValueError("tile index set does not match the grid")
+        for key, tile in tiles.items():
+            if tile.shape != partitioner.tile_shape(*key):
+                raise ValueError(
+                    f"tile {key} has shape {tile.shape}, "
+                    f"expected {partitioner.tile_shape(*key)}"
+                )
+        self.tiles = tiles
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, grid: int) -> "BlockMatrix":
+        """Partition a dense matrix onto a ``g x g`` grid."""
+        partitioner = GridPartitioner(dense.shape[0], dense.shape[1], grid)
+        return cls(partitioner, partitioner.split(np.asarray(dense, dtype=np.float64)))
+
+    def to_dense(self) -> np.ndarray:
+        """Gather all tiles into one dense matrix."""
+        return self.partitioner.assemble(self.tiles)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Global (rows, cols)."""
+        return (self.partitioner.n_rows, self.partitioner.n_cols)
+
+    @property
+    def grid(self) -> int:
+        """Grid side length ``g``."""
+        return self.partitioner.grid
+
+    def copy(self) -> "BlockMatrix":
+        """Deep copy (fresh tile arrays)."""
+        return BlockMatrix(
+            self.partitioner, {k: t.copy() for k, t in self.tiles.items()}
+        )
+
+    def nbytes(self) -> int:
+        """Total bytes across tiles."""
+        return sum(t.nbytes for t in self.tiles.values())
+
+    def __repr__(self) -> str:
+        return f"BlockMatrix({self.shape[0]}x{self.shape[1]}, grid={self.grid})"

@@ -1,0 +1,94 @@
+"""Communication ledger for the cluster simulator (Section 6 analysis).
+
+The paper's distributed argument is about *traffic class*, not just
+volume: re-evaluation reshuffles ``O(n^2)`` tiles per product, while
+incremental maintenance "minimize[s] the communication cost as less
+data has to be shipped over the network" — only ``O(nk)`` broadcast
+factors and gathered thin results.  :class:`CommLog` keeps that
+classification explicit so tests and the partitioning ablation can
+assert it (bytes shuffled vs broadcast vs gathered, per operation
+label), independently of the BSP clock in
+:mod:`repro.distributed.cluster`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Traffic classes.
+SHUFFLE = "shuffle"        # tile-to-tile redistribution (dense products)
+BROADCAST = "broadcast"    # master -> all workers (low-rank factors)
+GATHER = "gather"          # workers -> master (thin partial results)
+
+_KINDS = (SHUFFLE, BROADCAST, GATHER)
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One communication action: ``bytes`` moved in ``messages`` sends."""
+
+    kind: str
+    label: str
+    nbytes: int
+    messages: int
+
+
+@dataclass
+class CommLog:
+    """Classified traffic tallies for one simulated execution."""
+
+    events: list[CommEvent] = field(default_factory=list)
+
+    def record(self, kind: str, label: str, nbytes: int, messages: int = 1) -> None:
+        """Append one traffic event (``kind`` must be a known class)."""
+        if kind not in _KINDS:
+            raise ValueError(f"unknown traffic kind {kind!r}; use one of {_KINDS}")
+        if nbytes < 0 or messages < 0:
+            raise ValueError("traffic cannot be negative")
+        self.events.append(CommEvent(kind, label, int(nbytes), int(messages)))
+
+    def bytes_by_kind(self) -> dict[str, int]:
+        """Total bytes per traffic class (all classes always present)."""
+        totals = {kind: 0 for kind in _KINDS}
+        for event in self.events:
+            totals[event.kind] += event.nbytes
+        return totals
+
+    def bytes_by_label(self) -> dict[str, int]:
+        """Total bytes per operation label."""
+        totals: dict[str, int] = {}
+        for event in self.events:
+            totals[event.label] = totals.get(event.label, 0) + event.nbytes
+        return totals
+
+    @property
+    def shuffled_bytes(self) -> int:
+        """Bytes moved tile-to-tile (the REEVAL-dominant class)."""
+        return self.bytes_by_kind()[SHUFFLE]
+
+    @property
+    def broadcast_bytes(self) -> int:
+        """Bytes broadcast master-to-workers (the INCR-dominant class)."""
+        return self.bytes_by_kind()[BROADCAST]
+
+    @property
+    def gathered_bytes(self) -> int:
+        """Bytes gathered workers-to-master."""
+        return self.bytes_by_kind()[GATHER]
+
+    @property
+    def total_bytes(self) -> int:
+        """All traffic regardless of class."""
+        return sum(event.nbytes for event in self.events)
+
+    @property
+    def total_messages(self) -> int:
+        """Total message count (latency proxy)."""
+        return sum(event.messages for event in self.events)
+
+    def reset(self) -> None:
+        """Clear the ledger."""
+        self.events.clear()
+
+
+__all__ = ["BROADCAST", "CommEvent", "CommLog", "GATHER", "SHUFFLE"]

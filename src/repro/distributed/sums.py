@@ -1,0 +1,201 @@
+"""Distributed sums-of-powers maintainers (the Fig. 3d Spark series).
+
+Mirrors :mod:`repro.iterative.sums` on the cluster simulator, using the
+exponential model's recurrence (Table 1)::
+
+    S_1 = I;   S_i = P_{i/2} S_{i/2} + S_{i/2}
+
+* :class:`DistributedReevalPowerSums` re-runs the scheduled dense
+  products through the SUMMA engine per refresh (shuffle-heavy);
+* :class:`DistributedIncrementalPowerSums` broadcasts factored deltas:
+  with ``dP_h = Q R'`` and ``dS_h = Z W'``, the sum delta is
+
+      dS_i = [Q | P_h Z + Q (R' Z) + Z] @ [S_h' R | W]'
+
+  — block-row local products against broadcast thin factors only
+  (Appendix A's construction; the ``dS_h`` tail folds into the middle
+  block because the exponential model has ``h = j``).
+
+The linear model is supported for re-evaluation (it never needs power
+views); the incremental path supports the exponential model, which is
+the configuration the paper benchmarks (Fig. 3d runs EXP only).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..iterative.models import Model
+from .blockmatrix import BlockMatrix
+from .cluster import Cluster
+from .engine import DistributedEngine
+from .powers import DistributedIncrementalPowers, DistributedReevalPowers
+
+
+def _check_model(model: Model, incremental: bool) -> None:
+    if incremental and model.kind != Model.EXPONENTIAL:
+        raise ValueError(
+            "distributed incremental sums support the exponential model "
+            f"(the Fig. 3d configuration), got {model.name}"
+        )
+    if not incremental and model.kind == Model.SKIP:
+        raise ValueError("distributed re-eval sums support LIN and EXP models")
+
+
+class DistributedReevalPowerSums:
+    """REEVAL strategy for ``S_k`` on the simulated cluster."""
+
+    def __init__(self, a: np.ndarray, k: int, model: Model, cluster: Cluster):
+        _check_model(model, incremental=False)
+        model.validate_k(k)
+        self.model = model
+        self.k = k
+        self.schedule = model.schedule(k)
+        self.cluster = cluster
+        self.engine = DistributedEngine(cluster)
+        grid = cluster.config.grid
+        n = a.shape[0]
+        self._eye = BlockMatrix.from_dense(np.eye(n), grid)
+        self.a = BlockMatrix.from_dense(a, grid)
+        self._powers = (
+            DistributedReevalPowers(a, max(k // 2, 1), model, cluster)
+            if model.kind == Model.EXPONENTIAL and k > 1
+            else None
+        )
+        self.sums: dict[int, BlockMatrix] = {}
+        self._recompute()
+
+    def _recompute(self) -> None:
+        engine = self.engine
+        self.sums = {1: self._eye.copy()}
+        for i in self.schedule[1:]:
+            j = self.model.predecessor(i)
+            h = i - j
+            if self.model.kind == Model.LINEAR:
+                self.sums[i] = engine.add(
+                    engine.matmul(self.a, self.sums[i - 1]), self._eye
+                )
+            else:
+                self.sums[i] = engine.add(
+                    engine.matmul(self._powers.powers[h], self.sums[j]),
+                    self.sums[h],
+                )
+
+    def refresh(self, u: np.ndarray, v: np.ndarray) -> None:
+        """Apply ``A += u v'`` and recompute every scheduled sum."""
+        self.engine.add_lowrank(self.a, u, v)
+        if self._powers is not None:
+            # The powers maintainer holds its own copy of A; refresh it
+            # (this re-applies the low-rank update to that copy).
+            self._powers.refresh(u, v)
+        self._recompute()
+
+    def result(self) -> np.ndarray:
+        """The maintained ``S_k`` (gathered dense)."""
+        return self.sums[self.k].to_dense()
+
+
+class DistributedIncrementalPowerSums:
+    """INCR strategy for ``S_k`` on the simulated cluster (Appendix A)."""
+
+    def __init__(self, a: np.ndarray, k: int, model: Model, cluster: Cluster):
+        _check_model(model, incremental=True)
+        model.validate_k(k)
+        self.model = model
+        self.k = k
+        self.schedule = model.schedule(k)
+        self.cluster = cluster
+        self.engine = DistributedEngine(cluster)
+        grid = cluster.config.grid
+        n = a.shape[0]
+        self._powers = (
+            DistributedIncrementalPowers(a, max(k // 2, 1), model, cluster)
+            if k > 1
+            else None
+        )
+        # Initial materialization is master-side (untimed preload, like
+        # the paper's "precompute the initial values of all auxiliary
+        # views and preload [them] before the actual computation").
+        dense_a = np.asarray(a, dtype=np.float64)
+        dense_sums = {1: np.eye(n)}
+        dense_powers = {1: dense_a}
+        for i in self.schedule[1:]:
+            h = i - self.model.predecessor(i)
+            if h not in dense_powers:
+                dense_powers[h] = dense_powers[h // 2] @ dense_powers[h // 2]
+            dense_sums[i] = dense_powers[h] @ dense_sums[i - h] + dense_sums[h]
+        self.sums = {
+            i: BlockMatrix.from_dense(m, grid) for i, m in dense_sums.items()
+        }
+
+    def refresh(self, u: np.ndarray, v: np.ndarray) -> None:
+        """Maintain every scheduled sum with broadcast factored deltas."""
+        engine = self.engine
+        u = u.reshape(len(u), -1)
+        v = v.reshape(len(v), -1)
+
+        power_factors: dict[int, tuple[np.ndarray, np.ndarray]] = {1: (u, v)}
+        if self._powers is not None:
+            # Recompute the power deltas exactly as the powers maintainer
+            # will, but against its *current* (old) views.
+            for i in self._powers.schedule[1:]:
+                j = self._powers.model.predecessor(i)
+                h = i - j
+                u_h, v_h = power_factors[h]
+                u_j, v_j = power_factors[j]
+                ph_uj = engine.mat_lowrank(self._powers.powers[h], u_j)
+                cross = u_h @ (v_h.T @ u_j)
+                self.cluster.record_step(
+                    "master_small", 2 * v_h.size * u_j.shape[1], 0, rounds=0
+                )
+                left = np.hstack([u_h, ph_uj + cross])
+                right = np.hstack(
+                    [engine.matT_lowrank(self._powers.powers[j], v_h), v_j]
+                )
+                power_factors[i] = (left, right)
+
+        sum_factors: dict[int, tuple[np.ndarray, np.ndarray] | None] = {1: None}
+        for i in self.schedule[1:]:
+            h = i - self.model.predecessor(i)
+            q, r = power_factors[h]
+            prev = sum_factors[h]
+            blocks_left = [q]
+            blocks_right = [engine.matT_lowrank(self.sums[h], r)]
+            if prev is not None:
+                big_z, big_w = prev
+                middle = engine.mat_lowrank(
+                    self._power_view(h), big_z
+                ) + q @ (r.T @ big_z) + big_z
+                self.cluster.record_step(
+                    "master_small", 2 * r.size * big_z.shape[1], 0, rounds=0
+                )
+                blocks_left.append(middle)
+                blocks_right.append(big_w)
+            sum_factors[i] = (np.hstack(blocks_left), np.hstack(blocks_right))
+
+        for i in self.schedule[1:]:
+            entry = sum_factors[i]
+            if entry is not None:
+                engine.add_lowrank(self.sums[i], entry[0], entry[1])
+        if self._powers is not None:
+            for i in self._powers.schedule:
+                q, r = power_factors[i]
+                engine.add_lowrank(self._powers.powers[i], q, r)
+
+    def _power_view(self, i: int) -> BlockMatrix:
+        assert self._powers is not None
+        return self._powers.powers[i]
+
+    def result(self) -> np.ndarray:
+        """The maintained ``S_k`` (gathered dense)."""
+        return self.sums[self.k].to_dense()
+
+    def memory_bytes(self) -> int:
+        """Footprint of the sum views plus the embedded power views."""
+        total = sum(s.nbytes() for s in self.sums.values())
+        if self._powers is not None:
+            total += self._powers.memory_bytes()
+        return total
+
+
+__all__ = ["DistributedIncrementalPowerSums", "DistributedReevalPowerSums"]

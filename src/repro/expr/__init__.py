@@ -1,0 +1,87 @@
+"""Symbolic matrix-expression language (the substrate of the reproduction).
+
+Everything LINVIEW manipulates — programs, deltas, triggers — is built
+from these expression trees.  See :mod:`repro.expr.ast` for the node
+types and MATLAB-style operator sugar.
+"""
+
+from .ast import (
+    Add,
+    Expr,
+    HStack,
+    Identity,
+    Inverse,
+    MatMul,
+    MatrixSymbol,
+    ScalarMul,
+    Transpose,
+    VStack,
+    ZeroMatrix,
+    add,
+    hstack,
+    inverse,
+    matmul,
+    neg,
+    scalar_mul,
+    sub,
+    transpose,
+    vstack,
+)
+from .latex import to_latex, trigger_to_latex
+from .printer import to_string, to_tree
+from .shapes import DimSum, NamedDim, Shape, ShapeError, dim_add, dims_equal
+from .simplify import simplify
+from .visitors import (
+    contains_inverse,
+    count_nodes,
+    depth,
+    matrix_symbols,
+    references,
+    substitute,
+    substitute_symbol,
+    transform,
+    walk,
+)
+
+__all__ = [
+    "Add",
+    "DimSum",
+    "Expr",
+    "HStack",
+    "Identity",
+    "Inverse",
+    "MatMul",
+    "MatrixSymbol",
+    "NamedDim",
+    "ScalarMul",
+    "Shape",
+    "ShapeError",
+    "Transpose",
+    "VStack",
+    "ZeroMatrix",
+    "add",
+    "contains_inverse",
+    "count_nodes",
+    "depth",
+    "dim_add",
+    "dims_equal",
+    "hstack",
+    "inverse",
+    "matmul",
+    "matrix_symbols",
+    "neg",
+    "references",
+    "scalar_mul",
+    "simplify",
+    "sub",
+    "substitute",
+    "substitute_symbol",
+    "to_latex",
+    "to_string",
+    "to_tree",
+    "trigger_to_latex",
+    "transform",
+    "transpose",
+    "vstack",
+    "walk",
+]

@@ -1,0 +1,427 @@
+"""Expression AST for the LINVIEW matrix language.
+
+Nodes are immutable, hashable, and structurally comparable.  The language
+covers exactly the primitives of the paper (Section 3): matrix addition,
+subtraction, multiplication (scalar / matrix-vector / matrix-matrix),
+transpose and inverse — plus block stacking (``HStack`` / ``VStack``),
+which Section 4.2 uses to compact sums of outer products into a single
+product of two low-rank matrices.
+
+Construction goes through *smart helpers* (:func:`add`, :func:`matmul`,
+:func:`scalar_mul`, :func:`transpose`, :func:`inverse`, :func:`hstack`,
+:func:`vstack`, :func:`sub`, :func:`neg`) which perform light, local
+normalization (flattening, zero/identity folding) so derived deltas come
+out readable.  Full recursive simplification lives in
+:mod:`repro.expr.simplify`.
+
+Python operators are overloaded MATLAB-style: ``A * B`` is matrix
+multiplication, ``2 * A`` scalar multiplication, ``A + B``/``A - B``
+element-wise, ``A.T`` transpose and ``A.inv`` inverse.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Iterable, Sequence, Union
+
+from .shapes import DimLike, Shape, ShapeError, dim_add, dims_equal
+
+
+class Expr:
+    """Base class for all matrix expression nodes.
+
+    Every node exposes ``shape`` (a :class:`~repro.expr.shapes.Shape`),
+    ``children`` (a tuple of sub-expressions) and supports structural
+    equality / hashing, so expressions can key caches and CSE tables.
+    """
+
+    __slots__ = ("shape", "children", "_hash")
+
+    shape: Shape
+    children: tuple["Expr", ...]
+
+    def _init(self, shape: Shape, children: tuple["Expr", ...], key: tuple) -> None:
+        object.__setattr__(self, "shape", shape)
+        object.__setattr__(self, "children", children)
+        object.__setattr__(self, "_hash", hash((type(self).__name__,) + key))
+
+    def __setattr__(self, name, value):  # immutability guard
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            self is other
+            or (
+                isinstance(other, Expr)
+                and type(other) is type(self)
+                and other._hash == self._hash
+                and other._key() == self._key()
+            )
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # -- MATLAB-style operator sugar ------------------------------------
+    def __add__(self, other: "Expr") -> "Expr":
+        return add(self, other)
+
+    def __sub__(self, other: "Expr") -> "Expr":
+        return sub(self, other)
+
+    def __mul__(self, other: Union["Expr", float]) -> "Expr":
+        if isinstance(other, numbers.Real):
+            return scalar_mul(float(other), self)
+        return matmul(self, other)
+
+    def __rmul__(self, other: float) -> "Expr":
+        if isinstance(other, numbers.Real):
+            return scalar_mul(float(other), self)
+        return NotImplemented
+
+    def __matmul__(self, other: "Expr") -> "Expr":
+        return matmul(self, other)
+
+    def __neg__(self) -> "Expr":
+        return neg(self)
+
+    @property
+    def T(self) -> "Expr":
+        """Transpose of this expression."""
+        return transpose(self)
+
+    @property
+    def inv(self) -> "Expr":
+        """Inverse of this (square) expression."""
+        return inverse(self)
+
+    @property
+    def is_zero(self) -> bool:
+        """True for the literal zero matrix node."""
+        return isinstance(self, ZeroMatrix)
+
+    def __repr__(self) -> str:
+        from .printer import to_string
+
+        return to_string(self)
+
+
+class MatrixSymbol(Expr):
+    """A named input or view matrix of a given shape (leaf node)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, rows: DimLike, cols: DimLike):
+        if not name:
+            raise ValueError("matrix symbol needs a non-empty name")
+        object.__setattr__(self, "name", name)
+        shape = Shape(rows, cols)
+        self._init(shape, (), (name, shape))
+
+    def _key(self) -> tuple:
+        return (self.name, self.shape)
+
+
+class Identity(Expr):
+    """The ``n x n`` identity matrix."""
+
+    __slots__ = ()
+
+    def __init__(self, n: DimLike):
+        shape = Shape(n, n)
+        self._init(shape, (), (shape,))
+
+    def _key(self) -> tuple:
+        return (self.shape,)
+
+
+class ZeroMatrix(Expr):
+    """The all-zeros matrix of a given shape (the delta of an unrelated matrix)."""
+
+    __slots__ = ()
+
+    def __init__(self, rows: DimLike, cols: DimLike):
+        shape = Shape(rows, cols)
+        self._init(shape, (), (shape,))
+
+    def _key(self) -> tuple:
+        return (self.shape,)
+
+
+class Add(Expr):
+    """N-ary matrix addition; all terms share one shape."""
+
+    __slots__ = ()
+
+    def __init__(self, terms: Sequence[Expr]):
+        terms = tuple(terms)
+        if len(terms) < 2:
+            raise ValueError("Add needs at least two terms (use helpers for fewer)")
+        first = terms[0].shape
+        for t in terms[1:]:
+            if t.shape != first:
+                raise ShapeError(f"cannot add {first} and {t.shape}")
+        self._init(first, terms, (terms,))
+
+    def _key(self) -> tuple:
+        return (self.children,)
+
+
+class MatMul(Expr):
+    """N-ary matrix product; adjacent factors must be conformable."""
+
+    __slots__ = ()
+
+    def __init__(self, factors: Sequence[Expr]):
+        factors = tuple(factors)
+        if len(factors) < 2:
+            raise ValueError("MatMul needs at least two factors")
+        for left, right in zip(factors, factors[1:]):
+            if not dims_equal(left.shape.cols, right.shape.rows):
+                raise ShapeError(
+                    f"cannot multiply {left.shape} by {right.shape}"
+                )
+        shape = Shape(factors[0].shape.rows, factors[-1].shape.cols)
+        self._init(shape, factors, (factors,))
+
+    def _key(self) -> tuple:
+        return (self.children,)
+
+
+class ScalarMul(Expr):
+    """Multiplication of a matrix expression by a scalar constant."""
+
+    __slots__ = ("coeff",)
+
+    def __init__(self, coeff: float, child: Expr):
+        object.__setattr__(self, "coeff", float(coeff))
+        self._init(child.shape, (child,), (float(coeff), child))
+
+    def _key(self) -> tuple:
+        return (self.coeff, self.children)
+
+    @property
+    def child(self) -> Expr:
+        """The matrix operand."""
+        return self.children[0]
+
+
+class Transpose(Expr):
+    """Matrix transpose."""
+
+    __slots__ = ()
+
+    def __init__(self, child: Expr):
+        self._init(child.shape.transposed, (child,), (child,))
+
+    def _key(self) -> tuple:
+        return (self.children,)
+
+    @property
+    def child(self) -> Expr:
+        """The transposed operand."""
+        return self.children[0]
+
+
+class Inverse(Expr):
+    """Matrix inverse of a square expression."""
+
+    __slots__ = ()
+
+    def __init__(self, child: Expr):
+        if not child.shape.is_square:
+            raise ShapeError(f"cannot invert non-square {child.shape}")
+        self._init(child.shape, (child,), (child,))
+
+    def _key(self) -> tuple:
+        return (self.children,)
+
+    @property
+    def child(self) -> Expr:
+        """The inverted operand."""
+        return self.children[0]
+
+
+class HStack(Expr):
+    """Horizontal block concatenation ``[B1 B2 ... Bk]`` (same row count).
+
+    This is the block-matrix construct of Section 4.2: stacking the left
+    (or right) vectors of a sum of outer products into one low-rank factor.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, blocks: Sequence[Expr]):
+        blocks = tuple(blocks)
+        if not blocks:
+            raise ValueError("HStack needs at least one block")
+        rows = blocks[0].shape.rows
+        cols: DimLike = 0
+        for b in blocks:
+            if not dims_equal(b.shape.rows, rows):
+                raise ShapeError(f"HStack row mismatch: {blocks[0].shape} vs {b.shape}")
+            cols = dim_add(cols, b.shape.cols)
+        self._init(Shape(rows, cols), blocks, (blocks,))
+
+    def _key(self) -> tuple:
+        return (self.children,)
+
+
+class VStack(Expr):
+    """Vertical block concatenation (same column count)."""
+
+    __slots__ = ()
+
+    def __init__(self, blocks: Sequence[Expr]):
+        blocks = tuple(blocks)
+        if not blocks:
+            raise ValueError("VStack needs at least one block")
+        cols = blocks[0].shape.cols
+        rows: DimLike = 0
+        for b in blocks:
+            if not dims_equal(b.shape.cols, cols):
+                raise ShapeError(f"VStack col mismatch: {blocks[0].shape} vs {b.shape}")
+            rows = dim_add(rows, b.shape.rows)
+        self._init(Shape(rows, cols), blocks, (blocks,))
+
+    def _key(self) -> tuple:
+        return (self.children,)
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors
+# ---------------------------------------------------------------------------
+
+
+def add(*terms: Expr) -> Expr:
+    """Sum of expressions; flattens nested sums and drops zero terms."""
+    flat: list[Expr] = []
+    for t in terms:
+        if isinstance(t, Add):
+            flat.extend(t.children)
+        elif not t.is_zero:
+            flat.append(t)
+    if not flat:
+        ref = terms[0]
+        return ZeroMatrix(ref.shape.rows, ref.shape.cols)
+    if len(flat) == 1:
+        return flat[0]
+    return Add(flat)
+
+
+def sub(left: Expr, right: Expr) -> Expr:
+    """Difference ``left - right`` (encoded as ``left + (-1)*right``)."""
+    return add(left, neg(right))
+
+
+def neg(expr: Expr) -> Expr:
+    """Negation, encoded as scalar multiplication by -1."""
+    return scalar_mul(-1.0, expr)
+
+
+def matmul(*factors: Expr) -> Expr:
+    """Product of expressions, folding identities, zeros and coefficients.
+
+    Association is **preserved**: multi-argument calls fold left to
+    right, and nested products are *not* flattened.  The grouping of a
+    product is semantically load-bearing in this codebase — factored
+    deltas encode the cheap matrix-vector evaluation order structurally
+    (Section 4.2: "the evaluation order enforced by these parentheses
+    yields only matrix-vector and vector-vector multiplications"), and
+    the executor and code generators evaluate exactly the tree they are
+    given.
+    """
+    if not factors:
+        raise ValueError("matmul needs at least one factor")
+    result = factors[0]
+    for factor in factors[1:]:
+        result = _matmul2(result, factor)
+    return result
+
+
+def _matmul2(left: Expr, right: Expr) -> Expr:
+    coeff = 1.0
+    while isinstance(left, ScalarMul):
+        coeff *= left.coeff
+        left = left.child
+    while isinstance(right, ScalarMul):
+        coeff *= right.coeff
+        right = right.child
+    if not dims_equal(left.shape.cols, right.shape.rows):
+        raise ShapeError(f"cannot multiply {left.shape} by {right.shape}")
+    rows, cols = left.shape.rows, right.shape.cols
+    if left.is_zero or right.is_zero or coeff == 0.0:
+        return ZeroMatrix(rows, cols)
+    if isinstance(left, Identity):
+        base: Expr = right
+    elif isinstance(right, Identity):
+        base = left
+    else:
+        base = MatMul([left, right])
+    return scalar_mul(coeff, base) if coeff != 1.0 else base
+
+
+def scalar_mul(coeff: float, expr: Expr) -> Expr:
+    """Scalar-times-matrix with coefficient folding."""
+    coeff = float(coeff)
+    while isinstance(expr, ScalarMul):
+        coeff *= expr.coeff
+        expr = expr.child
+    if coeff == 0.0 or expr.is_zero:
+        return ZeroMatrix(expr.shape.rows, expr.shape.cols)
+    if coeff == 1.0:
+        return expr
+    return ScalarMul(coeff, expr)
+
+
+def transpose(expr: Expr) -> Expr:
+    """Transpose with local folding (double transpose, zero, identity)."""
+    if isinstance(expr, Transpose):
+        return expr.child
+    if isinstance(expr, (Identity,)):
+        return expr
+    if expr.is_zero:
+        return ZeroMatrix(expr.shape.cols, expr.shape.rows)
+    if isinstance(expr, ScalarMul):
+        return scalar_mul(expr.coeff, transpose(expr.child))
+    return Transpose(expr)
+
+
+def inverse(expr: Expr) -> Expr:
+    """Inverse with local folding (double inverse, identity)."""
+    if isinstance(expr, Inverse):
+        return expr.child
+    if isinstance(expr, Identity):
+        return expr
+    if isinstance(expr, ScalarMul):
+        return scalar_mul(1.0 / expr.coeff, inverse(expr.child))
+    return Inverse(expr)
+
+
+def hstack(blocks: Iterable[Expr]) -> Expr:
+    """Horizontal stack; single blocks pass through, nested stacks flatten."""
+    flat: list[Expr] = []
+    for b in blocks:
+        if isinstance(b, HStack):
+            flat.extend(b.children)
+        else:
+            flat.append(b)
+    if len(flat) == 1:
+        return flat[0]
+    return HStack(flat)
+
+
+def vstack(blocks: Iterable[Expr]) -> Expr:
+    """Vertical stack; single blocks pass through, nested stacks flatten."""
+    flat: list[Expr] = []
+    for b in blocks:
+        if isinstance(b, VStack):
+            flat.extend(b.children)
+        else:
+            flat.append(b)
+    if len(flat) == 1:
+        return flat[0]
+    return VStack(flat)

@@ -1,0 +1,104 @@
+"""Text rendering of expressions.
+
+Two renderers are provided:
+
+* :func:`to_string` — canonical single-line form using MATLAB-ish syntax
+  (``A * B + C'``, ``inv(Z)``, ``[u, A*u]`` for horizontal stacks).  Used
+  by ``repr``, error messages and the test suite's snapshot assertions.
+* :func:`to_tree` — indented multi-line structural dump for debugging.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Add,
+    Expr,
+    HStack,
+    Identity,
+    Inverse,
+    MatMul,
+    MatrixSymbol,
+    ScalarMul,
+    Transpose,
+    VStack,
+    ZeroMatrix,
+)
+
+# Precedence levels: higher binds tighter.
+_PREC_ADD = 1
+_PREC_MUL = 2
+_PREC_UNARY = 3
+_PREC_ATOM = 4
+
+
+def _prec(expr: Expr) -> int:
+    if isinstance(expr, Add):
+        return _PREC_ADD
+    if isinstance(expr, (MatMul, ScalarMul)):
+        return _PREC_MUL
+    if isinstance(expr, Transpose):
+        return _PREC_UNARY
+    return _PREC_ATOM
+
+
+def _wrap(child: Expr, parent_prec: int) -> str:
+    text = to_string(child)
+    if _prec(child) < parent_prec:
+        return f"({text})"
+    return text
+
+
+def to_string(expr: Expr) -> str:
+    """Canonical one-line rendering of an expression."""
+    if isinstance(expr, MatrixSymbol):
+        return expr.name
+    if isinstance(expr, Identity):
+        return f"eye({expr.shape.rows})"
+    if isinstance(expr, ZeroMatrix):
+        return f"zeros({expr.shape.rows}, {expr.shape.cols})"
+    if isinstance(expr, Add):
+        parts = []
+        for i, term in enumerate(expr.children):
+            if isinstance(term, ScalarMul) and term.coeff == -1.0:
+                inner = _wrap(term.child, _PREC_ADD + 1)
+                parts.append(f"-{inner}" if i == 0 else f" - {inner}")
+            elif i == 0:
+                parts.append(_wrap(term, _PREC_ADD))
+            else:
+                parts.append(f" + {_wrap(term, _PREC_ADD)}")
+        return "".join(parts)
+    if isinstance(expr, MatMul):
+        # Left-association is the default reading, so the leading factor
+        # may be a product without parentheses; right-nested products keep
+        # theirs — they encode the paper's evaluation order.
+        parts = [_wrap(expr.children[0], _PREC_MUL)]
+        parts.extend(_wrap(f, _PREC_MUL + 1) for f in expr.children[1:])
+        return " * ".join(parts)
+    if isinstance(expr, ScalarMul):
+        if expr.coeff == -1.0:
+            return f"-{_wrap(expr.child, _PREC_MUL + 1)}"
+        coeff = f"{expr.coeff:g}"
+        return f"{coeff} * {_wrap(expr.child, _PREC_MUL + 1)}"
+    if isinstance(expr, Transpose):
+        return f"{_wrap(expr.child, _PREC_ATOM)}'"
+    if isinstance(expr, Inverse):
+        return f"inv({to_string(expr.child)})"
+    if isinstance(expr, HStack):
+        return "[" + ", ".join(to_string(b) for b in expr.children) + "]"
+    if isinstance(expr, VStack):
+        return "[" + "; ".join(to_string(b) for b in expr.children) + "]"
+    raise TypeError(f"cannot print node of type {type(expr).__name__}")
+
+
+def to_tree(expr: Expr, indent: int = 0) -> str:
+    """Indented structural dump (one node per line), for debugging."""
+    pad = "  " * indent
+    if isinstance(expr, MatrixSymbol):
+        head = f"{pad}MatrixSymbol({expr.name}, {expr.shape})"
+    elif isinstance(expr, ScalarMul):
+        head = f"{pad}ScalarMul({expr.coeff:g})"
+    else:
+        head = f"{pad}{type(expr).__name__}{expr.shape}"
+    lines = [head]
+    lines.extend(to_tree(c, indent + 1) for c in expr.children)
+    return "\n".join(lines)

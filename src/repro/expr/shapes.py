@@ -1,0 +1,202 @@
+"""Dimension and shape algebra for matrix expressions.
+
+Matrix dimensions may be concrete Python ints or *symbolic* dimensions
+(:class:`NamedDim`), so programs can be compiled once for any size
+(``A`` is ``n x n``) and bound to concrete sizes at runtime.  Stacking
+factored deltas adds dimensions, so a tiny normalized sum form
+(:class:`DimSum`) is provided as well.
+
+The public helpers are :func:`dim_add`, :func:`dims_equal`,
+:func:`dim_to_str` and :class:`Shape`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+
+class NamedDim:
+    """A symbolic dimension, identified by name (e.g. ``n``, ``m``, ``p``).
+
+    Two :class:`NamedDim` objects are equal iff their names are equal, so
+    they can be used freely as dict keys and in shape comparisons.
+    """
+
+    __slots__ = ("name", "_hash")
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise ValueError(f"dimension name must be a non-empty string, got {name!r}")
+        self.name = name
+        self._hash = hash(("NamedDim", name))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NamedDim) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __add__(self, other: "DimLike") -> "DimLike":
+        return dim_add(self, other)
+
+    def __radd__(self, other: "DimLike") -> "DimLike":
+        return dim_add(other, self)
+
+
+class DimSum:
+    """A normalized sum of symbolic dimensions plus an integer constant.
+
+    Instances are produced by :func:`dim_add` when at least one operand is
+    symbolic; they are normalized (atoms sorted by name, constant folded)
+    so structural equality is semantic equality for sums of atoms.
+    """
+
+    __slots__ = ("atoms", "const", "_hash")
+
+    def __init__(self, atoms: tuple[NamedDim, ...], const: int = 0):
+        self.atoms = tuple(sorted(atoms, key=lambda d: d.name))
+        self.const = int(const)
+        self._hash = hash(("DimSum", self.atoms, self.const))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DimSum)
+            and other.atoms == self.atoms
+            and other.const == self.const
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = [a.name for a in self.atoms]
+        if self.const:
+            parts.append(str(self.const))
+        return "+".join(parts) if parts else "0"
+
+    def __add__(self, other: "DimLike") -> "DimLike":
+        return dim_add(self, other)
+
+    def __radd__(self, other: "DimLike") -> "DimLike":
+        return dim_add(other, self)
+
+
+DimLike = Union[int, NamedDim, DimSum]
+
+
+def _as_parts(dim: DimLike) -> tuple[tuple[NamedDim, ...], int]:
+    """Decompose a dimension into (symbolic atoms, integer constant)."""
+    if isinstance(dim, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("bool is not a valid dimension")
+    if isinstance(dim, int):
+        return (), dim
+    if isinstance(dim, NamedDim):
+        return (dim,), 0
+    if isinstance(dim, DimSum):
+        return dim.atoms, dim.const
+    raise TypeError(f"not a dimension: {dim!r}")
+
+
+def dim_add(a: DimLike, b: DimLike) -> DimLike:
+    """Add two dimensions, folding constants and normalizing sums."""
+    atoms_a, const_a = _as_parts(a)
+    atoms_b, const_b = _as_parts(b)
+    atoms = atoms_a + atoms_b
+    const = const_a + const_b
+    if not atoms:
+        return const
+    if len(atoms) == 1 and const == 0:
+        return atoms[0]
+    return DimSum(atoms, const)
+
+
+def dims_equal(a: DimLike, b: DimLike) -> bool:
+    """Whether two dimensions are (structurally) the same size.
+
+    Distinct symbolic names are treated as *unequal* sizes: the checker is
+    conservative, which keeps shape errors loud at construction time.
+    """
+    atoms_a, const_a = _as_parts(a)
+    atoms_b, const_b = _as_parts(b)
+    return sorted(d.name for d in atoms_a) == sorted(d.name for d in atoms_b) and (
+        const_a == const_b
+    )
+
+
+def dim_to_str(dim: DimLike) -> str:
+    """Human-readable form of a dimension."""
+    return str(dim)
+
+
+def is_concrete(dim: DimLike) -> bool:
+    """True when the dimension is a plain integer (no symbolic atoms)."""
+    atoms, _ = _as_parts(dim)
+    return not atoms
+
+
+class Shape:
+    """A (rows, cols) pair of :data:`DimLike` dimensions.
+
+    Immutable; equality and hashing are structural (via :func:`dims_equal`
+    semantics for the comparison helpers below).
+    """
+
+    __slots__ = ("rows", "cols", "_hash")
+
+    def __init__(self, rows: DimLike, cols: DimLike):
+        _as_parts(rows)  # validates
+        _as_parts(cols)
+        self.rows = rows
+        self.cols = cols
+        self._hash = hash(("Shape", _freeze(rows), _freeze(cols)))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Shape)
+            and dims_equal(self.rows, other.rows)
+            and dims_equal(self.cols, other.cols)
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __iter__(self):
+        yield self.rows
+        yield self.cols
+
+    def __repr__(self) -> str:
+        return f"({dim_to_str(self.rows)} x {dim_to_str(self.cols)})"
+
+    @property
+    def is_square(self) -> bool:
+        """Whether rows and cols are provably the same dimension."""
+        return dims_equal(self.rows, self.cols)
+
+    @property
+    def is_vector(self) -> bool:
+        """Whether this is a column vector shape (cols == 1)."""
+        return dims_equal(self.cols, 1)
+
+    @property
+    def transposed(self) -> "Shape":
+        """The shape of the transpose."""
+        return Shape(self.cols, self.rows)
+
+    def concrete(self) -> tuple[int, int]:
+        """Return (rows, cols) as ints; raises if any dim is symbolic."""
+        if not (is_concrete(self.rows) and is_concrete(self.cols)):
+            raise ValueError(f"shape {self} has symbolic dimensions")
+        return int(self.rows), int(self.cols)  # type: ignore[arg-type]
+
+
+def _freeze(dim: DimLike):
+    """Hashable canonical key for a dimension."""
+    atoms, const = _as_parts(dim)
+    return (tuple(sorted(d.name for d in atoms)), const)
+
+
+class ShapeError(ValueError):
+    """Raised when an expression is built from incompatible shapes."""

@@ -1,0 +1,85 @@
+"""Recursive algebraic simplification of matrix expressions.
+
+The smart constructors in :mod:`repro.expr.ast` already do local folding;
+this pass applies the full rule set bottom-up until fixpoint:
+
+* ``(E')' = E``, ``(A*B)' = B'*A'``, ``(A+B)' = A'+B'``
+* ``inv(inv(E)) = E``, ``inv(eye) = eye``
+* zero/identity annihilation and unit-coefficient removal
+* flattening of nested sums/products/stacks
+* merging of scalar coefficients through products
+* collection of syntactically identical summands (``E + E = 2*E``)
+
+Simplification never changes the value of an expression; the property
+tests in ``tests/test_expr_simplify.py`` check exactly that against the
+numeric executor.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from .ast import (
+    Add,
+    Expr,
+    MatMul,
+    ScalarMul,
+    Transpose,
+    add,
+    matmul,
+    scalar_mul,
+    transpose,
+)
+from .visitors import transform
+
+
+def _push_transpose(expr: Transpose) -> Expr:
+    """Distribute a transpose over sums and products."""
+    child = expr.child
+    if isinstance(child, Add):
+        return add(*(transpose(t) for t in child.children))
+    if isinstance(child, MatMul):
+        return matmul(*(transpose(f) for f in reversed(child.children)))
+    return expr
+
+
+def _split_coeff(term: Expr) -> tuple[float, Expr]:
+    """Split a term into (scalar coefficient, base expression)."""
+    if isinstance(term, ScalarMul):
+        return term.coeff, term.child
+    return 1.0, term
+
+
+def _collect_terms(expr: Add) -> Expr:
+    """Combine syntactically identical summands into scalar multiples."""
+    coeffs: Counter[Expr] = Counter()
+    order: list[Expr] = []
+    for term in expr.children:
+        coeff, base = _split_coeff(term)
+        if base not in coeffs:
+            order.append(base)
+        coeffs[base] += coeff
+    terms = [scalar_mul(coeffs[base], base) for base in order if coeffs[base] != 0.0]
+    if not terms:
+        from .ast import ZeroMatrix
+
+        return ZeroMatrix(expr.shape.rows, expr.shape.cols)
+    return add(*terms)
+
+
+def _simplify_once(node: Expr) -> Expr:
+    if isinstance(node, Transpose):
+        return _push_transpose(node)
+    if isinstance(node, Add):
+        return _collect_terms(node)
+    return node
+
+
+def simplify(expr: Expr) -> Expr:
+    """Simplify to fixpoint (bounded; expression sizes shrink monotonically)."""
+    for _ in range(50):
+        new = transform(expr, _simplify_once)
+        if new == expr:
+            return new
+        expr = new
+    return expr

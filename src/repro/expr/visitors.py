@@ -1,0 +1,125 @@
+"""Traversal, substitution and analysis utilities over expression trees."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping
+
+from .ast import (
+    Add,
+    Expr,
+    HStack,
+    Inverse,
+    MatMul,
+    MatrixSymbol,
+    ScalarMul,
+    Transpose,
+    VStack,
+    add,
+    hstack,
+    inverse,
+    matmul,
+    scalar_mul,
+    transpose,
+    vstack,
+)
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Yield every node of the tree in pre-order (parents before children)."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children))
+
+
+def count_nodes(expr: Expr) -> int:
+    """Total number of AST nodes in the expression."""
+    return sum(1 for _ in walk(expr))
+
+
+def matrix_symbols(expr: Expr) -> set[MatrixSymbol]:
+    """The set of matrix symbols referenced by the expression."""
+    return {node for node in walk(expr) if isinstance(node, MatrixSymbol)}
+
+
+def references(expr: Expr, name: str) -> bool:
+    """Whether the expression mentions a matrix symbol with this name."""
+    return any(
+        isinstance(node, MatrixSymbol) and node.name == name for node in walk(expr)
+    )
+
+
+def rebuild(expr: Expr, children: tuple[Expr, ...]) -> Expr:
+    """Reconstruct a node of the same kind over new children.
+
+    Uses the smart constructors, so rebuilding may locally normalize
+    (e.g. dropping a zero term produced by a transformation).
+    """
+    if not expr.children:
+        return expr
+    if isinstance(expr, Add):
+        return add(*children)
+    if isinstance(expr, MatMul):
+        return matmul(*children)
+    if isinstance(expr, ScalarMul):
+        return scalar_mul(expr.coeff, children[0])
+    if isinstance(expr, Transpose):
+        return transpose(children[0])
+    if isinstance(expr, Inverse):
+        return inverse(children[0])
+    if isinstance(expr, HStack):
+        return hstack(children)
+    if isinstance(expr, VStack):
+        return vstack(children)
+    raise TypeError(f"cannot rebuild node of type {type(expr).__name__}")
+
+
+def transform(expr: Expr, fn: Callable[[Expr], Expr]) -> Expr:
+    """Bottom-up rewrite: apply ``fn`` to every node after its children.
+
+    ``fn`` receives a node whose children are already transformed and
+    returns a replacement (or the node itself).
+    """
+    if expr.children:
+        new_children = tuple(transform(c, fn) for c in expr.children)
+        if new_children != expr.children:
+            expr = rebuild(expr, new_children)
+    return fn(expr)
+
+
+def substitute(expr: Expr, mapping: Mapping[Expr, Expr]) -> Expr:
+    """Replace occurrences of whole sub-expressions.
+
+    Matching is structural and applied bottom-up, so substituting
+    ``{A: A + dA}`` rewrites every reference to ``A``, including inside
+    transposes and inverses.
+    """
+
+    def rule(node: Expr) -> Expr:
+        return mapping.get(node, node)
+
+    return transform(expr, rule)
+
+
+def substitute_symbol(expr: Expr, name: str, replacement: Expr) -> Expr:
+    """Replace every matrix symbol called ``name`` with ``replacement``."""
+
+    def rule(node: Expr) -> Expr:
+        if isinstance(node, MatrixSymbol) and node.name == name:
+            return replacement
+        return node
+
+    return transform(expr, rule)
+
+
+def depth(expr: Expr) -> int:
+    """Height of the expression tree (a leaf has depth 1)."""
+    if not expr.children:
+        return 1
+    return 1 + max(depth(c) for c in expr.children)
+
+
+def contains_inverse(expr: Expr) -> bool:
+    """Whether any node of the tree is a matrix inversion."""
+    return any(isinstance(node, Inverse) for node in walk(expr))

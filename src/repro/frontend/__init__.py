@@ -1,0 +1,15 @@
+"""APL-style frontend (Section 6): matrix-language text -> Program."""
+
+from .errors import LexError, ParseError, SyntaxErrorWithPosition
+from .lexer import Token, tokenize
+from .parser import Parser, parse_program
+
+__all__ = [
+    "LexError",
+    "ParseError",
+    "Parser",
+    "SyntaxErrorWithPosition",
+    "Token",
+    "parse_program",
+    "tokenize",
+]

@@ -1,0 +1,21 @@
+"""Frontend error types with source positions."""
+
+from __future__ import annotations
+
+
+class SyntaxErrorWithPosition(ValueError):
+    """A lexing or parsing error, carrying line/column context."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.bare_message = message
+        self.line = line
+        self.column = column
+
+
+class LexError(SyntaxErrorWithPosition):
+    """Raised for characters the matrix language does not know."""
+
+
+class ParseError(SyntaxErrorWithPosition):
+    """Raised for token sequences that do not form a valid program."""

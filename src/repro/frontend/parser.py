@@ -1,0 +1,313 @@
+"""Recursive-descent parser: matrix-language source -> Program.
+
+Grammar (EBNF)::
+
+    program    := { input_decl | statement | for_loop | output_decl }
+    input_decl := "input" IDENT "(" dim "," dim ")" ";"
+    output_decl:= "output" IDENT { "," IDENT } ";"
+    statement  := IDENT ":=" expr ";"
+    for_loop   := "for" IDENT "in" NUMBER ".." NUMBER "{" { statement | for_loop } "}"
+    dim        := IDENT | NUMBER
+    expr       := term { ("+" | "-") term }
+    term       := factor { "*" factor }
+    factor     := [ "-" ] postfix | NUMBER "*" factor
+    postfix    := atom { "'" }
+    atom       := IDENT | NUMBER | "(" expr ")"
+                | "inv" "(" expr ")" | "eye" "(" dim ")"
+                | "zeros" "(" dim "," dim ")"
+
+Numbers multiplying an expression become scalar coefficients; a bare
+number is rejected (the language has no scalar-valued variables —
+scalars arise only as ``1 x 1`` matrix products, as in the paper).
+
+``for`` loops are *iteration sugar* for the paper's fixed-iteration
+programs (Section 3.1): the body is unrolled at parse time, and
+reassignments inside a loop body version the target (``T := A * T``
+iterated 4 times materializes ``T__v2 .. T__v5``, and later references
+to ``T`` resolve to the newest version).  Reassignment outside a loop
+stays an error — versioning exists to express iteration, not mutation.
+The loop variable is only a counter; referencing it in an expression
+is an undefined-matrix error.
+"""
+
+from __future__ import annotations
+
+from ..compiler.program import Program, Statement
+from ..expr.ast import (
+    Expr,
+    Identity,
+    MatrixSymbol,
+    ZeroMatrix,
+    add,
+    inverse,
+    matmul,
+    neg,
+    scalar_mul,
+    sub,
+    transpose,
+)
+from ..expr.shapes import DimLike, NamedDim
+from .errors import ParseError
+from .lexer import (
+    ASSIGN,
+    COMMA,
+    DOTDOT,
+    EOF,
+    IDENT,
+    KEYWORD,
+    LBRACE,
+    LPAREN,
+    MINUS,
+    NUMBER,
+    PLUS,
+    RBRACE,
+    RPAREN,
+    SEMI,
+    STAR,
+    TICK,
+    Token,
+    tokenize,
+)
+
+
+class Parser:
+    """Single-pass parser with symbol-table shape resolution."""
+
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.position = 0
+        self.symbols: dict[str, MatrixSymbol] = {}
+        self.inputs: list[MatrixSymbol] = []
+        self.statements: list[Statement] = []
+        self.outputs: list[str] = []
+        self._loop_depth = 0
+        self._versions: dict[str, int] = {}
+
+    # -- token helpers ---------------------------------------------------
+    def _peek(self) -> Token:
+        return self.tokens[self.position]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def _expect(self, kind: str, what: str) -> Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {what}, found {token.text!r}", token.line, token.column
+            )
+        return self._advance()
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(message, token.line, token.column)
+
+    # -- grammar ---------------------------------------------------------
+    def parse(self) -> Program:
+        """Parse the whole source into a validated Program."""
+        while self._peek().kind != EOF:
+            token = self._peek()
+            if token.kind == KEYWORD and token.text == "input":
+                self._input_decl()
+            elif token.kind == KEYWORD and token.text == "output":
+                self._output_decl()
+            elif token.kind == KEYWORD and token.text == "for":
+                self._for_loop()
+            elif token.kind == IDENT:
+                self._statement()
+            else:
+                raise self._error(
+                    f"expected 'input', 'output', 'for' or a statement, "
+                    f"found {token.text!r}"
+                )
+        if not self.statements:
+            raise self._error("program has no statements")
+        outputs = [self.symbols[name].name if name in self.symbols else name
+                   for name in self.outputs]
+        return Program(self.inputs, self.statements, outputs or None)
+
+    def _input_decl(self) -> None:
+        self._advance()  # input
+        name = self._expect(IDENT, "input matrix name").text
+        if name in self.symbols:
+            raise self._error(f"duplicate declaration of {name!r}")
+        self._expect(LPAREN, "'('")
+        rows = self._dim()
+        self._expect(COMMA, "','")
+        cols = self._dim()
+        self._expect(RPAREN, "')'")
+        self._expect(SEMI, "';'")
+        symbol = MatrixSymbol(name, rows, cols)
+        self.symbols[name] = symbol
+        self.inputs.append(symbol)
+
+    def _output_decl(self) -> None:
+        self._advance()  # output
+        while True:
+            name = self._expect(IDENT, "output view name").text
+            self.outputs.append(name)
+            if self._peek().kind == COMMA:
+                self._advance()
+                continue
+            break
+        self._expect(SEMI, "';'")
+
+    def _statement(self) -> None:
+        name = self._advance().text
+        if name in self.symbols and self._loop_depth == 0:
+            raise self._error(f"redefinition of {name!r}")
+        self._expect(ASSIGN, "':='")
+        expr = self._expr()
+        self._expect(SEMI, "';'")
+        if name in self.symbols:
+            # Iteration reassignment: version the target; subsequent
+            # references to `name` resolve to the newest version.
+            self._versions[name] = self._versions.get(name, 1) + 1
+            target_name = f"{name}__v{self._versions[name]}"
+        else:
+            self._versions.setdefault(name, 1)
+            target_name = name
+        target = MatrixSymbol(target_name, expr.shape.rows, expr.shape.cols)
+        self.symbols[name] = target
+        self.statements.append(Statement(target, expr))
+
+    def _for_loop(self) -> None:
+        self._advance()  # for
+        var = self._expect(IDENT, "loop variable name")
+        if var.text in self.symbols:
+            raise ParseError(
+                f"loop variable {var.text!r} shadows a matrix",
+                var.line, var.column,
+            )
+        in_token = self._peek()
+        if not (in_token.kind == KEYWORD and in_token.text == "in"):
+            raise self._error("expected 'in'")
+        self._advance()
+        lo = self._int_bound()
+        self._expect(DOTDOT, "'..'")
+        hi = self._int_bound()
+        if hi < lo:
+            raise self._error(f"empty loop range {lo}..{hi}")
+        self._expect(LBRACE, "'{'")
+        body_start = self.position
+        for _ in range(lo, hi + 1):
+            self.position = body_start
+            self._loop_depth += 1
+            try:
+                while self._peek().kind != RBRACE:
+                    token = self._peek()
+                    if token.kind == KEYWORD and token.text == "for":
+                        self._for_loop()
+                    elif token.kind == IDENT:
+                        self._statement()
+                    else:
+                        raise self._error(
+                            f"expected a statement or nested 'for' in loop "
+                            f"body, found {token.text!r}"
+                        )
+            finally:
+                self._loop_depth -= 1
+        self._expect(RBRACE, "'}'")
+
+    def _int_bound(self) -> int:
+        token = self._expect(NUMBER, "an integer loop bound")
+        if "." in token.text:
+            raise ParseError(
+                "loop bounds must be integers", token.line, token.column
+            )
+        return int(token.text)
+
+    def _dim(self) -> DimLike:
+        token = self._peek()
+        if token.kind == IDENT:
+            self._advance()
+            return NamedDim(token.text)
+        if token.kind == NUMBER:
+            self._advance()
+            if "." in token.text:
+                raise ParseError(
+                    "dimensions must be integers", token.line, token.column
+                )
+            return int(token.text)
+        raise self._error("expected a dimension (name or integer)")
+
+    def _expr(self) -> Expr:
+        left = self._term()
+        while self._peek().kind in (PLUS, MINUS):
+            op = self._advance()
+            right = self._term()
+            left = add(left, right) if op.kind == PLUS else sub(left, right)
+        return left
+
+    def _term(self) -> Expr:
+        left = self._factor()
+        while self._peek().kind == STAR:
+            self._advance()
+            right = self._factor()
+            left = matmul(left, right)
+        return left
+
+    def _factor(self) -> Expr:
+        token = self._peek()
+        if token.kind == MINUS:
+            self._advance()
+            return neg(self._factor())
+        if token.kind == NUMBER:
+            self._advance()
+            coeff = float(token.text)
+            self._expect(STAR, "'*' after a scalar coefficient")
+            return scalar_mul(coeff, self._factor())
+        return self._postfix()
+
+    def _postfix(self) -> Expr:
+        expr = self._atom()
+        while self._peek().kind == TICK:
+            self._advance()
+            expr = transpose(expr)
+        return expr
+
+    def _atom(self) -> Expr:
+        token = self._peek()
+        if token.kind == LPAREN:
+            self._advance()
+            expr = self._expr()
+            self._expect(RPAREN, "')'")
+            return expr
+        if token.kind == KEYWORD and token.text == "inv":
+            self._advance()
+            self._expect(LPAREN, "'('")
+            expr = self._expr()
+            self._expect(RPAREN, "')'")
+            return inverse(expr)
+        if token.kind == KEYWORD and token.text == "eye":
+            self._advance()
+            self._expect(LPAREN, "'('")
+            n = self._dim()
+            self._expect(RPAREN, "')'")
+            return Identity(n)
+        if token.kind == KEYWORD and token.text == "zeros":
+            self._advance()
+            self._expect(LPAREN, "'('")
+            rows = self._dim()
+            self._expect(COMMA, "','")
+            cols = self._dim()
+            self._expect(RPAREN, "')'")
+            return ZeroMatrix(rows, cols)
+        if token.kind == IDENT:
+            self._advance()
+            symbol = self.symbols.get(token.text)
+            if symbol is None:
+                raise ParseError(
+                    f"reference to undefined matrix {token.text!r}",
+                    token.line,
+                    token.column,
+                )
+            return symbol
+        raise self._error(f"expected an expression, found {token.text!r}")
+
+
+def parse_program(source: str) -> Program:
+    """Parse matrix-language source text into a Program."""
+    return Parser(source).parse()

@@ -1,0 +1,36 @@
+"""Iterative models (Section 3.2) and evaluation strategies (Section 5)."""
+
+from .general import HybridGeneral, IncrementalGeneral, ReevalGeneral
+from .models import Model, is_power_of_two
+from .powers import IncrementalPowers, ReevalPowers
+from .strategies import (
+    HYBRID,
+    INCR,
+    REEVAL,
+    STRATEGIES,
+    make_general,
+    make_powers,
+    make_sums,
+    parse_model,
+)
+from .sums import IncrementalPowerSums, ReevalPowerSums
+
+__all__ = [
+    "HYBRID",
+    "HybridGeneral",
+    "INCR",
+    "IncrementalGeneral",
+    "IncrementalPowerSums",
+    "IncrementalPowers",
+    "Model",
+    "REEVAL",
+    "ReevalGeneral",
+    "ReevalPowerSums",
+    "ReevalPowers",
+    "STRATEGIES",
+    "is_power_of_two",
+    "make_general",
+    "make_powers",
+    "make_sums",
+    "parse_model",
+]

@@ -1,0 +1,122 @@
+"""Iterative models of computation (Section 3.2).
+
+A :class:`Model` decides *which* iterations are materialized on the way
+to iteration ``k``:
+
+* **linear** — every step: ``1, 2, 3, ..., k``;
+* **exponential** — doubling: ``1, 2, 4, ..., k``;
+* **skip-s** — exponential up to ``s``, then every ``s``-th step:
+  ``1, 2, 4, ..., s, 2s, 3s, ..., k``.
+
+Skip-1 coincides with the linear model and skip-k with the exponential
+model, which the tests assert.  Following the paper's presentation we
+require ``k``, ``s`` and ``k/s`` to be the usual powers-of-two/integers
+so all three schedules land exactly on ``k``.
+"""
+
+from __future__ import annotations
+
+
+def is_power_of_two(value: int) -> bool:
+    """True for 1, 2, 4, 8, ..."""
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+class Model:
+    """An iterative model: ``linear``, ``exponential`` or ``skip-s``."""
+
+    LINEAR = "linear"
+    EXPONENTIAL = "exponential"
+    SKIP = "skip"
+
+    def __init__(self, kind: str, s: int | None = None):
+        if kind not in (self.LINEAR, self.EXPONENTIAL, self.SKIP):
+            raise ValueError(f"unknown model kind {kind!r}")
+        if kind == self.SKIP:
+            if s is None or s < 1:
+                raise ValueError("skip model needs a skip size s >= 1")
+            if not is_power_of_two(s):
+                raise ValueError(f"skip size must be a power of two, got {s}")
+        elif s is not None:
+            raise ValueError(f"{kind} model takes no skip size")
+        self.kind = kind
+        self.s = s
+
+    # -- constructors ------------------------------------------------------
+    @staticmethod
+    def linear() -> "Model":
+        """Every iteration step (the paper's LIN)."""
+        return Model(Model.LINEAR)
+
+    @staticmethod
+    def exponential() -> "Model":
+        """Exponentiation by squaring (the paper's EXP)."""
+        return Model(Model.EXPONENTIAL)
+
+    @staticmethod
+    def skip(s: int) -> "Model":
+        """Exponential to ``s`` then every ``s``-th step (SKIP-s)."""
+        return Model(Model.SKIP, s)
+
+    # -- behaviour -----------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Paper-style label: ``LIN``, ``EXP`` or ``SKIP-s``."""
+        if self.kind == self.LINEAR:
+            return "LIN"
+        if self.kind == self.EXPONENTIAL:
+            return "EXP"
+        return f"SKIP-{self.s}"
+
+    def validate_k(self, k: int) -> None:
+        """Check that iteration count ``k`` fits this model's schedule."""
+        if k < 1:
+            raise ValueError(f"iteration count must be >= 1, got {k}")
+        if self.kind == self.EXPONENTIAL and not is_power_of_two(k):
+            raise ValueError(f"exponential model needs k a power of two, got {k}")
+        if self.kind == self.SKIP:
+            assert self.s is not None
+            if k < self.s:
+                raise ValueError(f"skip-{self.s} needs k >= s, got k={k}")
+            if k % self.s != 0:
+                raise ValueError(f"skip-{self.s} needs s | k, got k={k}")
+
+    def schedule(self, k: int) -> list[int]:
+        """The materialized iteration indices, in evaluation order."""
+        self.validate_k(k)
+        if self.kind == self.LINEAR:
+            return list(range(1, k + 1))
+        if self.kind == self.EXPONENTIAL:
+            steps = [1]
+            while steps[-1] < k:
+                steps.append(steps[-1] * 2)
+            return steps
+        assert self.s is not None
+        steps = [1]
+        while steps[-1] < self.s:
+            steps.append(steps[-1] * 2)
+        nxt = 2 * self.s
+        while nxt <= k:
+            steps.append(nxt)
+            nxt += self.s
+        return steps
+
+    def predecessor(self, i: int) -> int:
+        """The materialized iteration that iteration ``i`` is built from."""
+        if i == 1:
+            raise ValueError("iteration 1 is built from the inputs")
+        if self.kind == self.LINEAR:
+            return i - 1
+        if self.kind == self.EXPONENTIAL:
+            return i // 2
+        assert self.s is not None
+        return i // 2 if i <= self.s else i - self.s
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Model) and (other.kind, other.s) == (self.kind, self.s)
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.s))
+
+    def __repr__(self) -> str:
+        return f"Model({self.name})"

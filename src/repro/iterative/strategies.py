@@ -1,0 +1,85 @@
+"""Strategy factories and labels shared by benchmarks and examples.
+
+The evaluation section refers to strategy-model combinations by names
+like ``REEVAL-EXP`` and ``INCR-SKIP-4``; :func:`make_powers`,
+:func:`make_sums` and :func:`make_general` construct the corresponding
+maintainers from those labels so the benchmark harness and examples can
+be written table-driven, exactly like the paper's figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cost import counters
+from .general import HybridGeneral, IncrementalGeneral, ReevalGeneral
+from .models import Model
+from .powers import IncrementalPowers, ReevalPowers
+from .sums import IncrementalPowerSums, ReevalPowerSums
+
+REEVAL = "REEVAL"
+INCR = "INCR"
+HYBRID = "HYBRID"
+
+STRATEGIES = (REEVAL, INCR, HYBRID)
+
+
+def parse_model(label: str) -> Model:
+    """Parse a paper-style model label: ``LIN``, ``EXP`` or ``SKIP-s``."""
+    label = label.upper()
+    if label == "LIN":
+        return Model.linear()
+    if label == "EXP":
+        return Model.exponential()
+    if label.startswith("SKIP-"):
+        return Model.skip(int(label.split("-", 1)[1]))
+    raise ValueError(f"unknown model label {label!r}")
+
+
+def make_powers(
+    strategy: str,
+    a: np.ndarray,
+    k: int,
+    model: Model,
+    counter: counters.Counter = counters.NULL_COUNTER,
+):
+    """Powers maintainer for a strategy name (``REEVAL`` or ``INCR``)."""
+    if strategy == REEVAL:
+        return ReevalPowers(a, k, model, counter)
+    if strategy == INCR:
+        return IncrementalPowers(a, k, model, counter)
+    raise ValueError(f"matrix powers has no {strategy!r} strategy")
+
+
+def make_sums(
+    strategy: str,
+    a: np.ndarray,
+    k: int,
+    model: Model,
+    counter: counters.Counter = counters.NULL_COUNTER,
+):
+    """Sums-of-powers maintainer for a strategy name."""
+    if strategy == REEVAL:
+        return ReevalPowerSums(a, k, model, counter)
+    if strategy == INCR:
+        return IncrementalPowerSums(a, k, model, counter)
+    raise ValueError(f"sums of powers has no {strategy!r} strategy")
+
+
+def make_general(
+    strategy: str,
+    a: np.ndarray,
+    b: np.ndarray | None,
+    t0: np.ndarray,
+    k: int,
+    model: Model,
+    counter: counters.Counter = counters.NULL_COUNTER,
+):
+    """General-form maintainer for a strategy name (all three apply)."""
+    if strategy == REEVAL:
+        return ReevalGeneral(a, b, t0, k, model, counter)
+    if strategy == INCR:
+        return IncrementalGeneral(a, b, t0, k, model, counter)
+    if strategy == HYBRID:
+        return HybridGeneral(a, b, t0, k, model, counter)
+    raise ValueError(f"unknown strategy {strategy!r}")

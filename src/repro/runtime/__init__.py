@@ -1,0 +1,30 @@
+"""Single-node NumPy backend: executor, views, update events, IVM sessions."""
+
+from .drift import DriftExceededError, DriftMonitor, DriftReport
+from .executor import EvaluationError, evaluate, resolve_dim
+from .session import IVMSession, ReevalSession
+from .updates import (
+    FactoredUpdate,
+    batch_row_update,
+    cell_update,
+    column_update,
+    row_update,
+)
+from .views import ViewStore
+
+__all__ = [
+    "DriftExceededError",
+    "DriftMonitor",
+    "DriftReport",
+    "EvaluationError",
+    "FactoredUpdate",
+    "IVMSession",
+    "ReevalSession",
+    "ViewStore",
+    "batch_row_update",
+    "cell_update",
+    "column_update",
+    "evaluate",
+    "resolve_dim",
+    "row_update",
+]

@@ -1,0 +1,135 @@
+"""Drift monitoring for long-lived incremental views.
+
+Incremental maintenance compounds floating-point error: each refresh
+adds a delta computed from already-slightly-stale views, so after many
+updates the maintained result drifts from what re-evaluation would
+produce.  The paper sidesteps this operationally (inputs are
+"preconditioned appropriately for numerical stability"); a production
+deployment needs a policy.  :class:`DriftMonitor` wraps any maintainer
+exposing ``refresh(u, v)`` plus a drift probe, and re-validates every
+``check_every`` refreshes:
+
+* drift within ``tolerance``   -> nothing happens (the common case);
+* drift beyond ``tolerance``   -> the configured action runs —
+  ``"rebuild"`` (call the maintainer's rebuild hook and keep going) or
+  ``"raise"`` (:class:`DriftExceededError` for caller-controlled
+  recovery).
+
+Probes are cheap relative to their period: one re-evaluation amortized
+over ``check_every`` refreshes, the same trade Table 3 makes explicit
+for memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+import numpy as np
+
+
+class MaintainerWithDrift(Protocol):
+    """What the monitor needs: refresh plus a drift probe."""
+
+    def refresh(self, u: np.ndarray, v: np.ndarray) -> None: ...
+
+    def revalidate(self) -> float: ...
+
+
+class DriftExceededError(RuntimeError):
+    """Raised by the ``"raise"`` policy when drift passes tolerance."""
+
+    def __init__(self, drift: float, tolerance: float, refreshes: int):
+        super().__init__(
+            f"view drift {drift:.3e} exceeded tolerance {tolerance:.3e} "
+            f"after {refreshes} refreshes"
+        )
+        self.drift = drift
+        self.tolerance = tolerance
+        self.refreshes = refreshes
+
+
+@dataclass
+class DriftReport:
+    """One probe outcome."""
+
+    refreshes: int
+    drift: float
+    rebuilt: bool
+
+
+class DriftMonitor:
+    """Wraps a maintainer with a periodic re-validation policy.
+
+    ``rebuild`` is a zero-argument callable returning a *fresh*
+    maintainer built from current ground truth; it is required for the
+    ``"rebuild"`` action.  The monitor delegates attribute access to
+    the wrapped maintainer, so ``monitor.result()`` etc. keep working.
+    """
+
+    def __init__(
+        self,
+        maintainer: MaintainerWithDrift,
+        check_every: int = 100,
+        tolerance: float = 1e-6,
+        action: str = "raise",
+        rebuild: Callable[[], MaintainerWithDrift] | None = None,
+    ):
+        if check_every < 1:
+            raise ValueError("check_every must be positive")
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        if action not in ("raise", "rebuild"):
+            raise ValueError(f"unknown action {action!r}")
+        if action == "rebuild" and rebuild is None:
+            raise ValueError("action='rebuild' needs a rebuild callable")
+        self.maintainer = maintainer
+        self.check_every = check_every
+        self.tolerance = tolerance
+        self.action = action
+        self._rebuild = rebuild
+        self.refreshes = 0
+        self.reports: list[DriftReport] = []
+
+    def refresh(self, u: np.ndarray, v: np.ndarray) -> None:
+        """Refresh the wrapped maintainer; probe on schedule."""
+        self.maintainer.refresh(u, v)
+        self.refreshes += 1
+        if self.refreshes % self.check_every == 0:
+            self.probe()
+
+    def probe(self) -> DriftReport:
+        """Re-validate now, applying the policy if drift is excessive."""
+        drift = self.maintainer.revalidate()
+        rebuilt = False
+        if drift > self.tolerance:
+            if self.action == "raise":
+                report = DriftReport(self.refreshes, drift, False)
+                self.reports.append(report)
+                raise DriftExceededError(drift, self.tolerance, self.refreshes)
+            self.maintainer = self._rebuild()
+            rebuilt = True
+        report = DriftReport(self.refreshes, drift, rebuilt)
+        self.reports.append(report)
+        return report
+
+    @property
+    def last_drift(self) -> float | None:
+        """Drift at the most recent probe (None before the first)."""
+        return self.reports[-1].drift if self.reports else None
+
+    @property
+    def rebuild_count(self) -> int:
+        """How many times the policy rebuilt the maintainer."""
+        return sum(1 for report in self.reports if report.rebuilt)
+
+    def __getattr__(self, name: str):
+        return getattr(self.maintainer, name)
+
+
+__all__ = [
+    "DriftExceededError",
+    "DriftMonitor",
+    "DriftReport",
+    "MaintainerWithDrift",
+]

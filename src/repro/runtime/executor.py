@@ -1,0 +1,138 @@
+"""Numeric evaluation of expression trees over NumPy arrays.
+
+This is the single-node backend of the reproduction (the paper's Octave
+role).  :func:`evaluate` walks an expression bottom-up, binding
+:class:`~repro.expr.ast.MatrixSymbol` leaves from an environment of
+``name -> ndarray`` and charging FLOPs to a
+:class:`~repro.cost.counters.Counter`.
+
+Matrix products are evaluated **in the expression's association order**:
+the factored-delta machinery encodes the cheap evaluation order
+structurally (e.g. ``A * (u * (v' * u))`` groups to matrix-vector work),
+and the executor must respect it for the paper's cost claims to show up
+in the counters.  N-ary products fold left-to-right.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..cost import counters, flops
+from ..expr.ast import (
+    Add,
+    Expr,
+    HStack,
+    Identity,
+    Inverse,
+    MatMul,
+    MatrixSymbol,
+    ScalarMul,
+    Transpose,
+    VStack,
+    ZeroMatrix,
+)
+from ..expr.shapes import DimLike, DimSum, NamedDim
+
+
+class EvaluationError(RuntimeError):
+    """Raised when an expression cannot be evaluated against an environment."""
+
+
+def resolve_dim(dim: DimLike, dims: Mapping[str, int]) -> int:
+    """Resolve a possibly-symbolic dimension to a concrete int."""
+    if isinstance(dim, bool):
+        raise EvaluationError("bool is not a dimension")
+    if isinstance(dim, int):
+        return dim
+    if isinstance(dim, NamedDim):
+        try:
+            return dims[dim.name]
+        except KeyError:
+            raise EvaluationError(f"unbound dimension {dim.name!r}") from None
+    if isinstance(dim, DimSum):
+        return sum(resolve_dim(a, dims) for a in dim.atoms) + dim.const
+    raise EvaluationError(f"cannot resolve dimension {dim!r}")
+
+
+def evaluate(
+    expr: Expr,
+    env: Mapping[str, np.ndarray],
+    dims: Mapping[str, int] | None = None,
+    counter: counters.Counter = counters.NULL_COUNTER,
+) -> np.ndarray:
+    """Evaluate ``expr`` over ``env``, charging work to ``counter``.
+
+    ``dims`` binds symbolic dimension names (needed only when the
+    expression contains ``eye``/``zeros`` leaves with symbolic sizes).
+    Returns a 2-D float64 array; inputs are used as-is (never mutated).
+    """
+    dims = dims or {}
+
+    def rec(node: Expr) -> np.ndarray:
+        if isinstance(node, MatrixSymbol):
+            try:
+                value = env[node.name]
+            except KeyError:
+                raise EvaluationError(f"unbound matrix {node.name!r}") from None
+            arr = np.asarray(value, dtype=np.float64)
+            if arr.ndim != 2:
+                raise EvaluationError(
+                    f"matrix {node.name!r} must be 2-D, got ndim={arr.ndim}"
+                )
+            return arr
+        if isinstance(node, Identity):
+            n = resolve_dim(node.shape.rows, dims)
+            return np.eye(n)
+        if isinstance(node, ZeroMatrix):
+            r = resolve_dim(node.shape.rows, dims)
+            c = resolve_dim(node.shape.cols, dims)
+            return np.zeros((r, c))
+        if isinstance(node, Add):
+            total = rec(node.children[0])
+            for child in node.children[1:]:
+                value = rec(child)
+                counter.record("add", flops.add_flops(*total.shape))
+                total = total + value
+            return total
+        if isinstance(node, MatMul):
+            result = rec(node.children[0])
+            for child in node.children[1:]:
+                value = rec(child)
+                n, m = result.shape
+                m2, p = value.shape
+                if m != m2:
+                    raise EvaluationError(
+                        f"runtime shape mismatch in product: {result.shape} @ {value.shape}"
+                    )
+                counter.record(
+                    "matmul", flops.matmul_flops(n, m, p), flops.matrix_bytes(n, p)
+                )
+                result = result @ value
+            return result
+        if isinstance(node, ScalarMul):
+            value = rec(node.child)
+            counter.record("scalar_mul", flops.scalar_mul_flops(*value.shape))
+            return node.coeff * value
+        if isinstance(node, Transpose):
+            value = rec(node.child)
+            counter.record("transpose", 0)
+            return value.T
+        if isinstance(node, Inverse):
+            value = rec(node.child)
+            n = value.shape[0]
+            counter.record("inverse", flops.inverse_flops(n), flops.matrix_bytes(n, n))
+            try:
+                return np.linalg.inv(value)
+            except np.linalg.LinAlgError as exc:
+                raise EvaluationError(f"singular matrix in inverse: {exc}") from exc
+        if isinstance(node, HStack):
+            blocks = [rec(b) for b in node.children]
+            return np.hstack(blocks)
+        if isinstance(node, VStack):
+            blocks = [rec(b) for b in node.children]
+            return np.vstack(blocks)
+        raise EvaluationError(f"cannot evaluate node type {type(node).__name__}")
+
+    return rec(expr)

@@ -1,0 +1,222 @@
+"""IVM sessions: compile once, maintain forever.
+
+:class:`IVMSession` is the top of the public API.  It takes a
+:class:`~repro.compiler.program.Program` and initial input values,
+evaluates every statement to materialize the views, compiles the
+triggers (Algorithm 1), and then maintains all views under a stream of
+:class:`~repro.runtime.updates.FactoredUpdate` events.
+
+Two execution modes are supported for triggers:
+
+* ``mode="interpret"`` — delta expressions are evaluated by the AST
+  executor (FLOP-counted, the default);
+* ``mode="codegen"`` — triggers are lowered to Python/NumPy source and
+  ``exec``-compiled once (the paper's generated-code path).
+
+A matching :class:`ReevalSession` provides the re-evaluation baseline
+with the same interface, so experiments can swap strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..compiler.codegen.python_gen import compile_trigger_function
+from ..compiler.compile import compile_program
+from ..compiler.optimizer import optimize_trigger
+from ..compiler.program import Program
+from ..compiler.trigger import Trigger
+from ..cost import counters
+from .executor import evaluate
+from .updates import FactoredUpdate
+from .views import ViewStore
+
+
+class IVMSession:
+    """Incrementally maintained program state (the INCR strategy).
+
+    Parameters
+    ----------
+    program:
+        The linear algebra program to maintain.
+    inputs:
+        Initial values for every declared input matrix.
+    dims:
+        Bindings for symbolic dimension names used in the program.
+    rank:
+        Expected width of incoming factored updates.  Updates of any
+        width are accepted in ``interpret`` mode at their true cost; in
+        ``codegen`` mode the generated function is width-agnostic too
+        (widths only appear as array shapes).
+    optimize:
+        Run the Section 6 optimizer pipeline over each trigger.
+    mode:
+        ``"interpret"`` or ``"codegen"`` (see module docstring).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        inputs: Mapping[str, np.ndarray],
+        dims: Mapping[str, int] | None = None,
+        rank: int = 1,
+        optimize: bool = False,
+        mode: str = "interpret",
+        counter: counters.Counter = counters.NULL_COUNTER,
+    ):
+        if mode not in ("interpret", "codegen"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.program = program
+        self.mode = mode
+        self.counter = counter
+        self.views = ViewStore(dims)
+        self.update_count = 0
+
+        missing = set(program.input_names) - set(inputs)
+        if missing:
+            raise ValueError(f"missing initial values for inputs: {sorted(missing)}")
+        for name in program.input_names:
+            self.views.set(name, inputs[name])
+        self._materialize_all()
+
+        self.triggers: dict[str, Trigger] = compile_program(program, rank=rank)
+        if optimize:
+            self.triggers = {
+                name: optimize_trigger(trigger)
+                for name, trigger in self.triggers.items()
+            }
+        self._compiled: dict[str, Callable] = {}
+        if mode == "codegen":
+            self._compiled = {
+                name: compile_trigger_function(trigger)
+                for name, trigger in self.triggers.items()
+            }
+
+    # -- queries ---------------------------------------------------------
+    def __getitem__(self, name: str) -> np.ndarray:
+        """Current value of a view or input (do not mutate)."""
+        return self.views.get(name)
+
+    def output(self) -> np.ndarray:
+        """Current value of the program's (first) output view."""
+        return self.views.get(self.program.outputs[0])
+
+    # -- maintenance -----------------------------------------------------
+    def apply_update(self, update: FactoredUpdate) -> None:
+        """Maintain every view for one factored update (the INCR path)."""
+        trigger = self.triggers.get(update.target)
+        if trigger is None:
+            raise KeyError(f"no trigger compiled for input {update.target!r}")
+        if self.mode == "codegen":
+            fn = self._compiled[update.target]
+            fn(self.views._arrays, update.u_block, update.v_block,
+               dims=self.views.dims)
+        else:
+            self._interpret(trigger, update)
+        self.update_count += 1
+
+    def apply_updates(self, updates: Sequence[FactoredUpdate]) -> None:
+        """Maintain the views across a sequence of updates, in order."""
+        for update in updates:
+            self.apply_update(update)
+
+    def _interpret(self, trigger: Trigger, update: FactoredUpdate) -> None:
+        env = self.views.as_env()
+        u_name, v_name = (p.name for p in trigger.params)
+        env[u_name] = update.u_block
+        env[v_name] = update.v_block
+        for assign in trigger.assigns:
+            env[assign.target.name] = evaluate(
+                assign.expr, env, dims=self.views.dims, counter=self.counter
+            )
+        deltas = {
+            upd.view.name: evaluate(
+                upd.expr, env, dims=self.views.dims, counter=self.counter
+            )
+            for upd in trigger.updates
+        }
+        for name, delta in deltas.items():
+            self.views.add_in_place(name, delta)
+
+    # -- validation ------------------------------------------------------
+    def _materialize_all(self) -> None:
+        for stmt in self.program.statements:
+            value = evaluate(
+                stmt.expr,
+                self.views.as_env(),
+                dims=self.views.dims,
+                counter=self.counter,
+            )
+            self.views.set(stmt.target.name, value)
+
+    def revalidate(self) -> float:
+        """Recompute every view from the current inputs; return max drift.
+
+        Useful for monitoring numerical error accumulated over long
+        update streams.  Leaves the maintained values in place.
+        """
+        env = {name: self.views.get(name) for name in self.program.input_names}
+        worst = 0.0
+        for stmt in self.program.statements:
+            value = evaluate(stmt.expr, env, dims=self.views.dims)
+            drift = float(np.max(np.abs(value - self.views.get(stmt.target.name))))
+            worst = max(worst, drift)
+            env[stmt.target.name] = value
+        return worst
+
+
+class ReevalSession:
+    """The re-evaluation baseline (REEVAL): apply the update, recompute.
+
+    Mirrors :class:`IVMSession`'s interface so experiments can swap the
+    two strategies without touching driver code.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        inputs: Mapping[str, np.ndarray],
+        dims: Mapping[str, int] | None = None,
+        counter: counters.Counter = counters.NULL_COUNTER,
+    ):
+        self.program = program
+        self.counter = counter
+        self.views = ViewStore(dims)
+        self.update_count = 0
+        missing = set(program.input_names) - set(inputs)
+        if missing:
+            raise ValueError(f"missing initial values for inputs: {sorted(missing)}")
+        for name in program.input_names:
+            self.views.set(name, inputs[name])
+        self._reevaluate()
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        """Current value of a view or input (do not mutate)."""
+        return self.views.get(name)
+
+    def output(self) -> np.ndarray:
+        """Current value of the program's (first) output view."""
+        return self.views.get(self.program.outputs[0])
+
+    def apply_update(self, update: FactoredUpdate) -> None:
+        """Apply the update to its input and re-evaluate every statement."""
+        self.views.add_in_place(update.target, update.dense())
+        self._reevaluate()
+        self.update_count += 1
+
+    def apply_updates(self, updates: Sequence[FactoredUpdate]) -> None:
+        """Apply a sequence of updates, re-evaluating after each one."""
+        for update in updates:
+            self.apply_update(update)
+
+    def _reevaluate(self) -> None:
+        for stmt in self.program.statements:
+            value = evaluate(
+                stmt.expr,
+                self.views.as_env(),
+                dims=self.views.dims,
+                counter=self.counter,
+            )
+            self.views.set(stmt.target.name, value)

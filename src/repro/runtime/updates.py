@@ -1,0 +1,104 @@
+"""Update events: the dynamic part of a workload.
+
+The paper considers factored updates ``dX = U @ V'`` of small rank —
+most commonly rank-1 row updates ("each update affects one row of an
+input matrix", Section 7).  :class:`FactoredUpdate` carries the two
+factor blocks; constructors cover the practical patterns:
+
+* :func:`row_update` — change one row by a given vector (rank 1);
+* :func:`cell_update` — change a single entry (rank 1);
+* :func:`column_update` — change one column (rank 1);
+* :func:`batch_row_update` — change many rows at once (rank = #rows),
+  the Table 4 workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class FactoredUpdate:
+    """An additive factored update ``target += u_block @ v_block'``."""
+
+    __slots__ = ("target", "u_block", "v_block")
+
+    def __init__(self, target: str, u_block: np.ndarray, v_block: np.ndarray):
+        u = np.asarray(u_block, dtype=np.float64)
+        v = np.asarray(v_block, dtype=np.float64)
+        if u.ndim == 1:
+            u = u.reshape(-1, 1)
+        if v.ndim == 1:
+            v = v.reshape(-1, 1)
+        if u.shape[1] != v.shape[1]:
+            raise ValueError(
+                f"factor widths disagree: {u.shape} vs {v.shape} for {target!r}"
+            )
+        self.target = target
+        self.u_block = u
+        self.v_block = v
+
+    @property
+    def rank(self) -> int:
+        """Width of the factor blocks (the update's rank bound)."""
+        return self.u_block.shape[1]
+
+    def dense(self) -> np.ndarray:
+        """Materialize the update as a dense matrix (tests, REEVAL path)."""
+        return self.u_block @ self.v_block.T
+
+    def __repr__(self) -> str:
+        return (
+            f"FactoredUpdate({self.target!r}, rank={self.rank}, "
+            f"shape=({self.u_block.shape[0]} x {self.v_block.shape[0]}))"
+        )
+
+
+def cell_update(target: str, n_rows: int, n_cols: int, i: int, j: int,
+                value: float) -> FactoredUpdate:
+    """Rank-1 update adding ``value`` to entry ``(i, j)``."""
+    u = np.zeros((n_rows, 1))
+    v = np.zeros((n_cols, 1))
+    u[i, 0] = value
+    v[j, 0] = 1.0
+    return FactoredUpdate(target, u, v)
+
+
+def row_update(target: str, n_rows: int, row: int,
+               delta_row: np.ndarray) -> FactoredUpdate:
+    """Rank-1 update adding ``delta_row`` to row ``row``."""
+    delta_row = np.asarray(delta_row, dtype=np.float64).reshape(-1)
+    u = np.zeros((n_rows, 1))
+    u[row, 0] = 1.0
+    return FactoredUpdate(target, u, delta_row.reshape(-1, 1))
+
+
+def column_update(target: str, n_cols: int, col: int,
+                  delta_col: np.ndarray) -> FactoredUpdate:
+    """Rank-1 update adding ``delta_col`` to column ``col``."""
+    delta_col = np.asarray(delta_col, dtype=np.float64).reshape(-1)
+    v = np.zeros((n_cols, 1))
+    v[col, 0] = 1.0
+    return FactoredUpdate(target, delta_col.reshape(-1, 1), v)
+
+
+def batch_row_update(target: str, n_rows: int, rows: np.ndarray,
+                     delta_rows: np.ndarray) -> FactoredUpdate:
+    """Rank-k update changing ``k`` distinct rows at once (Table 4).
+
+    ``rows`` holds the affected row indices; ``delta_rows`` is ``(k x
+    n_cols)`` with one delta vector per affected row.  The factored form
+    stacks the indicator vectors: ``U[:, t] = e_{rows[t]}``.
+    """
+    rows = np.asarray(rows, dtype=np.intp).reshape(-1)
+    delta_rows = np.asarray(delta_rows, dtype=np.float64)
+    if delta_rows.ndim != 2 or delta_rows.shape[0] != rows.shape[0]:
+        raise ValueError(
+            f"need one delta row per index: {rows.shape[0]} indices, "
+            f"deltas {delta_rows.shape}"
+        )
+    if len(set(rows.tolist())) != rows.shape[0]:
+        raise ValueError("batch rows must be distinct (merge duplicates first)")
+    k = rows.shape[0]
+    u = np.zeros((n_rows, k))
+    u[rows, np.arange(k)] = 1.0
+    return FactoredUpdate(target, u, delta_rows.T)

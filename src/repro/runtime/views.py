@@ -1,0 +1,78 @@
+"""Materialized view storage.
+
+A :class:`ViewStore` holds the numeric state of one IVM session: input
+matrices and every materialized view, plus the binding of symbolic
+dimension names to concrete sizes.  It is deliberately dumb — a typed
+dict with copy-on-write snapshots and a memory meter — so the session
+logic stays readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+import numpy as np
+
+
+class ViewStore:
+    """Mutable mapping ``name -> float64 ndarray`` with dimension bindings."""
+
+    def __init__(self, dims: Mapping[str, int] | None = None):
+        self._arrays: dict[str, np.ndarray] = {}
+        self.dims: dict[str, int] = dict(dims or {})
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._arrays)
+
+    def names(self) -> list[str]:
+        """All stored matrix names, in insertion order."""
+        return list(self._arrays)
+
+    def get(self, name: str) -> np.ndarray:
+        """The stored array (not a copy; callers must not mutate)."""
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise KeyError(f"no view or input named {name!r}") from None
+
+    def set(self, name: str, value: np.ndarray) -> None:
+        """Store (or replace) an array, normalizing to 2-D float64."""
+        arr = np.asarray(value, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr.reshape(-1, 1)
+        if arr.ndim != 2:
+            raise ValueError(f"view {name!r} must be 2-D, got ndim={arr.ndim}")
+        self._arrays[name] = arr
+
+    def add_in_place(self, name: str, delta: np.ndarray) -> None:
+        """Apply ``view += delta`` (the trigger's update statement)."""
+        current = self.get(name)
+        if current.shape != delta.shape:
+            raise ValueError(
+                f"update shape mismatch on {name!r}: {current.shape} += {delta.shape}"
+            )
+        self._arrays[name] = current + delta
+
+    def as_env(self) -> dict[str, np.ndarray]:
+        """A shallow dict view usable as an executor environment."""
+        return dict(self._arrays)
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """Deep copy of all arrays (for revalidation / rollback)."""
+        return {name: arr.copy() for name, arr in self._arrays.items()}
+
+    def restore(self, snapshot: Mapping[str, np.ndarray]) -> None:
+        """Restore a previously taken snapshot (copies defensively)."""
+        self._arrays = {name: np.array(arr) for name, arr in snapshot.items()}
+
+    def total_bytes(self, names: Iterator[str] | None = None) -> int:
+        """Memory footprint of the selected (default: all) arrays."""
+        selected = list(names) if names is not None else list(self._arrays)
+        return sum(self._arrays[name].nbytes for name in selected)
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{k}{v.shape}" for k, v in self._arrays.items())
+        return f"ViewStore({items})"

@@ -1,0 +1,25 @@
+"""Workload generation: matrices, update streams, Zipf batches (Section 7)."""
+
+from .generators import (
+    dense_matrix,
+    random_adjacency,
+    regression_data,
+    spectral_normalized,
+    well_conditioned_design,
+)
+from .streams import row_update_factors, update_stream, zipf_batch_update
+from .zipf import sample_rows, zipf_batch, zipf_probabilities
+
+__all__ = [
+    "dense_matrix",
+    "random_adjacency",
+    "regression_data",
+    "row_update_factors",
+    "sample_rows",
+    "spectral_normalized",
+    "update_stream",
+    "well_conditioned_design",
+    "zipf_batch",
+    "zipf_batch_update",
+    "zipf_probabilities",
+]

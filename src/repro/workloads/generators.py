@@ -1,0 +1,83 @@
+"""Seeded workload generators (Section 7's datasets, laptop scale).
+
+The paper uses dense random matrices "preconditioned appropriately for
+numerical stability".  For iterated computations that means keeping the
+spectral radius below 1 (so ``A^k`` neither explodes nor denormalizes);
+for inverse-bearing programs it means well-conditioned ``X'X``.  All
+generators take an explicit ``numpy.random.Generator`` so every
+experiment is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dense_matrix(
+    rng: np.random.Generator, rows: int, cols: int, scale: float = 1.0
+) -> np.ndarray:
+    """Plain Gaussian dense matrix."""
+    return scale * rng.standard_normal((rows, cols))
+
+
+def spectral_normalized(
+    rng: np.random.Generator, n: int, radius: float = 0.9
+) -> np.ndarray:
+    """Random square matrix scaled to spectral radius ``radius``.
+
+    The spectral norm is estimated with a short power iteration on
+    ``A'A`` (exact norms are ``O(n^3)`` and unnecessary here).
+    """
+    a = rng.standard_normal((n, n))
+    x = rng.standard_normal((n, 1))
+    for _ in range(20):
+        x = a.T @ (a @ x)
+        x /= np.linalg.norm(x)
+    sigma = float(np.linalg.norm(a @ x))
+    return (radius / sigma) * a
+
+
+def well_conditioned_design(
+    rng: np.random.Generator, m: int, n: int, ridge: float = 0.5
+) -> np.ndarray:
+    """A design matrix ``X`` with comfortably invertible ``X'X``.
+
+    Gaussian tall matrices are well conditioned with overwhelming
+    probability; the ``ridge`` term nudges square cases away from
+    singularity (mirroring the paper's preconditioning remark).
+    """
+    if m < n:
+        raise ValueError(f"need m >= n, got m={m}, n={n}")
+    x = rng.standard_normal((m, n))
+    x[:n, :] += ridge * np.eye(n)
+    return x
+
+
+def regression_data(
+    rng: np.random.Generator, m: int, n: int, p: int = 1, noise: float = 0.1
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Synthetic linear-regression data ``(X, Y, beta_true)``."""
+    x = well_conditioned_design(rng, m, n)
+    beta_true = rng.standard_normal((n, p))
+    y = x @ beta_true + noise * rng.standard_normal((m, p))
+    return x, y, beta_true
+
+
+def random_adjacency(
+    rng: np.random.Generator, n: int, avg_out_degree: float = 4.0
+) -> np.ndarray:
+    """Random directed-graph adjacency matrix (column = source node).
+
+    Every node keeps at least one out-edge so the transition matrix has
+    no dangling columns unless an experiment removes edges later.
+    """
+    probability = min(avg_out_degree / max(n - 1, 1), 1.0)
+    adj = (rng.random((n, n)) < probability).astype(np.float64)
+    np.fill_diagonal(adj, 0.0)
+    for j in range(n):
+        if adj[:, j].sum() == 0:
+            target = int(rng.integers(0, n - 1))
+            if target >= j:
+                target += 1
+            adj[target, j] = 1.0
+    return adj

@@ -1,0 +1,53 @@
+"""Continuous update streams (Section 7's workload driver).
+
+The evaluation generates "a continuous random stream of rank-1 updates
+where each update affects one row of an input matrix".  These helpers
+produce such streams deterministically from a seed, either as raw
+``(u, v)`` factor pairs (for the iterative maintainers) or as
+:class:`~repro.runtime.updates.FactoredUpdate` events (for sessions).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..runtime.updates import FactoredUpdate, batch_row_update
+from .zipf import zipf_batch
+
+
+def row_update_factors(
+    rng: np.random.Generator, n_rows: int, n_cols: int, count: int,
+    scale: float = 0.01,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``count`` rank-1 row updates as ``(u, v)`` column pairs.
+
+    ``u`` is the indicator of a random row; ``v`` the (scaled) change
+    of that row.  Small ``scale`` keeps long streams numerically tame
+    on spectrally normalized inputs.
+    """
+    for _ in range(count):
+        row = int(rng.integers(0, n_rows))
+        u = np.zeros((n_rows, 1))
+        u[row, 0] = 1.0
+        v = scale * rng.standard_normal((n_cols, 1))
+        yield u, v
+
+
+def update_stream(
+    rng: np.random.Generator, target: str, n_rows: int, n_cols: int,
+    count: int, scale: float = 0.01,
+) -> Iterator[FactoredUpdate]:
+    """Yield ``count`` rank-1 row updates as session events."""
+    for u, v in row_update_factors(rng, n_rows, n_cols, count, scale):
+        yield FactoredUpdate(target, u, v)
+
+
+def zipf_batch_update(
+    rng: np.random.Generator, target: str, n_rows: int, n_cols: int,
+    batch_size: int, theta: float, scale: float = 0.01,
+) -> FactoredUpdate:
+    """One merged Table-4-style batch as a rank-k session event."""
+    rows, deltas = zipf_batch(rng, n_rows, n_cols, batch_size, theta, scale)
+    return batch_row_update(target, n_rows, rows, deltas)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.expr import MatrixSymbol, NamedDim
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator (fresh per test)."""
+    return np.random.default_rng(20140622)  # SIGMOD'14 conference date
+
+
+@pytest.fixture
+def n_dim() -> NamedDim:
+    """The canonical symbolic dimension ``n``."""
+    return NamedDim("n")
+
+
+@pytest.fixture
+def square_symbols(n_dim):
+    """Symbols A, B, C of shape (n x n) plus column vectors u, v."""
+    a = MatrixSymbol("A", n_dim, n_dim)
+    b = MatrixSymbol("B", n_dim, n_dim)
+    c = MatrixSymbol("C", n_dim, n_dim)
+    u = MatrixSymbol("u", n_dim, 1)
+    v = MatrixSymbol("v", n_dim, 1)
+    return a, b, c, u, v
+
+
+def random_env(rng: np.random.Generator, n: int,
+               names=("A", "B", "C")) -> dict[str, np.ndarray]:
+    """Random square matrices for the given names plus vectors u, v."""
+    env = {name: rng.normal(size=(n, n)) for name in names}
+    env["u"] = rng.normal(size=(n, 1))
+    env["v"] = rng.normal(size=(n, 1))
+    return env

@@ -1,0 +1,91 @@
+"""Hypothesis generators for random well-shaped expression trees.
+
+Shared by the property-test modules: builds expression trees that are
+shape-correct by construction, together with the symbol table and a
+numpy environment binding every generated symbol, so properties can
+evaluate, print, parse, differentiate and compile the same tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.expr import (
+    Expr,
+    Identity,
+    MatrixSymbol,
+    add,
+    matmul,
+    scalar_mul,
+    transpose,
+)
+
+#: Dimensions used by generated trees (small keeps evaluation instant).
+DIMS = (2, 3, 4)
+
+#: Scalar coefficients that survive ``%g`` printing round-trips exactly.
+NICE_COEFFS = (2.0, 3.0, 0.5, -2.0, 5.0)
+
+
+class ExprPool:
+    """Symbol factory: hands out shape-typed symbols and remembers them."""
+
+    def __init__(self):
+        self.symbols: dict[str, MatrixSymbol] = {}
+
+    def symbol(self, rows: int, cols: int, index: int) -> MatrixSymbol:
+        name = f"M{rows}x{cols}_{index}"
+        if name not in self.symbols:
+            self.symbols[name] = MatrixSymbol(name, rows, cols)
+        return self.symbols[name]
+
+    def env(self, seed: int) -> dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        return {
+            name: rng.normal(size=(sym.shape.rows, sym.shape.cols))
+            for name, sym in self.symbols.items()
+        }
+
+
+@st.composite
+def shaped_expr(draw, pool: ExprPool, rows: int, cols: int, depth: int):
+    """A random expression of exactly ``rows x cols``."""
+    if depth <= 0:
+        return pool.symbol(rows, cols, draw(st.integers(0, 2)))
+    choice = draw(st.sampled_from(
+        ["symbol", "add", "matmul", "transpose", "scalar"]
+        + (["identity"] if rows == cols else [])
+    ))
+    if choice == "symbol":
+        return pool.symbol(rows, cols, draw(st.integers(0, 2)))
+    if choice == "identity":
+        return Identity(rows)
+    if choice == "add":
+        left = draw(shaped_expr(pool, rows, cols, depth - 1))
+        right = draw(shaped_expr(pool, rows, cols, depth - 1))
+        return add(left, right)
+    if choice == "matmul":
+        mid = draw(st.sampled_from(DIMS))
+        left = draw(shaped_expr(pool, rows, mid, depth - 1))
+        right = draw(shaped_expr(pool, mid, cols, depth - 1))
+        return matmul(left, right)
+    if choice == "transpose":
+        inner = draw(shaped_expr(pool, cols, rows, depth - 1))
+        return transpose(inner)
+    coeff = draw(st.sampled_from(NICE_COEFFS))
+    inner = draw(shaped_expr(pool, rows, cols, depth - 1))
+    return scalar_mul(coeff, inner)
+
+
+@st.composite
+def expr_with_env(draw, max_depth: int = 3):
+    """A random square expression plus its pool (for env construction)."""
+    pool = ExprPool()
+    n = draw(st.sampled_from(DIMS))
+    depth = draw(st.integers(1, max_depth))
+    expr = draw(shaped_expr(pool, n, n, depth))
+    return expr, pool
+
+
+__all__ = ["DIMS", "ExprPool", "NICE_COEFFS", "expr_with_env", "shaped_expr"]

@@ -1,0 +1,124 @@
+"""Truncated matrix exponential maintenance (Section 5.2 application)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.linalg import expm as scipy_expm
+
+from repro.analytics import (
+    IncrementalExpm,
+    WeightedPowerSum,
+    neumann_coefficients,
+    reference_weighted_powers,
+    taylor_coefficients,
+)
+
+
+def contraction(rng, n, norm=0.5):
+    a = rng.normal(size=(n, n))
+    return norm * a / np.linalg.norm(a, ord=2)
+
+
+class TestCoefficients:
+    def test_taylor_values(self):
+        assert taylor_coefficients(4) == [1.0, 1.0, 0.5, 1 / 6, 1 / 24]
+
+    def test_taylor_time_scaling(self):
+        coeffs = taylor_coefficients(3, t=2.0)
+        assert coeffs == [1.0, 2.0, 2.0, 8 / 6]
+
+    def test_neumann_values(self):
+        assert neumann_coefficients(3) == [1.0, 1.0, 1.0, 1.0]
+
+
+class TestWeightedPowerSum:
+    def test_initial_value(self, rng):
+        a = contraction(rng, 6)
+        coeffs = [1.0, 2.0, 3.0]
+        view = WeightedPowerSum(a, coeffs)
+        np.testing.assert_allclose(
+            view.result(), reference_weighted_powers(a, coeffs), atol=1e-10
+        )
+
+    def test_update_stream_tracks_reference(self, rng):
+        a = contraction(rng, 6)
+        coeffs = taylor_coefficients(8)
+        view = WeightedPowerSum(a, coeffs)
+        for _ in range(5):
+            u = 0.05 * rng.normal(size=(6, 1))
+            v = 0.05 * rng.normal(size=(6, 1))
+            view.refresh(u, v)
+        assert view.revalidate() < 1e-8
+
+    def test_zero_coefficients_skip_terms(self, rng):
+        a = contraction(rng, 5)
+        view = WeightedPowerSum(a, [0.0, 0.0, 1.0])  # just A^2
+        u, v = rng.normal(size=(5, 1)), rng.normal(size=(5, 1))
+        view.refresh(0.1 * u, 0.1 * v)
+        np.testing.assert_allclose(
+            view.result(), np.linalg.matrix_power(view.a, 2), atol=1e-9
+        )
+
+    def test_neumann_series_approximates_inverse(self, rng):
+        a = contraction(rng, 5, norm=0.3)
+        view = WeightedPowerSum(a, neumann_coefficients(40))
+        expected = np.linalg.inv(np.eye(5) - a)
+        np.testing.assert_allclose(view.result(), expected, atol=1e-8)
+
+    def test_requires_two_coefficients(self, rng):
+        with pytest.raises(ValueError, match="at least"):
+            WeightedPowerSum(contraction(rng, 4), [1.0])
+
+    def test_memory_accounts_views(self, rng):
+        view = WeightedPowerSum(contraction(rng, 8), taylor_coefficients(4))
+        # k power views + the combined view, all 8x8 float64.
+        assert view.memory_bytes() >= 5 * 8 * 8 * 8
+
+
+class TestIncrementalExpm:
+    def test_matches_scipy_initially(self, rng):
+        a = contraction(rng, 6)
+        view = IncrementalExpm(a, order=16)
+        np.testing.assert_allclose(view.result(), scipy_expm(a), atol=1e-10)
+
+    def test_matches_scipy_after_updates(self, rng):
+        a = contraction(rng, 6)
+        view = IncrementalExpm(a, order=16)
+        for _ in range(4):
+            u = 0.05 * rng.normal(size=(6, 1))
+            v = 0.05 * rng.normal(size=(6, 1))
+            view.refresh(u, v)
+        np.testing.assert_allclose(view.result(), scipy_expm(view.a),
+                                   atol=1e-8)
+
+    def test_time_parameter(self, rng):
+        a = contraction(rng, 5)
+        view = IncrementalExpm(a, order=16, t=0.5)
+        np.testing.assert_allclose(view.result(), scipy_expm(0.5 * a),
+                                   atol=1e-10)
+
+    def test_ode_propagation(self, rng):
+        a = contraction(rng, 5)
+        x0 = rng.normal(size=5)
+        view = IncrementalExpm(a, order=16)
+        expected = scipy_expm(a) @ x0.reshape(-1, 1)
+        np.testing.assert_allclose(view.propagate(x0), expected, atol=1e-9)
+
+    def test_expm_of_zero_is_identity(self):
+        view = IncrementalExpm(np.zeros((4, 4)), order=6)
+        np.testing.assert_allclose(view.result(), np.eye(4), atol=1e-12)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=9999),
+           n=st.integers(min_value=2, max_value=7))
+    def test_property_tracks_scipy_under_updates(self, seed, n):
+        rng = np.random.default_rng(seed)
+        a = contraction(rng, n, norm=0.4)
+        view = IncrementalExpm(a, order=14)
+        for _ in range(3):
+            u = 0.05 * rng.normal(size=(n, 1))
+            v = 0.05 * rng.normal(size=(n, 1))
+            view.refresh(u, v)
+        np.testing.assert_allclose(view.result(), scipy_expm(view.a),
+                                   atol=1e-6)

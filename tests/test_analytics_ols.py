@@ -1,0 +1,171 @@
+"""OLS analytics: incremental estimator vs re-evaluation and lstsq."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import IncrementalOLS, ReevalOLS
+from repro.cost import Counter
+from repro.delta import SingularUpdateError
+from repro.workloads import regression_data, row_update_factors
+
+
+def _updates(rng, m, n, count, scale=0.1):
+    return list(row_update_factors(rng, m, n, count, scale))
+
+
+class TestCorrectness:
+    def test_initial_estimate_matches_lstsq(self, rng):
+        x, y, _ = regression_data(rng, 30, 8, 2)
+        model = IncrementalOLS(x, y)
+        expected = np.linalg.lstsq(x, y, rcond=None)[0]
+        np.testing.assert_allclose(model.beta, expected, atol=1e-8)
+
+    @pytest.mark.parametrize("method", ["sherman-morrison", "woodbury"])
+    def test_stream_matches_reeval(self, method, rng):
+        x, y, _ = regression_data(rng, 25, 7, 2)
+        incr = IncrementalOLS(x, y, method=method)
+        reeval = ReevalOLS(x, y)
+        for u, v in _updates(rng, 25, 7, 10):
+            incr.refresh(u, v)
+            reeval.refresh(u, v)
+        for attr in ("z", "w", "c", "beta"):
+            np.testing.assert_allclose(
+                getattr(incr, attr), getattr(reeval, attr),
+                rtol=1e-6, atol=1e-8, err_msg=attr,
+            )
+
+    def test_recovers_true_parameters(self, rng):
+        x, y, beta_true = regression_data(rng, 200, 5, 1, noise=0.001)
+        model = IncrementalOLS(x, y)
+        np.testing.assert_allclose(model.beta, beta_true, atol=0.01)
+
+    def test_long_stream_drift_bounded(self, rng):
+        x, y, _ = regression_data(rng, 30, 6, 1)
+        model = IncrementalOLS(x, y)
+        for u, v in _updates(rng, 30, 6, 100, scale=0.05):
+            model.refresh(u, v)
+        assert model.revalidate() < 1e-6
+
+    def test_methods_agree(self, rng):
+        x, y, _ = regression_data(rng, 20, 6, 1)
+        sm = IncrementalOLS(x, y, method="sherman-morrison")
+        wb = IncrementalOLS(x, y, method="woodbury")
+        for u, v in _updates(rng, 20, 6, 5):
+            sm.refresh(u, v)
+            wb.refresh(u, v)
+        np.testing.assert_allclose(sm.beta, wb.beta, rtol=1e-8)
+
+    def test_unknown_method_rejected(self, rng):
+        x, y, _ = regression_data(rng, 10, 4, 1)
+        with pytest.raises(ValueError, match="unknown method"):
+            IncrementalOLS(x, y, method="magic")
+
+    def test_vector_y_normalized(self, rng):
+        x, y, _ = regression_data(rng, 15, 5, 1)
+        model = IncrementalOLS(x, y.reshape(-1))
+        assert model.beta.shape == (5, 1)
+
+
+class TestSingularity:
+    def test_singular_update_raises(self):
+        # X = I, update u = -e0, v = e0 zeroes the first row: X'X singular.
+        x = np.eye(4)
+        y = np.ones((4, 1))
+        model = IncrementalOLS(x, y)
+        e0 = np.zeros((4, 1)); e0[0, 0] = 1.0
+        with pytest.raises(SingularUpdateError):
+            model.refresh(-e0, e0)
+
+
+class TestCosts:
+    def test_incr_flops_scale_quadratically(self):
+        """Section 5.1: INCR O(n^2 + mn) vs REEVAL O(n^3 + mn^2)."""
+        flops = {}
+        for n in (16, 32, 64):
+            rng = np.random.default_rng(0)
+            x, y, _ = regression_data(rng, 2 * n, n, 1)
+            incr_counter, reeval_counter = Counter(), Counter()
+            incr = IncrementalOLS(x, y, counter=incr_counter)
+            reeval = ReevalOLS(x, y, counter=reeval_counter)
+            incr_counter.reset(); reeval_counter.reset()
+            u = 0.1 * rng.normal(size=(2 * n, 1))
+            v = 0.1 * rng.normal(size=(n, 1))
+            incr.refresh(u, v)
+            reeval.refresh(u, v)
+            flops[n] = (incr_counter.total_flops, reeval_counter.total_flops)
+        incr_growth = flops[64][0] / flops[16][0]
+        reeval_growth = flops[64][1] / flops[16][1]
+        assert incr_growth < 25        # ~quadratic
+        assert reeval_growth > 40      # ~cubic
+        assert flops[64][1] > 10 * flops[64][0]
+
+    def test_memory_footprints_comparable(self, rng):
+        x, y, _ = regression_data(rng, 20, 8, 1)
+        incr = IncrementalOLS(x, y)
+        reeval = ReevalOLS(x, y)
+        assert incr.memory_bytes() == reeval.memory_bytes()
+
+
+class TestQRIncrementalOLS:
+    """The Section 4.2 QR hook applied to the Section 5.1 workload."""
+
+    def test_beta_matches_lstsq(self, rng):
+        from repro.analytics import QRIncrementalOLS
+
+        x = rng.normal(size=(20, 6))
+        y = rng.normal(size=20)
+        model = QRIncrementalOLS(x, y)
+        expected, *_ = np.linalg.lstsq(x, y.reshape(-1, 1), rcond=None)
+        np.testing.assert_allclose(model.beta, expected, atol=1e-9)
+
+    def test_tracks_update_stream(self, rng):
+        from repro.analytics import QRIncrementalOLS
+
+        x = rng.normal(size=(16, 5))
+        y = rng.normal(size=(16, 1))
+        model = QRIncrementalOLS(x, y)
+        for _ in range(20):
+            u = 0.1 * rng.normal(size=(16, 1))
+            v = 0.1 * rng.normal(size=(5, 1))
+            model.refresh(u, v)
+        assert model.revalidate() < 1e-8
+
+    def test_agrees_with_sherman_morrison_route(self, rng):
+        from repro.analytics import IncrementalOLS, QRIncrementalOLS
+        from repro.workloads import well_conditioned_design
+
+        n = 24
+        x = well_conditioned_design(rng, n, n, ridge=2.0)
+        y = rng.normal(size=(n, 1))
+        qr_model = QRIncrementalOLS(x, y)
+        sm_model = IncrementalOLS(x, y)
+        for seed in range(5):
+            gen = np.random.default_rng(seed)
+            u = np.zeros((n, 1))
+            u[gen.integers(n), 0] = 1.0
+            v = 0.01 * gen.standard_normal((n, 1))
+            qr_model.refresh(u, v)
+            sm_model.refresh(u, v)
+        np.testing.assert_allclose(qr_model.beta, sm_model.beta, atol=1e-6)
+
+    def test_survives_near_collinear_design(self, rng):
+        # Nearly collinear columns: X'X has condition ~1e16 and the
+        # normal-equation route loses all digits; unpivoted QR works on
+        # the original X (condition ~1e8) and keeps the residual optimal.
+        from repro.analytics import QRIncrementalOLS
+
+        base = rng.normal(size=12)
+        x = np.column_stack([base, base + 1e-8 * rng.normal(size=12),
+                             rng.normal(size=12)])
+        y = rng.normal(size=(12, 1))
+        model = QRIncrementalOLS(x, y)
+        residual = np.linalg.norm(x @ model.beta - y)
+        expected, *_ = np.linalg.lstsq(x, y, rcond=None)
+        assert residual <= np.linalg.norm(x @ expected - y) * (1 + 1e-6)
+
+    def test_memory_accounts_square_q(self, rng):
+        from repro.analytics import QRIncrementalOLS
+
+        model = QRIncrementalOLS(rng.normal(size=(10, 4)), rng.normal(size=10))
+        # Full Q (m x m) + R (m x n) + y.
+        assert model.memory_bytes() == (10 * 10 + 10 * 4 + 10) * 8

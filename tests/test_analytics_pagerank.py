@@ -1,0 +1,134 @@
+"""Incremental PageRank on evolving graphs, checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    IncrementalPageRank,
+    reference_pagerank,
+    transition_matrix,
+)
+from repro.iterative import Model
+from repro.workloads import random_adjacency
+
+STRATS = ["REEVAL", "INCR", "HYBRID"]
+
+
+class TestTransitionMatrix:
+    def test_columns_stochastic(self, rng):
+        adj = random_adjacency(rng, 20)
+        m = transition_matrix(adj)
+        np.testing.assert_allclose(m.sum(axis=0), np.ones(20), atol=1e-12)
+
+    def test_dangling_column_uniform(self):
+        adj = np.zeros((4, 4))
+        adj[1, 0] = 1.0  # only node 0 has an out-edge
+        m = transition_matrix(adj)
+        np.testing.assert_allclose(m[:, 2], 0.25 * np.ones(4))
+
+
+class TestAgainstNetworkx:
+    def test_ranks_match_networkx(self, rng):
+        adj = random_adjacency(rng, 25)
+        pr = IncrementalPageRank(adj, k=128, strategy="HYBRID")
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(25))
+        sources, targets = np.nonzero(adj.T)  # adj[t, s] = 1 => edge s->t
+        graph.add_edges_from(zip(sources, targets))
+        nx_ranks = nx.pagerank(graph, alpha=0.85, tol=1e-12, max_iter=500)
+        mine = pr.ranks.reshape(-1)
+        for node in range(25):
+            assert abs(mine[node] - nx_ranks[node]) < 1e-6
+
+    def test_ranks_match_networkx_after_edge_churn(self, rng):
+        adj = random_adjacency(rng, 15)
+        pr = IncrementalPageRank(adj, k=128, strategy="INCR",
+                                 model=Model.linear())
+        pr.add_edge(0, 7)
+        pr.add_edge(3, 9)
+        pr.remove_edge(0, 7)
+        pr.add_edge(11, 2)
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(15))
+        sources, targets = np.nonzero(pr.adjacency.T)
+        graph.add_edges_from(zip(sources, targets))
+        nx_ranks = nx.pagerank(graph, alpha=0.85, tol=1e-12, max_iter=500)
+        mine = pr.ranks.reshape(-1)
+        for node in range(15):
+            assert abs(mine[node] - nx_ranks[node]) < 1e-6
+
+
+class TestIncrementalMaintenance:
+    @pytest.mark.parametrize("strategy", STRATS)
+    def test_strategies_match_reference(self, strategy, rng):
+        adj = random_adjacency(rng, 20)
+        pr = IncrementalPageRank(adj, k=64, strategy=strategy,
+                                 model=Model.linear())
+        pr.add_edge(1, 2)
+        pr.add_edge(5, 9)
+        pr.remove_edge(1, 2)
+        expected = reference_pagerank(pr.adjacency, iterations=64)
+        np.testing.assert_allclose(pr.ranks, expected, atol=1e-10)
+
+    def test_ranks_sum_to_one(self, rng):
+        adj = random_adjacency(rng, 20)
+        pr = IncrementalPageRank(adj, k=64)
+        pr.add_edge(0, 3)
+        assert abs(pr.ranks.sum() - 1.0) < 1e-9
+
+    def test_duplicate_edge_is_noop(self, rng):
+        adj = random_adjacency(rng, 10)
+        src, dst = np.nonzero(adj.T)[0][0], np.nonzero(adj.T)[1][0]
+        pr = IncrementalPageRank(adj, k=32)
+        before = pr.ranks.copy()
+        pr.add_edge(int(src), int(dst))  # already present
+        np.testing.assert_array_equal(pr.ranks, before)
+
+    def test_missing_edge_removal_is_noop(self, rng):
+        adj = random_adjacency(rng, 10)
+        zero = np.argwhere(adj.T == 0)
+        src, dst = (int(z) for z in zero[0])
+        pr = IncrementalPageRank(adj, k=32)
+        before = pr.ranks.copy()
+        pr.remove_edge(src, dst)
+        np.testing.assert_array_equal(pr.ranks, before)
+
+    def test_edge_to_dangling_node(self):
+        """Adding the first out-edge of a dangling node is still rank-1."""
+        adj = np.zeros((5, 5))
+        adj[1, 0] = 1.0
+        adj[2, 1] = 1.0
+        adj[0, 2] = 1.0  # nodes 3, 4 dangling
+        pr = IncrementalPageRank(adj, k=128, strategy="INCR",
+                                 model=Model.linear())
+        pr.add_edge(3, 0)
+        expected = reference_pagerank(pr.adjacency, iterations=128)
+        np.testing.assert_allclose(pr.ranks, expected, atol=1e-10)
+        assert pr.revalidate() < 1e-10
+
+    def test_top_nodes_ordering(self, rng):
+        adj = random_adjacency(rng, 30)
+        # make node 7 popular
+        adj[7, :] = 1.0
+        adj[7, 7] = 0.0
+        pr = IncrementalPageRank(adj, k=64)
+        top = pr.top(3)
+        assert top[0][0] == 7
+        scores = [score for _, score in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_long_churn_drift_bounded(self, rng):
+        adj = random_adjacency(rng, 15)
+        pr = IncrementalPageRank(adj, k=64, strategy="INCR",
+                                 model=Model.linear())
+        for i in range(40):
+            src = int(rng.integers(0, 15))
+            dst = int(rng.integers(0, 15))
+            if src == dst:
+                continue
+            if pr.adjacency[dst, src]:
+                pr.remove_edge(src, dst)
+            else:
+                pr.add_edge(src, dst)
+        assert pr.revalidate() < 1e-8

@@ -1,0 +1,100 @@
+"""Incremental power iteration (Section 5.3's p = 1 instance)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics import (
+    IncrementalPowerIteration,
+    reference_dominant_eigenpair,
+)
+
+
+def gapped_matrix(rng, n, gap=3.0):
+    """Symmetric matrix with a well-separated dominant eigenvalue."""
+    q, _ = np.linalg.qr(rng.normal(size=(n, n)))
+    values = np.concatenate([[gap], rng.uniform(0.1, 0.9, size=n - 1)])
+    return (q * values) @ q.T
+
+
+class TestReferenceEigenpair:
+    def test_diagonal_case(self):
+        val, vec = reference_dominant_eigenpair(np.diag([3.0, 1.0, 2.0]))
+        assert val == pytest.approx(3.0)
+        np.testing.assert_allclose(vec, [1.0, 0.0, 0.0], atol=1e-12)
+
+    def test_magnitude_dominance(self):
+        val, _ = reference_dominant_eigenpair(np.diag([-5.0, 2.0]))
+        assert val == pytest.approx(-5.0)
+
+
+class TestIncrementalPowerIteration:
+    def test_initial_estimate_converges(self, rng):
+        a = gapped_matrix(rng, 8)
+        pi = IncrementalPowerIteration(a, k=48)
+        val, vec = reference_dominant_eigenpair(a)
+        assert pi.eigenvalue() == pytest.approx(val, rel=1e-6)
+        np.testing.assert_allclose(pi.eigenvector(), vec, atol=1e-5)
+
+    def test_residual_reflects_quality(self, rng):
+        a = gapped_matrix(rng, 8)
+        few = IncrementalPowerIteration(a, k=4)
+        many = IncrementalPowerIteration(a, k=64)
+        assert many.residual() <= few.residual() + 1e-12
+
+    def test_update_tracks_moving_eigenpair(self, rng):
+        a = gapped_matrix(rng, 8)
+        pi = IncrementalPowerIteration(a, k=48)
+        for _ in range(4):
+            u = 0.05 * rng.normal(size=(8, 1))
+            pi.refresh(u, u)  # symmetric perturbation
+        val, vec = reference_dominant_eigenpair(pi.a)
+        assert pi.eigenvalue() == pytest.approx(val, rel=1e-4)
+        np.testing.assert_allclose(pi.eigenvector(), vec, atol=1e-3)
+
+    def test_iterate_is_unnormalized_power(self, rng):
+        a = gapped_matrix(rng, 6)
+        x0 = rng.normal(size=(6, 1))
+        pi = IncrementalPowerIteration(a, k=8, x0=x0)
+        expected = np.linalg.matrix_power(a, 8) @ x0
+        np.testing.assert_allclose(pi.iterate(), expected, atol=1e-8)
+
+    def test_strategies_agree(self, rng):
+        a = gapped_matrix(rng, 6)
+        u = 0.1 * rng.normal(size=(6, 1))
+        v = 0.1 * rng.normal(size=(6, 1))
+        iterates = {}
+        for strategy in ("REEVAL", "INCR", "HYBRID"):
+            pi = IncrementalPowerIteration(a, k=16, strategy=strategy)
+            pi.refresh(u, v)
+            iterates[strategy] = pi.iterate()
+        np.testing.assert_allclose(iterates["REEVAL"], iterates["HYBRID"],
+                                   atol=1e-7)
+        np.testing.assert_allclose(iterates["REEVAL"], iterates["INCR"],
+                                   atol=1e-7)
+
+    def test_rejects_non_square(self, rng):
+        with pytest.raises(ValueError, match="square"):
+            IncrementalPowerIteration(rng.normal(size=(3, 4)))
+
+    def test_zero_iterate_raises(self):
+        a = np.zeros((3, 3))
+        pi = IncrementalPowerIteration(a, k=4)
+        with pytest.raises(ArithmeticError, match="collapsed"):
+            pi.eigenvector()
+
+    def test_sign_convention_stable(self, rng):
+        a = gapped_matrix(rng, 7)
+        pi = IncrementalPowerIteration(a, k=32)
+        vec = pi.eigenvector()
+        assert vec[int(np.argmax(np.abs(vec)))] >= 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=9999))
+    def test_property_rayleigh_quotient_bounded_by_spectrum(self, seed):
+        rng = np.random.default_rng(seed)
+        a = gapped_matrix(rng, 6)
+        pi = IncrementalPowerIteration(a, k=16)
+        values = np.linalg.eigvalsh(a)
+        assert values.min() - 1e-9 <= pi.eigenvalue() <= values.max() + 1e-9

@@ -1,0 +1,164 @@
+"""Bounded-hop reachability maintenance (Section 5.2 application)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics import ReachabilityIndex, reference_reachable_pairs
+from repro.iterative import Model
+
+
+def random_digraph(rng, n, density=0.2):
+    adjacency = np.zeros((n, n))
+    for src in range(n):
+        for dst in range(n):
+            if src != dst and rng.uniform() < density:
+                adjacency[dst, src] = 1.0
+    return adjacency
+
+
+def nx_reachable(adjacency, src, dst, max_hops):
+    """Ground truth via networkx shortest path length with a hop cutoff."""
+    graph = nx.DiGraph()
+    n = adjacency.shape[0]
+    graph.add_nodes_from(range(n))
+    for s in range(n):
+        for d in range(n):
+            if adjacency[d, s]:
+                graph.add_edge(s, d)
+    try:
+        return nx.shortest_path_length(graph, src, dst) <= max_hops
+    except nx.NetworkXNoPath:
+        return False
+
+
+class TestReferencePairs:
+    def test_matches_networkx(self, rng):
+        adjacency = random_digraph(rng, 8)
+        k = 4
+        pairs = reference_reachable_pairs(adjacency, k)
+        for src in range(8):
+            for dst in range(8):
+                assert pairs[dst, src] == nx_reachable(
+                    adjacency, src, dst, k - 1
+                ), (src, dst)
+
+
+class TestReachabilityIndex:
+    def test_initial_state_matches_reference(self, rng):
+        adjacency = random_digraph(rng, 10)
+        index = ReachabilityIndex(adjacency, k=8)
+        np.testing.assert_array_equal(
+            index.reachable_pairs(), reference_reachable_pairs(adjacency, 8)
+        )
+
+    def test_add_edge_repairs_view(self, rng):
+        adjacency = random_digraph(rng, 9, density=0.1)
+        index = ReachabilityIndex(adjacency, k=8)
+        free = [(s, d) for s in range(9) for d in range(9)
+                if s != d and adjacency[d, s] == 0]
+        for src, dst in free[:5]:
+            index.add_edge(src, dst)
+        np.testing.assert_array_equal(
+            index.reachable_pairs(),
+            reference_reachable_pairs(index.adjacency, 8),
+        )
+
+    def test_remove_edge_repairs_view(self, rng):
+        adjacency = random_digraph(rng, 9, density=0.4)
+        index = ReachabilityIndex(adjacency, k=8)
+        present = [(s, d) for s in range(9) for d in range(9)
+                   if adjacency[d, s] == 1]
+        for src, dst in present[:4]:
+            index.remove_edge(src, dst)
+        np.testing.assert_array_equal(
+            index.reachable_pairs(),
+            reference_reachable_pairs(index.adjacency, 8),
+        )
+
+    def test_new_path_detected(self):
+        # 0 -> 1, 2 -> 3 disconnected; adding 1 -> 2 links 0 to 3.
+        adjacency = np.zeros((4, 4))
+        adjacency[1, 0] = 1.0
+        adjacency[3, 2] = 1.0
+        index = ReachabilityIndex(adjacency, k=4)
+        assert not index.reachable(0, 3)
+        index.add_edge(1, 2)
+        assert index.reachable(0, 3)
+        assert index.reachable_set(0) == [0, 1, 2, 3]
+
+    def test_path_loss_detected(self):
+        adjacency = np.zeros((3, 3))
+        adjacency[1, 0] = 1.0
+        adjacency[2, 1] = 1.0
+        index = ReachabilityIndex(adjacency, k=4)
+        assert index.reachable(0, 2)
+        index.remove_edge(1, 2)
+        assert not index.reachable(0, 2)
+        assert index.reachable(0, 1)
+
+    def test_hop_bound_respected(self):
+        # A 5-chain: 0 -> 1 -> 2 -> 3 -> 4 needs 4 hops.
+        adjacency = np.zeros((5, 5))
+        for i in range(4):
+            adjacency[i + 1, i] = 1.0
+        short = ReachabilityIndex(adjacency, k=4)   # < 4 hops
+        assert not short.reachable(0, 4)
+        long = ReachabilityIndex(adjacency, k=8)
+        assert long.reachable(0, 4)
+
+    def test_duplicate_edge_rejected(self):
+        adjacency = np.zeros((3, 3))
+        adjacency[1, 0] = 1.0
+        index = ReachabilityIndex(adjacency, k=4)
+        with pytest.raises(ValueError, match="already present"):
+            index.add_edge(0, 1)
+        with pytest.raises(ValueError, match="not present"):
+            index.remove_edge(1, 2)
+
+    def test_out_of_range_edge_rejected(self):
+        index = ReachabilityIndex(np.zeros((3, 3)), k=4)
+        with pytest.raises(IndexError):
+            index.add_edge(0, 5)
+
+    def test_non_power_of_two_k_uses_linear_model(self):
+        index = ReachabilityIndex(np.zeros((3, 3)), k=5)
+        assert index.model.kind == Model.LINEAR
+        index.add_edge(0, 1)
+        assert index.reachable(0, 1)
+
+    def test_k_below_two_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            ReachabilityIndex(np.zeros((3, 3)), k=1)
+
+    def test_walk_counts_are_exact(self):
+        # Triangle 0 -> 1 -> 2 -> 0: walks of length < 4 from 0 to 0:
+        # the empty walk and the full cycle.
+        adjacency = np.zeros((3, 3))
+        adjacency[1, 0] = adjacency[2, 1] = adjacency[0, 2] = 1.0
+        index = ReachabilityIndex(adjacency, k=4)
+        counts = index.walk_counts()
+        assert counts[0, 0] == pytest.approx(2.0)
+        assert counts[1, 0] == pytest.approx(1.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=9999))
+    def test_property_random_edit_stream(self, seed):
+        rng = np.random.default_rng(seed)
+        adjacency = random_digraph(rng, 7, density=0.25)
+        index = ReachabilityIndex(adjacency, k=4)
+        for _ in range(6):
+            src = int(rng.integers(7))
+            dst = int(rng.integers(7))
+            if src == dst:
+                continue
+            if index.adjacency[dst, src]:
+                index.remove_edge(src, dst)
+            else:
+                index.add_edge(src, dst)
+        np.testing.assert_array_equal(
+            index.reachable_pairs(),
+            reference_reachable_pairs(index.adjacency, 4),
+        )

@@ -1,0 +1,90 @@
+"""Gradient-descent linear regression (the Fig. 3h analytics)."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import GradientDescentLR, reference_gradient_descent
+from repro.iterative import Model
+from repro.workloads import regression_data, row_update_factors
+
+MODELS = [Model.linear(), Model.exponential(), Model.skip(4)]
+STRATS = ["REEVAL", "INCR", "HYBRID"]
+
+
+class TestCorrectness:
+    def test_initial_theta_matches_reference(self, rng):
+        x, y, _ = regression_data(rng, 30, 10, 2)
+        gd = GradientDescentLR(x, y, k=16, eta=0.01)
+        np.testing.assert_allclose(
+            gd.theta, reference_gradient_descent(x, y, 16, 0.01), atol=1e-9
+        )
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+    @pytest.mark.parametrize("strategy", STRATS)
+    def test_data_update_stream(self, model, strategy, rng):
+        m, n, p, k = 24, 8, 2, 16
+        x, y, _ = regression_data(rng, m, n, p)
+        gd = GradientDescentLR(x, y, k=k, eta=0.01, model=model,
+                               strategy=strategy)
+        for u, v in row_update_factors(rng, m, n, 4, scale=0.05):
+            gd.refresh_x(u, v)
+        expected = reference_gradient_descent(gd.x, y, k, 0.01)
+        np.testing.assert_allclose(gd.theta, expected, atol=1e-8)
+
+    def test_direct_a_update(self, rng):
+        """Fig. 3h workload: rank-1 perturbations straight on A."""
+        m, n, k = 20, 8, 16
+        x, y, _ = regression_data(rng, m, n, 1)
+        gd = GradientDescentLR(x, y, k=k, eta=0.01, model=Model.exponential(),
+                               strategy="INCR")
+        a0 = gd.a.copy()
+        theta0 = np.zeros((n, 1))
+        u = 0.01 * rng.normal(size=(n, 1))
+        v = 0.01 * rng.normal(size=(n, 1))
+        gd.refresh_a(u, v)
+        a_new = a0 + u @ v.T
+        b = 0.01 * (x.T @ y)
+        expected = theta0
+        for _ in range(k):
+            expected = a_new @ expected + b
+        np.testing.assert_allclose(gd.theta, expected, atol=1e-9)
+
+    def test_convergence_towards_lstsq(self, rng):
+        x, y, _ = regression_data(rng, 60, 6, 1, noise=0.01)
+        eta = 0.5 / np.linalg.norm(x.T @ x, 2)
+        # eta must keep I - eta X'X contractive; then more steps = closer.
+        gd_short = GradientDescentLR(x, y, k=8, eta=eta)
+        gd_long = GradientDescentLR(x, y, k=256, eta=eta)
+        target = np.linalg.lstsq(x, y, rcond=None)[0]
+        err_short = np.abs(gd_short.theta - target).max()
+        err_long = np.abs(gd_long.theta - target).max()
+        assert err_long < err_short
+        assert err_long < 1e-3
+
+    def test_loss_decreases_with_iterations(self, rng):
+        x, y, _ = regression_data(rng, 40, 6, 1)
+        eta = 0.5 / np.linalg.norm(x.T @ x, 2)
+        losses = [
+            GradientDescentLR(x, y, k=k, eta=eta).loss() for k in (2, 8, 32)
+        ]
+        assert losses[0] > losses[1] > losses[2]
+
+    def test_strategies_agree_after_updates(self, rng):
+        m, n, p, k = 20, 6, 2, 16
+        x, y, _ = regression_data(rng, m, n, p)
+        models = [
+            GradientDescentLR(x, y, k=k, eta=0.01, model=Model.skip(4),
+                              strategy=s)
+            for s in STRATS
+        ]
+        for u, v in row_update_factors(rng, m, n, 3, scale=0.05):
+            for gd in models:
+                gd.refresh_x(u, v)
+        for gd in models[1:]:
+            np.testing.assert_allclose(gd.theta, models[0].theta, atol=1e-8)
+
+    def test_memory_accounting_positive(self, rng):
+        x, y, _ = regression_data(rng, 20, 6, 1)
+        gd = GradientDescentLR(x, y, k=16, eta=0.01, strategy="INCR",
+                               model=Model.exponential())
+        assert gd.memory_bytes() > x.nbytes + y.nbytes

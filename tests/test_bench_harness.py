@@ -1,0 +1,159 @@
+"""Benchmark harness plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    Series,
+    compare_strategies,
+    format_seconds,
+    paper_vs_measured,
+    render_comparison_table,
+    render_series,
+    time_refresh,
+)
+
+
+class _FakeMaintainer:
+    def __init__(self):
+        self.calls = 0
+
+    def refresh(self, u, v):
+        self.calls += 1
+
+
+class TestSeries:
+    def test_add_and_lookup(self):
+        series = Series("t")
+        series.add("REEVAL", 2.0)
+        series.add("INCR", 0.5)
+        assert series.value("INCR") == 0.5
+        assert series.speedup("REEVAL", "INCR") == 4.0
+
+    def test_missing_label(self):
+        with pytest.raises(ValueError):
+            Series("t").value("nope")
+
+
+class TestTimeRefresh:
+    def test_applies_all_updates(self, rng):
+        maintainer = _FakeMaintainer()
+        updates = [(rng.normal(size=(3, 1)), rng.normal(size=(3, 1)))
+                   for _ in range(5)]
+        seconds = time_refresh(maintainer, updates, warmup=2)
+        assert maintainer.calls == 5
+        assert seconds >= 0.0
+
+    def test_needs_more_than_warmup(self, rng):
+        with pytest.raises(ValueError):
+            time_refresh(_FakeMaintainer(), [(None, None)], warmup=1)
+
+    def test_compare_strategies_same_stream(self, rng):
+        streams = []
+
+        def updates_factory():
+            stream = [(np.ones((2, 1)), np.ones((2, 1))) for _ in range(3)]
+            streams.append(stream)
+            return stream
+
+        series = compare_strategies(
+            "demo",
+            {"a": _FakeMaintainer, "b": _FakeMaintainer},
+            updates_factory,
+        )
+        assert series.labels == ["a", "b"]
+        assert len(streams) == 2
+
+
+class TestReporting:
+    def test_format_seconds_scales(self):
+        assert format_seconds(5e-7).strip().endswith("us")
+        assert format_seconds(5e-2).strip().endswith("ms")
+        assert format_seconds(2.0).strip().endswith("s")
+
+    def test_render_series_with_speedups(self):
+        series = Series("Fig Xx")
+        series.add("REEVAL", 1.0)
+        series.add("INCR", 0.1)
+        text = render_series(series, baseline="REEVAL")
+        assert "Fig Xx" in text
+        assert "10.0x vs REEVAL" in text
+
+    def test_render_comparison_table(self):
+        text = render_comparison_table(
+            "Table T", ["a", "b"], {"row1": [1.0, 2.0]},
+            formatter=lambda v: f"{v:.1f}",
+        )
+        assert "Table T" in text and "row1" in text and "2.0" in text
+
+    def test_paper_vs_measured_line(self):
+        line = paper_vs_measured("Fig 3a", "18.1x (Octave)", 12.3)
+        assert "Fig 3a" in line and "12.3x" in line
+
+
+class TestTimeRefreshTrimmed:
+    """The outlier-robust timing path used by the figure reports."""
+
+    def test_counts_refreshes_correctly(self):
+        from repro.bench import time_refresh_trimmed
+
+        class Recorder:
+            def __init__(self):
+                self.calls = 0
+
+            def refresh(self, u, v):
+                self.calls += 1
+
+        recorder = Recorder()
+        updates = [(None, None)] * 12
+        time_refresh_trimmed(recorder, updates, warmup=1, trim=2)
+        assert recorder.calls == 12
+
+    def test_requires_enough_samples(self):
+        from repro.bench import time_refresh_trimmed
+
+        class Noop:
+            def refresh(self, u, v):
+                pass
+
+        with pytest.raises(ValueError, match="more than warmup"):
+            time_refresh_trimmed(Noop(), [(None, None)] * 5, warmup=1, trim=2)
+
+    def test_trims_outliers(self):
+        from repro.bench import time_refresh_trimmed
+
+        class Spiky:
+            """One refresh sleeps; the trimmed mean must not see it."""
+
+            def __init__(self):
+                self.calls = 0
+
+            def refresh(self, u, v):
+                import time as time_mod
+
+                self.calls += 1
+                if self.calls == 5:
+                    time_mod.sleep(0.05)
+
+        trimmed = time_refresh_trimmed(Spiky(), [(None, None)] * 12,
+                                       warmup=1, trim=2)
+        assert trimmed < 0.01  # the 50 ms spike was discarded
+
+    def test_result_positive_and_finite(self):
+        import numpy as np
+
+        from repro.analytics import IncrementalOLS
+        from repro.bench import time_refresh_trimmed
+        from repro.workloads import well_conditioned_design
+
+        rng = np.random.default_rng(1)
+        x = well_conditioned_design(rng, 16, 16, ridge=2.0)
+        model = IncrementalOLS(x, rng.normal(size=(16, 1)))
+        updates = []
+        for seed in range(12):
+            gen = np.random.default_rng(seed)
+            u = np.zeros((16, 1))
+            u[gen.integers(16), 0] = 1.0
+            updates.append((u, 0.01 * gen.standard_normal((16, 1))))
+        seconds = time_refresh_trimmed(model, updates)
+        assert 0.0 < seconds < 1.0

@@ -1,0 +1,149 @@
+"""Code generation: Python/NumPy backend and Octave backend."""
+
+import numpy as np
+
+from repro.compiler import (
+    Program,
+    Statement,
+    compile_program,
+    compile_trigger_function,
+    generate_octave_trigger,
+    generate_python_trigger,
+)
+from repro.compiler.codegen.octave_gen import emit_octave
+from repro.compiler.codegen.python_gen import emit_expr
+from repro.expr import (
+    Identity,
+    MatrixSymbol,
+    NamedDim,
+    ZeroMatrix,
+    add,
+    hstack,
+    inverse,
+    matmul,
+    neg,
+    scalar_mul,
+    sub,
+    transpose,
+    vstack,
+)
+
+n = NamedDim("n")
+A = MatrixSymbol("A", n, n)
+B = MatrixSymbol("B", n, n)
+C = MatrixSymbol("C", n, n)
+u = MatrixSymbol("u", n, 1)
+v = MatrixSymbol("v", n, 1)
+
+
+def a4_program():
+    return Program([A], [Statement(B, matmul(A, A)), Statement(C, matmul(B, B))])
+
+
+class TestPythonEmission:
+    def test_product(self):
+        assert emit_expr(matmul(A, B)) == "A @ B"
+
+    def test_sum_and_difference(self):
+        assert emit_expr(add(A, B)) == "A + B"
+        assert emit_expr(sub(A, B)) == "A - B"
+
+    def test_transpose(self):
+        assert emit_expr(transpose(A)) == "A.T"
+        assert emit_expr(transpose(matmul(A, B))) == "(A @ B).T"
+
+    def test_inverse(self):
+        assert emit_expr(inverse(A)) == "np.linalg.inv(A)"
+
+    def test_scalar_and_negation(self):
+        assert emit_expr(neg(A)) == "-A"
+        assert emit_expr(scalar_mul(2.0, A)) == "2.0 * A"
+
+    def test_stacks(self):
+        assert emit_expr(hstack([u, v])) == "np.hstack([u, v])"
+        assert emit_expr(vstack([transpose(u), transpose(v)])) == (
+            "np.vstack([u.T, v.T])"
+        )
+
+    def test_identity_uses_dims(self):
+        assert emit_expr(Identity(n)) == "np.eye(dims['n'])"
+        assert emit_expr(Identity(5)) == "np.eye(5)"
+
+    def test_zeros(self):
+        assert emit_expr(ZeroMatrix(n, 2)) == "np.zeros((dims['n'], 2))"
+
+    def test_precedence_parens(self):
+        assert emit_expr(matmul(add(A, B), C)) == "(A + B) @ C"
+        assert emit_expr(add(matmul(A, B), C)) == "A @ B + C"
+
+    def test_association_preserved(self):
+        cheap = matmul(A, matmul(u, matmul(transpose(v), u)))
+        assert emit_expr(cheap) == "A @ (u @ (v.T @ u))"
+
+
+class TestPythonTrigger:
+    def test_source_shape(self):
+        trigger = compile_program(a4_program())["A"]
+        source = generate_python_trigger(trigger)
+        assert source.startswith("def on_update_A(views, u_A, v_A, dims=None):")
+        assert "views['A'] = A + u_A @ v_A.T" in source
+        assert "U_B = np.hstack([u_A, A @ u_A + u_A @ (v_A.T @ u_A)])" in source
+
+    def test_compiled_function_matches_interpreter(self, rng):
+        size = 8
+        trigger = compile_program(a4_program())["A"]
+        fn = compile_trigger_function(trigger)
+        a0 = rng.normal(size=(size, size))
+        views = {"A": a0.copy(), "B": a0 @ a0, "C": (a0 @ a0) @ (a0 @ a0)}
+        uu = rng.normal(size=(size, 1))
+        vv = rng.normal(size=(size, 1))
+        fn(views, uu, vv)
+        a_new = a0 + uu @ vv.T
+        np.testing.assert_allclose(views["A"], a_new, rtol=1e-10)
+        np.testing.assert_allclose(views["B"], a_new @ a_new, rtol=1e-8)
+        np.testing.assert_allclose(
+            views["C"], np.linalg.matrix_power(a_new, 4), rtol=1e-7
+        )
+
+    def test_source_attached_to_function(self):
+        trigger = compile_program(a4_program())["A"]
+        fn = compile_trigger_function(trigger)
+        assert "def on_update_A" in fn.__source__
+
+    def test_custom_function_name(self):
+        trigger = compile_program(a4_program())["A"]
+        source = generate_python_trigger(trigger, function_name="maintain")
+        assert source.startswith("def maintain(")
+
+
+class TestOctaveEmission:
+    def test_product_and_transpose(self):
+        assert emit_octave(matmul(A, B)) == "A*B"
+        assert emit_octave(transpose(A)) == "A'"
+
+    def test_inverse_and_eye(self):
+        assert emit_octave(inverse(A)) == "inv(A)"
+        assert emit_octave(Identity(n)) == "eye(n)"
+
+    def test_stacks(self):
+        assert emit_octave(hstack([u, v])) == "[u, v]"
+        assert emit_octave(vstack([transpose(u), transpose(v)])) == "[u'; v']"
+
+    def test_example_46_trigger_text(self):
+        """Generated Octave matches the paper's published trigger."""
+        trigger = compile_program(a4_program())["A"]
+        source = generate_octave_trigger(trigger)
+        assert "function on_update_A(u_A, v_A)" in source
+        assert "U_B = [u_A, A*u_A + u_A*(v_A'*u_A)];" in source
+        assert "V_B = [A'*v_A, v_A];" in source
+        assert "U_C = [U_B, B*U_B + U_B*(V_B'*U_B)];" in source
+        assert "V_C = [B'*V_B, V_B];" in source
+        assert "A += u_A*v_A';" in source
+        assert "B += U_B*V_B';" in source
+        assert "C += U_C*V_C';" in source
+        assert source.rstrip().endswith("end")
+
+    def test_global_declaration_lists_views(self):
+        trigger = compile_program(a4_program())["A"]
+        source = generate_octave_trigger(trigger)
+        assert "global A B C;" in source

@@ -1,0 +1,125 @@
+"""Spark (Scala) code generation backend."""
+
+import pytest
+
+from repro.compiler import Program, Statement, compile_program
+from repro.compiler.codegen import generate_spark_trigger
+from repro.compiler.codegen.spark_gen import emit_spark
+from repro.expr import (
+    Identity,
+    MatrixSymbol,
+    NamedDim,
+    ZeroMatrix,
+    hstack,
+    matmul,
+    scalar_mul,
+    sub,
+    transpose,
+    vstack,
+)
+
+n = NamedDim("n")
+A = MatrixSymbol("A", n, n)
+B = MatrixSymbol("B", n, n)
+C = MatrixSymbol("C", n, n)
+u = MatrixSymbol("u", n, 1)
+v = MatrixSymbol("v", n, 1)
+
+
+def a4_program():
+    return Program([A], [Statement(B, matmul(A, A)), Statement(C, matmul(B, B))])
+
+
+class TestEmitSpark:
+    def test_symbol(self):
+        assert emit_spark(A) == "A"
+
+    def test_product_chains_multiply(self):
+        assert emit_spark(matmul(A, B)) == "A.multiply(B)"
+
+    def test_association_survives(self):
+        left = matmul(matmul(A, B), C)
+        right = matmul(A, matmul(B, C))
+        assert emit_spark(left) == "A.multiply(B).multiply(C)"
+        assert emit_spark(right) == "A.multiply(B.multiply(C))"
+        assert emit_spark(left) != emit_spark(right)
+
+    def test_addition_and_subtraction(self):
+        assert emit_spark(A + B) == "A.add(B)"
+        assert emit_spark(sub(A, B)) == "A.subtract(B)"
+
+    def test_scalar_multiplication(self):
+        assert emit_spark(scalar_mul(2.5, A)) == "A.scale(2.5)"
+
+    def test_transpose_and_inverse(self):
+        assert emit_spark(transpose(A)) == "A.transpose"
+        assert emit_spark(A.inv) == "A.inverse"
+
+    def test_identity_and_zeros(self):
+        assert emit_spark(Identity(n)) == "BlockMatrix.eye(n)"
+        assert emit_spark(ZeroMatrix(n, 3)) == "BlockMatrix.zeros(n, 3)"
+
+    def test_stacking(self):
+        assert emit_spark(hstack([u, v])) == "BlockMatrix.hstack(u, v)"
+        assert (emit_spark(vstack([transpose(u), transpose(v)]))
+                == "BlockMatrix.vstack(u.transpose, v.transpose)")
+
+    def test_nested_delta_shape(self):
+        # u (v' A): the matrix-vector order of Section 4.2.
+        expr = matmul(u, matmul(transpose(v), A))
+        assert emit_spark(expr) == "u.multiply(v.transpose.multiply(A))"
+
+
+class TestGenerateSparkTrigger:
+    @pytest.fixture
+    def trigger(self):
+        return compile_program(a4_program())["A"]
+
+    def test_method_signature(self, trigger):
+        source = generate_spark_trigger(trigger)
+        assert source.startswith("def onUpdateA(")
+        assert "u_A: LocalMatrix" in source
+        assert "v_A: LocalMatrix" in source
+
+    def test_parameters_broadcast(self, trigger):
+        source = generate_spark_trigger(trigger)
+        assert "sc.broadcast(u_A)" in source
+        assert "sc.broadcast(v_A)" in source
+
+    def test_delta_factors_assigned_and_broadcast(self, trigger):
+        source = generate_spark_trigger(trigger)
+        # Algorithm 1 produces U/V factor assignments for B and C.
+        assert "val U_B = " in source
+        assert "sc.broadcast(U_B)" in source
+        assert "val V_C = " in source
+
+    def test_views_updated_blockwise(self, trigger):
+        source = generate_spark_trigger(trigger)
+        assert "A.blockwiseAdd(" in source
+        assert "B.blockwiseAdd(" in source
+        assert "C.blockwiseAdd(" in source
+
+    def test_update_order_preserved(self, trigger):
+        source = generate_spark_trigger(trigger)
+        assert source.index("A.blockwiseAdd") < source.index("B.blockwiseAdd")
+        assert source.index("B.blockwiseAdd") < source.index("C.blockwiseAdd")
+
+    def test_custom_method_name(self, trigger):
+        source = generate_spark_trigger(trigger, method_name="refresh")
+        assert source.startswith("def refresh(")
+
+    def test_no_dense_products_in_incremental_trigger(self, trigger):
+        # The A^4 trigger must never multiply two full views directly:
+        # every multiply chains off a broadcast factor (u_A, v_A, U_*,
+        # V_*) or applies a view to one.  "B.multiply(C)"-style
+        # view-by-view products would be a shuffle-heavy O(n^gamma)
+        # regression.
+        source = generate_spark_trigger(trigger)
+        for bad in ("A.multiply(A)", "A.multiply(B)", "B.multiply(B)",
+                    "B.multiply(C)", "C.multiply(C)"):
+            assert bad not in source
+
+    def test_braces_balanced(self, trigger):
+        source = generate_spark_trigger(trigger)
+        assert source.count("{") == source.count("}")
+        assert source.rstrip().endswith("}")

@@ -1,0 +1,224 @@
+"""Cost-based product-chain re-association (Section 5.1 evaluation order)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.chain import (
+    UnboundDimensionError,
+    chain_cost,
+    chain_factors,
+    chain_split,
+    left_to_right_cost,
+    optimal_product,
+    optimize_chains,
+    optimize_trigger_chains,
+)
+from repro.cost.flops import matmul_flops
+from repro.expr import MatMul, MatrixSymbol, NamedDim
+from repro.runtime import evaluate
+
+
+def brute_force_cost(dims):
+    """Minimal chain cost by exhaustive enumeration (exponential)."""
+    f = len(dims) - 1
+    if f == 1:
+        return 0
+
+    def rec(i, j):
+        if i == j:
+            return 0
+        return min(
+            rec(i, k) + rec(k + 1, j)
+            + matmul_flops(dims[i], dims[k + 1], dims[j + 1])
+            for k in range(i, j)
+        )
+
+    return rec(0, f - 1)
+
+
+class TestChainSplit:
+    def test_textbook_example(self):
+        # CLRS 15.2: dims (30,35,15,5,10,20,25) -> 15125 scalar mults.
+        # matmul_flops counts 2nmp (multiply + add), so 2x.
+        cost, _ = chain_split([30, 35, 15, 5, 10, 20, 25])
+        assert cost == 2 * 15125
+
+    def test_single_factor_costs_nothing(self):
+        cost, _ = chain_split([7, 3])
+        assert cost == 0
+
+    def test_two_factors(self):
+        cost, _ = chain_split([4, 5, 6])
+        assert cost == matmul_flops(4, 5, 6)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            chain_split([5])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=30),
+                    min_size=3, max_size=8))
+    def test_dp_matches_brute_force(self, dims):
+        cost, _ = chain_split(dims)
+        assert cost == brute_force_cost(dims)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=30),
+                    min_size=3, max_size=8))
+    def test_dp_never_beaten_by_left_to_right(self, dims):
+        cost, _ = chain_split(dims)
+        assert cost <= left_to_right_cost(dims)
+
+
+class TestOptimizeChains:
+    def test_vector_chain_associates_right(self):
+        # A (n x n), B (n x n), v (n x 1): optimal is A (B v).
+        n = 50
+        a = MatrixSymbol("A", n, n)
+        b = MatrixSymbol("B", n, n)
+        v = MatrixSymbol("v", n, 1)
+        expr = MatMul([MatMul([a, b]), v])
+        opt = optimize_chains(expr, {})
+        # The right-associated tree multiplies B v first.
+        assert isinstance(opt, MatMul)
+        assert opt.children[0] == a
+        assert chain_cost(opt, {}) < chain_cost(expr, {})
+
+    def test_row_vector_chain_associates_left(self):
+        n = 50
+        u = MatrixSymbol("u", 1, n)
+        a = MatrixSymbol("A", n, n)
+        b = MatrixSymbol("B", n, n)
+        expr = MatMul([u, MatMul([a, b])])
+        opt = optimize_chains(expr, {})
+        assert chain_cost(opt, {}) == 2 * (2 * n * n)
+
+    def test_symbolic_dims_resolved_through_binding(self):
+        ndim = NamedDim("n")
+        a = MatrixSymbol("A", ndim, ndim)
+        v = MatrixSymbol("v", ndim, 1)
+        expr = MatMul([MatMul([a, a]), v])
+        opt = optimize_chains(expr, {"n": 64})
+        assert chain_cost(opt, {"n": 64}) < chain_cost(expr, {"n": 64})
+
+    def test_unbound_dimension_raises(self):
+        ndim = NamedDim("n")
+        a = MatrixSymbol("A", ndim, ndim)
+        expr = MatMul([a, a])
+        with pytest.raises(UnboundDimensionError):
+            optimize_chains(expr, {})
+
+    def test_chain_inside_transpose_is_optimized(self):
+        n = 40
+        a = MatrixSymbol("A", n, n)
+        b = MatrixSymbol("B", n, n)
+        v = MatrixSymbol("v", n, 1)
+        expr = MatMul([MatMul([a, b]), v]).T
+        opt = optimize_chains(expr, {})
+        assert chain_cost(opt, {}) < chain_cost(expr, {})
+
+    def test_chain_inside_sum_terms(self):
+        n = 40
+        a = MatrixSymbol("A", n, n)
+        v = MatrixSymbol("v", n, 1)
+        w = MatrixSymbol("w", n, 1)
+        expr = MatMul([MatMul([a, a]), v]) + w
+        opt = optimize_chains(expr, {})
+        assert chain_cost(opt, {}) < chain_cost(expr, {})
+
+    def test_non_product_expression_unchanged(self):
+        a = MatrixSymbol("A", 5, 5)
+        assert optimize_chains(a, {}) is a
+        assert optimize_chains(a + a.T, {}) == a + a.T
+
+    def test_values_preserved(self, rng):
+        n = 12
+        a = MatrixSymbol("A", n, n)
+        b = MatrixSymbol("B", n, n)
+        v = MatrixSymbol("v", n, 1)
+        expr = MatMul([MatMul([a, b]), v]) + MatMul([b, MatMul([a, v])])
+        opt = optimize_chains(expr, {})
+        env = {"A": rng.normal(size=(n, n)), "B": rng.normal(size=(n, n)),
+               "v": rng.normal(size=(n, 1))}
+        np.testing.assert_allclose(
+            evaluate(opt, env), evaluate(expr, env), atol=1e-9
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=9999),
+        sizes=st.lists(st.integers(min_value=1, max_value=9),
+                       min_size=3, max_size=6),
+    )
+    def test_property_reassociation_preserves_values(self, seed, sizes):
+        rng = np.random.default_rng(seed)
+        factors = []
+        env = {}
+        for i, (r, c) in enumerate(zip(sizes, sizes[1:])):
+            name = f"M{i}"
+            factors.append(MatrixSymbol(name, r, c))
+            env[name] = rng.normal(size=(r, c))
+        expr = MatMul(factors) if len(factors) > 1 else factors[0]
+        opt = optimize_chains(expr, {})
+        np.testing.assert_allclose(
+            evaluate(opt, env), evaluate(expr, env), atol=1e-8
+        )
+        assert chain_cost(opt, {}) <= chain_cost(expr, {})
+
+
+class TestChainFactors:
+    def test_flattens_nested_products(self):
+        a = MatrixSymbol("A", 4, 4)
+        expr = MatMul([MatMul([a, a]), MatMul([a, a])])
+        assert chain_factors(expr) == [a, a, a, a]
+
+    def test_atomic_nodes_are_single_factors(self):
+        a = MatrixSymbol("A", 4, 4)
+        assert chain_factors(a) == [a]
+        assert chain_factors(a + a) == [a + a]
+
+    def test_transpose_is_atomic(self):
+        a = MatrixSymbol("A", 4, 6)
+        expr = MatMul([a, a.T])
+        assert chain_factors(expr) == [a, a.T]
+
+
+class TestOptimalProduct:
+    def test_rebuilds_best_split(self):
+        dims = [30, 35, 15, 5, 10, 20, 25]
+        factors = [MatrixSymbol(f"M{i}", r, c)
+                   for i, (r, c) in enumerate(zip(dims, dims[1:]))]
+        opt = optimal_product(factors, {})
+        assert chain_cost(opt, {}) == 2 * 15125
+
+    def test_single_factor_passthrough(self):
+        a = MatrixSymbol("A", 3, 3)
+        assert optimal_product([a], {}) is a
+
+
+class TestTriggerIntegration:
+    def test_trigger_statements_reassociated(self):
+        from repro.compiler import compile_program
+        from repro.compiler.program import Program, Statement
+
+        n = NamedDim("n")
+        a = MatrixSymbol("A", n, n)
+        b = MatrixSymbol("B", n, n)
+        c = MatrixSymbol("C", n, n)
+        program = Program(
+            [a], [Statement(b, a @ a), Statement(c, b @ b)]
+        )
+        trigger = compile_program(program)["A"]
+        optimized = optimize_trigger_chains(trigger, {"n": 128})
+        # Same statement structure, each product optimally associated.
+        assert [a_.target.name for a_ in optimized.assigns] == [
+            a_.target.name for a_ in trigger.assigns
+        ]
+        for orig, opt in zip(trigger.assigns, optimized.assigns):
+            assert chain_cost(opt.expr, {"n": 128}) <= chain_cost(
+                orig.expr, {"n": 128}
+            )

@@ -1,0 +1,118 @@
+"""Program construction and validation."""
+
+import pytest
+
+from repro.compiler import Program, ProgramError, Statement
+from repro.expr import MatrixSymbol, NamedDim, inverse, matmul, transpose
+
+n = NamedDim("n")
+m = NamedDim("m")
+A = MatrixSymbol("A", n, n)
+B = MatrixSymbol("B", n, n)
+C = MatrixSymbol("C", n, n)
+X = MatrixSymbol("X", m, n)
+
+
+def a4_program():
+    return Program([A], [Statement(B, matmul(A, A)), Statement(C, matmul(B, B))])
+
+
+class TestStatement:
+    def test_shape_must_match_target(self):
+        with pytest.raises(ProgramError):
+            Statement(MatrixSymbol("T", n, 1), matmul(A, A))
+
+    def test_repr(self):
+        assert repr(Statement(B, matmul(A, A))) == "B := A * A;"
+
+
+class TestProgramValidation:
+    def test_valid_program(self):
+        program = a4_program()
+        assert program.view_names == ("B", "C")
+        assert program.outputs == ("C",)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProgramError):
+            Program([A], [])
+
+    def test_duplicate_inputs_rejected(self):
+        with pytest.raises(ProgramError):
+            Program([A, MatrixSymbol("A", n, n)], [Statement(B, matmul(A, A))])
+
+    def test_duplicate_targets_rejected(self):
+        with pytest.raises(ProgramError):
+            Program(
+                [A],
+                [Statement(B, matmul(A, A)), Statement(B, matmul(A, A))],
+            )
+
+    def test_target_shadowing_input_rejected(self):
+        with pytest.raises(ProgramError):
+            Program([A], [Statement(MatrixSymbol("A", n, n), matmul(A, A))])
+
+    def test_undefined_reference_rejected(self):
+        with pytest.raises(ProgramError, match="undefined matrix"):
+            Program([A], [Statement(C, matmul(A, B))])
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(ProgramError):
+            Program(
+                [A],
+                [Statement(B, matmul(C, C)), Statement(C, matmul(A, A))],
+            )
+
+    def test_inconsistent_shape_use_rejected(self):
+        wrong_a = MatrixSymbol("A", m, m)
+        with pytest.raises(ProgramError, match="declared"):
+            Program([A], [Statement(MatrixSymbol("D", m, m), matmul(wrong_a, wrong_a))])
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(ProgramError, match="unknown output"):
+            Program([A], [Statement(B, matmul(A, A))], outputs=["Z"])
+
+    def test_input_as_output_rejected(self):
+        with pytest.raises(ProgramError, match="is an input"):
+            Program([A], [Statement(B, matmul(A, A))], outputs=["A"])
+
+    def test_default_output_is_last_statement(self):
+        assert a4_program().outputs == ("C",)
+
+    def test_explicit_outputs(self):
+        program = Program(
+            [A],
+            [Statement(B, matmul(A, A)), Statement(C, matmul(B, B))],
+            outputs=["B", "C"],
+        )
+        assert program.outputs == ("B", "C")
+
+
+class TestProgramAccessors:
+    def test_input_lookup(self):
+        assert a4_program().input("A") == A
+        with pytest.raises(KeyError):
+            a4_program().input("Z")
+
+    def test_statement_lookup(self):
+        stmt = a4_program().statement_for("B")
+        assert stmt.expr == matmul(A, A)
+        with pytest.raises(KeyError):
+            a4_program().statement_for("Z")
+
+    def test_iteration_and_len(self):
+        program = a4_program()
+        assert len(program) == 2
+        assert [s.target.name for s in program] == ["B", "C"]
+
+    def test_repr_contains_statements(self):
+        text = repr(a4_program())
+        assert "B := A * A;" in text and "output: C" in text
+
+    def test_rectangular_program(self):
+        z = MatrixSymbol("Z", n, n)
+        w = MatrixSymbol("W", n, n)
+        program = Program(
+            [X],
+            [Statement(z, matmul(transpose(X), X)), Statement(w, inverse(z))],
+        )
+        assert program.view_names == ("Z", "W")

@@ -1,0 +1,144 @@
+"""Strategy advisor: mechanized Section 5 who-wins analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost import counters
+from repro.cost.advisor import (
+    Recommendation,
+    best_general,
+    best_powers,
+    recommend_general,
+    recommend_powers,
+    speedup_estimate,
+)
+from repro.iterative import make_general, make_powers, parse_model
+
+
+class TestPowersAdvice:
+    def test_incr_exp_wins_at_paper_regime(self):
+        # k << n: the Section 5.2 analysis says INCR-EXP dominates.
+        best = best_powers(n=10_000, k=16)
+        assert best.label == "INCR-EXP"
+
+    def test_ranking_is_sorted(self):
+        ranked = recommend_powers(n=1000, k=16)
+        times = [r.time for r in ranked]
+        assert times == sorted(times)
+
+    def test_all_cells_present_for_power_of_two_k(self):
+        ranked = recommend_powers(n=100, k=8)
+        labels = {r.label for r in ranked}
+        # 2 strategies x (LIN, EXP, SKIP-2, SKIP-4).
+        assert labels == {
+            "REEVAL-LIN", "REEVAL-EXP", "REEVAL-SKIP-2", "REEVAL-SKIP-4",
+            "INCR-LIN", "INCR-EXP", "INCR-SKIP-2", "INCR-SKIP-4",
+        }
+
+    def test_non_power_of_two_k_limits_to_linear(self):
+        ranked = recommend_powers(n=100, k=5)
+        assert {r.label for r in ranked} == {"REEVAL-LIN", "INCR-LIN"}
+
+    def test_memory_budget_excludes_incremental(self):
+        # INCR must store every scheduled power; a budget of barely one
+        # matrix forces REEVAL.
+        n, k = 100, 16
+        ranked = recommend_powers(n, k, memory_budget=1.5 * n * n)
+        assert all(r.strategy == "REEVAL" for r in ranked)
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(ValueError, match="no configuration fits"):
+            recommend_powers(100, 16, memory_budget=10.0)
+
+    def test_speedup_estimate_positive(self):
+        ranked = recommend_powers(n=10_000, k=16)
+        assert speedup_estimate(ranked) > 10.0
+
+    def test_advice_matches_counted_flops(self, rng):
+        # The advisor's ordering must agree with actual counted FLOPs
+        # of the real maintainers (n=64, k=8, one rank-1 refresh).
+        n, k = 64, 8
+        a = 0.5 * rng.normal(size=(n, n))
+        u = np.zeros((n, 1))
+        u[3, 0] = 1.0
+        v = 0.01 * rng.normal(size=(n, 1))
+        measured = {}
+        for label in ("REEVAL-EXP", "INCR-EXP", "INCR-LIN"):
+            strategy, model = label.split("-", 1)
+            counter = counters.Counter()
+            maintainer = make_powers(strategy, a, k, parse_model(model),
+                                     counter)
+            counter.reset()
+            maintainer.refresh(u, v)
+            measured[label] = counter.total_flops
+        predictions = {r.label: r.time for r in recommend_powers(n, k)}
+        # Pairwise order agreement between prediction and measurement.
+        labels = list(measured)
+        for i, x in enumerate(labels):
+            for y in labels[i + 1:]:
+                assert ((predictions[x] < predictions[y])
+                        == (measured[x] < measured[y])), (x, y)
+
+
+class TestGeneralAdvice:
+    def test_hybrid_wins_at_p_equals_one(self):
+        # Fig. 3g / Section 5.3.2: p = 1 favours hybrid evaluation.
+        best = best_general(n=30_000, p=1, k=16)
+        assert best.strategy == "HYBRID"
+
+    def test_incr_wins_at_large_p(self):
+        # p > n: incremental evaluation dominates (Section 5.3.2).
+        best = best_general(n=1000, p=4000, k=16)
+        assert best.strategy == "INCR"
+
+    def test_skip_considered_for_hybrid(self):
+        # Fig. 3h: the Skip model has the lowest incremental refresh
+        # time for the LR workload (n=30K, p=1K, k=16).
+        ranked = recommend_general(n=30_000, p=1000, k=16)
+        non_reeval = [r for r in ranked if r.strategy != "REEVAL"]
+        assert any(r.model == "skip" for r in non_reeval[:3])
+
+    def test_p_validation(self):
+        with pytest.raises(ValueError, match="p >= 1"):
+            recommend_general(100, 0, 8)
+
+    def test_labels_well_formed(self):
+        for rec in recommend_general(100, 10, 8):
+            assert rec.strategy in ("REEVAL", "INCR", "HYBRID")
+            assert rec.label.startswith(rec.strategy)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=10, max_value=100_000),
+        p=st.integers(min_value=1, max_value=10_000),
+        log_k=st.integers(min_value=1, max_value=8),
+    )
+    def test_property_best_never_beaten_by_any_cell(self, n, p, log_k):
+        k = 2 ** log_k
+        ranked = recommend_general(n, p, k)
+        best = ranked[0]
+        assert all(best.time <= r.time for r in ranked)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=10, max_value=10_000),
+        log_k=st.integers(min_value=1, max_value=8),
+    )
+    def test_property_powers_speedup_at_least_one(self, n, log_k):
+        ranked = recommend_powers(n, 2 ** log_k)
+        assert speedup_estimate(ranked) >= 1.0
+
+
+class TestRecommendationDataclass:
+    def test_label_rendering(self):
+        rec = Recommendation("INCR", "skip", 4, 1.0, 2.0)
+        assert rec.label == "INCR-SKIP-4"
+        rec = Recommendation("REEVAL", "linear", None, 1.0, 2.0)
+        assert rec.label == "REEVAL-LIN"
+
+    def test_frozen(self):
+        rec = Recommendation("INCR", "exponential", None, 1.0, 2.0)
+        with pytest.raises(AttributeError):
+            rec.time = 5.0

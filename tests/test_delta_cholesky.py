@@ -1,0 +1,111 @@
+"""Rank-1 Cholesky maintenance (the Section 4.2 factorization extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delta import SingularUpdateError
+from repro.delta.cholesky import (
+    CholeskyView,
+    cholesky_downdate,
+    cholesky_update,
+)
+
+
+def spd_matrix(rng, n):
+    a = rng.normal(size=(n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+class TestRankOneUpdate:
+    def test_update_matches_refactorization(self, rng):
+        a = spd_matrix(rng, 9)
+        l_factor = np.linalg.cholesky(a)
+        v = rng.normal(size=9)
+        got = cholesky_update(l_factor, v)
+        expected = np.linalg.cholesky(a + np.outer(v, v))
+        np.testing.assert_allclose(got, expected, atol=1e-10)
+
+    def test_downdate_matches_refactorization(self, rng):
+        a = spd_matrix(rng, 7)
+        v = 0.3 * rng.normal(size=7)
+        bumped = a + np.outer(v, v)
+        l_factor = np.linalg.cholesky(bumped)
+        got = cholesky_downdate(l_factor, v)
+        np.testing.assert_allclose(got, np.linalg.cholesky(a), atol=1e-9)
+
+    def test_update_then_downdate_roundtrip(self, rng):
+        a = spd_matrix(rng, 8)
+        l_factor = np.linalg.cholesky(a)
+        v = rng.normal(size=8)
+        back = cholesky_downdate(cholesky_update(l_factor, v), v)
+        np.testing.assert_allclose(back, l_factor, atol=1e-9)
+
+    def test_inputs_not_mutated(self, rng):
+        a = spd_matrix(rng, 6)
+        l_factor = np.linalg.cholesky(a)
+        snapshot = l_factor.copy()
+        v = rng.normal(size=6)
+        v_snapshot = v.copy()
+        cholesky_update(l_factor, v)
+        np.testing.assert_array_equal(l_factor, snapshot)
+        np.testing.assert_array_equal(v, v_snapshot)
+
+    def test_indefinite_downdate_raises(self, rng):
+        a = np.eye(4)
+        l_factor = np.linalg.cholesky(a)
+        v = np.zeros(4)
+        v[0] = 2.0  # A - v v' has a negative eigenvalue
+        with pytest.raises(SingularUpdateError):
+            cholesky_downdate(l_factor, v)
+
+    def test_shape_validation(self, rng):
+        l_factor = np.linalg.cholesky(spd_matrix(rng, 5))
+        with pytest.raises(ValueError):
+            cholesky_update(l_factor, np.ones(4))
+        with pytest.raises(ValueError):
+            cholesky_update(np.ones((3, 4)), np.ones(3))
+
+
+class TestCholeskyView:
+    def test_maintained_matrix(self, rng):
+        a = spd_matrix(rng, 8)
+        view = CholeskyView(a)
+        updates = [rng.normal(size=8) for _ in range(5)]
+        current = a.copy()
+        for v in updates:
+            view.update(v)
+            current += np.outer(v, v)
+        np.testing.assert_allclose(view.matrix(), current, rtol=1e-9)
+
+    def test_solve(self, rng):
+        a = spd_matrix(rng, 8)
+        view = CholeskyView(a)
+        v = rng.normal(size=8)
+        view.update(v)
+        b = rng.normal(size=(8, 2))
+        x = view.solve(b)
+        np.testing.assert_allclose(
+            (a + np.outer(v, v)) @ x, b, atol=1e-8
+        )
+
+    def test_non_spd_initial_rejected(self):
+        with pytest.raises(SingularUpdateError):
+            CholeskyView(-np.eye(3))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), n=st.integers(2, 12))
+def test_update_property(seed, n):
+    rng = np.random.default_rng(seed)
+    a = spd_matrix(rng, n)
+    l_factor = np.linalg.cholesky(a)
+    v = rng.normal(size=n)
+    got = cholesky_update(l_factor, v)
+    np.testing.assert_allclose(
+        got @ got.T, a + np.outer(v, v), rtol=1e-8, atol=1e-8
+    )
+    # The factor stays lower triangular with positive diagonal.
+    assert np.allclose(got, np.tril(got))
+    assert (np.diag(got) > 0).all()

@@ -1,0 +1,252 @@
+"""Delta derivation correctness: symbolic deltas equal numeric differences.
+
+The master invariant (Section 4.1): for every expression E and factored
+update dA, ``E(A + dA) - E(A) == dense(compute_delta(E, {A: dA}))``.
+Checked on the paper's examples and on random expression trees via
+hypothesis.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delta import FactoredDelta, UnsupportedDeltaError, compute_delta
+from repro.expr import (
+    Identity,
+    MatrixSymbol,
+    NamedDim,
+    add,
+    hstack,
+    inverse,
+    matmul,
+    scalar_mul,
+    sub,
+    transpose,
+)
+from repro.runtime import evaluate
+
+n = NamedDim("n")
+A = MatrixSymbol("A", n, n)
+B = MatrixSymbol("B", n, n)
+u = MatrixSymbol("u", n, 1)
+v = MatrixSymbol("v", n, 1)
+DA = FactoredDelta.rank_one(u, v)
+
+
+def numeric_delta(expr, env, size, update_name="A"):
+    """E(env with updated matrix) - E(env) evaluated densely."""
+    before = evaluate(expr, env, dims={"n": size})
+    bumped = dict(env)
+    bumped[update_name] = env[update_name] + env["u"] @ env["v"].T
+    after = evaluate(expr, bumped, dims={"n": size})
+    return after - before
+
+
+def check(expr, rng, size=6, extra=(), update_name="A"):
+    env = {
+        "A": rng.normal(size=(size, size)),
+        "B": rng.normal(size=(size, size)),
+        "u": rng.normal(size=(size, 1)),
+        "v": rng.normal(size=(size, 1)),
+    }
+    for name, shape in extra:
+        env[name] = rng.normal(size=shape)
+    delta = compute_delta(expr, {update_name: DA})
+    got = evaluate(delta.to_expr(), env, dims={"n": size})
+    expected = numeric_delta(expr, env, size, update_name)
+    np.testing.assert_allclose(got, expected, rtol=1e-8, atol=1e-8)
+    return delta
+
+
+class TestBasicRules:
+    def test_delta_of_updated_symbol(self, rng):
+        delta = check(A, rng)
+        assert delta.width == 1
+
+    def test_delta_of_other_symbol_is_zero(self):
+        delta = compute_delta(B, {"A": DA})
+        assert delta.is_zero
+
+    def test_delta_of_identity_is_zero(self):
+        assert compute_delta(Identity(n), {"A": DA}).is_zero
+
+    def test_sum_rule(self, rng):
+        check(add(A, B), rng)
+        check(add(A, A), rng)
+
+    def test_difference_rule(self, rng):
+        check(sub(A, B), rng)
+        delta = compute_delta(sub(B, A), {"A": DA})
+        assert not delta.is_zero  # -dA
+
+    def test_scalar_rule(self, rng):
+        check(scalar_mul(2.5, A), rng)
+
+    def test_transpose_rule(self, rng):
+        delta = check(transpose(A), rng)
+        assert delta.width == 1  # factors swapped, width unchanged
+
+    def test_product_rule_square(self, rng):
+        delta = check(matmul(A, B), rng)
+        assert delta.width == 1  # only left factor changes
+
+    def test_product_rule_both_sides(self, rng):
+        delta = check(matmul(A, A), rng)
+        assert delta.width == 2  # Example 4.4 / Section 4.3
+
+    def test_gram_product(self, rng):
+        delta = check(matmul(transpose(A), A), rng)
+        assert delta.width == 2  # dZ of Example 4.2
+
+    def test_triple_product(self, rng):
+        delta = check(matmul(A, A, A), rng)
+        assert delta.width == 3  # cube: one per factor occurrence
+
+    def test_inverse_rule(self, rng):
+        # Use a well-conditioned A so inv() and the delta are stable.
+        size = 6
+        env = {
+            "A": rng.normal(size=(size, size)) + 10 * np.eye(size),
+            "u": 0.1 * rng.normal(size=(size, 1)),
+            "v": 0.1 * rng.normal(size=(size, 1)),
+        }
+        expr = inverse(A)
+        delta = compute_delta(expr, {"A": DA})
+        assert delta.width == 1  # Sherman-Morrison keeps rank 1
+        got = evaluate(delta.to_expr(), env, dims={"n": size})
+        before = np.linalg.inv(env["A"])
+        after = np.linalg.inv(env["A"] + env["u"] @ env["v"].T)
+        np.testing.assert_allclose(got, after - before, rtol=1e-7, atol=1e-9)
+
+    def test_inverse_of_unrelated_is_zero(self):
+        assert compute_delta(inverse(B), {"A": DA}).is_zero
+
+    def test_stack_raises(self):
+        with pytest.raises(UnsupportedDeltaError):
+            compute_delta(hstack([u, v]), {"u": FactoredDelta.rank_one(u, v)})
+
+
+class TestPaperExamples:
+    def test_example_43_width_growth(self):
+        """A^4 program: dB width 2, dC width 4 (Section 4.3)."""
+        d_b = compute_delta(matmul(A, A), {"A": DA})
+        assert d_b.width == 2
+        d_c = compute_delta(matmul(B, B), {"B": d_b})
+        assert d_c.width == 4
+        # and dD for the A^8 extension is a product of (n x 8) blocks
+        c_sym = MatrixSymbol("C", n, n)
+        d_d = compute_delta(matmul(c_sym, c_sym), {"C": d_c})
+        assert d_d.width == 8
+
+    def test_example_43_structure(self):
+        """U_B = [u, A u + u (v'u)], V_B = [A'v, v] verbatim."""
+        d_b = compute_delta(matmul(A, A), {"A": DA})
+        assert repr(d_b.u_expr) == "[u, A * u + u * (v' * u)]"
+        assert repr(d_b.v_expr) == "[A' * v, v]"
+
+    def test_a4_delta_values_through_two_statements(self, rng):
+        size = 7
+        env = {
+            "A": rng.normal(size=(size, size)),
+            "u": rng.normal(size=(size, 1)),
+            "v": rng.normal(size=(size, 1)),
+        }
+        env["B"] = env["A"] @ env["A"]
+        d_b = compute_delta(matmul(A, A), {"A": DA})
+        d_c = compute_delta(matmul(B, B), {"B": d_b})
+        a_new = env["A"] + env["u"] @ env["v"].T
+        expected_c = np.linalg.matrix_power(a_new, 4) - np.linalg.matrix_power(
+            env["A"], 4
+        )
+        got_c = evaluate(d_c.to_expr(), env, dims={"n": size})
+        np.testing.assert_allclose(got_c, expected_c, rtol=1e-8)
+
+    def test_ols_z_delta(self, rng):
+        """dZ of Example 4.2 via X' X with rectangular X."""
+        m = NamedDim("m")
+        x = MatrixSymbol("X", m, n)
+        u_x = MatrixSymbol("u", m, 1)
+        v_x = MatrixSymbol("v", n, 1)
+        dx = FactoredDelta.rank_one(u_x, v_x)
+        delta = compute_delta(matmul(transpose(x), x), {"X": dx})
+        assert delta.width == 2
+        size_m, size_n = 9, 5
+        env = {
+            "X": rng.normal(size=(size_m, size_n)),
+            "u": rng.normal(size=(size_m, 1)),
+            "v": rng.normal(size=(size_n, 1)),
+        }
+        got = evaluate(delta.to_expr(), env, dims={"m": size_m, "n": size_n})
+        x_new = env["X"] + env["u"] @ env["v"].T
+        expected = x_new.T @ x_new - env["X"].T @ env["X"]
+        np.testing.assert_allclose(got, expected, rtol=1e-8)
+
+
+class TestInverseReference:
+    def test_inverse_ref_substitutes_view(self):
+        w = MatrixSymbol("W", n, n)
+        expr = inverse(A)
+        delta = compute_delta(expr, {"A": DA}, inverse_refs={expr: w})
+        from repro.expr import references
+
+        assert references(delta.to_expr(), "W")
+        # the delta must NOT re-invert the full operand
+        from repro.expr import walk, Inverse
+
+        inversions = [
+            node for node in walk(delta.to_expr()) if isinstance(node, Inverse)
+        ]
+        assert all(node.child.shape.rows == 1 for node in inversions), (
+            "only the k x k capacitance matrix may be inverted"
+        )
+
+
+# -- hypothesis: delta rule correctness on random trees ---------------------
+
+
+def _tree_strategy():
+    leaf = st.sampled_from([A, B])
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda t: add(*t)),
+            st.tuples(children, children).map(lambda t: sub(*t)),
+            st.tuples(children, children).map(lambda t: matmul(*t)),
+            children.map(transpose),
+            children.map(lambda e: scalar_mul(0.5, e)),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=10)
+
+
+@settings(max_examples=60, deadline=None)
+@given(expr=_tree_strategy(), seed=st.integers(0, 2**31 - 1))
+def test_delta_matches_numeric_difference(expr, seed):
+    rng = np.random.default_rng(seed)
+    size = 5
+    env = {
+        "A": rng.normal(size=(size, size)),
+        "B": rng.normal(size=(size, size)),
+        "u": rng.normal(size=(size, 1)),
+        "v": rng.normal(size=(size, 1)),
+    }
+    delta = compute_delta(expr, {"A": DA})
+    got = evaluate(delta.to_expr(), env, dims={"n": size})
+    expected = numeric_delta(expr, env, size)
+    np.testing.assert_allclose(got, expected, rtol=1e-6, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(expr=_tree_strategy())
+def test_delta_width_bounded_by_occurrences(expr):
+    """Factored widths never exceed the number of A-occurrences (S4.3)."""
+    from repro.expr import walk
+
+    occurrences = sum(
+        1 for node in walk(expr) if isinstance(node, MatrixSymbol) and node.name == "A"
+    )
+    delta = compute_delta(expr, {"A": DA})
+    width = delta.width
+    assert isinstance(width, int)
+    assert width <= max(occurrences, 0) or delta.is_zero

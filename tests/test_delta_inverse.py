@@ -1,0 +1,142 @@
+"""Sherman–Morrison / Woodbury incremental inversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delta import (
+    SingularUpdateError,
+    sequential_sherman_morrison,
+    sherman_morrison_apply,
+    sherman_morrison_delta,
+    woodbury_apply,
+    woodbury_delta,
+)
+
+
+def well_conditioned(rng, size):
+    a = rng.normal(size=(size, size))
+    return a @ a.T + size * np.eye(size)
+
+
+class TestShermanMorrison:
+    def test_matches_direct_inverse(self, rng):
+        e = well_conditioned(rng, 8)
+        w = np.linalg.inv(e)
+        u = rng.normal(size=(8, 1))
+        v = rng.normal(size=(8, 1))
+        got = sherman_morrison_apply(w, u, v)
+        expected = np.linalg.inv(e + u @ v.T)
+        np.testing.assert_allclose(got, expected, rtol=1e-8)
+
+    def test_delta_is_rank_one(self, rng):
+        e = well_conditioned(rng, 6)
+        w = np.linalg.inv(e)
+        p, q = sherman_morrison_delta(w, rng.normal(size=(6, 1)),
+                                      rng.normal(size=(6, 1)))
+        assert p.shape == (6, 1) and q.shape == (6, 1)
+        assert np.linalg.matrix_rank(p @ q.T) == 1
+
+    def test_accepts_flat_vectors(self, rng):
+        e = well_conditioned(rng, 5)
+        w = np.linalg.inv(e)
+        got = sherman_morrison_apply(w, rng.normal(size=5), rng.normal(size=5))
+        assert got.shape == (5, 5)
+
+    def test_singular_update_detected(self):
+        # E = I, u = -v with v'v = 1 makes 1 + v'Wu = 0.
+        w = np.eye(4)
+        v = np.zeros((4, 1))
+        v[0, 0] = 1.0
+        with pytest.raises(SingularUpdateError):
+            sherman_morrison_delta(w, -v, v)
+
+    def test_sequential_two_rank_ones(self, rng):
+        e = well_conditioned(rng, 7)
+        w = np.linalg.inv(e)
+        pairs = [
+            (rng.normal(size=(7, 1)), rng.normal(size=(7, 1))) for _ in range(2)
+        ]
+        got = sequential_sherman_morrison(w, pairs)
+        total = sum(u @ v.T for u, v in pairs)
+        np.testing.assert_allclose(got, np.linalg.inv(e + total), rtol=1e-7)
+
+
+class TestWoodbury:
+    def test_matches_direct_inverse_rank2(self, rng):
+        e = well_conditioned(rng, 9)
+        w = np.linalg.inv(e)
+        u = rng.normal(size=(9, 2))
+        v = rng.normal(size=(9, 2))
+        got = woodbury_apply(w, u, v)
+        np.testing.assert_allclose(got, np.linalg.inv(e + u @ v.T), rtol=1e-8)
+
+    def test_rank1_equals_sherman_morrison(self, rng):
+        e = well_conditioned(rng, 6)
+        w = np.linalg.inv(e)
+        u = rng.normal(size=(6, 1))
+        v = rng.normal(size=(6, 1))
+        np.testing.assert_allclose(
+            woodbury_apply(w, u, v), sherman_morrison_apply(w, u, v), rtol=1e-10
+        )
+
+    def test_equals_sequential_sherman_morrison(self, rng):
+        """One Woodbury step == outer products absorbed one at a time."""
+        e = well_conditioned(rng, 8)
+        w = np.linalg.inv(e)
+        u = rng.normal(size=(8, 3))
+        v = rng.normal(size=(8, 3))
+        pairs = [(u[:, i:i + 1], v[:, i:i + 1]) for i in range(3)]
+        np.testing.assert_allclose(
+            woodbury_apply(w, u, v),
+            sequential_sherman_morrison(w, pairs),
+            rtol=1e-7,
+        )
+
+    def test_delta_factor_shapes(self, rng):
+        e = well_conditioned(rng, 7)
+        w = np.linalg.inv(e)
+        p, q = woodbury_delta(w, rng.normal(size=(7, 3)), rng.normal(size=(7, 3)))
+        assert p.shape == (7, 3) and q.shape == (7, 3)
+
+    def test_singular_capacitance_detected(self):
+        w = np.eye(4)
+        u = np.zeros((4, 2))
+        v = np.zeros((4, 2))
+        u[0, 0] = -1.0
+        v[0, 0] = 1.0
+        u[1, 1] = -1.0
+        v[1, 1] = 1.0
+        with pytest.raises(SingularUpdateError):
+            woodbury_delta(w, u, v)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), k=st.integers(1, 4))
+def test_woodbury_property_random_ranks(seed, k):
+    rng = np.random.default_rng(seed)
+    size = 8
+    e = well_conditioned(rng, size)
+    w = np.linalg.inv(e)
+    u = 0.5 * rng.normal(size=(size, k))
+    v = 0.5 * rng.normal(size=(size, k))
+    got = woodbury_apply(w, u, v)
+    expected = np.linalg.inv(e + u @ v.T)
+    np.testing.assert_allclose(got, expected, rtol=1e-6, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_sherman_morrison_inverse_identity_property(seed):
+    """(E + uv')(W + dW) == I after the update."""
+    rng = np.random.default_rng(seed)
+    size = 6
+    e = well_conditioned(rng, size)
+    w = np.linalg.inv(e)
+    u = rng.normal(size=(size, 1))
+    v = rng.normal(size=(size, 1))
+    updated = sherman_morrison_apply(w, u, v)
+    np.testing.assert_allclose(
+        (e + u @ v.T) @ updated, np.eye(size), atol=1e-7
+    )

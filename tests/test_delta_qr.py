@@ -1,0 +1,138 @@
+"""Rank-1 QR maintenance (Golub & Van Loan §12.5.1 Givens scheme)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delta.qr import QRView, qr_rank_one_update
+
+
+def full_qr(a):
+    return np.linalg.qr(a, mode="complete")
+
+
+def assert_upper_trapezoidal(r, atol=1e-9):
+    lower = np.tril(r, k=-1)
+    np.testing.assert_allclose(lower, np.zeros_like(lower), atol=atol)
+
+
+class TestRankOneUpdate:
+    def test_update_reconstructs_matrix(self, rng):
+        a = rng.normal(size=(8, 8))
+        q, r = full_qr(a)
+        u, v = rng.normal(size=8), rng.normal(size=8)
+        q2, r2 = qr_rank_one_update(q, r, u, v)
+        np.testing.assert_allclose(q2 @ r2, a + np.outer(u, v), atol=1e-9)
+
+    def test_q_stays_orthogonal(self, rng):
+        a = rng.normal(size=(9, 9))
+        q, r = full_qr(a)
+        q2, _ = qr_rank_one_update(q, r, rng.normal(size=9), rng.normal(size=9))
+        np.testing.assert_allclose(q2 @ q2.T, np.eye(9), atol=1e-10)
+
+    def test_r_stays_triangular(self, rng):
+        a = rng.normal(size=(7, 7))
+        q, r = full_qr(a)
+        _, r2 = qr_rank_one_update(q, r, rng.normal(size=7), rng.normal(size=7))
+        assert_upper_trapezoidal(r2)
+
+    def test_tall_matrix(self, rng):
+        a = rng.normal(size=(10, 4))
+        q, r = full_qr(a)
+        u, v = rng.normal(size=10), rng.normal(size=4)
+        q2, r2 = qr_rank_one_update(q, r, u, v)
+        np.testing.assert_allclose(q2 @ r2, a + np.outer(u, v), atol=1e-9)
+        assert_upper_trapezoidal(r2)
+        np.testing.assert_allclose(q2 @ q2.T, np.eye(10), atol=1e-10)
+
+    def test_zero_update_is_identity(self, rng):
+        a = rng.normal(size=(6, 6))
+        q, r = full_qr(a)
+        q2, r2 = qr_rank_one_update(q, r, np.zeros(6), rng.normal(size=6))
+        np.testing.assert_allclose(q2 @ r2, a, atol=1e-10)
+
+    def test_inputs_not_mutated(self, rng):
+        a = rng.normal(size=(6, 6))
+        q, r = full_qr(a)
+        q_snap, r_snap = q.copy(), r.copy()
+        qr_rank_one_update(q, r, rng.normal(size=6), rng.normal(size=6))
+        np.testing.assert_array_equal(q, q_snap)
+        np.testing.assert_array_equal(r, r_snap)
+
+    def test_shape_validation(self, rng):
+        a = rng.normal(size=(5, 5))
+        q, r = full_qr(a)
+        with pytest.raises(ValueError):
+            qr_rank_one_update(q[:, :3], r, np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            qr_rank_one_update(q, r, np.zeros(4), np.zeros(5))
+        with pytest.raises(ValueError):
+            qr_rank_one_update(q, r, np.zeros(5), np.zeros(4))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        m=st.integers(min_value=2, max_value=12),
+        n=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_update_equals_dense(self, m, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(m, n))
+        q, r = full_qr(a)
+        u, v = rng.normal(size=m), rng.normal(size=n)
+        q2, r2 = qr_rank_one_update(q, r, u, v)
+        np.testing.assert_allclose(q2 @ r2, a + np.outer(u, v), atol=1e-8)
+        np.testing.assert_allclose(q2 @ q2.T, np.eye(m), atol=1e-8)
+        assert_upper_trapezoidal(r2, atol=1e-8)
+
+
+class TestQRView:
+    def test_tracks_update_stream(self, rng):
+        a = rng.normal(size=(10, 6))
+        view = QRView(a)
+        dense = a.copy()
+        for _ in range(25):
+            u, v = rng.normal(size=10), rng.normal(size=6)
+            view.refresh(u, v)
+            dense += np.outer(u, v)
+        np.testing.assert_allclose(view.matrix(), dense, atol=1e-8)
+        assert view.shape == (10, 6)
+
+    def test_least_squares_matches_lstsq(self, rng):
+        a = rng.normal(size=(12, 5))
+        b = rng.normal(size=12)
+        view = QRView(a)
+        u, v = rng.normal(size=12), rng.normal(size=5)
+        view.refresh(u, v)
+        updated = a + np.outer(u, v)
+        expected, *_ = np.linalg.lstsq(updated, b, rcond=None)
+        np.testing.assert_allclose(view.solve_ls(b), expected, atol=1e-8)
+
+    def test_least_squares_multiple_rhs(self, rng):
+        a = rng.normal(size=(9, 4))
+        b = rng.normal(size=(9, 3))
+        view = QRView(a)
+        expected, *_ = np.linalg.lstsq(a, b, rcond=None)
+        np.testing.assert_allclose(view.solve_ls(b), expected, atol=1e-8)
+
+    def test_orthogonality_drift_small_over_stream(self, rng):
+        view = QRView(rng.normal(size=(8, 8)))
+        for _ in range(100):
+            view.refresh(0.1 * rng.normal(size=8), 0.1 * rng.normal(size=8))
+        assert view.orthogonality_drift() < 1e-10
+
+    def test_ill_conditioned_design_beats_normal_equations(self, rng):
+        # Nearly collinear design: QR least squares stays accurate where
+        # the explicitly inverted X'X loses half the digits.
+        n = 8
+        base = rng.normal(size=n)
+        a = np.column_stack([base + 1e-7 * rng.normal(size=n)
+                             for _ in range(4)])
+        b = rng.normal(size=n)
+        view = QRView(a)
+        expected, *_ = np.linalg.lstsq(a, b, rcond=None)
+        got = view.solve_ls(b)
+        residual_qr = np.linalg.norm(a @ got - b)
+        residual_ref = np.linalg.norm(a @ expected - b)
+        assert residual_qr <= residual_ref * (1 + 1e-6)

@@ -1,0 +1,173 @@
+"""Rank-1 SVD maintenance (Brand's update, the Section 4.2 extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delta.svd import DEFAULT_TOL, SVDView, svd_rank_one_update
+
+
+def thin_svd(a):
+    u, s, vt = np.linalg.svd(a, full_matrices=False)
+    keep = s > DEFAULT_TOL
+    return u[:, keep], s[keep], vt[keep].T
+
+
+def reconstruct(u, s, v):
+    return (u * s) @ v.T
+
+
+class TestRankOneUpdate:
+    def test_full_rank_update_matches_dense(self, rng):
+        a = rng.normal(size=(8, 6))
+        u, s, v = thin_svd(a)
+        x, y = rng.normal(size=8), rng.normal(size=6)
+        u2, s2, v2 = svd_rank_one_update(u, s, v, x, y)
+        np.testing.assert_allclose(
+            reconstruct(u2, s2, v2), a + np.outer(x, y), atol=1e-9
+        )
+
+    def test_singular_values_match_dense_svd(self, rng):
+        a = rng.normal(size=(7, 7))
+        u, s, v = thin_svd(a)
+        x, y = rng.normal(size=7), rng.normal(size=7)
+        _, s2, _ = svd_rank_one_update(u, s, v, x, y)
+        expected = np.linalg.svd(a + np.outer(x, y), compute_uv=False)
+        np.testing.assert_allclose(np.sort(s2), np.sort(expected[expected > DEFAULT_TOL]),
+                                   atol=1e-9)
+
+    def test_bases_stay_orthonormal(self, rng):
+        a = rng.normal(size=(9, 5))
+        u, s, v = thin_svd(a)
+        x, y = rng.normal(size=9), rng.normal(size=5)
+        u2, s2, v2 = svd_rank_one_update(u, s, v, x, y)
+        r = s2.shape[0]
+        np.testing.assert_allclose(u2.T @ u2, np.eye(r), atol=1e-10)
+        np.testing.assert_allclose(v2.T @ v2, np.eye(r), atol=1e-10)
+
+    def test_rank_grows_by_at_most_one(self, rng):
+        low = np.outer(rng.normal(size=10), rng.normal(size=10))  # rank 1
+        u, s, v = thin_svd(low)
+        x, y = rng.normal(size=10), rng.normal(size=10)
+        _, s2, _ = svd_rank_one_update(u, s, v, x, y)
+        assert s2.shape[0] <= s.shape[0] + 1
+
+    def test_in_subspace_update_keeps_rank(self, rng):
+        # Update by a column/row already inside the factor spans.
+        a = rng.normal(size=(8, 3)) @ rng.normal(size=(3, 8))
+        u, s, v = thin_svd(a)
+        x = u @ rng.normal(size=s.shape[0])
+        y = v @ rng.normal(size=s.shape[0])
+        u2, s2, v2 = svd_rank_one_update(u, s, v, 0.1 * x, y)
+        assert s2.shape[0] <= s.shape[0]
+        np.testing.assert_allclose(
+            reconstruct(u2, s2, v2), a + np.outer(0.1 * x, y), atol=1e-9
+        )
+
+    def test_cancelling_update_drops_rank(self, rng):
+        x, y = rng.normal(size=6), rng.normal(size=6)
+        a = np.outer(x, y)
+        u, s, v = thin_svd(a)
+        _, s2, _ = svd_rank_one_update(u, s, v, -x, y)
+        assert s2.shape[0] == 0
+
+    def test_inputs_not_mutated(self, rng):
+        a = rng.normal(size=(6, 6))
+        u, s, v = thin_svd(a)
+        snapshots = (u.copy(), s.copy(), v.copy())
+        svd_rank_one_update(u, s, v, rng.normal(size=6), rng.normal(size=6))
+        for orig, snap in zip((u, s, v), snapshots):
+            np.testing.assert_array_equal(orig, snap)
+
+    def test_shape_mismatch_raises(self, rng):
+        a = rng.normal(size=(6, 6))
+        u, s, v = thin_svd(a)
+        with pytest.raises(ValueError):
+            svd_rank_one_update(u, s, v, rng.normal(size=5), rng.normal(size=6))
+        with pytest.raises(ValueError):
+            svd_rank_one_update(u, s, v[:, :3], a[:, 0], a[0])
+
+    def test_rectangular_tall_and_wide(self, rng):
+        for shape in [(10, 4), (4, 10)]:
+            a = rng.normal(size=shape)
+            u, s, v = thin_svd(a)
+            x, y = rng.normal(size=shape[0]), rng.normal(size=shape[1])
+            u2, s2, v2 = svd_rank_one_update(u, s, v, x, y)
+            np.testing.assert_allclose(
+                reconstruct(u2, s2, v2), a + np.outer(x, y), atol=1e-9
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        m=st.integers(min_value=2, max_value=12),
+        n=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_update_equals_dense(self, m, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(m, n))
+        u, s, v = thin_svd(a)
+        x, y = rng.normal(size=m), rng.normal(size=n)
+        u2, s2, v2 = svd_rank_one_update(u, s, v, x, y)
+        np.testing.assert_allclose(
+            reconstruct(u2, s2, v2), a + np.outer(x, y), atol=1e-8
+        )
+
+
+class TestSVDView:
+    def test_tracks_update_stream(self, rng):
+        a = rng.normal(size=(12, 8))
+        view = SVDView(a)
+        dense = a.copy()
+        for _ in range(20):
+            x, y = rng.normal(size=12), rng.normal(size=8)
+            view.refresh(x, y)
+            dense += np.outer(x, y)
+        np.testing.assert_allclose(view.matrix(), dense, atol=1e-8)
+
+    def test_rank_property(self, rng):
+        a = rng.normal(size=(6, 3)) @ rng.normal(size=(3, 6))
+        view = SVDView(a)
+        assert view.rank == 3
+        assert view.shape == (6, 6)
+
+    def test_truncated_view_stays_at_max_rank(self, rng):
+        view = SVDView(rng.normal(size=(10, 10)), rank=4)
+        assert view.rank == 4
+        view.refresh(rng.normal(size=10), rng.normal(size=10))
+        assert view.rank == 4
+
+    def test_truncated_step_is_best_rank_k_of_tracked_state(self, rng):
+        # One truncated refresh computes the exact SVD of
+        # (tracked rank-k matrix + outer product) and keeps the top k —
+        # i.e. it is Eckart–Young-optimal w.r.t. the *tracked* state
+        # (not the never-materialized full history, which the view has
+        # already forgotten).
+        a = rng.normal(size=(9, 9))
+        view = SVDView(a, rank=3)
+        tracked = view.matrix()
+        x, y = rng.normal(size=9), rng.normal(size=9)
+        view.refresh(x, y)
+        target = tracked + np.outer(x, y)
+        s_exact = np.linalg.svd(target, compute_uv=False)
+        err = np.linalg.norm(view.matrix() - target, ord=2)
+        assert err == pytest.approx(s_exact[3], rel=1e-9, abs=1e-9)
+
+    def test_spectral_norm_matches_numpy(self, rng):
+        a = rng.normal(size=(7, 7))
+        view = SVDView(a)
+        assert view.spectral_norm() == pytest.approx(
+            np.linalg.norm(a, ord=2), rel=1e-10
+        )
+
+    def test_orthogonality_drift_small_over_stream(self, rng):
+        view = SVDView(rng.normal(size=(10, 10)))
+        for _ in range(50):
+            view.refresh(0.1 * rng.normal(size=10), 0.1 * rng.normal(size=10))
+        assert view.orthogonality_drift() < 1e-8
+
+    def test_empty_view_spectral_norm(self):
+        view = SVDView(np.zeros((4, 4)))
+        assert view.rank == 0
+        assert view.spectral_norm() == 0.0

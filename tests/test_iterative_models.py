@@ -1,0 +1,118 @@
+"""Iterative models: schedules, predecessors, validation (Section 3.2)."""
+
+import pytest
+
+from repro.iterative import Model, is_power_of_two, parse_model
+
+
+class TestPowerOfTwo:
+    def test_powers(self):
+        assert all(is_power_of_two(x) for x in (1, 2, 4, 8, 1024))
+
+    def test_non_powers(self):
+        assert not any(is_power_of_two(x) for x in (0, 3, 6, 12, -4))
+
+
+class TestConstruction:
+    def test_linear(self):
+        assert Model.linear().name == "LIN"
+
+    def test_exponential(self):
+        assert Model.exponential().name == "EXP"
+
+    def test_skip(self):
+        assert Model.skip(4).name == "SKIP-4"
+
+    def test_skip_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            Model.skip(3)
+
+    def test_skip_requires_positive(self):
+        with pytest.raises(ValueError):
+            Model.skip(0)
+
+    def test_non_skip_rejects_s(self):
+        with pytest.raises(ValueError):
+            Model(Model.LINEAR, 2)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Model("quadratic")
+
+    def test_equality_and_hash(self):
+        assert Model.skip(4) == Model.skip(4)
+        assert Model.skip(4) != Model.skip(8)
+        assert len({Model.linear(), Model.linear(), Model.exponential()}) == 2
+
+    def test_parse_model_labels(self):
+        assert parse_model("LIN") == Model.linear()
+        assert parse_model("exp") == Model.exponential()
+        assert parse_model("SKIP-8") == Model.skip(8)
+        with pytest.raises(ValueError):
+            parse_model("CUBIC")
+
+
+class TestSchedules:
+    def test_linear_schedule(self):
+        assert Model.linear().schedule(5) == [1, 2, 3, 4, 5]
+
+    def test_exponential_schedule(self):
+        assert Model.exponential().schedule(16) == [1, 2, 4, 8, 16]
+
+    def test_skip_schedule(self):
+        # Paper Section 3.2: s=8, k=32 -> exp to 8, then every 8th.
+        assert Model.skip(8).schedule(32) == [1, 2, 4, 8, 16, 24, 32]
+
+    def test_skip4_schedule(self):
+        assert Model.skip(4).schedule(16) == [1, 2, 4, 8, 12, 16]
+
+    def test_skip_one_is_linear(self):
+        assert Model.skip(1).schedule(6) == Model.linear().schedule(6)
+
+    def test_skip_k_is_exponential(self):
+        assert Model.skip(16).schedule(16) == Model.exponential().schedule(16)
+
+    def test_all_schedules_end_at_k(self):
+        for model in (Model.linear(), Model.exponential(), Model.skip(4)):
+            assert model.schedule(16)[-1] == 16
+
+    def test_exponential_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            Model.exponential().schedule(12)
+
+    def test_skip_rejects_non_divisible(self):
+        with pytest.raises(ValueError):
+            Model.skip(4).schedule(18)
+
+    def test_skip_rejects_k_below_s(self):
+        with pytest.raises(ValueError):
+            Model.skip(8).schedule(4)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Model.linear().schedule(0)
+
+
+class TestPredecessor:
+    def test_linear(self):
+        assert Model.linear().predecessor(5) == 4
+
+    def test_exponential(self):
+        assert Model.exponential().predecessor(16) == 8
+
+    def test_skip_exponential_phase(self):
+        assert Model.skip(8).predecessor(8) == 4
+
+    def test_skip_skip_phase(self):
+        assert Model.skip(8).predecessor(24) == 16
+
+    def test_iteration_one_has_no_predecessor(self):
+        with pytest.raises(ValueError):
+            Model.linear().predecessor(1)
+
+    def test_predecessors_stay_in_schedule(self):
+        for model in (Model.linear(), Model.exponential(),
+                      Model.skip(2), Model.skip(4), Model.skip(8)):
+            schedule = model.schedule(16)
+            for i in schedule[1:]:
+                assert model.predecessor(i) in schedule

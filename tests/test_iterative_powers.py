@@ -1,0 +1,133 @@
+"""Matrix powers maintainers: correctness, widths, costs, memory."""
+
+import numpy as np
+import pytest
+
+from repro.cost import Counter
+from repro.iterative import IncrementalPowers, Model, ReevalPowers
+from repro.workloads import row_update_factors, spectral_normalized
+
+MODELS = [Model.linear(), Model.exponential(), Model.skip(2),
+          Model.skip(4), Model.skip(8)]
+
+
+def truth_power(a, k):
+    return np.linalg.matrix_power(a, k)
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+class TestCorrectness:
+    def test_initial_value(self, model, rng):
+        a = spectral_normalized(rng, 10)
+        for maintainer in (ReevalPowers(a, 16, model),
+                           IncrementalPowers(a, 16, model)):
+            np.testing.assert_allclose(
+                maintainer.result(), truth_power(a, 16), atol=1e-10
+            )
+
+    def test_stream_of_rank1_updates(self, model, rng):
+        n, k = 10, 16
+        a = spectral_normalized(rng, n)
+        reeval = ReevalPowers(a, k, model)
+        incr = IncrementalPowers(a, k, model)
+        current = a.copy()
+        for u, v in row_update_factors(rng, n, n, 5, scale=0.05):
+            current = current + u @ v.T
+            reeval.refresh(u, v)
+            incr.refresh(u, v)
+        expected = truth_power(current, k)
+        np.testing.assert_allclose(reeval.result(), expected, atol=1e-9)
+        np.testing.assert_allclose(incr.result(), expected, atol=1e-9)
+
+    def test_all_scheduled_powers_maintained(self, model, rng):
+        n, k = 8, 16
+        a = spectral_normalized(rng, n)
+        incr = IncrementalPowers(a, k, model)
+        u = np.zeros((n, 1)); u[2, 0] = 1.0
+        v = 0.1 * rng.normal(size=(n, 1))
+        incr.refresh(u, v)
+        new_a = a + u @ v.T
+        for i in incr.schedule:
+            np.testing.assert_allclose(
+                incr.powers[i], truth_power(new_a, i), atol=1e-9,
+                err_msg=f"P_{i} wrong under {model.name}",
+            )
+
+    def test_rank2_updates(self, model, rng):
+        n, k = 9, 16
+        a = spectral_normalized(rng, n)
+        incr = IncrementalPowers(a, k, model)
+        u = 0.1 * rng.normal(size=(n, 2))
+        v = 0.1 * rng.normal(size=(n, 2))
+        incr.refresh(u, v)
+        np.testing.assert_allclose(
+            incr.result(), truth_power(a + u @ v.T, k), atol=1e-9
+        )
+
+
+class TestCosts:
+    def test_incr_exp_avoids_cubic_growth(self, rng):
+        """Table 2: REEVAL-EXP is n^3 log k, INCR-EXP is n^2 k."""
+        flops = {}
+        for n in (16, 32, 64):
+            a = spectral_normalized(np.random.default_rng(0), n)
+            reeval_counter, incr_counter = Counter(), Counter()
+            reeval = ReevalPowers(a, 16, Model.exponential(), reeval_counter)
+            incr = IncrementalPowers(a, 16, Model.exponential(), incr_counter)
+            u = np.zeros((n, 1)); u[0, 0] = 1.0
+            v = 0.01 * np.ones((n, 1))
+            reeval_counter.reset(); incr_counter.reset()
+            reeval.refresh(u, v)
+            incr.refresh(u, v)
+            flops[n] = (reeval_counter.total_flops, incr_counter.total_flops)
+        reeval_growth = flops[64][0] / flops[16][0]
+        incr_growth = flops[64][1] / flops[16][1]
+        assert reeval_growth > 40      # ~64x (cubic over two doublings)
+        assert incr_growth < 22        # ~16x (quadratic over two doublings)
+
+    def test_model_cost_ordering_for_incr(self, rng):
+        """INCR: exponential < skip < linear in refresh FLOPs (Table 2)."""
+        n, k = 24, 16
+        a = spectral_normalized(rng, n)
+        costs = {}
+        for model in (Model.linear(), Model.skip(4), Model.exponential()):
+            counter = Counter()
+            maintainer = IncrementalPowers(a, k, model, counter)
+            u = np.zeros((n, 1)); u[1, 0] = 1.0
+            maintainer.refresh(u, 0.01 * np.ones((n, 1)))
+            costs[model.name] = counter.total_flops
+        assert costs["EXP"] < costs["SKIP-4"] < costs["LIN"]
+
+    def test_no_matmul_wider_than_delta_in_incr(self, rng):
+        """INCR refresh FLOPs stay ~n^2 * schedule width, far below one
+        dense n^3 product."""
+        n, k = 48, 16
+        a = spectral_normalized(rng, n)
+        counter = Counter()
+        incr = IncrementalPowers(a, k, Model.exponential(), counter)
+        u = np.zeros((n, 1)); u[0, 0] = 1.0
+        incr.refresh(u, 0.01 * np.ones((n, 1)))
+        dense_product = 2 * n**3
+        assert counter.total_flops < 3 * dense_product
+
+
+class TestMemory:
+    def test_reeval_constant_in_k(self, rng):
+        a = spectral_normalized(rng, 12)
+        small = ReevalPowers(a, 4, Model.exponential())
+        large = ReevalPowers(a, 64, Model.exponential())
+        assert small.memory_bytes() == large.memory_bytes()
+
+    def test_incr_grows_with_schedule(self, rng):
+        a = spectral_normalized(rng, 12)
+        exp = IncrementalPowers(a, 16, Model.exponential())
+        lin = IncrementalPowers(a, 16, Model.linear())
+        assert exp.memory_bytes() == len(exp.schedule) * 12 * 12 * 8
+        assert lin.memory_bytes() > exp.memory_bytes()
+
+    def test_delta_width_formula(self, rng):
+        a = spectral_normalized(rng, 8)
+        incr = IncrementalPowers(a, 16, Model.exponential())
+        assert incr.delta_width() == 16
+        assert incr.delta_width(8) == 8
+        assert incr.delta_width(8, rank=2) == 16

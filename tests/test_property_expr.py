@@ -1,0 +1,139 @@
+"""Whole-pipeline properties on random well-shaped expression trees.
+
+Each property runs the same random tree through a different pair of
+pipeline stages and demands agreement: printer vs parser, simplifier vs
+evaluator, delta derivation vs finite differences, compiler vs
+re-evaluation.  Together they pin the contract every stage must honour:
+*all representations of an expression denote the same matrix function*.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.exprgen import ExprPool, expr_with_env, shaped_expr
+from repro.delta import FactoredDelta, compute_delta
+from repro.expr import MatrixSymbol, ZeroMatrix
+from repro.expr.printer import to_string
+from repro.expr.simplify import simplify
+from repro.frontend import parse_program
+from repro.runtime import evaluate
+
+SETTINGS = dict(max_examples=60, deadline=None)
+
+
+class TestPrinterParserRoundTrip:
+    @settings(**SETTINGS)
+    @given(data=expr_with_env(), seed=st.integers(0, 9999))
+    def test_round_trip_preserves_value(self, data, seed):
+        expr, pool = data
+        if not pool.symbols:
+            return  # pure-identity tree: nothing to declare
+        decls = "\n".join(
+            f"input {name}({sym.shape.rows}, {sym.shape.cols});"
+            for name, sym in pool.symbols.items()
+        )
+        source = f"{decls}\nresult := {to_string(expr)};\noutput result;"
+        program = parse_program(source)
+        env = pool.env(seed)
+        reparsed = program.statements[-1].expr
+        np.testing.assert_allclose(
+            evaluate(reparsed, env), evaluate(expr, env), atol=1e-8
+        )
+
+    @settings(**SETTINGS)
+    @given(data=expr_with_env())
+    def test_round_trip_is_structural_identity(self, data):
+        expr, pool = data
+        if not pool.symbols:
+            return
+        decls = "\n".join(
+            f"input {name}({sym.shape.rows}, {sym.shape.cols});"
+            for name, sym in pool.symbols.items()
+        )
+        source = f"{decls}\nresult := {to_string(expr)};\noutput result;"
+        program = parse_program(source)
+        assert program.statements[-1].expr == expr
+
+
+class TestSimplifySemantics:
+    @settings(**SETTINGS)
+    @given(data=expr_with_env(), seed=st.integers(0, 9999))
+    def test_simplify_preserves_value(self, data, seed):
+        expr, pool = data
+        simplified = simplify(expr)
+        env = pool.env(seed)
+        np.testing.assert_allclose(
+            evaluate(simplified, env), evaluate(expr, env), atol=1e-8
+        )
+
+    @settings(**SETTINGS)
+    @given(data=expr_with_env())
+    def test_simplify_is_idempotent(self, data):
+        expr, _ = data
+        once = simplify(expr)
+        assert simplify(once) == once
+
+
+class TestDeltaFiniteDifference:
+    @settings(**SETTINGS)
+    @given(data=expr_with_env(), seed=st.integers(0, 9999))
+    def test_delta_equals_difference(self, data, seed):
+        expr, pool = data
+        if not pool.symbols:
+            return
+        env = pool.env(seed)
+        rng = np.random.default_rng(seed + 1)
+        # Update the first generated symbol by a rank-1 change.
+        name, sym = next(iter(pool.symbols.items()))
+        rows, cols = sym.shape.rows, sym.shape.cols
+        u_sym = MatrixSymbol("du", rows, 1)
+        v_sym = MatrixSymbol("dv", cols, 1)
+        env["du"] = rng.normal(size=(rows, 1))
+        env["dv"] = rng.normal(size=(cols, 1))
+        delta = compute_delta(expr, {name: FactoredDelta.rank_one(u_sym, v_sym)})
+
+        old = evaluate(expr, env)
+        new_env = dict(env)
+        new_env[name] = env[name] + env["du"] @ env["dv"].T
+        new = evaluate(expr, new_env)
+        if delta.is_zero:
+            np.testing.assert_allclose(new, old, atol=1e-8)
+            return
+        np.testing.assert_allclose(
+            evaluate(delta.to_expr(), env), new - old, atol=1e-7
+        )
+
+
+class TestCompilerAgainstReevaluation:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 9999),
+        n=st.sampled_from([3, 4]),
+        depth=st.integers(1, 2),
+        data=st.data(),
+    )
+    def test_trigger_equals_reevaluation(self, seed, n, depth, data):
+        from repro.compiler import Program, Statement, compile_program
+        from repro.runtime import IVMSession, row_update
+
+        pool = ExprPool()
+        a = pool.symbol(n, n, 0)
+        # One random statement over A, then one over both A and B.
+        e1 = data.draw(shaped_expr(pool, n, n, depth))
+        program_symbols = dict(pool.symbols)
+        b = MatrixSymbol("B", n, n)
+        e2 = b @ a
+        program = Program(
+            list(program_symbols.values()),
+            [Statement(b, e1), Statement(MatrixSymbol("C", n, n), e2)],
+        )
+
+        rng = np.random.default_rng(seed)
+        env = pool.env(seed)
+        session = IVMSession(program, env)
+        update = row_update(a.name, n, int(rng.integers(n)),
+                            rng.normal(size=(n, 1)))
+        session.apply_update(update)
+        assert session.revalidate() < 1e-7

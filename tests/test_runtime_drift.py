@@ -1,0 +1,146 @@
+"""Drift monitoring policies for long-lived incremental views."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import IncrementalOLS
+from repro.runtime.drift import DriftExceededError, DriftMonitor, DriftReport
+from repro.workloads import well_conditioned_design
+
+
+class FakeMaintainer:
+    """Scripted drift values for policy tests."""
+
+    def __init__(self, drifts):
+        self.drifts = list(drifts)
+        self.refresh_calls = 0
+
+    def refresh(self, u, v):
+        self.refresh_calls += 1
+
+    def revalidate(self):
+        return self.drifts.pop(0)
+
+    def result(self):
+        return "sentinel"
+
+
+def updates(n, count, scale=0.01, seed=0):
+    rng = np.random.default_rng(seed)
+    for _ in range(count):
+        u = np.zeros((n, 1))
+        u[int(rng.integers(n)), 0] = 1.0
+        yield u, scale * rng.standard_normal((n, 1))
+
+
+class TestSchedule:
+    def test_probe_every_n_refreshes(self):
+        fake = FakeMaintainer([1e-12, 1e-12])
+        monitor = DriftMonitor(fake, check_every=3)
+        for u, v in updates(4, 6):
+            monitor.refresh(u, v)
+        assert len(monitor.reports) == 2
+        assert fake.refresh_calls == 6
+
+    def test_no_probe_before_schedule(self):
+        fake = FakeMaintainer([])
+        monitor = DriftMonitor(fake, check_every=10)
+        for u, v in updates(4, 9):
+            monitor.refresh(u, v)
+        assert monitor.reports == []
+        assert monitor.last_drift is None
+
+    def test_manual_probe(self):
+        fake = FakeMaintainer([4.2e-9])
+        monitor = DriftMonitor(fake, check_every=1000)
+        report = monitor.probe()
+        assert report == DriftReport(0, 4.2e-9, False)
+        assert monitor.last_drift == 4.2e-9
+
+
+class TestRaisePolicy:
+    def test_raises_past_tolerance(self):
+        fake = FakeMaintainer([1e-3])
+        monitor = DriftMonitor(fake, check_every=1, tolerance=1e-6)
+        u, v = next(updates(4, 1))
+        with pytest.raises(DriftExceededError) as excinfo:
+            monitor.refresh(u, v)
+        assert excinfo.value.drift == 1e-3
+        assert excinfo.value.refreshes == 1
+
+    def test_within_tolerance_is_silent(self):
+        fake = FakeMaintainer([1e-9, 1e-8])
+        monitor = DriftMonitor(fake, check_every=1, tolerance=1e-6)
+        for u, v in updates(4, 2):
+            monitor.refresh(u, v)
+        assert monitor.rebuild_count == 0
+
+
+class TestRebuildPolicy:
+    def test_rebuild_replaces_maintainer(self):
+        first = FakeMaintainer([5.0])
+        second = FakeMaintainer([])
+        monitor = DriftMonitor(first, check_every=1, tolerance=1e-6,
+                               action="rebuild", rebuild=lambda: second)
+        u, v = next(updates(4, 1))
+        monitor.refresh(u, v)
+        assert monitor.maintainer is second
+        assert monitor.rebuild_count == 1
+
+    def test_rebuild_requires_callable(self):
+        with pytest.raises(ValueError, match="needs a rebuild"):
+            DriftMonitor(FakeMaintainer([]), action="rebuild")
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        fake = FakeMaintainer([])
+        with pytest.raises(ValueError, match="check_every"):
+            DriftMonitor(fake, check_every=0)
+        with pytest.raises(ValueError, match="tolerance"):
+            DriftMonitor(fake, tolerance=0.0)
+        with pytest.raises(ValueError, match="unknown action"):
+            DriftMonitor(fake, action="pray")
+
+    def test_attribute_delegation(self):
+        monitor = DriftMonitor(FakeMaintainer([]))
+        assert monitor.result() == "sentinel"
+
+
+class TestWithRealMaintainer:
+    def test_ols_stays_within_tolerance(self, rng):
+        n = 48
+        x = well_conditioned_design(rng, n, n, ridge=2.0)
+        y = rng.standard_normal((n, 1))
+        monitor = DriftMonitor(IncrementalOLS(x, y), check_every=25,
+                               tolerance=1e-6)
+        for u, v in updates(n, 100, seed=3):
+            monitor.refresh(u, v)
+        assert len(monitor.reports) == 4
+        assert all(r.drift < 1e-6 for r in monitor.reports)
+
+    def test_ols_rebuild_policy_end_to_end(self, rng):
+        # A tolerance so tight that any float noise trips it: the
+        # monitor must rebuild (fresh model from the *maintained* X/Y)
+        # and keep serving.
+        n = 32
+        x = well_conditioned_design(rng, n, n, ridge=2.0)
+        y = rng.standard_normal((n, 1))
+        holder = {}
+        holder["model"] = IncrementalOLS(x, y)
+
+        def rebuild():
+            current = holder["model"]
+            holder["model"] = IncrementalOLS(current.x, current.y)
+            return holder["model"]
+
+        monitor = DriftMonitor(holder["model"], check_every=10,
+                               tolerance=1e-16, action="rebuild",
+                               rebuild=rebuild)
+        for u, v in updates(n, 40, seed=5):
+            monitor.refresh(u, v)
+        assert monitor.rebuild_count >= 1
+        # After rebuilding, the served beta matches ground truth.
+        model = monitor.maintainer
+        expected = np.linalg.solve(model.x.T @ model.x, model.x.T @ model.y)
+        np.testing.assert_allclose(model.beta, expected, atol=1e-6)

@@ -1,0 +1,147 @@
+"""IVM sessions: initialization, maintenance, modes, validation."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import Program, Statement
+from repro.cost import Counter
+from repro.expr import MatrixSymbol, NamedDim, matmul
+from repro.runtime import FactoredUpdate, IVMSession, ReevalSession
+
+n = NamedDim("n")
+A = MatrixSymbol("A", n, n)
+B = MatrixSymbol("B", n, n)
+C = MatrixSymbol("C", n, n)
+
+
+def a4_program():
+    return Program([A], [Statement(B, matmul(A, A)), Statement(C, matmul(B, B))])
+
+
+def make_updates(rng, size, count, scale=1.0):
+    return [
+        FactoredUpdate("A", scale * rng.normal(size=(size, 1)),
+                       scale * rng.normal(size=(size, 1)))
+        for _ in range(count)
+    ]
+
+
+class TestInitialization:
+    def test_views_materialized(self, rng):
+        size = 6
+        a0 = rng.normal(size=(size, size))
+        session = IVMSession(a4_program(), {"A": a0}, dims={"n": size})
+        np.testing.assert_allclose(session["B"], a0 @ a0)
+        np.testing.assert_allclose(session["C"], np.linalg.matrix_power(a0, 4))
+
+    def test_output_accessor(self, rng):
+        size = 5
+        session = IVMSession(
+            a4_program(), {"A": rng.normal(size=(size, size))}, dims={"n": size}
+        )
+        np.testing.assert_array_equal(session.output(), session["C"])
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(ValueError, match="missing initial values"):
+            IVMSession(a4_program(), {}, dims={"n": 4})
+
+    def test_unknown_mode_rejected(self, rng):
+        with pytest.raises(ValueError, match="unknown mode"):
+            IVMSession(a4_program(), {"A": rng.normal(size=(4, 4))},
+                       dims={"n": 4}, mode="jit")
+
+
+class TestMaintenance:
+    def test_interpret_matches_reeval(self, rng):
+        size = 7
+        a0 = rng.normal(size=(size, size))
+        incr = IVMSession(a4_program(), {"A": a0}, dims={"n": size})
+        reeval = ReevalSession(a4_program(), {"A": a0}, dims={"n": size})
+        for update in make_updates(rng, size, 8):
+            incr.apply_update(update)
+            reeval.apply_update(update)
+        for name in ("A", "B", "C"):
+            np.testing.assert_allclose(incr[name], reeval[name],
+                                       rtol=1e-6, atol=1e-8)
+
+    def test_codegen_matches_interpret(self, rng):
+        size = 7
+        a0 = rng.normal(size=(size, size))
+        interp = IVMSession(a4_program(), {"A": a0}, dims={"n": size})
+        codegen = IVMSession(a4_program(), {"A": a0}, dims={"n": size},
+                             mode="codegen")
+        for update in make_updates(rng, size, 5):
+            interp.apply_update(update)
+            codegen.apply_update(update)
+        for name in ("A", "B", "C"):
+            np.testing.assert_allclose(interp[name], codegen[name], rtol=1e-9)
+
+    def test_apply_updates_batch_api(self, rng):
+        size = 5
+        a0 = rng.normal(size=(size, size))
+        one_by_one = IVMSession(a4_program(), {"A": a0}, dims={"n": size})
+        batched = IVMSession(a4_program(), {"A": a0}, dims={"n": size})
+        updates = make_updates(rng, size, 4)
+        for update in updates:
+            one_by_one.apply_update(update)
+        batched.apply_updates(updates)
+        np.testing.assert_allclose(one_by_one["C"], batched["C"])
+        assert batched.update_count == 4
+
+    def test_update_for_unknown_input_rejected(self, rng):
+        session = IVMSession(
+            a4_program(), {"A": rng.normal(size=(4, 4))}, dims={"n": 4}
+        )
+        with pytest.raises(KeyError, match="no trigger"):
+            session.apply_update(
+                FactoredUpdate("Z", np.ones((4, 1)), np.ones((4, 1)))
+            )
+
+    def test_rank_k_update_accepted(self, rng):
+        size = 6
+        a0 = rng.normal(size=(size, size))
+        incr = IVMSession(a4_program(), {"A": a0}, dims={"n": size})
+        reeval = ReevalSession(a4_program(), {"A": a0}, dims={"n": size})
+        update = FactoredUpdate("A", rng.normal(size=(size, 3)),
+                                rng.normal(size=(size, 3)))
+        incr.apply_update(update)
+        reeval.apply_update(update)
+        np.testing.assert_allclose(incr["C"], reeval["C"], rtol=1e-7)
+
+    def test_revalidate_reports_small_drift(self, rng):
+        size = 6
+        session = IVMSession(
+            a4_program(),
+            {"A": rng.normal(size=(size, size)) / size},
+            dims={"n": size},
+        )
+        for update in make_updates(rng, size, 50, scale=0.05):
+            session.apply_update(update)
+        assert session.revalidate() < 1e-6
+
+
+class TestCounters:
+    def test_incremental_avoids_cubic_work(self, rng):
+        """The headline claim: INCR refreshes do O(n^2), REEVAL O(n^3)."""
+        results = {}
+        for size in (16, 32, 64):
+            a0 = rng.normal(size=(size, size))
+            incr_counter, reeval_counter = Counter(), Counter()
+            incr = IVMSession(a4_program(), {"A": a0}, dims={"n": size},
+                              counter=incr_counter)
+            reeval = ReevalSession(a4_program(), {"A": a0}, dims={"n": size},
+                                   counter=reeval_counter)
+            incr_counter.reset()
+            reeval_counter.reset()
+            update = FactoredUpdate("A", rng.normal(size=(size, 1)),
+                                    rng.normal(size=(size, 1)))
+            incr.apply_update(update)
+            reeval.apply_update(update)
+            results[size] = (incr_counter.total_flops,
+                             reeval_counter.total_flops)
+        # doubling n: INCR grows ~4x, REEVAL ~8x
+        incr_growth = results[64][0] / results[16][0]
+        reeval_growth = results[64][1] / results[16][1]
+        assert incr_growth < 6.0**2       # ~16x over two doublings
+        assert reeval_growth > 6.0**2     # ~64x over two doublings
+        assert results[64][1] > 5 * results[64][0]

@@ -1,0 +1,142 @@
+"""ViewStore and update-event behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    FactoredUpdate,
+    ViewStore,
+    batch_row_update,
+    cell_update,
+    column_update,
+    row_update,
+)
+
+
+class TestViewStore:
+    def test_set_get_roundtrip(self, rng):
+        store = ViewStore()
+        a = rng.normal(size=(4, 4))
+        store.set("A", a)
+        np.testing.assert_array_equal(store.get("A"), a)
+
+    def test_vectors_normalized_to_columns(self):
+        store = ViewStore()
+        store.set("v", np.ones(5))
+        assert store.get("v").shape == (5, 1)
+
+    def test_higher_rank_rejected(self):
+        store = ViewStore()
+        with pytest.raises(ValueError):
+            store.set("T", np.ones((2, 2, 2)))
+
+    def test_missing_view_raises_keyerror(self):
+        with pytest.raises(KeyError, match="no view or input"):
+            ViewStore().get("missing")
+
+    def test_contains_and_names(self, rng):
+        store = ViewStore()
+        store.set("A", rng.normal(size=(2, 2)))
+        store.set("B", rng.normal(size=(2, 2)))
+        assert "A" in store and "Z" not in store
+        assert store.names() == ["A", "B"]
+
+    def test_add_in_place(self, rng):
+        store = ViewStore()
+        a = rng.normal(size=(3, 3))
+        d = rng.normal(size=(3, 3))
+        store.set("A", a)
+        store.add_in_place("A", d)
+        np.testing.assert_allclose(store.get("A"), a + d)
+
+    def test_add_in_place_shape_mismatch(self, rng):
+        store = ViewStore()
+        store.set("A", rng.normal(size=(3, 3)))
+        with pytest.raises(ValueError, match="mismatch"):
+            store.add_in_place("A", np.ones((2, 2)))
+
+    def test_snapshot_restore(self, rng):
+        store = ViewStore()
+        a = rng.normal(size=(3, 3))
+        store.set("A", a)
+        snapshot = store.snapshot()
+        store.add_in_place("A", np.ones((3, 3)))
+        store.restore(snapshot)
+        np.testing.assert_array_equal(store.get("A"), a)
+
+    def test_snapshot_is_deep(self, rng):
+        store = ViewStore()
+        store.set("A", rng.normal(size=(2, 2)))
+        snapshot = store.snapshot()
+        snapshot["A"][0, 0] = 99.0
+        assert store.get("A")[0, 0] != 99.0
+
+    def test_total_bytes(self):
+        store = ViewStore()
+        store.set("A", np.ones((10, 10)))
+        store.set("B", np.ones((5, 5)))
+        assert store.total_bytes() == (100 + 25) * 8
+        assert store.total_bytes(iter(["A"])) == 800
+
+    def test_dims_stored(self):
+        store = ViewStore({"n": 7})
+        assert store.dims == {"n": 7}
+
+
+class TestFactoredUpdate:
+    def test_rank_and_dense(self, rng):
+        u = rng.normal(size=(5, 2))
+        v = rng.normal(size=(4, 2))
+        update = FactoredUpdate("A", u, v)
+        assert update.rank == 2
+        np.testing.assert_allclose(update.dense(), u @ v.T)
+
+    def test_vectors_reshaped(self, rng):
+        update = FactoredUpdate("A", rng.normal(size=5), rng.normal(size=4))
+        assert update.u_block.shape == (5, 1)
+        assert update.v_block.shape == (4, 1)
+
+    def test_width_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            FactoredUpdate("A", rng.normal(size=(5, 2)), rng.normal(size=(4, 3)))
+
+
+class TestUpdateConstructors:
+    def test_cell_update(self):
+        update = cell_update("A", 4, 5, 2, 3, 7.5)
+        dense = update.dense()
+        assert dense[2, 3] == 7.5
+        assert np.count_nonzero(dense) == 1
+
+    def test_row_update(self, rng):
+        delta = rng.normal(size=6)
+        update = row_update("A", 4, 1, delta)
+        dense = update.dense()
+        np.testing.assert_allclose(dense[1], delta)
+        assert np.count_nonzero(dense[0]) == 0
+
+    def test_column_update(self, rng):
+        delta = rng.normal(size=4)
+        update = column_update("A", 6, 2, delta)
+        dense = update.dense()
+        np.testing.assert_allclose(dense[:, 2], delta)
+        assert np.count_nonzero(dense[:, 0]) == 0
+
+    def test_batch_row_update(self, rng):
+        rows = np.array([0, 3, 5])
+        deltas = rng.normal(size=(3, 7))
+        update = batch_row_update("A", 8, rows, deltas)
+        assert update.rank == 3
+        dense = update.dense()
+        for idx, row in enumerate(rows):
+            np.testing.assert_allclose(dense[row], deltas[idx])
+        untouched = [r for r in range(8) if r not in rows]
+        assert np.count_nonzero(dense[untouched]) == 0
+
+    def test_batch_rejects_duplicate_rows(self, rng):
+        with pytest.raises(ValueError, match="distinct"):
+            batch_row_update("A", 8, np.array([1, 1]), rng.normal(size=(2, 4)))
+
+    def test_batch_rejects_shape_mismatch(self, rng):
+        with pytest.raises(ValueError, match="one delta row"):
+            batch_row_update("A", 8, np.array([1, 2]), rng.normal(size=(3, 4)))

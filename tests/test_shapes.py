@@ -1,0 +1,142 @@
+"""Dimension algebra and Shape behaviour."""
+
+import pytest
+
+from repro.expr.shapes import (
+    DimSum,
+    NamedDim,
+    Shape,
+    ShapeError,
+    dim_add,
+    dim_to_str,
+    dims_equal,
+    is_concrete,
+)
+
+
+class TestNamedDim:
+    def test_equality_by_name(self):
+        assert NamedDim("n") == NamedDim("n")
+        assert NamedDim("n") != NamedDim("m")
+
+    def test_hash_consistency(self):
+        assert hash(NamedDim("n")) == hash(NamedDim("n"))
+        assert len({NamedDim("n"), NamedDim("n"), NamedDim("m")}) == 2
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            NamedDim("")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(ValueError):
+            NamedDim(3)  # type: ignore[arg-type]
+
+    def test_repr_is_name(self):
+        assert repr(NamedDim("rows")) == "rows"
+
+    def test_add_operator(self):
+        n = NamedDim("n")
+        assert n + 2 == DimSum((n,), 2)
+        assert 2 + n == DimSum((n,), 2)
+
+
+class TestDimAdd:
+    def test_int_plus_int(self):
+        assert dim_add(2, 3) == 5
+
+    def test_int_plus_symbolic(self):
+        n = NamedDim("n")
+        result = dim_add(n, 4)
+        assert isinstance(result, DimSum)
+        assert result.const == 4
+        assert result.atoms == (n,)
+
+    def test_symbolic_plus_symbolic(self):
+        n, m = NamedDim("n"), NamedDim("m")
+        result = dim_add(n, m)
+        assert isinstance(result, DimSum)
+        assert result.atoms == (m, n)  # sorted by name
+
+    def test_zero_plus_symbolic_is_symbolic(self):
+        n = NamedDim("n")
+        assert dim_add(0, n) is n or dim_add(0, n) == n
+
+    def test_sum_normalization_is_order_independent(self):
+        n, m = NamedDim("n"), NamedDim("m")
+        assert dim_add(dim_add(n, m), 1) == dim_add(dim_add(m, 1), n)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            dim_add(True, 1)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            dim_add("n", 1)  # type: ignore[arg-type]
+
+
+class TestDimsEqual:
+    def test_concrete(self):
+        assert dims_equal(3, 3)
+        assert not dims_equal(3, 4)
+
+    def test_symbolic_same_name(self):
+        assert dims_equal(NamedDim("n"), NamedDim("n"))
+
+    def test_symbolic_different_names_conservative(self):
+        assert not dims_equal(NamedDim("n"), NamedDim("m"))
+
+    def test_symbolic_vs_concrete(self):
+        assert not dims_equal(NamedDim("n"), 5)
+
+    def test_sums(self):
+        n = NamedDim("n")
+        assert dims_equal(dim_add(n, 2), dim_add(2, n))
+        assert not dims_equal(dim_add(n, 2), dim_add(n, 3))
+
+
+class TestShape:
+    def test_square_detection(self):
+        n = NamedDim("n")
+        assert Shape(n, n).is_square
+        assert Shape(3, 3).is_square
+        assert not Shape(n, 3).is_square
+        assert not Shape(NamedDim("n"), NamedDim("m")).is_square
+
+    def test_vector_detection(self):
+        assert Shape(NamedDim("n"), 1).is_vector
+        assert not Shape(NamedDim("n"), 2).is_vector
+
+    def test_transposed(self):
+        n = NamedDim("n")
+        shape = Shape(n, 4)
+        assert shape.transposed == Shape(4, n)
+
+    def test_equality_and_hash(self):
+        n = NamedDim("n")
+        assert Shape(n, 1) == Shape(NamedDim("n"), 1)
+        assert hash(Shape(n, 1)) == hash(Shape(NamedDim("n"), 1))
+        assert Shape(n, 1) != Shape(n, 2)
+
+    def test_iteration(self):
+        rows, cols = Shape(2, 3)
+        assert (rows, cols) == (2, 3)
+
+    def test_concrete_roundtrip(self):
+        assert Shape(2, 3).concrete() == (2, 3)
+
+    def test_concrete_raises_on_symbolic(self):
+        with pytest.raises(ValueError):
+            Shape(NamedDim("n"), 3).concrete()
+
+    def test_is_concrete_helper(self):
+        assert is_concrete(7)
+        assert not is_concrete(NamedDim("n"))
+        assert not is_concrete(dim_add(NamedDim("n"), 1))
+
+    def test_dim_to_str(self):
+        assert dim_to_str(4) == "4"
+        assert dim_to_str(NamedDim("n")) == "n"
+        assert "n" in dim_to_str(dim_add(NamedDim("n"), 2))
+
+    def test_shape_error_is_value_error(self):
+        assert issubclass(ShapeError, ValueError)

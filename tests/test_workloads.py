@@ -1,0 +1,147 @@
+"""Workload generators: determinism, shapes, Zipf properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    dense_matrix,
+    random_adjacency,
+    regression_data,
+    row_update_factors,
+    sample_rows,
+    spectral_normalized,
+    update_stream,
+    well_conditioned_design,
+    zipf_batch,
+    zipf_batch_update,
+    zipf_probabilities,
+)
+
+
+class TestGenerators:
+    def test_seeded_reproducibility(self):
+        a = dense_matrix(np.random.default_rng(5), 6, 7)
+        b = dense_matrix(np.random.default_rng(5), 6, 7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spectral_normalization(self, rng):
+        a = spectral_normalized(rng, 40, radius=0.9)
+        top = max(abs(np.linalg.eigvals(a)))
+        assert top < 1.0  # contractive: powers stay bounded
+
+    def test_well_conditioned_design_invertible(self, rng):
+        x = well_conditioned_design(rng, 30, 10)
+        cond = np.linalg.cond(x.T @ x)
+        assert cond < 1e4
+
+    def test_design_requires_tall(self, rng):
+        with pytest.raises(ValueError):
+            well_conditioned_design(rng, 5, 10)
+
+    def test_regression_data_shapes(self, rng):
+        x, y, beta = regression_data(rng, 20, 6, 3)
+        assert x.shape == (20, 6)
+        assert y.shape == (20, 3)
+        assert beta.shape == (6, 3)
+
+    def test_adjacency_no_self_loops_no_dangling(self, rng):
+        adj = random_adjacency(rng, 25)
+        assert np.trace(adj) == 0.0
+        assert (adj.sum(axis=0) > 0).all()
+
+
+class TestStreams:
+    def test_row_updates_touch_one_row(self, rng):
+        for u, v in row_update_factors(rng, 10, 8, 5):
+            dense = u @ v.T
+            touched = np.nonzero(np.abs(dense).sum(axis=1))[0]
+            assert len(touched) == 1
+
+    def test_stream_determinism(self):
+        first = [
+            (u.copy(), v.copy())
+            for u, v in row_update_factors(np.random.default_rng(9), 6, 6, 4)
+        ]
+        second = list(row_update_factors(np.random.default_rng(9), 6, 6, 4))
+        for (u1, v1), (u2, v2) in zip(first, second):
+            np.testing.assert_array_equal(u1, u2)
+            np.testing.assert_array_equal(v1, v2)
+
+    def test_update_stream_events(self, rng):
+        events = list(update_stream(rng, "A", 8, 8, 3))
+        assert len(events) == 3
+        assert all(e.target == "A" and e.rank == 1 for e in events)
+
+
+class TestZipf:
+    def test_probabilities_normalized(self):
+        p = zipf_probabilities(100, 2.0)
+        assert abs(p.sum() - 1.0) < 1e-12
+        assert (p >= 0).all()
+
+    def test_theta_zero_is_uniform(self):
+        p = zipf_probabilities(10, 0.0)
+        np.testing.assert_allclose(p, 0.1 * np.ones(10))
+
+    def test_probabilities_decreasing_in_rank(self):
+        p = zipf_probabilities(50, 1.5)
+        assert (np.diff(p) <= 0).all()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, -1.0)
+
+    def test_skew_shrinks_distinct_rows(self):
+        """Table 4's driver: higher theta -> fewer distinct rows hit."""
+        distinct = {}
+        for theta in (0.0, 2.0, 5.0):
+            rng = np.random.default_rng(11)
+            rows, _ = zipf_batch(rng, 1000, 16, batch_size=1000, theta=theta)
+            distinct[theta] = len(rows)
+        assert distinct[5.0] < distinct[2.0] < distinct[0.0]
+        assert distinct[5.0] < 20  # extremely concentrated
+
+    def test_batch_merges_duplicates(self, rng):
+        rows, deltas = zipf_batch(rng, 50, 8, batch_size=500, theta=3.0)
+        assert len(rows) == len(set(rows.tolist()))
+        assert deltas.shape == (len(rows), 8)
+
+    def test_batch_update_event_rank(self, rng):
+        event = zipf_batch_update(rng, "A", 100, 100, batch_size=200, theta=2.0)
+        assert event.target == "A"
+        assert event.rank == event.u_block.shape[1]
+        assert event.rank <= 200
+
+    def test_batch_value_equals_sum_of_row_updates(self):
+        """The merged rank-k batch equals applying every hit one by one."""
+        rng = np.random.default_rng(3)
+        n_rows, n_cols, batch = 30, 6, 100
+        probabilities = zipf_probabilities(n_rows, 1.0)
+        permutation = rng.permutation(n_rows)
+        ranks = rng.choice(n_rows, size=batch, p=probabilities)
+        hits = permutation[ranks]
+        changes = rng.standard_normal((batch, n_cols))
+        dense = np.zeros((n_rows, n_cols))
+        for row, change in zip(hits, changes):
+            dense[row] += change
+        rng2 = np.random.default_rng(3)
+        rows, deltas = zipf_batch(rng2, n_rows, n_cols, batch, 1.0, scale=1.0)
+        rebuilt = np.zeros((n_rows, n_cols))
+        rebuilt[rows] = deltas
+        np.testing.assert_allclose(rebuilt, dense, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    theta=st.floats(0.0, 5.0),
+    n=st.integers(2, 200),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_sampled_rows_in_range(theta, n, seed):
+    rng = np.random.default_rng(seed)
+    rows = sample_rows(rng, n, 50, theta)
+    assert ((rows >= 0) & (rows < n)).all()
