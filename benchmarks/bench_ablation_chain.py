@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from conftest import make_matrix
-from repro.compiler.chain import chain_cost, left_to_right_cost, optimize_chains
+from repro.compiler.chain import chain_cost, optimize_chains
 from repro.expr import MatMul, MatrixSymbol
 from repro.runtime import evaluate
 

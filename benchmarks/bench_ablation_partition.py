@@ -14,8 +14,6 @@ hybrid traffic is measured; the row-only cost is derived by re-pricing
 every column-orientation gather at the all-reduce volume.
 """
 
-import numpy as np
-import pytest
 
 from conftest import make_matrix, row_update
 from repro.distributed import (

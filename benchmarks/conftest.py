@@ -27,6 +27,16 @@ import pytest
 
 from repro.workloads import spectral_normalized
 
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(config, items):
+    """Benchmark report tests are long-running: keep them out of the
+    default CI tier (run with ``-m slow`` or no marker filter)."""
+    for item in items:
+        if str(item.path).startswith(_HERE):
+            item.add_marker(pytest.mark.slow)
+
 
 @pytest.fixture(scope="module")
 def bench_rng():

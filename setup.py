@@ -1,4 +1,9 @@
-"""Setup shim for legacy editable installs (no `wheel` package offline)."""
+"""Legacy setup shim — all real metadata lives in ``pyproject.toml``.
+
+Kept so ancient tooling (``python setup.py ...``-era editable installs
+without the ``wheel`` package) still works offline; do not add
+configuration here.
+"""
 
 from setuptools import setup
 

@@ -5,10 +5,13 @@ LINVIEW is a compilation framework for incremental view maintenance of
 paper: :mod:`repro.expr` is the matrix-expression language,
 :mod:`repro.delta` the delta calculus of Section 4, :mod:`repro.compiler`
 Algorithm 1 plus the Section 6 optimizer and code generators,
-:mod:`repro.runtime` the single-node backend, :mod:`repro.distributed`
-the simulated cluster backend, :mod:`repro.iterative` the Section 3.2/5
-iterative models and evaluation strategies, and :mod:`repro.analytics`
-the end-user applications (OLS, linear regression, PageRank).
+:mod:`repro.runtime` the single-node evaluator,
+:mod:`repro.distributed` the simulated cluster backend,
+:mod:`repro.iterative` the Section 3.2/5 iterative models and
+evaluation strategies, and :mod:`repro.analytics` the end-user
+applications (OLS, linear regression, PageRank).  :mod:`repro.backends`
+supplies the pluggable numeric kernels (dense NumPy and sparse CSR)
+every evaluation path dispatches through.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -63,6 +63,13 @@ class IncrementalPageRank:
     iteration counts make incremental and re-evaluated results
     comparable).  ``strategy`` is ``REEVAL``, ``INCR`` or ``HYBRID`` —
     the paper's analysis recommends HYBRID here since ``p = 1``.
+
+    ``backend`` selects the execution backend: real web graphs are
+    sparse, and ``backend="sparse"`` stores the transition matrix as
+    CSR so each maintained power iteration costs ``O(nnz)`` instead of
+    ``O(n^2)`` (see :mod:`repro.backends`).  Note the dangling-column
+    fill-in: a node with no out-edges produces a dense uniform column,
+    so graphs with many dangling nodes densify the operator.
     """
 
     def __init__(
@@ -73,6 +80,7 @@ class IncrementalPageRank:
         model: Model | None = None,
         strategy: str = "HYBRID",
         counter: counters.Counter = counters.NULL_COUNTER,
+        backend=None,
     ):
         self.adjacency = np.array(adjacency, dtype=np.float64)
         self.n = self.adjacency.shape[0]
@@ -83,7 +91,8 @@ class IncrementalPageRank:
         a = self.damping * m
         b = np.full((self.n, 1), (1.0 - self.damping) / self.n)
         r0 = np.full((self.n, 1), 1.0 / self.n)
-        self._general = make_general(strategy, a, b, r0, k, model, counter)
+        self._general = make_general(strategy, a, b, r0, k, model, counter,
+                                     backend=backend)
         self.strategy = strategy
 
     @property

@@ -57,6 +57,7 @@ class ReachabilityIndex:
         model: Model | None = None,
         strategy: str = "INCR",
         counter: counters.Counter = counters.NULL_COUNTER,
+        backend=None,
     ):
         self.adjacency = np.array(adjacency, dtype=np.float64)
         n = self.adjacency.shape[0]
@@ -71,7 +72,7 @@ class ReachabilityIndex:
                      else Model.linear())
         self.model = model
         self._maintainer = make_sums(
-            strategy, self.adjacency, k, self.model, counter
+            strategy, self.adjacency, k, self.model, counter, backend=backend
         )
 
     def _edge_factors(self, src: int, dst: int, sign: float):
@@ -100,20 +101,37 @@ class ReachabilityIndex:
         self._maintainer.refresh(u, v)
 
     def walk_counts(self) -> np.ndarray:
-        """The maintained ``W_k`` matrix (walks of length ``< k``)."""
-        return self._maintainer.result()
+        """The maintained ``W_k`` matrix (walks of length ``< k``), dense.
+
+        Under a sparse backend the maintained view may be CSR; this
+        accessor materializes the full matrix — point queries below
+        index the native representation instead.
+        """
+        return self._maintainer.ops.backend.materialize(self._maintainer.result())
 
     def reachable(self, src: int, dst: int) -> bool:
-        """Whether ``dst`` is reachable from ``src`` in ``< k`` hops."""
-        return bool(self.walk_counts()[dst, src] > COUNT_ATOL)
+        """Whether ``dst`` is reachable from ``src`` in ``< k`` hops.
+
+        Indexes the maintained view natively (CSR or dense) — no
+        materialization, so the query stays cheap at any scale.
+        """
+        return bool(self._maintainer.result()[dst, src] > COUNT_ATOL)
 
     def reachable_set(self, src: int) -> list[int]:
         """All vertices reachable from ``src`` in ``< k`` hops (sorted)."""
-        column = self.walk_counts()[:, src]
+        counts = self._maintainer.result()
+        if isinstance(counts, np.ndarray):
+            column = counts[:, src]
+        else:
+            # One O(n) column of the CSR view, not the full n^2 matrix.
+            column = np.asarray(counts[:, [src]].todense()).ravel()
         return [int(i) for i in np.nonzero(column > COUNT_ATOL)[0]]
 
     def reachable_pairs(self) -> np.ndarray:
-        """Boolean reachability matrix (``[dst, src]`` orientation)."""
+        """Boolean reachability matrix (``[dst, src]`` orientation).
+
+        Inherently ``O(n^2)`` output; materializes under any backend.
+        """
         return self.walk_counts() > COUNT_ATOL
 
 

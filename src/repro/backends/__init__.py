@@ -1,0 +1,64 @@
+"""Pluggable execution backends for the evaluation spine.
+
+The maintenance machinery (executor, triggers, iterative maintainers,
+batch compaction, distributed tiles) is written against the
+:class:`~repro.backends.base.Backend` kernel interface; this package
+provides the dense (NumPy, default) and sparse (SciPy CSR)
+implementations plus a tiny registry:
+
+>>> from repro.backends import get_backend
+>>> get_backend("dense").name
+'dense'
+
+Anywhere the API accepts a ``backend=`` argument it takes a backend
+name, a :class:`Backend` instance, or ``None`` for the process default.
+"""
+
+from __future__ import annotations
+
+from .base import Backend, MatrixLike
+from .dense import DenseBackend
+from .sparse import SparseBackend
+
+#: Shared default instance — the seed's exact dense semantics.
+DENSE = DenseBackend()
+
+_FACTORIES = {
+    "dense": lambda: DENSE,
+    "sparse": SparseBackend,
+}
+
+
+def available_backends() -> list[str]:
+    """Registered backend names."""
+    return sorted(_FACTORIES)
+
+
+def get_backend(backend: "str | Backend | None") -> Backend:
+    """Resolve a backend name / instance / ``None`` to an instance.
+
+    ``None`` resolves to the shared dense default; names go through the
+    registry (``"sparse"`` constructs a fresh :class:`SparseBackend`
+    with default thresholds — build one yourself for custom cutoffs).
+    """
+    if backend is None:
+        return DENSE
+    if isinstance(backend, Backend):
+        return backend
+    try:
+        return _FACTORIES[backend]()
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; available: {available_backends()}"
+        ) from None
+
+
+__all__ = [
+    "DENSE",
+    "Backend",
+    "DenseBackend",
+    "MatrixLike",
+    "SparseBackend",
+    "available_backends",
+    "get_backend",
+]

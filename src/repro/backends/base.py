@@ -1,0 +1,178 @@
+"""The numeric kernel interface every execution backend implements.
+
+LINVIEW's maintenance machinery is representation-agnostic: triggers,
+delta derivation and the iterative-model recurrences only need a small
+algebra of matrix operations.  F-IVM (Kara et al.) makes the analogous
+point for rings of aggregates; here the abstraction is over the
+*physical* value domain — dense NumPy arrays today, SciPy CSR matrices
+for graph-shaped inputs, and (eventually) GPU or out-of-core blocks.
+
+A :class:`Backend` bundles
+
+* **construction** — :meth:`asarray`, :meth:`eye`, :meth:`zeros`;
+* **algebra** — :meth:`matmul`, :meth:`add`, :meth:`sub`,
+  :meth:`scale`, :meth:`transpose`, :meth:`hstack`, :meth:`vstack`,
+  :meth:`inv`, :meth:`solve`, :meth:`norm`;
+* **update kernels** — :meth:`add_outer` (the trigger statement
+  ``A += U V'``) and :meth:`compact` (rank compaction of factored
+  deltas, the Table 4 batching step);
+* **cost hooks** — ``*_flops`` formulas so the FLOP counters charge
+  what the representation actually performs (a sparse matvec is *not*
+  ``2 n^2`` work, and reporting it as such would fake the paper's
+  complexity plots);
+* **inspection** — :meth:`materialize`, :meth:`shape`, :meth:`nbytes`,
+  :meth:`density`.
+
+Mutating kernels (:meth:`add_inplace`, :meth:`add_outer`) return the
+result and update in place only *when the representation allows it*;
+callers must always use the returned object.  Factored-delta blocks
+(thin ``(n x k)`` matrices) stay dense ``ndarray``\\ s under every
+backend — their products are already cheap, and keeping them dense is
+what makes factored updates fast on sparse state too.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+import numpy as np
+
+#: A backend value: a 2-D ``ndarray`` or a backend-specific matrix type.
+MatrixLike = Any
+
+
+class Backend(ABC):
+    """Abstract numeric kernel used by the executor and maintainers."""
+
+    #: Registry key and display name (``"dense"``, ``"sparse"``, ...).
+    name: str = "abstract"
+
+    # -- construction ----------------------------------------------------
+    @abstractmethod
+    def asarray(self, value: MatrixLike, copy: bool = False) -> MatrixLike:
+        """Normalize ``value`` into this backend's preferred 2-D form.
+
+        1-D input becomes a column; ``copy=True`` guarantees the result
+        does not alias caller memory (maintainers that mutate state in
+        place rely on this).
+        """
+
+    @abstractmethod
+    def eye(self, n: int) -> MatrixLike:
+        """The ``(n x n)`` identity in this backend's representation."""
+
+    @abstractmethod
+    def zeros(self, rows: int, cols: int) -> MatrixLike:
+        """An all-zero ``(rows x cols)`` matrix."""
+
+    # -- algebra ---------------------------------------------------------
+    @abstractmethod
+    def matmul(self, a: MatrixLike, b: MatrixLike) -> MatrixLike:
+        """Matrix product ``a @ b`` (in the expression's association order)."""
+
+    @abstractmethod
+    def add(self, a: MatrixLike, b: MatrixLike) -> MatrixLike:
+        """Element-wise sum."""
+
+    @abstractmethod
+    def sub(self, a: MatrixLike, b: MatrixLike) -> MatrixLike:
+        """Element-wise difference."""
+
+    @abstractmethod
+    def add_inplace(self, a: MatrixLike, b: MatrixLike) -> MatrixLike:
+        """``a += b`` where possible; returns the result (may be new)."""
+
+    @abstractmethod
+    def add_outer(
+        self, a: MatrixLike, u: np.ndarray, v: np.ndarray
+    ) -> MatrixLike:
+        """The trigger update ``a + u @ v.T`` for thin factor blocks.
+
+        Accumulates in place when the representation supports it;
+        returns the result either way.
+        """
+
+    @abstractmethod
+    def scale(self, coeff: float, a: MatrixLike) -> MatrixLike:
+        """Scalar multiple ``coeff * a``."""
+
+    @abstractmethod
+    def transpose(self, a: MatrixLike) -> MatrixLike:
+        """Transpose (no arithmetic)."""
+
+    @abstractmethod
+    def hstack(self, blocks: Sequence[MatrixLike]) -> MatrixLike:
+        """Horizontal concatenation."""
+
+    @abstractmethod
+    def vstack(self, blocks: Sequence[MatrixLike]) -> MatrixLike:
+        """Vertical concatenation."""
+
+    @abstractmethod
+    def inv(self, a: MatrixLike) -> MatrixLike:
+        """Matrix inverse (dense result; inverses are generically dense)."""
+
+    @abstractmethod
+    def solve(self, a: MatrixLike, b: MatrixLike) -> MatrixLike:
+        """Solve ``a @ x = b`` for ``x``."""
+
+    @abstractmethod
+    def norm(self, a: MatrixLike) -> float:
+        """Frobenius norm."""
+
+    @abstractmethod
+    def max_abs(self, a: MatrixLike) -> float:
+        """``max |a_ij|`` (drift monitoring); 0.0 for an empty matrix."""
+
+    # -- factored-delta kernels ------------------------------------------
+    @abstractmethod
+    def compact(
+        self, u: np.ndarray, v: np.ndarray, rtol: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Minimal-rank thin factors ``(L, R)`` with ``L R' == u v'``.
+
+        Factors are dense thin blocks under every backend; see
+        :mod:`repro.delta.batch` for the QR/SVD derivation.
+        """
+
+    # -- inspection ------------------------------------------------------
+    @abstractmethod
+    def materialize(self, a: MatrixLike) -> np.ndarray:
+        """A dense float64 ``ndarray`` copy-or-view of ``a``."""
+
+    @abstractmethod
+    def is_native(self, value: MatrixLike) -> bool:
+        """Whether ``value`` is already in a form this backend executes."""
+
+    def shape(self, a: MatrixLike) -> tuple[int, int]:
+        """Global ``(rows, cols)``."""
+        return a.shape
+
+    @abstractmethod
+    def nbytes(self, a: MatrixLike) -> int:
+        """Bytes of storage the representation actually holds."""
+
+    @abstractmethod
+    def density(self, a: MatrixLike) -> float:
+        """Fraction of stored entries (1.0 for dense)."""
+
+    # -- cost hooks ------------------------------------------------------
+    @abstractmethod
+    def matmul_flops(self, a: MatrixLike, b: MatrixLike) -> int:
+        """FLOPs the backend performs for ``a @ b``."""
+
+    @abstractmethod
+    def add_flops(self, a: MatrixLike) -> int:
+        """FLOPs of an element-wise add shaped like ``a``."""
+
+    @abstractmethod
+    def scale_flops(self, a: MatrixLike) -> int:
+        """FLOPs of scaling ``a``."""
+
+    @abstractmethod
+    def inverse_flops(self, a: MatrixLike) -> int:
+        """FLOPs of inverting the square matrix ``a``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

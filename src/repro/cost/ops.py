@@ -1,106 +1,115 @@
-"""FLOP-counted NumPy operations.
+"""FLOP-counted, backend-dispatched matrix operations.
 
 The iterative-model maintainers and the analytics layer execute
-hand-specialized trigger bodies directly over NumPy (the moral
+hand-specialized trigger bodies directly over arrays (the moral
 equivalent of the paper's generated Octave code).  Routing their array
 math through :class:`Ops` keeps FLOP accounting consistent with the
 expression executor, so REEVAL/INCR/HYBRID comparisons report both
 seconds *and* operations from one bookkeeping scheme.
+
+The actual kernels live in a :class:`~repro.backends.base.Backend`
+(dense NumPy by default, SciPy CSR via ``backend="sparse"``); charged
+FLOPs come from the backend's cost hooks, so a sparse matvec is billed
+at its nnz-proportional cost rather than the dense ``2 n^2``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from . import counters, flops
+from . import counters
 
-try:  # SciPy gives direct BLAS access for single-pass rank-k updates.
-    from scipy.linalg import blas as _blas
-except ImportError:  # pragma: no cover - scipy is a soft dependency
-    _blas = None
+
+def outer_update_flops(backend, a, u, v) -> int:
+    """FLOPs of applying ``a += u @ v.T`` under ``backend``.
+
+    Dense state pays the full rank-k GEMM; sparse state accumulates a
+    sparse outer product whose work scales with the factors' nonzeros.
+    """
+    rows, cols = backend.shape(a)
+    k = u.shape[1]
+    if backend.density(a) < 1.0:
+        u_nnz = int(np.count_nonzero(u))
+        v_nnz = int(np.count_nonzero(v))
+        return 2 * max(u_nnz, 1) * max(v_nnz, 1) // max(k, 1)
+    return 2 * rows * k * cols
 
 
 class Ops:
-    """Counted wrappers around the dense kernels used by the maintainers."""
+    """Counted wrappers around one backend's kernels."""
 
-    def __init__(self, counter: counters.Counter = counters.NULL_COUNTER):
+    def __init__(
+        self,
+        counter: counters.Counter = counters.NULL_COUNTER,
+        backend=None,
+    ):
+        # Imported here, not at module level: the backends package sits
+        # above the cost formulas it charges with, and importing it at
+        # the top would close an import cycle through ``repro.cost``.
+        from ..backends import get_backend
+
         self.counter = counter
+        self.backend = get_backend(backend)
 
-    def mm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Matrix product ``a @ b`` (charges ``2 n m p``)."""
-        n, m = a.shape
-        m2, p = b.shape
+    def mm(self, a, b):
+        """Matrix product ``a @ b`` (charges ``2 n m p`` dense-equivalent)."""
+        n, m = self.backend.shape(a)
+        m2, p = self.backend.shape(b)
         if m != m2:
-            raise ValueError(f"shape mismatch in product: {a.shape} @ {b.shape}")
+            raise ValueError(f"shape mismatch in product: {(n, m)} @ {(m2, p)}")
         self.counter.record(
-            "matmul", flops.matmul_flops(n, m, p), flops.matrix_bytes(n, p)
+            "matmul",
+            self.backend.matmul_flops(a, b),
+            n * p * 8,
         )
-        return a @ b
+        return self.backend.matmul(a, b)
 
-    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Element-wise sum (charges ``n m``)."""
-        self.counter.record("add", flops.add_flops(*a.shape))
-        return a + b
+    def add(self, a, b):
+        """Element-wise sum (charges ``n m``, nnz for sparse)."""
+        self.counter.record("add", self.backend.add_flops(a))
+        return self.backend.add(a, b)
 
-    def sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Element-wise difference (charges ``n m``)."""
-        self.counter.record("add", flops.add_flops(*a.shape))
-        return a - b
+    def sub(self, a, b):
+        """Element-wise difference (charges ``n m``, nnz for sparse)."""
+        self.counter.record("add", self.backend.add_flops(a))
+        return self.backend.sub(a, b)
 
-    def add_inplace(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """In-place sum ``a += b`` (charges ``n m``; returns ``a``)."""
-        self.counter.record("add", flops.add_flops(*a.shape))
-        a += b
-        return a
+    def add_inplace(self, a, b):
+        """``a += b`` where the representation allows; use the return value."""
+        self.counter.record("add", self.backend.add_flops(a))
+        return self.backend.add_inplace(a, b)
 
-    def add_outer_inplace(
-        self, a: np.ndarray, u: np.ndarray, v: np.ndarray
-    ) -> np.ndarray:
-        """The trigger update ``a += u @ v.T`` in one memory pass.
+    def add_outer_inplace(self, a, u, v):
+        """The trigger update ``a += u @ v.T``; use the return value.
 
-        Uses BLAS ``dgemm`` with ``beta = 1`` accumulating straight into
-        ``a`` (via its transposed Fortran-order view), halving memory
-        traffic against the materialize-then-add form — this is what the
-        paper's generated BLAS backends do for ``A += U V'`` updates.
-        Falls back to two passes when SciPy or the layout rules it out.
+        Dense state accumulates in one BLAS ``dgemm`` pass (see
+        :meth:`repro.backends.dense.DenseBackend.add_outer`); sparse
+        state adds a sparse outer product and may return a new (possibly
+        densified) matrix, so callers must rebind the result.
         """
-        rows, cols = a.shape
-        k = u.shape[1]
-        self.counter.record("matmul", flops.matmul_flops(rows, k, cols))
-        self.counter.record("add", flops.add_flops(rows, cols))
-        if (
-            _blas is not None
-            and a.flags.c_contiguous
-            and a.dtype == np.float64
-            and u.dtype == np.float64
-            and v.dtype == np.float64
-        ):
-            # a.T (Fortran view) = v @ u.T + a.T, computed in place.
-            _blas.dgemm(1.0, v, u, beta=1.0, c=a.T, trans_b=True,
-                        overwrite_c=1)
-            return a
-        a += u @ v.T
-        return a
+        self.counter.record("matmul", outer_update_flops(self.backend, a, u, v))
+        self.counter.record("add", self.backend.add_flops(a))
+        return self.backend.add_outer(a, u, v)
 
-    def scale(self, coeff: float, a: np.ndarray) -> np.ndarray:
-        """Scalar multiple (charges ``n m``)."""
-        self.counter.record("scalar_mul", flops.scalar_mul_flops(*a.shape))
-        return coeff * a
+    def scale(self, coeff: float, a):
+        """Scalar multiple (charges ``n m``, nnz for sparse)."""
+        self.counter.record("scalar_mul", self.backend.scale_flops(a))
+        return self.backend.scale(coeff, a)
 
-    def inv(self, a: np.ndarray) -> np.ndarray:
-        """Dense inverse (charges ``~2 n^3``)."""
-        n = a.shape[0]
-        self.counter.record("inverse", flops.inverse_flops(n), flops.matrix_bytes(n, n))
-        return np.linalg.inv(a)
+    def inv(self, a):
+        """Matrix inverse (charges ``~2 n^3``; result is dense)."""
+        n = self.backend.shape(a)[0]
+        self.counter.record("inverse", self.backend.inverse_flops(a), n * n * 8)
+        return self.backend.inv(a)
 
-    def hstack(self, blocks: list[np.ndarray]) -> np.ndarray:
+    def hstack(self, blocks):
         """Horizontal concatenation (no arithmetic charged)."""
-        return np.hstack(blocks)
+        return self.backend.hstack(blocks)
 
-    def vstack(self, blocks: list[np.ndarray]) -> np.ndarray:
+    def vstack(self, blocks):
         """Vertical concatenation (no arithmetic charged)."""
-        return np.vstack(blocks)
+        return self.backend.vstack(blocks)
 
-    def outer(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    def outer(self, u, v):
         """Outer-product-style product ``u @ v.T`` (charged as a matmul)."""
-        return self.mm(u, v.T)
+        return self.mm(u, self.backend.transpose(v))

@@ -26,6 +26,8 @@ from typing import Sequence
 
 import numpy as np
 
+from ..backends import get_backend
+
 #: Singular values below ``tol * s_max`` are treated as rank-deficient.
 DEFAULT_RTOL = 1e-12
 
@@ -47,42 +49,26 @@ def compact_factors(
     u: np.ndarray,
     v: np.ndarray,
     rtol: float = DEFAULT_RTOL,
+    backend=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Minimal-rank factors ``(L, R)`` with ``L R' == U V'`` numerically.
 
     The result width is the numerical rank of ``U V'`` (relative
     threshold ``rtol`` on the core's singular values).  A zero update
-    compacts to width-0 factors.
+    compacts to width-0 factors.  The QR/SVD kernel is the backend's
+    :meth:`~repro.backends.base.Backend.compact` (factors are thin, so
+    every backend runs it dense).
     """
-    u = np.asarray(u, dtype=np.float64)
-    v = np.asarray(v, dtype=np.float64)
-    if u.ndim != 2 or v.ndim != 2 or u.shape[1] != v.shape[1]:
-        raise ValueError(
-            f"factors must be (n x m)/(p x m), got {u.shape} and {v.shape}"
-        )
-    qu, ru = np.linalg.qr(u, mode="reduced")
-    qv, rv = np.linalg.qr(v, mode="reduced")
-    core = ru @ rv.T
-    w, s, zt = np.linalg.svd(core, full_matrices=False)
-    # Threshold against the *input* magnitude, not the core's own top
-    # singular value — a batch that cancels to numerical zero must
-    # compact to width 0, which a purely relative cutoff never does.
-    scale = float(np.linalg.norm(ru) * np.linalg.norm(rv))
-    if s.size and scale > 0.0:
-        keep = s > rtol * scale
-    else:
-        keep = np.zeros(s.shape, dtype=bool)
-    left = qu @ (w[:, keep] * s[keep])
-    right = qv @ zt[keep].T
-    return left, right
+    return get_backend(backend).compact(u, v, rtol)
 
 
 def compact_updates(
     updates: Sequence[tuple[np.ndarray, np.ndarray]],
     rtol: float = DEFAULT_RTOL,
+    backend=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Stack a batch of rank-1 updates and compress to numerical rank."""
-    return compact_factors(*stack_updates(updates), rtol=rtol)
+    return compact_factors(*stack_updates(updates), rtol=rtol, backend=backend)
 
 
 class BatchCollector:
@@ -90,14 +76,22 @@ class BatchCollector:
 
     ``rank_cap`` optionally forces a flush-side truncation (lossy — use
     only when the application tolerates approximate views; the dropped
-    mass is returned so callers can monitor it).
+    mass is returned so callers can monitor it).  ``backend`` supplies
+    the compaction kernel and should match the maintainer being flushed
+    into so the factors arrive in a form its kernels accept.
     """
 
-    def __init__(self, rtol: float = DEFAULT_RTOL, rank_cap: int | None = None):
+    def __init__(
+        self,
+        rtol: float = DEFAULT_RTOL,
+        rank_cap: int | None = None,
+        backend=None,
+    ):
         if rank_cap is not None and rank_cap < 1:
             raise ValueError("rank_cap must be positive")
         self.rtol = rtol
         self.rank_cap = rank_cap
+        self.backend = get_backend(backend)
         self._pending: list[tuple[np.ndarray, np.ndarray]] = []
 
     def __len__(self) -> int:
@@ -116,7 +110,8 @@ class BatchCollector:
         ``dropped`` is the spectral norm of the truncated remainder
         (0.0 unless ``rank_cap`` cut actual mass).
         """
-        left, right = compact_updates(self._pending, self.rtol)
+        left, right = compact_updates(self._pending, self.rtol,
+                                      backend=self.backend)
         dropped = 0.0
         if self.rank_cap is not None and left.shape[1] > self.rank_cap:
             # Factors arrive singular-value ordered from the SVD core.

@@ -4,19 +4,25 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backends import get_backend
 from .partitioner import GridPartitioner
 
 
 class BlockMatrix:
-    """A dense matrix stored as ``g x g`` tiles on the simulated cluster.
+    """A matrix stored as ``g x g`` tiles on the simulated cluster.
 
     Purely a data container — all distributed *operations* (and their
-    cost accounting) live in :mod:`repro.distributed.engine`.
+    cost accounting) live in :mod:`repro.distributed.engine`.  The
+    ``backend`` names the tiles' representation (dense NumPy by
+    default, CSR under ``"sparse"``) and must match the engine
+    operating on them.
     """
 
     def __init__(self, partitioner: GridPartitioner,
-                 tiles: dict[tuple[int, int], np.ndarray]):
+                 tiles: dict[tuple[int, int], np.ndarray],
+                 backend=None):
         self.partitioner = partitioner
+        self.backend = get_backend(backend)
         expected = {
             (bi, bj)
             for bi in range(partitioner.grid)
@@ -33,14 +39,27 @@ class BlockMatrix:
         self.tiles = tiles
 
     @classmethod
-    def from_dense(cls, dense: np.ndarray, grid: int) -> "BlockMatrix":
-        """Partition a dense matrix onto a ``g x g`` grid."""
+    def from_dense(
+        cls, dense: np.ndarray, grid: int, backend=None
+    ) -> "BlockMatrix":
+        """Partition a dense matrix onto a ``g x g`` grid.
+
+        With ``backend`` set, each tile is converted to that backend's
+        representation (e.g. CSR under ``"sparse"``) before storage.
+        """
         partitioner = GridPartitioner(dense.shape[0], dense.shape[1], grid)
-        return cls(partitioner, partitioner.split(np.asarray(dense, dtype=np.float64)))
+        tiles = partitioner.split(np.asarray(dense, dtype=np.float64))
+        be = get_backend(backend)
+        if backend is not None:
+            tiles = {key: be.asarray(tile) for key, tile in tiles.items()}
+        return cls(partitioner, tiles, backend=be)
 
     def to_dense(self) -> np.ndarray:
         """Gather all tiles into one dense matrix."""
-        return self.partitioner.assemble(self.tiles)
+        tiles = {
+            key: self.backend.materialize(t) for key, t in self.tiles.items()
+        }
+        return self.partitioner.assemble(tiles)
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -55,12 +74,13 @@ class BlockMatrix:
     def copy(self) -> "BlockMatrix":
         """Deep copy (fresh tile arrays)."""
         return BlockMatrix(
-            self.partitioner, {k: t.copy() for k, t in self.tiles.items()}
+            self.partitioner, {k: t.copy() for k, t in self.tiles.items()},
+            backend=self.backend,
         )
 
     def nbytes(self) -> int:
-        """Total bytes across tiles."""
-        return sum(t.nbytes for t in self.tiles.values())
+        """Total bytes across tiles (index structures included for CSR)."""
+        return sum(self.backend.nbytes(t) for t in self.tiles.values())
 
     def __repr__(self) -> str:
         return f"BlockMatrix({self.shape[0]}x{self.shape[1]}, grid={self.grid})"

@@ -29,16 +29,43 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backends import get_backend
+from ..cost.ops import outer_update_flops
 from .blockmatrix import BlockMatrix
 from .cluster import Cluster
 from .comm import BROADCAST, GATHER, SHUFFLE
 
 
 class DistributedEngine:
-    """Executes block-matrix operations against a simulated cluster."""
+    """Executes block-matrix operations against a simulated cluster.
 
-    def __init__(self, cluster: Cluster):
+    ``backend`` selects the tile kernel (dense NumPy by default; pass
+    ``"sparse"`` to run CSR tiles — build the operands with
+    ``BlockMatrix.from_dense(..., backend=...)`` so tiles arrive in
+    that representation).  Communication costs are charged from the
+    bytes the representation actually ships.
+    """
+
+    def __init__(self, cluster: Cluster, backend=None):
         self.cluster = cluster
+        self.backend = get_backend(backend)
+
+    def _check_tiles(self, *operands: BlockMatrix) -> None:
+        """Fail fast when tile representation and engine backend diverge.
+
+        Every tile is checked: a sparse-built block matrix may legally
+        hold a *mix* of CSR and dense tiles (the representation policy
+        keeps small or filled-in tiles dense), so sampling one tile
+        could pass and then crash mid-operation.
+        """
+        for block in operands:
+            for tile in block.tiles.values():
+                if not self.backend.is_native(tile):
+                    raise ValueError(
+                        f"operand tile ({type(tile).__name__}) does not match "
+                        f"the {self.backend.name!r} engine backend; build the "
+                        f"BlockMatrix with the same backend"
+                    )
 
     # -- dense operations --------------------------------------------------
     def matmul(self, a: BlockMatrix, b: BlockMatrix) -> BlockMatrix:
@@ -47,7 +74,9 @@ class DistributedEngine:
             raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
         if a.grid != b.grid:
             raise ValueError("operands must share one grid")
+        self._check_tiles(a, b)
         g = a.grid
+        be = self.backend
         out_part = _result_partitioner(a, b)
         tiles: dict[tuple[int, int], np.ndarray] = {}
         max_flops = 0
@@ -55,19 +84,23 @@ class DistributedEngine:
         total_flops = 0
         for bi in range(g):
             for bj in range(g):
-                acc = np.zeros(out_part.tile_shape(bi, bj))
+                acc = None
                 worker_flops = 0
                 worker_bytes = 0
                 for bk in range(g):
                     left = a.tiles[(bi, bk)]
                     right = b.tiles[(bk, bj)]
-                    acc += left @ right
-                    worker_flops += 2 * left.shape[0] * left.shape[1] * right.shape[1]
+                    term = be.matmul(left, right)
+                    acc = term if acc is None else be.add_inplace(acc, term)
+                    worker_flops += be.matmul_flops(left, right)
                     if bk != bj:  # remote A tile received this round
-                        worker_bytes += left.nbytes
+                        worker_bytes += be.nbytes(left)
                     if bk != bi:  # remote B tile received this round
-                        worker_bytes += right.nbytes
-                tiles[(bi, bj)] = acc
+                        worker_bytes += be.nbytes(right)
+                tiles[(bi, bj)] = (
+                    acc if acc is not None
+                    else be.zeros(*out_part.tile_shape(bi, bj))
+                )
                 max_flops = max(max_flops, worker_flops)
                 max_bytes = max(max_bytes, worker_bytes)
                 total_flops += worker_flops
@@ -78,51 +111,61 @@ class DistributedEngine:
         self.cluster.comm.record(
             SHUFFLE, "matmul", max_bytes * g * g, messages=2 * g * g * (g - 1)
         )
-        return BlockMatrix(out_part, tiles)
+        return BlockMatrix(out_part, tiles, backend=self.backend)
 
     def add(self, a: BlockMatrix, b: BlockMatrix) -> BlockMatrix:
         """Tile-local element-wise sum (no communication)."""
         if a.shape != b.shape or a.grid != b.grid:
             raise ValueError("operands must share shape and grid")
-        tiles = {k: a.tiles[k] + b.tiles[k] for k in a.tiles}
-        per_worker = a.partitioner.max_tile_elements()
+        self._check_tiles(a, b)
+        be = self.backend
+        tiles = {k: be.add(a.tiles[k], b.tiles[k]) for k in a.tiles}
+        tile_flops = [be.add_flops(t) for t in a.tiles.values()]
         self.cluster.record_step(
-            "add", per_worker, 0, rounds=0,
-            total_flops=a.shape[0] * a.shape[1], total_bytes=0,
+            "add", max(tile_flops), 0, rounds=0,
+            total_flops=sum(tile_flops), total_bytes=0,
         )
-        return BlockMatrix(a.partitioner, tiles)
+        return BlockMatrix(a.partitioner, tiles, backend=self.backend)
 
     def scale(self, coeff: float, a: BlockMatrix) -> BlockMatrix:
         """Tile-local scaling (no communication)."""
-        tiles = {k: coeff * t for k, t in a.tiles.items()}
-        per_worker = a.partitioner.max_tile_elements()
+        self._check_tiles(a)
+        be = self.backend
+        tiles = {k: be.scale(coeff, t) for k, t in a.tiles.items()}
+        tile_flops = [be.scale_flops(t) for t in a.tiles.values()]
         self.cluster.record_step(
-            "scale", per_worker, 0, rounds=0,
-            total_flops=a.shape[0] * a.shape[1], total_bytes=0,
+            "scale", max(tile_flops), 0, rounds=0,
+            total_flops=sum(tile_flops), total_bytes=0,
         )
-        return BlockMatrix(a.partitioner, tiles)
+        return BlockMatrix(a.partitioner, tiles, backend=self.backend)
 
     # -- low-rank (incremental) operations ----------------------------------
     def broadcast_cost(self, *blocks: np.ndarray) -> int:
         """Bytes each worker receives for a broadcast of the blocks."""
-        return sum(b.nbytes for b in blocks)
+        return sum(self.backend.nbytes(b) for b in blocks)
 
     def add_lowrank(self, a: BlockMatrix, u: np.ndarray, v: np.ndarray) -> None:
         """In-place ``A += U V'`` with broadcast factors (INCR update path)."""
+        self._check_tiles(a)
         n_rows, n_cols = a.shape
         u = u.reshape(n_rows, -1)
         v = v.reshape(n_cols, -1)
-        k = u.shape[1]
         part = a.partitioner
+        be = self.backend
+        tile_flops = []
         for bi, (r0, r1) in enumerate(part.row_bounds):
             for bj, (c0, c1) in enumerate(part.col_bounds):
-                a.tiles[(bi, bj)] += u[r0:r1] @ v[c0:c1].T
-        tile_elems = part.max_tile_elements()
-        per_worker_flops = 2 * tile_elems * k + tile_elems
+                tile = a.tiles[(bi, bj)]
+                u_slice, v_slice = u[r0:r1], v[c0:c1]
+                tile_flops.append(
+                    outer_update_flops(be, tile, u_slice, v_slice)
+                    + be.add_flops(tile)
+                )
+                a.tiles[(bi, bj)] = be.add_outer(tile, u_slice, v_slice)
         bytes_in = self.broadcast_cost(u, v)
         self.cluster.record_step(
-            "lowrank_update", per_worker_flops, bytes_in, rounds=1,
-            total_flops=(2 * k + 1) * n_rows * n_cols,
+            "lowrank_update", max(tile_flops), bytes_in, rounds=1,
+            total_flops=sum(tile_flops),
             total_bytes=bytes_in * part.grid * part.grid,
         )
         self.cluster.comm.record(
@@ -142,9 +185,10 @@ class DistributedEngine:
         k = u.shape[1]
         dense_rows = []
         part = a.partitioner
+        be = self.backend
         for bi in range(part.grid):
-            strip = np.hstack([a.tiles[(bi, bj)] for bj in range(part.grid)])
-            dense_rows.append(strip @ u)
+            strip = be.hstack([a.tiles[(bi, bj)] for bj in range(part.grid)])
+            dense_rows.append(be.materialize(be.matmul(strip, u)))
         result = np.vstack(dense_rows)
         # Cost model: the row strips are split across *all* g^2 workers
         # ("we split the data horizontally among all available nodes").
@@ -171,10 +215,11 @@ class DistributedEngine:
         v = v.reshape(n_rows, -1)
         k = v.shape[1]
         part = a.partitioner
+        be = self.backend
         dense_cols = []
         for bj in range(part.grid):
-            strip = np.vstack([a.tiles[(bi, bj)] for bi in range(part.grid)])
-            dense_cols.append(strip.T @ v)
+            strip = be.vstack([a.tiles[(bi, bj)] for bi in range(part.grid)])
+            dense_cols.append(be.materialize(be.matmul(be.transpose(strip), v)))
         result = np.vstack(dense_cols)
         workers = part.grid * part.grid
         strip_cols = -(-n_cols // workers)  # ceil

@@ -56,12 +56,16 @@ class _GeneralBase:
         k: int,
         model: Model,
         counter: counters.Counter,
+        backend=None,
     ):
         self.model = model
         self.k = k
         self.schedule = model.schedule(k)
-        self.ops = Ops(counter)
-        self.a = np.array(a, dtype=np.float64)
+        self.ops = Ops(counter, backend)
+        self.backend = self.ops.backend
+        self.a = self.backend.asarray(a, copy=True)
+        # Iterates and B are (n x p) with small p: thin blocks stay dense
+        # under every backend (see repro.backends.base).
         self.t0 = np.array(t0, dtype=np.float64)
         if self.t0.ndim == 1:
             self.t0 = self.t0.reshape(-1, 1)
@@ -108,10 +112,12 @@ class ReevalGeneral(_GeneralBase):
         k: int,
         model: Model,
         counter: counters.Counter = counters.NULL_COUNTER,
+        backend=None,
     ):
-        super().__init__(a, b, t0, k, model, counter)
+        super().__init__(a, b, t0, k, model, counter, backend=backend)
         self.powers = (
-            ReevalPowers(self.a, self.horizon, model, counter)
+            ReevalPowers(self.a, self.horizon, model, counter,
+                         backend=self.backend)
             if self.horizon > 1
             else None
         )
@@ -141,7 +147,7 @@ class ReevalGeneral(_GeneralBase):
         """Sums of powers up to the horizon, via the model recurrence."""
         ops = self.ops
         n = self.a.shape[0]
-        sums: dict[int, np.ndarray] = {1: np.eye(n)}
+        sums: dict[int, np.ndarray] = {1: self.backend.eye(n)}
         for i in self.model.schedule(self.horizon)[1:]:
             j = self.model.predecessor(i)
             h = i - j
@@ -152,7 +158,7 @@ class ReevalGeneral(_GeneralBase):
         """Apply ``A += u v'`` and recompute everything."""
         u = u.reshape(len(u), -1)
         v = v.reshape(len(v), -1)
-        self.a = self.ops.add(self.a, self.ops.mm(u, v.T))
+        self.a = self.ops.add_outer_inplace(self.a, u, v)
         if self.powers is not None:
             self.powers.refresh(u, v)
         self._recompute()
@@ -168,11 +174,12 @@ class ReevalGeneral(_GeneralBase):
 
     def memory_bytes(self) -> int:
         """REEVAL stores A, B, the current iterate (+ P/S at the horizon)."""
-        total = self.a.nbytes + self.t0.nbytes
+        total = self.backend.nbytes(self.a) + self.t0.nbytes
         if self.b is not None:
             total += self.b.nbytes
         if self.powers is not None:
-            total += 2 * self.a.nbytes  # current P_h and S_h
+            # Current P_h and S_h live while recomputing.
+            total += 2 * self.backend.nbytes(self.a)
         return total
 
 
@@ -187,23 +194,26 @@ class IncrementalGeneral(_GeneralBase):
         k: int,
         model: Model,
         counter: counters.Counter = counters.NULL_COUNTER,
+        backend=None,
     ):
-        super().__init__(a, b, t0, k, model, counter)
+        super().__init__(a, b, t0, k, model, counter, backend=backend)
         self.powers = (
-            IncrementalPowers(self.a, self.horizon, model, counter)
+            IncrementalPowers(self.a, self.horizon, model, counter,
+                              backend=self.backend)
             if self.horizon > 1
             else None
         )
         self.sums = (
             IncrementalPowerSums(self.a, self.horizon, model, counter,
-                                 powers=self.powers)
+                                 powers=self.powers, backend=self.backend)
             if self.horizon > 1 and self.b is not None
             else None
         )
         self._materialize()
 
     def _materialize(self) -> None:
-        ops = Ops()  # initial evaluation is not charged to refreshes
+        # Initial evaluation is not charged to refreshes.
+        ops = Ops(backend=self.backend)
         self.iterates = {}
         prev = self.t0
         for i in self.schedule:
@@ -269,14 +279,14 @@ class IncrementalGeneral(_GeneralBase):
         # Apply all deltas only after every factor is derived.
         for i in self.schedule:
             big_u, big_v = tf[i]
-            ops.add_outer_inplace(self.iterates[i], big_u, big_v)
+            self.iterates[i] = ops.add_outer_inplace(self.iterates[i], big_u, big_v)
         if self.sums is not None and sf is not None:
             self.sums.apply_factors(sf)
         if self.powers is not None:
             self.powers.apply_factors(pf)
             self.a = self.powers.a
         else:
-            self.a = ops.add(self.a, ops.mm(u, v.T))
+            self.a = ops.add_outer_inplace(self.a, u, v)
 
     def refresh_b(self, u: np.ndarray, v: np.ndarray) -> None:
         """Maintain all views for ``B += u v'`` (extension; P/S unchanged)."""
@@ -311,12 +321,13 @@ class IncrementalGeneral(_GeneralBase):
                 )
         for i in self.schedule:
             big_u, big_v = tf[i]
-            ops.add_outer_inplace(self.iterates[i], big_u, big_v)
+            self.iterates[i] = ops.add_outer_inplace(self.iterates[i], big_u, big_v)
         self.b = ops.add(self.b, ops.mm(u, v.T))
 
     def memory_bytes(self) -> int:
         """Every iterate (plus P/S views) is materialized (Table 2)."""
-        total = self.a.nbytes + sum(t.nbytes for t in self.iterates.values())
+        nbytes = self.backend.nbytes
+        total = nbytes(self.a) + sum(nbytes(t) for t in self.iterates.values())
         if self.b is not None:
             total += self.b.nbytes
         if self.powers is not None:
@@ -343,23 +354,25 @@ class HybridGeneral(_GeneralBase):
         k: int,
         model: Model,
         counter: counters.Counter = counters.NULL_COUNTER,
+        backend=None,
     ):
-        super().__init__(a, b, t0, k, model, counter)
+        super().__init__(a, b, t0, k, model, counter, backend=backend)
         self.powers = (
-            IncrementalPowers(self.a, self.horizon, model, counter)
+            IncrementalPowers(self.a, self.horizon, model, counter,
+                              backend=self.backend)
             if self.horizon > 1
             else None
         )
         self.sums = (
             IncrementalPowerSums(self.a, self.horizon, model, counter,
-                                 powers=self.powers)
+                                 powers=self.powers, backend=self.backend)
             if self.horizon > 1 and self.b is not None
             else None
         )
         self._materialize()
 
     def _materialize(self) -> None:
-        ops = Ops()
+        ops = Ops(backend=self.backend)
         self.iterates = {}
         prev = self.t0
         for i in self.schedule:
@@ -419,14 +432,14 @@ class HybridGeneral(_GeneralBase):
                 dt[i] = total
 
         for i in self.schedule:
-            ops.add_inplace(self.iterates[i], dt[i])
+            self.iterates[i] = ops.add_inplace(self.iterates[i], dt[i])
         if self.sums is not None and sf is not None:
             self.sums.apply_factors(sf)
         if self.powers is not None:
             self.powers.apply_factors(pf)
             self.a = self.powers.a
         else:
-            self.a = ops.add(self.a, ops.mm(u, v.T))
+            self.a = ops.add_outer_inplace(self.a, u, v)
 
     def refresh_b(self, u: np.ndarray, v: np.ndarray) -> None:
         """Maintain all views for ``B += u v'``; P/S are unaffected."""
@@ -453,12 +466,13 @@ class HybridGeneral(_GeneralBase):
                 else:
                     dt[i] = ops.add(term, ops.mm(self.sums.sums[h], db))
         for i in self.schedule:
-            ops.add_inplace(self.iterates[i], dt[i])
+            self.iterates[i] = ops.add_inplace(self.iterates[i], dt[i])
         self.b = ops.add(self.b, db)
 
     def memory_bytes(self) -> int:
         """Every iterate (plus P/S views) is materialized (Table 2)."""
-        total = self.a.nbytes + sum(t.nbytes for t in self.iterates.values())
+        nbytes = self.backend.nbytes
+        total = nbytes(self.a) + sum(nbytes(t) for t in self.iterates.values())
         if self.b is not None:
             total += self.b.nbytes
         if self.powers is not None:

@@ -44,12 +44,13 @@ class ReevalPowers:
         k: int,
         model: Model,
         counter: counters.Counter = counters.NULL_COUNTER,
+        backend=None,
     ):
         self.model = model
         self.k = k
         self.schedule = model.schedule(k)
-        self.ops = Ops(counter)
-        self.a = np.array(a, dtype=np.float64)
+        self.ops = Ops(counter, backend)
+        self.a = self.ops.backend.asarray(a, copy=True)
         self.powers: dict[int, np.ndarray] = {}
         self._recompute()
 
@@ -63,9 +64,9 @@ class ReevalPowers:
 
     def refresh(self, u: np.ndarray, v: np.ndarray) -> None:
         """Apply ``A += u v'`` and recompute every scheduled power."""
-        self.a = self.a + self.ops.outer(u.reshape(len(u), -1),
-                                         v.reshape(len(v), -1))
-        self.ops.counter.record("add", self.a.size)
+        self.a = self.ops.add_outer_inplace(
+            self.a, u.reshape(len(u), -1), v.reshape(len(v), -1)
+        )
         self._recompute()
 
     def result(self) -> np.ndarray:
@@ -78,8 +79,7 @@ class ReevalPowers:
         Re-evaluation needs ``A`` plus at most two live powers while
         recomputing (Table 2: ``O(n^2)``, independent of ``k``).
         """
-        n = self.a.shape[0]
-        return 3 * n * n * 8
+        return 3 * self.ops.backend.nbytes(self.a)
 
 
 class IncrementalPowers:
@@ -91,14 +91,16 @@ class IncrementalPowers:
         k: int,
         model: Model,
         counter: counters.Counter = counters.NULL_COUNTER,
+        backend=None,
     ):
         self.model = model
         self.k = k
         self.schedule = model.schedule(k)
-        self.ops = Ops(counter)
+        self.ops = Ops(counter, backend)
         self.powers: dict[int, np.ndarray] = {}
-        ops = Ops()  # initial materialization is not charged to refreshes
-        self.powers[1] = np.array(a, dtype=np.float64)
+        # Initial materialization is not charged to refreshes.
+        ops = Ops(backend=self.ops.backend)
+        self.powers[1] = self.ops.backend.asarray(a, copy=True)
         for i in self.schedule[1:]:
             j = self.model.predecessor(i)
             self.powers[i] = ops.mm(self.powers[i - j], self.powers[j])
@@ -142,7 +144,7 @@ class IncrementalPowers:
         """Apply previously computed deltas: ``P_i += U_i @ V_i'``."""
         for i in self.schedule:
             u_i, v_i = factors[i]
-            self.ops.add_outer_inplace(self.powers[i], u_i, v_i)
+            self.powers[i] = self.ops.add_outer_inplace(self.powers[i], u_i, v_i)
 
     def refresh(self, u: np.ndarray, v: np.ndarray) -> FactorDict:
         """Maintain every scheduled power for ``A += u v'`` (Appendix A)."""
@@ -160,4 +162,4 @@ class IncrementalPowers:
 
     def memory_bytes(self) -> int:
         """Footprint of all materialized powers (Table 2: model-dependent)."""
-        return sum(arr.nbytes for arr in self.powers.values())
+        return sum(self.ops.backend.nbytes(arr) for arr in self.powers.values())

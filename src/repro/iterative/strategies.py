@@ -42,12 +42,13 @@ def make_powers(
     k: int,
     model: Model,
     counter: counters.Counter = counters.NULL_COUNTER,
+    backend=None,
 ):
     """Powers maintainer for a strategy name (``REEVAL`` or ``INCR``)."""
     if strategy == REEVAL:
-        return ReevalPowers(a, k, model, counter)
+        return ReevalPowers(a, k, model, counter, backend=backend)
     if strategy == INCR:
-        return IncrementalPowers(a, k, model, counter)
+        return IncrementalPowers(a, k, model, counter, backend=backend)
     raise ValueError(f"matrix powers has no {strategy!r} strategy")
 
 
@@ -57,12 +58,13 @@ def make_sums(
     k: int,
     model: Model,
     counter: counters.Counter = counters.NULL_COUNTER,
+    backend=None,
 ):
     """Sums-of-powers maintainer for a strategy name."""
     if strategy == REEVAL:
-        return ReevalPowerSums(a, k, model, counter)
+        return ReevalPowerSums(a, k, model, counter, backend=backend)
     if strategy == INCR:
-        return IncrementalPowerSums(a, k, model, counter)
+        return IncrementalPowerSums(a, k, model, counter, backend=backend)
     raise ValueError(f"sums of powers has no {strategy!r} strategy")
 
 
@@ -74,12 +76,13 @@ def make_general(
     k: int,
     model: Model,
     counter: counters.Counter = counters.NULL_COUNTER,
+    backend=None,
 ):
     """General-form maintainer for a strategy name (all three apply)."""
     if strategy == REEVAL:
-        return ReevalGeneral(a, b, t0, k, model, counter)
+        return ReevalGeneral(a, b, t0, k, model, counter, backend=backend)
     if strategy == INCR:
-        return IncrementalGeneral(a, b, t0, k, model, counter)
+        return IncrementalGeneral(a, b, t0, k, model, counter, backend=backend)
     if strategy == HYBRID:
-        return HybridGeneral(a, b, t0, k, model, counter)
+        return HybridGeneral(a, b, t0, k, model, counter, backend=backend)
     raise ValueError(f"unknown strategy {strategy!r}")

@@ -50,14 +50,16 @@ class ReevalPowerSums:
         k: int,
         model: Model,
         counter: counters.Counter = counters.NULL_COUNTER,
+        backend=None,
     ):
         self.model = model
         self.k = k
         self.schedule = model.schedule(k)
-        self.ops = Ops(counter)
-        self.a = np.array(a, dtype=np.float64)
+        self.ops = Ops(counter, backend)
+        self.a = self.ops.backend.asarray(a, copy=True)
         self._powers = (
-            ReevalPowers(a, _powers_horizon(model, k), model, counter)
+            ReevalPowers(a, _powers_horizon(model, k), model, counter,
+                         backend=self.ops.backend)
             if model.kind != Model.LINEAR and k > 1
             else None
         )
@@ -70,8 +72,8 @@ class ReevalPowerSums:
 
     def _recompute(self) -> None:
         n = self.a.shape[0]
-        eye = np.eye(n)
-        self.sums = {1: eye.copy()}
+        eye = self.ops.backend.eye(n)
+        self.sums = {1: eye}
         for i in self.schedule[1:]:
             j = self.model.predecessor(i)
             h = i - j
@@ -87,7 +89,7 @@ class ReevalPowerSums:
         """Apply ``A += u v'`` and recompute every scheduled sum."""
         u = u.reshape(len(u), -1)
         v = v.reshape(len(v), -1)
-        self.a = self.ops.add(self.a, self.ops.mm(u, v.T))
+        self.a = self.ops.add_outer_inplace(self.a, u, v)
         if self._powers is not None:
             self._powers.refresh(u, v)
         self._recompute()
@@ -98,8 +100,9 @@ class ReevalPowerSums:
 
     def memory_bytes(self) -> int:
         """REEVAL keeps only current-iteration state (Table 2: ``O(n^2)``)."""
-        n = self.a.shape[0]
-        return (4 if self._powers is not None else 3) * n * n * 8
+        return (4 if self._powers is not None else 3) * self.ops.backend.nbytes(
+            self.a
+        )
 
 
 class IncrementalPowerSums:
@@ -122,11 +125,12 @@ class IncrementalPowerSums:
         model: Model,
         counter: counters.Counter = counters.NULL_COUNTER,
         powers: IncrementalPowers | None = None,
+        backend=None,
     ):
         self.model = model
         self.k = k
         self.schedule = model.schedule(k)
-        self.ops = Ops(counter)
+        self.ops = Ops(counter, backend)
         self.owns_powers = powers is None
         if powers is not None:
             needed = _powers_horizon(model, k)
@@ -137,16 +141,18 @@ class IncrementalPowerSums:
             self.powers = powers
         else:
             self.powers = (
-                IncrementalPowers(a, _powers_horizon(model, k), model, counter)
+                IncrementalPowers(a, _powers_horizon(model, k), model, counter,
+                                  backend=self.ops.backend)
                 if model.kind != Model.LINEAR and k > 1
                 else None
             )
-        self.a = np.array(a, dtype=np.float64)
+        self.a = self.ops.backend.asarray(a, copy=True)
         self.sums: dict[int, np.ndarray] = {}
-        ops = Ops()  # initial materialization is not charged to refreshes
+        # Initial materialization is not charged to refreshes.
+        ops = Ops(backend=self.ops.backend)
         n = self.a.shape[0]
-        eye = np.eye(n)
-        self.sums[1] = eye.copy()
+        eye = self.ops.backend.eye(n)
+        self.sums[1] = eye
         for i in self.schedule[1:]:
             j = self.model.predecessor(i)
             h = i - j
@@ -238,7 +244,7 @@ class IncrementalPowerSums:
             entry = factors[i]
             if entry is not None:
                 big_z, big_w = entry
-                self.ops.add_outer_inplace(self.sums[i], big_z, big_w)
+                self.sums[i] = self.ops.add_outer_inplace(self.sums[i], big_z, big_w)
         if self.powers is not None and power_factors is not None and self.owns_powers:
             self.powers.apply_factors(power_factors)
         if self.powers is not None:
@@ -264,7 +270,7 @@ class IncrementalPowerSums:
         factors = self.compute_factors(u, v, power_factors)
         self.apply_factors(factors, power_factors)
         if self.powers is None:
-            self.a = self.ops.add(self.a, self.ops.mm(u, v.T))
+            self.a = self.ops.add_outer_inplace(self.a, u, v)
         return factors
 
     def result(self) -> np.ndarray:
@@ -273,7 +279,7 @@ class IncrementalPowerSums:
 
     def memory_bytes(self) -> int:
         """Footprint of all materialized sums (and owned powers, if any)."""
-        total = sum(arr.nbytes for arr in self.sums.values())
+        total = sum(self.ops.backend.nbytes(arr) for arr in self.sums.values())
         if self.powers is not None and self.owns_powers:
             total += self.powers.memory_bytes()
         return total

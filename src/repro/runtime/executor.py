@@ -1,10 +1,14 @@
-"""Numeric evaluation of expression trees over NumPy arrays.
+"""Numeric evaluation of expression trees over execution backends.
 
-This is the single-node backend of the reproduction (the paper's Octave
-role).  :func:`evaluate` walks an expression bottom-up, binding
+This is the single-node evaluator of the reproduction (the paper's
+Octave role).  :func:`evaluate` walks an expression bottom-up, binding
 :class:`~repro.expr.ast.MatrixSymbol` leaves from an environment of
-``name -> ndarray`` and charging FLOPs to a
-:class:`~repro.cost.counters.Counter`.
+``name -> matrix`` and charging FLOPs to a
+:class:`~repro.cost.counters.Counter`.  All kernels dispatch through a
+:class:`~repro.backends.base.Backend` (dense NumPy by default; pass
+``backend="sparse"`` to execute large low-density operands as SciPy
+CSR), and the counter is charged what the chosen representation
+actually performs.
 
 Matrix products are evaluated **in the expression's association order**:
 the factored-delta machinery encodes the cheap evaluation order
@@ -19,7 +23,8 @@ from typing import Mapping
 
 import numpy as np
 
-from ..cost import counters, flops
+from ..backends import get_backend
+from ..cost import counters
 from ..expr.ast import (
     Add,
     Expr,
@@ -61,78 +66,84 @@ def evaluate(
     env: Mapping[str, np.ndarray],
     dims: Mapping[str, int] | None = None,
     counter: counters.Counter = counters.NULL_COUNTER,
+    backend=None,
 ) -> np.ndarray:
     """Evaluate ``expr`` over ``env``, charging work to ``counter``.
 
     ``dims`` binds symbolic dimension names (needed only when the
     expression contains ``eye``/``zeros`` leaves with symbolic sizes).
-    Returns a 2-D float64 array; inputs are used as-is (never mutated).
+    ``backend`` picks the execution backend (name, instance, or ``None``
+    for dense).  Returns a 2-D matrix in the backend's representation
+    (a float64 ``ndarray`` under the default dense backend); inputs are
+    used as-is (never mutated).
     """
     dims = dims or {}
+    be = get_backend(backend)
 
-    def rec(node: Expr) -> np.ndarray:
+    def rec(node: Expr):
         if isinstance(node, MatrixSymbol):
             try:
                 value = env[node.name]
             except KeyError:
                 raise EvaluationError(f"unbound matrix {node.name!r}") from None
+            if be.is_native(value) and not isinstance(value, np.ndarray):
+                return value
             arr = np.asarray(value, dtype=np.float64)
             if arr.ndim != 2:
                 raise EvaluationError(
                     f"matrix {node.name!r} must be 2-D, got ndim={arr.ndim}"
                 )
-            return arr
+            return be.asarray(arr)
         if isinstance(node, Identity):
             n = resolve_dim(node.shape.rows, dims)
-            return np.eye(n)
+            return be.eye(n)
         if isinstance(node, ZeroMatrix):
             r = resolve_dim(node.shape.rows, dims)
             c = resolve_dim(node.shape.cols, dims)
-            return np.zeros((r, c))
+            return be.zeros(r, c)
         if isinstance(node, Add):
             total = rec(node.children[0])
             for child in node.children[1:]:
                 value = rec(child)
-                counter.record("add", flops.add_flops(*total.shape))
-                total = total + value
+                counter.record("add", be.add_flops(total))
+                total = be.add(total, value)
             return total
         if isinstance(node, MatMul):
             result = rec(node.children[0])
             for child in node.children[1:]:
                 value = rec(child)
-                n, m = result.shape
-                m2, p = value.shape
+                n, m = be.shape(result)
+                m2, p = be.shape(value)
                 if m != m2:
                     raise EvaluationError(
-                        f"runtime shape mismatch in product: {result.shape} @ {value.shape}"
+                        f"runtime shape mismatch in product: "
+                        f"{(n, m)} @ {(m2, p)}"
                     )
-                counter.record(
-                    "matmul", flops.matmul_flops(n, m, p), flops.matrix_bytes(n, p)
-                )
-                result = result @ value
+                counter.record("matmul", be.matmul_flops(result, value), n * p * 8)
+                result = be.matmul(result, value)
             return result
         if isinstance(node, ScalarMul):
             value = rec(node.child)
-            counter.record("scalar_mul", flops.scalar_mul_flops(*value.shape))
-            return node.coeff * value
+            counter.record("scalar_mul", be.scale_flops(value))
+            return be.scale(node.coeff, value)
         if isinstance(node, Transpose):
             value = rec(node.child)
             counter.record("transpose", 0)
-            return value.T
+            return be.transpose(value)
         if isinstance(node, Inverse):
             value = rec(node.child)
-            n = value.shape[0]
-            counter.record("inverse", flops.inverse_flops(n), flops.matrix_bytes(n, n))
+            n = be.shape(value)[0]
+            counter.record("inverse", be.inverse_flops(value), n * n * 8)
             try:
-                return np.linalg.inv(value)
+                return be.inv(value)
             except np.linalg.LinAlgError as exc:
                 raise EvaluationError(f"singular matrix in inverse: {exc}") from exc
         if isinstance(node, HStack):
             blocks = [rec(b) for b in node.children]
-            return np.hstack(blocks)
+            return be.hstack(blocks)
         if isinstance(node, VStack):
             blocks = [rec(b) for b in node.children]
-            return np.vstack(blocks)
+            return be.vstack(blocks)
         raise EvaluationError(f"cannot evaluate node type {type(node).__name__}")
 
     return rec(expr)

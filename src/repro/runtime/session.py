@@ -23,12 +23,14 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from ..compiler.codegen.python_gen import compile_trigger_function
+from ..backends import get_backend
+from ..compiler.codegen.python_gen import compile_trigger_function, outer_operands
 from ..compiler.compile import compile_program
 from ..compiler.optimizer import optimize_trigger
 from ..compiler.program import Program
 from ..compiler.trigger import Trigger
 from ..cost import counters
+from ..cost.ops import outer_update_flops
 from .executor import evaluate
 from .updates import FactoredUpdate
 from .views import ViewStore
@@ -54,6 +56,11 @@ class IVMSession:
         Run the Section 6 optimizer pipeline over each trigger.
     mode:
         ``"interpret"`` or ``"codegen"`` (see module docstring).
+    backend:
+        Execution backend for view state and trigger math — a name
+        (``"dense"``, ``"sparse"``), a
+        :class:`~repro.backends.base.Backend` instance, or ``None`` for
+        the dense default.  See :mod:`repro.backends`.
     """
 
     def __init__(
@@ -65,13 +72,15 @@ class IVMSession:
         optimize: bool = False,
         mode: str = "interpret",
         counter: counters.Counter = counters.NULL_COUNTER,
+        backend=None,
     ):
         if mode not in ("interpret", "codegen"):
             raise ValueError(f"unknown mode {mode!r}")
         self.program = program
         self.mode = mode
         self.counter = counter
-        self.views = ViewStore(dims)
+        self.backend = get_backend(backend)
+        self.views = ViewStore(dims, backend=self.backend)
         self.update_count = 0
 
         missing = set(program.input_names) - set(inputs)
@@ -90,18 +99,18 @@ class IVMSession:
         self._compiled: dict[str, Callable] = {}
         if mode == "codegen":
             self._compiled = {
-                name: compile_trigger_function(trigger)
+                name: compile_trigger_function(trigger, backend=self.backend)
                 for name, trigger in self.triggers.items()
             }
 
     # -- queries ---------------------------------------------------------
     def __getitem__(self, name: str) -> np.ndarray:
-        """Current value of a view or input (do not mutate)."""
-        return self.views.get(name)
+        """Current value of a view or input, densely (do not mutate)."""
+        return self.views.get_dense(name)
 
     def output(self) -> np.ndarray:
-        """Current value of the program's (first) output view."""
-        return self.views.get(self.program.outputs[0])
+        """Current value of the program's (first) output view, densely."""
+        return self.views.get_dense(self.program.outputs[0])
 
     # -- maintenance -----------------------------------------------------
     def apply_update(self, update: FactoredUpdate) -> None:
@@ -129,16 +138,46 @@ class IVMSession:
         env[v_name] = update.v_block
         for assign in trigger.assigns:
             env[assign.target.name] = evaluate(
-                assign.expr, env, dims=self.views.dims, counter=self.counter
+                assign.expr, env, dims=self.views.dims, counter=self.counter,
+                backend=self.backend,
             )
-        deltas = {
-            upd.view.name: evaluate(
-                upd.expr, env, dims=self.views.dims, counter=self.counter
-            )
-            for upd in trigger.updates
-        }
+        # Updates in the canonical factored shape ``view += U V'`` apply
+        # through the backend's add_outer kernel — no dense delta is
+        # materialized, and sparse view state stays sparse.  Anything
+        # else (e.g. optimizer-rewritten exprs) evaluates generically.
+        # Either way all factors were derived above from old values, so
+        # application order cannot leak new state into deltas.
+        outers: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        deltas: dict[str, np.ndarray] = {}
+        for upd in trigger.updates:
+            operands = outer_operands(upd.expr)
+            if operands is not None and all(n in env for n in operands):
+                factors = (env[operands[0]], env[operands[1]])
+                self._charge_outer(upd.view.name, factors)
+                outers[upd.view.name] = factors
+            else:
+                deltas[upd.view.name] = evaluate(
+                    upd.expr, env, dims=self.views.dims, counter=self.counter,
+                    backend=self.backend,
+                )
+        for name, (u_arr, v_arr) in outers.items():
+            self.views.add_outer(name, u_arr, v_arr)
         for name, delta in deltas.items():
             self.views.add_in_place(name, delta)
+
+    def _charge_outer(
+        self, name: str, factors: tuple[np.ndarray, np.ndarray]
+    ) -> None:
+        """Charge a factored application like the evaluated form did."""
+        u_arr, v_arr = factors
+        current = self.views.get(name)
+        rows, cols = self.backend.shape(current)
+        self.counter.record("transpose", 0)
+        self.counter.record(
+            "matmul",
+            outer_update_flops(self.backend, current, u_arr, v_arr),
+            rows * cols * 8,
+        )
 
     # -- validation ------------------------------------------------------
     def _materialize_all(self) -> None:
@@ -148,6 +187,7 @@ class IVMSession:
                 self.views.as_env(),
                 dims=self.views.dims,
                 counter=self.counter,
+                backend=self.backend,
             )
             self.views.set(stmt.target.name, value)
 
@@ -160,8 +200,11 @@ class IVMSession:
         env = {name: self.views.get(name) for name in self.program.input_names}
         worst = 0.0
         for stmt in self.program.statements:
-            value = evaluate(stmt.expr, env, dims=self.views.dims)
-            drift = float(np.max(np.abs(value - self.views.get(stmt.target.name))))
+            value = evaluate(stmt.expr, env, dims=self.views.dims,
+                             backend=self.backend)
+            drift = self.backend.max_abs(
+                self.backend.sub(value, self.views.get(stmt.target.name))
+            )
             worst = max(worst, drift)
             env[stmt.target.name] = value
         return worst
@@ -180,10 +223,12 @@ class ReevalSession:
         inputs: Mapping[str, np.ndarray],
         dims: Mapping[str, int] | None = None,
         counter: counters.Counter = counters.NULL_COUNTER,
+        backend=None,
     ):
         self.program = program
         self.counter = counter
-        self.views = ViewStore(dims)
+        self.backend = get_backend(backend)
+        self.views = ViewStore(dims, backend=self.backend)
         self.update_count = 0
         missing = set(program.input_names) - set(inputs)
         if missing:
@@ -193,16 +238,16 @@ class ReevalSession:
         self._reevaluate()
 
     def __getitem__(self, name: str) -> np.ndarray:
-        """Current value of a view or input (do not mutate)."""
-        return self.views.get(name)
+        """Current value of a view or input, densely (do not mutate)."""
+        return self.views.get_dense(name)
 
     def output(self) -> np.ndarray:
-        """Current value of the program's (first) output view."""
-        return self.views.get(self.program.outputs[0])
+        """Current value of the program's (first) output view, densely."""
+        return self.views.get_dense(self.program.outputs[0])
 
     def apply_update(self, update: FactoredUpdate) -> None:
         """Apply the update to its input and re-evaluate every statement."""
-        self.views.add_in_place(update.target, update.dense())
+        self.views.add_outer(update.target, update.u_block, update.v_block)
         self._reevaluate()
         self.update_count += 1
 
@@ -218,5 +263,6 @@ class ReevalSession:
                 self.views.as_env(),
                 dims=self.views.dims,
                 counter=self.counter,
+                backend=self.backend,
             )
             self.views.set(stmt.target.name, value)

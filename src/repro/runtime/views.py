@@ -5,6 +5,10 @@ matrices and every materialized view, plus the binding of symbolic
 dimension names to concrete sizes.  It is deliberately dumb — a typed
 dict with copy-on-write snapshots and a memory meter — so the session
 logic stays readable.
+
+Arrays are normalized through the session's execution backend, so a
+sparse-backend session keeps low-density inputs in CSR form end to end
+(see :mod:`repro.backends`).
 """
 
 from __future__ import annotations
@@ -13,11 +17,14 @@ from typing import Iterator, Mapping
 
 import numpy as np
 
+from ..backends import get_backend
+
 
 class ViewStore:
-    """Mutable mapping ``name -> float64 ndarray`` with dimension bindings."""
+    """Mutable mapping ``name -> 2-D matrix`` with dimension bindings."""
 
-    def __init__(self, dims: Mapping[str, int] | None = None):
+    def __init__(self, dims: Mapping[str, int] | None = None, backend=None):
+        self.backend = get_backend(backend)
         self._arrays: dict[str, np.ndarray] = {}
         self.dims: dict[str, int] = dict(dims or {})
 
@@ -32,29 +39,58 @@ class ViewStore:
         return list(self._arrays)
 
     def get(self, name: str) -> np.ndarray:
-        """The stored array (not a copy; callers must not mutate)."""
+        """The stored matrix (not a copy; callers must not mutate)."""
         try:
             return self._arrays[name]
         except KeyError:
             raise KeyError(f"no view or input named {name!r}") from None
 
+    def get_dense(self, name: str) -> np.ndarray:
+        """The stored matrix materialized to a dense float64 ndarray."""
+        return self.backend.materialize(self.get(name))
+
     def set(self, name: str, value: np.ndarray) -> None:
-        """Store (or replace) an array, normalizing to 2-D float64."""
+        """Store (or replace) a matrix, normalized to the backend's form."""
+        if self.backend.is_native(value) and not isinstance(value, np.ndarray):
+            self._arrays[name] = value
+            return
         arr = np.asarray(value, dtype=np.float64)
         if arr.ndim == 1:
             arr = arr.reshape(-1, 1)
         if arr.ndim != 2:
             raise ValueError(f"view {name!r} must be 2-D, got ndim={arr.ndim}")
-        self._arrays[name] = arr
+        self._arrays[name] = self.backend.asarray(arr)
 
     def add_in_place(self, name: str, delta: np.ndarray) -> None:
         """Apply ``view += delta`` (the trigger's update statement)."""
         current = self.get(name)
-        if current.shape != delta.shape:
+        if self.backend.shape(current) != self.backend.shape(delta):
             raise ValueError(
-                f"update shape mismatch on {name!r}: {current.shape} += {delta.shape}"
+                f"update shape mismatch on {name!r}: "
+                f"{self.backend.shape(current)} += {self.backend.shape(delta)}"
             )
-        self._arrays[name] = current + delta
+        self._arrays[name] = self.backend.add(current, delta)
+
+    def add_outer(self, name: str, u: np.ndarray, v: np.ndarray) -> None:
+        """Apply ``view += u @ v.T`` without materializing the product.
+
+        Copy-on-write: callers may hold references handed out by
+        :meth:`get`, so the dense in-place kernel runs on a fresh copy.
+        """
+        current = self.get(name)
+        rows, cols = self.backend.shape(current)
+        if (
+            u.shape[0] != rows
+            or v.shape[0] != cols
+            or u.shape[1] != v.shape[1]
+        ):
+            raise ValueError(
+                f"update shape mismatch on {name!r}: ({rows}, {cols}) += "
+                f"{u.shape} @ {v.shape}'"
+            )
+        if isinstance(current, np.ndarray):
+            current = current.copy()
+        self._arrays[name] = self.backend.add_outer(current, u, v)
 
     def as_env(self) -> dict[str, np.ndarray]:
         """A shallow dict view usable as an executor environment."""
@@ -66,12 +102,15 @@ class ViewStore:
 
     def restore(self, snapshot: Mapping[str, np.ndarray]) -> None:
         """Restore a previously taken snapshot (copies defensively)."""
-        self._arrays = {name: np.array(arr) for name, arr in snapshot.items()}
+        self._arrays = {
+            name: self.backend.asarray(arr, copy=True)
+            for name, arr in snapshot.items()
+        }
 
     def total_bytes(self, names: Iterator[str] | None = None) -> int:
         """Memory footprint of the selected (default: all) arrays."""
         selected = list(names) if names is not None else list(self._arrays)
-        return sum(self._arrays[name].nbytes for name in selected)
+        return sum(self.backend.nbytes(self._arrays[name]) for name in selected)
 
     def __repr__(self) -> str:
         items = ", ".join(f"{k}{v.shape}" for k, v in self._arrays.items())

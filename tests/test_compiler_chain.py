@@ -1,6 +1,5 @@
 """Cost-based product-chain re-association (Section 5.1 evaluation order)."""
 
-import itertools
 
 import numpy as np
 import pytest

@@ -1,7 +1,6 @@
 """Program rewrites: inverse materialization (Example 4.2 restructuring)."""
 
 import numpy as np
-import pytest
 
 from repro.compiler import Program, Statement, compile_program
 from repro.compiler.transform import materialize_inversions

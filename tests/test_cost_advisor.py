@@ -14,7 +14,7 @@ from repro.cost.advisor import (
     recommend_powers,
     speedup_estimate,
 )
-from repro.iterative import make_general, make_powers, parse_model
+from repro.iterative import make_powers, parse_model
 
 
 class TestPowersAdvice:

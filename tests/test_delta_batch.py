@@ -156,3 +156,102 @@ class TestBatchCollector:
         exact = u_big @ v_big.T
         approx_err = np.linalg.norm(left @ right.T - exact, ord=2)
         assert approx_err < 0.01 * np.linalg.norm(exact, ord=2)
+
+
+class TestCollectorEdgeCases:
+    """ISSUE 1 satellite: empty flush, rank deficiency, rtol boundaries."""
+
+    def test_empty_collector_reports_and_touches_nothing(self):
+        class Sentinel:
+            refreshed = False
+
+            def refresh(self, u, v):
+                self.refreshed = True
+
+        collector = BatchCollector()
+        sentinel = Sentinel()
+        assert len(collector) == 0
+        assert collector.flush(sentinel) == (0, 0, 0.0)
+        assert not sentinel.refreshed
+
+    def test_compacted_on_empty_collector_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            BatchCollector().compacted()
+
+    def test_duplicate_row_batch_compacts_below_batch_size(self, rng):
+        n, repeats = 8, 5
+        collector = BatchCollector()
+        base_v = rng.normal(size=(n, 1))
+        for t in range(repeats):
+            u = np.zeros((n, 1))
+            u[3, 0] = 1.0
+            collector.add(u, (t + 1.0) * base_v)  # same row, colinear deltas
+        size, rank, dropped = collector.flush(
+            IncrementalPowers(np.eye(n), 2, Model.linear())
+        )
+        assert size == repeats
+        assert rank == 1  # one distinct (row, direction) pair
+        assert dropped == 0.0
+
+    def test_distinct_rows_bound_collector_rank(self, rng):
+        n, rows = 10, (2, 7, 4)
+        collector = BatchCollector()
+        for _ in range(4):  # 12 updates over 3 distinct rows
+            for row in rows:
+                u = np.zeros((n, 1))
+                u[row, 0] = 1.0
+                collector.add(u, rng.normal(size=(n, 1)))
+        left, right, dropped = collector.compacted()
+        assert len(collector) == 12
+        assert left.shape[1] == len(rows)
+        assert dropped == 0.0
+
+    def test_rtol_boundary_keeps_just_above_threshold(self):
+        from repro.delta.batch import DEFAULT_RTOL
+
+        n = 6
+        u = np.eye(n)[:, :2]
+        # Second direction sits just above the relative cutoff.
+        margin = 1e3
+        v = np.zeros((n, 2))
+        v[0, 0] = 1.0
+        v[1, 1] = DEFAULT_RTOL * margin
+        left, right = compact_factors(u, v)
+        assert left.shape[1] == 2
+        np.testing.assert_allclose(left @ right.T, u @ v.T, atol=1e-13)
+
+    def test_rtol_boundary_drops_just_below_threshold(self):
+        from repro.delta.batch import DEFAULT_RTOL
+
+        n = 6
+        u = np.eye(n)[:, :2]
+        v = np.zeros((n, 2))
+        v[0, 0] = 1.0
+        v[1, 1] = DEFAULT_RTOL * 1e-3  # below the cutoff: numerical noise
+        left, right = compact_factors(u, v)
+        assert left.shape[1] == 1
+        # The dominant direction survives exactly.
+        np.testing.assert_allclose(left @ right.T, np.outer(u[:, 0], v[:, 0]),
+                                   atol=1e-12)
+
+    def test_custom_rtol_widens_or_narrows_the_keep_set(self):
+        n = 5
+        u = np.eye(n)[:, :2]
+        v = np.zeros((n, 2))
+        v[0, 0] = 1.0
+        v[1, 1] = 1e-6
+        loose_l, _ = compact_factors(u, v, rtol=1e-4)
+        tight_l, _ = compact_factors(u, v, rtol=1e-9)
+        assert loose_l.shape[1] == 1
+        assert tight_l.shape[1] == 2
+
+    def test_collector_with_explicit_backend_matches_default(self, rng):
+        updates = [rank1(rng, 7) for _ in range(4)]
+        default = BatchCollector()
+        sparse = BatchCollector(backend="sparse")
+        for u, v in updates:
+            default.add(u, v)
+            sparse.add(u, v)
+        dl, dr, _ = default.compacted()
+        sl, sr, _ = sparse.compacted()
+        np.testing.assert_allclose(dl @ dr.T, sl @ sr.T, atol=1e-12)

@@ -4,12 +4,10 @@ import numpy as np
 import pytest
 
 from repro.distributed import (
-    BROADCAST,
     Cluster,
     ClusterConfig,
     CommLog,
     DistributedHybridGeneral,
-    DistributedIncrementalGeneral,
     DistributedIncrementalPowerSums,
     DistributedReevalGeneral,
     DistributedReevalPowerSums,

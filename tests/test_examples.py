@@ -12,6 +12,8 @@ from pathlib import Path
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
 ALL_EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))

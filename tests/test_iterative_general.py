@@ -5,8 +5,6 @@ import pytest
 
 from repro.cost import Counter
 from repro.iterative import (
-    HybridGeneral,
-    IncrementalGeneral,
     Model,
     ReevalGeneral,
     make_general,

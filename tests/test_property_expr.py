@@ -8,17 +8,19 @@ re-evaluation.  Together they pin the contract every stage must honour:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from tests.exprgen import ExprPool, expr_with_env, shaped_expr
 from repro.delta import FactoredDelta, compute_delta
-from repro.expr import MatrixSymbol, ZeroMatrix
+from repro.expr import MatrixSymbol
 from repro.expr.printer import to_string
 from repro.expr.simplify import simplify
 from repro.frontend import parse_program
 from repro.runtime import evaluate
+import pytest
+
+pytestmark = pytest.mark.slow
 
 SETTINGS = dict(max_examples=60, deadline=None)
 
@@ -115,7 +117,7 @@ class TestCompilerAgainstReevaluation:
         data=st.data(),
     )
     def test_trigger_equals_reevaluation(self, seed, n, depth, data):
-        from repro.compiler import Program, Statement, compile_program
+        from repro.compiler import Program, Statement
         from repro.runtime import IVMSession, row_update
 
         pool = ExprPool()

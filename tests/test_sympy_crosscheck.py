@@ -32,6 +32,8 @@ from repro.expr import (
     transpose,
 )
 
+pytestmark = pytest.mark.slow
+
 N = 3  # symbolic matrix order for the polynomial-identity checks
 
 
