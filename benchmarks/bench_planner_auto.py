@@ -1,0 +1,268 @@
+"""Does ``plan="auto"`` match the best hand-picked configuration?
+
+The cost-driven planner (``repro.planner``) chooses strategy x model x
+backend x mode from input statistics.  This benchmark measures it
+against an exhaustive manual grid on three regimes the Section 5
+analysis (and the PR 1 backend work) says want *different* answers:
+
+* **dense-small** — an ``A^4`` program session at small dense ``n``:
+  incremental triggers on the dense backend should win;
+* **sparse-pagerank** — the general form at ``p = 1`` over a ~1%-dense
+  graph operator: the sparse backend should win by ~density, with the
+  LIN-model strategies (REEVAL/HYBRID) ahead of factored INCR;
+* **hybrid-stream** — a long rank-1 update stream against a dense
+  general form with ``p = 16``: amortized setup should favor the
+  maintained-view families (HYBRID/INCR with SKIP models) over plain
+  re-evaluation.
+
+For each scenario every manual configuration is timed on the same
+update stream, then the planner's choice is timed identically (when the
+chosen configuration is one of the manual cells — the common case —
+its manual timing is reused, so the ratio isn't polluted by measuring
+one configuration twice); the headline is ``auto / best-manual``
+(1.0 = the planner found the best).
+The planner is given the *workload spec* (a long expected stream,
+``refresh_count = 200``); timing then samples a prefix of that stream,
+so smoke runs measure fewer updates without changing the regime being
+planned for.
+Run as a script for the full sizes (or ``--smoke`` in CI)::
+
+    PYTHONPATH=src python benchmarks/bench_planner_auto.py
+    PYTHONPATH=src python benchmarks/bench_planner_auto.py --smoke
+
+The pytest entry point runs reduced sizes and asserts the ratio stays
+within noise of 1.0 on every scenario, so planner rot shows up in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+#: Acceptance threshold: auto within 10% of the best manual run.
+TOLERANCE = 1.10
+
+#: Smoke sizes sample very few updates, so scheduler jitter can move
+#: individual cells by tens of percent; the full-size run holds the
+#: 10% line, smoke only guards against gross planning rot.
+SMOKE_TOLERANCE = 1.5
+
+#: Expected stream length given to the planner (the workload spec);
+#: timing may sample fewer updates than this without changing the plan.
+EXPECTED_REFRESHES = 200
+
+
+def _time_per_update(drive, updates) -> float:
+    start = time.perf_counter()
+    for update in updates:
+        drive(update)
+    return (time.perf_counter() - start) / len(updates)
+
+
+def _sparse_operator(rng: np.random.Generator, n: int,
+                     density: float) -> np.ndarray:
+    from repro.workloads import spectral_scale
+
+    a = (rng.random((n, n)) < density) * rng.standard_normal((n, n))
+    # Scale toward spectral radius ~0.9 so k iterations stay tame.
+    return spectral_scale(rng, a, radius=0.9, iterations=15)
+
+
+def _manual_key(plan) -> str:
+    """The manual-grid label a plan corresponds to (maintainer scenarios).
+
+    Plan labels are ``STRATEGY-MODEL@backend/mode``; the manual grid
+    has no mode axis, so drop it.
+    """
+    return plan.label.rsplit("/", 1)[0]
+
+
+def _report(title: str, results: dict[str, float], auto_label: str,
+            auto_seconds: float) -> float:
+    best_label = min(results, key=results.get)
+    best = results[best_label]
+    ratio = auto_seconds / best
+    print(f"\n{title}")
+    for label in sorted(results, key=results.get):
+        marker = "  <- best manual" if label == best_label else ""
+        print(f"  {label:<28} {results[label] * 1e3:9.3f} ms/update{marker}")
+    print(f"  auto plan: {auto_label}")
+    print(f"  auto: {auto_seconds * 1e3:.3f} ms/update "
+          f"-> {ratio:.2f}x the best manual")
+    return ratio
+
+
+# ---------------------------------------------------------------------------
+# Scenario 1: dense small-n program session
+# ---------------------------------------------------------------------------
+
+def scenario_dense_session(n: int = 96, updates: int = 60,
+                           seed: int = 14036968):
+    from repro.frontend import parse_program
+    from repro.runtime import FactoredUpdate, open_session
+    from repro.runtime.session import IVMSession, ReevalSession
+
+    program = parse_program("input A(n, n); B := A * A; C := B * B; output C;")
+    rng = np.random.default_rng(seed)
+    a0 = rng.standard_normal((n, n)) / (2.0 * np.sqrt(n))
+    stream = [
+        FactoredUpdate("A", col, 0.01 * rng.standard_normal((n, 1)))
+        for col in (np.eye(n)[:, [int(rng.integers(n))]] for _ in range(updates))
+    ]
+
+    results: dict[str, float] = {}
+    for backend in ("dense", "sparse"):
+        for mode in ("interpret", "codegen"):
+            session = IVMSession(program, {"A": a0}, dims={"n": n},
+                                 mode=mode, backend=backend)
+            results[f"INCR@{backend}/{mode}"] = _time_per_update(
+                session.apply_update, stream)
+        session = ReevalSession(program, {"A": a0}, dims={"n": n},
+                                backend=backend)
+        results[f"REEVAL@{backend}"] = _time_per_update(
+            session.apply_update, stream)
+
+    auto = open_session(program, {"A": a0}, dims={"n": n},
+                        refresh_count=EXPECTED_REFRESHES)
+    plan = auto.plan
+    key = (f"{plan.strategy}@{plan.backend}/{plan.mode}"
+           if plan.strategy == "INCR" else f"REEVAL@{plan.backend}")
+    auto_seconds = results.get(key)
+    if auto_seconds is None:
+        auto_seconds = _time_per_update(auto.apply_update, stream)
+    return results, plan.label, auto_seconds, plan
+
+
+# ---------------------------------------------------------------------------
+# Scenario 2: sparse pagerank-style general form (p = 1)
+# ---------------------------------------------------------------------------
+
+def scenario_sparse_pagerank(n: int = 1000, k: int = 16, updates: int = 12,
+                             density: float = 0.01, seed: int = 14036968):
+    from repro.iterative import make_general, parse_model
+    from repro.planner import WorkloadStats, plan_general
+
+    rng = np.random.default_rng(seed)
+    a = _sparse_operator(rng, n, density)
+    b = np.full((n, 1), 0.15 / n)
+    t0 = np.full((n, 1), 1.0 / n)
+    stream = []
+    for _ in range(updates):
+        source = int(rng.integers(n))
+        u = np.zeros((n, 1))
+        u[rng.choice(n, size=max(int(n * density), 1), replace=False), 0] = (
+            0.01 * rng.standard_normal(max(int(n * density), 1))
+        )
+        v = np.zeros((n, 1))
+        v[source, 0] = 1.0
+        stream.append((u, v))
+
+    grid = [("REEVAL", "LIN"), ("HYBRID", "LIN"), ("INCR", "LIN"),
+            ("HYBRID", "SKIP-4"), ("INCR", "EXP")]
+    results: dict[str, float] = {}
+    for backend in ("dense", "sparse"):
+        for strategy, model in grid:
+            maintainer = make_general(strategy, a, b, t0, k,
+                                      parse_model(model), backend=backend)
+            results[f"{strategy}-{model}@{backend}"] = _time_per_update(
+                lambda uv, m=maintainer: m.refresh(*uv), stream)
+
+    stats = WorkloadStats.from_matrix(a, p=1, k=k,
+                                      refresh_count=EXPECTED_REFRESHES)
+    plan = plan_general(stats)
+    auto_seconds = results.get(_manual_key(plan))
+    if auto_seconds is None:
+        maintainer = make_general(plan, a, b, t0, k)
+        auto_seconds = _time_per_update(
+            lambda uv, m=maintainer: m.refresh(*uv), stream)
+    return results, plan.label, auto_seconds, plan
+
+
+# ---------------------------------------------------------------------------
+# Scenario 3: high-update-rate dense stream (maintained views win, p = 16)
+# ---------------------------------------------------------------------------
+
+def scenario_hybrid_stream(n: int = 1000, p: int = 16, k: int = 16,
+                           updates: int = 20, seed: int = 14036968):
+    from repro.iterative import make_general, parse_model
+    from repro.planner import WorkloadStats, plan_general
+
+    rng = np.random.default_rng(seed)
+    a = _sparse_operator(rng, n, 1.0)
+    b = 0.01 * rng.standard_normal((n, p))
+    t0 = rng.standard_normal((n, p))
+    stream = []
+    for _ in range(updates):
+        u = np.zeros((n, 1))
+        u[int(rng.integers(n)), 0] = 1.0
+        stream.append((u, 0.01 * rng.standard_normal((n, 1))))
+
+    grid = [("REEVAL", "LIN"),
+            ("INCR", "LIN"), ("INCR", "EXP"), ("INCR", "SKIP-4"),
+            ("HYBRID", "LIN"), ("HYBRID", "EXP"), ("HYBRID", "SKIP-4")]
+    results: dict[str, float] = {}
+    for strategy, model in grid:
+        maintainer = make_general(strategy, a, b, t0, k, parse_model(model))
+        results[f"{strategy}-{model}@dense"] = _time_per_update(
+            lambda uv, m=maintainer: m.refresh(*uv), stream)
+
+    stats = WorkloadStats.from_matrix(a, p=p, k=k,
+                                      refresh_count=EXPECTED_REFRESHES)
+    plan = plan_general(stats)
+    auto_seconds = results.get(_manual_key(plan))
+    if auto_seconds is None:
+        maintainer = make_general(plan, a, b, t0, k)
+        auto_seconds = _time_per_update(
+            lambda uv, m=maintainer: m.refresh(*uv), stream)
+    return results, plan.label, auto_seconds, plan
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def run_all(smoke: bool = False) -> list[float]:
+    ratios = []
+    results, label, secs, _ = scenario_dense_session(
+        n=64 if smoke else 96, updates=20 if smoke else 60)
+    ratios.append(_report("dense-small (A^4 session)", results, label, secs))
+    results, label, secs, _ = scenario_sparse_pagerank(
+        n=600 if smoke else 1000, updates=6 if smoke else 12)
+    ratios.append(_report("sparse-pagerank (general, p=1, ~1% dense)",
+                          results, label, secs))
+    results, label, secs, _ = scenario_hybrid_stream(
+        n=500 if smoke else 1000, updates=10 if smoke else 20)
+    ratios.append(_report("hybrid-stream (general, p=16, dense, long stream)",
+                          results, label, secs))
+    return ratios
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run for CI harness-rot checks")
+    args = parser.parse_args(argv)
+    ratios = run_all(smoke=args.smoke)
+    worst = max(ratios)
+    threshold = SMOKE_TOLERANCE if args.smoke else TOLERANCE
+    print(f"\nworst auto/best-manual ratio: {worst:.2f}x "
+          f"(threshold {threshold:.2f}x)")
+    if worst > threshold:
+        print("WARNING: auto plan fell outside the noise band")
+        return 1
+    print("auto-planned maintenance matches the best manual configuration")
+    return 0
+
+
+def test_report_planner_auto():
+    """Reduced-size run: the auto plan must stay near the manual best."""
+    ratios = run_all(smoke=True)
+    # CI boxes are noisy; the full-size script holds the 1.10x line.
+    assert max(ratios) < SMOKE_TOLERANCE, \
+        f"auto plan too far from best: {ratios}"
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,6 +51,10 @@ def main() -> None:
     print("\nall strategy/model combinations agree with the reference "
           "loop to < 1e-8")
 
+    # Let the cost-driven planner pick the cell of the matrix above.
+    auto = GradientDescentLR(x, y, k=k, eta=eta, strategy="auto")
+    print(f"planner's pick for this workload: {auto.plan.label}")
+
 
 if __name__ == "__main__":
     main()

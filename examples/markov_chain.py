@@ -48,12 +48,15 @@ def main() -> None:
     n = len(STATES)
 
     counter = Counter()
-    k_step = KStepTransitionMatrix(p, k=K, counter=counter)
+    # strategy="auto": the cost-driven planner picks strategy, model and
+    # backend from the chain's measured density.
+    k_step = KStepTransitionMatrix(p, k=K, strategy="auto", counter=counter)
     pi0 = np.zeros(n)
     pi0[STATES.index("landing")] = 1.0
     journey = KStepDistribution(p, pi0, k=K, strategy="HYBRID")
 
-    print(f"{n}-state chain, k = {K} steps, incremental maintenance\n")
+    print(f"{n}-state chain, k = {K} steps, incremental maintenance")
+    print(f"planned configuration for P^k: {k_step.plan.label}\n")
     print(f"initial P(checkout | landing, {K} steps) = "
           f"{k_step.hitting_probability(STATES.index('checkout'), pi0):.4f}")
 

@@ -36,7 +36,10 @@ def main() -> None:
     a = stable_system(rng, N)
     x0 = rng.standard_normal(N)
 
-    view = IncrementalExpm(a, order=ORDER, t=HORIZON)
+    # backend= threads through to the maintained power views; dense is
+    # right here (the system matrix is dense), "sparse" would keep the
+    # views in CSR for graph-shaped operators.
+    view = IncrementalExpm(a, order=ORDER, t=HORIZON, backend="dense")
     monitor = DriftMonitor(view, check_every=5, tolerance=1e-7)
 
     print(f"x' = A x with A {N}x{N}; maintained expm(A t), t = {HORIZON}\n")

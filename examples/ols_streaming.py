@@ -12,7 +12,7 @@ import time
 
 import numpy as np
 
-from repro.analytics import IncrementalOLS, ReevalOLS
+from repro.analytics import ReevalOLS, make_ols
 from repro.workloads import regression_data, row_update_factors
 
 
@@ -21,7 +21,10 @@ def main() -> None:
     m, n = 600, 300
     x, y, beta_true = regression_data(rng, m, n, p=1, noise=0.05)
 
-    incr = IncrementalOLS(x, y)         # Example 4.3's maintenance plan
+    # make_ols routes through the planner: the Section 5.1 cost
+    # comparison picks incremental maintenance for this regime.
+    incr = make_ols(x, y)               # Example 4.3's maintenance plan
+    print(f"planned OLS configuration: {incr.plan.label}")
     reeval = ReevalOLS(x, y)            # rebuild-from-scratch baseline
 
     updates = list(row_update_factors(rng, m, n, count=20, scale=0.05))

@@ -45,6 +45,17 @@ def main() -> None:
     show(f"Powers under a 3-matrix memory budget (n = {n}):",
          recommend_powers(n=n, k=16, memory_budget=3.0 * n * n))
 
+    # Density-aware grid: the same p = 1 workload over a 1%-dense graph
+    # operator ranks the sparse execution backend first.
+    show("General form, n = 2,000, p = 1, k = 16 at 1% density:",
+         recommend_general(n=2000, p=1, k=16, density=0.01))
+
+    # The planner folds the whole decision into one call.
+    from repro.planner import WorkloadStats, plan_general
+
+    plan = plan_general(WorkloadStats(n=2000, p=1, k=16, density=0.01))
+    print(f"\nplanner's one-call answer for the sparse workload: {plan.label}")
+
     # Validate the p = 1 advice by counting real FLOPs at small scale.
     n, p, k = 256, 1, 16
     rng = np.random.default_rng(5)

@@ -14,7 +14,7 @@ from .markov import (
     random_walk_matrix,
     reference_k_step,
 )
-from .ols import IncrementalOLS, QRIncrementalOLS, ReevalOLS
+from .ols import IncrementalOLS, QRIncrementalOLS, ReevalOLS, make_ols
 from .power_iteration import (
     IncrementalPowerIteration,
     reference_dominant_eigenpair,
@@ -35,6 +35,7 @@ __all__ = [
     "ReachabilityIndex",
     "WeightedPowerSum",
     "check_column_stochastic",
+    "make_ols",
     "neumann_coefficients",
     "random_walk_matrix",
     "ReevalOLS",

@@ -71,19 +71,26 @@ class WeightedPowerSum:
         a: np.ndarray,
         coeffs: Sequence[float],
         counter: counters.Counter = counters.NULL_COUNTER,
+        backend=None,
     ):
         if len(coeffs) < 2:
             raise ValueError("need coefficients for at least I and A")
+        from ..backends import get_backend
+
         self.coeffs = [float(c) for c in coeffs]
         self.k = len(coeffs) - 1
+        self.backend = get_backend(backend)
         a = np.asarray(a, dtype=np.float64)
-        self._powers = IncrementalPowers(a, self.k, Model.linear(), counter)
-        self._view = reference_weighted_powers(a, self.coeffs)
+        self._powers = IncrementalPowers(a, self.k, Model.linear(), counter,
+                                         backend=self.backend)
+        self._view = self.backend.asarray(
+            reference_weighted_powers(a, self.coeffs)
+        )
 
     @property
     def a(self) -> np.ndarray:
-        """The current (updated) input matrix."""
-        return self._powers.a
+        """The current (updated) input matrix, densely."""
+        return self.backend.materialize(self._powers.a)
 
     def refresh(self, u: np.ndarray, v: np.ndarray) -> None:
         """Absorb ``A += u v'`` into the weighted-sum view."""
@@ -93,21 +100,21 @@ class WeightedPowerSum:
         for i, (left, right) in factors.items():
             c = self.coeffs[i]
             if c != 0.0:
-                self._view += (c * left) @ right.T
+                self._view = self.backend.add_outer(self._view, c * left, right)
         self._powers.apply_factors(factors)
 
     def result(self) -> np.ndarray:
-        """The current weighted power sum."""
-        return self._view
+        """The current weighted power sum, densely."""
+        return self.backend.materialize(self._view)
 
     def revalidate(self) -> float:
         """Max drift of the maintained view vs dense recomputation."""
         exact = reference_weighted_powers(self.a, self.coeffs)
-        return float(np.max(np.abs(self._view - exact)))
+        return float(np.max(np.abs(self.result() - exact)))
 
     def memory_bytes(self) -> int:
         """Footprint: the power views plus the combined view."""
-        return self._powers.memory_bytes() + self._view.nbytes
+        return self._powers.memory_bytes() + self.backend.nbytes(self._view)
 
 
 class IncrementalExpm(WeightedPowerSum):
@@ -126,10 +133,12 @@ class IncrementalExpm(WeightedPowerSum):
         order: int = 12,
         t: float = 1.0,
         counter: counters.Counter = counters.NULL_COUNTER,
+        backend=None,
     ):
         self.t = float(t)
         self.order = order
-        super().__init__(a, taylor_coefficients(order, t), counter)
+        super().__init__(a, taylor_coefficients(order, t), counter,
+                         backend=backend)
 
     def propagate(self, x0: np.ndarray) -> np.ndarray:
         """Solution ``x(t) = expm(A t) x0`` of ``x' = A x`` (one matvec)."""

@@ -99,8 +99,12 @@ class _ColumnPerturbMixin:
 class KStepTransitionMatrix(_ColumnPerturbMixin):
     """Maintained ``P^k`` of an evolving Markov chain.
 
-    ``strategy`` is ``REEVAL`` or ``INCR``; ``model`` defaults to the
-    exponential model (the Table 2 winner for powers).
+    ``strategy`` is ``REEVAL``, ``INCR``, ``"auto"`` (ask the planner,
+    which also picks the model and backend from the chain's measured
+    density) or a :class:`~repro.planner.plan.MaintenancePlan`;
+    ``model`` defaults to the exponential model (the Table 2 winner for
+    powers).  ``backend`` selects the execution backend — sparse chains
+    (random walks on large graphs) keep ``P^k`` views in CSR.
     """
 
     def __init__(
@@ -108,14 +112,22 @@ class KStepTransitionMatrix(_ColumnPerturbMixin):
         p: np.ndarray,
         k: int = 16,
         model: Model | None = None,
-        strategy: str = "INCR",
+        strategy="INCR",
         counter: counters.Counter = counters.NULL_COUNTER,
+        backend=None,
     ):
         check_column_stochastic(p)
         self.p = np.array(p, dtype=np.float64)
         self.k = k
-        self.model = model or Model.exponential()
-        self._maintainer = make_powers(strategy, self.p, k, self.model, counter)
+        from ..planner import WorkloadStats, plan_powers, resolve_driver_strategy
+
+        strategy, model, self.plan = resolve_driver_strategy(
+            strategy, model, Model.exponential(),
+            lambda: plan_powers(WorkloadStats.from_matrix(self.p, k=k)),
+        )
+        self._maintainer = make_powers(strategy, self.p, k, model, counter,
+                                       backend=backend)
+        self.model = self._maintainer.model
 
     def _refresh(self, u: np.ndarray, v: np.ndarray) -> None:
         self._maintainer.refresh(u, v)
@@ -148,8 +160,9 @@ class KStepDistribution(_ColumnPerturbMixin):
         pi0: np.ndarray,
         k: int = 16,
         model: Model | None = None,
-        strategy: str = "HYBRID",
+        strategy="HYBRID",
         counter: counters.Counter = counters.NULL_COUNTER,
+        backend=None,
     ):
         check_column_stochastic(p)
         self.p = np.array(p, dtype=np.float64)
@@ -157,10 +170,18 @@ class KStepDistribution(_ColumnPerturbMixin):
         if abs(float(pi0.sum()) - 1.0) > STOCHASTIC_ATOL:
             raise ValueError("start distribution must sum to 1")
         self.k = k
-        self.model = model or Model.linear()
-        self._maintainer = make_general(
-            strategy, self.p, None, pi0, k, self.model, counter
+        from ..planner import WorkloadStats, plan_general, resolve_driver_strategy
+
+        strategy, model, self.plan = resolve_driver_strategy(
+            strategy, model, Model.linear(),
+            lambda: plan_general(
+                WorkloadStats.from_matrix(self.p, p=1, k=k, has_b=False)
+            ),
         )
+        self._maintainer = make_general(
+            strategy, self.p, None, pi0, k, model, counter, backend=backend
+        )
+        self.model = self._maintainer.model
 
     def _refresh(self, u: np.ndarray, v: np.ndarray) -> None:
         self._maintainer.refresh(u, v)

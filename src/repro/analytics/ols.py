@@ -36,8 +36,9 @@ class ReevalOLS:
         x: np.ndarray,
         y: np.ndarray,
         counter: counters.Counter = counters.NULL_COUNTER,
+        backend=None,
     ):
-        self.ops = Ops(counter)
+        self.ops = Ops(counter, backend)
         self.x = np.array(x, dtype=np.float64)
         self.y = np.array(y, dtype=np.float64)
         if self.y.ndim == 1:
@@ -80,11 +81,12 @@ class IncrementalOLS:
         y: np.ndarray,
         method: str = "sherman-morrison",
         counter: counters.Counter = counters.NULL_COUNTER,
+        backend=None,
     ):
         if method not in ("sherman-morrison", "woodbury"):
             raise ValueError(f"unknown method {method!r}")
         self.method = method
-        self.ops = Ops(counter)
+        self.ops = Ops(counter, backend)
         self.x = np.array(x, dtype=np.float64)
         self.y = np.array(y, dtype=np.float64)
         if self.y.ndim == 1:
@@ -214,9 +216,44 @@ class QRIncrementalOLS:
         return self._qr.q.nbytes + self._qr.r.nbytes + self.y.nbytes
 
 
+def make_ols(
+    x: np.ndarray,
+    y: np.ndarray,
+    strategy="auto",
+    counter: counters.Counter = counters.NULL_COUNTER,
+    backend=None,
+    **kwargs,
+):
+    """OLS maintainer for a strategy name, plan, or ``"auto"``.
+
+    ``"auto"`` routes through :func:`repro.planner.plan_ols` (the
+    Section 5.1 INCR-vs-REEVAL comparison); extra ``kwargs`` (e.g.
+    ``method=``) are forwarded to :class:`IncrementalOLS`.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    m, n = x.shape
+    y_arr = np.asarray(y, dtype=np.float64)
+    p = 1 if y_arr.ndim == 1 else y_arr.shape[1]
+    if strategy == "auto":
+        from ..planner import plan_ols
+
+        strategy = plan_ols(m, n, p)
+    name = strategy if isinstance(strategy, str) else strategy.strategy
+    if name == "INCR":
+        maintainer = IncrementalOLS(x, y, counter=counter, backend=backend,
+                                    **kwargs)
+    elif name == "REEVAL":
+        maintainer = ReevalOLS(x, y, counter=counter, backend=backend)
+    else:
+        raise ValueError(f"OLS has no {name!r} strategy")
+    maintainer.plan = None if isinstance(strategy, str) else strategy
+    return maintainer
+
+
 __all__ = [
     "IncrementalOLS",
     "QRIncrementalOLS",
     "ReevalOLS",
     "SingularUpdateError",
+    "make_ols",
 ]

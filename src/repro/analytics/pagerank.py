@@ -61,8 +61,10 @@ class IncrementalPageRank:
 
     ``k`` fixes the number of power iterations (Section 3.1: fixed
     iteration counts make incremental and re-evaluated results
-    comparable).  ``strategy`` is ``REEVAL``, ``INCR`` or ``HYBRID`` —
-    the paper's analysis recommends HYBRID here since ``p = 1``.
+    comparable).  ``strategy`` is ``REEVAL``, ``INCR``, ``HYBRID`` (the
+    paper's recommendation for ``p = 1``), ``"auto"`` to let the
+    planner pick strategy, model and backend from the graph's measured
+    density, or a :class:`~repro.planner.plan.MaintenancePlan`.
 
     ``backend`` selects the execution backend: real web graphs are
     sparse, and ``backend="sparse"`` stores the transition matrix as
@@ -78,7 +80,7 @@ class IncrementalPageRank:
         k: int = 16,
         damping: float = 0.85,
         model: Model | None = None,
-        strategy: str = "HYBRID",
+        strategy="HYBRID",
         counter: counters.Counter = counters.NULL_COUNTER,
         backend=None,
     ):
@@ -86,14 +88,19 @@ class IncrementalPageRank:
         self.n = self.adjacency.shape[0]
         self.damping = float(damping)
         self.k = k
-        model = model or Model.linear()
         m = transition_matrix(self.adjacency)
         a = self.damping * m
         b = np.full((self.n, 1), (1.0 - self.damping) / self.n)
         r0 = np.full((self.n, 1), 1.0 / self.n)
+        from ..planner import WorkloadStats, plan_general, resolve_driver_strategy
+
+        strategy, model, self.plan = resolve_driver_strategy(
+            strategy, model, Model.linear(),
+            lambda: plan_general(WorkloadStats.from_matrix(a, p=1, k=k)),
+        )
         self._general = make_general(strategy, a, b, r0, k, model, counter,
                                      backend=backend)
-        self.strategy = strategy
+        self.strategy = strategy if isinstance(strategy, str) else strategy.strategy
 
     @property
     def ranks(self) -> np.ndarray:

@@ -42,10 +42,13 @@ def reference_dominant_eigenpair(a: np.ndarray) -> tuple[float, np.ndarray]:
 class IncrementalPowerIteration:
     """Maintained power iteration ``x_k = A^k x_0`` under rank-1 updates.
 
-    ``strategy`` is ``REEVAL``, ``INCR`` or ``HYBRID`` (default, per the
-    paper's p = 1 analysis).  ``x0`` defaults to the normalized all-ones
-    vector; pick one with a component along the dominant eigenvector,
-    as for any power method.
+    ``strategy`` is ``REEVAL``, ``INCR``, ``HYBRID`` (default, per the
+    paper's p = 1 analysis), ``"auto"`` (ask the planner, which also
+    picks the model and backend from the operator's measured density)
+    or a :class:`~repro.planner.plan.MaintenancePlan`.  ``backend``
+    selects the execution backend for the maintained views.  ``x0``
+    defaults to the normalized all-ones vector; pick one with a
+    component along the dominant eigenvector, as for any power method.
     """
 
     def __init__(
@@ -54,8 +57,9 @@ class IncrementalPowerIteration:
         k: int = 32,
         x0: np.ndarray | None = None,
         model: Model | None = None,
-        strategy: str = "HYBRID",
+        strategy="HYBRID",
         counter: counters.Counter = counters.NULL_COUNTER,
+        backend=None,
     ):
         a = np.array(a, dtype=np.float64)
         n = a.shape[0]
@@ -66,10 +70,18 @@ class IncrementalPowerIteration:
         x0 = np.asarray(x0, dtype=np.float64).reshape(-1, 1)
         self.a = a
         self.k = k
-        self.model = model or Model.linear()
-        self._maintainer = make_general(
-            strategy, a, None, x0, k, self.model, counter
+        from ..planner import WorkloadStats, plan_general, resolve_driver_strategy
+
+        strategy, model, self.plan = resolve_driver_strategy(
+            strategy, model, Model.linear(),
+            lambda: plan_general(
+                WorkloadStats.from_matrix(a, p=1, k=k, has_b=False)
+            ),
         )
+        self._maintainer = make_general(
+            strategy, a, None, x0, k, model, counter, backend=backend
+        )
+        self.model = self._maintainer.model
 
     def refresh(self, u: np.ndarray, v: np.ndarray) -> None:
         """Absorb ``A += u v'`` into the maintained iterate."""

@@ -30,7 +30,9 @@ class GradientDescentLR:
     Parameters mirror the paper's experiment: ``X (m x n)``, ``Y (m x
     p)``, ``k`` gradient steps from ``theta0`` with learning rate
     ``eta``, evaluated under ``model`` with ``strategy`` (``REEVAL``,
-    ``INCR`` or ``HYBRID``).
+    ``INCR``, ``HYBRID``, ``"auto"`` to ask the planner, or a
+    :class:`~repro.planner.plan.MaintenancePlan`).  ``backend`` selects
+    the execution backend for the maintained views.
     """
 
     def __init__(
@@ -41,8 +43,9 @@ class GradientDescentLR:
         eta: float = 0.1,
         theta0: np.ndarray | None = None,
         model: Model | None = None,
-        strategy: str = "INCR",
+        strategy="INCR",
         counter: counters.Counter = counters.NULL_COUNTER,
+        backend=None,
     ):
         self.x = np.array(x, dtype=np.float64)
         self.y = np.array(y, dtype=np.float64)
@@ -53,11 +56,17 @@ class GradientDescentLR:
         p = self.y.shape[1]
         if theta0 is None:
             theta0 = np.zeros((n, p))
-        model = model or Model.linear()
         a = np.eye(n) - self.eta * (self.x.T @ self.x)
         b = self.eta * (self.x.T @ self.y)
-        self._general = make_general(strategy, a, b, theta0, k, model, counter)
-        self.strategy = strategy
+        from ..planner import WorkloadStats, plan_general, resolve_driver_strategy
+
+        strategy, model, self.plan = resolve_driver_strategy(
+            strategy, model, Model.linear(),
+            lambda: plan_general(WorkloadStats.from_matrix(a, p=p, k=k)),
+        )
+        self._general = make_general(strategy, a, b, theta0, k, model, counter,
+                                     backend=backend)
+        self.strategy = strategy if isinstance(strategy, str) else strategy.strategy
 
     @property
     def theta(self) -> np.ndarray:

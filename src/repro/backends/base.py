@@ -157,6 +157,71 @@ class Backend(ABC):
     def density(self, a: MatrixLike) -> float:
         """Fraction of stored entries (1.0 for dense)."""
 
+    # -- predictive cost hooks (planner) ---------------------------------
+    # The ``*_flops`` hooks below charge work *performed* on concrete
+    # matrices; these ``est_*`` hooks predict the same quantities from
+    # shapes and densities alone, so the cost model can rank backends
+    # before any state exists.  Estimates follow each backend's
+    # representation policy: a backend that would store a given
+    # (shape, density) densely must estimate dense costs for it.
+
+    #: Fixed cost of one kernel invocation, in dense-FLOP equivalents.
+    #: Python dispatch + allocation + library call setup costs the same
+    #: whether operands are thin or square, so plans that trade a few
+    #: big products for many matrix–vector-shaped calls must be charged
+    #: per call as well as per flop.
+    est_call_overhead_flops: float = 10_000.0
+
+    def est_stored_density(self, rows: int, cols: int, density: float) -> float:
+        """Density at which this backend would *store* such a matrix.
+
+        1.0 means dense storage (the base-class default); sparse
+        backends return ``density`` for operands they would keep in a
+        compressed format.
+        """
+        return 1.0
+
+    def est_matmul_flops(
+        self,
+        a_shape: tuple[int, int],
+        b_shape: tuple[int, int],
+        a_density: float = 1.0,
+        b_density: float = 1.0,
+    ) -> float:
+        """Predicted FLOPs of ``a @ b`` given shapes and densities."""
+        n, m = a_shape
+        p = b_shape[1]
+        return float(2 * n * m * p)
+
+    def est_add_flops(
+        self, shape: tuple[int, int], density: float = 1.0
+    ) -> float:
+        """Predicted FLOPs of an element-wise add at ``shape``."""
+        return float(shape[0] * shape[1])
+
+    def est_add_outer_flops(
+        self,
+        shape: tuple[int, int],
+        density: float = 1.0,
+        rank: int = 1,
+        u_nnz_per_col: float | None = None,
+    ) -> float:
+        """Predicted FLOPs of the update kernel ``a += U V'``.
+
+        ``u_nnz_per_col`` bounds the nonzeros per column of ``U`` (row
+        or edge updates carry indicator columns with a single nonzero);
+        ``None`` means dense factor columns.
+        """
+        rows, cols = shape
+        return float(2 * rows * rank * cols)
+
+    def est_entries(
+        self, shape: tuple[int, int], density: float = 1.0
+    ) -> float:
+        """Predicted stored entries (the space unit of Tables 2/3)."""
+        rows, cols = shape
+        return float(rows * cols) * self.est_stored_density(rows, cols, density)
+
     # -- cost hooks ------------------------------------------------------
     @abstractmethod
     def matmul_flops(self, a: MatrixLike, b: MatrixLike) -> int:

@@ -241,6 +241,69 @@ class SparseBackend(DenseBackend):
             return float(a.nnz) / size if size else 0.0
         return 1.0
 
+    # -- predictive cost hooks (planner) ---------------------------------
+    #: Wall-time penalty of one sparse-kernel FLOP versus one dense BLAS
+    #: FLOP (indirect indexing, no vectorized fused multiply-adds).  The
+    #: planner uses it so near-threshold densities don't flap to sparse.
+    est_overhead: float = 4.0
+
+    #: CSR kernel calls pay index validation and format dispatch on top
+    #: of the Python-level cost every backend has.
+    est_call_overhead_flops: float = 30_000.0
+
+    def est_stored_density(self, rows: int, cols: int, density: float) -> float:
+        if self._worth_sparse_shape(rows, cols) and density <= self.sparsify_below:
+            return float(density)
+        return 1.0
+
+    def est_matmul_flops(
+        self,
+        a_shape: tuple[int, int],
+        b_shape: tuple[int, int],
+        a_density: float = 1.0,
+        b_density: float = 1.0,
+    ) -> float:
+        n, m = a_shape
+        p = b_shape[1]
+        da = self.est_stored_density(n, m, a_density)
+        db = self.est_stored_density(m, p, b_density)
+        a_sp, b_sp = da < 1.0, db < 1.0
+        if not a_sp and not b_sp:
+            return super().est_matmul_flops(a_shape, b_shape)
+        nnz_a = da * n * m
+        nnz_b = db * m * p
+        if a_sp and b_sp:
+            work = max(2.0 * nnz_a * nnz_b / max(m, 1), 2.0 * nnz_a)
+        elif a_sp:
+            work = 2.0 * nnz_a * p
+        else:
+            work = 2.0 * n * nnz_b
+        return self.est_overhead * work
+
+    def est_add_flops(
+        self, shape: tuple[int, int], density: float = 1.0
+    ) -> float:
+        d = self.est_stored_density(*shape, density)
+        if d < 1.0:
+            return self.est_overhead * d * shape[0] * shape[1]
+        return super().est_add_flops(shape)
+
+    def est_add_outer_flops(
+        self,
+        shape: tuple[int, int],
+        density: float = 1.0,
+        rank: int = 1,
+        u_nnz_per_col: float | None = None,
+    ) -> float:
+        rows, cols = shape
+        d = self.est_stored_density(rows, cols, density)
+        if d >= 1.0:
+            return super().est_add_outer_flops(shape, density, rank, u_nnz_per_col)
+        upc = rows if u_nnz_per_col is None else u_nnz_per_col
+        # Sparse outer accumulation: the delta's nonzeros plus a CSR
+        # structure rebuild touching the state's nonzeros.
+        return self.est_overhead * (2.0 * upc * cols * rank + d * rows * cols)
+
     # -- cost hooks ------------------------------------------------------
     def matmul_flops(self, a: MatrixLike, b: MatrixLike) -> int:
         a_sp, b_sp = self._is_sparse(a), self._is_sparse(b)

@@ -1,4 +1,4 @@
-"""Command-line interface: compile matrix programs to update triggers.
+"""Command-line interface: compile, advise on, and run matrix programs.
 
 Mirrors the paper's compiler workflow (Figure 2) from the shell::
 
@@ -12,6 +12,23 @@ Mirrors the paper's compiler workflow (Figure 2) from the shell::
     python -m repro advise powers --n 10000 --k 16      # Table 2 advisor
     python -m repro advise general --n 30000 --p 1 --k 16
 
+``repro advise`` ranks the Table 2 grid; with ``--density`` the grid
+gains the execution-backend axis (nnz-aware cost model), and ``--json``
+emits the ranking machine-readably::
+
+    python -m repro advise general --n 2000 --p 1 --k 16 --density 0.01
+    python -m repro advise powers --n 2000 --k 16 --density 0.01 --json
+
+``repro run`` executes a program end to end: it generates seeded
+random inputs at a requested density, opens a planner-configured
+session (:func:`repro.runtime.session.open_session`), drives a stream
+of rank-``r`` row updates through it, and reports the chosen plan,
+FLOP counters and wall time::
+
+    python -m repro run program.lvw --dims n=2000 --density 0.01
+    python -m repro run program.lvw --dims n=64 --plan incr --backend dense
+    python -m repro run program.lvw --dims n=256 --updates 100 --json
+
 Program files use the frontend language (see ``repro.frontend``)::
 
     input A(n, n);
@@ -23,7 +40,9 @@ Program files use the frontend language (see ``repro.frontend``)::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 
 from .compiler import (
@@ -91,6 +110,50 @@ def build_parser() -> argparse.ArgumentParser:
                         help="max view footprint in matrix entries")
     advise.add_argument("--top", type=int, default=5,
                         help="how many configurations to print (default 5)")
+    advise.add_argument("--density", type=float, default=None,
+                        help="input nnz density; adds the execution-backend "
+                             "axis to the grid (nnz-aware cost model)")
+    advise.add_argument("--rank", type=int, default=1,
+                        help="update rank for the nnz-aware model (default 1)")
+    advise.add_argument("--refreshes", type=int, default=100,
+                        help="expected refresh count amortizing setup "
+                             "(nnz-aware model only; default 100)")
+    advise.add_argument("--json", action="store_true",
+                        help="emit the ranking as JSON")
+
+    run = sub.add_parser(
+        "run",
+        help="execute a program against a generated update stream",
+    )
+    run.add_argument("file", help="program source file")
+    run.add_argument("--dims", action="append", default=[],
+                     metavar="NAME=SIZE",
+                     help="bind a symbolic dimension (repeatable, required "
+                          "for every dimension the inputs use)")
+    run.add_argument("--density", type=float, default=1.0,
+                     help="nnz density of the generated inputs (default 1.0)")
+    run.add_argument("--updates", type=int, default=50,
+                     help="number of rank-r row updates to stream (default 50)")
+    run.add_argument("--rank", type=int, default=1,
+                     help="width of each factored update (default 1)")
+    run.add_argument("--plan", choices=("auto", "incr", "reeval"),
+                     default="auto",
+                     help="maintenance strategy: auto (cost-driven planner), "
+                          "incr, or reeval")
+    run.add_argument("--backend", choices=("auto", "dense", "sparse"),
+                     default="auto",
+                     help="execution backend (auto = planner's choice)")
+    run.add_argument("--mode", choices=("auto", "interpret", "codegen"),
+                     default="auto",
+                     help="trigger execution mode (auto = planner's choice)")
+    run.add_argument("--input", dest="target",
+                     help="input the update stream hits (default: first)")
+    run.add_argument("--seed", type=int, default=20140622,
+                     help="random seed for inputs and updates")
+    run.add_argument("--scale", type=float, default=0.01,
+                     help="magnitude of the update deltas (default 0.01)")
+    run.add_argument("--json", action="store_true",
+                     help="emit plan/counters/timings as JSON")
     return parser
 
 
@@ -102,26 +165,160 @@ def _load_program(path: str):
 def _run_advise(args) -> int:
     from .cost.advisor import recommend_general, recommend_powers, speedup_estimate
 
+    extra = {}
+    if args.density is not None:
+        extra = {"density": args.density, "rank": args.rank,
+                 "refreshes": args.refreshes}
     try:
         if args.computation == "powers":
             ranked = recommend_powers(args.n, args.k, gamma=args.gamma,
-                                      memory_budget=args.memory_budget)
+                                      memory_budget=args.memory_budget,
+                                      **extra)
             header = f"A^{args.k}, n = {args.n}"
         else:
             ranked = recommend_general(args.n, args.p, args.k,
                                        gamma=args.gamma,
-                                       memory_budget=args.memory_budget)
+                                       memory_budget=args.memory_budget,
+                                       **extra)
             header = f"T = A T + B, n = {args.n}, p = {args.p}, k = {args.k}"
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    print(f"# {header} (predicted operation counts, Table 2)")
-    print(f"{'rank':<5} {'config':<14} {'time':>12} {'space':>12}")
+    if args.json:
+        print(json.dumps({
+            "computation": args.computation,
+            "density": args.density,
+            "speedup_estimate": speedup_estimate(ranked),
+            "ranking": [rec.as_dict() for rec in ranked[:args.top]],
+        }, indent=2))
+        return 0
+
+    grid = "Table 2" if args.density is None else (
+        f"nnz-aware grid, density {args.density:g}"
+    )
+    print(f"# {header} (predicted operation counts, {grid})")
+    print(f"{'rank':<5} {'config':<22} {'time':>12} {'space':>12}")
     for i, rec in enumerate(ranked[:args.top], start=1):
-        print(f"{i:<5} {rec.label:<14} {rec.time:>12.4g} {rec.space:>12.4g}")
+        print(f"{i:<5} {rec.label:<22} {rec.time:>12.4g} {rec.space:>12.4g}")
     print(f"# predicted gain over best re-evaluation: "
           f"{speedup_estimate(ranked):.1f}x")
+    return 0
+
+
+def _generate_inputs(program, dims, density, rng):
+    """Seeded random inputs at the requested density, spectrally tamed."""
+    from .runtime.executor import EvaluationError, resolve_dim
+    from .workloads.generators import spectral_scale
+
+    inputs = {}
+    for sym in program.inputs:
+        try:
+            rows = resolve_dim(sym.shape.rows, dims)
+            cols = resolve_dim(sym.shape.cols, dims)
+        except EvaluationError as exc:
+            raise ValueError(f"{exc}; bind it with --dims NAME=SIZE") from None
+        arr = rng.standard_normal((rows, cols))
+        if density < 1.0:
+            arr *= rng.random((rows, cols)) < density
+        # Keep iterated programs numerically tame: scale square inputs
+        # toward spectral radius 0.9 (the workloads convention).
+        if rows == cols and rows > 1:
+            arr = spectral_scale(rng, arr, radius=0.9, iterations=10)
+        inputs[sym.name] = arr
+    return inputs
+
+
+def _run_run(args, program) -> int:
+    import numpy as np
+
+    from .cost.counters import Counter
+    from .runtime.session import open_session
+    from .runtime.updates import FactoredUpdate
+
+    try:
+        dims = _parse_dims(args.dims)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    try:
+        inputs = _generate_inputs(program, dims, args.density, rng)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    target = args.target or program.input_names[0]
+    if target not in program.input_names:
+        print(f"error: no input named {target!r}", file=sys.stderr)
+        return 2
+    n_rows, n_cols = inputs[target].shape
+    if args.updates < 1:
+        print("error: need --updates >= 1", file=sys.stderr)
+        return 2
+    if not 1 <= args.rank <= n_rows:
+        print(f"error: --rank must be between 1 and {n_rows} "
+              f"(rows of {target!r})", file=sys.stderr)
+        return 2
+
+    counter = Counter()
+    start = time.perf_counter()
+    session = open_session(
+        program, inputs, dims=dims,
+        plan=args.plan,
+        backend=None if args.backend == "auto" else args.backend,
+        mode=None if args.mode == "auto" else args.mode,
+        rank=args.rank,
+        refresh_count=args.updates,
+        counter=counter,
+    )
+    setup_seconds = time.perf_counter() - start
+    setup_flops = counter.total_flops
+    counter.reset()
+
+    updates = []
+    for _ in range(args.updates):
+        u = np.zeros((n_rows, args.rank))
+        rows = rng.choice(n_rows, size=args.rank, replace=False)
+        u[rows, np.arange(args.rank)] = 1.0
+        v = args.scale * rng.standard_normal((n_cols, args.rank))
+        updates.append((u, v))
+
+    start = time.perf_counter()
+    for u, v in updates:
+        session.apply_update(FactoredUpdate(target, u, v))
+    maintain_seconds = time.perf_counter() - start
+    per_update = maintain_seconds / len(updates)
+
+    plan = session.plan
+    flops = dict(sorted(counter.snapshot().items()))
+    if args.json:
+        print(json.dumps({
+            "plan": plan.as_dict(),
+            "updates": len(updates),
+            "setup_seconds": setup_seconds,
+            "setup_flops": setup_flops,
+            "maintain_seconds": maintain_seconds,
+            "seconds_per_update": per_update,
+            "flops_by_op": flops,
+            "total_flops": counter.total_flops,
+        }, indent=2))
+        return 0
+
+    print(f"# {args.file}: {len(updates)} rank-{args.rank} updates to "
+          f"{target!r} (density {args.density:g})")
+    print(f"plan       : {plan.label}")
+    print(f"  strategy : {plan.strategy}")
+    print(f"  backend  : {plan.backend}")
+    print(f"  mode     : {plan.mode}")
+    print(f"setup      : {setup_seconds * 1e3:10.2f} ms   "
+          f"({setup_flops:,} FLOPs)")
+    print(f"maintenance: {maintain_seconds * 1e3:10.2f} ms   "
+          f"({per_update * 1e3:.3f} ms/update)")
+    total = counter.total_flops
+    print(f"FLOPs      : {total:,} total")
+    for op, count in flops.items():
+        print(f"  {op:<11} {count:,}")
     return 0
 
 
@@ -155,6 +352,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "show":
         print(program)
         return 0
+
+    if args.command == "run":
+        return _run_run(args, program)
 
     if args.materialize_inversions:
         program = materialize_inversions(program)

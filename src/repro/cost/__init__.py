@@ -1,6 +1,6 @@
 """Cost model: FLOP formulas, runtime counters, Table 2 complexity, memory."""
 
-from . import advisor, complexity, counters, flops, memory
+from . import advisor, complexity, counters, estimate, flops, memory
 from .advisor import (
     Recommendation,
     best_general,
@@ -24,6 +24,7 @@ __all__ = [
     "complexity",
     "counters",
     "counting",
+    "estimate",
     "flops",
     "gigabytes",
     "memory",

@@ -1,4 +1,4 @@
-"""Strategy/model advisor built on the Table 2 cost formulas.
+"""Strategy/model/backend advisor built on the Table 2 cost formulas.
 
 Section 5 derives, by hand, which (strategy x iterative model) cell of
 Table 2 wins for given problem parameters — e.g. "the Lin model incurs
@@ -9,9 +9,18 @@ admissible configuration by predicted refresh cost, optionally under a
 memory budget (incremental maintenance trades memory for time —
 Table 3), and pick the best skip size automatically.
 
-Predicted costs are *operation counts* from
-:mod:`repro.cost.complexity`; they rank configurations, they are not
-wall-clock estimates.
+With the default ``density=None`` the ranking uses the paper's dense
+closed forms (:mod:`repro.cost.complexity`) over the dense-only grid —
+the exact Table 2 analysis.  Passing a ``density`` widens the grid with
+an execution-backend axis: every (strategy, model, skip) cell is priced
+per backend through the nnz-aware estimates of
+:mod:`repro.cost.estimate` (built on the ``Backend.est_*`` cost hooks),
+and ``refreshes`` amortizes one-time view building over the expected
+update stream, so sparse graph workloads rank ``backend="sparse"``
+first while small dense problems stay on BLAS.
+
+Predicted costs are *operation counts*; they rank configurations, they
+are not wall-clock estimates.
 """
 
 from __future__ import annotations
@@ -19,30 +28,58 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from . import complexity as cx
+from . import estimate as est
 
 #: Strategy names.
 REEVAL = "REEVAL"
 INCR = "INCR"
 HYBRID = "HYBRID"
 
+#: Default expected refresh count when amortizing setup in nnz mode.
+DEFAULT_REFRESHES = 100
+
 
 @dataclass(frozen=True)
 class Recommendation:
-    """One ranked configuration: strategy, model (with skip size), costs."""
+    """One ranked configuration: strategy, model (with skip size), costs.
+
+    ``time`` is the predicted per-refresh operation count (amortizing
+    setup over the expected refresh count in density-aware mode);
+    ``space`` the predicted stored entries; ``backend`` the execution
+    backend the prediction assumed (``"dense"`` for the classic Table 2
+    cells).
+    """
 
     strategy: str
     model: str
     s: int | None
     time: float
     space: float
+    backend: str = "dense"
 
     @property
     def label(self) -> str:
-        """Paper-style label, e.g. ``INCR-EXP`` or ``HYBRID-SKIP-4``."""
+        """Paper-style label, e.g. ``INCR-EXP`` or ``HYBRID-SKIP-4``.
+
+        Non-default backends are suffixed: ``REEVAL-LIN@sparse``.
+        """
         model = {"linear": "LIN", "exponential": "EXP"}.get(self.model)
         if model is None:
             model = f"SKIP-{self.s}"
-        return f"{self.strategy}-{model}"
+        base = f"{self.strategy}-{model}"
+        return base if self.backend == "dense" else f"{base}@{self.backend}"
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (the CLI's ``--json`` output)."""
+        return {
+            "label": self.label,
+            "strategy": self.strategy,
+            "model": self.model,
+            "s": self.s,
+            "backend": self.backend,
+            "time": self.time,
+            "space": self.space,
+        }
 
 
 def _skip_sizes(k: int) -> list[int]:
@@ -64,30 +101,67 @@ def _model_grid(k: int) -> list[tuple[str, int | None]]:
     return models
 
 
+def _backend_grid(backends) -> list:
+    """Backend instances to rank over; dense first (tie-break winner)."""
+    from ..backends import available_backends, get_backend
+
+    if backends is None:
+        names = [n for n in ("dense", "sparse") if n in available_backends()]
+    else:
+        names = list(backends)
+    resolved = []
+    for name in names:
+        try:
+            resolved.append(get_backend(name))
+        except (ValueError, RuntimeError):  # e.g. sparse without scipy
+            continue
+    return resolved
+
+
 def recommend_powers(
     n: int,
     k: int,
     gamma: float = 3.0,
     memory_budget: float | None = None,
+    density: float | None = None,
+    rank: int = 1,
+    refreshes: int = DEFAULT_REFRESHES,
+    backends=None,
 ) -> list[Recommendation]:
-    """Ranked configurations for maintaining ``A^k`` under rank-1 updates.
+    """Ranked configurations for maintaining ``A^k`` under rank-r updates.
 
     ``memory_budget`` (in matrix *entries*, like the space formulas)
     filters configurations whose view footprint exceeds it.  Raises
-    ``ValueError`` if the budget excludes everything.
+    ``ValueError`` if the budget excludes everything.  ``density``
+    switches to the backend-aware grid (see module docstring); in that
+    mode ``gamma`` is ignored — the estimates price the classical
+    (``gamma = 3``) kernels the backends actually run.
     """
     candidates = []
-    for model, s in _model_grid(k):
-        candidates.append(Recommendation(
-            REEVAL, model, s,
-            cx.powers_reeval_time(n, k, model, s, gamma),
-            cx.powers_reeval_space(n, k, model, s),
-        ))
-        candidates.append(Recommendation(
-            INCR, model, s,
-            cx.powers_incr_time(n, k, model, s),
-            cx.powers_incr_space(n, k, model, s),
-        ))
+    if density is None:
+        for model, s in _model_grid(k):
+            candidates.append(Recommendation(
+                REEVAL, model, s,
+                cx.powers_reeval_time(n, k, model, s, gamma),
+                cx.powers_reeval_space(n, k, model, s),
+            ))
+            candidates.append(Recommendation(
+                INCR, model, s,
+                cx.powers_incr_time(n, k, model, s),
+                cx.powers_incr_space(n, k, model, s),
+            ))
+        return _rank(candidates, memory_budget)
+
+    for be in _backend_grid(backends):
+        for model, s in _model_grid(k):
+            for strategy in (REEVAL, INCR):
+                cost = est.powers_cost(be, strategy, n, k, model, s,
+                                       density=density, rank=rank)
+                candidates.append(Recommendation(
+                    strategy, model, s,
+                    cost.total(refreshes) / max(refreshes, 1),
+                    cost.space, be.name,
+                ))
     return _rank(candidates, memory_budget)
 
 
@@ -97,27 +171,46 @@ def recommend_general(
     k: int,
     gamma: float = 3.0,
     memory_budget: float | None = None,
+    density: float | None = None,
+    rank: int = 1,
+    refreshes: int = DEFAULT_REFRESHES,
+    has_b: bool = True,
+    backends=None,
 ) -> list[Recommendation]:
     """Ranked configurations for ``T_{i+1} = A T_i + B`` maintenance."""
     if p < 1:
         raise ValueError(f"need p >= 1, got {p}")
     candidates = []
-    for model, s in _model_grid(k):
-        candidates.append(Recommendation(
-            REEVAL, model, s,
-            cx.general_reeval_time(n, p, k, model, s, gamma),
-            cx.general_reeval_space(n, p, k, model, s),
-        ))
-        candidates.append(Recommendation(
-            INCR, model, s,
-            cx.general_incr_time(n, p, k, model, s),
-            cx.general_incr_space(n, p, k, model, s),
-        ))
-        candidates.append(Recommendation(
-            HYBRID, model, s,
-            cx.general_hybrid_time(n, p, k, model, s),
-            cx.general_hybrid_space(n, p, k, model, s),
-        ))
+    if density is None:
+        for model, s in _model_grid(k):
+            candidates.append(Recommendation(
+                REEVAL, model, s,
+                cx.general_reeval_time(n, p, k, model, s, gamma),
+                cx.general_reeval_space(n, p, k, model, s),
+            ))
+            candidates.append(Recommendation(
+                INCR, model, s,
+                cx.general_incr_time(n, p, k, model, s),
+                cx.general_incr_space(n, p, k, model, s),
+            ))
+            candidates.append(Recommendation(
+                HYBRID, model, s,
+                cx.general_hybrid_time(n, p, k, model, s),
+                cx.general_hybrid_space(n, p, k, model, s),
+            ))
+        return _rank(candidates, memory_budget)
+
+    for be in _backend_grid(backends):
+        for model, s in _model_grid(k):
+            for strategy in (REEVAL, INCR, HYBRID):
+                cost = est.general_cost(be, strategy, n, p, k, model, s,
+                                        density=density, rank=rank,
+                                        has_b=has_b)
+                candidates.append(Recommendation(
+                    strategy, model, s,
+                    cost.total(refreshes) / max(refreshes, 1),
+                    cost.space, be.name,
+                ))
     return _rank(candidates, memory_budget)
 
 
@@ -158,6 +251,7 @@ def speedup_estimate(ranked: list[Recommendation]) -> float:
 
 
 __all__ = [
+    "DEFAULT_REFRESHES",
     "HYBRID",
     "INCR",
     "REEVAL",

@@ -1,0 +1,303 @@
+"""Backend-aware maintenance cost estimates (the planner's cost model).
+
+:mod:`repro.cost.complexity` exposes Table 2's closed forms — dense,
+leading-order, per-refresh.  This module predicts the same quantities
+*per backend* from input statistics (order, density, update rank,
+expected refresh count), by walking the iterative models' actual
+recurrence schedules and pricing every term through the backend's
+``est_*`` cost hooks (:class:`repro.backends.base.Backend`).  A sparse
+matvec is billed at ``O(nnz)`` with the sparse kernels' constant-factor
+overhead, a power view that fills in is billed dense — so rankings over
+the full (strategy, model, skip, backend) grid reflect what the kernels
+would really do.
+
+Two deliberate simplifications, documented so nobody mistakes these for
+wall-clock predictions:
+
+* densities of derived views follow the expected-walk-count heuristic
+  ``density(A^i) ~ min(1, (d n)^i / n)`` for an input of density ``d``
+  (exact fill-in is data-dependent);
+* sums-of-powers views are priced like the matching power views (their
+  factored recurrences have the same shape and widths, Appendix B).
+
+Estimates split **setup** (initial materialization, paid once) from
+**refresh** (paid per update), so high-update-rate workloads amortize
+expensive view builds — the regime where HYBRID shines — while
+one-shot workloads fall back to plain re-evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import exp, log
+
+from ..iterative.models import Model
+
+#: Strategy names (shared with the advisor).
+REEVAL = "REEVAL"
+INCR = "INCR"
+HYBRID = "HYBRID"
+
+# Per-kernel-call overhead lives on the backend
+# (``Backend.est_call_overhead_flops``): Python dispatch + allocation +
+# BLAS/CSR call setup costs the same whether the operands are thin or
+# square, so strategies that trade a few big products for many
+# matrix-vector-shaped ones (factored INCR, HYBRID's per-step thin
+# terms) are charged per *call* as well as per flop -- otherwise the
+# model recommends sophistication that loses to call overhead at small
+# scale, exactly what measurements show.
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted operation counts of one maintenance configuration."""
+
+    setup: float    #: initial materialization (paid once)
+    refresh: float  #: per-update maintenance cost
+    space: float    #: stored entries between updates
+
+    def total(self, refreshes: float) -> float:
+        """Setup plus ``refreshes`` maintained updates."""
+        return self.setup + refreshes * self.refresh
+
+
+def power_density(n: int, density: float, i: int) -> float:
+    """Expected density of ``A^i`` for an input of density ``density``.
+
+    A random graph with average degree ``c = density * n`` has roughly
+    ``c^i`` walks of length ``i`` from each node, hence
+    ``min(1, c^i / n)`` of the matrix occupied.  Dense inputs stay
+    dense; sub-critical graphs (``c < 1``) thin out.
+    """
+    if density >= 1.0:
+        return 1.0
+    c = density * n
+    if c <= 0.0:
+        return 0.0
+    # Log space: c**i overflows a double once i*log(c) passes ~709.
+    log_est = i * log(c) - log(n)
+    if log_est >= 0.0:
+        return 1.0
+    return float(min(1.0, max(exp(log_est), density)))
+
+
+def sums_density(n: int, density: float, i: int) -> float:
+    """Expected density of ``S_i = I + A + ... + A^{i-1}`` (union bound)."""
+    if density >= 1.0:
+        return 1.0
+    acc = 1.0 / max(n, 1)
+    for j in range(1, i):
+        acc += power_density(n, density, j)
+        if acc >= 1.0:
+            return 1.0
+    return float(min(1.0, acc))
+
+
+def _model_of(model: str, s: int | None) -> Model:
+    if model == "linear":
+        return Model.linear()
+    if model == "exponential":
+        return Model.exponential()
+    if model == "skip":
+        assert s is not None
+        return Model.skip(s)
+    raise ValueError(f"unknown model {model!r}")
+
+
+def _mm(be, a_shape, b_shape, da=1.0, db=1.0) -> float:
+    return be.est_matmul_flops(a_shape, b_shape, da, db)
+
+
+def _powers_recompute(be, n: int, mdl: Model, k: int, density: float) -> float:
+    """Full products along the schedule (REEVAL refresh / INCR setup)."""
+    cost = 0.0
+    for i in mdl.schedule(k)[1:]:
+        j = mdl.predecessor(i)
+        h = i - j
+        cost += _mm(be, (n, n), (n, n),
+                    power_density(n, density, h), power_density(n, density, j))
+        cost += be.est_call_overhead_flops
+    return cost
+
+
+def _powers_incr_refresh(be, n: int, mdl: Model, k: int, density: float,
+                         rank: int, u_nnz: float) -> float:
+    """Factored propagation along the schedule (Appendix A widths)."""
+    cost = 0.0
+    for i in mdl.schedule(k)[1:]:
+        j = mdl.predecessor(i)
+        h = i - j
+        w_h, w_j = h * rank, j * rank
+        d_h = power_density(n, density, h)
+        d_j = power_density(n, density, j)
+        # P_h @ U_j, P_j' @ V_h, plus the thin core u_h (v_h' u_j).
+        cost += _mm(be, (n, n), (n, w_j), d_h)
+        cost += _mm(be, (n, n), (n, w_h), d_j)
+        cost += 4.0 * n * w_h * w_j
+        cost += be.est_add_outer_flops((n, n), power_density(n, density, i),
+                                       i * rank, u_nnz)
+        cost += 8.0 * be.est_call_overhead_flops  # mm x4, hstack x2, add, apply
+    cost += be.est_add_outer_flops((n, n), density, rank, u_nnz)
+    cost += be.est_call_overhead_flops
+    return cost
+
+
+def powers_cost(
+    be,
+    strategy: str,
+    n: int,
+    k: int,
+    model: str,
+    s: int | None = None,
+    density: float = 1.0,
+    rank: int = 1,
+    update_nnz_per_col: float = 1.0,
+) -> CostEstimate:
+    """Predicted costs of maintaining ``A^k`` under ``be``."""
+    mdl = _model_of(model, s)
+    recompute = _powers_recompute(be, n, mdl, k, density)
+    if strategy == REEVAL:
+        space = 3.0 * be.est_entries((n, n), density)
+        refresh = (be.est_add_outer_flops((n, n), density, rank,
+                                          update_nnz_per_col)
+                   + be.est_call_overhead_flops + recompute)
+        return CostEstimate(recompute, refresh, space)
+    if strategy == INCR:
+        space = sum(
+            be.est_entries((n, n), power_density(n, density, i))
+            for i in mdl.schedule(k)
+        )
+        refresh = _powers_incr_refresh(be, n, mdl, k, density, rank,
+                                       update_nnz_per_col)
+        return CostEstimate(recompute, refresh, space)
+    raise ValueError(f"matrix powers has no {strategy!r} strategy")
+
+
+def _horizon(mdl: Model, k: int) -> int:
+    """Highest P/S index the general recurrence reads (0 = none)."""
+    if mdl.kind == Model.LINEAR or k <= 1:
+        return 0
+    if mdl.kind == Model.EXPONENTIAL:
+        return k // 2
+    assert mdl.s is not None
+    return min(mdl.s, k // 2)
+
+
+def general_cost(
+    be,
+    strategy: str,
+    n: int,
+    p: int,
+    k: int,
+    model: str,
+    s: int | None = None,
+    density: float = 1.0,
+    rank: int = 1,
+    has_b: bool = True,
+    update_nnz_per_col: float = 1.0,
+) -> CostEstimate:
+    """Predicted costs of maintaining ``T_k`` (``T_{i+1} = A T_i + B``)."""
+    mdl = _model_of(model, s)
+    schedule = mdl.schedule(k)
+    horizon = _horizon(mdl, k)
+    d_a = density
+    u_nnz = update_nnz_per_col
+
+    def step_cost() -> float:
+        """One pass of the recurrence with dense ``(n x p)`` iterates."""
+        cost = 0.0
+        for i in schedule:
+            j = mdl.predecessor(i) if i > 1 else 0
+            h = i - j if i > 1 else 1
+            cost += _mm(be, (n, n), (n, p), power_density(n, d_a, h))
+            cost += be.est_call_overhead_flops
+            if has_b:
+                if h > 1:
+                    cost += _mm(be, (n, n), (n, p), sums_density(n, d_a, h))
+                    cost += be.est_call_overhead_flops
+                cost += float(n * p) + be.est_call_overhead_flops
+        return cost
+
+    # View-building work shared by every strategy's setup.
+    ps_build = 0.0
+    ps_space = 0.0
+    if horizon > 1:
+        ps_build += _powers_recompute(be, n, mdl, horizon, d_a)
+        ps_space += sum(
+            be.est_entries((n, n), power_density(n, d_a, i))
+            for i in mdl.schedule(horizon)
+        )
+        if has_b:
+            ps_build += _powers_recompute(be, n, mdl, horizon, d_a)
+            ps_space += sum(
+                be.est_entries((n, n), sums_density(n, d_a, i))
+                for i in mdl.schedule(horizon)
+            )
+    setup = ps_build + step_cost()
+    iterate_space = float(n * p) * len(schedule)
+    a_entries = be.est_entries((n, n), d_a)
+    apply_a = be.est_add_outer_flops((n, n), d_a, rank, u_nnz)
+
+    if strategy == REEVAL:
+        # P/S rebuilt per refresh (ReevalPowers recomputes), T re-run.
+        refresh = apply_a + be.est_call_overhead_flops + ps_build + step_cost()
+        space = a_entries + float(n * p) + (2.0 * a_entries if horizon > 1 else 0.0)
+        return CostEstimate(setup, refresh, space)
+
+    # INCR/HYBRID maintain P/S incrementally at the horizon.
+    ps_refresh = 0.0
+    if horizon > 1:
+        ps_refresh += _powers_incr_refresh(be, n, mdl, horizon, d_a, rank, u_nnz)
+        if has_b:
+            ps_refresh += _powers_incr_refresh(be, n, mdl, horizon, d_a, rank,
+                                               u_nnz)
+
+    if strategy == INCR:
+        refresh = apply_a + ps_refresh
+        for i in schedule:
+            j = mdl.predecessor(i) if i > 1 else 0
+            h = i - j if i > 1 else 1
+            w_i, w_j, w_h = i * rank, j * rank, h * rank
+            if i == 1:
+                refresh += 2.0 * n * p * rank          # T0' v
+            else:
+                d_h = power_density(n, d_a, h)
+                refresh += _mm(be, (n, n), (n, w_j), d_h)   # P_h @ U_j
+                refresh += 4.0 * n * w_h * w_j              # thin core
+                refresh += 2.0 * n * p * w_h                # T_j' V_h
+                if has_b and h > 1:
+                    refresh += 2.0 * n * p * w_h            # B' W_h
+            refresh += 2.0 * n * p * w_i                    # apply dT_i
+            refresh += 7.0 * be.est_call_overhead_flops    # mm x4, hstack x2, apply
+        space = a_entries + iterate_space + ps_space
+        return CostEstimate(setup, refresh, space)
+
+    if strategy == HYBRID:
+        refresh = apply_a + ps_refresh
+        for i in schedule:
+            j = mdl.predecessor(i) if i > 1 else 0
+            h = i - j if i > 1 else 1
+            w_h = h * rank
+            if i == 1:
+                refresh += 2.0 * n * p * rank               # u (v' T0)
+            else:
+                d_h = power_density(n, d_a, h)
+                refresh += _mm(be, (n, n), (n, p), d_h)     # P_h @ dT_j
+                refresh += 4.0 * n * p * w_h                # q (r' T_j), q (r' dT_j)
+                if has_b and h > 1:
+                    refresh += 2.0 * n * p * w_h            # z (w' B)
+            refresh += float(n * p)                         # apply dense dT_i
+            refresh += 8.0 * be.est_call_overhead_flops    # mm x5, add x2, apply
+        space = a_entries + iterate_space + ps_space
+        return CostEstimate(setup, refresh, space)
+
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+__all__ = [
+    "CostEstimate",
+    "general_cost",
+    "power_density",
+    "powers_cost",
+    "sums_density",
+]

@@ -5,6 +5,15 @@ like ``REEVAL-EXP`` and ``INCR-SKIP-4``; :func:`make_powers`,
 :func:`make_sums` and :func:`make_general` construct the corresponding
 maintainers from those labels so the benchmark harness and examples can
 be written table-driven, exactly like the paper's figures.
+
+Every factory also accepts a
+:class:`~repro.planner.plan.MaintenancePlan` in place of the strategy
+name — the plan then supplies the strategy, iterative model *and*
+execution backend in one argument, so planner output plugs straight
+into the maintainers::
+
+    plan = plan_general(WorkloadStats(n=n, p=1, k=16, density=d))
+    maintainer = make_general(plan, a, b, t0, k)
 """
 
 from __future__ import annotations
@@ -36,15 +45,34 @@ def parse_model(label: str) -> Model:
     raise ValueError(f"unknown model label {label!r}")
 
 
+def _resolve(strategy, model, backend):
+    """Unpack a MaintenancePlan passed in the strategy slot.
+
+    Explicit ``model``/``backend`` arguments win over the plan's axes,
+    so callers can override one dimension of a planned configuration.
+    """
+    if isinstance(strategy, str):
+        if model is None:
+            raise TypeError("model is required when strategy is a name")
+        return strategy, model, backend
+    plan = strategy
+    if model is None:
+        model = plan.iterative_model()
+    if backend is None:
+        backend = plan.backend
+    return plan.strategy, model, backend
+
+
 def make_powers(
-    strategy: str,
+    strategy,
     a: np.ndarray,
     k: int,
-    model: Model,
+    model: Model | None = None,
     counter: counters.Counter = counters.NULL_COUNTER,
     backend=None,
 ):
-    """Powers maintainer for a strategy name (``REEVAL`` or ``INCR``)."""
+    """Powers maintainer for a strategy name or plan (``REEVAL``/``INCR``)."""
+    strategy, model, backend = _resolve(strategy, model, backend)
     if strategy == REEVAL:
         return ReevalPowers(a, k, model, counter, backend=backend)
     if strategy == INCR:
@@ -53,14 +81,15 @@ def make_powers(
 
 
 def make_sums(
-    strategy: str,
+    strategy,
     a: np.ndarray,
     k: int,
-    model: Model,
+    model: Model | None = None,
     counter: counters.Counter = counters.NULL_COUNTER,
     backend=None,
 ):
-    """Sums-of-powers maintainer for a strategy name."""
+    """Sums-of-powers maintainer for a strategy name or plan."""
+    strategy, model, backend = _resolve(strategy, model, backend)
     if strategy == REEVAL:
         return ReevalPowerSums(a, k, model, counter, backend=backend)
     if strategy == INCR:
@@ -69,16 +98,17 @@ def make_sums(
 
 
 def make_general(
-    strategy: str,
+    strategy,
     a: np.ndarray,
     b: np.ndarray | None,
     t0: np.ndarray,
     k: int,
-    model: Model,
+    model: Model | None = None,
     counter: counters.Counter = counters.NULL_COUNTER,
     backend=None,
 ):
-    """General-form maintainer for a strategy name (all three apply)."""
+    """General-form maintainer for a strategy name or plan (all three)."""
+    strategy, model, backend = _resolve(strategy, model, backend)
     if strategy == REEVAL:
         return ReevalGeneral(a, b, t0, k, model, counter, backend=backend)
     if strategy == INCR:

@@ -1,0 +1,47 @@
+"""Cost-driven maintenance planner (strategy x model x backend x mode).
+
+The public surface:
+
+>>> from repro.planner import WorkloadStats, plan_general
+>>> plan_general(WorkloadStats(n=2000, p=1, k=16, density=0.01)).backend
+'sparse'
+
+:class:`MaintenancePlan` is accepted wherever the API takes a
+``strategy`` — the session factory
+(:func:`repro.runtime.session.open_session`), the iterative strategy
+factories (:mod:`repro.iterative.strategies`), and the analytics
+drivers — so one planning decision configures the whole stack.
+"""
+
+from .plan import (
+    HYBRID,
+    INCR,
+    REEVAL,
+    MaintenancePlan,
+    WorkloadStats,
+    resolve_driver_strategy,
+)
+from .planner import (
+    CODEGEN_MIN_REFRESHES,
+    plan_general,
+    plan_ols,
+    plan_powers,
+    plan_program,
+)
+from .programcost import infer_dims, program_cost
+
+__all__ = [
+    "CODEGEN_MIN_REFRESHES",
+    "HYBRID",
+    "INCR",
+    "MaintenancePlan",
+    "REEVAL",
+    "WorkloadStats",
+    "infer_dims",
+    "plan_general",
+    "plan_ols",
+    "plan_powers",
+    "plan_program",
+    "program_cost",
+    "resolve_driver_strategy",
+]

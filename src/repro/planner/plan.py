@@ -1,0 +1,169 @@
+"""Maintenance plans and workload statistics (the planner's vocabulary).
+
+A :class:`MaintenancePlan` names one point in the full configuration
+space LINVIEW exposes after the backend refactor:
+
+* **strategy** — REEVAL / INCR / HYBRID (Section 5);
+* **model** / **s** — the iterative model: linear, exponential or
+  skip-``s`` (Section 3.2);
+* **backend** — the execution backend (``repro.backends``);
+* **mode** — trigger execution: ``"interpret"`` (AST executor) or
+  ``"codegen"`` (generated Python, sessions only).
+
+A :class:`WorkloadStats` carries the input statistics the cost model
+ranks on: problem dimensions, input nnz density, update rank, and the
+expected number of refreshes (which amortizes one-time view building —
+the lever that makes high-update-rate workloads prefer incremental
+configurations with expensive setup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..cost.advisor import DEFAULT_REFRESHES
+from ..iterative.models import Model
+
+#: Strategy names (shared with the advisor and iterative layer).
+REEVAL = "REEVAL"
+INCR = "INCR"
+HYBRID = "HYBRID"
+
+
+@dataclass(frozen=True)
+class MaintenancePlan:
+    """One maintenance configuration across every decision axis.
+
+    ``predicted_time`` is the planner's amortized per-refresh operation
+    count (ranking unit, not wall-clock); ``predicted_space`` the
+    predicted stored entries.  Both are ``nan`` for hand-built plans.
+    """
+
+    strategy: str
+    model: str = "linear"
+    s: int | None = None
+    backend: str = "dense"
+    mode: str = "interpret"
+    predicted_time: float = float("nan")
+    predicted_space: float = float("nan")
+
+    def __post_init__(self):
+        if self.strategy not in (REEVAL, INCR, HYBRID):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.mode not in ("interpret", "codegen"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+
+    @property
+    def label(self) -> str:
+        """Paper-style label with the backend/mode axes appended."""
+        model = {"linear": "LIN", "exponential": "EXP"}.get(self.model)
+        if model is None:
+            model = f"SKIP-{self.s}"
+        return f"{self.strategy}-{model}@{self.backend}/{self.mode}"
+
+    def iterative_model(self) -> Model:
+        """The plan's model as an :class:`~repro.iterative.models.Model`."""
+        if self.model == "linear":
+            return Model.linear()
+        if self.model == "exponential":
+            return Model.exponential()
+        if self.model == "skip":
+            if self.s is None:
+                raise ValueError("skip plan has no skip size")
+            return Model.skip(self.s)
+        raise ValueError(f"unknown model {self.model!r}")
+
+    def with_overrides(
+        self,
+        backend: str | None = None,
+        mode: str | None = None,
+        strategy: str | None = None,
+    ) -> "MaintenancePlan":
+        """A copy with user-forced axes replacing the planned ones."""
+        changes = {}
+        if backend is not None:
+            changes["backend"] = backend
+        if mode is not None:
+            changes["mode"] = mode
+        if strategy is not None:
+            changes["strategy"] = strategy
+        return replace(self, **changes) if changes else self
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (CLI output)."""
+        return {
+            "label": self.label,
+            "strategy": self.strategy,
+            "model": self.model,
+            "s": self.s,
+            "backend": self.backend,
+            "mode": self.mode,
+            "predicted_time": self.predicted_time,
+            "predicted_space": self.predicted_space,
+        }
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Input statistics the planner ranks configurations on."""
+
+    n: int                                   #: operator order (A is n x n)
+    p: int = 1                               #: iterate width (general form)
+    k: int = 1                               #: iteration count / chain depth
+    density: float = 1.0                     #: input nnz density in [0, 1]
+    update_rank: int = 1                     #: width of incoming updates
+    refresh_count: int = DEFAULT_REFRESHES   #: expected updates to amortize
+    gamma: float = 3.0                       #: matmul exponent (dense closed
+    #: forms only; the density-aware grid prices the classical kernels
+    #: the backends actually run)
+    memory_budget: float | None = None       #: max stored entries, if any
+    has_b: bool = True                       #: general form carries a B term
+
+    @staticmethod
+    def measure_density(*matrices) -> float:
+        """Size-weighted nnz density of the given matrices."""
+        nnz = 0
+        size = 0
+        for m in matrices:
+            if m is None:
+                continue
+            try:  # scipy sparse
+                nnz += int(m.nnz)
+            except AttributeError:
+                nnz += int(np.count_nonzero(m))
+            size += int(m.shape[0]) * int(m.shape[1])
+        return float(nnz) / size if size else 1.0
+
+    @classmethod
+    def from_matrix(cls, a, **kwargs) -> "WorkloadStats":
+        """Stats for an operator matrix, measuring ``n`` and ``density``."""
+        kwargs.setdefault("density", cls.measure_density(a))
+        return cls(n=int(a.shape[0]), **kwargs)
+
+
+def resolve_driver_strategy(strategy, model, default_model, auto_plan):
+    """Shared resolution of the analytics drivers' ``strategy`` argument.
+
+    ``strategy`` may be a strategy name, ``"auto"`` (call ``auto_plan``
+    to get a :class:`MaintenancePlan`), or a plan.  Returns
+    ``(strategy_or_plan, model, plan_or_none)`` ready for the iterative
+    factories: names get ``default_model`` when no model was given,
+    plans keep ``model=None`` so the factory takes theirs.
+    """
+    if strategy == "auto":
+        strategy = auto_plan()
+    if isinstance(strategy, str):
+        return strategy, model or default_model, None
+    return strategy, model, strategy
+
+
+__all__ = [
+    "HYBRID",
+    "INCR",
+    "MaintenancePlan",
+    "REEVAL",
+    "WorkloadStats",
+    "resolve_driver_strategy",
+]

@@ -1,0 +1,156 @@
+"""Cost-driven maintenance planning: pick the cheapest admissible plan.
+
+The Section 5 analysis answers "which strategy and iterative model
+should I run?" for the dense closed forms; after the backend refactor
+the real decision space also has a physical axis (dense vs sparse
+state) and an execution axis (interpreted vs generated triggers).
+:func:`plan_powers`, :func:`plan_general` and :func:`plan_program` rank
+the full grid with the nnz-aware cost model
+(:mod:`repro.cost.estimate`, :mod:`repro.planner.programcost`) and
+return the winner as a :class:`~repro.planner.plan.MaintenancePlan` —
+what F-IVM does for rings of aggregates, done here for LINVIEW's
+strategy x model x backend x mode space.
+
+Setup costs are amortized over ``stats.refresh_count``, so short-lived
+workloads plan toward plain re-evaluation while long-lived streams
+accept expensive view building for cheap refreshes.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..backends import available_backends, get_backend
+from ..compiler.program import Program
+from ..cost.advisor import recommend_general, recommend_powers
+from .plan import INCR, REEVAL, MaintenancePlan, WorkloadStats
+from .programcost import infer_dims, program_cost
+
+#: Refresh count at or above which sessions compile triggers to Python
+#: source once (``mode="codegen"``) instead of interpreting the AST per
+#: update — the compile cost amortizes quickly, but one-shot sessions
+#: shouldn't pay it.
+CODEGEN_MIN_REFRESHES = 32
+
+
+def _mode_for(stats: WorkloadStats) -> str:
+    return "codegen" if stats.refresh_count >= CODEGEN_MIN_REFRESHES else "interpret"
+
+
+def plan_powers(stats: WorkloadStats) -> MaintenancePlan:
+    """Cheapest plan for maintaining ``A^k`` (Section 5.2 workloads)."""
+    best = recommend_powers(
+        stats.n, stats.k,
+        gamma=stats.gamma,
+        memory_budget=stats.memory_budget,
+        density=stats.density,
+        rank=stats.update_rank,
+        refreshes=stats.refresh_count,
+    )[0]
+    return MaintenancePlan(
+        best.strategy, best.model, best.s, best.backend, "interpret",
+        best.time, best.space,
+    )
+
+
+def plan_general(stats: WorkloadStats) -> MaintenancePlan:
+    """Cheapest plan for ``T_{i+1} = A T_i + B`` (Section 5.3 workloads)."""
+    best = recommend_general(
+        stats.n, stats.p, stats.k,
+        gamma=stats.gamma,
+        memory_budget=stats.memory_budget,
+        density=stats.density,
+        rank=stats.update_rank,
+        refreshes=stats.refresh_count,
+        has_b=stats.has_b,
+    )[0]
+    return MaintenancePlan(
+        best.strategy, best.model, best.s, best.backend, "interpret",
+        best.time, best.space,
+    )
+
+
+def plan_program(
+    program: Program,
+    inputs: Mapping | None = None,
+    stats: WorkloadStats | None = None,
+    dims: Mapping[str, int] | None = None,
+    update_input: str | None = None,
+    backends=None,
+    strategies=(REEVAL, INCR),
+) -> MaintenancePlan:
+    """Cheapest plan for maintaining a compiled program in a session.
+
+    Sessions have no iterative-model axis, so the grid is (strategy in
+    {INCR, REEVAL}) x backend, with the execution mode chosen from the
+    expected refresh count.  ``inputs`` (initial values) supply the
+    dimension bindings and measured densities; ``stats`` supplies the
+    update rank and expected refresh count (its other fields are not
+    consulted here — densities always come from the inputs).
+    """
+    inputs = dict(inputs or {})
+    resolved_dims = dict(dims or {})
+    for name, size in infer_dims(program, inputs).items():
+        resolved_dims.setdefault(name, size)
+
+    densities = {
+        name: WorkloadStats.measure_density(inputs[name])
+        for name in program.input_names
+        if inputs.get(name) is not None
+    }
+    rank = stats.update_rank if stats is not None else 1
+    refreshes = stats.refresh_count if stats is not None else (
+        WorkloadStats(n=1).refresh_count
+    )
+
+    if backends is None:
+        backends = [b for b in ("dense", "sparse") if b in available_backends()]
+
+    candidates = []
+    for backend_name in backends:
+        try:
+            be = get_backend(backend_name)
+        except (ValueError, RuntimeError):
+            continue
+        for strategy in strategies:
+            cost = program_cost(
+                be, strategy, program, resolved_dims, densities,
+                rank=rank, update_input=update_input,
+            )
+            candidates.append(MaintenancePlan(
+                strategy, "linear", None, be.name, "interpret",
+                cost.total(refreshes) / max(refreshes, 1), cost.space,
+            ))
+    best = min(candidates, key=lambda c: (c.predicted_time, c.predicted_space,
+                                          c.backend != "dense"))
+    if best.strategy == INCR:
+        mode_stats = stats or WorkloadStats(n=1, refresh_count=refreshes)
+        best = best.with_overrides(mode=_mode_for(mode_stats))
+    return best
+
+
+def plan_ols(m: int, n: int, p: int = 1, gamma: float = 3.0) -> MaintenancePlan:
+    """Cheapest plan for streaming OLS (Section 5.1).
+
+    OLS state (``X'X``, its inverse, ``beta``) is generically dense, so
+    the decision is the Section 5.1 INCR-vs-REEVAL comparison on the
+    dense closed forms; the backend axis stays dense.
+    """
+    from ..cost import complexity as cx
+
+    incr = cx.ols_incr_time(m, n, p)
+    reeval = cx.ols_reeval_time(m, n, p, gamma)
+    if incr <= reeval:
+        return MaintenancePlan(INCR, "linear", None, "dense", "interpret",
+                               incr, float(n * n * 2 + n * p + m * (n + p)))
+    return MaintenancePlan(REEVAL, "linear", None, "dense", "interpret",
+                           reeval, float(n * n * 2 + n * p + m * (n + p)))
+
+
+__all__ = [
+    "CODEGEN_MIN_REFRESHES",
+    "plan_general",
+    "plan_ols",
+    "plan_powers",
+    "plan_program",
+]

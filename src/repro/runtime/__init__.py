@@ -1,8 +1,13 @@
 """Single-node NumPy backend: executor, views, update events, IVM sessions."""
 
-from .drift import DriftExceededError, DriftMonitor, DriftReport
+from .drift import (
+    DriftExceededError,
+    DriftMonitor,
+    DriftReport,
+    SessionDriftMonitor,
+)
 from .executor import EvaluationError, evaluate, resolve_dim
-from .session import IVMSession, ReevalSession
+from .session import IVMSession, ReevalSession, Session, open_session
 from .updates import (
     FactoredUpdate,
     batch_row_update,
@@ -20,11 +25,14 @@ __all__ = [
     "FactoredUpdate",
     "IVMSession",
     "ReevalSession",
+    "Session",
+    "SessionDriftMonitor",
     "ViewStore",
     "batch_row_update",
     "cell_update",
     "column_update",
     "evaluate",
+    "open_session",
     "resolve_dim",
     "row_update",
 ]

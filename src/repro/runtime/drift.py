@@ -124,7 +124,95 @@ class DriftMonitor:
         return sum(1 for report in self.reports if report.rebuilt)
 
     def __getattr__(self, name: str):
+        if name == "maintainer":
+            # __init__ hasn't run (copy/pickle): avoid infinite recursion.
+            raise AttributeError(name)
         return getattr(self.maintainer, name)
+
+
+class SessionDriftMonitor:
+    """Drift monitoring for sessions (the ``apply_update`` interface).
+
+    The session counterpart of :class:`DriftMonitor`: wraps any object
+    exposing ``apply_update(update)`` plus ``revalidate()`` (both
+    session strategies do) and probes every ``check_every`` updates.
+    Unlike maintainers, a session can recover *in place* — its current
+    inputs are ground truth — so the default ``"rebuild"`` action calls
+    the session's :meth:`~repro.runtime.session.Session.rebuild`, which
+    re-evaluates every view from the current inputs; a custom
+    ``rebuild`` callable overrides that.
+
+    Attribute access falls through to the wrapped session, so
+    ``monitor.output()``, ``monitor["V"]`` etc. keep working.
+    """
+
+    def __init__(
+        self,
+        session,
+        check_every: int = 100,
+        tolerance: float = 1e-6,
+        action: str = "rebuild",
+        rebuild: Callable[[], None] | None = None,
+    ):
+        if check_every < 1:
+            raise ValueError("check_every must be positive")
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        if action not in ("raise", "rebuild"):
+            raise ValueError(f"unknown action {action!r}")
+        self.session = session
+        self.check_every = check_every
+        self.tolerance = tolerance
+        self.action = action
+        self._rebuild = rebuild if rebuild is not None else session.rebuild
+        self.refreshes = 0
+        self.reports: list[DriftReport] = []
+
+    def apply_update(self, update) -> None:
+        """Apply one update through the session; probe on schedule."""
+        self.session.apply_update(update)
+        self.refreshes += 1
+        if self.refreshes % self.check_every == 0:
+            self.probe()
+
+    def apply_updates(self, updates) -> None:
+        """Apply a sequence of updates, probing on schedule."""
+        for update in updates:
+            self.apply_update(update)
+
+    def probe(self) -> DriftReport:
+        """Re-validate now, applying the policy if drift is excessive."""
+        drift = self.session.revalidate()
+        rebuilt = False
+        if drift > self.tolerance:
+            if self.action == "raise":
+                report = DriftReport(self.refreshes, drift, False)
+                self.reports.append(report)
+                raise DriftExceededError(drift, self.tolerance, self.refreshes)
+            self._rebuild()
+            rebuilt = True
+        report = DriftReport(self.refreshes, drift, rebuilt)
+        self.reports.append(report)
+        return report
+
+    @property
+    def last_drift(self) -> float | None:
+        """Drift at the most recent probe (None before the first)."""
+        return self.reports[-1].drift if self.reports else None
+
+    @property
+    def rebuild_count(self) -> int:
+        """How many times the policy rebuilt the views."""
+        return sum(1 for report in self.reports if report.rebuilt)
+
+    def __getitem__(self, name: str):
+        return self.session[name]
+
+    def __getattr__(self, name: str):
+        if name == "session":
+            # __init__ hasn't run (copy/pickle): avoid infinite recursion.
+            raise AttributeError(name)
+        return getattr(self.session, name)
 
 
 __all__ = [
@@ -132,4 +220,5 @@ __all__ = [
     "DriftMonitor",
     "DriftReport",
     "MaintainerWithDrift",
+    "SessionDriftMonitor",
 ]

@@ -1,10 +1,21 @@
 """IVM sessions: compile once, maintain forever.
 
-:class:`IVMSession` is the top of the public API.  It takes a
-:class:`~repro.compiler.program.Program` and initial input values,
-evaluates every statement to materialize the views, compiles the
-triggers (Algorithm 1), and then maintains all views under a stream of
-:class:`~repro.runtime.updates.FactoredUpdate` events.
+:class:`Session` is the shared spine — program validation, view
+storage, backend resolution, output accessors, revalidation — with two
+strategies on top:
+
+* :class:`IVMSession` — incremental maintenance (INCR): compile the
+  triggers (Algorithm 1) and repair every view per factored update;
+* :class:`ReevalSession` — the re-evaluation baseline (REEVAL): apply
+  the update, recompute every statement.
+
+Both take the same constructor surface, so experiments can swap
+strategies without touching driver code.  :func:`open_session` is the
+planner-driven entry point: ``open_session(program, inputs)`` measures
+the inputs, asks :mod:`repro.planner` for the cheapest (strategy,
+backend, mode) configuration, and returns the matching session with the
+chosen :class:`~repro.planner.plan.MaintenancePlan` attached as
+``session.plan``.
 
 Two execution modes are supported for triggers:
 
@@ -12,9 +23,6 @@ Two execution modes are supported for triggers:
   executor (FLOP-counted, the default);
 * ``mode="codegen"`` — triggers are lowered to Python/NumPy source and
   ``exec``-compiled once (the paper's generated-code path).
-
-A matching :class:`ReevalSession` provides the re-evaluation baseline
-with the same interface, so experiments can swap strategies.
 """
 
 from __future__ import annotations
@@ -36,8 +44,8 @@ from .updates import FactoredUpdate
 from .views import ViewStore
 
 
-class IVMSession:
-    """Incrementally maintained program state (the INCR strategy).
+class Session:
+    """Shared state and plumbing of every maintenance session.
 
     Parameters
     ----------
@@ -47,6 +55,101 @@ class IVMSession:
         Initial values for every declared input matrix.
     dims:
         Bindings for symbolic dimension names used in the program.
+    counter:
+        FLOP/byte counter charged with all maintenance work.
+    backend:
+        Execution backend for view state and trigger math — a name
+        (``"dense"``, ``"sparse"``), a
+        :class:`~repro.backends.base.Backend` instance, or ``None`` for
+        the dense default.  See :mod:`repro.backends`.
+    """
+
+    #: Strategy name reported by plans/monitors (set by subclasses).
+    strategy = "ABSTRACT"
+
+    def __init__(
+        self,
+        program: Program,
+        inputs: Mapping[str, np.ndarray],
+        dims: Mapping[str, int] | None = None,
+        counter: counters.Counter = counters.NULL_COUNTER,
+        backend=None,
+    ):
+        self.program = program
+        self.counter = counter
+        self.backend = get_backend(backend)
+        self.views = ViewStore(dims, backend=self.backend)
+        self.update_count = 0
+        missing = set(program.input_names) - set(inputs)
+        if missing:
+            raise ValueError(f"missing initial values for inputs: {sorted(missing)}")
+        for name in program.input_names:
+            self.views.set(name, inputs[name])
+        self._materialize_all()
+
+    # -- queries ---------------------------------------------------------
+    def __getitem__(self, name: str) -> np.ndarray:
+        """Current value of a view or input, densely (do not mutate)."""
+        return self.views.get_dense(name)
+
+    def output(self) -> np.ndarray:
+        """Current value of the program's (first) output view, densely."""
+        return self.views.get_dense(self.program.outputs[0])
+
+    # -- maintenance -----------------------------------------------------
+    def apply_update(self, update: FactoredUpdate) -> None:
+        raise NotImplementedError
+
+    def apply_updates(self, updates: Sequence[FactoredUpdate]) -> None:
+        """Maintain the views across a sequence of updates, in order."""
+        for update in updates:
+            self.apply_update(update)
+
+    # -- validation ------------------------------------------------------
+    def _materialize_all(self) -> None:
+        for stmt in self.program.statements:
+            value = evaluate(
+                stmt.expr,
+                self.views.as_env(),
+                dims=self.views.dims,
+                counter=self.counter,
+                backend=self.backend,
+            )
+            self.views.set(stmt.target.name, value)
+
+    def rebuild(self) -> None:
+        """Recompute every view from the current inputs, in place.
+
+        The drift-recovery hook: maintained values are replaced by a
+        fresh evaluation against ground truth (the current inputs), so
+        accumulated floating-point drift resets to zero.
+        """
+        self._materialize_all()
+
+    def revalidate(self) -> float:
+        """Recompute every view from the current inputs; return max drift.
+
+        Useful for monitoring numerical error accumulated over long
+        update streams.  Leaves the maintained values in place.
+        """
+        env = {name: self.views.get(name) for name in self.program.input_names}
+        worst = 0.0
+        for stmt in self.program.statements:
+            value = evaluate(stmt.expr, env, dims=self.views.dims,
+                             backend=self.backend)
+            drift = self.backend.max_abs(
+                self.backend.sub(value, self.views.get(stmt.target.name))
+            )
+            worst = max(worst, drift)
+            env[stmt.target.name] = value
+        return worst
+
+
+class IVMSession(Session):
+    """Incrementally maintained program state (the INCR strategy).
+
+    Adds to :class:`Session`:
+
     rank:
         Expected width of incoming factored updates.  Updates of any
         width are accepted in ``interpret`` mode at their true cost; in
@@ -56,12 +159,9 @@ class IVMSession:
         Run the Section 6 optimizer pipeline over each trigger.
     mode:
         ``"interpret"`` or ``"codegen"`` (see module docstring).
-    backend:
-        Execution backend for view state and trigger math — a name
-        (``"dense"``, ``"sparse"``), a
-        :class:`~repro.backends.base.Backend` instance, or ``None`` for
-        the dense default.  See :mod:`repro.backends`.
     """
+
+    strategy = "INCR"
 
     def __init__(
         self,
@@ -76,19 +176,8 @@ class IVMSession:
     ):
         if mode not in ("interpret", "codegen"):
             raise ValueError(f"unknown mode {mode!r}")
-        self.program = program
         self.mode = mode
-        self.counter = counter
-        self.backend = get_backend(backend)
-        self.views = ViewStore(dims, backend=self.backend)
-        self.update_count = 0
-
-        missing = set(program.input_names) - set(inputs)
-        if missing:
-            raise ValueError(f"missing initial values for inputs: {sorted(missing)}")
-        for name in program.input_names:
-            self.views.set(name, inputs[name])
-        self._materialize_all()
+        super().__init__(program, inputs, dims, counter, backend)
 
         self.triggers: dict[str, Trigger] = compile_program(program, rank=rank)
         if optimize:
@@ -103,15 +192,6 @@ class IVMSession:
                 for name, trigger in self.triggers.items()
             }
 
-    # -- queries ---------------------------------------------------------
-    def __getitem__(self, name: str) -> np.ndarray:
-        """Current value of a view or input, densely (do not mutate)."""
-        return self.views.get_dense(name)
-
-    def output(self) -> np.ndarray:
-        """Current value of the program's (first) output view, densely."""
-        return self.views.get_dense(self.program.outputs[0])
-
     # -- maintenance -----------------------------------------------------
     def apply_update(self, update: FactoredUpdate) -> None:
         """Maintain every view for one factored update (the INCR path)."""
@@ -125,11 +205,6 @@ class IVMSession:
         else:
             self._interpret(trigger, update)
         self.update_count += 1
-
-    def apply_updates(self, updates: Sequence[FactoredUpdate]) -> None:
-        """Maintain the views across a sequence of updates, in order."""
-        for update in updates:
-            self.apply_update(update)
 
     def _interpret(self, trigger: Trigger, update: FactoredUpdate) -> None:
         env = self.views.as_env()
@@ -179,90 +254,110 @@ class IVMSession:
             rows * cols * 8,
         )
 
-    # -- validation ------------------------------------------------------
-    def _materialize_all(self) -> None:
-        for stmt in self.program.statements:
-            value = evaluate(
-                stmt.expr,
-                self.views.as_env(),
-                dims=self.views.dims,
-                counter=self.counter,
-                backend=self.backend,
-            )
-            self.views.set(stmt.target.name, value)
 
-    def revalidate(self) -> float:
-        """Recompute every view from the current inputs; return max drift.
-
-        Useful for monitoring numerical error accumulated over long
-        update streams.  Leaves the maintained values in place.
-        """
-        env = {name: self.views.get(name) for name in self.program.input_names}
-        worst = 0.0
-        for stmt in self.program.statements:
-            value = evaluate(stmt.expr, env, dims=self.views.dims,
-                             backend=self.backend)
-            drift = self.backend.max_abs(
-                self.backend.sub(value, self.views.get(stmt.target.name))
-            )
-            worst = max(worst, drift)
-            env[stmt.target.name] = value
-        return worst
-
-
-class ReevalSession:
+class ReevalSession(Session):
     """The re-evaluation baseline (REEVAL): apply the update, recompute.
 
     Mirrors :class:`IVMSession`'s interface so experiments can swap the
     two strategies without touching driver code.
     """
 
-    def __init__(
-        self,
-        program: Program,
-        inputs: Mapping[str, np.ndarray],
-        dims: Mapping[str, int] | None = None,
-        counter: counters.Counter = counters.NULL_COUNTER,
-        backend=None,
-    ):
-        self.program = program
-        self.counter = counter
-        self.backend = get_backend(backend)
-        self.views = ViewStore(dims, backend=self.backend)
-        self.update_count = 0
-        missing = set(program.input_names) - set(inputs)
-        if missing:
-            raise ValueError(f"missing initial values for inputs: {sorted(missing)}")
-        for name in program.input_names:
-            self.views.set(name, inputs[name])
-        self._reevaluate()
-
-    def __getitem__(self, name: str) -> np.ndarray:
-        """Current value of a view or input, densely (do not mutate)."""
-        return self.views.get_dense(name)
-
-    def output(self) -> np.ndarray:
-        """Current value of the program's (first) output view, densely."""
-        return self.views.get_dense(self.program.outputs[0])
+    strategy = "REEVAL"
 
     def apply_update(self, update: FactoredUpdate) -> None:
         """Apply the update to its input and re-evaluate every statement."""
         self.views.add_outer(update.target, update.u_block, update.v_block)
-        self._reevaluate()
+        self._materialize_all()
         self.update_count += 1
 
-    def apply_updates(self, updates: Sequence[FactoredUpdate]) -> None:
-        """Apply a sequence of updates, re-evaluating after each one."""
-        for update in updates:
-            self.apply_update(update)
 
-    def _reevaluate(self) -> None:
-        for stmt in self.program.statements:
-            value = evaluate(
-                stmt.expr,
-                self.views.as_env(),
-                dims=self.views.dims,
-                counter=self.counter,
-                backend=self.backend,
-            )
-            self.views.set(stmt.target.name, value)
+def open_session(
+    program: Program,
+    inputs: Mapping[str, np.ndarray],
+    dims: Mapping[str, int] | None = None,
+    plan="auto",
+    backend=None,
+    mode: str | None = None,
+    rank: int = 1,
+    refresh_count: int | None = None,
+    optimize: bool = False,
+    counter: counters.Counter = counters.NULL_COUNTER,
+    drift=None,
+):
+    """Open a maintenance session, planning the configuration if asked.
+
+    Parameters
+    ----------
+    plan:
+        ``"auto"`` (default) asks :func:`repro.planner.plan_program`
+        for the cheapest (strategy, backend, mode) given the inputs'
+        measured shapes and densities; ``"incr"`` / ``"reeval"`` force
+        the strategy but still plan the other axes; a
+        :class:`~repro.planner.plan.MaintenancePlan` is used verbatim.
+    backend, mode:
+        Explicit overrides that win over whatever the planner chose
+        (``None`` defers to the plan).
+    rank:
+        Expected width of incoming factored updates (planning statistic
+        and trigger compilation width).
+    refresh_count:
+        Expected number of updates this session will absorb; amortizes
+        setup cost in planning and gates codegen.  ``None`` uses the
+        planner default.
+    drift:
+        ``None`` (no monitoring), ``True`` (defaults), or a dict of
+        :class:`~repro.runtime.drift.SessionDriftMonitor` options
+        (``check_every``, ``tolerance``, ``action``).  With monitoring
+        the return value is the monitor wrapping the session; the
+        ``rebuild`` action recomputes all views from current inputs.
+
+    Returns the session (or its drift monitor), with the resolved
+    :class:`~repro.planner.plan.MaintenancePlan` attached as ``.plan``.
+    """
+    from ..planner import MaintenancePlan, WorkloadStats, plan_program
+    from .drift import SessionDriftMonitor
+
+    stats_kwargs = {"update_rank": rank}
+    if refresh_count is not None:
+        stats_kwargs["refresh_count"] = refresh_count
+    stats = WorkloadStats(n=1, **stats_kwargs)
+
+    if isinstance(plan, MaintenancePlan):
+        resolved = plan
+    elif plan in ("auto", None):
+        resolved = plan_program(program, inputs, stats=stats, dims=dims)
+    elif isinstance(plan, str) and plan.upper() in ("INCR", "REEVAL"):
+        resolved = plan_program(program, inputs, stats=stats, dims=dims,
+                                strategies=(plan.upper(),))
+    else:
+        raise ValueError(
+            f"plan must be 'auto', 'incr', 'reeval' or a MaintenancePlan, "
+            f"got {plan!r}"
+        )
+    resolved = resolved.with_overrides(backend=backend and get_backend(backend).name,
+                                       mode=mode)
+    if resolved.strategy not in ("INCR", "REEVAL"):
+        raise ValueError(
+            f"sessions support INCR or REEVAL, not {resolved.strategy!r} "
+            "(HYBRID exists only for the iterative maintainers)"
+        )
+
+    if resolved.strategy == "REEVAL":
+        # Re-evaluation has no trigger code, so no execution mode.
+        resolved = resolved.with_overrides(mode="interpret")
+        session: Session = ReevalSession(
+            program, inputs, dims, counter=counter, backend=resolved.backend,
+        )
+    else:
+        session = IVMSession(
+            program, inputs, dims, rank=rank, optimize=optimize,
+            mode=resolved.mode, counter=counter, backend=resolved.backend,
+        )
+    session.plan = resolved
+
+    if drift:
+        options = {} if drift is True else dict(drift)
+        monitor = SessionDriftMonitor(session, **options)
+        monitor.plan = resolved
+        return monitor
+    return session

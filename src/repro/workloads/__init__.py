@@ -5,6 +5,7 @@ from .generators import (
     random_adjacency,
     regression_data,
     spectral_normalized,
+    spectral_scale,
     well_conditioned_design,
 )
 from .streams import row_update_factors, update_stream, zipf_batch_update
@@ -17,6 +18,7 @@ __all__ = [
     "row_update_factors",
     "sample_rows",
     "spectral_normalized",
+    "spectral_scale",
     "update_stream",
     "well_conditioned_design",
     "zipf_batch",

@@ -20,21 +20,37 @@ def dense_matrix(
     return scale * rng.standard_normal((rows, cols))
 
 
+def spectral_scale(
+    rng: np.random.Generator,
+    a: np.ndarray,
+    radius: float = 0.9,
+    iterations: int = 20,
+) -> np.ndarray:
+    """Scale an existing square matrix toward spectral radius ``radius``.
+
+    The spectral norm is estimated with a short power iteration on
+    ``A'A`` (exact norms are ``O(n^3)`` and unnecessary here).  An
+    all-zero matrix is returned unchanged.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    x = rng.standard_normal((a.shape[0], 1))
+    for _ in range(iterations):
+        x = a.T @ (a @ x)
+        norm = float(np.linalg.norm(x))
+        if norm == 0.0:
+            return a
+        x /= norm
+    sigma = float(np.linalg.norm(a @ x))
+    if sigma == 0.0:
+        return a
+    return (radius / sigma) * a
+
+
 def spectral_normalized(
     rng: np.random.Generator, n: int, radius: float = 0.9
 ) -> np.ndarray:
-    """Random square matrix scaled to spectral radius ``radius``.
-
-    The spectral norm is estimated with a short power iteration on
-    ``A'A`` (exact norms are ``O(n^3)`` and unnecessary here).
-    """
-    a = rng.standard_normal((n, n))
-    x = rng.standard_normal((n, 1))
-    for _ in range(20):
-        x = a.T @ (a @ x)
-        x /= np.linalg.norm(x)
-    sigma = float(np.linalg.norm(a @ x))
-    return (radius / sigma) * a
+    """Random square matrix scaled to spectral radius ``radius``."""
+    return spectral_scale(rng, rng.standard_normal((n, n)), radius)
 
 
 def well_conditioned_design(

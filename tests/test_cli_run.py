@@ -1,0 +1,99 @@
+"""The ``repro run`` subcommand and the density-aware advise options."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+A4_SOURCE = """
+input A(n, n);
+B := A * A;
+C := B * B;
+output C;
+"""
+
+
+@pytest.fixture
+def a4_file(tmp_path):
+    path = tmp_path / "a4.lvw"
+    path.write_text(A4_SOURCE)
+    return str(path)
+
+
+class TestRun:
+    def test_dense_small_selects_dense_backend(self, a4_file, capsys):
+        assert main(["run", a4_file, "--dims", "n=48", "--updates", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "backend  : dense" in out
+        assert "strategy : INCR" in out
+        assert "FLOPs" in out
+
+    def test_sparse_graph_selects_sparse_backend(self, a4_file, capsys):
+        assert main(["run", a4_file, "--dims", "n=256", "--density", "0.01",
+                     "--updates", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "backend  : sparse" in out
+
+    def test_forced_plan_and_backend(self, a4_file, capsys):
+        assert main(["run", a4_file, "--dims", "n=24", "--updates", "4",
+                     "--plan", "reeval", "--backend", "sparse"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy : REEVAL" in out
+        assert "backend  : sparse" in out
+
+    def test_codegen_mode_and_rank(self, a4_file, capsys):
+        assert main(["run", a4_file, "--dims", "n=24", "--updates", "6",
+                     "--rank", "2", "--mode", "codegen", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["plan"]["mode"] == "codegen"
+        # --updates counts update events regardless of their rank.
+        assert data["updates"] == 6
+
+    def test_json_output(self, a4_file, capsys):
+        assert main(["run", a4_file, "--dims", "n=24", "--updates", "4",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["plan"]["strategy"] in ("INCR", "REEVAL")
+        assert data["updates"] == 4
+        assert data["total_flops"] > 0
+        assert "matmul" in data["flops_by_op"]
+
+    def test_unbound_dimension_reported(self, a4_file, capsys):
+        assert main(["run", a4_file]) == 2
+        assert "--dims" in capsys.readouterr().err
+
+    def test_unknown_input_reported(self, a4_file, capsys):
+        assert main(["run", a4_file, "--dims", "n=16", "--input", "Z"]) == 2
+        assert "Z" in capsys.readouterr().err
+
+    def test_zero_updates_rejected(self, a4_file, capsys):
+        assert main(["run", a4_file, "--dims", "n=16", "--updates", "0"]) == 2
+        assert "--updates" in capsys.readouterr().err
+
+    def test_oversized_rank_rejected(self, a4_file, capsys):
+        assert main(["run", a4_file, "--dims", "n=4", "--rank", "8"]) == 2
+        assert "--rank" in capsys.readouterr().err
+
+
+class TestAdviseDensity:
+    def test_density_adds_backend_axis(self, capsys):
+        assert main(["advise", "powers", "--n", "2000", "--k", "16",
+                     "--density", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "@sparse" in out
+        assert "nnz-aware grid" in out
+
+    def test_json_ranking(self, capsys):
+        assert main(["advise", "general", "--n", "500", "--p", "1",
+                     "--k", "8", "--density", "0.05", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["computation"] == "general"
+        assert data["ranking"]
+        assert {"label", "backend", "time"} <= set(data["ranking"][0])
+
+    def test_classic_table2_output_unchanged(self, capsys):
+        assert main(["advise", "powers", "--n", "1000", "--k", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "@sparse" not in out

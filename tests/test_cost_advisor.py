@@ -142,3 +142,58 @@ class TestRecommendationDataclass:
         rec = Recommendation("INCR", "exponential", None, 1.0, 2.0)
         with pytest.raises(AttributeError):
             rec.time = 5.0
+
+
+class TestDensityAwareAdvice:
+    """The nnz-aware grid: backend recommendations follow density."""
+
+    def test_rankings_flip_dense_to_sparse_as_density_drops(self):
+        assert best_general(2000, 1, 16, density=1.0).backend == "dense"
+        assert best_general(2000, 1, 16, density=0.01).backend == "sparse"
+        assert best_powers(2000, 16, density=1.0).backend == "dense"
+        assert best_powers(2000, 16, density=0.01).backend == "sparse"
+
+    def test_flip_is_monotone_in_density(self):
+        backends = [best_powers(2000, 16, density=d).backend
+                    for d in (1.0, 0.5, 0.2, 0.05, 0.01, 0.001)]
+        # Once sparse wins at some density it keeps winning below it.
+        assert backends == sorted(backends)  # "dense" < "sparse"
+
+    def test_sparse_labels_are_suffixed(self):
+        ranked = recommend_powers(2000, 8, density=0.01)
+        sparse = [r for r in ranked if r.backend == "sparse"]
+        assert sparse and all(r.label.endswith("@sparse") for r in sparse)
+        dense = [r for r in ranked if r.backend == "dense"]
+        assert dense and all("@" not in r.label for r in dense)
+
+    def test_grid_covers_both_backends(self):
+        ranked = recommend_general(500, 4, 8, density=0.05)
+        assert {r.backend for r in ranked} == {"dense", "sparse"}
+
+    def test_dense_default_unchanged_without_density(self):
+        ranked = recommend_powers(100, 8)
+        assert all(r.backend == "dense" for r in ranked)
+
+    def test_refreshes_amortize_setup(self):
+        # One-shot: plain re-evaluation family competitive; long stream:
+        # maintained-view configurations must win (Fig. 3h regime).
+        long_run = best_general(1000, 16, 16, density=1.0, refreshes=500)
+        assert long_run.strategy in ("INCR", "HYBRID")
+
+    def test_as_dict(self):
+        rec = recommend_general(100, 1, 8, density=0.5)[0]
+        data = rec.as_dict()
+        assert set(data) == {"label", "strategy", "model", "s", "backend",
+                             "time", "space"}
+
+    def test_memory_budget_applies_to_grid(self):
+        n = 2000
+        ranked = recommend_powers(n, 16, density=0.01,
+                                  memory_budget=3.0 * n * n)
+        assert all(r.space <= 3.0 * n * n for r in ranked)
+
+    def test_huge_dense_operator_does_not_overflow(self):
+        # c = density*n is large; power densities must saturate to 1.0
+        # in log space instead of overflowing (c**i for deep schedules).
+        ranked = recommend_powers(200_000, 64, density=0.5)
+        assert ranked and all(r.time > 0 for r in ranked)

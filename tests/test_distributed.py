@@ -233,3 +233,43 @@ class TestDistributedPowers:
         reeval_spread = reeval_times[0] / reeval_times[-1]
         assert incr_spread < reeval_spread  # INCR far less node-sensitive
         assert all(i < r for i, r in zip(incr_times, reeval_times))
+
+
+class TestSparseConstruction:
+    """BlockMatrix.from_sparse: graph inputs never materialize densely."""
+
+    def test_from_sparse_round_trips(self, rng):
+        sparse = pytest.importorskip("scipy.sparse")
+        n = 120
+        dense = (rng.random((n, n)) < 0.03) * rng.normal(size=(n, n))
+        bm = BlockMatrix.from_sparse(sparse.csr_array(dense), grid=3)
+        assert bm.shape == (n, n)
+        np.testing.assert_array_equal(bm.to_dense(), dense)
+
+    def test_from_sparse_keeps_tiles_compressed(self, rng):
+        sparse = pytest.importorskip("scipy.sparse")
+        n = 256
+        dense = (rng.random((n, n)) < 0.01) * rng.normal(size=(n, n))
+        bm = BlockMatrix.from_sparse(sparse.csr_array(dense), grid=2)
+        assert bm.nbytes() < dense.nbytes / 4
+
+    def test_from_dense_accepts_sparse_source(self, rng):
+        sparse = pytest.importorskip("scipy.sparse")
+        n = 90
+        dense = (rng.random((n, n)) < 0.05) * rng.normal(size=(n, n))
+        bm = BlockMatrix.from_dense(sparse.csr_array(dense), grid=3)
+        np.testing.assert_array_equal(bm.to_dense(), dense)
+
+    def test_from_sparse_rejects_dense_input(self, rng):
+        pytest.importorskip("scipy.sparse")
+        with pytest.raises(TypeError, match="scipy.sparse"):
+            BlockMatrix.from_sparse(rng.normal(size=(8, 8)), grid=2)
+
+    def test_from_sparse_with_dense_backend_materializes_tiles(self, rng):
+        sparse = pytest.importorskip("scipy.sparse")
+        n = 64
+        dense = (rng.random((n, n)) < 0.1) * rng.normal(size=(n, n))
+        bm = BlockMatrix.from_sparse(sparse.csr_array(dense), grid=2,
+                                     backend="dense")
+        assert all(isinstance(t, np.ndarray) for t in bm.tiles.values())
+        np.testing.assert_array_equal(bm.to_dense(), dense)

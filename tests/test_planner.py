@@ -1,0 +1,384 @@
+"""Cost-driven maintenance planner: plans, stats, factories, sessions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics import IncrementalOLS, make_ols
+from repro.frontend import parse_program
+from repro.iterative import make_general, make_powers
+from repro.planner import (
+    MaintenancePlan,
+    WorkloadStats,
+    plan_general,
+    plan_powers,
+    plan_program,
+)
+from repro.runtime import (
+    FactoredUpdate,
+    IVMSession,
+    ReevalSession,
+    SessionDriftMonitor,
+    open_session,
+)
+
+A4_SOURCE = "input A(n, n); B := A * A; C := B * B; output C;"
+
+
+def sparse_matrix(rng, n, density):
+    return (rng.random((n, n)) < density) * rng.standard_normal((n, n)) / n
+
+
+class TestMaintenancePlan:
+    def test_label(self):
+        plan = MaintenancePlan("HYBRID", "skip", 4, "sparse", "interpret")
+        assert plan.label == "HYBRID-SKIP-4@sparse/interpret"
+        plan = MaintenancePlan("INCR", "linear", None, "dense", "codegen")
+        assert plan.label == "INCR-LIN@dense/codegen"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            MaintenancePlan("EAGER")
+        with pytest.raises(ValueError, match="unknown mode"):
+            MaintenancePlan("INCR", mode="jit")
+
+    def test_iterative_model(self):
+        assert MaintenancePlan("INCR", "exponential").iterative_model().name == "EXP"
+        assert MaintenancePlan("INCR", "skip", 8).iterative_model().name == "SKIP-8"
+
+    def test_with_overrides(self):
+        plan = MaintenancePlan("INCR", backend="sparse", mode="codegen")
+        forced = plan.with_overrides(backend="dense")
+        assert (forced.backend, forced.mode) == ("dense", "codegen")
+        assert plan.with_overrides() is plan
+
+    def test_as_dict_round_trips_json(self):
+        import json
+
+        plan = MaintenancePlan("REEVAL", predicted_time=1.0, predicted_space=2.0)
+        assert json.loads(json.dumps(plan.as_dict()))["strategy"] == "REEVAL"
+
+
+class TestWorkloadStats:
+    def test_measure_density(self, rng):
+        a = np.zeros((20, 20))
+        a[:10, :10] = 1.0
+        assert WorkloadStats.measure_density(a) == pytest.approx(0.25)
+
+    def test_measure_density_scipy(self):
+        sparse = pytest.importorskip("scipy.sparse")
+        m = sparse.eye_array(100, format="csr")
+        assert WorkloadStats.measure_density(m) == pytest.approx(0.01)
+
+    def test_from_matrix(self, rng):
+        stats = WorkloadStats.from_matrix(np.eye(50), k=8)
+        assert stats.n == 50
+        assert stats.density == pytest.approx(0.02)
+        assert stats.k == 8
+
+
+class TestIterativePlanning:
+    def test_density_flips_backend(self):
+        dense = plan_general(WorkloadStats(n=2000, p=1, k=16, density=1.0))
+        sparse = plan_general(WorkloadStats(n=2000, p=1, k=16, density=0.01))
+        assert dense.backend == "dense"
+        assert sparse.backend == "sparse"
+
+    def test_powers_density_flips_backend(self):
+        assert plan_powers(WorkloadStats(n=2000, k=16, density=1.0)).backend == "dense"
+        assert plan_powers(WorkloadStats(n=2000, k=16, density=0.01)).backend == "sparse"
+
+    def test_long_streams_amortize_view_building(self):
+        # A long dense p=16 stream should leave plain re-evaluation for
+        # a maintained-view configuration (the Fig. 3h regime).
+        plan = plan_general(
+            WorkloadStats(n=1000, p=16, k=16, density=1.0, refresh_count=500)
+        )
+        assert plan.strategy in ("INCR", "HYBRID")
+        assert plan.model in ("exponential", "skip")
+
+    def test_plans_drive_factories(self, rng):
+        n, k = 24, 4
+        a = rng.normal(size=(n, n)) / n
+        plan = plan_powers(WorkloadStats.from_matrix(a, k=k))
+        maintainer = make_powers(plan, a, k)
+        u = np.zeros((n, 1))
+        u[1, 0] = 1.0
+        maintainer.refresh(u, 0.01 * rng.normal(size=(n, 1)))
+        exact = np.linalg.matrix_power(maintainer.ops.backend.materialize(
+            maintainer.powers[1] if hasattr(maintainer, "powers") else maintainer.a
+        ), k)
+        np.testing.assert_allclose(
+            maintainer.ops.backend.materialize(maintainer.result()), exact,
+            rtol=1e-8, atol=1e-10,
+        )
+
+    def test_factory_rejects_bare_name_without_model(self, rng):
+        with pytest.raises(TypeError, match="model is required"):
+            make_powers("INCR", rng.normal(size=(4, 4)), 2)
+
+
+class TestProgramPlanning:
+    def test_sparse_graph_program_plans_sparse(self, rng):
+        program = parse_program(A4_SOURCE)
+        a = sparse_matrix(rng, 600, 0.01)
+        plan = plan_program(program, {"A": a})
+        assert plan.backend == "sparse"
+        assert plan.strategy == "INCR"
+
+    def test_small_dense_program_plans_dense(self, rng):
+        program = parse_program(A4_SOURCE)
+        plan = plan_program(program, {"A": rng.normal(size=(48, 48))})
+        assert plan.backend == "dense"
+        assert plan.strategy == "INCR"
+
+    def test_forced_strategy_grid(self, rng):
+        program = parse_program(A4_SOURCE)
+        plan = plan_program(program, {"A": rng.normal(size=(16, 16))},
+                            strategies=("REEVAL",))
+        assert plan.strategy == "REEVAL"
+
+
+class TestOpenSession:
+    def make_inputs(self, rng, n=16):
+        return {"A": rng.normal(size=(n, n)) / n}
+
+    def test_auto_attaches_plan(self, rng):
+        session = open_session(parse_program(A4_SOURCE), self.make_inputs(rng))
+        assert isinstance(session, IVMSession)
+        assert session.plan.strategy == "INCR"
+
+    def test_forced_strategies(self, rng):
+        program = parse_program(A4_SOURCE)
+        inputs = self.make_inputs(rng)
+        assert isinstance(open_session(program, inputs, plan="reeval"),
+                          ReevalSession)
+        assert isinstance(open_session(program, inputs, plan="incr"),
+                          IVMSession)
+
+    def test_explicit_plan_and_overrides(self, rng):
+        program = parse_program(A4_SOURCE)
+        inputs = self.make_inputs(rng)
+        plan = MaintenancePlan("INCR", backend="dense", mode="interpret")
+        session = open_session(program, inputs, plan=plan)
+        assert session.plan is plan
+        forced = open_session(program, inputs, mode="codegen",
+                              backend="sparse")
+        assert forced.plan.mode == "codegen"
+        assert forced.plan.backend == "sparse"
+
+    def test_bad_plan_rejected(self, rng):
+        with pytest.raises(ValueError, match="plan must be"):
+            open_session(parse_program(A4_SOURCE), self.make_inputs(rng),
+                         plan="lazy")
+
+    def test_hybrid_plan_rejected(self, rng):
+        # Sessions have no HYBRID execution path; running it as INCR
+        # while reporting HYBRID would misattribute results.
+        with pytest.raises(ValueError, match="HYBRID"):
+            open_session(parse_program(A4_SOURCE), self.make_inputs(rng),
+                         plan=MaintenancePlan("HYBRID"))
+
+    def test_reeval_plan_normalizes_mode(self, rng):
+        # REEVAL has no trigger code, so a codegen override must not be
+        # reported as if it executed.
+        session = open_session(parse_program(A4_SOURCE),
+                               self.make_inputs(rng),
+                               plan="reeval", mode="codegen")
+        assert session.plan.mode == "interpret"
+
+    def test_dims_inferred_from_inputs(self, rng):
+        session = open_session(parse_program(A4_SOURCE),
+                               self.make_inputs(rng, n=10))
+        assert session.output().shape == (10, 10)
+
+    def test_auto_matches_reeval_reference(self, rng):
+        program = parse_program(A4_SOURCE)
+        n = 12
+        inputs = self.make_inputs(rng, n)
+        auto = open_session(program, inputs, refresh_count=100)
+        reference = ReevalSession(program, inputs, dims={"n": n})
+        for _ in range(6):
+            update = FactoredUpdate("A", rng.normal(size=(n, 1)),
+                                    0.05 * rng.normal(size=(n, 1)))
+            auto.apply_update(update)
+            reference.apply_update(update)
+        np.testing.assert_allclose(auto["C"], reference["C"],
+                                   rtol=1e-7, atol=1e-9)
+
+
+class TestSessionDrift:
+    def test_factory_drift_kwarg_rebuilds(self, rng):
+        program = parse_program(A4_SOURCE)
+        n = 10
+        inputs = {"A": rng.normal(size=(n, n)) / n}
+        monitor = open_session(
+            program, inputs,
+            drift={"check_every": 1, "tolerance": 1e-30, "action": "rebuild"},
+        )
+        assert isinstance(monitor, SessionDriftMonitor)
+        monitor.apply_update(FactoredUpdate("A", rng.normal(size=(n, 1)),
+                                            rng.normal(size=(n, 1))))
+        # Any nonzero drift beats 1e-30, so the policy must have rebuilt
+        # and the views must now match recomputation exactly.
+        assert monitor.rebuild_count >= 1
+        assert monitor.revalidate() == 0.0
+
+    def test_raise_action(self, rng):
+        from repro.runtime import DriftExceededError
+
+        program = parse_program(A4_SOURCE)
+        n = 10
+        monitor = open_session(
+            program, {"A": rng.normal(size=(n, n)) / n},
+            drift={"check_every": 1, "tolerance": 1e-30, "action": "raise"},
+        )
+        with pytest.raises(DriftExceededError):
+            monitor.apply_update(FactoredUpdate("A", rng.normal(size=(n, 1)),
+                                                rng.normal(size=(n, 1))))
+
+    def test_drift_true_uses_defaults(self, rng):
+        program = parse_program(A4_SOURCE)
+        monitor = open_session(program, {"A": rng.normal(size=(8, 8)) / 8},
+                               drift=True)
+        assert monitor.check_every == 100
+        assert monitor.plan.strategy == "INCR"
+
+    def test_monitor_validates_options(self, rng):
+        program = parse_program(A4_SOURCE)
+        inputs = {"A": rng.normal(size=(8, 8))}
+        with pytest.raises(ValueError, match="check_every"):
+            open_session(program, inputs, drift={"check_every": 0})
+
+    def test_monitor_survives_copy(self, rng):
+        import copy
+
+        program = parse_program(A4_SOURCE)
+        monitor = open_session(program, {"A": rng.normal(size=(6, 6))},
+                               drift=True)
+        clone = copy.copy(monitor)  # must not hit __getattr__ recursion
+        assert clone.check_every == monitor.check_every
+
+
+class TestDriverRouting:
+    def test_make_ols_auto_routes_incremental(self, rng):
+        x = rng.normal(size=(60, 20))
+        x[:20] += 0.5 * np.eye(20)
+        y = rng.normal(size=(60, 1))
+        model = make_ols(x, y)
+        assert isinstance(model, IncrementalOLS)
+        assert model.plan is not None and model.plan.strategy == "INCR"
+        model.refresh(rng.normal(size=(60, 1)), 0.01 * rng.normal(size=(20, 1)))
+        assert model.revalidate() < 1e-6
+
+    def test_pagerank_auto(self, rng):
+        from repro.analytics import IncrementalPageRank
+        from repro.workloads import random_adjacency
+
+        adjacency = random_adjacency(rng, 40, avg_out_degree=4)
+        index = IncrementalPageRank(adjacency, k=8, strategy="auto")
+        assert index.plan is not None
+        index.add_edge(1, 2)
+        assert index.revalidate() < 1e-8
+
+    def test_power_iteration_auto(self, rng):
+        from repro.analytics import IncrementalPowerIteration
+
+        a = rng.normal(size=(24, 24)) / 24 + np.eye(24)
+        power = IncrementalPowerIteration(a, k=8, strategy="auto")
+        assert power.plan is not None
+        power.refresh(0.01 * rng.normal(size=(24, 1)),
+                      rng.normal(size=(24, 1)))
+        assert power.residual() < 1.0
+
+    def test_markov_auto_and_backend(self, rng):
+        from repro.analytics import KStepTransitionMatrix, reference_k_step
+        from repro.analytics.markov import random_walk_matrix
+
+        adjacency = (rng.random((30, 30)) < 0.2).astype(float)
+        np.fill_diagonal(adjacency, 0.0)
+        p = random_walk_matrix(adjacency)
+        chain = KStepTransitionMatrix(p, k=4, strategy="auto")
+        assert chain.plan is not None
+        new_col = np.full(30, 1.0 / 30)
+        chain.perturb_column(3, new_col)
+        drift = np.abs(chain.result() - reference_k_step(chain.p, 4)).max()
+        assert drift < 1e-8
+
+    def test_expm_backend_param(self, rng):
+        pytest.importorskip("scipy")
+        from repro.analytics import WeightedPowerSum
+
+        a = sparse_matrix(rng, 80, 0.05) * 20
+        dense_view = WeightedPowerSum(a, [1.0, 1.0, 0.5], backend="dense")
+        sparse_view = WeightedPowerSum(a, [1.0, 1.0, 0.5], backend="sparse")
+        u = np.zeros((80, 1))
+        u[3, 0] = 1.0
+        v = 0.01 * rng.normal(size=(80, 1))
+        dense_view.refresh(u, v)
+        sparse_view.refresh(u, v)
+        np.testing.assert_allclose(sparse_view.result(), dense_view.result(),
+                                   rtol=1e-8, atol=1e-10)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=6, max_value=24),
+    log_k=st.integers(min_value=1, max_value=3),
+    density=st.sampled_from([0.05, 0.3, 1.0]),
+    p=st.integers(min_value=1, max_value=3),
+    updates=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_planned_general_matches_dense_reeval(
+    n, log_k, density, p, updates, seed
+):
+    """Whatever the planner picks must compute the same view states as
+    the dense REEVAL reference over random factored-update streams."""
+    from repro.iterative import parse_model
+
+    k = 2 ** log_k
+    rng = np.random.default_rng(seed)
+    a = (rng.random((n, n)) < density) * rng.normal(size=(n, n)) / n
+    b = rng.normal(size=(n, p))
+    t0 = rng.normal(size=(n, p))
+    plan = plan_general(WorkloadStats.from_matrix(a, p=p, k=k))
+    planned = make_general(plan, a, b, t0, k)
+    reference = make_general("REEVAL", a, b, t0, k, parse_model("LIN"),
+                             backend="dense")
+    for _ in range(updates):
+        u = rng.normal(size=(n, 1))
+        v = 0.05 * rng.normal(size=(n, 1))
+        planned.refresh(u, v)
+        reference.refresh(u, v)
+    planned_result = planned.ops.backend.materialize(planned.result())
+    np.testing.assert_allclose(planned_result, reference.result(),
+                               rtol=1e-6, atol=1e-8)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=6, max_value=20),
+    density=st.sampled_from([0.1, 1.0]),
+    updates=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_planned_session_matches_dense_reeval(
+    n, density, updates, seed
+):
+    """Auto-planned sessions agree with the dense REEVAL session."""
+    program = parse_program(A4_SOURCE)
+    rng = np.random.default_rng(seed)
+    a = (rng.random((n, n)) < density) * rng.normal(size=(n, n)) / n
+    planned = open_session(program, {"A": a})
+    reference = ReevalSession(program, {"A": a}, dims={"n": n},
+                              backend="dense")
+    for _ in range(updates):
+        update = FactoredUpdate("A", rng.normal(size=(n, 1)),
+                                0.05 * rng.normal(size=(n, 1)))
+        planned.apply_update(update)
+        reference.apply_update(update)
+    for name in ("A", "B", "C"):
+        np.testing.assert_allclose(planned[name], reference[name],
+                                   rtol=1e-6, atol=1e-8)
