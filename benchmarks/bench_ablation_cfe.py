@@ -85,7 +85,7 @@ def test_cfe_refresh(benchmark, arm):
     benchmark.pedantic(call, rounds=3, iterations=1, warmup_rounds=1)
 
 
-def test_report_ablation_cfe(benchmark, capsys):
+def test_report_ablation_cfe(benchmark, capsys, bench_record):
     # Widths match Section 4.3: CFE doubles per level, no-CFE triples —
     # and both arms equal dense reference values.
     a = make_matrix(64)
@@ -116,6 +116,8 @@ def test_report_ablation_cfe(benchmark, capsys):
         for arm, seconds in times.items():
             print(f"  {arm:<7}: {seconds * 1e3:8.2f} ms/refresh")
         print(f"  CFE speedup: {times['NO-CFE'] / times['CFE']:.1f}x")
+    bench_record({"seconds": times,
+                  "speedup": times["NO-CFE"] / times["CFE"]})
 
     # Widths 81 vs 16 at the last level: the no-CFE arm must be
     # substantially slower.

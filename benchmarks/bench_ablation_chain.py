@@ -44,7 +44,7 @@ def test_chain_order_evaluation(benchmark, arm):
                        warmup_rounds=1)
 
 
-def test_report_ablation_chain(benchmark, capsys):
+def test_report_ablation_chain(benchmark, capsys, bench_record):
     import time
 
     # Both associations agree numerically.
@@ -82,6 +82,8 @@ def test_report_ablation_chain(benchmark, capsys):
               f"({opt_flops:,} flops)")
         print(f"  predicted flop ratio: {naive_flops / opt_flops:.0f}x, "
               f"measured time ratio: {naive_t / opt_t:.0f}x")
+    bench_record({"naive_seconds": naive_t, "optimized_seconds": opt_t,
+                  "naive_flops": naive_flops, "optimized_flops": opt_flops})
 
     # Predicted: 2n^3 + 2n^2 vs 4n^2 -> ratio ~ n/2.
     assert opt_flops * 10 < naive_flops

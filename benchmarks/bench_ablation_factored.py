@@ -73,7 +73,7 @@ def test_delta_representation_refresh(benchmark, arm):
                        warmup_rounds=1)
 
 
-def test_report_ablation_factored(benchmark, capsys):
+def test_report_ablation_factored(benchmark, capsys, bench_record):
     # The ablation arm is *correct*, just slow — same maintained values.
     factored = _maintainer("FACTORED")
     dense = _maintainer("DENSE-INCR")
@@ -95,6 +95,7 @@ def test_report_ablation_factored(benchmark, capsys):
               f"{times['DENSE-INCR'] / times['FACTORED']:.1f}x")
         print(f"  factored speedup vs reeval:     "
               f"{times['REEVAL'] / times['FACTORED']:.1f}x")
+    bench_record({"seconds": times})
 
     # The paper's claim (Example 4.4): dense incremental propagation is
     # no better than re-evaluation, while factored propagation is far

@@ -71,7 +71,7 @@ def test_partitioning_refresh(benchmark):
     benchmark.pedantic(call, rounds=3, iterations=1, warmup_rounds=1)
 
 
-def test_report_ablation_partition(benchmark, capsys):
+def test_report_ablation_partition(benchmark, capsys, bench_record):
     assert hybrid_extra_bytes(N, N) == N * N * 8
 
     cluster = _refresh_ledger()
@@ -93,6 +93,11 @@ def test_report_ablation_partition(benchmark, capsys):
               f"{row_only:,} (row-only), {row_only / hybrid_bytes:.2f}x")
         print(f"  memory cost of hybrid: {extra_mem:,} bytes "
               f"(one extra replica of A) per view")
+    bench_record({"hybrid_bytes": hybrid_bytes, "row_only_bytes": row_only,
+                  "hybrid_gather_bytes": hybrid_gather,
+                  "row_only_gather_bytes": row_only_gather,
+                  "hybrid_extra_memory_bytes": extra_mem},
+                 n=N, grid=GRID)
 
     # The Section 6 trade: the column-orientation traffic shrinks by
     # exactly the worker count (thin gather vs all-reduce of full

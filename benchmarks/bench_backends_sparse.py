@@ -25,6 +25,7 @@ import time
 
 import numpy as np
 
+from conftest import add_json_flag, write_bench_json
 from repro.analytics.pagerank import IncrementalPageRank
 from repro.analytics.reachability import ReachabilityIndex
 
@@ -129,26 +130,36 @@ def main(argv=None) -> int:
                         help="edge events per benchmark (default 20)")
     parser.add_argument("--smoke", action="store_true",
                         help="small fast run for CI harness-rot checks")
+    add_json_flag(parser)
     args = parser.parse_args(argv)
     n, updates = (600, 8) if args.smoke else (args.n, args.updates)
     print(f"backend comparison at n={n}, density~{DENSITY:.0%}, "
           f"{updates} edge events\n")
-    pr = report(f"pagerank (HYBRID, k=16, n={n})", bench_pagerank(n, updates))
+    pagerank = bench_pagerank(n, updates)
+    pr = report(f"pagerank (HYBRID, k=16, n={n})", pagerank)
     print()
-    report(f"reachability (INCR, k=8, n={n})", bench_reachability(n, updates))
+    reach = bench_reachability(n, updates)
+    report(f"reachability (INCR, k=8, n={n})", reach)
+    if args.json:
+        write_bench_json(args.json, "backends_sparse",
+                         {"pagerank": pagerank, "reachability": reach},
+                         n=n, updates=updates, density=DENSITY,
+                         smoke=args.smoke)
     if pr <= 1.0:
         print("\nWARNING: sparse backend did not beat dense on pagerank")
         return 1
     return 0
 
 
-def test_report_backend_speedup():
+def test_report_backend_speedup(bench_record):
     """Reduced-size figure run: sparse must beat dense on pagerank."""
     results = bench_pagerank(n=1200, updates=10)
     speedup = report("pagerank (HYBRID, k=16, n=1200)", results)
-    assert speedup > 1.5, f"sparse backend too slow: {speedup:.2f}x"
     reach = bench_reachability(n=400, updates=6)
     report("reachability (INCR, k=8, n=400)", reach)
+    bench_record({"pagerank": results, "reachability": reach},
+                 pagerank_speedup=speedup)
+    assert speedup > 1.5, f"sparse backend too slow: {speedup:.2f}x"
 
 
 if __name__ == "__main__":

@@ -29,7 +29,7 @@ def test_powers_refresh(benchmark, strategy, model_label):
                        warmup_rounds=1)
 
 
-def test_report_fig3a(benchmark, capsys):
+def test_report_fig3a(benchmark, capsys, bench_record):
     """Print the Fig. 3a series and check the paper's shape."""
     speedups = {}
     incr_times = {}
@@ -54,6 +54,8 @@ def test_report_fig3a(benchmark, capsys):
         for label in MODELS:
             print(f"{label:>8} {incr_times[label] * 1e3:>10.2f}ms "
                   f"{speedups[label]:>8.1f}x {PAPER_SPEEDUPS[label]:>10.1f}x")
+    bench_record({"speedups": speedups, "incr_seconds": incr_times},
+                 n=N, k=K, paper=PAPER_SPEEDUPS)
 
     # Shape assertions: INCR wins everywhere; LIN is the costliest
     # incremental model and EXP clearly beats SKIP-2 (Table 2 orders

@@ -26,7 +26,7 @@ def test_powers_scale_n(benchmark, strategy, n):
                        warmup_rounds=1)
 
 
-def test_report_fig3b(benchmark, capsys):
+def test_report_fig3b(benchmark, capsys, bench_record):
     speedups = {}
     for n in SIZES:
         times = {}
@@ -47,6 +47,7 @@ def test_report_fig3b(benchmark, capsys):
         for n in SIZES:
             print(f"  n={n:>5}: INCR-EXP is {speedups[n]:5.1f}x faster "
                   f"than REEVAL-EXP")
+    bench_record({"speedups": speedups}, k=K, paper=PAPER["note"])
 
     # Shape: INCR wins from n=256 up, and the gap grows with n.
     assert speedups[SIZES[-1]] > speedups[SIZES[0]]

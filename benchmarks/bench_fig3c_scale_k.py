@@ -28,7 +28,7 @@ def test_powers_scale_k(benchmark, strategy, k):
                        warmup_rounds=1)
 
 
-def test_report_fig3c(benchmark, capsys):
+def test_report_fig3c(benchmark, capsys, bench_record):
     speedups = {}
     for k in KS:
         times = {}
@@ -47,6 +47,7 @@ def test_report_fig3c(benchmark, capsys):
         print(f"\n== Fig 3c: A^k speedup vs k at n={N} (paper: {PAPER}) ==")
         for k in KS:
             print(f"  k={k:>4}: INCR-EXP is {speedups[k]:5.1f}x faster")
+    bench_record({"speedups": speedups}, n=N, paper=PAPER)
 
     # Shape: clear wins at k << n; eroding advantage as k -> n.
     assert speedups[4] > 2.0

@@ -24,7 +24,7 @@ def test_sums_scale_n(benchmark, strategy, n):
                        warmup_rounds=1)
 
 
-def test_report_fig3d(benchmark, capsys):
+def test_report_fig3d(benchmark, capsys, bench_record):
     speedups = {}
     for n in SIZES:
         times = {}
@@ -44,6 +44,7 @@ def test_report_fig3d(benchmark, capsys):
         print(f"\n== Fig 3d: sums-of-powers speedup vs n (paper: {PAPER}) ==")
         for n in SIZES:
             print(f"  n={n:>5}: INCR-EXP is {speedups[n]:5.1f}x faster")
+    bench_record({"speedups": speedups}, k=K, paper=PAPER)
 
     assert speedups[SIZES[-1]] > speedups[SIZES[0]]
     assert speedups[SIZES[-1]] > 2.5

@@ -46,7 +46,7 @@ def test_ols_refresh(benchmark, strategy, n):
     benchmark.pedantic(call, rounds=3, iterations=1, warmup_rounds=1)
 
 
-def test_report_fig3e(benchmark, capsys):
+def test_report_fig3e(benchmark, capsys, bench_record):
     speedups = {}
     for n in SIZES:
         times = {}
@@ -70,6 +70,7 @@ def test_report_fig3e(benchmark, capsys):
               "(paper: 3.6x @4K .. 11.5x @20K) ==")
         for n in SIZES:
             print(f"  n={n:>5}: INCR is {speedups[n]:5.1f}x faster than REEVAL")
+    bench_record({"speedups": speedups})
 
     # Shape: INCR wins and the gap grows with n (asymptotics differ).
     assert speedups[SIZES[-1]] > speedups[SIZES[0]]

@@ -58,7 +58,7 @@ def test_distributed_refresh(benchmark, strategy, grid):
     benchmark.pedantic(call, rounds=2, iterations=1, warmup_rounds=1)
 
 
-def test_report_fig3f(benchmark, capsys):
+def test_report_fig3f(benchmark, capsys, bench_record):
     simulated = {"REEVAL": [], "INCR": []}
     for grid in GRIDS:
         for strategy in ("REEVAL", "INCR"):
@@ -83,6 +83,8 @@ def test_report_fig3f(benchmark, capsys):
                                       simulated["INCR"]):
             print(f"{grid * grid:>8} {reeval:>11.3f}s {incr:>9.3f}s "
                   f"{reeval / incr:>8.1f}x")
+    bench_record({"simulated_seconds": simulated,
+                  "workers": [g * g for g in GRIDS]})
 
     reeval, incr = simulated["REEVAL"], simulated["INCR"]
     # REEVAL strong-scales with workers.

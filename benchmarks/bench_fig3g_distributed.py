@@ -53,7 +53,7 @@ def test_distributed_general_refresh(benchmark, strategy):
     benchmark.pedantic(call, rounds=3, iterations=1, warmup_rounds=1)
 
 
-def test_report_fig3g_distributed(benchmark, capsys):
+def test_report_fig3g_distributed(benchmark, capsys, bench_record):
     times = {
         (strategy, p): _simulated_refresh_time(strategy, p)
         for strategy in STRATEGIES
@@ -82,6 +82,8 @@ def test_report_fig3g_distributed(benchmark, capsys):
         for p in P_VALUES:
             row = "".join(f"{times[(s, p)] * 1e3:>10.2f}ms" for s in STRATEGIES)
             print(f"{p:>6} {row}")
+    bench_record({f"{s}@p={p}": seconds
+                  for (s, p), seconds in times.items()}, n=N, grid=GRID)
 
     # The paper's p = 1 ordering on simulated wall-clock: HYBRID wins,
     # INCR pays for factor growth it cannot amortize on a vector.

@@ -39,7 +39,7 @@ def test_general_refresh(benchmark, strategy, p):
                        warmup_rounds=1)
 
 
-def test_report_fig3g(benchmark, capsys):
+def test_report_fig3g(benchmark, capsys, bench_record):
     times: dict[int, dict[str, float]] = {}
     for p in WIDTHS:
         times[p] = {}
@@ -58,6 +58,7 @@ def test_report_fig3g(benchmark, capsys):
         for p in WIDTHS:
             row = "".join(f"{times[p][s] * 1e3:>10.2f}ms" for s in STRATEGIES)
             print(f"{p:>6}{row}")
+    bench_record({"seconds": times}, n=N, paper=PAPER)
 
     # p = 1: the factored form is overhead — HYBRID beats INCR.
     assert times[1]["HYBRID"] < times[1]["INCR"]

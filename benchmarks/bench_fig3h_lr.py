@@ -42,7 +42,7 @@ def test_lr_refresh(benchmark, strategy, model_label):
                        warmup_rounds=1)
 
 
-def test_report_fig3h(benchmark, capsys):
+def test_report_fig3h(benchmark, capsys, bench_record):
     times: dict[str, dict[str, float]] = {"REEVAL": {}, "INCR": {}}
     for strategy in ("REEVAL", "INCR"):
         for label in MODELS:
@@ -67,6 +67,8 @@ def test_report_fig3h(benchmark, capsys):
         print(f"best REEVAL: {best_reeval}; best INCR: {best_incr}; "
               f"overall incremental advantage {overall:.1f}x "
               f"(paper: 36.7x at 60x larger n)")
+    bench_record({"seconds": times, "overall_speedup": overall},
+                 n=N, p=P, paper=PAPER)
 
     # Shape: LIN is the best re-evaluation model (Table 2: p << n).
     assert best_reeval == "LIN"

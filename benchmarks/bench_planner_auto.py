@@ -41,6 +41,8 @@ import time
 
 import numpy as np
 
+from conftest import add_json_flag, write_bench_json
+
 #: Acceptance threshold: auto within 10% of the best manual run.
 TOLERANCE = 1.10
 
@@ -223,29 +225,43 @@ def scenario_hybrid_stream(n: int = 1000, p: int = 16, k: int = 16,
 # Driver
 # ---------------------------------------------------------------------------
 
-def run_all(smoke: bool = False) -> list[float]:
-    ratios = []
+def run_all(smoke: bool = False) -> dict[str, dict]:
+    scenarios = {}
     results, label, secs, _ = scenario_dense_session(
         n=64 if smoke else 96, updates=20 if smoke else 60)
-    ratios.append(_report("dense-small (A^4 session)", results, label, secs))
+    ratio = _report("dense-small (A^4 session)", results, label, secs)
+    scenarios["dense-small"] = {"manual": results, "auto_plan": label,
+                                "auto_seconds": secs, "ratio": ratio}
     results, label, secs, _ = scenario_sparse_pagerank(
         n=600 if smoke else 1000, updates=6 if smoke else 12)
-    ratios.append(_report("sparse-pagerank (general, p=1, ~1% dense)",
-                          results, label, secs))
+    ratio = _report("sparse-pagerank (general, p=1, ~1% dense)",
+                    results, label, secs)
+    scenarios["sparse-pagerank"] = {"manual": results, "auto_plan": label,
+                                    "auto_seconds": secs, "ratio": ratio}
     results, label, secs, _ = scenario_hybrid_stream(
         n=500 if smoke else 1000, updates=10 if smoke else 20)
-    ratios.append(_report("hybrid-stream (general, p=16, dense, long stream)",
-                          results, label, secs))
-    return ratios
+    ratio = _report("hybrid-stream (general, p=16, dense, long stream)",
+                    results, label, secs)
+    scenarios["hybrid-stream"] = {"manual": results, "auto_plan": label,
+                                  "auto_seconds": secs, "ratio": ratio}
+    return scenarios
+
+
+def _ratios(scenarios: dict[str, dict]) -> list[float]:
+    return [s["ratio"] for s in scenarios.values()]
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="small fast run for CI harness-rot checks")
+    add_json_flag(parser)
     args = parser.parse_args(argv)
-    ratios = run_all(smoke=args.smoke)
-    worst = max(ratios)
+    scenarios = run_all(smoke=args.smoke)
+    if args.json:
+        write_bench_json(args.json, "planner_auto", scenarios,
+                         smoke=args.smoke)
+    worst = max(_ratios(scenarios))
     threshold = SMOKE_TOLERANCE if args.smoke else TOLERANCE
     print(f"\nworst auto/best-manual ratio: {worst:.2f}x "
           f"(threshold {threshold:.2f}x)")
@@ -256,9 +272,11 @@ def main(argv=None) -> int:
     return 0
 
 
-def test_report_planner_auto():
+def test_report_planner_auto(bench_record):
     """Reduced-size run: the auto plan must stay near the manual best."""
-    ratios = run_all(smoke=True)
+    scenarios = run_all(smoke=True)
+    bench_record(scenarios, smoke=True)
+    ratios = _ratios(scenarios)
     # CI boxes are noisy; the full-size script holds the 1.10x line.
     assert max(ratios) < SMOKE_TOLERANCE, \
         f"auto plan too far from best: {ratios}"

@@ -44,7 +44,7 @@ def test_flop_count_one_refresh(benchmark, strategy, model_label):
     )
 
 
-def test_report_table2(benchmark, capsys):
+def test_report_table2(benchmark, capsys, bench_record):
     rows = []
     for strategy, model_label, expected in [
         ("REEVAL", "LIN", 3.0),
@@ -77,6 +77,10 @@ def test_report_table2(benchmark, capsys):
         print(f"{'cell':>14} {'var':>4} {'formula':>8} {'measured':>9}")
         for cell, var, expected, measured in rows:
             print(f"{cell:>14} {var:>4} {expected:>8.1f} {measured:>9.2f}")
+    bench_record([
+        {"cell": cell, "var": var, "formula": expected, "measured": measured}
+        for cell, var, expected, measured in rows
+    ])
 
     for cell, var, expected, measured in rows:
         assert abs(measured - expected) < 0.45, (cell, var, expected, measured)

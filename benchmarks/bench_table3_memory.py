@@ -29,7 +29,7 @@ def test_incr_refresh_at_size(benchmark, n):
                        warmup_rounds=1)
 
 
-def test_report_table3(benchmark, capsys):
+def test_report_table3(benchmark, capsys, bench_record):
     comparisons = []
     for n in SIZES:
         reeval = make_powers("REEVAL", make_matrix(n), K, Model.exponential())
@@ -60,6 +60,12 @@ def test_report_table3(benchmark, capsys):
             print(f"{c.n:>6} {c.reeval_bytes / 1e6:>9.1f} "
                   f"{c.incr_bytes / 1e6:>8.1f} {c.speedup:>10.1f}x "
                   f"{c.memory_overhead:>8.2f}x {c.speedup_per_memory:>9.2f}")
+    bench_record([
+        {"n": c.n, "reeval_bytes": c.reeval_bytes,
+         "incr_bytes": c.incr_bytes, "speedup": c.speedup,
+         "memory_overhead": c.memory_overhead}
+        for c in comparisons
+    ], k=K)
 
     # Memory overhead is the schedule length (5 powers vs ~3 matrices),
     # identical across sizes; the speedup/memory ratio must grow with n.

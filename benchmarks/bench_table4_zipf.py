@@ -65,7 +65,7 @@ def test_reeval_batch_refresh(benchmark):
     benchmark.pedantic(call, rounds=2, iterations=1, warmup_rounds=1)
 
 
-def test_report_table4(benchmark, capsys):
+def test_report_table4(benchmark, capsys, bench_record):
     incr_times = {}
     ranks = {}
     for theta in THETAS:
@@ -104,6 +104,8 @@ def test_report_table4(benchmark, capsys):
                   f"{format_seconds(incr_times[theta]):>12}")
         print(f"{'REEVAL':>6} {'-':>11} {format_seconds(reeval_time):>12}"
               "   (batch-rank independent)")
+    bench_record({"incr_seconds": incr_times, "batch_ranks": ranks,
+                  "reeval_seconds": reeval_time}, n=N, batch=BATCH)
 
     # Shape: rank grows as skew drops; cost follows; INCR wins at high
     # skew and loses its advantage in the uniform case.

@@ -6,11 +6,28 @@ rank-1 row update propagated through every materialized view — is the
 timed operation.  Sizes are laptop-scale (see DESIGN.md substitutions);
 each module also contains a ``test_report_*`` that prints the series in
 the figure's layout with paper-reported factors alongside.
+
+Machine-readable results (the CI perf-trajectory artifacts):
+
+* script-style benchmarks take ``--json PATH`` (:func:`add_json_flag` +
+  :func:`write_bench_json`) and write a ``BENCH_<name>.json`` file;
+* every ``test_report_*`` records its measured series through the
+  :func:`bench_record` fixture, which writes ``BENCH_<module>.json``
+  into the directory given by ``pytest --bench-json DIR`` (and is a
+  no-op otherwise).
+
+Both paths share one schema: ``{schema, bench, platform, python,
+results, ...meta}``; CI uploads the files with ``actions/upload-artifact``
+so the perf trajectory is recorded per-run instead of scrolling away in
+logs.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+from pathlib import Path
 
 # Cap BLAS threads BEFORE NumPy loads.  The paper's asymptotics compare
 # per-operation work; on a many-core machine an O(n^3) GEMM parallelizes
@@ -23,11 +40,25 @@ for _var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS",
     os.environ.setdefault(_var, "1")
 
 import numpy as np
-import pytest
+
+try:
+    import pytest
+except ImportError:
+    # Script-mode benchmarks import this module for the JSON helpers
+    # only; the fixture/hook surface below needs pytest, scripts don't.
+    pytest = None
 
 from repro.workloads import spectral_normalized
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json", action="store", default=None, metavar="DIR",
+        help="write BENCH_<module>.json result files from report tests "
+             "into DIR",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
@@ -38,10 +69,61 @@ def pytest_collection_modifyitems(config, items):
             item.add_marker(pytest.mark.slow)
 
 
-@pytest.fixture(scope="module")
-def bench_rng():
-    """Module-scoped deterministic generator for benchmark inputs."""
-    return np.random.default_rng(1403_6968)  # the paper's arXiv id
+def write_bench_json(path, name: str, results, **meta) -> Path:
+    """Write one benchmark result file in the shared schema.
+
+    ``results`` must be JSON-serializable (dicts of label -> seconds /
+    speedups); ``meta`` lands at the top level next to it.
+    """
+    payload = {
+        "schema": 1,
+        "bench": name,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "results": results,
+    }
+    payload.update(meta)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                               default=str) + "\n")
+    return path
+
+
+def add_json_flag(parser) -> None:
+    """Give a script-style benchmark's argparse parser the --json flag."""
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write a machine-readable BENCH_<name>.json result file",
+    )
+
+
+
+
+if pytest is not None:
+    @pytest.fixture(scope="module")
+    def bench_rng():
+        """Module-scoped deterministic generator for benchmark inputs."""
+        return np.random.default_rng(1403_6968)  # the paper's arXiv id
+
+    @pytest.fixture
+    def bench_record(request):
+        """Record a report test's measured series as a BENCH_*.json file.
+
+        Call ``bench_record(results, **meta)`` with whatever the test
+        printed; the file is written only when pytest ran with
+        ``--bench-json DIR`` (CI), so local runs stay side-effect free.
+        """
+        directory = request.config.getoption("--bench-json")
+
+        def record(results, **meta):
+            if not directory:
+                return None
+            stem = Path(str(request.node.path)).stem.removeprefix("bench_")
+            return write_bench_json(Path(directory) / f"BENCH_{stem}.json",
+                                    stem, results, **meta)
+
+        return record
 
 
 def make_matrix(n: int, seed: int = 7, radius: float = 0.9) -> np.ndarray:

@@ -14,4 +14,4 @@ supplies the pluggable numeric kernels (dense NumPy and sparse CSR)
 every evaluation path dispatches through.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.3.0"

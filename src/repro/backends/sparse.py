@@ -247,6 +247,21 @@ class SparseBackend(DenseBackend):
     #: planner uses it so near-threshold densities don't flap to sparse.
     est_overhead: float = 4.0
 
+    #: Penalty of one *structure-mutating* FLOP (``add_outer``'s CSR
+    #: merge/rebuild) — index arrays are reallocated and re-sorted, which
+    #: costs far more per touched entry than a streaming matvec pass.
+    #: Shipped equal to :attr:`est_overhead`; machine calibration
+    #: (:mod:`repro.calibrate`) fits the two independently.
+    est_update_overhead: float = 4.0
+
+    #: Penalty of one sparse x sparse product FLOP.  The expected-count
+    #: model ``2 nnz_a nnz_b / m`` prices multiply-adds only; real CSR
+    #: spgemm also allocates, gathers and sorts the result structure,
+    #: which measures at 1-2 orders of magnitude above the flop count.
+    #: Shipped as a conservative lower bound; calibration fits the
+    #: machine's true value.
+    est_spgemm_overhead: float = 32.0
+
     #: CSR kernel calls pay index validation and format dispatch on top
     #: of the Python-level cost every backend has.
     est_call_overhead_flops: float = 30_000.0
@@ -274,7 +289,8 @@ class SparseBackend(DenseBackend):
         nnz_b = db * m * p
         if a_sp and b_sp:
             work = max(2.0 * nnz_a * nnz_b / max(m, 1), 2.0 * nnz_a)
-        elif a_sp:
+            return self.est_spgemm_overhead * work
+        if a_sp:
             work = 2.0 * nnz_a * p
         else:
             work = 2.0 * n * nnz_b
@@ -302,7 +318,9 @@ class SparseBackend(DenseBackend):
         upc = rows if u_nnz_per_col is None else u_nnz_per_col
         # Sparse outer accumulation: the delta's nonzeros plus a CSR
         # structure rebuild touching the state's nonzeros.
-        return self.est_overhead * (2.0 * upc * cols * rank + d * rows * cols)
+        return self.est_update_overhead * (
+            2.0 * upc * cols * rank + d * rows * cols
+        )
 
     # -- cost hooks ------------------------------------------------------
     def matmul_flops(self, a: MatrixLike, b: MatrixLike) -> int:

@@ -1,0 +1,500 @@
+"""Microbenchmark-driven calibration of the planner's cost constants.
+
+The cost model (:mod:`repro.cost.estimate`, :mod:`repro.planner`) ranks
+maintenance configurations through each backend's ``est_*`` hooks, whose
+constant factors — per-kernel-call overhead and the sparse-kernel
+per-FLOP penalty — ship as fixed class constants
+(:attr:`~repro.backends.base.Backend.est_call_overhead_flops`,
+:attr:`~repro.backends.sparse.SparseBackend.est_overhead`).  LINVIEW's
+own evaluation shows the dense/sparse and IVM/re-eval crossover points
+are machine-dependent: a laptop with slow BLAS and a server with fast
+MKL put the boundary at different densities, so hard-coded constants
+mis-plan exactly the workloads near the boundary.
+
+This module closes the loop the way adaptive query processors do: it
+**times the backends' core kernels** (``matmul``, ``add_outer``, sparse
+matvec and CSR row slicing) at a few sizes and densities on the current
+machine, **fits** per-backend throughput, call overhead, and the sparse
+per-FLOP penalty from those samples, and **caches** the fit as JSON
+keyed by the platform + library versions so later sessions load it for
+free.  The planner (:func:`repro.planner.plan_program`, the advisor's
+backend grid) auto-loads the cache; ``repro calibrate`` runs the pass
+from the CLI.
+
+Cache resolution order:
+
+* an explicit ``path`` argument;
+* ``$REPRO_CALIBRATION`` (a file path, or ``off`` to disable);
+* ``~/.cache/linview-repro/calibration.json``.
+
+A cache whose key does not match the current machine fingerprint is
+treated as absent (stale-key invalidation), so upgrading NumPy/SciPy or
+moving the cache between machines silently falls back to the shipped
+constants until ``repro calibrate`` is re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import time
+from copy import copy as _shallow_copy
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping
+
+import numpy as np
+
+from .backends import Backend, get_backend
+
+#: Cache schema version (bump on incompatible layout changes).
+SCHEMA = 1
+
+#: Environment variable overriding the cache path (``off`` disables).
+CACHE_ENV = "REPRO_CALIBRATION"
+
+#: Values of :data:`CACHE_ENV` that disable cache loading entirely.
+_DISABLED = {"off", "none", "0", "disabled"}
+
+#: Clamp range for fitted per-call overhead (dense-FLOP equivalents).
+#: Guards against clock jitter producing absurd constants.
+OVERHEAD_FLOPS_RANGE = (100.0, 1e7)
+
+#: Clamp range for the fitted sparse streaming-kernel per-FLOP penalty.
+SPARSE_OVERHEAD_RANGE = (1.0, 64.0)
+
+#: Clamp range for the structure-mutating (``add_outer``) penalty; CSR
+#: merges genuinely cost hundreds of dense FLOPs per touched entry.
+SPARSE_UPDATE_OVERHEAD_RANGE = (1.0, 512.0)
+
+#: Clamp range for the sparse x sparse product penalty — spgemm's
+#: allocate/gather/sort work measures at 1-2 orders of magnitude above
+#: the expected multiply-add count.
+SPARSE_SPGEMM_OVERHEAD_RANGE = (1.0, 1024.0)
+
+
+def cache_key() -> str:
+    """Fingerprint the cached constants are valid for.
+
+    Machine + OS + Python + NumPy/SciPy versions: any of these changing
+    can move kernel constant factors, so any of them changing must
+    invalidate the cache.
+    """
+    try:
+        import scipy
+
+        scipy_version = scipy.__version__
+    except ImportError:  # pragma: no cover - exercised on the no-scipy leg
+        scipy_version = "none"
+    return "/".join((
+        platform.machine() or "unknown",
+        platform.system() or "unknown",
+        platform.python_version(),
+        f"numpy-{np.__version__}",
+        f"scipy-{scipy_version}",
+        f"schema-{SCHEMA}",
+    ))
+
+
+def default_cache_path() -> Path | None:
+    """Where the calibration cache lives (None when disabled via env)."""
+    env = os.environ.get(CACHE_ENV)
+    if env is not None:
+        if env.strip().lower() in _DISABLED:
+            return None
+        return Path(env)
+    return Path.home() / ".cache" / "linview-repro" / "calibration.json"
+
+
+@dataclass(frozen=True)
+class KernelSample:
+    """One timed kernel invocation: what ran, how long, model FLOPs."""
+
+    kernel: str
+    seconds: float
+    model_flops: float
+
+
+@dataclass(frozen=True)
+class BackendCalibration:
+    """Fitted cost constants for one backend on one machine."""
+
+    backend: str
+    #: Sustained dense-equivalent throughput (large-kernel FLOPs/s).
+    flops_per_second: float
+    #: Fixed cost of one kernel invocation, in dense-FLOP equivalents
+    #: (replaces :attr:`Backend.est_call_overhead_flops`).
+    call_overhead_flops: float
+    #: Per-FLOP penalty of sparse *streaming* kernels vs dense BLAS
+    #: (replaces :attr:`SparseBackend.est_overhead`); ``None`` for dense
+    #: backends.
+    sparse_overhead: float | None = None
+    #: Per-FLOP penalty of structure-mutating sparse updates (replaces
+    #: :attr:`SparseBackend.est_update_overhead`); ``None`` for dense.
+    sparse_update_overhead: float | None = None
+    #: Per-FLOP penalty of sparse x sparse products (replaces
+    #: :attr:`SparseBackend.est_spgemm_overhead`); ``None`` for dense.
+    sparse_spgemm_overhead: float | None = None
+    #: The raw measurements the fit came from (kept for reporting).
+    samples: tuple[KernelSample, ...] = field(default=())
+
+    def apply(self, be: Backend) -> Backend:
+        """Overwrite ``be``'s estimate constants with the fitted ones.
+
+        Mutates (and returns) ``be`` — callers who must not disturb
+        shared instances should pass a copy (see :func:`calibrated`).
+        """
+        be.est_call_overhead_flops = float(self.call_overhead_flops)
+        if self.sparse_overhead is not None and hasattr(be, "est_overhead"):
+            be.est_overhead = float(self.sparse_overhead)
+        if (self.sparse_update_overhead is not None
+                and hasattr(be, "est_update_overhead")):
+            be.est_update_overhead = float(self.sparse_update_overhead)
+        if (self.sparse_spgemm_overhead is not None
+                and hasattr(be, "est_spgemm_overhead")):
+            be.est_spgemm_overhead = float(self.sparse_spgemm_overhead)
+        return be
+
+    def as_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "flops_per_second": self.flops_per_second,
+            "call_overhead_flops": self.call_overhead_flops,
+            "sparse_overhead": self.sparse_overhead,
+            "sparse_update_overhead": self.sparse_update_overhead,
+            "sparse_spgemm_overhead": self.sparse_spgemm_overhead,
+            "samples": [
+                {"kernel": s.kernel, "seconds": s.seconds,
+                 "model_flops": s.model_flops}
+                for s in self.samples
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "BackendCalibration":
+        def _opt(name: str) -> float | None:
+            value = data.get(name)
+            return None if value is None else float(value)
+
+        return cls(
+            backend=str(data["backend"]),
+            flops_per_second=float(data["flops_per_second"]),
+            call_overhead_flops=float(data["call_overhead_flops"]),
+            sparse_overhead=_opt("sparse_overhead"),
+            sparse_update_overhead=_opt("sparse_update_overhead"),
+            sparse_spgemm_overhead=_opt("sparse_spgemm_overhead"),
+            samples=tuple(
+                KernelSample(str(s["kernel"]), float(s["seconds"]),
+                             float(s["model_flops"]))
+                for s in data.get("samples", ())
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """A full calibration run: per-backend constants plus the cache key."""
+
+    key: str
+    backends: Mapping[str, BackendCalibration]
+
+    def get(self, name: str) -> BackendCalibration | None:
+        return self.backends.get(name)
+
+    def apply(self, be: Backend) -> Backend:
+        """Apply this calibration's constants to ``be`` (mutating it)."""
+        entry = self.backends.get(be.name)
+        return entry.apply(be) if entry is not None else be
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "key": self.key,
+            "backends": {name: cal.as_dict()
+                         for name, cal in sorted(self.backends.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Calibration":
+        return cls(
+            key=str(data["key"]),
+            backends={
+                name: BackendCalibration.from_dict(entry)
+                for name, entry in data.get("backends", {}).items()
+            },
+        )
+
+    def save(self, path: "Path | str | None" = None) -> Path:
+        """Write the cache file (creating parent directories)."""
+        target = Path(path) if path is not None else default_cache_path()
+        if target is None:
+            raise ValueError(
+                f"calibration cache disabled via ${CACHE_ENV}; "
+                "pass an explicit path"
+            )
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.as_dict(), indent=2) + "\n")
+        return target
+
+
+def load_calibration(path: "Path | str | None" = None) -> Calibration | None:
+    """Load the cached calibration, or ``None`` when absent/stale/invalid.
+
+    A cache written under a different :func:`cache_key` (other machine,
+    other library versions) is *stale* and ignored — the planner then
+    runs on the shipped class constants until recalibration.
+    """
+    target = Path(path) if path is not None else default_cache_path()
+    if target is None or not target.exists():
+        return None
+    try:
+        data = json.loads(target.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict) or data.get("schema") != SCHEMA:
+        return None
+    if data.get("key") != cache_key():
+        return None  # stale: fingerprint mismatch
+    try:
+        return Calibration.from_dict(data)
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+# -- auto-loading for the planner -----------------------------------------
+
+#: Memoized result of :func:`load_calibration` at the default path.
+#: ``False`` = not looked up yet (distinct from "looked up, absent").
+_AUTOLOADED: "Calibration | None | bool" = False
+
+
+def autoload(refresh: bool = False) -> Calibration | None:
+    """The default-path calibration, loaded once per process.
+
+    ``refresh=True`` re-reads the file (tests, post-``repro calibrate``).
+    """
+    global _AUTOLOADED
+    if refresh or _AUTOLOADED is False:
+        _AUTOLOADED = load_calibration()
+    return _AUTOLOADED
+
+
+def calibrated(
+    backend: "str | Backend | None",
+    calibration: "Calibration | None | str" = "auto",
+) -> Backend:
+    """Resolve ``backend`` with calibrated cost constants applied.
+
+    ``calibration="auto"`` (the planner default) uses the memoized
+    default-path cache; ``None`` disables calibration; a
+    :class:`Calibration` is used verbatim.  When constants apply, a
+    *shallow copy* of the backend is returned so shared instances (the
+    ``DENSE`` singleton, caller-provided backends) keep their class
+    defaults for everyone else.
+    """
+    be = get_backend(backend)
+    cal = autoload() if calibration == "auto" else calibration
+    if cal is None or cal.get(be.name) is None:
+        return be
+    return cal.apply(_shallow_copy(be))
+
+
+# -- measurement -----------------------------------------------------------
+
+def _best_seconds(fn: Callable[[], object], repeats: int,
+                  inner: int = 1) -> float:
+    """Minimum per-call seconds over ``repeats`` timed batches.
+
+    The minimum (not mean) estimates the cost with the least scheduler
+    noise — standard microbenchmark practice; ``inner`` batches very
+    short kernels so each sample is well above timer resolution.
+    """
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - start) / inner)
+    return best
+
+
+def _clamp(value: float, bounds: tuple[float, float]) -> float:
+    return float(min(max(value, bounds[0]), bounds[1]))
+
+
+def _fit_dense(be: Backend, repeats: int, big_n: int,
+               tiny_n: int) -> BackendCalibration:
+    rng = np.random.default_rng(1403_6968)
+    big_a = rng.standard_normal((big_n, big_n))
+    big_b = rng.standard_normal((big_n, big_n))
+    tiny_a = rng.standard_normal((tiny_n, tiny_n))
+    tiny_b = rng.standard_normal((tiny_n, tiny_n))
+
+    samples = []
+    big_flops = float(2 * big_n ** 3)
+    t_big = _best_seconds(lambda: be.matmul(big_a, big_b), repeats)
+    samples.append(KernelSample(f"matmul[{big_n}x{big_n}]", t_big, big_flops))
+    fps = big_flops / max(t_big, 1e-9)
+
+    # Tiny kernels are dominated by dispatch/allocation: subtracting
+    # their model FLOPs at the fitted throughput leaves the call cost.
+    # (Large kernels would fold memory-bandwidth effects into the call
+    # constant, so only genuinely tiny operands qualify here.)
+    overhead_estimates = []
+    tiny_flops = float(2 * tiny_n ** 3)
+    t_tiny = _best_seconds(lambda: be.matmul(tiny_a, tiny_b), repeats,
+                           inner=32)
+    samples.append(KernelSample(f"matmul[{tiny_n}x{tiny_n}]", t_tiny,
+                                tiny_flops))
+    overhead_estimates.append(max(t_tiny - tiny_flops / fps, 0.0))
+
+    outer_n = 4 * tiny_n
+    state = rng.standard_normal((outer_n, outer_n))
+    outer_u = rng.standard_normal((outer_n, 1))
+    outer_v = 0.01 * rng.standard_normal((outer_n, 1))
+    outer_flops = float(2 * outer_n * outer_n)
+    # In-place accumulation: repeated calls reuse the same state buffer,
+    # so the sample times the kernel, not an untimed-copy workaround.
+    t_outer = _best_seconds(
+        lambda: be.add_outer(state, outer_u, outer_v), repeats, inner=16)
+    samples.append(KernelSample(f"add_outer[{outer_n},r=1]", t_outer,
+                                outer_flops))
+    overhead_estimates.append(max(t_outer - outer_flops / fps, 0.0))
+
+    overhead_seconds = max(statistics.median(overhead_estimates), 1e-7)
+    return BackendCalibration(
+        backend=be.name,
+        flops_per_second=fps,
+        call_overhead_flops=_clamp(overhead_seconds * fps,
+                                   OVERHEAD_FLOPS_RANGE),
+        samples=tuple(samples),
+    )
+
+
+def _fit_sparse(be: Backend, dense_fps: float, repeats: int, n: int,
+                densities: tuple[float, ...]) -> BackendCalibration:
+    from scipy import sparse as sp
+
+    rng = np.random.default_rng(1403_6968)
+    samples = []
+    stream_penalties = []  # matvec-shaped kernels -> est_overhead
+    update_penalties = []  # CSR structure merges  -> est_update_overhead
+    spgemm_penalties = []  # sparse x sparse       -> est_spgemm_overhead
+
+    # Tiny CSR matvec ~= pure call cost (format dispatch + validation).
+    tiny = sp.random_array((64, 64), density=0.05, random_state=rng,
+                           format="csr")
+    tiny_x = rng.standard_normal((64, 1))
+    tiny_flops = float(2 * tiny.nnz)
+    t_tiny = _best_seconds(lambda: be.matmul(tiny, tiny_x), repeats, inner=32)
+    samples.append(KernelSample("sparse matmul[64,d=0.05]", t_tiny,
+                                tiny_flops))
+    overhead_seconds = max(t_tiny - tiny_flops / dense_fps, 1e-7)
+
+    def penalty(seconds: float, model_flops: float) -> float:
+        return (max(seconds - overhead_seconds, 1e-9) * dense_fps
+                / max(model_flops, 1.0))
+
+    for density in densities:
+        a = sp.random_array((n, n), density=density, random_state=rng,
+                            format="csr")
+        x = rng.standard_normal((n, 4))
+        flops = float(2 * a.nnz * 4)
+        t = _best_seconds(lambda a=a, x=x: be.matmul(a, x), repeats)
+        samples.append(KernelSample(f"sparse matmul[{n},d={density:g}]", t,
+                                    flops))
+        stream_penalties.append(penalty(t, flops))
+
+        # spgemm: expected multiply-adds of a random-pattern product.
+        gemm_flops = max(2.0 * a.nnz * a.nnz / n, 2.0 * a.nnz)
+        t_gemm = _best_seconds(lambda a=a: be.matmul(a, a), repeats)
+        samples.append(KernelSample(f"spgemm[{n},d={density:g}]", t_gemm,
+                                    gemm_flops))
+        spgemm_penalties.append(penalty(t_gemm, gemm_flops))
+
+        # CSR row slicing (reported, and folded into the update penalty:
+        # it is the same indices/indptr-rebuild work edge updates pay).
+        rows = rng.integers(0, n, size=max(n // 8, 1))
+        t_slice = _best_seconds(lambda a=a, rows=rows: a[rows], repeats)
+        slice_flops = float(a.nnz) * len(rows) / n
+        samples.append(KernelSample(f"csr slice[{n},d={density:g}]", t_slice,
+                                    slice_flops))
+        update_penalties.append(penalty(t_slice, slice_flops))
+
+        # Factored row update against CSR state (structure merge).
+        u = np.zeros((n, 1))
+        u[int(rng.integers(n)), 0] = 1.0
+        v = 0.01 * rng.standard_normal((n, 1))
+        upd_flops = float(2 * n + a.nnz)
+        t_upd = _best_seconds(lambda a=a, u=u, v=v: be.add_outer(a, u, v),
+                              repeats)
+        samples.append(KernelSample(f"sparse add_outer[{n},d={density:g}]",
+                                    t_upd, upd_flops))
+        update_penalties.append(penalty(t_upd, upd_flops))
+
+    return BackendCalibration(
+        backend=be.name,
+        flops_per_second=dense_fps,
+        call_overhead_flops=_clamp(overhead_seconds * dense_fps,
+                                   OVERHEAD_FLOPS_RANGE),
+        sparse_overhead=_clamp(statistics.median(stream_penalties),
+                               SPARSE_OVERHEAD_RANGE),
+        sparse_update_overhead=_clamp(statistics.median(update_penalties),
+                                      SPARSE_UPDATE_OVERHEAD_RANGE),
+        sparse_spgemm_overhead=_clamp(statistics.median(spgemm_penalties),
+                                      SPARSE_SPGEMM_OVERHEAD_RANGE),
+        samples=tuple(samples),
+    )
+
+
+def run_calibration(
+    backends=None,
+    repeats: int = 5,
+    quick: bool = False,
+) -> Calibration:
+    """Time the backends' core kernels and fit their cost constants.
+
+    ``quick=True`` shrinks the microbenchmark sizes (CI smoke / tests);
+    the fit is noisier but the machinery is identical.  Backends that
+    cannot be constructed (sparse without SciPy) are skipped.
+    """
+    names = list(backends) if backends is not None else ["dense", "sparse"]
+    big_n, tiny_n = (96, 8) if quick else (256, 8)
+    sparse_n = 256 if quick else 1024
+    densities = (0.02,) if quick else (0.005, 0.05)
+
+    fitted: dict[str, BackendCalibration] = {}
+    dense_fps = None
+    for name in names:
+        try:
+            be = get_backend(name)
+        except (ValueError, RuntimeError):
+            continue  # unavailable on this machine (e.g. no scipy)
+        if name == "sparse":
+            if dense_fps is None:
+                dense_fps = _fit_dense(get_backend("dense"), repeats,
+                                       big_n, tiny_n).flops_per_second
+            fitted[name] = _fit_sparse(be, dense_fps, repeats, sparse_n,
+                                       densities)
+        else:
+            cal = _fit_dense(be, repeats, big_n, tiny_n)
+            fitted[name] = cal
+            if name == "dense":
+                dense_fps = cal.flops_per_second
+    return Calibration(key=cache_key(), backends=fitted)
+
+
+__all__ = [
+    "CACHE_ENV",
+    "BackendCalibration",
+    "Calibration",
+    "KernelSample",
+    "autoload",
+    "cache_key",
+    "calibrated",
+    "default_cache_path",
+    "load_calibration",
+    "run_calibration",
+]

@@ -28,6 +28,13 @@ FLOP counters and wall time::
     python -m repro run program.lvw --dims n=2000 --density 0.01
     python -m repro run program.lvw --dims n=64 --plan incr --backend dense
     python -m repro run program.lvw --dims n=256 --updates 100 --json
+    python -m repro run program.lvw --dims n=512 --replan 50
+
+``repro calibrate`` microbenchmarks this machine's kernels and caches
+calibrated planner cost constants (see :mod:`repro.calibrate`)::
+
+    python -m repro calibrate
+    python -m repro calibrate --quick --dry-run --json
 
 Program files use the frontend language (see ``repro.frontend``)::
 
@@ -121,6 +128,26 @@ def build_parser() -> argparse.ArgumentParser:
     advise.add_argument("--json", action="store_true",
                         help="emit the ranking as JSON")
 
+    cal = sub.add_parser(
+        "calibrate",
+        help="microbenchmark this machine and cache planner cost constants",
+    )
+    cal.add_argument("--output", default=None, metavar="PATH",
+                     help="cache file to write (default: $REPRO_CALIBRATION "
+                          "or ~/.cache/linview-repro/calibration.json)")
+    cal.add_argument("--backend", dest="backends", action="append",
+                     choices=("dense", "sparse"),
+                     help="calibrate only this backend (repeatable; "
+                          "default: all available)")
+    cal.add_argument("--repeats", type=int, default=5,
+                     help="timing repeats per kernel (default 5)")
+    cal.add_argument("--quick", action="store_true",
+                     help="smaller microbenchmark sizes (noisier fit)")
+    cal.add_argument("--dry-run", action="store_true",
+                     help="measure and report without writing the cache")
+    cal.add_argument("--json", action="store_true",
+                     help="emit the fitted constants as JSON")
+
     run = sub.add_parser(
         "run",
         help="execute a program against a generated update stream",
@@ -146,6 +173,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--mode", choices=("auto", "interpret", "codegen"),
                      default="auto",
                      help="trigger execution mode (auto = planner's choice)")
+    run.add_argument("--replan", type=int, default=0, metavar="N",
+                     help="re-price the plan grid every N updates and "
+                          "switch strategy/backend mid-stream when it "
+                          "pays (0 = static plan)")
     run.add_argument("--input", dest="target",
                      help="input the update stream hits (default: first)")
     run.add_argument("--seed", type=int, default=20140622,
@@ -203,6 +234,71 @@ def _run_advise(args) -> int:
         print(f"{i:<5} {rec.label:<22} {rec.time:>12.4g} {rec.space:>12.4g}")
     print(f"# predicted gain over best re-evaluation: "
           f"{speedup_estimate(ranked):.1f}x")
+    return 0
+
+
+def _run_calibrate(args) -> int:
+    from .backends import get_backend
+    from . import calibrate
+
+    calibration = calibrate.run_calibration(
+        backends=args.backends, repeats=args.repeats, quick=args.quick,
+    )
+    if not calibration.backends:
+        print("error: no backend available to calibrate", file=sys.stderr)
+        return 2
+
+    written = None
+    if not args.dry_run:
+        try:
+            written = calibration.save(args.output)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        default = calibrate.default_cache_path()
+        if default is not None and written.resolve() == default.resolve():
+            # Written to the auto-load path: in-process planners pick
+            # the new constants up immediately.  Any other --output is
+            # only consulted when $REPRO_CALIBRATION points at it, so
+            # the memoized default must not be refreshed from it.
+            calibrate.autoload(refresh=True)
+
+    if args.json:
+        payload = calibration.as_dict()
+        payload["path"] = str(written) if written else None
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print(f"# calibration for {calibration.key}")
+    for name, cal in sorted(calibration.backends.items()):
+        defaults = get_backend(name)
+        print(f"{name}:")
+        print(f"  throughput           : {cal.flops_per_second:,.0f} FLOP/s")
+        print(f"  call overhead        : {cal.call_overhead_flops:,.0f} FLOPs "
+              f"(shipped constant: {defaults.est_call_overhead_flops:,.0f})")
+        if cal.sparse_overhead is not None:
+            print(f"  sparse FLOP penalty  : {cal.sparse_overhead:.2f}x "
+                  f"(shipped constant: "
+                  f"{getattr(defaults, 'est_overhead', float('nan')):.2f}x)")
+        if cal.sparse_update_overhead is not None:
+            print(f"  sparse update penalty: {cal.sparse_update_overhead:.2f}x "
+                  f"(shipped constant: "
+                  f"{getattr(defaults, 'est_update_overhead', float('nan')):.2f}x)")
+        if cal.sparse_spgemm_overhead is not None:
+            print(f"  spgemm penalty       : {cal.sparse_spgemm_overhead:.2f}x "
+                  f"(shipped constant: "
+                  f"{getattr(defaults, 'est_spgemm_overhead', float('nan')):.2f}x)")
+        for sample in cal.samples:
+            print(f"    {sample.kernel:<28} {sample.seconds * 1e6:10.1f} us  "
+                  f"(~{sample.model_flops:,.0f} FLOPs)")
+    if written:
+        print(f"cached -> {written}")
+        default = calibrate.default_cache_path()
+        if default is None or written.resolve() != default.resolve():
+            print(f"note: planners load this file only with "
+                  f"{calibrate.CACHE_ENV}={written}")
+    else:
+        print("dry run: cache not written")
     return 0
 
 
@@ -271,6 +367,7 @@ def _run_run(args, program) -> int:
         rank=args.rank,
         refresh_count=args.updates,
         counter=counter,
+        replan={"check_every": args.replan} if args.replan > 0 else None,
     )
     setup_seconds = time.perf_counter() - start
     setup_flops = counter.total_flops
@@ -292,6 +389,7 @@ def _run_run(args, program) -> int:
 
     plan = session.plan
     flops = dict(sorted(counter.snapshot().items()))
+    replans = list(getattr(session, "replans", ()))
     if args.json:
         print(json.dumps({
             "plan": plan.as_dict(),
@@ -302,6 +400,12 @@ def _run_run(args, program) -> int:
             "seconds_per_update": per_update,
             "flops_by_op": flops,
             "total_flops": counter.total_flops,
+            "replans": [
+                {"refreshes": e.refreshes, "from": e.from_label,
+                 "to": e.to_label, "switched": e.switched,
+                 "seconds_per_update": e.seconds_per_update}
+                for e in replans
+            ],
         }, indent=2))
         return 0
 
@@ -315,6 +419,10 @@ def _run_run(args, program) -> int:
           f"({setup_flops:,} FLOPs)")
     print(f"maintenance: {maintain_seconds * 1e3:10.2f} ms   "
           f"({per_update * 1e3:.3f} ms/update)")
+    for event in replans:
+        verb = "switched" if event.switched else "considered"
+        print(f"  replan @ {event.refreshes:>5}: {verb} "
+              f"{event.from_label} -> {event.to_label}")
     total = counter.total_flops
     print(f"FLOPs      : {total:,} total")
     for op, count in flops.items():
@@ -339,6 +447,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "advise":
         return _run_advise(args)
+
+    if args.command == "calibrate":
+        return _run_calibrate(args)
 
     try:
         program = _load_program(args.file)

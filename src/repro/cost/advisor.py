@@ -101,9 +101,15 @@ def _model_grid(k: int) -> list[tuple[str, int | None]]:
     return models
 
 
-def _backend_grid(backends) -> list:
-    """Backend instances to rank over; dense first (tie-break winner)."""
-    from ..backends import available_backends, get_backend
+def _backend_grid(backends, calibration="auto") -> list:
+    """Backend instances to rank over; dense first (tie-break winner).
+
+    Cost constants come from the :mod:`repro.calibrate` cache when one
+    exists for this machine (``calibration="auto"``), so rankings near
+    the dense/sparse boundary reflect measured kernel overheads.
+    """
+    from ..backends import available_backends
+    from ..calibrate import calibrated  # deferred: backends import this pkg
 
     if backends is None:
         names = [n for n in ("dense", "sparse") if n in available_backends()]
@@ -112,7 +118,7 @@ def _backend_grid(backends) -> list:
     resolved = []
     for name in names:
         try:
-            resolved.append(get_backend(name))
+            resolved.append(calibrated(name, calibration))
         except (ValueError, RuntimeError):  # e.g. sparse without scipy
             continue
     return resolved
@@ -127,6 +133,7 @@ def recommend_powers(
     rank: int = 1,
     refreshes: int = DEFAULT_REFRESHES,
     backends=None,
+    calibration="auto",
 ) -> list[Recommendation]:
     """Ranked configurations for maintaining ``A^k`` under rank-r updates.
 
@@ -152,7 +159,7 @@ def recommend_powers(
             ))
         return _rank(candidates, memory_budget)
 
-    for be in _backend_grid(backends):
+    for be in _backend_grid(backends, calibration):
         for model, s in _model_grid(k):
             for strategy in (REEVAL, INCR):
                 cost = est.powers_cost(be, strategy, n, k, model, s,
@@ -176,6 +183,7 @@ def recommend_general(
     refreshes: int = DEFAULT_REFRESHES,
     has_b: bool = True,
     backends=None,
+    calibration="auto",
 ) -> list[Recommendation]:
     """Ranked configurations for ``T_{i+1} = A T_i + B`` maintenance."""
     if p < 1:
@@ -200,7 +208,7 @@ def recommend_general(
             ))
         return _rank(candidates, memory_budget)
 
-    for be in _backend_grid(backends):
+    for be in _backend_grid(backends, calibration):
         for model, s in _model_grid(k):
             for strategy in (REEVAL, INCR, HYBRID):
                 cost = est.general_cost(be, strategy, n, p, k, model, s,

@@ -93,7 +93,11 @@ class CholeskyView:
 
     def solve(self, b: np.ndarray) -> np.ndarray:
         """Solve ``A x = b`` by two triangular solves (``O(n^2)``)."""
-        from scipy.linalg import solve_triangular
+        try:  # scipy's triangular solve skips the LU factorization.
+            from scipy.linalg import solve_triangular
+        except ImportError:  # pragma: no cover - exercised without scipy
+            y = np.linalg.solve(self.l_factor, b)
+            return np.linalg.solve(self.l_factor.T, y)
 
         y = solve_triangular(self.l_factor, b, lower=True)
         return solve_triangular(self.l_factor.T, y, lower=False)

@@ -130,9 +130,12 @@ class QRView:
             b = b.reshape(-1, 1)
         n = self.r.shape[1]
         qtb = self.q.T @ b
-        from scipy.linalg import solve_triangular
-
-        x = solve_triangular(self.r[:n, :n], qtb[:n], lower=False)
+        try:  # scipy's triangular solve skips the LU factorization.
+            from scipy.linalg import solve_triangular
+        except ImportError:  # pragma: no cover - exercised without scipy
+            x = np.linalg.solve(self.r[:n, :n], qtb[:n])
+        else:
+            x = solve_triangular(self.r[:n, :n], qtb[:n], lower=False)
         return x.reshape(-1) if flat else x
 
     def orthogonality_drift(self) -> float:

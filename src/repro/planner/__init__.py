@@ -27,6 +27,7 @@ from .planner import (
     plan_ols,
     plan_powers,
     plan_program,
+    rank_program,
 )
 from .programcost import infer_dims, program_cost
 
@@ -43,5 +44,6 @@ __all__ = [
     "plan_powers",
     "plan_program",
     "program_cost",
+    "rank_program",
     "resolve_driver_strategy",
 ]

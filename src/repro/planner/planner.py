@@ -20,7 +20,8 @@ from __future__ import annotations
 
 from typing import Mapping
 
-from ..backends import available_backends, get_backend
+from ..backends import available_backends
+from ..calibrate import calibrated
 from ..compiler.program import Program
 from ..cost.advisor import recommend_general, recommend_powers
 from .plan import INCR, REEVAL, MaintenancePlan, WorkloadStats
@@ -70,7 +71,7 @@ def plan_general(stats: WorkloadStats) -> MaintenancePlan:
     )
 
 
-def plan_program(
+def rank_program(
     program: Program,
     inputs: Mapping | None = None,
     stats: WorkloadStats | None = None,
@@ -78,15 +79,24 @@ def plan_program(
     update_input: str | None = None,
     backends=None,
     strategies=(REEVAL, INCR),
-) -> MaintenancePlan:
-    """Cheapest plan for maintaining a compiled program in a session.
+    calibration="auto",
+    amortize_setup: bool = True,
+) -> list[MaintenancePlan]:
+    """Every admissible session plan, cheapest first.
 
-    Sessions have no iterative-model axis, so the grid is (strategy in
-    {INCR, REEVAL}) x backend, with the execution mode chosen from the
-    expected refresh count.  ``inputs`` (initial values) supply the
-    dimension bindings and measured densities; ``stats`` supplies the
-    update rank and expected refresh count (its other fields are not
-    consulted here — densities always come from the inputs).
+    The grid is (strategy in {INCR, REEVAL}) x backend; ``inputs``
+    (initial values) supply the dimension bindings and measured
+    densities; ``stats`` supplies the update rank and expected refresh
+    count.  ``calibration`` feeds machine-measured cost constants into
+    the backends' ``est_*`` hooks (``"auto"`` loads the
+    :mod:`repro.calibrate` cache, ``None`` keeps the class constants, a
+    :class:`~repro.calibrate.Calibration` is used verbatim).
+
+    With ``amortize_setup=False`` each candidate's ``predicted_time`` is
+    the bare per-refresh cost — what an *already-built* session would
+    pay.  Online re-planning ranks on this form: mid-stream the views
+    exist, so setup is sunk and only refresh cost (plus the explicit
+    switch cost) matters.
     """
     inputs = dict(inputs or {})
     resolved_dims = dict(dims or {})
@@ -102,6 +112,7 @@ def plan_program(
     refreshes = stats.refresh_count if stats is not None else (
         WorkloadStats(n=1).refresh_count
     )
+    mode_stats = stats or WorkloadStats(n=1, refresh_count=refreshes)
 
     if backends is None:
         backends = [b for b in ("dense", "sparse") if b in available_backends()]
@@ -109,7 +120,7 @@ def plan_program(
     candidates = []
     for backend_name in backends:
         try:
-            be = get_backend(backend_name)
+            be = calibrated(backend_name, calibration)
         except (ValueError, RuntimeError):
             continue
         for strategy in strategies:
@@ -117,16 +128,45 @@ def plan_program(
                 be, strategy, program, resolved_dims, densities,
                 rank=rank, update_input=update_input,
             )
+            predicted = (cost.total(refreshes) / max(refreshes, 1)
+                         if amortize_setup else cost.refresh)
+            mode = _mode_for(mode_stats) if strategy == INCR else "interpret"
             candidates.append(MaintenancePlan(
-                strategy, "linear", None, be.name, "interpret",
-                cost.total(refreshes) / max(refreshes, 1), cost.space,
+                strategy, "linear", None, be.name, mode,
+                predicted, cost.space,
             ))
-    best = min(candidates, key=lambda c: (c.predicted_time, c.predicted_space,
-                                          c.backend != "dense"))
-    if best.strategy == INCR:
-        mode_stats = stats or WorkloadStats(n=1, refresh_count=refreshes)
-        best = best.with_overrides(mode=_mode_for(mode_stats))
-    return best
+    if not candidates:
+        raise RuntimeError("no execution backend available to plan over")
+    return sorted(candidates,
+                  key=lambda c: (c.predicted_time, c.predicted_space,
+                                 c.backend != "dense"))
+
+
+def plan_program(
+    program: Program,
+    inputs: Mapping | None = None,
+    stats: WorkloadStats | None = None,
+    dims: Mapping[str, int] | None = None,
+    update_input: str | None = None,
+    backends=None,
+    strategies=(REEVAL, INCR),
+    calibration="auto",
+) -> MaintenancePlan:
+    """Cheapest plan for maintaining a compiled program in a session.
+
+    Sessions have no iterative-model axis, so the grid is (strategy in
+    {INCR, REEVAL}) x backend, with the execution mode chosen from the
+    expected refresh count.  ``inputs`` (initial values) supply the
+    dimension bindings and measured densities; ``stats`` supplies the
+    update rank and expected refresh count (its other fields are not
+    consulted here — densities always come from the inputs).  See
+    :func:`rank_program` for the ``calibration`` axis and the full
+    ranked grid.
+    """
+    return rank_program(
+        program, inputs, stats=stats, dims=dims, update_input=update_input,
+        backends=backends, strategies=strategies, calibration=calibration,
+    )[0]
 
 
 def plan_ols(m: int, n: int, p: int = 1, gamma: float = 3.0) -> MaintenancePlan:
@@ -153,4 +193,5 @@ __all__ = [
     "plan_ols",
     "plan_powers",
     "plan_program",
+    "rank_program",
 ]

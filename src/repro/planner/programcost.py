@@ -16,6 +16,15 @@ charging every node through the backend's ``est_*`` cost hooks:
 Densities of derived views follow the expected-overlap heuristic
 ``density(AB) ~ min(1, d_a d_b m)`` for inner dimension ``m`` — the
 same convention as :mod:`repro.cost.estimate`; inverses are dense.
+
+Every arithmetic node evaluated and every factored delta pass is also
+charged one ``est_call_overhead_flops`` — the same per-call accounting
+:mod:`repro.cost.estimate` applies to the iterative models.  Factored
+INCR trades a few big products for many thin passes, so omitting call
+cost would (a) recommend INCR at scales where dispatch overhead eats
+the win and (b) price two backends identically whenever fill-in pushes
+their stored densities to 1.0, leaving online re-planning blind to the
+backends' different kernel overheads.
 """
 
 from __future__ import annotations
@@ -124,11 +133,14 @@ def program_cost(
             parts = [walk(child) for child in node.children]
             first = parts[0]
             density = min(1.0, sum(part.density for part in parts))
-            eval_cost += (len(parts) - 1) * be.est_add_flops(
-                (first.rows, first.cols), density
+            eval_cost += (len(parts) - 1) * (
+                be.est_add_flops((first.rows, first.cols), density)
+                + be.est_call_overhead_flops
             )
-            return _Annotation(first.rows, first.cols, density,
-                               sum(part.width for part in parts))
+            width = sum(part.width for part in parts)
+            if width:
+                delta_cost += be.est_call_overhead_flops  # factor hstack
+            return _Annotation(first.rows, first.cols, density, width)
         if isinstance(node, MatMul):
             left = walk(node.children[0])
             for child in node.children[1:]:
@@ -136,21 +148,23 @@ def program_cost(
                 eval_cost += be.est_matmul_flops(
                     (left.rows, left.cols), (right.rows, right.cols),
                     left.density, right.density,
-                )
+                ) + be.est_call_overhead_flops
                 # Factored propagation: dA B (thin right-pass), A dB
-                # (thin left-pass), dA dB (thin-thin core).
+                # (thin left-pass), dA dB (thin-thin core) — one kernel
+                # call each.
                 if left.width:
                     delta_cost += be.est_matmul_flops(
                         (right.cols, right.rows), (right.rows, left.width),
                         right.density,
-                    )
+                    ) + be.est_call_overhead_flops
                 if right.width:
                     delta_cost += be.est_matmul_flops(
                         (left.rows, left.cols), (left.cols, right.width),
                         left.density,
-                    )
+                    ) + be.est_call_overhead_flops
                 if left.width and right.width:
-                    delta_cost += 4.0 * left.rows * left.width * right.width
+                    delta_cost += (4.0 * left.rows * left.width * right.width
+                                   + be.est_call_overhead_flops)
                 left = _Annotation(
                     left.rows, right.cols,
                     _product_density(left.density, right.density, left.cols),
@@ -159,9 +173,12 @@ def program_cost(
             return left
         if isinstance(node, ScalarMul):
             child = walk(node.child)
-            eval_cost += be.est_add_flops((child.rows, child.cols),
-                                          child.density)
-            delta_cost += 2.0 * child.rows * child.width
+            eval_cost += be.est_add_flops(
+                (child.rows, child.cols), child.density
+            ) + be.est_call_overhead_flops
+            if child.width:
+                delta_cost += (2.0 * child.rows * child.width
+                               + be.est_call_overhead_flops)
             return child
         if isinstance(node, Transpose):
             child = walk(node.child)
@@ -170,10 +187,12 @@ def program_cost(
         if isinstance(node, Inverse):
             child = walk(node.child)
             n = child.rows
-            eval_cost += 2.0 * n ** 3
+            eval_cost += 2.0 * n ** 3 + be.est_call_overhead_flops
             # Incremental inverse maintenance is Sherman–Morrison per
             # delta column: O(n^2) each.
-            delta_cost += 4.0 * n * n * max(child.width, 0)
+            if child.width:
+                delta_cost += (4.0 * n * n * child.width
+                               + be.est_call_overhead_flops)
             return _Annotation(n, n, 1.0, child.width)
         if isinstance(node, (HStack, VStack)):
             parts = [walk(child) for child in node.children]
@@ -198,13 +217,13 @@ def program_cost(
             delta_cost += be.est_add_outer_flops(
                 (result.rows, result.cols), result.density,
                 result.width, u_nnz,
-            )
+            ) + be.est_call_overhead_flops
         ann[stmt.target.name] = result
         space += be.est_entries((result.rows, result.cols), result.density)
 
     apply_update = be.est_add_outer_flops(
         (upd.rows, upd.cols), upd.density, rank, 1.0
-    )
+    ) + be.est_call_overhead_flops
     if strategy == "REEVAL":
         return CostEstimate(eval_cost, apply_update + eval_cost, space)
     return CostEstimate(eval_cost, apply_update + delta_cost, space)

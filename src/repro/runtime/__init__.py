@@ -4,6 +4,8 @@ from .drift import (
     DriftExceededError,
     DriftMonitor,
     DriftReport,
+    ReplanEvent,
+    ReplanMonitor,
     SessionDriftMonitor,
 )
 from .executor import EvaluationError, evaluate, resolve_dim
@@ -25,6 +27,8 @@ __all__ = [
     "FactoredUpdate",
     "IVMSession",
     "ReevalSession",
+    "ReplanEvent",
+    "ReplanMonitor",
     "Session",
     "SessionDriftMonitor",
     "ViewStore",

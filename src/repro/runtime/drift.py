@@ -22,6 +22,7 @@ for memory.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
@@ -215,10 +216,200 @@ class SessionDriftMonitor:
         return getattr(self.session, name)
 
 
+@dataclass
+class ReplanEvent:
+    """One re-planning decision (taken or declined)."""
+
+    refreshes: int              #: updates absorbed when the check ran
+    from_label: str             #: plan the session was running
+    to_label: str               #: cheapest plan at current statistics
+    predicted_saving: float     #: ops saved over the remaining horizon
+    switch_cost: float          #: predicted ops to convert state
+    seconds_per_update: float   #: measured cost since the last check
+    switched: bool              #: whether the session actually moved
+
+
+class ReplanMonitor(SessionDriftMonitor):
+    """Online re-planning layered on session drift monitoring.
+
+    :func:`~repro.planner.plan_program` prices the plan grid **once**,
+    from the inputs as they look at session open.  Long-lived sessions
+    drift away from that snapshot — reachability-style fill-in raises
+    density until CSR state costs more than dense BLAS would — so the
+    opening plan quietly becomes the wrong one.  This monitor closes the
+    loop: every ``check_every`` updates it re-measures the inputs'
+    densities and the observed update rank *from the live session
+    state*, re-prices the (strategy, backend) grid with setup treated
+    as sunk (``rank_program(amortize_setup=False)``), and switches the
+    session via :meth:`Session.with_plan
+    <repro.runtime.session.Session.with_plan>` — a state *conversion*,
+    never a rebuild — when the cheaper plan's projected savings over the
+    remaining horizon exceed ``switch_margin`` times the conversion
+    cost.  Numerical drift probing (inherited) runs at the same cadence.
+
+    Parameters beyond :class:`SessionDriftMonitor`:
+
+    probe_every:
+        Cadence of the inherited *numerical* drift probe — a probe
+        costs a full re-evaluation, so it runs on its own (typically
+        sparser) schedule; ``check_every`` only paces re-planning,
+        which needs densities, not ground truth.  ``None`` (default)
+        disables numerical probing; :func:`open_session` maps a
+        ``drift=`` request's ``check_every`` here.
+    expected_refreshes:
+        Expected total stream length; the remaining horizon prices
+        projected savings.  ``None`` assumes the stream runs for at
+        least as long again as it already has (the doubling heuristic —
+        conservative early, increasingly confident later).
+    switch_margin:
+        Required ratio of projected savings to switch cost (hysteresis;
+        2.0 means "the move must pay for itself twice over").
+    calibration:
+        Passed to :func:`~repro.planner.rank_program` (``"auto"`` loads
+        the :mod:`repro.calibrate` cache).
+
+    Measured per-update wall time is recorded on every
+    :class:`ReplanEvent` (``seconds_per_update``), so drifting cost is
+    visible alongside the model's predictions.
+    """
+
+    def __init__(
+        self,
+        session,
+        check_every: int = 50,
+        tolerance: float = 1e-6,
+        action: str = "rebuild",
+        rebuild: Callable[[], None] | None = None,
+        probe_every: int | None = None,
+        expected_refreshes: int | None = None,
+        switch_margin: float = 2.0,
+        calibration="auto",
+    ):
+        super().__init__(session, check_every, tolerance, action, rebuild)
+        if switch_margin <= 0:
+            raise ValueError("switch_margin must be positive")
+        if probe_every is not None and probe_every < 1:
+            raise ValueError("probe_every must be positive (or None)")
+        self.probe_every = probe_every
+        self._custom_rebuild = rebuild is not None
+        self.expected_refreshes = (
+            None if expected_refreshes is None else int(expected_refreshes)
+        )
+        self.switch_margin = float(switch_margin)
+        self.calibration = calibration
+        self.replans: list[ReplanEvent] = []
+        self._window_seconds = 0.0
+        self._window_updates = 0
+        self._observed_rank = 1
+        self._update_target: str | None = None
+
+    def apply_update(self, update) -> None:
+        """Apply one update; probe drift and re-plan on schedule."""
+        start = time.perf_counter()
+        self.session.apply_update(update)
+        self._window_seconds += time.perf_counter() - start
+        self._window_updates += 1
+        self._observed_rank = max(self._observed_rank, update.rank)
+        self._update_target = update.target
+        self.refreshes += 1
+        if self.probe_every and self.refreshes % self.probe_every == 0:
+            self.probe()
+        if self.refreshes % self.check_every == 0:
+            self.replan()
+
+    def _remaining_horizon(self) -> int:
+        if self.expected_refreshes is not None:
+            return max(self.expected_refreshes - self.refreshes,
+                       self.check_every)
+        return max(self.refreshes, self.check_every)
+
+    def _switch_cost(self, to_backend: str) -> float:
+        """Predicted ops to convert the session's state to ``to_backend``.
+
+        Conversion touches what is stored now plus what the target
+        representation will store (CSR -> dense materializes the full
+        ``n x m`` image, not just the nonzeros).  A same-backend switch
+        (strategy only) shares the arrays outright — its cost is just
+        trigger (re)compilation, charged as a few kernel calls.
+        """
+        from ..backends import get_backend
+
+        old = self.session.backend
+        new = get_backend(to_backend)
+        if new.name == old.name:
+            return 8.0 * new.est_call_overhead_flops
+        views = self.session.views
+        entries = 0.0
+        for name in views.names():
+            arr = views.get(name)
+            rows, cols = old.shape(arr)
+            density = old.density(arr)
+            entries += old.est_entries((rows, cols), density)
+            entries += new.est_entries((rows, cols), density)
+        return 2.0 * entries
+
+    def replan(self) -> ReplanEvent | None:
+        """Re-price the plan grid from live state; switch if it pays.
+
+        Returns the :class:`ReplanEvent` when the best plan differs from
+        the running one (whether or not the switch was taken), ``None``
+        when the current plan is still the winner.
+        """
+        from ..planner import WorkloadStats, rank_program
+
+        session = self.session
+        program = session.program
+        inputs = {name: session.views.get(name)
+                  for name in program.input_names}
+        remaining = self._remaining_horizon()
+        stats = WorkloadStats(n=1, update_rank=self._observed_rank,
+                              refresh_count=remaining)
+        ranked = rank_program(
+            program, inputs, stats=stats, dims=session.views.dims,
+            update_input=self._update_target, calibration=self.calibration,
+            amortize_setup=False,
+        )
+        seconds = self._window_seconds / max(self._window_updates, 1)
+        self._window_seconds = 0.0
+        self._window_updates = 0
+
+        current = next(
+            (c for c in ranked
+             if c.strategy == session.strategy
+             and c.backend == session.backend.name),
+            None,
+        )
+        best = ranked[0]
+        if current is None or (best.strategy, best.backend) == (
+                current.strategy, current.backend):
+            return None
+
+        saving = (current.predicted_time - best.predicted_time) * remaining
+        cost = self._switch_cost(best.backend)
+        switched = saving > self.switch_margin * cost
+        event = ReplanEvent(self.refreshes, current.label, best.label,
+                            saving, cost, seconds, switched)
+        self.replans.append(event)
+        if switched:
+            self.session = session.with_plan(best, rank=self._observed_rank)
+            self.plan = best
+            if not self._custom_rebuild:
+                # Rebind the default rebuild hook to the *new* session.
+                self._rebuild = self.session.rebuild
+        return event
+
+    @property
+    def switch_count(self) -> int:
+        """How many times re-planning actually moved the session."""
+        return sum(1 for event in self.replans if event.switched)
+
+
 __all__ = [
     "DriftExceededError",
     "DriftMonitor",
     "DriftReport",
     "MaintainerWithDrift",
+    "ReplanEvent",
+    "ReplanMonitor",
     "SessionDriftMonitor",
 ]

@@ -52,7 +52,12 @@ class Session:
     program:
         The linear algebra program to maintain.
     inputs:
-        Initial values for every declared input matrix.
+        Initial values for every declared input matrix — or a live
+        :class:`~repro.runtime.views.ViewStore` to *adopt*: the store's
+        state (inputs **and** materialized views) is carried over by
+        value, converted to this session's backend, and nothing is
+        re-evaluated.  Adoption is the online re-planning hand-off; see
+        :meth:`with_plan`.
     dims:
         Bindings for symbolic dimension names used in the program.
     counter:
@@ -78,8 +83,12 @@ class Session:
         self.program = program
         self.counter = counter
         self.backend = get_backend(backend)
-        self.views = ViewStore(dims, backend=self.backend)
         self.update_count = 0
+        if isinstance(inputs, ViewStore):
+            # Adopt live state: one conversion pass, no re-evaluation.
+            self.views = inputs.converted(self.backend)
+            return
+        self.views = ViewStore(dims, backend=self.backend)
         missing = set(program.input_names) - set(inputs)
         if missing:
             raise ValueError(f"missing initial values for inputs: {sorted(missing)}")
@@ -125,6 +134,38 @@ class Session:
         accumulated floating-point drift resets to zero.
         """
         self._materialize_all()
+
+    def with_plan(self, plan, rank: int = 1, optimize: bool = False) -> "Session":
+        """A session in ``plan``'s configuration adopting this one's state.
+
+        The online re-planning switch (:class:`ReplanMonitor`): view
+        state crosses backends through
+        :meth:`ViewStore.converted <repro.runtime.views.ViewStore.converted>`
+        (one pass over stored entries — CSR state densifies, dense state
+        re-enters the target representation policy), INCR plans
+        (re)compile their triggers, and **no view is re-evaluated**.
+        The update counter carries over and ``plan`` is attached as
+        ``.plan``.  The old session must be discarded: converted arrays
+        may share memory with it.
+        """
+        backend = get_backend(plan.backend)
+        if plan.strategy == "REEVAL":
+            session: Session = ReevalSession(
+                self.program, self.views, counter=self.counter,
+                backend=backend,
+            )
+        elif plan.strategy == "INCR":
+            session = IVMSession(
+                self.program, self.views, rank=rank, optimize=optimize,
+                mode=plan.mode, counter=self.counter, backend=backend,
+            )
+        else:
+            raise ValueError(
+                f"sessions support INCR or REEVAL, not {plan.strategy!r}"
+            )
+        session.update_count = self.update_count
+        session.plan = plan
+        return session
 
     def revalidate(self) -> float:
         """Recompute every view from the current inputs; return max drift.
@@ -283,6 +324,7 @@ def open_session(
     optimize: bool = False,
     counter: counters.Counter = counters.NULL_COUNTER,
     drift=None,
+    replan=None,
 ):
     """Open a maintenance session, planning the configuration if asked.
 
@@ -310,12 +352,21 @@ def open_session(
         (``check_every``, ``tolerance``, ``action``).  With monitoring
         the return value is the monitor wrapping the session; the
         ``rebuild`` action recomputes all views from current inputs.
+    replan:
+        ``None`` (static plan), ``True`` (defaults), or a dict of
+        :class:`~repro.runtime.drift.ReplanMonitor` options
+        (``check_every``, ``switch_margin``, ``expected_refreshes``,
+        plus the drift options).  Returns the re-planning monitor
+        wrapping the session: the plan grid is re-priced from live
+        state every ``check_every`` updates and the session switches
+        strategy/backend mid-stream when it pays.  Subsumes ``drift``
+        (options given there are folded in underneath).
 
-    Returns the session (or its drift monitor), with the resolved
+    Returns the session (or its monitor), with the resolved
     :class:`~repro.planner.plan.MaintenancePlan` attached as ``.plan``.
     """
     from ..planner import MaintenancePlan, WorkloadStats, plan_program
-    from .drift import SessionDriftMonitor
+    from .drift import ReplanMonitor, SessionDriftMonitor
 
     stats_kwargs = {"update_rank": rank}
     if refresh_count is not None:
@@ -355,6 +406,20 @@ def open_session(
         )
     session.plan = resolved
 
+    if replan:
+        options = {} if replan is True else dict(replan)
+        if drift:
+            # Fold a drift= request underneath: its cadence becomes the
+            # numerical probe schedule, its policy options pass through.
+            drift_options = {} if drift is True else dict(drift)
+            options.setdefault(
+                "probe_every", drift_options.pop("check_every", 100))
+            for key, value in drift_options.items():
+                options.setdefault(key, value)
+        options.setdefault("expected_refreshes", refresh_count)
+        monitor = ReplanMonitor(session, **options)
+        monitor.plan = resolved
+        return monitor
     if drift:
         options = {} if drift is True else dict(drift)
         monitor = SessionDriftMonitor(session, **options)

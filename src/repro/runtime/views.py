@@ -92,6 +92,28 @@ class ViewStore:
             current = current.copy()
         self._arrays[name] = self.backend.add_outer(current, u, v)
 
+    def converted(self, backend) -> "ViewStore":
+        """This store's state re-normalized under another backend.
+
+        The cross-backend hand-off online re-planning relies on: every
+        stored matrix is carried over *by value* — CSR state densifies
+        through :meth:`~repro.backends.base.Backend.materialize`, dense
+        state re-enters the target backend's representation policy (the
+        session analog of ``BlockMatrix.from_sparse`` / densify in the
+        distributed layer) — so no view is re-evaluated.  Cost is one
+        pass over stored entries, not a rebuild.  Arrays already native
+        to the target backend are shared, not copied (the caller is
+        expected to drop the old store).
+        """
+        be = get_backend(backend)
+        store = ViewStore(self.dims, backend=be)
+        for name, arr in self._arrays.items():
+            if be.is_native(arr):
+                store._arrays[name] = be.asarray(arr)
+            else:
+                store._arrays[name] = be.asarray(self.backend.materialize(arr))
+        return store
+
     def as_env(self) -> dict[str, np.ndarray]:
         """A shallow dict view usable as an executor environment."""
         return dict(self._arrays)

@@ -8,6 +8,21 @@ import pytest
 from repro.expr import MatrixSymbol, NamedDim
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_calibration(monkeypatch):
+    """Keep planner decisions deterministic across developer machines.
+
+    A calibration cache in ``~/.cache`` would silently shift every
+    planner assertion in this suite; tests exercising calibration pass
+    explicit :class:`~repro.calibrate.Calibration` objects or set the
+    env var themselves (monkeypatch wins over this autouse default).
+    """
+    import repro.calibrate as calibrate
+
+    monkeypatch.setenv(calibrate.CACHE_ENV, "off")
+    monkeypatch.setattr(calibrate, "_AUTOLOADED", False)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic random generator (fresh per test)."""

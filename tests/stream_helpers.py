@@ -1,0 +1,22 @@
+"""Shared workload-stream builders for the test suite.
+
+Not a conftest: benchmark scripts import their own ``conftest`` module
+by name, so shared test helpers live under a unique module name to keep
+mixed ``pytest tests/... benchmarks/...`` invocations unambiguous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def fillin_factors(rng: np.random.Generator, n: int, count: int,
+                   fill: float = 0.5, scale: float = 0.05):
+    """Reachability-style fill-in factors: row ``i % n`` gets ~``fill``
+    of its entries perturbed per update, so the target matrix densifies
+    along the stream.  Shared by the drift and re-planning tests."""
+    for i in range(count):
+        u = np.zeros((n, 1))
+        u[i % n, 0] = 1.0
+        v = (rng.random((n, 1)) < fill) * (scale * rng.standard_normal((n, 1)))
+        yield u, v

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
-from scipy.linalg import expm as scipy_expm
+scipy_expm = pytest.importorskip("scipy.linalg").expm
 
 from repro.analytics import (
     IncrementalExpm,

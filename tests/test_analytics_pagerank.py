@@ -1,6 +1,11 @@
 """Incremental PageRank on evolving graphs, checked against networkx."""
 
 import networkx as nx
+try:
+    import scipy  # noqa: F401
+except ImportError:
+    scipy = None
+
 import numpy as np
 import pytest
 
@@ -29,6 +34,11 @@ class TestTransitionMatrix:
 
 
 class TestAgainstNetworkx:
+    # networkx's pagerank itself runs on scipy sparse matrices.
+    pytestmark = pytest.mark.skipif(
+        scipy is None,
+        reason="networkx pagerank needs scipy")
+
     def test_ranks_match_networkx(self, rng):
         adj = random_adjacency(rng, 25)
         pr = IncrementalPageRank(adj, k=128, strategy="HYBRID")

@@ -1,0 +1,214 @@
+"""Machine calibration: measurement, caching, and planner integration."""
+
+import json
+
+import pytest
+
+from repro import calibrate
+from repro.backends import DENSE, get_backend
+from repro.calibrate import (
+    BackendCalibration,
+    Calibration,
+    cache_key,
+    calibrated,
+    load_calibration,
+    run_calibration,
+)
+
+
+def synthetic(dense_overhead=50_000.0, sparse_overhead=16.0,
+              update_overhead=256.0, spgemm_overhead=400.0) -> Calibration:
+    """A hand-built calibration (no timing; deterministic tests)."""
+    return Calibration(key=cache_key(), backends={
+        "dense": BackendCalibration(
+            backend="dense", flops_per_second=5e10,
+            call_overhead_flops=dense_overhead,
+        ),
+        "sparse": BackendCalibration(
+            backend="sparse", flops_per_second=5e10,
+            call_overhead_flops=3.0 * dense_overhead,
+            sparse_overhead=sparse_overhead,
+            sparse_update_overhead=update_overhead,
+            sparse_spgemm_overhead=spgemm_overhead,
+        ),
+    })
+
+
+class TestRunCalibration:
+    def test_dense_fit_is_sane(self):
+        cal = run_calibration(backends=["dense"], repeats=1, quick=True)
+        entry = cal.backends["dense"]
+        assert entry.flops_per_second > 1e6
+        lo, hi = calibrate.OVERHEAD_FLOPS_RANGE
+        assert lo <= entry.call_overhead_flops <= hi
+        assert entry.sparse_overhead is None
+        assert entry.samples  # raw measurements kept for reporting
+
+    def test_sparse_fit_within_clamps(self):
+        pytest.importorskip("scipy")
+        cal = run_calibration(repeats=1, quick=True)
+        entry = cal.backends["sparse"]
+        lo, hi = calibrate.SPARSE_OVERHEAD_RANGE
+        assert lo <= entry.sparse_overhead <= hi
+        lo, hi = calibrate.SPARSE_UPDATE_OVERHEAD_RANGE
+        assert lo <= entry.sparse_update_overhead <= hi
+        lo, hi = calibrate.SPARSE_SPGEMM_OVERHEAD_RANGE
+        assert lo <= entry.sparse_spgemm_overhead <= hi
+
+    def test_unknown_backend_skipped(self):
+        cal = run_calibration(backends=["dense", "nope"], repeats=1,
+                              quick=True)
+        assert set(cal.backends) == {"dense"}
+
+
+class TestCacheRoundTrip:
+    def test_save_and_reload(self, tmp_path):
+        cal = synthetic()
+        path = cal.save(tmp_path / "calibration.json")
+        loaded = load_calibration(path)
+        assert loaded is not None
+        assert loaded.key == cal.key
+        for name in ("dense", "sparse"):
+            assert (loaded.backends[name].call_overhead_flops
+                    == cal.backends[name].call_overhead_flops)
+        assert (loaded.backends["sparse"].sparse_update_overhead
+                == cal.backends["sparse"].sparse_update_overhead)
+
+    def test_stale_key_invalidates(self, tmp_path):
+        path = tmp_path / "calibration.json"
+        stale = Calibration(key="otherbox/Linux/3.0.0", backends={})
+        data = stale.as_dict()
+        data["backends"] = synthetic().as_dict()["backends"]
+        path.write_text(json.dumps(data))
+        assert load_calibration(path) is None
+
+    def test_wrong_schema_invalidates(self, tmp_path):
+        path = tmp_path / "calibration.json"
+        data = synthetic().as_dict()
+        data["schema"] = 999
+        path.write_text(json.dumps(data))
+        assert load_calibration(path) is None
+
+    def test_corrupt_file_invalidates(self, tmp_path):
+        path = tmp_path / "calibration.json"
+        path.write_text("{not json")
+        assert load_calibration(path) is None
+        assert load_calibration(tmp_path / "missing.json") is None
+
+    def test_env_off_disables_default_path(self, monkeypatch):
+        monkeypatch.setenv(calibrate.CACHE_ENV, "off")
+        assert calibrate.default_cache_path() is None
+        with pytest.raises(ValueError, match="disabled"):
+            synthetic().save()
+
+    def test_env_path_used(self, tmp_path, monkeypatch):
+        target = tmp_path / "nested" / "cal.json"
+        monkeypatch.setenv(calibrate.CACHE_ENV, str(target))
+        assert synthetic().save() == target
+        assert load_calibration() is not None
+
+
+class TestCalibratedResolution:
+    def test_constants_applied_to_copy_not_singleton(self):
+        cal = synthetic(dense_overhead=123_456.0)
+        be = calibrated("dense", cal)
+        assert be.est_call_overhead_flops == 123_456.0
+        # The shared singleton keeps its class constant.
+        assert DENSE.est_call_overhead_flops == 10_000.0
+        assert be is not DENSE
+
+    def test_sparse_constants_applied(self):
+        pytest.importorskip("scipy")
+        cal = synthetic()
+        be = calibrated("sparse", cal)
+        assert be.est_overhead == 16.0
+        assert be.est_update_overhead == 256.0
+        assert be.est_spgemm_overhead == 400.0
+        # Fresh registry instances are untouched.
+        assert get_backend("sparse").est_overhead == 4.0
+
+    def test_none_keeps_class_constants(self):
+        be = calibrated("dense", None)
+        assert be.est_call_overhead_flops == 10_000.0
+
+    def test_auto_without_cache_is_noop(self, monkeypatch):
+        monkeypatch.setenv(calibrate.CACHE_ENV, "off")
+        monkeypatch.setattr(calibrate, "_AUTOLOADED", False)
+        assert calibrated("dense").est_call_overhead_flops == 10_000.0
+
+
+class TestPlannerIntegration:
+    def test_calibration_changes_boundary_decision(self, rng):
+        """The acceptance shape: measured constants flip a boundary plan."""
+        pytest.importorskip("scipy")
+        from repro.frontend import parse_program
+        from repro.planner import WorkloadStats, plan_program
+
+        program = parse_program("input A(n, n); B := A * A; output B;")
+        stats = WorkloadStats(n=1, refresh_count=200)
+        n, density = 256, 0.05
+        a = (rng.random((n, n)) < density) * rng.standard_normal((n, n))
+
+        shipped = plan_program(program, {"A": a}, stats=stats,
+                               calibration=None)
+        # Near the boundary the shipped constants pick sparse; a machine
+        # whose sparse kernels measure far above the shipped penalties
+        # must flip the same workload to dense.
+        slow_sparse = synthetic(sparse_overhead=64.0, update_overhead=512.0,
+                                spgemm_overhead=1024.0)
+        measured = plan_program(program, {"A": a}, stats=stats,
+                                calibration=slow_sparse)
+        assert shipped.backend == "sparse"
+        assert measured.backend == "dense"
+
+    def test_autoload_feeds_open_session(self, tmp_path, monkeypatch, rng):
+        pytest.importorskip("scipy")
+        from repro.frontend import parse_program
+        from repro.runtime import open_session
+
+        target = tmp_path / "cal.json"
+        monkeypatch.setenv(calibrate.CACHE_ENV, str(target))
+        monkeypatch.setattr(calibrate, "_AUTOLOADED", False)
+        synthetic(sparse_overhead=64.0, update_overhead=512.0,
+                  spgemm_overhead=1024.0).save()
+
+        program = parse_program("input A(n, n); B := A * A; output B;")
+        n = 256
+        a = (rng.random((n, n)) < 0.05) * rng.standard_normal((n, n))
+        session = open_session(program, {"A": a}, refresh_count=200)
+        assert session.plan.backend == "dense"
+
+
+class TestCalibrateCLI:
+    def test_writes_cache_and_reports(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "cal.json"
+        assert main(["calibrate", "--quick", "--repeats", "1",
+                     "--backend", "dense", "--output", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "call overhead" in out
+        assert str(target) in out
+        assert load_calibration(target) is not None
+
+    def test_dry_run_writes_nothing(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "cal.json"
+        assert main(["calibrate", "--quick", "--repeats", "1",
+                     "--backend", "dense", "--dry-run",
+                     "--output", str(target)]) == 0
+        assert not target.exists()
+        assert "dry run" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "cal.json"
+        assert main(["calibrate", "--quick", "--repeats", "1",
+                     "--backend", "dense", "--output", str(target),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["key"] == cache_key()
+        assert "dense" in payload["backends"]
+        assert payload["path"] == str(target)

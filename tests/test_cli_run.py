@@ -30,12 +30,14 @@ class TestRun:
         assert "FLOPs" in out
 
     def test_sparse_graph_selects_sparse_backend(self, a4_file, capsys):
+        pytest.importorskip("scipy")
         assert main(["run", a4_file, "--dims", "n=256", "--density", "0.01",
                      "--updates", "4"]) == 0
         out = capsys.readouterr().out
         assert "backend  : sparse" in out
 
     def test_forced_plan_and_backend(self, a4_file, capsys):
+        pytest.importorskip("scipy")
         assert main(["run", a4_file, "--dims", "n=24", "--updates", "4",
                      "--plan", "reeval", "--backend", "sparse"]) == 0
         out = capsys.readouterr().out
@@ -43,12 +45,21 @@ class TestRun:
         assert "backend  : sparse" in out
 
     def test_codegen_mode_and_rank(self, a4_file, capsys):
+        # Force INCR: at n=24 the overhead-aware planner prefers REEVAL,
+        # which has no trigger code and would normalize the mode away.
         assert main(["run", a4_file, "--dims", "n=24", "--updates", "6",
-                     "--rank", "2", "--mode", "codegen", "--json"]) == 0
+                     "--rank", "2", "--plan", "incr",
+                     "--mode", "codegen", "--json"]) == 0
         data = json.loads(capsys.readouterr().out)
         assert data["plan"]["mode"] == "codegen"
         # --updates counts update events regardless of their rank.
         assert data["updates"] == 6
+
+    def test_replan_flag_reports_events(self, a4_file, capsys):
+        assert main(["run", a4_file, "--dims", "n=64", "--updates", "12",
+                     "--replan", "4", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "replans" in data  # monitor attached; events may be empty
 
     def test_json_output(self, a4_file, capsys):
         assert main(["run", a4_file, "--dims", "n=24", "--updates", "4",
@@ -78,6 +89,7 @@ class TestRun:
 
 class TestAdviseDensity:
     def test_density_adds_backend_axis(self, capsys):
+        pytest.importorskip("scipy")
         assert main(["advise", "powers", "--n", "2000", "--k", "16",
                      "--density", "0.01"]) == 0
         out = capsys.readouterr().out

@@ -246,6 +246,7 @@ class TestCollectorEdgeCases:
         assert tight_l.shape[1] == 2
 
     def test_collector_with_explicit_backend_matches_default(self, rng):
+        pytest.importorskip("scipy")
         updates = [rank1(rng, 7) for _ in range(4)]
         default = BatchCollector()
         sparse = BatchCollector(backend="sparse")

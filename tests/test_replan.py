@@ -1,0 +1,198 @@
+"""Online re-planning: state conversion, plan switching, ReplanMonitor."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import parse_program
+from repro.planner import MaintenancePlan
+from repro.runtime import (
+    FactoredUpdate,
+    IVMSession,
+    ReevalSession,
+    ReplanMonitor,
+    ViewStore,
+    open_session,
+)
+
+A2_SOURCE = "input A(n, n); B := A * A; output B;"
+
+
+def fill_updates(rng, n, count, fill=0.5, scale=0.05):
+    """The shared fill-in stream as session events targeting ``A``."""
+    from stream_helpers import fillin_factors
+
+    return [FactoredUpdate("A", u, v)
+            for u, v in fillin_factors(rng, n, count, fill, scale)]
+
+
+def sparse_input(rng, n, density):
+    return (rng.random((n, n)) < density) * (0.05 * rng.standard_normal((n, n)))
+
+
+class TestViewStoreConverted:
+    def test_dense_to_sparse_and_back(self, rng):
+        pytest.importorskip("scipy")
+        store = ViewStore({"n": 96}, backend="dense")
+        low = sparse_input(rng, 96, 0.02)
+        full = rng.standard_normal((96, 96))
+        store.set("A", low)
+        store.set("B", full)
+
+        sparse = store.converted("sparse")
+        assert not isinstance(sparse.get("A"), np.ndarray)  # CSR now
+        assert isinstance(sparse.get("B"), np.ndarray)      # stays dense
+        assert sparse.dims == store.dims
+
+        back = sparse.converted("dense")
+        np.testing.assert_allclose(back.get("A"), low)
+        np.testing.assert_allclose(back.get("B"), full)
+
+    def test_conversion_is_not_evaluation(self, rng):
+        # Values carry over verbatim even if they are inconsistent with
+        # any program — conversion must never recompute.
+        store = ViewStore(backend="dense")
+        store.set("X", np.full((4, 4), 7.0))
+        assert float(store.converted("dense").get("X")[0, 0]) == 7.0
+
+
+class TestWithPlan:
+    def make_session(self, rng, n=64, density=0.03):
+        pytest.importorskip("scipy")
+        program = parse_program(A2_SOURCE)
+        return IVMSession(program, {"A": sparse_input(rng, n, density)},
+                          dims={"n": n}, backend="sparse"), program
+
+    def test_backend_flip_preserves_state_and_counts(self, rng):
+        pytest.importorskip("scipy")
+        session, _ = self.make_session(rng)
+        for update in fill_updates(rng, 64, 5):
+            session.apply_update(update)
+        before = session.output().copy()
+
+        switched = session.with_plan(
+            MaintenancePlan("INCR", backend="dense", mode="codegen"))
+        assert switched.backend.name == "dense"
+        assert switched.update_count == session.update_count
+        np.testing.assert_allclose(switched.output(), before, atol=1e-12)
+
+    def test_switched_session_keeps_maintaining_correctly(self, rng):
+        pytest.importorskip("scipy")
+        session, program = self.make_session(rng)
+        stream = fill_updates(rng, 64, 12)
+        for update in stream[:6]:
+            session.apply_update(update)
+        switched = session.with_plan(
+            MaintenancePlan("INCR", backend="dense", mode="interpret"))
+        for update in stream[6:]:
+            switched.apply_update(update)
+        expected = switched["A"] @ switched["A"]
+        np.testing.assert_allclose(switched.output(), expected, atol=1e-9)
+
+    def test_strategy_switch_to_reeval(self, rng):
+        session, _ = self.make_session(rng)
+        switched = session.with_plan(MaintenancePlan("REEVAL"))
+        assert isinstance(switched, ReevalSession)
+        update = fill_updates(rng, 64, 1)[0]
+        switched.apply_update(update)
+        expected = switched["A"] @ switched["A"]
+        np.testing.assert_allclose(switched.output(), expected, atol=1e-9)
+
+    def test_hybrid_rejected(self, rng):
+        session, _ = self.make_session(rng)
+        with pytest.raises(ValueError, match="HYBRID"):
+            session.with_plan(MaintenancePlan("HYBRID"))
+
+
+class TestReplanMonitor:
+    def test_fillin_flips_sparse_to_dense_without_rebuild(self, rng):
+        """The tentpole scenario: density drift swaps the backend."""
+        pytest.importorskip("scipy")
+        n = 128
+        program = parse_program(A2_SOURCE)
+        monitor = open_session(
+            program, {"A": sparse_input(rng, n, 0.01)}, dims={"n": n},
+            refresh_count=80, replan={"check_every": 5},
+        )
+        assert isinstance(monitor, ReplanMonitor)
+        assert monitor.plan.backend == "sparse"
+
+        for update in fill_updates(rng, n, 60):
+            monitor.apply_update(update)
+
+        assert monitor.switch_count >= 1
+        assert monitor.session.backend.name == "dense"
+        assert monitor.plan.backend == "dense"
+        switch = next(e for e in monitor.replans if e.switched)
+        assert "sparse" in switch.from_label and "dense" in switch.to_label
+        assert switch.predicted_saving > switch.switch_cost
+        assert switch.seconds_per_update > 0.0
+        # State was converted, never rebuilt: the maintained view still
+        # matches recomputation from the maintained input exactly.
+        expected = monitor["A"] @ monitor["A"]
+        np.testing.assert_allclose(monitor.output(), expected, atol=1e-9)
+        assert monitor.refreshes == 60
+        assert monitor.update_count == 60  # carried across the switch
+
+    def test_stable_workload_never_switches(self, rng):
+        n = 64
+        program = parse_program(A2_SOURCE)
+        monitor = open_session(
+            program, {"A": rng.standard_normal((n, n)) / n}, dims={"n": n},
+            refresh_count=40, replan={"check_every": 5},
+        )
+        for update in fill_updates(rng, n, 20, fill=0.02):
+            monitor.apply_update(update)
+        assert monitor.switch_count == 0
+
+    def test_switch_margin_hysteresis(self, rng):
+        # An enormous margin requirement blocks otherwise-justified
+        # switches; the event is still recorded as considered.
+        pytest.importorskip("scipy")
+        n = 128
+        program = parse_program(A2_SOURCE)
+        monitor = open_session(
+            program, {"A": sparse_input(rng, n, 0.01)}, dims={"n": n},
+            refresh_count=80,
+            replan={"check_every": 5, "switch_margin": 1e12},
+        )
+        for update in fill_updates(rng, n, 60):
+            monitor.apply_update(update)
+        assert monitor.switch_count == 0
+        assert any(not e.switched for e in monitor.replans)
+
+    def test_option_validation(self, rng):
+        n = 16
+        program = parse_program(A2_SOURCE)
+        session = open_session(program, {"A": np.eye(n)}, dims={"n": n})
+        with pytest.raises(ValueError, match="switch_margin"):
+            ReplanMonitor(session, switch_margin=0.0)
+        with pytest.raises(ValueError, match="probe_every"):
+            ReplanMonitor(session, probe_every=0)
+
+    def test_drift_options_fold_into_probe_schedule(self, rng):
+        n = 32
+        program = parse_program(A2_SOURCE)
+        monitor = open_session(
+            program, {"A": rng.standard_normal((n, n)) / n}, dims={"n": n},
+            plan="incr", replan={"check_every": 50},
+            drift={"check_every": 4, "tolerance": 1e-30, "action": "raise"},
+        )
+        assert monitor.probe_every == 4
+        assert monitor.tolerance == 1e-30
+        from repro.runtime import DriftExceededError
+
+        with pytest.raises(DriftExceededError):
+            for update in fill_updates(rng, n, 8):
+                monitor.apply_update(update)
+
+    def test_manual_replan_reports_current_best(self, rng):
+        n = 64
+        program = parse_program(A2_SOURCE)
+        monitor = open_session(
+            program, {"A": rng.standard_normal((n, n)) / n}, dims={"n": n},
+            replan=True,
+        )
+        for update in fill_updates(rng, n, 3, fill=0.02):
+            monitor.apply_update(update)
+        # Current plan already the winner -> no event.
+        assert monitor.replan() is None

@@ -4,8 +4,48 @@ import numpy as np
 import pytest
 
 from repro.analytics import IncrementalOLS
+from repro.iterative import Model, make_sums
 from repro.runtime.drift import DriftExceededError, DriftMonitor, DriftReport
 from repro.workloads import well_conditioned_design
+
+
+class WalkCountMaintainer:
+    """Weighted walk counts ``I + A + ... + A^{k-1}`` with a drift probe.
+
+    The reachability building block as a :class:`DriftMonitor` subject:
+    ``refresh`` repairs the maintained sums view incrementally while the
+    ground-truth operator is tracked alongside, and ``revalidate``
+    recomputes the sum from that operator — so the probe measures the
+    *genuine* floating-point drift incremental maintenance accumulates,
+    not a scripted value.
+    """
+
+    def __init__(self, a: np.ndarray, k: int):
+        self.a = np.array(a, dtype=np.float64)
+        self.k = k
+        self._sums = make_sums("INCR", self.a, k, Model.linear())
+
+    def refresh(self, u: np.ndarray, v: np.ndarray) -> None:
+        self.a += u @ v.T
+        self._sums.refresh(u, v)
+
+    def result(self) -> np.ndarray:
+        return self._sums.result()
+
+    def revalidate(self) -> float:
+        expected = np.eye(self.a.shape[0])
+        power = np.eye(self.a.shape[0])
+        for _ in range(1, self.k):
+            power = self.a @ power
+            expected = expected + power
+        return float(np.max(np.abs(expected - self.result())))
+
+
+def fillin_updates(n, count, fill=0.5, scale=0.05, seed=11):
+    """Seeded wrapper over the shared fill-in stream generator."""
+    from stream_helpers import fillin_factors
+
+    return fillin_factors(np.random.default_rng(seed), n, count, fill, scale)
 
 
 class FakeMaintainer:
@@ -105,6 +145,60 @@ class TestValidation:
     def test_attribute_delegation(self):
         monitor = DriftMonitor(FakeMaintainer([]))
         assert monitor.result() == "sentinel"
+
+
+class TestGenuineDrift:
+    """Policies exercised by *real* accumulated drift, not scripted probes."""
+
+    def test_raise_policy_trips_on_fillin_stream(self, rng):
+        n = 48
+        a = (rng.random((n, n)) < 0.05) * (0.05 * rng.standard_normal((n, n)))
+        maintainer = WalkCountMaintainer(a, k=6)
+        monitor = DriftMonitor(maintainer, check_every=8, tolerance=1e-15,
+                               action="raise")
+        # Fill-in drives the views through wildly varying magnitudes, so
+        # factored repair and recomputation round differently: genuine
+        # drift accumulates and the policy must eventually trip.
+        with pytest.raises(DriftExceededError) as excinfo:
+            for u, v in fillin_updates(n, 96):
+                monitor.refresh(u, v)
+        assert excinfo.value.drift > 1e-15
+        assert excinfo.value.refreshes % 8 == 0
+        assert monitor.last_drift == excinfo.value.drift
+
+    def test_raise_policy_stays_quiet_at_honest_tolerance(self, rng):
+        n = 48
+        a = (rng.random((n, n)) < 0.05) * (0.05 * rng.standard_normal((n, n)))
+        monitor = DriftMonitor(WalkCountMaintainer(a, k=6), check_every=8,
+                               tolerance=1e-6, action="raise")
+        for u, v in fillin_updates(n, 96):
+            monitor.refresh(u, v)
+        assert monitor.reports and all(r.drift <= 1e-6
+                                       for r in monitor.reports)
+
+    def test_session_rebuild_path_under_fillin(self, rng):
+        from repro.frontend import parse_program
+        from repro.runtime import FactoredUpdate, open_session
+
+        # A^4 at a larger update scale: drift compounds through the
+        # chained views, comfortably clearing the probe tolerance while
+        # staying far below anything a user-facing tolerance would trip.
+        n = 64
+        program = parse_program(
+            "input A(n, n); B := A * A; C := B * B; output C;")
+        a = (rng.random((n, n)) < 0.05) * (0.2 * rng.standard_normal((n, n)))
+        monitor = open_session(
+            program, {"A": a}, dims={"n": n}, plan="incr",
+            drift={"check_every": 8, "tolerance": 1e-17, "action": "rebuild"},
+        )
+        for u, v in fillin_updates(n, 96, scale=0.2):
+            monitor.apply_update(FactoredUpdate("A", u, v))
+        # Genuine drift exceeded the (absurdly tight) tolerance at least
+        # once; every rebuild restored exact agreement with the inputs.
+        assert monitor.rebuild_count >= 1
+        assert monitor.revalidate() == 0.0
+        expected = np.linalg.matrix_power(monitor["A"], 4)
+        np.testing.assert_allclose(monitor.output(), expected, atol=1e-12)
 
 
 class TestWithRealMaintainer:
