@@ -1,0 +1,77 @@
+"""Fail CI when the fused hot path regresses against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_fused_trend.py CURRENT.json BASELINE.json
+
+Both files are ``bench_fused_hotpath.py --json`` outputs.  Absolute
+seconds are not comparable across machines (the baseline was committed
+from one box, CI runs on another), so the guarded metric is the
+**fused-vs-interpreter speedup ratio** per scenario — both paths run on
+the same machine in the same process, so the ratio isolates the fused
+path's relative health.  A scenario regresses when its current speedup
+falls more than ``MAX_REGRESSION`` (25%) below the baseline's; the
+zero-allocation property is re-checked absolutely (it is
+machine-independent).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Allowed fractional drop of the fused speedup vs the baseline ratio.
+MAX_REGRESSION = 0.25
+
+#: Scenarios guarded by the ratio check (sparse is excluded: its win is
+#: small enough that CI noise swamps a ratio-of-ratios bound).
+GUARDED = ("dense_small", "stream_p16")
+
+
+def load(path: str) -> dict:
+    data = json.loads(Path(path).read_text())
+    return data.get("results", data)
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    current, baseline = load(argv[0]), load(argv[1])
+
+    failures = []
+    for key in GUARDED:
+        if key not in current or key not in baseline:
+            failures.append(f"{key}: missing from current or baseline JSON")
+            continue
+        now = float(current[key]["speedup_fused_vs_interpret"])
+        then = float(baseline[key]["speedup_fused_vs_interpret"])
+        floor = then * (1.0 - MAX_REGRESSION)
+        status = "OK" if now >= floor else "REGRESSED"
+        print(f"{key}: fused speedup {now:.2f}x (baseline {then:.2f}x, "
+              f"floor {floor:.2f}x) {status}")
+        if now < floor:
+            failures.append(
+                f"{key}: fused per-update wall time regressed >"
+                f"{MAX_REGRESSION:.0%} (speedup {now:.2f}x < floor "
+                f"{floor:.2f}x)"
+            )
+        steady = current[key].get("steady_state", {})
+        if steady.get("workspace_allocations") not in (0, None):
+            failures.append(
+                f"{key}: steady-state workspace allocations = "
+                f"{steady['workspace_allocations']} (expected 0)"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("fused hot-path trend: within baseline envelope")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

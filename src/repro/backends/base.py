@@ -16,6 +16,15 @@ A :class:`Backend` bundles
 * **update kernels** — :meth:`add_outer` (the trigger statement
   ``A += U V'``) and :meth:`compact` (rank compaction of factored
   deltas, the Table 4 batching step);
+* **in-place / out-param kernels** — :meth:`matmul_into`,
+  :meth:`add_into`, :meth:`sub_into`, :meth:`scale_into`,
+  :meth:`hstack_into`, :meth:`vstack_into`, :meth:`add_outer_inplace`:
+  the allocation-free hot path.  Each takes an ``out`` buffer (usually
+  leased from a :class:`~repro.runtime.workspace.Workspace`), writes
+  the result into it *when the representation allows*, and returns the
+  result either way — callers must always use the returned object, so
+  a backend that cannot write in place (CSR structure changes) may
+  fall back to allocation without breaking the caller;
 * **cost hooks** — ``*_flops`` formulas so the FLOP counters charge
   what the representation actually performs (a sparse matvec is *not*
   ``2 n^2`` work, and reporting it as such would fake the paper's
@@ -97,6 +106,55 @@ class Backend(ABC):
     def scale(self, coeff: float, a: MatrixLike) -> MatrixLike:
         """Scalar multiple ``coeff * a``."""
 
+    # -- in-place / out-param kernels ------------------------------------
+    # The zero-allocation hot path.  Base-class defaults simply ignore
+    # ``out`` and allocate — a correct (if slow) behavior for any
+    # backend — so concrete backends override only the kernels their
+    # representation can actually run in place.  ``out`` may be ``None``
+    # (no buffer available), and must never alias an operand.
+
+    def matmul_into(self, a: MatrixLike, b: MatrixLike, out) -> MatrixLike:
+        """``a @ b`` written into ``out`` where possible; use the result."""
+        return self.matmul(a, b)
+
+    def add_into(self, a: MatrixLike, b: MatrixLike, out) -> MatrixLike:
+        """``a + b`` written into ``out`` where possible; use the result.
+
+        ``out`` *may* alias ``a`` or ``b`` (element-wise kernels accept
+        overlapping input/output), which is how ``+=`` accumulation is
+        expressed: ``add_into(acc, term, acc)``.
+        """
+        return self.add(a, b)
+
+    def sub_into(self, a: MatrixLike, b: MatrixLike, out) -> MatrixLike:
+        """``a - b`` written into ``out`` where possible; use the result."""
+        return self.sub(a, b)
+
+    def scale_into(self, coeff: float, a: MatrixLike, out) -> MatrixLike:
+        """``coeff * a`` written into ``out`` where possible."""
+        return self.scale(coeff, a)
+
+    def hstack_into(self, blocks: Sequence[MatrixLike], out) -> MatrixLike:
+        """Horizontal concatenation into ``out`` where possible."""
+        return self.hstack(blocks)
+
+    def vstack_into(self, blocks: Sequence[MatrixLike], out) -> MatrixLike:
+        """Vertical concatenation into ``out`` where possible."""
+        return self.vstack(blocks)
+
+    def add_outer_inplace(
+        self, a: MatrixLike, u: np.ndarray, v: np.ndarray
+    ) -> MatrixLike:
+        """``a += u @ v.T`` mutating ``a`` where the representation allows.
+
+        The explicit in-place contract of the fused trigger path: unlike
+        :meth:`add_outer` (which shares the accumulate-when-possible
+        behavior but makes no promise), callers hand over ``a`` knowing
+        it may be mutated.  The result is returned either way; sparse
+        backends may return a new (possibly densified) matrix.
+        """
+        return self.add_outer(a, u, v)
+
     @abstractmethod
     def transpose(self, a: MatrixLike) -> MatrixLike:
         """Transpose (no arithmetic)."""
@@ -171,6 +229,31 @@ class Backend(ABC):
     #: big products for many matrix–vector-shaped calls must be charged
     #: per call as well as per flop.
     est_call_overhead_flops: float = 10_000.0
+
+    #: Fraction of the per-call overhead a kernel still pays when it
+    #: runs through the in-place / ``out=`` path (no result allocation,
+    #: no allocator round-trip, warmer caches).  Ships as a conservative
+    #: class constant; ``repro calibrate`` measures the machine's true
+    #: in-place vs out-of-place gap and overwrites it.
+    est_inplace_discount: float = 0.5
+
+    #: Memory passes per stored entry of converting state into or out of
+    #: this backend's representation (the re-planning switch cost:
+    #: :meth:`ReplanMonitor._switch_cost`).  The shipped 2.0 matches the
+    #: pre-calibration fixed constant; ``repro calibrate`` fits it from
+    #: timed conversions.
+    est_convert_passes_per_entry: float = 2.0
+
+    def est_call_overhead(self, inplace: bool = False) -> float:
+        """Per-call overhead in dense-FLOP equivalents.
+
+        ``inplace=True`` prices a call through the ``*_into`` /
+        buffer-reusing path (the fused codegen mode), discounting the
+        allocation/temporary share of the overhead.
+        """
+        if inplace:
+            return self.est_call_overhead_flops * self.est_inplace_discount
+        return self.est_call_overhead_flops
 
     def est_stored_density(self, rows: int, cols: int, density: float) -> float:
         """Density at which this backend would *store* such a matrix.

@@ -86,6 +86,53 @@ class DenseBackend(Backend):
     def scale(self, coeff: float, a: np.ndarray) -> np.ndarray:
         return coeff * a
 
+    # -- in-place / out-param kernels ------------------------------------
+    # All dense kernels have true ``out=`` forms: one BLAS/ufunc pass
+    # into a caller-owned buffer, zero result allocation.  ``out=None``
+    # falls back to the allocating form so callers can share code paths.
+
+    def matmul_into(
+        self, a: np.ndarray, b: np.ndarray, out: np.ndarray | None
+    ) -> np.ndarray:
+        if out is None:
+            return a @ b
+        return np.matmul(a, b, out=out)
+
+    def add_into(
+        self, a: np.ndarray, b: np.ndarray, out: np.ndarray | None
+    ) -> np.ndarray:
+        if out is None:
+            return a + b
+        return np.add(a, b, out=out)
+
+    def sub_into(
+        self, a: np.ndarray, b: np.ndarray, out: np.ndarray | None
+    ) -> np.ndarray:
+        if out is None:
+            return a - b
+        return np.subtract(a, b, out=out)
+
+    def scale_into(
+        self, coeff: float, a: np.ndarray, out: np.ndarray | None
+    ) -> np.ndarray:
+        if out is None:
+            return coeff * a
+        return np.multiply(coeff, a, out=out)
+
+    def hstack_into(
+        self, blocks: Sequence[np.ndarray], out: np.ndarray | None
+    ) -> np.ndarray:
+        if out is None:
+            return np.hstack(list(blocks))
+        return np.concatenate(list(blocks), axis=1, out=out)
+
+    def vstack_into(
+        self, blocks: Sequence[np.ndarray], out: np.ndarray | None
+    ) -> np.ndarray:
+        if out is None:
+            return np.vstack(list(blocks))
+        return np.concatenate(list(blocks), axis=0, out=out)
+
     def transpose(self, a: np.ndarray) -> np.ndarray:
         return a.T
 

@@ -175,6 +175,95 @@ class SparseBackend(DenseBackend):
             return self._finalize(a * coeff)
         return coeff * a
 
+    # -- in-place / out-param kernels ------------------------------------
+    # CSR results generally cannot be written into caller buffers (the
+    # output's nnz structure is data-dependent), so the sparse kernels
+    # use ``out`` only on their all-dense legs and otherwise fall back
+    # to allocation — thin dense factor blocks, which dominate factored
+    # propagation, still run allocation-free.
+
+    def matmul_into(self, a: MatrixLike, b: MatrixLike, out) -> MatrixLike:
+        if (
+            out is not None
+            and isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+        ):
+            return np.matmul(a, b, out=out)
+        return self.matmul(a, b)
+
+    def add_into(self, a: MatrixLike, b: MatrixLike, out) -> MatrixLike:
+        if (
+            out is not None
+            and isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+        ):
+            return np.add(a, b, out=out)
+        return self.add(a, b)
+
+    def sub_into(self, a: MatrixLike, b: MatrixLike, out) -> MatrixLike:
+        if (
+            out is not None
+            and isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+        ):
+            return np.subtract(a, b, out=out)
+        return self.sub(a, b)
+
+    def scale_into(self, coeff: float, a: MatrixLike, out) -> MatrixLike:
+        if out is not None and isinstance(a, np.ndarray):
+            return np.multiply(coeff, a, out=out)
+        return self.scale(coeff, a)
+
+    def hstack_into(self, blocks: Sequence[MatrixLike], out) -> MatrixLike:
+        blocks = list(blocks)
+        if out is not None and all(isinstance(b, np.ndarray) for b in blocks):
+            return np.concatenate(blocks, axis=1, out=out)
+        return self.hstack(blocks)
+
+    def vstack_into(self, blocks: Sequence[MatrixLike], out) -> MatrixLike:
+        blocks = list(blocks)
+        if out is not None and all(isinstance(b, np.ndarray) for b in blocks):
+            return np.concatenate(blocks, axis=0, out=out)
+        return self.vstack(blocks)
+
+    def add_outer_inplace(
+        self, a: MatrixLike, u: np.ndarray, v: np.ndarray
+    ) -> MatrixLike:
+        """``a += u v'`` reusing ``a``'s CSR index arrays when they fit.
+
+        A factored update whose nonzeros all land on ``a``'s existing
+        sparsity pattern (row rewrites over already-connected vertices,
+        cell bumps on existing edges) leaves the structure unchanged —
+        only ``a.data`` moves.  In that case the stored matrix keeps its
+        identity and its ``indptr``/``indices`` buffers; otherwise this
+        falls back to :meth:`add_outer`'s merge (allocation is
+        unavoidable when the structure itself grows).
+        """
+        if not self._is_sparse(a):
+            return super().add_outer(a, u, v)
+        u = np.asarray(u, dtype=np.float64).reshape(len(u), -1)
+        v = np.asarray(v, dtype=np.float64).reshape(len(v), -1)
+        # Same early-densify escape as add_outer: when the delta would
+        # fill the matrix in, the sparse merge (and the pattern
+        # comparison below) costs ~3x one dense dgemm — go dense now.
+        u_nnz = np.count_nonzero(u, axis=0)
+        v_nnz = np.count_nonzero(v, axis=0)
+        est_nnz = int((u_nnz * v_nnz).sum()) + a.nnz
+        if est_nnz > self.densify_above * a.shape[0] * a.shape[1]:
+            dense = np.asarray(a.todense())
+            return super().add_outer(dense, u, v)
+        merged = a + _sp.csr_array(u) @ _sp.csr_array(v).T
+        merged = (
+            merged if isinstance(merged, _sp.csr_array)
+            else _sp.csr_array(merged)
+        )
+        if merged.nnz == a.nnz and np.array_equal(
+            merged.indptr, a.indptr
+        ) and np.array_equal(merged.indices, a.indices):
+            a.data[:] = merged.data
+            return a
+        return self._finalize(merged)
+
     def transpose(self, a: MatrixLike) -> MatrixLike:
         if self._is_sparse(a):
             return _sp.csr_array(a.T)
@@ -265,6 +354,11 @@ class SparseBackend(DenseBackend):
     #: CSR kernel calls pay index validation and format dispatch on top
     #: of the Python-level cost every backend has.
     est_call_overhead_flops: float = 30_000.0
+
+    #: In-place execution saves less here than on dense state: CSR
+    #: results still allocate structure, so only the dense (thin-factor)
+    #: legs of a fused trigger shed their allocator traffic.
+    est_inplace_discount: float = 0.85
 
     def est_stored_density(self, rows: int, cols: int, density: float) -> float:
         if self._worth_sparse_shape(rows, cols) and density <= self.sparsify_below:

@@ -74,6 +74,16 @@ SPARSE_UPDATE_OVERHEAD_RANGE = (1.0, 512.0)
 #: the expected multiply-add count.
 SPARSE_SPGEMM_OVERHEAD_RANGE = (1.0, 1024.0)
 
+#: Clamp range for the in-place call-overhead discount (the fraction of
+#: per-call cost an ``out=`` kernel still pays: 1.0 = no saving).
+INPLACE_DISCOUNT_RANGE = (0.05, 1.0)
+
+#: Clamp range for state-conversion passes per stored entry (the
+#: re-planning switch cost constant).  CSR construction genuinely
+#: costs dozens-to-hundreds of dense-FLOP equivalents per scanned
+#: entry (full scan + structure build), hence the wide top.
+CONVERT_PASSES_RANGE = (0.25, 256.0)
+
 
 def cache_key() -> str:
     """Fingerprint the cached constants are valid for.
@@ -137,6 +147,14 @@ class BackendCalibration:
     #: Per-FLOP penalty of sparse x sparse products (replaces
     #: :attr:`SparseBackend.est_spgemm_overhead`); ``None`` for dense.
     sparse_spgemm_overhead: float | None = None
+    #: Measured fraction of the call overhead an ``out=`` kernel still
+    #: pays (replaces :attr:`Backend.est_inplace_discount`): the
+    #: in-place vs out-of-place gap the fused codegen path banks on.
+    inplace_discount: float | None = None
+    #: Measured state-conversion passes per stored entry (replaces
+    #: :attr:`Backend.est_convert_passes_per_entry`; prices the
+    #: re-planning switch, see :class:`ReplanMonitor`).
+    convert_passes_per_entry: float | None = None
     #: The raw measurements the fit came from (kept for reporting).
     samples: tuple[KernelSample, ...] = field(default=())
 
@@ -155,6 +173,12 @@ class BackendCalibration:
         if (self.sparse_spgemm_overhead is not None
                 and hasattr(be, "est_spgemm_overhead")):
             be.est_spgemm_overhead = float(self.sparse_spgemm_overhead)
+        if self.inplace_discount is not None:
+            be.est_inplace_discount = float(self.inplace_discount)
+        if self.convert_passes_per_entry is not None:
+            be.est_convert_passes_per_entry = float(
+                self.convert_passes_per_entry
+            )
         return be
 
     def as_dict(self) -> dict:
@@ -165,6 +189,8 @@ class BackendCalibration:
             "sparse_overhead": self.sparse_overhead,
             "sparse_update_overhead": self.sparse_update_overhead,
             "sparse_spgemm_overhead": self.sparse_spgemm_overhead,
+            "inplace_discount": self.inplace_discount,
+            "convert_passes_per_entry": self.convert_passes_per_entry,
             "samples": [
                 {"kernel": s.kernel, "seconds": s.seconds,
                  "model_flops": s.model_flops}
@@ -185,6 +211,8 @@ class BackendCalibration:
             sparse_overhead=_opt("sparse_overhead"),
             sparse_update_overhead=_opt("sparse_update_overhead"),
             sparse_spgemm_overhead=_opt("sparse_spgemm_overhead"),
+            inplace_discount=_opt("inplace_discount"),
+            convert_passes_per_entry=_opt("convert_passes_per_entry"),
             samples=tuple(
                 KernelSample(str(s["kernel"]), float(s["seconds"]),
                              float(s["model_flops"]))
@@ -324,6 +352,37 @@ def _clamp(value: float, bounds: tuple[float, float]) -> float:
     return float(min(max(value, bounds[0]), bounds[1]))
 
 
+def _fit_inplace_discount(be: Backend, rng, gap_n: int, repeats: int,
+                          samples: list) -> float:
+    """In-place vs out-of-place gap, measured where it actually lives.
+
+    The generic trigger path copies the view (copy-on-write) before
+    accumulating ``A += u v'``; the fused path accumulates straight
+    into it.  Their ratio is the fraction of per-call cost the
+    in-place path still pays — the discount the planner applies to
+    codegen-mode cells.  (A bare ``matmul`` vs ``matmul(out=)``
+    comparison measures ~1.0 on warmed allocators; the copy
+    elimination is the real, recurring saving.)  Shared by the dense
+    and sparse fits: the sparse backend's allocation-free wins live on
+    its dense legs, so the protocol is identical.
+    """
+    gap_state = rng.standard_normal((gap_n, gap_n))
+    gap_u = rng.standard_normal((gap_n, 1))
+    gap_v = 0.01 * rng.standard_normal((gap_n, 1))
+    apply_flops = float(2 * gap_n * gap_n)
+    t_cow = _best_seconds(
+        lambda: be.add_outer(gap_state.copy(), gap_u, gap_v), repeats,
+        inner=16)
+    t_inplace = _best_seconds(
+        lambda: be.add_outer_inplace(gap_state, gap_u, gap_v), repeats,
+        inner=16)
+    samples.append(KernelSample(f"apply copy-on-write[{gap_n}]", t_cow,
+                                apply_flops))
+    samples.append(KernelSample(f"apply in-place[{gap_n}]", t_inplace,
+                                apply_flops))
+    return _clamp(t_inplace / max(t_cow, 1e-9), INPLACE_DISCOUNT_RANGE)
+
+
 def _fit_dense(be: Backend, repeats: int, big_n: int,
                tiny_n: int) -> BackendCalibration:
     rng = np.random.default_rng(1403_6968)
@@ -350,6 +409,22 @@ def _fit_dense(be: Backend, repeats: int, big_n: int,
                                 tiny_flops))
     overhead_estimates.append(max(t_tiny - tiny_flops / fps, 0.0))
 
+    inplace_discount = _fit_inplace_discount(be, rng, 4 * tiny_n, repeats,
+                                             samples)
+
+    # Conversion pass (re-planning switch cost): a full-copy
+    # re-normalization is the dense side of any backend switch.  Sized
+    # at the big-kernel order so the per-entry cost is bandwidth, not
+    # call dispatch.
+    conv_n = big_n
+    conv_src = rng.standard_normal((conv_n, conv_n))
+    t_conv = _best_seconds(lambda: be.asarray(conv_src, copy=True), repeats,
+                           inner=4)
+    samples.append(KernelSample(f"convert[{conv_n}x{conv_n}]", t_conv,
+                                float(conv_n * conv_n)))
+    convert_passes = _clamp(t_conv * fps / float(conv_n * conv_n),
+                            CONVERT_PASSES_RANGE)
+
     outer_n = 4 * tiny_n
     state = rng.standard_normal((outer_n, outer_n))
     outer_u = rng.standard_normal((outer_n, 1))
@@ -369,6 +444,8 @@ def _fit_dense(be: Backend, repeats: int, big_n: int,
         flops_per_second=fps,
         call_overhead_flops=_clamp(overhead_seconds * fps,
                                    OVERHEAD_FLOPS_RANGE),
+        inplace_discount=inplace_discount,
+        convert_passes_per_entry=convert_passes,
         samples=tuple(samples),
     )
 
@@ -434,6 +511,23 @@ def _fit_sparse(be: Backend, dense_fps: float, repeats: int, n: int,
                                     t_upd, upd_flops))
         update_penalties.append(penalty(t_upd, upd_flops))
 
+    inplace_discount = _fit_inplace_discount(be, rng, 128, repeats, samples)
+
+    # Conversion passes (re-planning switch cost): the CSR <-> dense
+    # round trip a live backend switch performs, per dense entry.
+    conv = sp.random_array((n, n), density=densities[-1], random_state=rng,
+                           format="csr")
+    t_materialize = _best_seconds(lambda: be.materialize(conv), repeats)
+    dense_image = be.materialize(conv)
+    t_sparsify = _best_seconds(lambda: be.asarray(dense_image), repeats)
+    entries = float(n * n)
+    samples.append(KernelSample(f"csr->dense[{n}]", t_materialize, entries))
+    samples.append(KernelSample(f"dense->csr[{n}]", t_sparsify, entries))
+    convert_passes = _clamp(
+        0.5 * (t_materialize + t_sparsify) * dense_fps / entries,
+        CONVERT_PASSES_RANGE,
+    )
+
     return BackendCalibration(
         backend=be.name,
         flops_per_second=dense_fps,
@@ -445,6 +539,8 @@ def _fit_sparse(be: Backend, dense_fps: float, repeats: int, n: int,
                                       SPARSE_UPDATE_OVERHEAD_RANGE),
         sparse_spgemm_overhead=_clamp(statistics.median(spgemm_penalties),
                                       SPARSE_SPGEMM_OVERHEAD_RANGE),
+        inplace_discount=inplace_discount,
+        convert_passes_per_entry=convert_passes,
         samples=tuple(samples),
     )
 

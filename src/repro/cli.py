@@ -288,6 +288,15 @@ def _run_calibrate(args) -> int:
             print(f"  spgemm penalty       : {cal.sparse_spgemm_overhead:.2f}x "
                   f"(shipped constant: "
                   f"{getattr(defaults, 'est_spgemm_overhead', float('nan')):.2f}x)")
+        if cal.inplace_discount is not None:
+            print(f"  in-place discount    : {cal.inplace_discount:.2f}x "
+                  f"(shipped constant: "
+                  f"{defaults.est_inplace_discount:.2f}x)")
+        if cal.convert_passes_per_entry is not None:
+            print(f"  convert passes/entry : "
+                  f"{cal.convert_passes_per_entry:.2f} "
+                  f"(shipped constant: "
+                  f"{defaults.est_convert_passes_per_entry:.2f})")
         for sample in cal.samples:
             print(f"    {sample.kernel:<28} {sample.seconds * 1e6:10.1f} us  "
                   f"(~{sample.model_flops:,.0f} FLOPs)")

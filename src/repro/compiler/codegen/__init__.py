@@ -1,11 +1,15 @@
-"""Code generators: Python/NumPy, Octave, and Spark (Scala) backends."""
+"""Code generators: Python/NumPy (generic + fused), Octave, and Spark."""
 
+from .fused import FusedUnsupported, compile_fused_trigger, generate_fused_trigger
 from .octave_gen import generate_octave_trigger
 from .python_gen import compile_trigger_function, generate_python_trigger
 from .spark_gen import generate_spark_trigger
 
 __all__ = [
+    "FusedUnsupported",
+    "compile_fused_trigger",
     "compile_trigger_function",
+    "generate_fused_trigger",
     "generate_octave_trigger",
     "generate_python_trigger",
     "generate_spark_trigger",

@@ -24,6 +24,20 @@ Estimates split **setup** (initial materialization, paid once) from
 **refresh** (paid per update), so high-update-rate workloads amortize
 expensive view builds — the regime where HYBRID shines — while
 one-shot workloads fall back to plain re-evaluation.
+
+Two further axes the planner prices through this module:
+
+* **in-place execution** (``inplace=True``): the fused codegen path
+  runs kernels through ``out=`` buffers, shedding the allocation share
+  of every per-call overhead — refresh costs charge
+  ``Backend.est_call_overhead(inplace=True)`` instead of the full
+  constant (setup is always priced out-of-place: it runs once, through
+  the evaluator);
+* **batching** (:func:`compaction_cost`, :func:`batch_unit_cost`): a
+  width-``m`` batch pays one QR+SVD compaction
+  (:mod:`repro.delta.batch`) plus one rank-``r`` propagation instead of
+  ``m`` rank-1 propagations, amortizing per-call overhead — the Table 4
+  trade :func:`repro.planner.plan_program` folds into the plan grid.
 """
 
 from __future__ import annotations
@@ -108,7 +122,8 @@ def _mm(be, a_shape, b_shape, da=1.0, db=1.0) -> float:
     return be.est_matmul_flops(a_shape, b_shape, da, db)
 
 
-def _powers_recompute(be, n: int, mdl: Model, k: int, density: float) -> float:
+def _powers_recompute(be, n: int, mdl: Model, k: int, density: float,
+                      inplace: bool = False) -> float:
     """Full products along the schedule (REEVAL refresh / INCR setup)."""
     cost = 0.0
     for i in mdl.schedule(k)[1:]:
@@ -116,13 +131,15 @@ def _powers_recompute(be, n: int, mdl: Model, k: int, density: float) -> float:
         h = i - j
         cost += _mm(be, (n, n), (n, n),
                     power_density(n, density, h), power_density(n, density, j))
-        cost += be.est_call_overhead_flops
+        cost += be.est_call_overhead(inplace)
     return cost
 
 
 def _powers_incr_refresh(be, n: int, mdl: Model, k: int, density: float,
-                         rank: int, u_nnz: float) -> float:
+                         rank: int, u_nnz: float,
+                         inplace: bool = False) -> float:
     """Factored propagation along the schedule (Appendix A widths)."""
+    call = be.est_call_overhead(inplace)
     cost = 0.0
     for i in mdl.schedule(k)[1:]:
         j = mdl.predecessor(i)
@@ -136,9 +153,9 @@ def _powers_incr_refresh(be, n: int, mdl: Model, k: int, density: float,
         cost += 4.0 * n * w_h * w_j
         cost += be.est_add_outer_flops((n, n), power_density(n, density, i),
                                        i * rank, u_nnz)
-        cost += 8.0 * be.est_call_overhead_flops  # mm x4, hstack x2, add, apply
+        cost += 8.0 * call  # mm x4, hstack x2, add, apply
     cost += be.est_add_outer_flops((n, n), density, rank, u_nnz)
-    cost += be.est_call_overhead_flops
+    cost += call
     return cost
 
 
@@ -152,15 +169,22 @@ def powers_cost(
     density: float = 1.0,
     rank: int = 1,
     update_nnz_per_col: float = 1.0,
+    inplace: bool = False,
 ) -> CostEstimate:
-    """Predicted costs of maintaining ``A^k`` under ``be``."""
+    """Predicted costs of maintaining ``A^k`` under ``be``.
+
+    ``inplace=True`` prices the refresh through the in-place kernel
+    path (workspace-backed maintainers, fused triggers); setup is
+    always priced out-of-place — it runs once, allocating its views.
+    """
     mdl = _model_of(model, s)
     recompute = _powers_recompute(be, n, mdl, k, density)
     if strategy == REEVAL:
         space = 3.0 * be.est_entries((n, n), density)
         refresh = (be.est_add_outer_flops((n, n), density, rank,
                                           update_nnz_per_col)
-                   + be.est_call_overhead_flops + recompute)
+                   + be.est_call_overhead(inplace)
+                   + _powers_recompute(be, n, mdl, k, density, inplace))
         return CostEstimate(recompute, refresh, space)
     if strategy == INCR:
         space = sum(
@@ -168,7 +192,7 @@ def powers_cost(
             for i in mdl.schedule(k)
         )
         refresh = _powers_incr_refresh(be, n, mdl, k, density, rank,
-                                       update_nnz_per_col)
+                                       update_nnz_per_col, inplace)
         return CostEstimate(recompute, refresh, space)
     raise ValueError(f"matrix powers has no {strategy!r} strategy")
 
@@ -195,27 +219,33 @@ def general_cost(
     rank: int = 1,
     has_b: bool = True,
     update_nnz_per_col: float = 1.0,
+    inplace: bool = False,
 ) -> CostEstimate:
-    """Predicted costs of maintaining ``T_k`` (``T_{i+1} = A T_i + B``)."""
+    """Predicted costs of maintaining ``T_k`` (``T_{i+1} = A T_i + B``).
+
+    ``inplace=True`` prices refreshes through the in-place kernel path
+    (see :func:`powers_cost`).
+    """
     mdl = _model_of(model, s)
     schedule = mdl.schedule(k)
     horizon = _horizon(mdl, k)
     d_a = density
     u_nnz = update_nnz_per_col
+    call = be.est_call_overhead(inplace)
 
-    def step_cost() -> float:
+    def step_cost(call: float = call) -> float:
         """One pass of the recurrence with dense ``(n x p)`` iterates."""
         cost = 0.0
         for i in schedule:
             j = mdl.predecessor(i) if i > 1 else 0
             h = i - j if i > 1 else 1
             cost += _mm(be, (n, n), (n, p), power_density(n, d_a, h))
-            cost += be.est_call_overhead_flops
+            cost += call
             if has_b:
                 if h > 1:
                     cost += _mm(be, (n, n), (n, p), sums_density(n, d_a, h))
-                    cost += be.est_call_overhead_flops
-                cost += float(n * p) + be.est_call_overhead_flops
+                    cost += call
+                cost += float(n * p) + call
         return cost
 
     # View-building work shared by every strategy's setup.
@@ -233,24 +263,32 @@ def general_cost(
                 be.est_entries((n, n), sums_density(n, d_a, i))
                 for i in mdl.schedule(horizon)
             )
-    setup = ps_build + step_cost()
+    setup = ps_build + step_cost(call=be.est_call_overhead_flops)
     iterate_space = float(n * p) * len(schedule)
     a_entries = be.est_entries((n, n), d_a)
     apply_a = be.est_add_outer_flops((n, n), d_a, rank, u_nnz)
 
     if strategy == REEVAL:
         # P/S rebuilt per refresh (ReevalPowers recomputes), T re-run.
-        refresh = apply_a + be.est_call_overhead_flops + ps_build + step_cost()
+        ps_rebuild = (
+            _powers_recompute(be, n, mdl, horizon, d_a, inplace) * 2.0
+            if horizon > 1 and has_b
+            else _powers_recompute(be, n, mdl, horizon, d_a, inplace)
+            if horizon > 1
+            else 0.0
+        )
+        refresh = apply_a + call + ps_rebuild + step_cost()
         space = a_entries + float(n * p) + (2.0 * a_entries if horizon > 1 else 0.0)
         return CostEstimate(setup, refresh, space)
 
     # INCR/HYBRID maintain P/S incrementally at the horizon.
     ps_refresh = 0.0
     if horizon > 1:
-        ps_refresh += _powers_incr_refresh(be, n, mdl, horizon, d_a, rank, u_nnz)
+        ps_refresh += _powers_incr_refresh(be, n, mdl, horizon, d_a, rank,
+                                           u_nnz, inplace)
         if has_b:
             ps_refresh += _powers_incr_refresh(be, n, mdl, horizon, d_a, rank,
-                                               u_nnz)
+                                               u_nnz, inplace)
 
     if strategy == INCR:
         refresh = apply_a + ps_refresh
@@ -268,7 +306,7 @@ def general_cost(
                 if has_b and h > 1:
                     refresh += 2.0 * n * p * w_h            # B' W_h
             refresh += 2.0 * n * p * w_i                    # apply dT_i
-            refresh += 7.0 * be.est_call_overhead_flops    # mm x4, hstack x2, apply
+            refresh += 7.0 * call                           # mm x4, hstack x2, apply
         space = a_entries + iterate_space + ps_space
         return CostEstimate(setup, refresh, space)
 
@@ -287,15 +325,61 @@ def general_cost(
                 if has_b and h > 1:
                     refresh += 2.0 * n * p * w_h            # z (w' B)
             refresh += float(n * p)                         # apply dense dT_i
-            refresh += 8.0 * be.est_call_overhead_flops    # mm x5, add x2, apply
+            refresh += 8.0 * call                           # mm x5, add x2, apply
         space = a_entries + iterate_space + ps_space
         return CostEstimate(setup, refresh, space)
 
     raise ValueError(f"unknown strategy {strategy!r}")
 
 
+def compaction_cost(be, rows: int, cols: int, width: int) -> float:
+    """Predicted FLOPs of :meth:`BatchCollector.flush`'s rank compaction.
+
+    The :mod:`repro.delta.batch` kernel: thin QR of each stacked factor
+    (``2 rows m^2`` and ``2 cols m^2`` for width ``m``), an ``m x m``
+    core SVD (a few dozen ``m^3`` passes in LAPACK practice), and the
+    two thin products rebuilding the compacted factors.  Charged per
+    flush; a batch of ``m`` updates amortizes it ``m`` ways.
+    """
+    m = float(max(width, 1))
+    qr = 2.0 * (rows + cols) * m * m
+    svd = 22.0 * m ** 3
+    rebuild = 2.0 * (rows + cols) * m * m
+    return qr + svd + rebuild + 6.0 * be.est_call_overhead_flops
+
+
+def batch_unit_cost(
+    be,
+    refresh_cost,
+    rows: int,
+    cols: int,
+    batch: int,
+    rank: int = 1,
+    distinct_fraction: float = 1.0,
+) -> float:
+    """Predicted per-*update* cost of refreshing in batches of ``batch``.
+
+    ``refresh_cost`` is a callable ``rank -> per-refresh flops`` (e.g. a
+    closure over :func:`repro.planner.programcost.program_cost`);
+    ``distinct_fraction`` estimates how much of the stacked width
+    survives compaction (Table 4: a Zipf-skewed batch touching few
+    distinct rows compacts far below its size).  ``batch=1`` skips
+    compaction entirely — the plain per-update path.
+    """
+    if batch <= 1:
+        return float(refresh_cost(rank))
+    effective = max(1, int(round(batch * rank * distinct_fraction)))
+    per_flush = (
+        compaction_cost(be, rows, cols, batch * rank)
+        + float(refresh_cost(effective))
+    )
+    return per_flush / batch
+
+
 __all__ = [
     "CostEstimate",
+    "batch_unit_cost",
+    "compaction_cost",
     "general_cost",
     "power_density",
     "powers_cost",

@@ -154,11 +154,40 @@ class FactoredDelta:
         self,
         env: Mapping[str, np.ndarray],
         dims: Mapping[str, int] | None = None,
+        backend=None,
     ) -> np.ndarray:
         """Materialize the delta numerically (for tests and hybrid plans)."""
         from ..runtime.executor import evaluate
 
-        return evaluate(self.to_expr(), env, dims=dims)
+        return evaluate(self.to_expr(), env, dims=dims, backend=backend)
+
+    def apply_to(
+        self,
+        target: np.ndarray,
+        env: Mapping[str, np.ndarray],
+        dims: Mapping[str, int] | None = None,
+        backend=None,
+    ):
+        """Refresh ``target += U V'`` through the in-place update kernel.
+
+        The view-maintenance form of :meth:`to_dense`: the stacked
+        factors are evaluated numerically and applied via the backend's
+        :meth:`~repro.backends.base.Backend.add_outer_inplace` — no
+        dense ``rows x cols`` delta is ever materialized, dense targets
+        accumulate in one BLAS pass, and sparse targets keep their index
+        arrays when the update lands on the existing pattern.  A zero
+        delta returns ``target`` untouched.  As with every in-place
+        kernel, callers must use the returned object.
+        """
+        from ..backends import get_backend
+        from ..runtime.executor import evaluate
+
+        if self.is_zero:
+            return target
+        be = get_backend(backend)
+        u = be.materialize(evaluate(self.u_expr, env, dims=dims, backend=be))
+        v = be.materialize(evaluate(self.v_expr, env, dims=dims, backend=be))
+        return be.add_outer_inplace(target, u, v)
 
     def __repr__(self) -> str:
         if self.is_zero:

@@ -57,11 +57,12 @@ class _GeneralBase:
         model: Model,
         counter: counters.Counter,
         backend=None,
+        workspace=None,
     ):
         self.model = model
         self.k = k
         self.schedule = model.schedule(k)
-        self.ops = Ops(counter, backend)
+        self.ops = Ops(counter, backend, workspace=workspace)
         self.backend = self.ops.backend
         self.a = self.backend.asarray(a, copy=True)
         # Iterates and B are (n x p) with small p: thin blocks stay dense
@@ -82,15 +83,21 @@ class _GeneralBase:
         return self.iterates[self.k]
 
     def _step(self, ops: Ops, t_prev: np.ndarray, power: np.ndarray,
-              s_matrix: np.ndarray | None) -> np.ndarray:
-        """One recurrence application ``P T + S B`` (``S = I`` when None)."""
-        out = ops.mm(power, t_prev)
+              s_matrix: np.ndarray | None,
+              out: np.ndarray | None = None) -> np.ndarray:
+        """One recurrence application ``P T + S B`` (``S = I`` when None).
+
+        With ``out`` (the previous refresh's iterate) the product lands
+        in existing storage and the B terms accumulate in place — the
+        re-evaluation strategies' allocation-free refresh.
+        """
+        res = ops.mm_into(power, t_prev, out)
         if self.b is not None:
             if s_matrix is None:
-                out = ops.add(out, self.b)
+                res = ops.add_into(res, self.b, res)
             else:
-                out = ops.add(out, ops.mm(s_matrix, self.b))
-        return out
+                res = ops.add_into(res, ops.mm(s_matrix, self.b), res)
+        return res
 
     def _power_matrix(self, h: int) -> np.ndarray:
         """The ``P_h`` operand of the recurrence (``P_1 = A`` needs no view)."""
@@ -113,8 +120,10 @@ class ReevalGeneral(_GeneralBase):
         model: Model,
         counter: counters.Counter = counters.NULL_COUNTER,
         backend=None,
+        workspace=None,
     ):
-        super().__init__(a, b, t0, k, model, counter, backend=backend)
+        super().__init__(a, b, t0, k, model, counter, backend=backend,
+                         workspace=workspace)
         self.powers = (
             ReevalPowers(self.a, self.horizon, model, counter,
                          backend=self.backend)
@@ -125,29 +134,43 @@ class ReevalGeneral(_GeneralBase):
 
     def _recompute(self) -> None:
         ops = self.ops
-        sums = (
-            self._recompute_sums()
-            if self.b is not None and self.horizon > 1
-            else {}
-        )
-        self.iterates = {}
-        prev = self.t0
-        for i in self.schedule:
-            if i == 1 or self.model.kind == Model.LINEAR:
-                nxt = self._step(ops, prev, self.a, None)
-            else:
-                j = self.model.predecessor(i)
-                h = i - j
-                s_mat = sums.get(h) if h > 1 else None  # S_1 = I
-                nxt = self._step(ops, self.iterates[j], self._power_matrix(h), s_mat)
-            self.iterates[i] = nxt
-            prev = nxt
+        previous = self.iterates
+        with ops.frame():
+            sums = (
+                self._recompute_sums()
+                if self.b is not None and self.horizon > 1
+                else {}
+            )
+            self.iterates = {}
+            prev = self.t0
+            for i in self.schedule:
+                # Each iterate is recomputed into its previous storage
+                # (operands read strictly earlier entries or old P/S).
+                out = previous.get(i)
+                if i == 1 or self.model.kind == Model.LINEAR:
+                    nxt = self._step(ops, prev, self.a, None, out=out)
+                else:
+                    j = self.model.predecessor(i)
+                    h = i - j
+                    s_mat = sums.get(h) if h > 1 else None  # S_1 = I
+                    nxt = self._step(ops, self.iterates[j],
+                                     self._power_matrix(h), s_mat, out=out)
+                self.iterates[i] = nxt
+                prev = nxt
 
     def _recompute_sums(self) -> dict[int, np.ndarray]:
-        """Sums of powers up to the horizon, via the model recurrence."""
+        """Sums of powers up to the horizon, via the model recurrence.
+
+        Transient per refresh: with a workspace attached the blocks come
+        from the arena (valid for this refresh only), so REEVAL's sums
+        scratch stops churning the allocator.
+        """
         ops = self.ops
         n = self.a.shape[0]
-        sums: dict[int, np.ndarray] = {1: self.backend.eye(n)}
+        eye = getattr(self, "_eye", None)
+        if eye is None:
+            eye = self._eye = self.backend.eye(n)
+        sums: dict[int, np.ndarray] = {1: eye}
         for i in self.model.schedule(self.horizon)[1:]:
             j = self.model.predecessor(i)
             h = i - j
@@ -169,8 +192,9 @@ class ReevalGeneral(_GeneralBase):
             raise ValueError("this computation has no B input")
         u = u.reshape(len(u), -1)
         v = v.reshape(len(v), -1)
-        self.b = self.ops.add(self.b, self.ops.mm(u, v.T))
-        self._recompute()
+        with self.ops.frame():
+            self.b = self.ops.add_inplace(self.b, self.ops.mm(u, v.T))
+            self._recompute()
 
     def memory_bytes(self) -> int:
         """REEVAL stores A, B, the current iterate (+ P/S at the horizon)."""
@@ -195,24 +219,30 @@ class IncrementalGeneral(_GeneralBase):
         model: Model,
         counter: counters.Counter = counters.NULL_COUNTER,
         backend=None,
+        workspace=None,
     ):
-        super().__init__(a, b, t0, k, model, counter, backend=backend)
+        super().__init__(a, b, t0, k, model, counter, backend=backend,
+                         workspace=workspace)
+        # Embedded maintainers share the arena: one frame per refresh.
         self.powers = (
             IncrementalPowers(self.a, self.horizon, model, counter,
-                              backend=self.backend)
+                              backend=self.backend,
+                              workspace=self.ops.workspace)
             if self.horizon > 1
             else None
         )
         self.sums = (
             IncrementalPowerSums(self.a, self.horizon, model, counter,
-                                 powers=self.powers, backend=self.backend)
+                                 powers=self.powers, backend=self.backend,
+                                 workspace=self.ops.workspace)
             if self.horizon > 1 and self.b is not None
             else None
         )
         self._materialize()
 
     def _materialize(self) -> None:
-        # Initial evaluation is not charged to refreshes.
+        # Initial evaluation is not charged to refreshes, and must not
+        # land in workspace buffers (iterates outlive every frame).
         ops = Ops(backend=self.backend)
         self.iterates = {}
         prev = self.t0
@@ -236,6 +266,10 @@ class IncrementalGeneral(_GeneralBase):
         ops = self.ops
         u = u.reshape(len(u), -1)
         v = v.reshape(len(v), -1)
+        with ops.frame():
+            self._refresh(ops, u, v)
+
+    def _refresh(self, ops: Ops, u: np.ndarray, v: np.ndarray) -> None:
         pf: FactorDict = (
             self.powers.compute_factors(u, v)
             if self.powers is not None
@@ -295,6 +329,10 @@ class IncrementalGeneral(_GeneralBase):
         ops = self.ops
         u = u.reshape(len(u), -1)
         v = v.reshape(len(v), -1)
+        with ops.frame():
+            self._refresh_b(ops, u, v)
+
+    def _refresh_b(self, ops: Ops, u: np.ndarray, v: np.ndarray) -> None:
         tf: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         for i in self.schedule:
             if i == 1:
@@ -322,7 +360,7 @@ class IncrementalGeneral(_GeneralBase):
         for i in self.schedule:
             big_u, big_v = tf[i]
             self.iterates[i] = ops.add_outer_inplace(self.iterates[i], big_u, big_v)
-        self.b = ops.add(self.b, ops.mm(u, v.T))
+        self.b = ops.add_inplace(self.b, ops.mm(u, v.T))
 
     def memory_bytes(self) -> int:
         """Every iterate (plus P/S views) is materialized (Table 2)."""
@@ -355,23 +393,28 @@ class HybridGeneral(_GeneralBase):
         model: Model,
         counter: counters.Counter = counters.NULL_COUNTER,
         backend=None,
+        workspace=None,
     ):
-        super().__init__(a, b, t0, k, model, counter, backend=backend)
+        super().__init__(a, b, t0, k, model, counter, backend=backend,
+                         workspace=workspace)
         self.powers = (
             IncrementalPowers(self.a, self.horizon, model, counter,
-                              backend=self.backend)
+                              backend=self.backend,
+                              workspace=self.ops.workspace)
             if self.horizon > 1
             else None
         )
         self.sums = (
             IncrementalPowerSums(self.a, self.horizon, model, counter,
-                                 powers=self.powers, backend=self.backend)
+                                 powers=self.powers, backend=self.backend,
+                                 workspace=self.ops.workspace)
             if self.horizon > 1 and self.b is not None
             else None
         )
         self._materialize()
 
     def _materialize(self) -> None:
+        # State arrays must not come from the arena (they outlive frames).
         ops = Ops(backend=self.backend)
         self.iterates = {}
         prev = self.t0
@@ -395,6 +438,10 @@ class HybridGeneral(_GeneralBase):
         ops = self.ops
         u = u.reshape(len(u), -1)
         v = v.reshape(len(v), -1)
+        with ops.frame():
+            self._refresh(ops, u, v)
+
+    def _refresh(self, ops: Ops, u: np.ndarray, v: np.ndarray) -> None:
         pf: FactorDict = (
             self.powers.compute_factors(u, v)
             if self.powers is not None
@@ -448,6 +495,10 @@ class HybridGeneral(_GeneralBase):
         ops = self.ops
         u = u.reshape(len(u), -1)
         v = v.reshape(len(v), -1)
+        with ops.frame():
+            self._refresh_b(ops, u, v)
+
+    def _refresh_b(self, ops: Ops, u: np.ndarray, v: np.ndarray) -> None:
         db = ops.mm(u, v.T)
         dt: dict[int, np.ndarray] = {}
         for i in self.schedule:
@@ -467,7 +518,7 @@ class HybridGeneral(_GeneralBase):
                     dt[i] = ops.add(term, ops.mm(self.sums.sums[h], db))
         for i in self.schedule:
             self.iterates[i] = ops.add_inplace(self.iterates[i], dt[i])
-        self.b = ops.add(self.b, db)
+        self.b = ops.add_inplace(self.b, db)
 
     def memory_bytes(self) -> int:
         """Every iterate (plus P/S views) is materialized (Table 2)."""

@@ -21,6 +21,17 @@ two for standalone use.
 Factor widths grow exactly as Appendix A derives: for a rank-1 update
 the width of ``dP_i`` is ``i`` in every model (``+1`` per linear step,
 doubling per exponential step, ``+s`` per skip step).
+
+Both maintainers refresh through the backends' in-place kernels: the
+REEVAL recompute writes each power into its *existing* storage
+(``matmul_into`` — legal because every recurrence reads strictly
+earlier schedule entries), and the INCR factor algebra can lease its
+scratch blocks from a :class:`~repro.runtime.workspace.Workspace`
+(``workspace=True`` or a shared arena), making the steady-state refresh
+allocation-free on dense state.  With a workspace attached, factor
+dicts returned by ``compute_factors``/``refresh`` are backed by arena
+buffers and stay valid only until the next refresh — copy them to keep
+them longer.
 """
 
 from __future__ import annotations
@@ -55,12 +66,18 @@ class ReevalPowers:
         self._recompute()
 
     def _recompute(self) -> None:
+        previous = self.powers
         self.powers = {1: self.a}
         for i in self.schedule[1:]:
             j = self.model.predecessor(i)
             # P_i = P_{i-j} @ P_j covers all three recurrences:
-            # linear (A @ P_{i-1}), exponential (P_h @ P_h), skip (P_s @ P_{i-s}).
-            self.powers[i] = self.ops.mm(self.powers[i - j], self.powers[j])
+            # linear (A @ P_{i-1}), exponential (P_h @ P_h), skip
+            # (P_s @ P_{i-s}).  Each product lands in the previous
+            # refresh's P_i storage — operands have strictly lower
+            # indices, so the destination never aliases an input.
+            self.powers[i] = self.ops.mm_into(
+                self.powers[i - j], self.powers[j], previous.get(i)
+            )
 
     def refresh(self, u: np.ndarray, v: np.ndarray) -> None:
         """Apply ``A += u v'`` and recompute every scheduled power."""
@@ -83,7 +100,13 @@ class ReevalPowers:
 
 
 class IncrementalPowers:
-    """Incremental maintenance of all scheduled ``A^i`` (strategy INCR)."""
+    """Incremental maintenance of all scheduled ``A^i`` (strategy INCR).
+
+    ``workspace`` (``None`` / ``True`` / a shared
+    :class:`~repro.runtime.workspace.Workspace`) backs the factor
+    algebra's scratch blocks with a reusable arena — see the module
+    docstring for the resulting factor-lifetime contract.
+    """
 
     def __init__(
         self,
@@ -92,13 +115,15 @@ class IncrementalPowers:
         model: Model,
         counter: counters.Counter = counters.NULL_COUNTER,
         backend=None,
+        workspace=None,
     ):
         self.model = model
         self.k = k
         self.schedule = model.schedule(k)
-        self.ops = Ops(counter, backend)
+        self.ops = Ops(counter, backend, workspace=workspace)
         self.powers: dict[int, np.ndarray] = {}
-        # Initial materialization is not charged to refreshes.
+        # Initial materialization is not charged to refreshes, and must
+        # not land in workspace buffers (state outlives every frame).
         ops = Ops(backend=self.ops.backend)
         self.powers[1] = self.ops.backend.asarray(a, copy=True)
         for i in self.schedule[1:]:
@@ -120,24 +145,26 @@ class IncrementalPowers:
         u = u.reshape(len(u), -1)
         v = v.reshape(len(v), -1)
         factors: FactorDict = {1: (u, v)}
-        for i in self.schedule[1:]:
-            # P_i = P_h @ P_j with j the model's predecessor and h = i - j:
-            # linear (A @ P_{i-1}), exponential (P_h @ P_h), skip (P_s @ P_{i-s}).
-            j = self.model.predecessor(i)
-            h = i - j
-            u_h, v_h = factors[h]
-            u_j, v_j = factors[j]
-            left = ops.hstack(
-                [
-                    u_h,
-                    ops.add(
-                        ops.mm(self.powers[h], u_j),
-                        ops.mm(u_h, ops.mm(v_h.T, u_j)),
-                    ),
-                ]
-            )
-            right = ops.hstack([ops.mm(self.powers[j].T, v_h), v_j])
-            factors[i] = (left, right)
+        with ops.frame():
+            for i in self.schedule[1:]:
+                # P_i = P_h @ P_j with j the model's predecessor and h = i - j:
+                # linear (A @ P_{i-1}), exponential (P_h @ P_h), skip
+                # (P_s @ P_{i-s}).
+                j = self.model.predecessor(i)
+                h = i - j
+                u_h, v_h = factors[h]
+                u_j, v_j = factors[j]
+                left = ops.hstack(
+                    [
+                        u_h,
+                        ops.add(
+                            ops.mm(self.powers[h], u_j),
+                            ops.mm(u_h, ops.mm(v_h.T, u_j)),
+                        ),
+                    ]
+                )
+                right = ops.hstack([ops.mm(self.powers[j].T, v_h), v_j])
+                factors[i] = (left, right)
         return factors
 
     def apply_factors(self, factors: FactorDict) -> None:
@@ -148,8 +175,9 @@ class IncrementalPowers:
 
     def refresh(self, u: np.ndarray, v: np.ndarray) -> FactorDict:
         """Maintain every scheduled power for ``A += u v'`` (Appendix A)."""
-        factors = self.compute_factors(u, v)
-        self.apply_factors(factors)
+        with self.ops.frame():
+            factors = self.compute_factors(u, v)
+            self.apply_factors(factors)
         return factors
 
     def result(self) -> np.ndarray:

@@ -71,19 +71,27 @@ class ReevalPowerSums:
         return self._powers.powers[i]
 
     def _recompute(self) -> None:
+        previous = self.sums
         n = self.a.shape[0]
-        eye = self.ops.backend.eye(n)
+        eye = getattr(self, "_eye", None)
+        if eye is None:  # built once; S_1 = I is never mutated
+            eye = self._eye = self.ops.backend.eye(n)
         self.sums = {1: eye}
         for i in self.schedule[1:]:
             j = self.model.predecessor(i)
             h = i - j
+            # Each product lands in the previous refresh's S_i storage
+            # and the trailing term accumulates with an aliasing add —
+            # operands read strictly earlier schedule entries, so the
+            # destination never aliases an input.
+            out = previous.get(i)
             if self.model.kind == Model.LINEAR:
-                self.sums[i] = self.ops.add(self.ops.mm(self.a, self.sums[i - 1]), eye)
+                step = self.ops.mm_into(self.a, self.sums[i - 1], out)
+                self.sums[i] = self.ops.add_into(step, eye, step)
             else:
                 # S_i = P_h S_j + S_h (h = j exponential, h = s skip phase)
-                self.sums[i] = self.ops.add(
-                    self.ops.mm(self._power(h), self.sums[j]), self.sums[h]
-                )
+                step = self.ops.mm_into(self._power(h), self.sums[j], out)
+                self.sums[i] = self.ops.add_into(step, self.sums[h], step)
 
     def refresh(self, u: np.ndarray, v: np.ndarray) -> None:
         """Apply ``A += u v'`` and recompute every scheduled sum."""
@@ -126,11 +134,12 @@ class IncrementalPowerSums:
         counter: counters.Counter = counters.NULL_COUNTER,
         powers: IncrementalPowers | None = None,
         backend=None,
+        workspace=None,
     ):
         self.model = model
         self.k = k
         self.schedule = model.schedule(k)
-        self.ops = Ops(counter, backend)
+        self.ops = Ops(counter, backend, workspace=workspace)
         self.owns_powers = powers is None
         if powers is not None:
             needed = _powers_horizon(model, k)
@@ -140,9 +149,12 @@ class IncrementalPowerSums:
                 )
             self.powers = powers
         else:
+            # An owned powers maintainer shares the arena: its factor
+            # scratch and ours live in one frame per refresh.
             self.powers = (
                 IncrementalPowers(a, _powers_horizon(model, k), model, counter,
-                                  backend=self.ops.backend)
+                                  backend=self.ops.backend,
+                                  workspace=self.ops.workspace)
                 if model.kind != Model.LINEAR and k > 1
                 else None
             )
@@ -180,6 +192,13 @@ class IncrementalPowerSums:
         ops = self.ops
         u = u.reshape(len(u), -1)
         v = v.reshape(len(v), -1)
+        with ops.frame():
+            return self._compute_factors(ops, u, v, power_factors)
+
+    def _compute_factors(
+        self, ops: Ops, u: np.ndarray, v: np.ndarray,
+        power_factors: FactorDict | None,
+    ) -> OptionalFactorDict:
         if self.powers is not None and power_factors is None:
             power_factors = self.powers.compute_factors(u, v)
 
@@ -264,13 +283,15 @@ class IncrementalPowerSums:
             )
         u = u.reshape(len(u), -1)
         v = v.reshape(len(v), -1)
-        power_factors = (
-            self.powers.compute_factors(u, v) if self.powers is not None else None
-        )
-        factors = self.compute_factors(u, v, power_factors)
-        self.apply_factors(factors, power_factors)
-        if self.powers is None:
-            self.a = self.ops.add_outer_inplace(self.a, u, v)
+        with self.ops.frame():
+            power_factors = (
+                self.powers.compute_factors(u, v)
+                if self.powers is not None else None
+            )
+            factors = self.compute_factors(u, v, power_factors)
+            self.apply_factors(factors, power_factors)
+            if self.powers is None:
+                self.a = self.ops.add_outer_inplace(self.a, u, v)
         return factors
 
     def result(self) -> np.ndarray:

@@ -48,6 +48,11 @@ class MaintenancePlan:
     mode: str = "interpret"
     predicted_time: float = float("nan")
     predicted_space: float = float("nan")
+    #: Recommended update-batch width: collect this many rank-1 updates
+    #: in a :class:`~repro.delta.batch.BatchCollector` and flush one
+    #: compacted refresh.  ``None`` when batching was not planned (or
+    #: does not pay); 1 means "apply per update".
+    batch_size: int | None = None
 
     def __post_init__(self):
         if self.strategy not in (REEVAL, INCR, HYBRID):
@@ -102,6 +107,7 @@ class MaintenancePlan:
             "mode": self.mode,
             "predicted_time": self.predicted_time,
             "predicted_space": self.predicted_space,
+            "batch_size": self.batch_size,
         }
 
 
@@ -120,6 +126,11 @@ class WorkloadStats:
     #: the backends actually run)
     memory_budget: float | None = None       #: max stored entries, if any
     has_b: bool = True                       #: general form carries a B term
+    #: Largest update-batch width the application tolerates (a latency
+    #: bound: updates queued in a BatchCollector are invisible to reads
+    #: until flushed).  ``None`` leaves the planner its default grid;
+    #: the chosen width lands on ``MaintenancePlan.batch_size``.
+    batch_hint: int | None = None
 
     @staticmethod
     def measure_density(*matrices) -> float:

@@ -24,6 +24,8 @@ from ..backends import available_backends
 from ..calibrate import calibrated
 from ..compiler.program import Program
 from ..cost.advisor import recommend_general, recommend_powers
+from ..cost.estimate import batch_unit_cost
+from ..runtime.executor import resolve_dim
 from .plan import INCR, REEVAL, MaintenancePlan, WorkloadStats
 from .programcost import infer_dims, program_cost
 
@@ -33,9 +35,73 @@ from .programcost import infer_dims, program_cost
 #: shouldn't pay it.
 CODEGEN_MIN_REFRESHES = 32
 
+#: Candidate update-batch widths the planner grids over (capped or
+#: extended by ``WorkloadStats.batch_hint``).
+BATCH_GRID = (1, 2, 4, 8, 16, 32)
+
 
 def _mode_for(stats: WorkloadStats) -> str:
     return "codegen" if stats.refresh_count >= CODEGEN_MIN_REFRESHES else "interpret"
+
+
+def _batch_widths(batch_hint: int | None) -> tuple[int, ...]:
+    if batch_hint is None:
+        return BATCH_GRID
+    cap = max(int(batch_hint), 1)
+    widths = [w for w in BATCH_GRID if w <= cap]
+    if cap not in widths:
+        widths.append(cap)
+    return tuple(widths)
+
+
+def _recommend_batch(
+    be,
+    strategy: str,
+    program: Program,
+    dims,
+    densities,
+    rank: int,
+    update_input: str | None,
+    batch_hint: int | None,
+    inplace: bool,
+    base_refresh: float | None = None,
+) -> int:
+    """Cheapest per-update batch width for this (strategy, backend) cell.
+
+    Prices :meth:`BatchCollector.flush`'s QR+SVD compaction against the
+    per-unit-width propagation it saves (Table 4): a width-``m`` batch
+    pays one compaction plus one rank-``m·rank`` refresh instead of
+    ``m`` rank-``rank`` refreshes — amortizing both per-call overhead
+    and, for REEVAL, the whole re-evaluation.
+
+    ``base_refresh`` is the caller's already-computed rank-``rank``
+    per-refresh cost, seeding the memo so the width-1 cell costs no
+    extra tree walk (re-planning re-prices this grid mid-stream).
+    """
+    target = update_input or program.input_names[0]
+    sym = program.input(target)
+    rows = resolve_dim(sym.shape.rows, dims)
+    cols = resolve_dim(sym.shape.cols, dims)
+
+    memo: dict[int, float] = {}
+    if base_refresh is not None:
+        memo[rank] = float(base_refresh)
+
+    def refresh_cost(r: int) -> float:
+        if r not in memo:
+            memo[r] = program_cost(
+                be, strategy, program, dims, densities,
+                rank=r, update_input=update_input, inplace=inplace,
+            ).refresh
+        return memo[r]
+
+    widths = _batch_widths(batch_hint)
+    best = min(
+        widths,
+        key=lambda m: batch_unit_cost(be, refresh_cost, rows, cols, m,
+                                      rank=rank),
+    )
+    return int(best)
 
 
 def plan_powers(stats: WorkloadStats) -> MaintenancePlan:
@@ -117,6 +183,8 @@ def rank_program(
     if backends is None:
         backends = [b for b in ("dense", "sparse") if b in available_backends()]
 
+    batch_hint = stats.batch_hint if stats is not None else None
+
     candidates = []
     for backend_name in backends:
         try:
@@ -124,16 +192,24 @@ def rank_program(
         except (ValueError, RuntimeError):
             continue
         for strategy in strategies:
+            mode = _mode_for(mode_stats) if strategy == INCR else "interpret"
+            # Codegen sessions run the fused in-place fast path, so
+            # those cells are priced with the allocation discount.
+            inplace = strategy == INCR and mode == "codegen"
             cost = program_cost(
                 be, strategy, program, resolved_dims, densities,
-                rank=rank, update_input=update_input,
+                rank=rank, update_input=update_input, inplace=inplace,
             )
             predicted = (cost.total(refreshes) / max(refreshes, 1)
                          if amortize_setup else cost.refresh)
-            mode = _mode_for(mode_stats) if strategy == INCR else "interpret"
+            batch = _recommend_batch(
+                be, strategy, program, resolved_dims, densities,
+                rank, update_input, batch_hint, inplace,
+                base_refresh=cost.refresh,
+            )
             candidates.append(MaintenancePlan(
                 strategy, "linear", None, be.name, mode,
-                predicted, cost.space,
+                predicted, cost.space, batch_size=batch,
             ))
     if not candidates:
         raise RuntimeError("no execution backend available to plan over")

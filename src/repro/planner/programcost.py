@@ -89,16 +89,25 @@ def program_cost(
     input_density: dict[str, float],
     rank: int = 1,
     update_input: str | None = None,
+    inplace: bool = False,
 ) -> CostEstimate:
     """Predicted per-refresh cost of maintaining ``program`` under ``be``.
 
     ``input_density`` maps input names to nnz densities; unlisted names
     are assumed dense.  ``update_input`` names the input the update
     stream targets (default: the program's first input).
+
+    ``inplace=True`` prices the factored refresh through the fused
+    in-place path (``mode="codegen"`` sessions): every delta-pass call
+    is charged ``est_call_overhead(inplace=True)`` — its discounted,
+    allocation-free form.  Full evaluation (REEVAL, and INCR setup) is
+    always priced out-of-place: it runs through the allocating
+    evaluator regardless of mode.
     """
     if strategy not in ("REEVAL", "INCR"):
         raise ValueError(f"sessions support REEVAL or INCR, got {strategy!r}")
     update_input = update_input or program.input_names[0]
+    delta_call = be.est_call_overhead(inplace)
 
     ann: dict[str, _Annotation] = {}
     for sym in program.inputs:
@@ -139,7 +148,7 @@ def program_cost(
             )
             width = sum(part.width for part in parts)
             if width:
-                delta_cost += be.est_call_overhead_flops  # factor hstack
+                delta_cost += delta_call  # factor hstack
             return _Annotation(first.rows, first.cols, density, width)
         if isinstance(node, MatMul):
             left = walk(node.children[0])
@@ -156,15 +165,15 @@ def program_cost(
                     delta_cost += be.est_matmul_flops(
                         (right.cols, right.rows), (right.rows, left.width),
                         right.density,
-                    ) + be.est_call_overhead_flops
+                    ) + delta_call
                 if right.width:
                     delta_cost += be.est_matmul_flops(
                         (left.rows, left.cols), (left.cols, right.width),
                         left.density,
-                    ) + be.est_call_overhead_flops
+                    ) + delta_call
                 if left.width and right.width:
                     delta_cost += (4.0 * left.rows * left.width * right.width
-                                   + be.est_call_overhead_flops)
+                                   + delta_call)
                 left = _Annotation(
                     left.rows, right.cols,
                     _product_density(left.density, right.density, left.cols),
@@ -178,7 +187,7 @@ def program_cost(
             ) + be.est_call_overhead_flops
             if child.width:
                 delta_cost += (2.0 * child.rows * child.width
-                               + be.est_call_overhead_flops)
+                               + delta_call)
             return child
         if isinstance(node, Transpose):
             child = walk(node.child)
@@ -192,7 +201,7 @@ def program_cost(
             # delta column: O(n^2) each.
             if child.width:
                 delta_cost += (4.0 * n * n * child.width
-                               + be.est_call_overhead_flops)
+                               + delta_call)
             return _Annotation(n, n, 1.0, child.width)
         if isinstance(node, (HStack, VStack)):
             parts = [walk(child) for child in node.children]
@@ -217,16 +226,22 @@ def program_cost(
             delta_cost += be.est_add_outer_flops(
                 (result.rows, result.cols), result.density,
                 result.width, u_nnz,
-            ) + be.est_call_overhead_flops
+            ) + delta_call
         ann[stmt.target.name] = result
         space += be.est_entries((result.rows, result.cols), result.density)
 
-    apply_update = be.est_add_outer_flops(
+    apply_flops = be.est_add_outer_flops(
         (upd.rows, upd.cols), upd.density, rank, 1.0
-    ) + be.est_call_overhead_flops
+    )
     if strategy == "REEVAL":
-        return CostEstimate(eval_cost, apply_update + eval_cost, space)
-    return CostEstimate(eval_cost, apply_update + delta_cost, space)
+        return CostEstimate(
+            eval_cost,
+            apply_flops + be.est_call_overhead_flops + eval_cost,
+            space,
+        )
+    return CostEstimate(
+        eval_cost, apply_flops + delta_call + delta_cost, space
+    )
 
 
 __all__ = ["infer_dims", "program_cost"]

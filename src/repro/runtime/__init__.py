@@ -18,6 +18,7 @@ from .updates import (
     row_update,
 )
 from .views import ViewStore
+from .workspace import Workspace
 
 __all__ = [
     "DriftExceededError",
@@ -32,6 +33,7 @@ __all__ = [
     "Session",
     "SessionDriftMonitor",
     "ViewStore",
+    "Workspace",
     "batch_row_update",
     "cell_update",
     "column_update",

@@ -328,25 +328,31 @@ class ReplanMonitor(SessionDriftMonitor):
 
         Conversion touches what is stored now plus what the target
         representation will store (CSR -> dense materializes the full
-        ``n x m`` image, not just the nonzeros).  A same-backend switch
+        ``n x m`` image, not just the nonzeros), priced at each side's
+        ``est_convert_passes_per_entry`` — a constant ``repro
+        calibrate`` fits from timed CSR <-> dense conversions on this
+        machine (the shipped class default, 2.0 passes, reproduces the
+        pre-calibration fixed constant).  A same-backend switch
         (strategy only) shares the arrays outright — its cost is just
         trigger (re)compilation, charged as a few kernel calls.
         """
-        from ..backends import get_backend
+        from ..calibrate import calibrated
 
-        old = self.session.backend
-        new = get_backend(to_backend)
+        old = calibrated(self.session.backend, self.calibration)
+        new = calibrated(to_backend, self.calibration)
         if new.name == old.name:
             return 8.0 * new.est_call_overhead_flops
         views = self.session.views
-        entries = 0.0
+        cost = 0.0
         for name in views.names():
             arr = views.get(name)
             rows, cols = old.shape(arr)
             density = old.density(arr)
-            entries += old.est_entries((rows, cols), density)
-            entries += new.est_entries((rows, cols), density)
-        return 2.0 * entries
+            cost += (old.est_convert_passes_per_entry
+                     * old.est_entries((rows, cols), density))
+            cost += (new.est_convert_passes_per_entry
+                     * new.est_entries((rows, cols), density))
+        return cost
 
     def replan(self) -> ReplanEvent | None:
         """Re-price the plan grid from live state; switch if it pays.

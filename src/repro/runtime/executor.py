@@ -86,8 +86,17 @@ def evaluate(
                 value = env[node.name]
             except KeyError:
                 raise EvaluationError(f"unbound matrix {node.name!r}") from None
-            if be.is_native(value) and not isinstance(value, np.ndarray):
-                return value
+            if be.is_native(value):
+                # Already in a form the backend executes — return it
+                # as-is regardless of concrete type.  Re-normalizing a
+                # native float64 ndarray through ``asarray`` would scan
+                # (and, under the sparse backend's representation
+                # policy, copy/convert) the full matrix on *every leaf
+                # evaluation*; other dtypes still normalize below.
+                if not isinstance(value, np.ndarray):
+                    return value
+                if value.dtype == np.float64:
+                    return value
             arr = np.asarray(value, dtype=np.float64)
             if arr.ndim != 2:
                 raise EvaluationError(

@@ -22,7 +22,20 @@ Two execution modes are supported for triggers:
 * ``mode="interpret"`` — delta expressions are evaluated by the AST
   executor (FLOP-counted, the default);
 * ``mode="codegen"`` — triggers are lowered to Python/NumPy source and
-  ``exec``-compiled once (the paper's generated-code path).
+  ``exec``-compiled once (the paper's generated-code path).  By default
+  codegen sessions additionally *specialize* each trigger against the
+  session's concrete dimensions and backend
+  (:mod:`repro.compiler.codegen.fused`): the specialized function runs
+  every kernel through the backend's ``*_into`` forms into buffers
+  preallocated in a session :class:`~repro.runtime.workspace.Workspace`
+  and repairs views **in place**, so a warmed-up dense session performs
+  zero heap allocation per update.  Updates whose rank differs from the
+  compiled width, and triggers containing nodes without an in-place
+  lowering, transparently fall back to the generic generated code;
+  ``fused=False`` (or ``mode="interpret"``) disables specialization
+  outright.  Because views mutate in place on this path, treat matrices
+  returned by ``session[...]``/``session.output()`` as *live* state —
+  copy them if you need a snapshot that survives further updates.
 """
 
 from __future__ import annotations
@@ -32,6 +45,7 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from ..backends import get_backend
+from ..compiler.codegen.fused import FusedUnsupported, compile_fused_trigger
 from ..compiler.codegen.python_gen import compile_trigger_function, outer_operands
 from ..compiler.compile import compile_program
 from ..compiler.optimizer import optimize_trigger
@@ -42,6 +56,7 @@ from ..cost.ops import outer_update_flops
 from .executor import evaluate
 from .updates import FactoredUpdate
 from .views import ViewStore
+from .workspace import Workspace
 
 
 class Session:
@@ -200,6 +215,10 @@ class IVMSession(Session):
         Run the Section 6 optimizer pipeline over each trigger.
     mode:
         ``"interpret"`` or ``"codegen"`` (see module docstring).
+    fused:
+        In ``codegen`` mode, specialize each trigger into the fused
+        in-place form (the default fast path; see module docstring).
+        ``False`` keeps the generic generated code only.
     """
 
     strategy = "INCR"
@@ -214,6 +233,7 @@ class IVMSession(Session):
         mode: str = "interpret",
         counter: counters.Counter = counters.NULL_COUNTER,
         backend=None,
+        fused: bool = True,
     ):
         if mode not in ("interpret", "codegen"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -227,11 +247,63 @@ class IVMSession(Session):
                 for name, trigger in self.triggers.items()
             }
         self._compiled: dict[str, Callable] = {}
+        self._fused: dict[str, Callable] = {}
+        self.workspace: Workspace | None = None
         if mode == "codegen":
             self._compiled = {
                 name: compile_trigger_function(trigger, backend=self.backend)
                 for name, trigger in self.triggers.items()
             }
+            if fused:
+                self._compile_fused()
+
+    def _compile_fused(self) -> None:
+        """Specialize triggers against concrete dims into the fused form.
+
+        Triggers the specializer cannot lower (symbolic dims it cannot
+        bind, nodes without an in-place kernel) silently keep only their
+        generic compiled form — the interpreter contract is never at
+        risk, only the allocation profile.
+        """
+        dims = self._bound_dims()
+        self.workspace = Workspace()
+        mutated: set[str] = set()
+        for name, trigger in self.triggers.items():
+            try:
+                fn = compile_fused_trigger(
+                    trigger, dims, backend=self.backend,
+                    workspace=self.workspace,
+                )
+            except FusedUnsupported:
+                continue
+            self._fused[name] = fn
+            mutated.update(trigger.updated_views)
+        # The fused path mutates views in place, so every view it will
+        # touch must be session-owned (callers may have handed us their
+        # arrays — including CSR objects ViewStore stores by
+        # reference): one defensive copy per view, once, at compile
+        # time.
+        for name in mutated:
+            arr = self.views.get(name)
+            if isinstance(arr, np.ndarray):
+                self.views._arrays[name] = np.array(
+                    arr, dtype=np.float64, order="C"
+                )
+            else:
+                self.views._arrays[name] = arr.copy()
+
+    def _bound_dims(self) -> dict[str, int]:
+        """User-supplied dims completed from the stored inputs' shapes."""
+        dims = dict(self.views.dims)
+        for sym in self.program.inputs:
+            if sym.name not in self.views:
+                continue
+            shape = self.backend.shape(self.views.get(sym.name))
+            for dim, size in zip((sym.shape.rows, sym.shape.cols), shape):
+                name = getattr(dim, "name", None)
+                if name is not None:
+                    dims.setdefault(name, int(size))
+        return dims
 
     # -- maintenance -----------------------------------------------------
     def apply_update(self, update: FactoredUpdate) -> None:
@@ -240,7 +312,11 @@ class IVMSession(Session):
         if trigger is None:
             raise KeyError(f"no trigger compiled for input {update.target!r}")
         if self.mode == "codegen":
-            fn = self._compiled[update.target]
+            fn = self._fused.get(update.target)
+            if fn is None or update.u_block.shape[1] != fn.__rank__:
+                # Off-width updates (and unspecializable triggers) take
+                # the generic generated path — correct at any rank.
+                fn = self._compiled[update.target]
             fn(self.views._arrays, update.u_block, update.v_block,
                dims=self.views.dims)
         else:

@@ -200,12 +200,24 @@ class TestExecutorBackend:
         a_sym = MatrixSymbol("A", n, n)
         expr = matmul(a_sym, a_sym)
         a = sparse_matrix(rng, 100, density=0.02)
-        dense_out = evaluate(expr, {"A": a})
-        sparse_out = evaluate(expr, {"A": a}, backend="sparse")
-        assert sp.issparse(sparse_out)
         be = get_backend("sparse")
+        dense_out = evaluate(expr, {"A": a})
+        sparse_out = evaluate(expr, {"A": be.asarray(a)}, backend=be)
+        assert sp.issparse(sparse_out)
         np.testing.assert_allclose(be.materialize(sparse_out), dense_out,
                                    atol=1e-10)
+
+    def test_evaluate_honors_native_dense_leaves(self, rng):
+        # Native float64 ndarrays pass through untouched (no per-leaf
+        # re-normalization into the representation policy) — the
+        # product then runs dense and must still match.
+        n = NamedDim("n")
+        a_sym = MatrixSymbol("A", n, n)
+        expr = matmul(a_sym, a_sym)
+        a = sparse_matrix(rng, 100, density=0.02)
+        out = evaluate(expr, {"A": a}, backend="sparse")
+        assert isinstance(out, np.ndarray)
+        np.testing.assert_allclose(out, evaluate(expr, {"A": a}), atol=1e-10)
 
 
 def _apply_stream(maintainer, events, n):

@@ -212,3 +212,61 @@ class TestCalibrateCLI:
         assert payload["key"] == cache_key()
         assert "dense" in payload["backends"]
         assert payload["path"] == str(target)
+
+
+class TestInPlaceAndConversionConstants:
+    """PR 4: the in-place discount and switch-cost passes are calibrated."""
+
+    def test_run_calibration_fits_new_constants(self):
+        calibration = calibrate.run_calibration(quick=True, repeats=1)
+        for entry in calibration.backends.values():
+            assert entry.inplace_discount is not None
+            lo, hi = calibrate.INPLACE_DISCOUNT_RANGE
+            assert lo <= entry.inplace_discount <= hi
+            assert entry.convert_passes_per_entry is not None
+            lo, hi = calibrate.CONVERT_PASSES_RANGE
+            assert lo <= entry.convert_passes_per_entry <= hi
+
+    def test_apply_overwrites_backend_constants(self):
+        entry = BackendCalibration(
+            backend="dense", flops_per_second=1e10,
+            call_overhead_flops=12_345.0,
+            inplace_discount=0.42, convert_passes_per_entry=3.5,
+        )
+        be = entry.apply(get_backend("dense").__class__())
+        assert be.est_inplace_discount == 0.42
+        assert be.est_convert_passes_per_entry == 3.5
+        assert be.est_call_overhead(inplace=True) == pytest.approx(
+            12_345.0 * 0.42)
+
+    def test_new_fields_round_trip_through_json(self, tmp_path):
+        entry = BackendCalibration(
+            backend="dense", flops_per_second=1e10,
+            call_overhead_flops=10_000.0,
+            inplace_discount=0.6, convert_passes_per_entry=2.25,
+        )
+        calibration = Calibration(key=cache_key(),
+                                  backends={"dense": entry})
+        path = tmp_path / "calibration.json"
+        calibration.save(path)
+        loaded = calibrate.load_calibration(path)
+        assert loaded is not None
+        restored = loaded.get("dense")
+        assert restored.inplace_discount == 0.6
+        assert restored.convert_passes_per_entry == 2.25
+
+    def test_old_caches_without_new_fields_still_load(self, tmp_path):
+        calibration = synthetic()
+        payload = calibration.as_dict()
+        for entry in payload["backends"].values():
+            entry.pop("inplace_discount", None)
+            entry.pop("convert_passes_per_entry", None)
+        path = tmp_path / "calibration.json"
+        path.write_text(json.dumps(payload))
+        loaded = calibrate.load_calibration(path)
+        assert loaded is not None
+        entry = loaded.get("dense")
+        assert entry.inplace_discount is None
+        # Class defaults survive when the cache has no measurement.
+        be = entry.apply(get_backend("dense").__class__())
+        assert be.est_inplace_discount == type(be).est_inplace_discount

@@ -173,3 +173,48 @@ class TestCounting:
 
         NULL_COUNTER.record("matmul", 10**9)
         assert NULL_COUNTER.total_flops == 0
+
+
+class TestNativeLeafPassThrough:
+    """MatrixSymbol leaves native to the backend must not be copied.
+
+    Regression: the evaluator used to round-trip float64 ndarrays
+    through ``be.asarray`` whenever the backend was not dense — a full
+    scan (and, under the sparse representation policy, a possible CSR
+    conversion) per leaf per evaluation.
+    """
+
+    def test_dense_ndarray_returned_as_is(self, rng):
+        arr = rng.normal(size=(6, 6))
+        assert evaluate(A, {"A": arr}) is arr
+
+    def test_sparse_backend_skips_renormalizing_ndarray(self, rng, monkeypatch):
+        scipy = pytest.importorskip("scipy")  # noqa: F841
+        from repro.backends import SparseBackend
+
+        be = SparseBackend()
+        arr = rng.normal(size=(80, 80))  # dense: above sparsify threshold
+        calls = []
+        original = SparseBackend.asarray
+
+        def counting_asarray(self, value, copy=False):
+            calls.append(value)
+            return original(self, value, copy)
+
+        monkeypatch.setattr(SparseBackend, "asarray", counting_asarray)
+        result = evaluate(matmul(A, A), {"A": arr}, backend=be)
+        assert calls == [], "native float64 ndarray was re-normalized"
+        np.testing.assert_allclose(result, arr @ arr)
+
+    def test_sparse_backend_keeps_csr_leaves(self, rng):
+        sp = pytest.importorskip("scipy.sparse")
+        csr = sp.random_array((80, 80), density=0.05, format="csr",
+                              random_state=np.random.default_rng(0))
+        csr = sp.csr_array(csr, dtype=np.float64)
+        assert evaluate(A, {"A": csr}, backend="sparse") is csr
+
+    def test_non_float64_ndarray_still_normalized(self):
+        arr = np.arange(36, dtype=np.int64).reshape(6, 6)
+        result = evaluate(A, {"A": arr})
+        assert result.dtype == np.float64
+        np.testing.assert_allclose(result, arr)

@@ -391,3 +391,53 @@ def test_property_planned_session_matches_dense_reeval(
     for name in ("A", "B", "C"):
         np.testing.assert_allclose(planned[name], reference[name],
                                    rtol=1e-6, atol=1e-8)
+
+
+class TestPlannerAwareBatching:
+    """The batch-width axis: plans carry a recommended BatchCollector size."""
+
+    def _plan(self, rng, refreshes=500, batch_hint=None, strategies=None):
+        program = parse_program(A4_SOURCE)
+        a = rng.normal(size=(128, 128))
+        stats = WorkloadStats(n=1, refresh_count=refreshes,
+                              batch_hint=batch_hint)
+        kwargs = {} if strategies is None else {"strategies": strategies}
+        from repro.planner import rank_program
+
+        return rank_program(program, {"A": a}, stats=stats,
+                            calibration=None, **kwargs)
+
+    def test_every_candidate_carries_a_batch_size(self, rng):
+        for candidate in self._plan(rng):
+            assert candidate.batch_size is not None
+            assert candidate.batch_size >= 1
+
+    def test_reeval_amortizes_into_large_batches(self, rng):
+        reeval = [c for c in self._plan(rng) if c.strategy == "REEVAL"]
+        assert reeval and all(c.batch_size > 1 for c in reeval), (
+            "batching a REEVAL refresh amortizes the whole re-evaluation"
+        )
+
+    def test_batch_hint_caps_the_width(self, rng):
+        for candidate in self._plan(rng, batch_hint=4):
+            assert candidate.batch_size <= 4
+
+    def test_batch_hint_one_disables_batching(self, rng):
+        for candidate in self._plan(rng, batch_hint=1):
+            assert candidate.batch_size == 1
+
+    def test_plan_as_dict_includes_batch_size(self, rng):
+        plan = self._plan(rng)[0]
+        assert "batch_size" in plan.as_dict()
+
+    def test_compaction_cost_scales_with_width(self):
+        from repro.backends import get_backend
+        from repro.cost.estimate import batch_unit_cost, compaction_cost
+
+        be = get_backend("dense")
+        assert compaction_cost(be, 512, 512, 8) < compaction_cost(
+            be, 512, 512, 32)
+        # Unit cost at batch=1 is exactly the per-refresh cost (no
+        # compaction charged).
+        refresh = lambda r: 1000.0 * r  # noqa: E731
+        assert batch_unit_cost(be, refresh, 512, 512, 1) == 1000.0

@@ -196,3 +196,64 @@ class TestReplanMonitor:
             monitor.apply_update(update)
         # Current plan already the winner -> no event.
         assert monitor.replan() is None
+
+
+class TestCalibratedSwitchCost:
+    """PR 4: the replan switch-cost constant comes from calibration."""
+
+    def _monitor(self, rng, calibration):
+        pytest.importorskip("scipy")
+        n = 96
+        program = parse_program(A2_SOURCE)
+        # Fixed seed: switch-cost comparisons across monitors need
+        # byte-identical state.
+        fixed = np.random.default_rng(20140622)
+        return open_session(
+            program, {"A": sparse_input(fixed, n, 0.02)}, dims={"n": n},
+            refresh_count=50,
+            replan={"check_every": 10, "calibration": calibration},
+        )
+
+    def test_class_default_reproduces_fixed_constant(self, rng):
+        from repro.backends import Backend
+
+        monitor = self._monitor(rng, calibration=None)
+        old = monitor.session.backend
+        views = monitor.session.views
+        entries = 0.0
+        for name in views.names():
+            arr = views.get(name)
+            shape = old.shape(arr)
+            density = old.density(arr)
+            entries += old.est_entries(shape, density)
+            from repro.backends import get_backend
+
+            entries += get_backend("dense").est_entries(shape, density)
+        # Shipped est_convert_passes_per_entry is 2.0 per side — the
+        # pre-calibration constant 2.0 * (old + new entries).
+        assert Backend.est_convert_passes_per_entry == 2.0
+        assert monitor._switch_cost("dense") == pytest.approx(2.0 * entries)
+
+    def test_calibrated_passes_scale_the_switch_cost(self, rng):
+        from repro.calibrate import BackendCalibration, Calibration, cache_key
+
+        def with_passes(passes):
+            return Calibration(key=cache_key(), backends={
+                name: BackendCalibration(
+                    backend=name, flops_per_second=1e10,
+                    call_overhead_flops=10_000.0,
+                    convert_passes_per_entry=passes,
+                )
+                for name in ("dense", "sparse")
+            })
+
+        monitor_cheap = self._monitor(rng, calibration=with_passes(1.0))
+        monitor_dear = self._monitor(rng, calibration=with_passes(10.0))
+        cheap = monitor_cheap._switch_cost("dense")
+        dear = monitor_dear._switch_cost("dense")
+        assert dear == pytest.approx(10.0 * cheap)
+
+    def test_same_backend_switch_stays_call_priced(self, rng):
+        monitor = self._monitor(rng, calibration=None)
+        cost = monitor._switch_cost(monitor.session.backend.name)
+        assert cost == 8.0 * monitor.session.backend.est_call_overhead_flops

@@ -1,0 +1,263 @@
+"""Workspace arena, in-place backend kernels, and the zero-alloc contract."""
+
+import gc
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+from repro.compiler import Program, Statement
+from repro.expr import MatrixSymbol, matmul
+from repro.iterative.general import HybridGeneral, IncrementalGeneral, ReevalGeneral
+from repro.iterative.models import Model
+from repro.iterative.powers import IncrementalPowers, ReevalPowers
+from repro.iterative.sums import IncrementalPowerSums
+from repro.runtime import FactoredUpdate, Workspace
+from repro.runtime.session import IVMSession
+
+
+def _row_updates(rng, n, count, scale=0.01):
+    updates = []
+    for i in range(count):
+        u = np.zeros((n, 1))
+        u[i % n, 0] = 1.0
+        updates.append(FactoredUpdate("A", u, scale * rng.normal(size=(n, 1))))
+    return updates
+
+
+class TestWorkspace:
+    def test_lease_reissues_same_buffers_per_frame(self):
+        ws = Workspace()
+        with ws.frame():
+            first = ws.lease(4, 4)
+            second = ws.lease(4, 4)
+        assert first is not second
+        with ws.frame():
+            assert ws.lease(4, 4) is first
+            assert ws.lease(4, 4) is second
+        assert ws.allocations == 2
+        assert ws.leases == 4
+
+    def test_nested_frames_do_not_recycle(self):
+        ws = Workspace()
+        with ws.frame():
+            outer = ws.lease(3, 3)
+            with ws.frame():
+                inner = ws.lease(3, 3)
+            # Inner frame closed, but the outer one is still open: the
+            # next lease must NOT hand `outer` or `inner` back.
+            third = ws.lease(3, 3)
+        assert third is not outer and third is not inner
+
+    def test_begin_is_noop_inside_frame(self):
+        ws = Workspace()
+        with ws.frame():
+            outer = ws.lease(2, 2)
+            ws.begin()
+            assert ws.lease(2, 2) is not outer
+
+    def test_shape_and_dtype_keying(self):
+        ws = Workspace()
+        with ws.frame():
+            a = ws.lease(2, 3)
+            b = ws.lease(3, 2)
+            c = ws.lease(2, 3, dtype=np.float32)
+        assert a.shape == (2, 3) and b.shape == (3, 2)
+        assert c.dtype == np.float32 and a.dtype == np.float64
+        assert ws.buffer_count() == 3
+        assert ws.nbytes() == a.nbytes + b.nbytes + c.nbytes
+
+
+class TestInPlaceKernels:
+    def test_dense_into_kernels_write_out(self, rng):
+        be = get_backend("dense")
+        a = rng.normal(size=(5, 5))
+        b = rng.normal(size=(5, 5))
+        out = np.empty((5, 5))
+        assert be.matmul_into(a, b, out) is out
+        np.testing.assert_array_equal(out, a @ b)
+        assert be.add_into(a, b, out) is out
+        np.testing.assert_array_equal(out, a + b)
+        assert be.sub_into(a, b, out) is out
+        np.testing.assert_array_equal(out, a - b)
+        assert be.scale_into(2.5, a, out) is out
+        np.testing.assert_array_equal(out, 2.5 * a)
+        wide = np.empty((5, 10))
+        assert be.hstack_into([a, b], wide) is wide
+        np.testing.assert_array_equal(wide, np.hstack([a, b]))
+        tall = np.empty((10, 5))
+        assert be.vstack_into([a, b], tall) is tall
+        np.testing.assert_array_equal(tall, np.vstack([a, b]))
+
+    def test_dense_into_kernels_fall_back_without_out(self, rng):
+        be = get_backend("dense")
+        a = rng.normal(size=(4, 4))
+        b = rng.normal(size=(4, 4))
+        np.testing.assert_array_equal(be.matmul_into(a, b, None), a @ b)
+        np.testing.assert_array_equal(be.add_into(a, b, None), a + b)
+
+    def test_add_into_accumulates_with_aliasing(self, rng):
+        be = get_backend("dense")
+        acc = rng.normal(size=(4, 4))
+        term = rng.normal(size=(4, 4))
+        expected = acc + term
+        assert be.add_into(acc, term, acc) is acc
+        np.testing.assert_array_equal(acc, expected)
+
+    def test_sparse_into_kernels_dense_legs(self, rng):
+        pytest.importorskip("scipy")
+        be = get_backend("sparse")
+        a = rng.normal(size=(8, 8))
+        b = rng.normal(size=(8, 8))
+        out = np.empty((8, 8))
+        assert be.matmul_into(a, b, out) is out
+        csr = be.asarray((rng.random((100, 100)) < 0.03) * 1.0)
+        x = rng.normal(size=(100, 4))
+        res = be.matmul_into(csr, x, np.empty((100, 4)))
+        np.testing.assert_allclose(res, be.materialize(csr) @ x)
+
+    def test_sparse_add_outer_inplace_reuses_pattern(self, rng):
+        sp = pytest.importorskip("scipy.sparse")
+        be = get_backend("sparse")
+        a = be.asarray((rng.random((100, 100)) < 0.05) * rng.normal(size=(100, 100)))
+        assert sp.issparse(a)
+        row = 7
+        cols = a[[row]].indices
+        assert len(cols) > 0
+        u = np.zeros((100, 1))
+        u[row, 0] = 1.0
+        v = np.zeros((100, 1))
+        v[cols[0], 0] = 0.5
+        data_buf = a.data
+        indices_buf = a.indices
+        result = be.add_outer_inplace(a, u, v)
+        assert result is a, "pattern-preserving update must keep identity"
+        assert result.indices is indices_buf and result.data is data_buf
+
+    def test_sparse_add_outer_inplace_grows_structure(self, rng):
+        sp = pytest.importorskip("scipy.sparse")
+        be = get_backend("sparse")
+        a = be.asarray((rng.random((100, 100)) < 0.02) * 1.0)
+        dense_before = be.materialize(a)
+        u = np.zeros((100, 1))
+        u[3, 0] = 1.0
+        v = 0.1 * rng.normal(size=(100, 1))
+        result = be.add_outer_inplace(a, u, v)
+        assert sp.issparse(result) or isinstance(result, np.ndarray)
+        np.testing.assert_allclose(
+            be.materialize(result), dense_before + u @ v.T, atol=1e-12,
+        )
+
+
+class TestMaintainerWorkspaces:
+    @pytest.mark.parametrize("model", [Model.linear(), Model.exponential(),
+                                       Model.skip(4)])
+    def test_incremental_powers_parity_and_steady_state(self, rng, model):
+        n, k = 32, 8
+        a0 = 0.05 * rng.normal(size=(n, n))
+        plain = IncrementalPowers(a0, k, model)
+        arena = IncrementalPowers(a0, k, model, workspace=True)
+        ups = [(np.eye(n)[:, [i % n]], 0.01 * rng.normal(size=(n, 1)))
+               for i in range(12)]
+        for u, v in ups:
+            plain.refresh(u, v)
+            arena.refresh(u, v)
+        assert np.array_equal(plain.result(), arena.result())
+        allocations = arena.ops.workspace.allocations
+        for u, v in ups[:4]:
+            arena.refresh(u, v)
+        assert arena.ops.workspace.allocations == allocations
+
+    def test_reeval_powers_recomputes_into_existing_storage(self, rng):
+        n, k = 24, 4
+        m = ReevalPowers(0.05 * rng.normal(size=(n, n)), k, Model.linear())
+        storage = {i: arr for i, arr in m.powers.items() if i > 1}
+        m.refresh(np.eye(n)[:, [0]], 0.01 * rng.normal(size=(n, 1)))
+        for i, arr in storage.items():
+            assert m.powers[i] is arr, f"P_{i} was reallocated"
+
+    @pytest.mark.parametrize("cls", [IncrementalGeneral, HybridGeneral,
+                                     ReevalGeneral])
+    def test_general_workspace_parity(self, rng, cls):
+        n, k, p = 24, 8, 3
+        a0 = 0.05 * rng.normal(size=(n, n))
+        b0 = rng.normal(size=(n, p))
+        t0 = rng.normal(size=(n, p))
+        plain = cls(a0, b0, t0, k, Model.exponential())
+        arena = cls(a0, b0, t0, k, Model.exponential(), workspace=True)
+        for i in range(8):
+            u = np.eye(n)[:, [i % n]]
+            v = 0.01 * rng.normal(size=(n, 1))
+            plain.refresh(u, v)
+            arena.refresh(u, v)
+            ub = np.eye(n)[:, [(i + 1) % n]]
+            vb = 0.01 * rng.normal(size=(p, 1))
+            plain.refresh_b(ub, vb)
+            arena.refresh_b(ub, vb)
+        assert np.array_equal(plain.result(), arena.result())
+
+    def test_sums_share_arena_with_owned_powers(self, rng):
+        n, k = 24, 8
+        a0 = 0.05 * rng.normal(size=(n, n))
+        arena = IncrementalPowerSums(a0, k, Model.exponential(),
+                                     workspace=True)
+        assert arena.powers is not None
+        assert arena.powers.ops.workspace is arena.ops.workspace
+        plain = IncrementalPowerSums(a0, k, Model.exponential())
+        for i in range(6):
+            u = np.eye(n)[:, [i % n]]
+            v = 0.01 * rng.normal(size=(n, 1))
+            plain.refresh(u, v)
+            arena.refresh(u, v)
+        assert np.array_equal(plain.result(), arena.result())
+
+
+class TestZeroAllocationSteadyState:
+    """The tentpole property: warmed-up codegen sessions allocate nothing."""
+
+    def _session(self, rng, n=48):
+        a_sym = MatrixSymbol("A", n, n)
+        b_sym = MatrixSymbol("B", n, n)
+        c_sym = MatrixSymbol("C", n, n)
+        program = Program(
+            [a_sym],
+            [Statement(b_sym, matmul(a_sym, a_sym)),
+             Statement(c_sym, matmul(b_sym, b_sym))],
+        )
+        return IVMSession(program, {"A": 0.1 * rng.normal(size=(n, n))},
+                          mode="codegen")
+
+    def test_workspace_stops_allocating_after_warmup(self, rng):
+        session = self._session(rng)
+        updates = _row_updates(rng, 48, 30)
+        session.apply_update(updates[0])  # warm-up firing
+        allocations = session.workspace.allocations
+        assert allocations > 0
+        for update in updates[1:]:
+            session.apply_update(update)
+        assert session.workspace.allocations == allocations
+
+    def test_tracemalloc_measures_zero_steady_state(self, rng):
+        session = self._session(rng)
+        updates = _row_updates(rng, 48, 60)
+        for update in updates:  # warm everything, including caches
+            session.apply_update(update)
+        gc.collect()
+        tracemalloc.start()
+        before = tracemalloc.get_traced_memory()[0]
+        for update in updates:
+            session.apply_update(update)
+        gc.collect()
+        grown = tracemalloc.get_traced_memory()[0] - before
+        tracemalloc.stop()
+        # tracemalloc's own bookkeeping accounts for a few hundred bytes;
+        # a single leaked (48 x 48) array would be ~18 KB.
+        assert grown < 4096, f"steady state allocated {grown} bytes"
+
+    def test_fused_functions_expose_workspace_and_rank(self, rng):
+        session = self._session(rng)
+        fn = session._fused["A"]
+        assert fn.__rank__ == 1
+        assert fn.__workspace__ is session.workspace
+        assert "def on_update_A" in fn.__source__
