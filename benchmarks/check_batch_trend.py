@@ -1,0 +1,82 @@
+"""Fail CI when batched maintenance regresses against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_batch_trend.py CURRENT.json BASELINE.json
+
+Both files are ``bench_batch_pipeline.py --json`` outputs.  Absolute
+seconds are not comparable across machines, so the guarded metric is the
+**batched-vs-unit speedup ratio** per scenario — both paths run on the
+same machine in the same process, so the ratio isolates the batching
+pipeline's relative health.  A scenario regresses when its current
+speedup falls more than ``MAX_REGRESSION`` (25%) below the baseline's;
+two machine-independent invariants are re-checked absolutely: the
+planner must still recommend a width > 1 on the skewed stream, and the
+achieved compression there must not collapse.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Allowed fractional drop of the batched speedup vs the baseline ratio.
+MAX_REGRESSION = 0.25
+
+#: Scenarios guarded by the ratio check (the highest-skew cells, where
+#: the Table 4 win is the headline; flat cells are noisier).
+GUARDED = ("incr_theta2", "reeval_theta2")
+
+
+def load(path: str) -> dict:
+    data = json.loads(Path(path).read_text())
+    return data.get("results", data)
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    current, baseline = load(argv[0]), load(argv[1])
+
+    failures = []
+    for key in GUARDED:
+        if key not in current or key not in baseline:
+            failures.append(f"{key}: missing from current or baseline JSON")
+            continue
+        now = float(current[key]["speedup_batched_vs_unit"])
+        then = float(baseline[key]["speedup_batched_vs_unit"])
+        floor = then * (1.0 - MAX_REGRESSION)
+        status = "OK" if now >= floor else "REGRESSED"
+        print(f"{key}: batched speedup {now:.2f}x (baseline {then:.2f}x, "
+              f"floor {floor:.2f}x) {status}")
+        if now < floor:
+            failures.append(
+                f"{key}: batched per-update wall time regressed >"
+                f"{MAX_REGRESSION:.0%} (speedup {now:.2f}x < floor "
+                f"{floor:.2f}x)"
+            )
+        if int(current[key]["recommended_width"]) <= 1:
+            failures.append(
+                f"{key}: planner no longer recommends batching "
+                f"(width {current[key]['recommended_width']})"
+            )
+        compression = float(current[key]["achieved_compression"])
+        if compression < 1.5:
+            failures.append(
+                f"{key}: skewed-stream compression collapsed to "
+                f"{compression:.2f}x (expected >= 1.5x)"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("batched maintenance trend: within baseline envelope")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..cost import counters
+from ..delta.batch import BatchedRefresher
 from ..iterative.models import Model
 from ..iterative.strategies import make_general, make_powers
 
@@ -105,6 +106,10 @@ class KStepTransitionMatrix(_ColumnPerturbMixin):
     ``model`` defaults to the exponential model (the Table 2 winner for
     powers).  ``backend`` selects the execution backend — sparse chains
     (random walks on large graphs) keep ``P^k`` views in CSR.
+    ``batch`` queues column perturbations and flushes one QR+SVD-
+    compacted refresh per ``batch`` changes (re-estimating the same hot
+    states repeatedly compacts far below the batch size); reads flush
+    first.
     """
 
     def __init__(
@@ -115,6 +120,7 @@ class KStepTransitionMatrix(_ColumnPerturbMixin):
         strategy="INCR",
         counter: counters.Counter = counters.NULL_COUNTER,
         backend=None,
+        batch: int | None = None,
     ):
         check_column_stochastic(p)
         self.p = np.array(p, dtype=np.float64)
@@ -127,6 +133,9 @@ class KStepTransitionMatrix(_ColumnPerturbMixin):
         )
         self._maintainer = make_powers(strategy, self.p, k, model, counter,
                                        backend=backend)
+        if batch is not None and batch > 1:
+            self._maintainer = BatchedRefresher(self._maintainer, batch,
+                                                backend=backend)
         self.model = self._maintainer.model
 
     def _refresh(self, u: np.ndarray, v: np.ndarray) -> None:
@@ -163,6 +172,7 @@ class KStepDistribution(_ColumnPerturbMixin):
         strategy="HYBRID",
         counter: counters.Counter = counters.NULL_COUNTER,
         backend=None,
+        batch: int | None = None,
     ):
         check_column_stochastic(p)
         self.p = np.array(p, dtype=np.float64)
@@ -181,6 +191,9 @@ class KStepDistribution(_ColumnPerturbMixin):
         self._maintainer = make_general(
             strategy, self.p, None, pi0, k, model, counter, backend=backend
         )
+        if batch is not None and batch > 1:
+            self._maintainer = BatchedRefresher(self._maintainer, batch,
+                                                backend=backend)
         self.model = self._maintainer.model
 
     def _refresh(self, u: np.ndarray, v: np.ndarray) -> None:

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..cost import counters
 from ..cost.ops import Ops
+from ..delta.batch import BatchedRefresher
 from ..delta.inverse import SingularUpdateError, sherman_morrison_delta
 
 
@@ -222,6 +223,7 @@ def make_ols(
     strategy="auto",
     counter: counters.Counter = counters.NULL_COUNTER,
     backend=None,
+    batch: int | None = None,
     **kwargs,
 ):
     """OLS maintainer for a strategy name, plan, or ``"auto"``.
@@ -229,6 +231,14 @@ def make_ols(
     ``"auto"`` routes through :func:`repro.planner.plan_ols` (the
     Section 5.1 INCR-vs-REEVAL comparison); extra ``kwargs`` (e.g.
     ``method=``) are forwarded to :class:`IncrementalOLS`.
+
+    ``batch`` wraps the maintainer in a
+    :class:`~repro.delta.batch.BatchedRefresher`: design-row updates
+    queue and flush per ``batch`` as QR+SVD-compacted refreshes.  The
+    OLS deltas (Sherman–Morrison) are strictly rank-1, so the compacted
+    factors replay column by column — a skewed batch of ``m`` updates
+    still collapses to ``r <= m`` refreshes.  Reads (``.beta`` etc.)
+    flush first.
     """
     x = np.asarray(x, dtype=np.float64)
     m, n = x.shape
@@ -247,6 +257,9 @@ def make_ols(
     else:
         raise ValueError(f"OLS has no {name!r} strategy")
     maintainer.plan = None if isinstance(strategy, str) else strategy
+    if batch is not None and batch > 1:
+        return BatchedRefresher(maintainer, batch, backend=backend,
+                                columnwise=True)
     return maintainer
 
 

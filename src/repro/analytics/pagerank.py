@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..cost import counters
+from ..delta.batch import BatchedRefresher
 from ..iterative.models import Model
 from ..iterative.strategies import make_general
 
@@ -72,6 +73,13 @@ class IncrementalPageRank:
     ``O(n^2)`` (see :mod:`repro.backends`).  Note the dangling-column
     fill-in: a node with no out-edges produces a dense uniform column,
     so graphs with many dangling nodes densify the operator.
+
+    ``batch`` enables Table 4 update batching: edge changes queue in a
+    :class:`~repro.delta.batch.BatchCollector` and every ``batch``
+    changes flush as one QR+SVD-compacted refresh (bursty crawls hit
+    the same hot columns repeatedly, so the compacted rank is far below
+    the batch size).  Reads (:attr:`ranks`, :meth:`top`,
+    :meth:`revalidate`) flush first, so results never lag the edits.
     """
 
     def __init__(
@@ -83,6 +91,7 @@ class IncrementalPageRank:
         strategy="HYBRID",
         counter: counters.Counter = counters.NULL_COUNTER,
         backend=None,
+        batch: int | None = None,
     ):
         self.adjacency = np.array(adjacency, dtype=np.float64)
         self.n = self.adjacency.shape[0]
@@ -100,6 +109,9 @@ class IncrementalPageRank:
         )
         self._general = make_general(strategy, a, b, r0, k, model, counter,
                                      backend=backend)
+        if batch is not None and batch > 1:
+            self._general = BatchedRefresher(self._general, batch,
+                                             backend=backend)
         self.strategy = strategy if isinstance(strategy, str) else strategy.strategy
 
     @property

@@ -244,6 +244,15 @@ class Backend(ABC):
     #: timed conversions.
     est_convert_passes_per_entry: float = 2.0
 
+    #: Effective FLOPs per ``m^3`` of the small core SVD inside
+    #: :meth:`compact` (the QR+SVD batch compaction of
+    #: :mod:`repro.delta.batch`).  LAPACK's ``gesdd`` runs a few dozen
+    #: passes over the ``m x m`` core; the shipped 22.0 matches the
+    #: pre-calibration constant in :func:`repro.cost.estimate.compaction_cost`,
+    #: and ``repro calibrate`` fits the machine's true value from timed
+    #: compactions.
+    est_compaction_factor: float = 22.0
+
     def est_call_overhead(self, inplace: bool = False) -> float:
         """Per-call overhead in dense-FLOP equivalents.
 

@@ -84,6 +84,12 @@ INPLACE_DISCOUNT_RANGE = (0.05, 1.0)
 #: entry (full scan + structure build), hence the wide top.
 CONVERT_PASSES_RANGE = (0.25, 256.0)
 
+#: Clamp range for the QR+SVD compaction constant (the ``m^3`` factor
+#: of :func:`repro.cost.estimate.compaction_cost`).  LAPACK's small-core
+#: SVD measures tens-to-thousands of m^3 passes once dispatch overhead
+#: is folded in at the widths batches actually use.
+COMPACTION_FACTOR_RANGE = (2.0, 20_000.0)
+
 
 def cache_key() -> str:
     """Fingerprint the cached constants are valid for.
@@ -155,6 +161,11 @@ class BackendCalibration:
     #: :attr:`Backend.est_convert_passes_per_entry`; prices the
     #: re-planning switch, see :class:`ReplanMonitor`).
     convert_passes_per_entry: float | None = None
+    #: Measured ``m^3`` constant of the QR+SVD batch compaction
+    #: (replaces :attr:`Backend.est_compaction_factor`; prices
+    #: :func:`repro.cost.estimate.compaction_cost` and with it every
+    #: plan's recommended batch width).
+    compaction_factor: float | None = None
     #: The raw measurements the fit came from (kept for reporting).
     samples: tuple[KernelSample, ...] = field(default=())
 
@@ -179,6 +190,8 @@ class BackendCalibration:
             be.est_convert_passes_per_entry = float(
                 self.convert_passes_per_entry
             )
+        if self.compaction_factor is not None:
+            be.est_compaction_factor = float(self.compaction_factor)
         return be
 
     def as_dict(self) -> dict:
@@ -191,6 +204,7 @@ class BackendCalibration:
             "sparse_spgemm_overhead": self.sparse_spgemm_overhead,
             "inplace_discount": self.inplace_discount,
             "convert_passes_per_entry": self.convert_passes_per_entry,
+            "compaction_factor": self.compaction_factor,
             "samples": [
                 {"kernel": s.kernel, "seconds": s.seconds,
                  "model_flops": s.model_flops}
@@ -213,6 +227,7 @@ class BackendCalibration:
             sparse_spgemm_overhead=_opt("sparse_spgemm_overhead"),
             inplace_discount=_opt("inplace_discount"),
             convert_passes_per_entry=_opt("convert_passes_per_entry"),
+            compaction_factor=_opt("compaction_factor"),
             samples=tuple(
                 KernelSample(str(s["kernel"]), float(s["seconds"]),
                              float(s["model_flops"]))
@@ -383,6 +398,28 @@ def _fit_inplace_discount(be: Backend, rng, gap_n: int, repeats: int,
     return _clamp(t_inplace / max(t_cow, 1e-9), INPLACE_DISCOUNT_RANGE)
 
 
+def _fit_compaction(be: Backend, rng, fps: float, repeats: int,
+                    samples: list, n: int = 256,
+                    width: int = 48) -> float:
+    """The QR+SVD compaction's ``m^3`` constant, from a timed compact.
+
+    :func:`repro.cost.estimate.compaction_cost` models a flush as
+    ``4 (rows + cols) m^2`` (thin QRs + factor rebuild) plus
+    ``factor * m^3`` (the small core SVD and everything per-width the
+    quadratic terms miss).  Timing :meth:`Backend.compact` at a width
+    big enough to swamp dispatch noise and subtracting the quadratic
+    model at the fitted throughput leaves the cubic residual.
+    """
+    u = rng.standard_normal((n, width))
+    v = rng.standard_normal((n, width))
+    t = _best_seconds(lambda: be.compact(u, v, 1e-12), repeats, inner=4)
+    quad_flops = 4.0 * (n + n) * width * width
+    samples.append(KernelSample(f"compact[{n},m={width}]", t,
+                                quad_flops + 22.0 * width ** 3))
+    residual = max(t * fps - quad_flops, 0.0)
+    return _clamp(residual / float(width) ** 3, COMPACTION_FACTOR_RANGE)
+
+
 def _fit_dense(be: Backend, repeats: int, big_n: int,
                tiny_n: int) -> BackendCalibration:
     rng = np.random.default_rng(1403_6968)
@@ -438,6 +475,9 @@ def _fit_dense(be: Backend, repeats: int, big_n: int,
                                 outer_flops))
     overhead_estimates.append(max(t_outer - outer_flops / fps, 0.0))
 
+    compaction = _fit_compaction(be, rng, fps, repeats, samples,
+                                 n=max(big_n, 128))
+
     overhead_seconds = max(statistics.median(overhead_estimates), 1e-7)
     return BackendCalibration(
         backend=be.name,
@@ -446,6 +486,7 @@ def _fit_dense(be: Backend, repeats: int, big_n: int,
                                    OVERHEAD_FLOPS_RANGE),
         inplace_discount=inplace_discount,
         convert_passes_per_entry=convert_passes,
+        compaction_factor=compaction,
         samples=tuple(samples),
     )
 
@@ -528,6 +569,8 @@ def _fit_sparse(be: Backend, dense_fps: float, repeats: int, n: int,
         CONVERT_PASSES_RANGE,
     )
 
+    compaction = _fit_compaction(be, rng, dense_fps, repeats, samples)
+
     return BackendCalibration(
         backend=be.name,
         flops_per_second=dense_fps,
@@ -541,6 +584,7 @@ def _fit_sparse(be: Backend, dense_fps: float, repeats: int, n: int,
                                       SPARSE_SPGEMM_OVERHEAD_RANGE),
         inplace_discount=inplace_discount,
         convert_passes_per_entry=convert_passes,
+        compaction_factor=compaction,
         samples=tuple(samples),
     )
 

@@ -29,6 +29,7 @@ FLOP counters and wall time::
     python -m repro run program.lvw --dims n=64 --plan incr --backend dense
     python -m repro run program.lvw --dims n=256 --updates 100 --json
     python -m repro run program.lvw --dims n=512 --replan 50
+    python -m repro run program.lvw --dims n=512 --batch 16  # force a width
 
 ``repro calibrate`` microbenchmarks this machine's kernels and caches
 calibrated planner cost constants (see :mod:`repro.calibrate`)::
@@ -177,6 +178,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="re-price the plan grid every N updates and "
                           "switch strategy/backend mid-stream when it "
                           "pays (0 = static plan)")
+    run.add_argument("--batch", default="auto", metavar="{auto,off,N}",
+                     help="update batching: 'auto' honors the plan's "
+                          "recommended width (QR+SVD-compacted batch "
+                          "refreshes), 'off' applies per update, an "
+                          "integer forces that width (default: auto)")
     run.add_argument("--input", dest="target",
                      help="input the update stream hits (default: first)")
     run.add_argument("--seed", type=int, default=20140622,
@@ -297,6 +303,11 @@ def _run_calibrate(args) -> int:
                   f"{cal.convert_passes_per_entry:.2f} "
                   f"(shipped constant: "
                   f"{defaults.est_convert_passes_per_entry:.2f})")
+        if cal.compaction_factor is not None:
+            print(f"  compaction m^3 factor: "
+                  f"{cal.compaction_factor:.1f} "
+                  f"(shipped constant: "
+                  f"{defaults.est_compaction_factor:.1f})")
         for sample in cal.samples:
             print(f"    {sample.kernel:<28} {sample.seconds * 1e6:10.1f} us  "
                   f"(~{sample.model_flops:,.0f} FLOPs)")
@@ -365,6 +376,13 @@ def _run_run(args, program) -> int:
         print(f"error: --rank must be between 1 and {n_rows} "
               f"(rows of {target!r})", file=sys.stderr)
         return 2
+    batch = args.batch
+    if batch not in ("auto", "off"):
+        if not str(batch).lstrip("-").isdigit() or int(batch) < 1:
+            print(f"error: --batch must be auto, off or a width >= 1, "
+                  f"got {batch!r}", file=sys.stderr)
+            return 2
+        batch = int(batch)
 
     counter = Counter()
     start = time.perf_counter()
@@ -377,6 +395,7 @@ def _run_run(args, program) -> int:
         refresh_count=args.updates,
         counter=counter,
         replan={"check_every": args.replan} if args.replan > 0 else None,
+        batch=batch,
     )
     setup_seconds = time.perf_counter() - start
     setup_flops = counter.total_flops
@@ -393,12 +412,15 @@ def _run_run(args, program) -> int:
     start = time.perf_counter()
     for u, v in updates:
         session.apply_update(FactoredUpdate(target, u, v))
+    session.flush()  # land any batched tail inside the timed window
     maintain_seconds = time.perf_counter() - start
     per_update = maintain_seconds / len(updates)
 
     plan = session.plan
     flops = dict(sorted(counter.snapshot().items()))
     replans = list(getattr(session, "replans", ()))
+    batch_stats = session.batch_stats
+    batch_width = session.batch_size
     if args.json:
         print(json.dumps({
             "plan": plan.as_dict(),
@@ -409,6 +431,10 @@ def _run_run(args, program) -> int:
             "seconds_per_update": per_update,
             "flops_by_op": flops,
             "total_flops": counter.total_flops,
+            "batch": {
+                "width": batch_width,
+                **(batch_stats.as_dict() if batch_stats else {}),
+            },
             "replans": [
                 {"refreshes": e.refreshes, "from": e.from_label,
                  "to": e.to_label, "switched": e.switched,
@@ -424,6 +450,13 @@ def _run_run(args, program) -> int:
     print(f"  strategy : {plan.strategy}")
     print(f"  backend  : {plan.backend}")
     print(f"  mode     : {plan.mode}")
+    if batch_stats is not None and batch_stats.flushes:
+        print(f"  batch    : {batch_width} "
+              f"(achieved compression {batch_stats.compression:.1f}x over "
+              f"{batch_stats.flushes} flushes)")
+    else:
+        print(f"  batch    : "
+              f"{'off' if batch_width <= 1 else batch_width}")
     print(f"setup      : {setup_seconds * 1e3:10.2f} ms   "
           f"({setup_flops:,} FLOPs)")
     print(f"maintenance: {maintain_seconds * 1e3:10.2f} ms   "

@@ -337,13 +337,15 @@ def compaction_cost(be, rows: int, cols: int, width: int) -> float:
 
     The :mod:`repro.delta.batch` kernel: thin QR of each stacked factor
     (``2 rows m^2`` and ``2 cols m^2`` for width ``m``), an ``m x m``
-    core SVD (a few dozen ``m^3`` passes in LAPACK practice), and the
-    two thin products rebuilding the compacted factors.  Charged per
-    flush; a batch of ``m`` updates amortizes it ``m`` ways.
+    core SVD (``Backend.est_compaction_factor`` passes of ``m^3`` —
+    a few dozen in LAPACK practice, fitted per machine by ``repro
+    calibrate``), and the two thin products rebuilding the compacted
+    factors.  Charged per flush; a batch of ``m`` updates amortizes it
+    ``m`` ways.
     """
     m = float(max(width, 1))
     qr = 2.0 * (rows + cols) * m * m
-    svd = 22.0 * m ** 3
+    svd = be.est_compaction_factor * m ** 3
     rebuild = 2.0 * (rows + cols) * m * m
     return qr + svd + rebuild + 6.0 * be.est_call_overhead_flops
 

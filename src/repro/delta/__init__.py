@@ -11,7 +11,13 @@ This package implements Section 4 of the paper:
 * :mod:`~repro.delta.inverse` — numeric Sherman–Morrison / Woodbury.
 """
 
-from .batch import BatchCollector, compact_factors, compact_updates, stack_updates
+from .batch import (
+    BatchCollector,
+    BatchedRefresher,
+    compact_factors,
+    compact_updates,
+    stack_updates,
+)
 from .derivation import UnsupportedDeltaError, compute_delta
 from .factored import FactoredDelta
 from .inverse import (
@@ -35,6 +41,7 @@ from .rules import (
 
 __all__ = [
     "BatchCollector",
+    "BatchedRefresher",
     "FactoredDelta",
     "QRView",
     "SVDView",

@@ -14,10 +14,14 @@ them to the numerical rank first:
 at ``O(n m^2 + m^3)`` for an ``m``-update batch — cheap relative to the
 ``O(n^2)``-per-unit-width propagation it saves downstream.
 
-:class:`BatchCollector` wraps the workflow: accumulate rank-1 updates,
-``flush()`` one compacted rank-``r`` refresh into any maintainer whose
-``refresh(u, v)`` accepts ``(n x k)`` factors (all the iterative and
-distributed maintainers do).
+:class:`BatchCollector` wraps the workflow: accumulate factored updates
+(rank-1 pairs or wider blocks), ``flush()`` one compacted rank-``r``
+refresh into any maintainer whose ``refresh(u, v)`` accepts ``(n x k)``
+factors (all the iterative and distributed maintainers do).
+:class:`BatchedRefresher` layers the flush policy on top for drivers
+that hold such a maintainer: refreshes enqueue, reads flush, and a
+width/staleness bound keeps the lag bounded (the session counterpart is
+:meth:`repro.runtime.session.Session.set_batching`).
 """
 
 from __future__ import annotations
@@ -32,16 +36,37 @@ from ..backends import get_backend
 DEFAULT_RTOL = 1e-12
 
 
+def _as_block(factor: np.ndarray) -> np.ndarray:
+    """Normalize one factor to a 2-D float64 block (1-D becomes a column)."""
+    block = np.asarray(factor, dtype=np.float64)
+    if block.ndim == 1:
+        block = block.reshape(-1, 1)
+    if block.ndim != 2:
+        raise ValueError(f"factor blocks must be 1- or 2-D, got ndim={block.ndim}")
+    return block
+
+
 def stack_updates(
     updates: Sequence[tuple[np.ndarray, np.ndarray]],
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Naive batching: column-stack the rank-1 pairs (width = count)."""
+    """Naive batching: column-stack the factor pairs (width = total rank).
+
+    Each pair may be a rank-1 update (vectors or ``(n x 1)`` columns) or
+    an already-factored rank-``k`` block; widths accumulate.  Width-0
+    blocks contribute nothing (a zero update is a legal event).
+    """
     if not updates:
         raise ValueError("cannot stack an empty batch")
     lefts, rights = [], []
     for u, v in updates:
-        lefts.append(np.asarray(u, dtype=np.float64).reshape(-1, 1))
-        rights.append(np.asarray(v, dtype=np.float64).reshape(-1, 1))
+        u = _as_block(u)
+        v = _as_block(v)
+        if u.shape[1] != v.shape[1]:
+            raise ValueError(
+                f"factor widths disagree: {u.shape} vs {v.shape}"
+            )
+        lefts.append(u)
+        rights.append(v)
     return np.hstack(lefts), np.hstack(rights)
 
 
@@ -67,12 +92,12 @@ def compact_updates(
     rtol: float = DEFAULT_RTOL,
     backend=None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Stack a batch of rank-1 updates and compress to numerical rank."""
+    """Stack a batch of factored updates and compress to numerical rank."""
     return compact_factors(*stack_updates(updates), rtol=rtol, backend=backend)
 
 
 class BatchCollector:
-    """Accumulates rank-1 updates; flushes one compacted rank-r refresh.
+    """Accumulates factored updates; flushes one compacted rank-r refresh.
 
     ``rank_cap`` optionally forces a flush-side truncation (lossy — use
     only when the application tolerates approximate views; the dropped
@@ -95,14 +120,27 @@ class BatchCollector:
         self._pending: list[tuple[np.ndarray, np.ndarray]] = []
 
     def __len__(self) -> int:
+        """Number of queued update events (not their total width)."""
         return len(self._pending)
 
+    @property
+    def pending_width(self) -> int:
+        """Total stacked factor width of the queued updates."""
+        return sum(u.shape[1] for u, _ in self._pending)
+
     def add(self, u: np.ndarray, v: np.ndarray) -> None:
-        """Queue one rank-1 update ``u v'``."""
-        self._pending.append((
-            np.asarray(u, dtype=np.float64).reshape(-1, 1),
-            np.asarray(v, dtype=np.float64).reshape(-1, 1),
-        ))
+        """Queue one factored update ``u v'`` (rank-1 or a wider block)."""
+        u = _as_block(u)
+        v = _as_block(v)
+        if u.shape[1] != v.shape[1]:
+            raise ValueError(
+                f"factor widths disagree: {u.shape} vs {v.shape}"
+            )
+        self._pending.append((u, v))
+
+    def clear(self) -> None:
+        """Drop all queued updates without applying them."""
+        self._pending.clear()
 
     def compacted(self) -> tuple[np.ndarray, np.ndarray, float]:
         """The pending batch as ``(L, R, dropped)`` without clearing it.
@@ -125,7 +163,9 @@ class BatchCollector:
         """Refresh ``maintainer`` with the compacted batch and clear it.
 
         Returns ``(batch_size, compacted_rank, dropped)``.  An empty
-        collector is a no-op returning ``(0, 0, 0.0)``.
+        collector is a no-op returning ``(0, 0, 0.0)``.  A batch that
+        cancels to numerical rank 0 clears without touching the
+        maintainer (the zero update is a no-op by definition).
         """
         if not self._pending:
             return 0, 0, 0.0
@@ -137,8 +177,84 @@ class BatchCollector:
         return size, left.shape[1], dropped
 
 
+class BatchedRefresher:
+    """Batch-compacting front end for any ``refresh(u, v)`` maintainer.
+
+    Queues incoming factored updates in a :class:`BatchCollector` and
+    flushes one compacted refresh when ``width`` updates are pending (or
+    ``max_staleness``, whichever is smaller).  Reads stay fresh: any
+    attribute access that falls through to the wrapped maintainer
+    (``result()``, ``beta``, ``revalidate()``, ...) flushes first, so a
+    caller can never observe state that lags the updates it already
+    issued.
+
+    ``columnwise=True`` replays the compacted factors one column at a
+    time — for maintainers whose ``refresh`` only accepts rank-1 updates
+    (the Sherman–Morrison OLS path); compaction still pays because a
+    skewed batch of ``m`` updates collapses to ``r <= m`` columns.
+    """
+
+    def __init__(
+        self,
+        maintainer,
+        width: int,
+        max_staleness: int | None = None,
+        rtol: float = DEFAULT_RTOL,
+        backend=None,
+        columnwise: bool = False,
+    ):
+        if width < 1:
+            raise ValueError("batch width must be positive")
+        if max_staleness is not None and max_staleness < 1:
+            raise ValueError("max_staleness must be positive (or None)")
+        self.maintainer = maintainer
+        self.width = int(width)
+        self.max_staleness = max_staleness
+        self.columnwise = columnwise
+        self.collector = BatchCollector(rtol=rtol, backend=backend)
+        #: Flush log: (batch_size, compacted_rank, dropped) per flush.
+        self.flushes: list[tuple[int, int, float]] = []
+
+    @property
+    def _trigger(self) -> int:
+        if self.max_staleness is None:
+            return self.width
+        return min(self.width, self.max_staleness)
+
+    def refresh(self, u: np.ndarray, v: np.ndarray) -> None:
+        """Queue one factored update; flush when the batch is full."""
+        self.collector.add(u, v)
+        if len(self.collector) >= self._trigger:
+            self.flush()
+
+    def flush(self) -> tuple[int, int, float]:
+        """Apply all queued updates as one compacted refresh now."""
+        if self.columnwise and len(self.collector):
+            size = len(self.collector)
+            left, right, dropped = self.collector.compacted()
+            for col in range(left.shape[1]):
+                self.maintainer.refresh(left[:, col:col + 1],
+                                        right[:, col:col + 1])
+            self.collector.clear()
+            report = (size, left.shape[1], dropped)
+        else:
+            report = self.collector.flush(self.maintainer)
+        if report[0]:
+            self.flushes.append(report)
+        return report
+
+    def __getattr__(self, name: str):
+        if name == "maintainer":
+            # __init__ hasn't run (copy/pickle): avoid infinite recursion.
+            raise AttributeError(name)
+        # Reads must never observe pending lag: flush before delegating.
+        self.flush()
+        return getattr(self.maintainer, name)
+
+
 __all__ = [
     "BatchCollector",
+    "BatchedRefresher",
     "DEFAULT_RTOL",
     "compact_factors",
     "compact_updates",

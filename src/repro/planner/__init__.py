@@ -18,7 +18,9 @@ from .plan import (
     INCR,
     REEVAL,
     MaintenancePlan,
+    StreamSketch,
     WorkloadStats,
+    resolve_distinct_fraction,
     resolve_driver_strategy,
 )
 from .planner import (
@@ -37,8 +39,10 @@ __all__ = [
     "INCR",
     "MaintenancePlan",
     "REEVAL",
+    "StreamSketch",
     "WorkloadStats",
     "infer_dims",
+    "resolve_distinct_fraction",
     "plan_general",
     "plan_ols",
     "plan_powers",

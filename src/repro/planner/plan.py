@@ -131,6 +131,13 @@ class WorkloadStats:
     #: until flushed).  ``None`` leaves the planner its default grid;
     #: the chosen width lands on ``MaintenancePlan.batch_size``.
     batch_hint: int | None = None
+    #: How much of a stacked batch survives QR+SVD compaction (Table 4:
+    #: a Zipf-skewed batch touching few distinct rows compacts far
+    #: below its size).  ``None`` = the conservative no-compression
+    #: default (1.0); a float is used as a constant for every width; a
+    #: :class:`StreamSketch` (anything with a ``fraction(width)``
+    #: method) prices each candidate width from the observed stream.
+    distinct_fraction: "float | StreamSketch | None" = None
 
     @staticmethod
     def measure_density(*matrices) -> float:
@@ -154,6 +161,112 @@ class WorkloadStats:
         return cls(n=int(a.shape[0]), **kwargs)
 
 
+class StreamSketch:
+    """Online distinct-target sketch of an update stream (Zipf-aware).
+
+    The Table 4 knob is how many *distinct* targets a batch of updates
+    hits: a Zipf-skewed stream of 1000 row updates touching 10 rows
+    compacts to a rank-10 refresh.  This sketch tracks per-target hit
+    frequencies from the live stream (one bounded counter per observed
+    target key) and answers the planner's question directly:
+    :meth:`fraction` estimates the expected distinct share of a
+    width-``m`` batch under the observed frequencies,
+
+        E[distinct] / m  =  sum_i (1 - (1 - p_i)^m) / m
+
+    — the occupancy formula for ``m`` draws from the empirical
+    distribution.  :class:`~repro.runtime.drift.ReplanMonitor` feeds a
+    sketch from the stream it supervises and hands it to the planner
+    through :attr:`WorkloadStats.distinct_fraction`, so re-planning
+    re-prices every candidate batch width from what the stream actually
+    does instead of the conservative no-compression default.
+
+    Target keys are derived per factor column (the dominant row of the
+    ``u`` column — exact for row/cell updates, a stable proxy for dense
+    factors).  At most ``capacity`` keys are tracked; hits beyond that
+    are assumed distinct (conservative: overflow never inflates the
+    compression estimate).
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._counts: dict[int, int] = {}
+        self.total = 0
+        self.overflow = 0
+
+    def observe_key(self, key: int) -> None:
+        """Record one hit on an abstract target key."""
+        count = self._counts.get(key)
+        if count is not None:
+            self._counts[key] = count + 1
+        elif len(self._counts) < self.capacity:
+            self._counts[key] = 1
+        else:
+            self.overflow += 1
+        self.total += 1
+
+    def observe(self, update) -> None:
+        """Record a :class:`~repro.runtime.updates.FactoredUpdate`.
+
+        One key per factor column: the dominant row of the column (the
+        updated row for indicator columns).
+        """
+        u = np.asarray(update.u_block)
+        for col in range(u.shape[1]):
+            column = u[:, col]
+            if column.size:
+                self.observe_key(int(np.argmax(np.abs(column))))
+
+    def distinct_targets(self) -> int:
+        """Distinct target keys observed so far (tracked + overflow)."""
+        return len(self._counts) + self.overflow
+
+    def fraction(self, width: int) -> float:
+        """Expected distinct fraction of a ``width``-update batch.
+
+        1.0 before any observation (the conservative no-compression
+        default) and for width 1; never below ``1/width`` (a batch hits
+        at least one target).
+        """
+        m = max(int(width), 1)
+        if m <= 1 or self.total == 0:
+            return 1.0
+        total = float(self.total)
+        expected = sum(
+            1.0 - (1.0 - count / total) ** m
+            for count in self._counts.values()
+        )
+        # Untracked (overflow) mass: assume every draw is distinct.
+        expected += (self.overflow / total) * m
+        return float(min(1.0, max(expected / m, 1.0 / m)))
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamSketch(total={self.total}, "
+            f"distinct={self.distinct_targets()})"
+        )
+
+
+def resolve_distinct_fraction(distinct, width: int) -> float:
+    """Resolve a :attr:`WorkloadStats.distinct_fraction` for one width.
+
+    ``None`` is the conservative no-compression default (1.0); a float
+    applies to every width; anything with a ``fraction(width)`` method
+    (a :class:`StreamSketch`) is asked per width.  The result is
+    clamped into ``[1/width, 1]``.
+    """
+    m = max(int(width), 1)
+    if distinct is None:
+        return 1.0
+    if hasattr(distinct, "fraction"):
+        value = float(distinct.fraction(m))
+    else:
+        value = float(distinct)
+    return float(min(1.0, max(value, 1.0 / m)))
+
+
 def resolve_driver_strategy(strategy, model, default_model, auto_plan):
     """Shared resolution of the analytics drivers' ``strategy`` argument.
 
@@ -175,6 +288,8 @@ __all__ = [
     "INCR",
     "MaintenancePlan",
     "REEVAL",
+    "StreamSketch",
     "WorkloadStats",
+    "resolve_distinct_fraction",
     "resolve_driver_strategy",
 ]

@@ -26,7 +26,13 @@ from ..compiler.program import Program
 from ..cost.advisor import recommend_general, recommend_powers
 from ..cost.estimate import batch_unit_cost
 from ..runtime.executor import resolve_dim
-from .plan import INCR, REEVAL, MaintenancePlan, WorkloadStats
+from .plan import (
+    INCR,
+    REEVAL,
+    MaintenancePlan,
+    WorkloadStats,
+    resolve_distinct_fraction,
+)
 from .programcost import infer_dims, program_cost
 
 #: Refresh count at or above which sessions compile triggers to Python
@@ -65,7 +71,8 @@ def _recommend_batch(
     batch_hint: int | None,
     inplace: bool,
     base_refresh: float | None = None,
-) -> int:
+    distinct=None,
+) -> tuple[int, float]:
     """Cheapest per-update batch width for this (strategy, backend) cell.
 
     Prices :meth:`BatchCollector.flush`'s QR+SVD compaction against the
@@ -77,6 +84,17 @@ def _recommend_batch(
     ``base_refresh`` is the caller's already-computed rank-``rank``
     per-refresh cost, seeding the memo so the width-1 cell costs no
     extra tree walk (re-planning re-prices this grid mid-stream).
+
+    ``distinct`` is the workload's
+    :attr:`~repro.planner.plan.WorkloadStats.distinct_fraction`: how
+    much of a stacked batch survives compaction — ``None`` keeps the
+    conservative no-compression default, a
+    :class:`~repro.planner.plan.StreamSketch` prices each width from
+    the observed stream's target skew (the Zipf knob of Table 4).
+
+    Returns ``(width, per_update_cost)`` — the winning width and its
+    predicted per-*update* cost (equal to the plain refresh cost when
+    width 1 wins).
     """
     target = update_input or program.input_names[0]
     sym = program.input(target)
@@ -95,13 +113,14 @@ def _recommend_batch(
             ).refresh
         return memo[r]
 
-    widths = _batch_widths(batch_hint)
-    best = min(
-        widths,
-        key=lambda m: batch_unit_cost(be, refresh_cost, rows, cols, m,
-                                      rank=rank),
-    )
-    return int(best)
+    def unit_cost(m: int) -> float:
+        return batch_unit_cost(
+            be, refresh_cost, rows, cols, m, rank=rank,
+            distinct_fraction=resolve_distinct_fraction(distinct, m * rank),
+        )
+
+    best = min(_batch_widths(batch_hint), key=unit_cost)
+    return int(best), unit_cost(best)
 
 
 def plan_powers(stats: WorkloadStats) -> MaintenancePlan:
@@ -147,6 +166,7 @@ def rank_program(
     strategies=(REEVAL, INCR),
     calibration="auto",
     amortize_setup: bool = True,
+    price_batching: bool = False,
 ) -> list[MaintenancePlan]:
     """Every admissible session plan, cheapest first.
 
@@ -163,6 +183,15 @@ def rank_program(
     pay.  Online re-planning ranks on this form: mid-stream the views
     exist, so setup is sunk and only refresh cost (plus the explicit
     switch cost) matters.
+
+    With ``price_batching=True`` each cell's refresh is priced at its
+    recommended batch width's per-*update* cost instead of the plain
+    per-refresh cost.  Sessions honor ``batch_size`` by default, so a
+    monitor comparing live configurations must compare what the cells
+    will actually run — otherwise it switches away from a cell whose
+    batched form is the real winner (CSR-merge amortization being the
+    canonical case).  The default ``False`` keeps opening-plan
+    rankings on the conservative unbatched form.
     """
     inputs = dict(inputs or {})
     resolved_dims = dict(dims or {})
@@ -184,6 +213,7 @@ def rank_program(
         backends = [b for b in ("dense", "sparse") if b in available_backends()]
 
     batch_hint = stats.batch_hint if stats is not None else None
+    distinct = stats.distinct_fraction if stats is not None else None
 
     candidates = []
     for backend_name in backends:
@@ -200,13 +230,15 @@ def rank_program(
                 be, strategy, program, resolved_dims, densities,
                 rank=rank, update_input=update_input, inplace=inplace,
             )
-            predicted = (cost.total(refreshes) / max(refreshes, 1)
-                         if amortize_setup else cost.refresh)
-            batch = _recommend_batch(
+            batch, batched_unit = _recommend_batch(
                 be, strategy, program, resolved_dims, densities,
                 rank, update_input, batch_hint, inplace,
-                base_refresh=cost.refresh,
+                base_refresh=cost.refresh, distinct=distinct,
             )
+            refresh = batched_unit if price_batching else cost.refresh
+            predicted = ((cost.setup + refreshes * refresh)
+                         / max(refreshes, 1)
+                         if amortize_setup else refresh)
             candidates.append(MaintenancePlan(
                 strategy, "linear", None, be.name, mode,
                 predicted, cost.space, batch_size=batch,

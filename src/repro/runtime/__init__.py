@@ -1,5 +1,6 @@
 """Single-node NumPy backend: executor, views, update events, IVM sessions."""
 
+from .batching import BatchStats, SessionBatcher
 from .drift import (
     DriftExceededError,
     DriftMonitor,
@@ -21,6 +22,7 @@ from .views import ViewStore
 from .workspace import Workspace
 
 __all__ = [
+    "BatchStats",
     "DriftExceededError",
     "DriftMonitor",
     "DriftReport",
@@ -31,6 +33,7 @@ __all__ = [
     "ReplanEvent",
     "ReplanMonitor",
     "Session",
+    "SessionBatcher",
     "SessionDriftMonitor",
     "ViewStore",
     "Workspace",

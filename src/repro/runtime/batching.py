@@ -1,0 +1,143 @@
+"""Plan-driven update batching for IVM sessions (the Table 4 loop).
+
+The planner prices a batch width for every plan
+(:attr:`MaintenancePlan.batch_size <repro.planner.plan.MaintenancePlan>`:
+collect ``m`` rank-1 updates, pay one QR+SVD compaction plus one
+rank-``r`` propagation instead of ``m`` unit propagations).  This module
+is the driver side that *honors* it: a :class:`SessionBatcher` sits
+inside :class:`~repro.runtime.session.Session` and turns
+``apply_update`` into an enqueue, with three explicit flush policies:
+
+* **width** — ``batch_size`` pending updates trigger a flush (bounded
+  memory, the planner's amortization unit);
+* **read** — ``session.view()`` / ``session[...]`` / ``output()`` /
+  ``revalidate()`` (drift probes) flush first, so no caller can observe
+  state that lags the updates it already issued;
+* **staleness** — ``max_staleness`` bounds the pending update count
+  regardless of the planned width, for applications that cap read lag
+  below the throughput-optimal batch.
+
+Two structural flushes keep the semantics exact: a *target change*
+flushes (pending updates always address one input, so cross-input
+ordering is preserved), and :meth:`Session.with_plan
+<repro.runtime.session.Session.with_plan>` flushes before any
+re-planning switch (pending deltas must land in the state that crosses
+the backend boundary — the flush-before-switch convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..delta.batch import DEFAULT_RTOL, BatchCollector
+
+
+@dataclass
+class BatchStats:
+    """Achieved batching/compression counters of one session."""
+
+    #: Update events absorbed through the batched path.
+    updates: int = 0
+    #: Flushes that actually carried updates.
+    flushes: int = 0
+    #: Total stacked factor width across all flushed batches.
+    stacked_width: int = 0
+    #: Total compacted width actually propagated.
+    compacted_width: int = 0
+    #: Spectral mass dropped by rank_cap truncation (0.0 normally).
+    dropped_mass: float = 0.0
+    #: Per-flush log of (batch_size, compacted_rank, dropped).
+    log: list[tuple[int, int, float]] = field(default_factory=list)
+
+    @property
+    def compression(self) -> float:
+        """Stacked-to-compacted width ratio (1.0 = nothing saved)."""
+        if self.compacted_width == 0:
+            return float(self.stacked_width) if self.stacked_width else 1.0
+        return self.stacked_width / self.compacted_width
+
+    def as_dict(self) -> dict:
+        return {
+            "updates": self.updates,
+            "flushes": self.flushes,
+            "stacked_width": self.stacked_width,
+            "compacted_width": self.compacted_width,
+            "compression": self.compression,
+            "dropped_mass": self.dropped_mass,
+        }
+
+
+class SessionBatcher:
+    """The batching state a session routes ``apply_update`` through.
+
+    ``width`` is the planned batch size; ``max_staleness`` optionally
+    caps pending updates below it (whether the width is plan-derived —
+    and thus re-tunable by online re-planning — is the *session's*
+    ``_auto_batch`` flag, not this object's concern).
+    """
+
+    def __init__(
+        self,
+        width: int,
+        max_staleness: int | None = None,
+        rtol: float = DEFAULT_RTOL,
+        backend=None,
+    ):
+        if width < 2:
+            raise ValueError("a batching width below 2 is per-update application")
+        if max_staleness is not None and max_staleness < 1:
+            raise ValueError("max_staleness must be positive (or None)")
+        self.width = int(width)
+        self.max_staleness = max_staleness
+        self.rtol = rtol
+        self.collector = BatchCollector(rtol=rtol, backend=backend)
+        self.target: str | None = None
+        self.stats = BatchStats()
+
+    @property
+    def trigger(self) -> int:
+        """Pending-update count at which a flush fires."""
+        if self.max_staleness is None:
+            return self.width
+        return min(self.width, self.max_staleness)
+
+    def absorb(self, session, update) -> None:
+        """Queue one update for ``session``, flushing per policy."""
+        session._check_update_target(update)
+        if self.target is not None and update.target != self.target:
+            # Cross-input ordering is preserved by construction: one
+            # batch never spans two targets.
+            self.flush(session)
+        self.target = update.target
+        self.collector.add(update.u_block, update.v_block)
+        self.stats.updates += 1
+        if len(self.collector) >= self.trigger:
+            self.flush(session)
+
+    def flush(self, session) -> tuple[int, int, float]:
+        """Apply the pending batch to ``session`` as one compacted update.
+
+        Returns ``(batch_size, compacted_rank, dropped)``; flushing an
+        empty batcher is a no-op.  A batch that cancels to numerical
+        rank 0 is dropped outright — the zero update changes nothing.
+        """
+        from .updates import FactoredUpdate
+
+        if not len(self.collector):
+            return 0, 0, 0.0
+        size = len(self.collector)
+        stacked = self.collector.pending_width
+        left, right, dropped = self.collector.compacted()
+        self.collector.clear()
+        target, self.target = self.target, None
+        if left.shape[1] > 0:
+            session._apply_now(FactoredUpdate(target, left, right))
+        self.stats.flushes += 1
+        self.stats.stacked_width += stacked
+        self.stats.compacted_width += left.shape[1]
+        self.stats.dropped_mass += dropped
+        self.stats.log.append((size, left.shape[1], dropped))
+        return size, left.shape[1], dropped
+
+
+__all__ = ["BatchStats", "SessionBatcher"]

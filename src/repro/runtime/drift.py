@@ -271,6 +271,17 @@ class ReplanMonitor(SessionDriftMonitor):
     Measured per-update wall time is recorded on every
     :class:`ReplanEvent` (``seconds_per_update``), so drifting cost is
     visible alongside the model's predictions.
+
+    Batching interaction: the monitor keeps a
+    :class:`~repro.planner.plan.StreamSketch` of the stream it
+    supervises and hands it to the planner as
+    ``WorkloadStats.distinct_fraction``, so every re-planning pass
+    re-prices each candidate batch width from the observed target skew
+    (Table 4's knob).  Plan-derived widths
+    (``open_session(batch="auto")``) are re-tuned in place between
+    switches; user-forced widths are never overridden.  Pending batched
+    updates always flush before a re-planning decision or switch (the
+    flush-before-switch convention).
     """
 
     def __init__(
@@ -302,6 +313,12 @@ class ReplanMonitor(SessionDriftMonitor):
         self._window_updates = 0
         self._observed_rank = 1
         self._update_target: str | None = None
+        from ..planner import StreamSketch
+
+        #: Online distinct-target sketch of the observed update stream —
+        #: the Zipf-awareness that re-prices each plan's batch width
+        #: from what the stream actually hits (Table 4's knob).
+        self.stream_sketch = StreamSketch()
 
     def apply_update(self, update) -> None:
         """Apply one update; probe drift and re-plan on schedule."""
@@ -311,6 +328,7 @@ class ReplanMonitor(SessionDriftMonitor):
         self._window_updates += 1
         self._observed_rank = max(self._observed_rank, update.rank)
         self._update_target = update.target
+        self.stream_sketch.observe(update)
         self.refreshes += 1
         if self.probe_every and self.refreshes % self.probe_every == 0:
             self.probe()
@@ -365,11 +383,24 @@ class ReplanMonitor(SessionDriftMonitor):
 
         session = self.session
         program = session.program
+        # Pending batched updates must not skew the density measurement
+        # (they have not reached the inputs yet) — and a switch decision
+        # taken here may rebuild triggers, so land them first.
+        session.flush()
         inputs = {name: session.views.get(name)
                   for name in program.input_names}
         remaining = self._remaining_horizon()
         stats = WorkloadStats(n=1, update_rank=self._observed_rank,
-                              refresh_count=remaining)
+                              refresh_count=remaining,
+                              distinct_fraction=self.stream_sketch,
+                              batch_hint=session._batch_staleness)
+        # Cells are ranked on the unbatched per-refresh cost even though
+        # sessions batch: rank_program(price_batching=True) exists, but
+        # the batched REEVAL estimate (one recompute amortized over the
+        # whole batch) measures over-optimistic against the kernels, and
+        # acting on it flips sessions into configurations that lose on
+        # the wall clock.  The conservative form under-sells batching
+        # equally across cells, which keeps the *comparison* honest.
         ranked = rank_program(
             program, inputs, stats=stats, dims=session.views.dims,
             update_input=self._update_target, calibration=self.calibration,
@@ -385,6 +416,7 @@ class ReplanMonitor(SessionDriftMonitor):
              and c.backend == session.backend.name),
             None,
         )
+        self._retune_batch(current)
         best = ranked[0]
         if current is None or (best.strategy, best.backend) == (
                 current.strategy, current.backend):
@@ -403,6 +435,31 @@ class ReplanMonitor(SessionDriftMonitor):
                 # Rebind the default rebuild hook to the *new* session.
                 self._rebuild = self.session.rebuild
         return event
+
+    def _retune_batch(self, cell) -> None:
+        """Re-price the session's batch width from live stream stats.
+
+        Only plan-derived widths (``open_session(batch="auto")``) move;
+        a user-forced width is a latency contract and stays put.  The
+        freshly ranked ``cell`` for the *running* configuration carries
+        the width the Zipf-aware estimator now recommends.
+
+        Re-tuning moves *between* widths; it never switches an active
+        batcher off.  The width-1 signal comes from the flop-linear
+        refresh model, which cannot see the locality advantage of one
+        rank-``r`` BLAS-3 pass over ``r`` rank-1 passes — measured,
+        block propagation keeps winning at parity flops — so dropping
+        a running pipeline would forfeit a real win for a modeled tie,
+        and reads bound staleness either way.
+        """
+        session = self.session
+        if cell is None or not getattr(session, "_auto_batch", False):
+            return
+        desired = cell.batch_size or 1
+        if desired <= 1 or desired == session.batch_size:
+            return
+        session.set_batching(desired, max_staleness=session._batch_staleness,
+                             auto=True)
 
     @property
     def switch_count(self) -> int:

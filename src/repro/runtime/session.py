@@ -36,6 +36,15 @@ Two execution modes are supported for triggers:
   outright.  Because views mutate in place on this path, treat matrices
   returned by ``session[...]``/``session.output()`` as *live* state —
   copy them if you need a snapshot that survives further updates.
+
+Sessions also honor the plan's **batch recommendation** (Table 4):
+when ``plan.batch_size > 1``, :func:`open_session` routes
+``apply_update`` through a :class:`~repro.delta.batch.BatchCollector`
+and flushes one QR+SVD-compacted rank-``r`` refresh per batch — on
+width, on read (``session[...]``/``view()``/``output()``/
+``revalidate()``), on target change, before any :meth:`with_plan`
+switch, and within ``max_staleness`` updates (see
+:meth:`Session.set_batching` and :mod:`repro.runtime.batching`).
 """
 
 from __future__ import annotations
@@ -53,6 +62,8 @@ from ..compiler.program import Program
 from ..compiler.trigger import Trigger
 from ..cost import counters
 from ..cost.ops import outer_update_flops
+from ..delta.batch import DEFAULT_RTOL
+from .batching import SessionBatcher
 from .executor import evaluate
 from .updates import FactoredUpdate
 from .views import ViewStore
@@ -99,6 +110,9 @@ class Session:
         self.counter = counter
         self.backend = get_backend(backend)
         self.update_count = 0
+        self._batcher: SessionBatcher | None = None
+        self._auto_batch = False
+        self._batch_staleness: int | None = None
         if isinstance(inputs, ViewStore):
             # Adopt live state: one conversion pass, no re-evaluation.
             self.views = inputs.converted(self.backend)
@@ -113,21 +127,107 @@ class Session:
 
     # -- queries ---------------------------------------------------------
     def __getitem__(self, name: str) -> np.ndarray:
-        """Current value of a view or input, densely (do not mutate)."""
+        """Current value of a view or input, densely (do not mutate).
+
+        Reads flush any batched pending updates first, so callers never
+        observe state that lags the updates they already issued.
+        """
+        self.flush()
         return self.views.get_dense(name)
+
+    def view(self, name: str) -> np.ndarray:
+        """Explicit read accessor: flush pending updates, return densely."""
+        return self[name]
 
     def output(self) -> np.ndarray:
         """Current value of the program's (first) output view, densely."""
-        return self.views.get_dense(self.program.outputs[0])
+        return self[self.program.outputs[0]]
 
     # -- maintenance -----------------------------------------------------
     def apply_update(self, update: FactoredUpdate) -> None:
-        raise NotImplementedError
+        """Maintain the views for one factored update.
+
+        With batching enabled (:meth:`set_batching`, or a plan whose
+        ``batch_size > 1`` honored by :func:`open_session`), the update
+        is queued in the session's :class:`BatchCollector` and applied
+        on the next flush — on width, staleness, read, or plan switch.
+        """
+        if self._batcher is not None:
+            self._batcher.absorb(self, update)
+        else:
+            self._apply_now(update)
+        self.update_count += 1
 
     def apply_updates(self, updates: Sequence[FactoredUpdate]) -> None:
         """Maintain the views across a sequence of updates, in order."""
         for update in updates:
             self.apply_update(update)
+
+    def _apply_now(self, update: FactoredUpdate) -> None:
+        """Apply one (possibly batch-compacted) update immediately."""
+        raise NotImplementedError
+
+    def _check_update_target(self, update: FactoredUpdate) -> None:
+        """Raise early for updates no flush could ever apply."""
+        if update.target not in self.views:
+            raise KeyError(f"no view or input named {update.target!r}")
+
+    # -- batching --------------------------------------------------------
+    def set_batching(
+        self,
+        width: int | None,
+        max_staleness: int | None = None,
+        rtol: float = DEFAULT_RTOL,
+        auto: bool = False,
+    ) -> None:
+        """Enable (``width > 1``) or disable (``None``/``<= 1``) batching.
+
+        Pending updates are flushed before the policy changes.
+        ``max_staleness`` caps the pending update count below the batch
+        width (a read-lag bound; reads always flush regardless).
+        ``auto=True`` marks the width as plan-derived so online
+        re-planning (:class:`~repro.runtime.drift.ReplanMonitor`) may
+        re-price it from live stream statistics — a user-forced width is
+        never overridden.
+
+        Achieved-compression statistics survive re-configuration (width
+        re-tunes, :meth:`with_plan` switches): ``batch_stats`` keeps
+        describing the whole stream, not just the tail segment.
+        """
+        self.flush()
+        prior_stats = self._batcher.stats if self._batcher is not None else None
+        self._auto_batch = auto
+        self._batch_staleness = max_staleness
+        if width is None or width <= 1:
+            self._batcher = None
+            return
+        self._batcher = SessionBatcher(
+            width, max_staleness=max_staleness, rtol=rtol,
+            backend=self.backend,
+        )
+        if prior_stats is not None:
+            self._batcher.stats = prior_stats
+
+    def flush(self) -> tuple[int, int, float]:
+        """Apply any batched pending updates now.
+
+        Returns ``(batch_size, compacted_rank, dropped)``; a session
+        without batching (or with nothing pending) is a no-op returning
+        ``(0, 0, 0.0)``.
+        """
+        if self._batcher is None:
+            return 0, 0, 0.0
+        return self._batcher.flush(self)
+
+    @property
+    def batch_size(self) -> int:
+        """The active batching width (1 = per-update application)."""
+        return self._batcher.width if self._batcher is not None else 1
+
+    @property
+    def batch_stats(self):
+        """Achieved :class:`~repro.runtime.batching.BatchStats` (or None)."""
+        return self._batcher.stats if self._batcher is not None else None
 
     # -- validation ------------------------------------------------------
     def _materialize_all(self) -> None:
@@ -146,8 +246,11 @@ class Session:
 
         The drift-recovery hook: maintained values are replaced by a
         fresh evaluation against ground truth (the current inputs), so
-        accumulated floating-point drift resets to zero.
+        accumulated floating-point drift resets to zero.  Batched
+        pending updates flush first — they have not yet reached the
+        inputs, and must not be lost to the re-evaluation.
         """
+        self.flush()
         self._materialize_all()
 
     def with_plan(self, plan, rank: int = 1, optimize: bool = False) -> "Session":
@@ -162,7 +265,14 @@ class Session:
         The update counter carries over and ``plan`` is attached as
         ``.plan``.  The old session must be discarded: converted arrays
         may share memory with it.
+
+        Batched pending updates **flush before the switch** (the
+        flush-before-switch convention): deltas must land in the state
+        that crosses the backend boundary.  The batching policy carries
+        over — a plan-derived width is re-read from the new plan, a
+        user-forced width is kept verbatim.
         """
+        self.flush()
         backend = get_backend(plan.backend)
         if plan.strategy == "REEVAL":
             session: Session = ReevalSession(
@@ -180,14 +290,29 @@ class Session:
             )
         session.update_count = self.update_count
         session.plan = plan
+        if self._auto_batch:
+            width = plan.batch_size
+        elif self._batcher is not None:
+            width = self._batcher.width
+        else:
+            width = None
+        rtol = self._batcher.rtol if self._batcher is not None else DEFAULT_RTOL
+        session.set_batching(width, max_staleness=self._batch_staleness,
+                             rtol=rtol, auto=self._auto_batch)
+        if self._batcher is not None and session._batcher is not None:
+            # Compression accounting spans the whole stream, not just
+            # the segment since the last switch.
+            session._batcher.stats = self._batcher.stats
         return session
 
     def revalidate(self) -> float:
         """Recompute every view from the current inputs; return max drift.
 
         Useful for monitoring numerical error accumulated over long
-        update streams.  Leaves the maintained values in place.
+        update streams.  Leaves the maintained values in place.  Acts
+        as a read: batched pending updates flush first.
         """
+        self.flush()
         env = {name: self.views.get(name) for name in self.program.input_names}
         worst = 0.0
         for stmt in self.program.statements:
@@ -306,7 +431,11 @@ class IVMSession(Session):
         return dims
 
     # -- maintenance -----------------------------------------------------
-    def apply_update(self, update: FactoredUpdate) -> None:
+    def _check_update_target(self, update: FactoredUpdate) -> None:
+        if update.target not in self.triggers:
+            raise KeyError(f"no trigger compiled for input {update.target!r}")
+
+    def _apply_now(self, update: FactoredUpdate) -> None:
         """Maintain every view for one factored update (the INCR path)."""
         trigger = self.triggers.get(update.target)
         if trigger is None:
@@ -321,7 +450,6 @@ class IVMSession(Session):
                dims=self.views.dims)
         else:
             self._interpret(trigger, update)
-        self.update_count += 1
 
     def _interpret(self, trigger: Trigger, update: FactoredUpdate) -> None:
         env = self.views.as_env()
@@ -381,11 +509,14 @@ class ReevalSession(Session):
 
     strategy = "REEVAL"
 
-    def apply_update(self, update: FactoredUpdate) -> None:
-        """Apply the update to its input and re-evaluate every statement."""
+    def _apply_now(self, update: FactoredUpdate) -> None:
+        """Apply the update to its input and re-evaluate every statement.
+
+        This is where batching pays most: a width-``m`` batch costs one
+        compaction plus *one* re-evaluation instead of ``m``.
+        """
         self.views.add_outer(update.target, update.u_block, update.v_block)
         self._materialize_all()
-        self.update_count += 1
 
 
 def open_session(
@@ -401,6 +532,8 @@ def open_session(
     counter: counters.Counter = counters.NULL_COUNTER,
     drift=None,
     replan=None,
+    batch="auto",
+    max_staleness: int | None = None,
 ):
     """Open a maintenance session, planning the configuration if asked.
 
@@ -437,6 +570,18 @@ def open_session(
         state every ``check_every`` updates and the session switches
         strategy/backend mid-stream when it pays.  Subsumes ``drift``
         (options given there are folded in underneath).
+    batch:
+        ``"auto"`` (default) honors the resolved plan's
+        ``batch_size``: when it is greater than 1 the session collects
+        updates in a :class:`~repro.delta.batch.BatchCollector` and
+        flushes one QR+SVD-compacted refresh per batch (reads, drift
+        probes and plan switches flush early; see
+        :meth:`Session.set_batching`).  ``"off"``/``None``/``1``
+        disables batching; an integer forces that width regardless of
+        the plan (re-planning never overrides a forced width).
+    max_staleness:
+        Upper bound on pending batched updates (a read-lag bound below
+        the planned width); ``None`` leaves the width as the only bound.
 
     Returns the session (or its monitor), with the resolved
     :class:`~repro.planner.plan.MaintenancePlan` attached as ``.plan``.
@@ -481,6 +626,21 @@ def open_session(
             mode=resolved.mode, counter=counter, backend=resolved.backend,
         )
     session.plan = resolved
+
+    if batch == "auto" or batch is True:
+        session.set_batching(resolved.batch_size,
+                             max_staleness=max_staleness, auto=True)
+    elif batch == "off" or batch is None or batch is False:
+        pass
+    elif isinstance(batch, int) and not isinstance(batch, bool):
+        if batch < 1:
+            raise ValueError(f"batch width must be >= 1, got {batch!r}")
+        if batch > 1:
+            session.set_batching(batch, max_staleness=max_staleness)
+    else:
+        raise ValueError(
+            f"batch must be 'auto', 'off', None or a width >= 1, got {batch!r}"
+        )
 
     if replan:
         options = {} if replan is True else dict(replan)

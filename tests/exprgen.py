@@ -88,4 +88,89 @@ def expr_with_env(draw, max_depth: int = 3):
     return expr, pool
 
 
-__all__ = ["DIMS", "ExprPool", "NICE_COEFFS", "expr_with_env", "shaped_expr"]
+# -- session programs (the batch-pipeline differential harness) -----------
+
+#: Dimensions for generated session programs: big enough that factored
+#: propagation and compaction do real work, small enough to stay instant.
+PROGRAM_DIMS = (3, 4, 6)
+
+
+@st.composite
+def closed_expr(draw, leaves, n: int, depth: int):
+    """A random square ``(n x n)`` expression over a *fixed* leaf set.
+
+    Unlike :func:`shaped_expr` (which mints symbols freely), every leaf
+    comes from ``leaves`` — what a :class:`~repro.compiler.Program`
+    statement requires (inputs and earlier views only).
+    """
+    if depth <= 0:
+        return draw(st.sampled_from(list(leaves)))
+    choice = draw(st.sampled_from(
+        ["leaf", "add", "matmul", "transpose", "scalar", "identity"]
+    ))
+    if choice == "leaf":
+        return draw(st.sampled_from(list(leaves)))
+    if choice == "identity":
+        return Identity(n)
+    if choice == "add":
+        left = draw(closed_expr(leaves, n, depth - 1))
+        right = draw(closed_expr(leaves, n, depth - 1))
+        return add(left, right)
+    if choice == "matmul":
+        left = draw(closed_expr(leaves, n, depth - 1))
+        right = draw(closed_expr(leaves, n, depth - 1))
+        return matmul(left, right)
+    if choice == "transpose":
+        return transpose(draw(closed_expr(leaves, n, depth - 1)))
+    coeff = draw(st.sampled_from(NICE_COEFFS))
+    return scalar_mul(coeff, draw(closed_expr(leaves, n, depth - 1)))
+
+
+@st.composite
+def session_scenario(draw, max_statements: int = 3, max_depth: int = 2):
+    """A random maintainable program plus seeded inputs.
+
+    Returns ``(program, n, inputs)``: a square-matrix
+    :class:`~repro.compiler.Program` over inputs ``A`` (the update
+    target) and optionally ``A2``, with 1–``max_statements`` statements
+    whose expressions draw only on already-defined names (so trigger
+    compilation succeeds by construction).  Inputs are scaled toward a
+    sub-unit spectral radius so iterated products stay tame over long
+    update streams.
+    """
+    from repro.compiler import Program, Statement
+
+    n = draw(st.sampled_from(PROGRAM_DIMS))
+    input_syms = [MatrixSymbol("A", n, n)]
+    if draw(st.booleans()):
+        input_syms.append(MatrixSymbol("A2", n, n))
+    defined = list(input_syms)
+    statements = []
+    count = draw(st.integers(1, max_statements))
+    for index in range(count):
+        depth = draw(st.integers(1, max_depth))
+        expr = draw(closed_expr(defined, n, depth))
+        target = MatrixSymbol(f"V{index}", n, n)
+        statements.append(Statement(target, expr))
+        defined.append(target)
+    program = Program(input_syms, statements,
+                      outputs=(statements[-1].target.name,))
+    seed = draw(st.integers(0, 2 ** 16))
+    rng = np.random.default_rng(seed)
+    inputs = {
+        sym.name: 0.4 * rng.standard_normal((n, n)) / np.sqrt(n)
+        for sym in input_syms
+    }
+    return program, n, inputs
+
+
+__all__ = [
+    "DIMS",
+    "ExprPool",
+    "NICE_COEFFS",
+    "PROGRAM_DIMS",
+    "closed_expr",
+    "expr_with_env",
+    "session_scenario",
+    "shaped_expr",
+]

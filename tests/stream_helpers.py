@@ -20,3 +20,28 @@ def fillin_factors(rng: np.random.Generator, n: int, count: int,
         u[i % n, 0] = 1.0
         v = (rng.random((n, 1)) < fill) * (scale * rng.standard_normal((n, 1)))
         yield u, v
+
+
+def zipf_row_updates(rng: np.random.Generator, n: int, count: int,
+                     theta: float, target: str = "A", rank: int = 1,
+                     scale: float = 0.05):
+    """A Table 4-shaped update stream: row targets repeat Zipf(theta)-style.
+
+    Returns ``count`` :class:`~repro.runtime.updates.FactoredUpdate`\\ s
+    of width ``rank`` whose indicator rows are drawn from a
+    Zipf(``theta``) frequency distribution (``theta = 0`` is uniform);
+    high skew makes batches hit few distinct rows — exactly what QR+SVD
+    batch compaction exploits.  Shared by the batch-pipeline
+    differential harness and the plan-grid executability tests.
+    """
+    from repro.runtime.updates import FactoredUpdate
+    from repro.workloads.zipf import sample_rows
+
+    rows = sample_rows(rng, n, count * rank, theta).reshape(count, rank)
+    updates = []
+    for group in rows:
+        u = np.zeros((n, rank))
+        u[group, np.arange(rank)] = 1.0
+        v = scale * rng.standard_normal((n, rank))
+        updates.append(FactoredUpdate(target, u, v))
+    return updates

@@ -1,0 +1,389 @@
+"""Randomized stream differential harness for plan-driven batching.
+
+The ISSUE 5 headline test work: batched sessions must be
+indistinguishable (up to floating-point re-association) from the
+unit-at-a-time interpreter oracle across the whole scenario grid —
+program shape x update stream distribution (incl. Zipf-repeated
+targets) x backend x mode x batch width — including flush-on-read
+mid-stream and replan-flip interleavings.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from exprgen import session_scenario
+from stream_helpers import zipf_row_updates
+
+from repro.planner import MaintenancePlan, StreamSketch, WorkloadStats, rank_program
+from repro.runtime import IVMSession, ReevalSession, ReplanMonitor, open_session
+
+
+def _sparse_available() -> bool:
+    try:
+        import scipy  # noqa: F401
+
+        return True
+    except ImportError:
+        return False
+
+
+BACKENDS = ("dense",) + (("sparse",) if _sparse_available() else ())
+
+#: (strategy, mode) cells sessions support; REEVAL has no mode axis.
+SESSION_CONFIGS = (
+    ("INCR", "interpret"),
+    ("INCR", "codegen"),
+    ("REEVAL", "interpret"),
+)
+
+
+def _session(program, inputs, strategy, mode, backend):
+    inputs = {name: arr.copy() for name, arr in inputs.items()}
+    if strategy == "REEVAL":
+        return ReevalSession(program, inputs, backend=backend)
+    return IVMSession(program, inputs, mode=mode, backend=backend)
+
+
+def _assert_views_close(session, oracle, program, context=""):
+    for name in program.input_names + program.view_names:
+        got = session[name]
+        want = oracle[name]
+        scale = max(1.0, float(np.max(np.abs(want))))
+        np.testing.assert_allclose(
+            got, want, rtol=1e-7, atol=1e-8 * scale,
+            err_msg=f"{name} diverged {context}",
+        )
+
+
+class TestDifferentialHarness:
+    """Batched sessions vs the unit-at-a-time interpreter oracle."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_batched_stream_matches_unit_oracle(self, data):
+        program, n, inputs = data.draw(session_scenario())
+        theta = data.draw(st.sampled_from([0.0, 1.5, 3.0]))
+        rank = data.draw(st.sampled_from([1, 1, 2]))
+        width = data.draw(st.sampled_from([2, 3, 5, 8]))
+        backend = data.draw(st.sampled_from(BACKENDS))
+        strategy, mode = data.draw(st.sampled_from(SESSION_CONFIGS))
+        count = data.draw(st.integers(5, 16))
+        read_at = data.draw(st.integers(0, count - 1))
+
+        rng = np.random.default_rng(data.draw(st.integers(0, 2 ** 16)))
+        updates = zipf_row_updates(rng, n, count, theta,
+                                   target=program.input_names[0], rank=rank)
+
+        oracle = _session(program, inputs, "INCR", "interpret", "dense")
+        batched = _session(program, inputs, strategy, mode, backend)
+        batched.set_batching(width)
+
+        for index, update in enumerate(updates):
+            oracle.apply_update(update)
+            batched.apply_update(update)
+            if index == read_at:
+                # Flush-on-read: a mid-stream read must never lag the
+                # updates already issued, whatever the batch fill.
+                _assert_views_close(batched, oracle, program,
+                                    context=f"at mid-stream read {index}")
+        _assert_views_close(batched, oracle, program, context="at stream end")
+        stats = batched.batch_stats
+        assert stats.updates == count
+        assert stats.stacked_width == count * rank
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_replan_flip_interleaving_flushes_pending(self, data):
+        """A mid-stream ``with_plan`` switch must land pending deltas first."""
+        program, n, inputs = data.draw(session_scenario())
+        width = data.draw(st.sampled_from([3, 6]))
+        count = data.draw(st.integers(6, 12))
+        flip_at = data.draw(st.integers(1, count - 1))
+        to_strategy = data.draw(st.sampled_from(["INCR", "REEVAL"]))
+        to_backend = data.draw(st.sampled_from(BACKENDS))
+
+        rng = np.random.default_rng(data.draw(st.integers(0, 2 ** 16)))
+        updates = zipf_row_updates(rng, n, count, 2.0,
+                                   target=program.input_names[0])
+
+        oracle = _session(program, inputs, "INCR", "interpret", "dense")
+        session = _session(program, inputs, "INCR", "interpret", "dense")
+        session.set_batching(width)
+
+        for index, update in enumerate(updates):
+            oracle.apply_update(update)
+            session.apply_update(update)
+            if index == flip_at:
+                plan = MaintenancePlan(to_strategy, backend=to_backend,
+                                       batch_size=width)
+                session = session.with_plan(plan)
+                assert session.batch_size == width  # policy carried over
+        _assert_views_close(session, oracle, program, context="after flip")
+
+    def test_monitor_driven_replan_keeps_parity(self, rng):
+        """ReplanMonitor probing/re-planning over a batched session."""
+        program, n, inputs = self._fixed_scenario(rng)
+        updates = zipf_row_updates(rng, n, 30, 2.0, target="A")
+
+        oracle = _session(program, inputs, "INCR", "interpret", "dense")
+        monitored = open_session(
+            program, {k: v.copy() for k, v in inputs.items()},
+            plan="incr", backend="dense", mode="interpret",
+            refresh_count=len(updates), batch=4,
+            replan={"check_every": 7, "probe_every": 5},
+        )
+        assert isinstance(monitored, ReplanMonitor)
+        for update in updates:
+            oracle.apply_update(update)
+            monitored.apply_update(update)
+        _assert_views_close(monitored.session, oracle, program,
+                            context="after monitored stream")
+        # The sketch followed the stream it supervised.
+        assert monitored.stream_sketch.total == len(updates)
+
+    @staticmethod
+    def _fixed_scenario(rng):
+        from repro.frontend import parse_program
+
+        program = parse_program(
+            "input A(n, n); B := A * A; C := B * B; output C;"
+        )
+        n = 8
+        return program, n, {"A": 0.2 * rng.standard_normal((n, n))}
+
+
+class TestFlushPolicies:
+    def _open(self, rng, width, **kwargs):
+        program, n, inputs = TestDifferentialHarness._fixed_scenario(rng)
+        session = IVMSession(program, inputs, dims={"n": n})
+        session.set_batching(width, **kwargs)
+        return session, n
+
+    def test_width_triggers_flush(self, rng):
+        session, n = self._open(rng, 3)
+        for update in zipf_row_updates(rng, n, 7, 1.0):
+            session.apply_update(update)
+        assert session.batch_stats.flushes == 2       # 2 full batches
+        assert len(session._batcher.collector) == 1   # 1 still pending
+
+    def test_max_staleness_bounds_pending(self, rng):
+        session, n = self._open(rng, 16, max_staleness=2)
+        for update in zipf_row_updates(rng, n, 6, 1.0):
+            session.apply_update(update)
+        assert session.batch_stats.flushes == 3
+        assert len(session._batcher.collector) == 0
+
+    def test_read_flushes(self, rng):
+        session, n = self._open(rng, 16)
+        for update in zipf_row_updates(rng, n, 5, 1.0):
+            session.apply_update(update)
+        assert len(session._batcher.collector) == 5
+        session.view("C")
+        assert len(session._batcher.collector) == 0
+        assert session.batch_stats.flushes == 1
+
+    def test_revalidate_flushes(self, rng):
+        session, n = self._open(rng, 16)
+        for update in zipf_row_updates(rng, n, 4, 1.0):
+            session.apply_update(update)
+        assert session.revalidate() < 1e-8  # drift probe saw the updates
+        assert len(session._batcher.collector) == 0
+
+    def test_target_change_flushes(self, rng):
+        from repro.compiler import Program, Statement
+        from repro.expr import MatrixSymbol, matmul
+        from repro.runtime import FactoredUpdate
+
+        n = 6
+        a, b = MatrixSymbol("A", n, n), MatrixSymbol("B", n, n)
+        v0 = MatrixSymbol("V0", n, n)
+        program = Program([a, b], [Statement(v0, matmul(a, b))])
+        session = IVMSession(program, {
+            "A": rng.standard_normal((n, n)),
+            "B": rng.standard_normal((n, n)),
+        })
+        session.set_batching(8)
+        session.apply_update(FactoredUpdate("A", rng.standard_normal((n, 1)),
+                                            rng.standard_normal((n, 1))))
+        session.apply_update(FactoredUpdate("B", rng.standard_normal((n, 1)),
+                                            rng.standard_normal((n, 1))))
+        # The A-batch flushed when the B update arrived.
+        assert session.batch_stats.flushes == 1
+        assert session._batcher.target == "B"
+
+    def test_unknown_target_rejected_at_enqueue(self, rng):
+        from repro.runtime import FactoredUpdate
+
+        session, n = self._open(rng, 4)
+        with pytest.raises(KeyError, match="no trigger"):
+            session.apply_update(FactoredUpdate("Z", np.ones((n, 1)),
+                                                np.ones((n, 1))))
+
+    def test_disabling_batching_flushes(self, rng):
+        session, n = self._open(rng, 16)
+        updates = zipf_row_updates(rng, n, 3, 1.0)
+        for update in updates:
+            session.apply_update(update)
+        before = session["C"].copy()  # read flushes everything pending
+        session.set_batching(None)
+        assert session.batch_stats is None
+        # Disabling did not lose or re-apply anything.
+        np.testing.assert_array_equal(session["C"], before)
+
+
+class TestBatchingValidation:
+    def test_open_session_rejects_bad_batch(self, rng):
+        program, n, inputs = TestDifferentialHarness._fixed_scenario(rng)
+        with pytest.raises(ValueError, match="batch must be"):
+            open_session(program, inputs, batch="sometimes")
+
+    def test_open_session_rejects_zero_width(self, rng):
+        program, n, inputs = TestDifferentialHarness._fixed_scenario(rng)
+        with pytest.raises(ValueError, match="width must be >= 1"):
+            open_session(program, inputs, batch=0)
+
+    def test_open_session_batch_true_means_auto(self, rng):
+        program, n, inputs = TestDifferentialHarness._fixed_scenario(rng)
+        session = open_session(program, inputs, batch=True,
+                               refresh_count=500)
+        assert session.batch_size == (session.plan.batch_size or 1)
+        assert session._auto_batch
+
+    def test_stats_survive_width_retune_and_switch(self, rng):
+        program, n, inputs = TestDifferentialHarness._fixed_scenario(rng)
+        session = IVMSession(program, inputs, dims={"n": n})
+        session.set_batching(3)
+        updates = zipf_row_updates(rng, n, 6, 2.0)
+        for update in updates[:3]:
+            session.apply_update(update)
+        session.set_batching(5)      # re-tune: stats must carry over
+        assert session.batch_stats.updates == 3
+        for update in updates[3:]:
+            session.apply_update(update)
+        switched = session.with_plan(MaintenancePlan("REEVAL", batch_size=5))
+        assert switched.batch_stats.updates == 6  # spans the whole stream
+
+    def test_session_batcher_rejects_width_one(self):
+        from repro.runtime import SessionBatcher
+
+        with pytest.raises(ValueError, match="per-update"):
+            SessionBatcher(1)
+        with pytest.raises(ValueError, match="max_staleness"):
+            SessionBatcher(4, max_staleness=0)
+
+    def test_set_batching_width_one_means_off(self, rng):
+        program, n, inputs = TestDifferentialHarness._fixed_scenario(rng)
+        session = IVMSession(program, inputs, dims={"n": n})
+        session.set_batching(1)
+        assert session.batch_size == 1
+        assert session.batch_stats is None
+
+    def test_batch_stats_compression_degenerate_cases(self):
+        from repro.runtime import BatchStats
+
+        assert BatchStats().compression == 1.0
+        cancelled = BatchStats(stacked_width=4, compacted_width=0)
+        assert cancelled.compression == 4.0
+
+    def test_non_2d_factor_rejected(self, rng):
+        from repro.delta.batch import BatchCollector
+
+        with pytest.raises(ValueError, match="1- or 2-D"):
+            BatchCollector().add(rng.normal(size=(2, 2, 2)),
+                                 rng.normal(size=(2, 2, 2)))
+
+    def test_float_distinct_fraction_resolves(self):
+        from repro.planner import resolve_distinct_fraction
+
+        assert resolve_distinct_fraction(None, 8) == 1.0
+        assert resolve_distinct_fraction(0.25, 8) == 0.25
+        # Clamped to the at-least-one-target floor.
+        assert resolve_distinct_fraction(0.01, 8) == pytest.approx(1 / 8)
+
+
+class TestStreamSketch:
+    def test_empty_sketch_is_conservative(self):
+        assert StreamSketch().fraction(32) == 1.0
+
+    def test_width_one_is_always_distinct(self):
+        sketch = StreamSketch()
+        sketch.observe_key(3)
+        assert sketch.fraction(1) == 1.0
+
+    def test_skewed_stream_predicts_compression(self, rng):
+        from repro.workloads.zipf import sample_rows
+
+        hot = StreamSketch()
+        for row in sample_rows(rng, 64, 400, 3.0):
+            hot.observe_key(int(row))
+        uniform = StreamSketch()
+        for row in sample_rows(rng, 64, 400, 0.0):
+            uniform.observe_key(int(row))
+        assert hot.fraction(32) < 0.5 < uniform.fraction(32)
+
+    def test_single_target_fraction_floor(self):
+        sketch = StreamSketch()
+        for _ in range(100):
+            sketch.observe_key(0)
+        assert sketch.fraction(16) == pytest.approx(1.0 / 16)
+
+    def test_overflow_counts_as_distinct(self):
+        sketch = StreamSketch(capacity=2)
+        for key in range(10):
+            sketch.observe_key(key)
+        assert sketch.distinct_targets() == 10
+        # 8/10 of the mass is untracked and assumed incompressible.
+        assert sketch.fraction(8) > 0.8
+
+    def test_observe_derives_column_keys(self, rng):
+        from repro.runtime import FactoredUpdate
+
+        sketch = StreamSketch()
+        u = np.zeros((10, 2))
+        u[4, 0] = 1.0
+        u[7, 1] = 1.0
+        sketch.observe(FactoredUpdate("A", u, rng.standard_normal((10, 2))))
+        assert sketch.total == 2
+        assert sketch.distinct_targets() == 2
+
+    def test_price_batching_discounts_batched_cells(self, rng):
+        """The opt-in ranking form prices cells at their batched cost."""
+        from repro.frontend import parse_program
+
+        program = parse_program("input A(n, n); B := A * A; output B;")
+        inputs = {"A": rng.standard_normal((48, 48))}
+        stats = WorkloadStats(n=1, refresh_count=500)
+        plain = rank_program(program, inputs, stats=stats,
+                             strategies=("REEVAL",), backends=["dense"])[0]
+        priced = rank_program(program, inputs, stats=stats,
+                              strategies=("REEVAL",), backends=["dense"],
+                              price_batching=True)[0]
+        assert priced.batch_size == plain.batch_size
+        if plain.batch_size > 1:
+            # One re-evaluation amortized across the batch must be
+            # cheaper than one per update.
+            assert priced.predicted_time < plain.predicted_time
+
+    def test_sketch_raises_planned_width_under_skew(self, rng):
+        """The Zipf-aware estimator makes batching look at least as good."""
+        from repro.frontend import parse_program
+
+        program = parse_program("input A(n, n); B := A * A; output B;")
+        n = 64
+        inputs = {"A": rng.standard_normal((n, n))}
+        sketch = StreamSketch()
+        for _ in range(300):
+            sketch.observe_key(int(rng.integers(3)))  # 3 hot rows
+
+        def best_incr(stats):
+            ranked = rank_program(program, inputs, stats=stats,
+                                  strategies=("INCR",), backends=["dense"])
+            return ranked[0].batch_size
+
+        base = best_incr(WorkloadStats(n=1, refresh_count=500))
+        skewed = best_incr(WorkloadStats(n=1, refresh_count=500,
+                                         distinct_fraction=sketch))
+        assert skewed >= base
+        assert skewed > 1

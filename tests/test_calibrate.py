@@ -226,24 +226,47 @@ class TestInPlaceAndConversionConstants:
             assert entry.convert_passes_per_entry is not None
             lo, hi = calibrate.CONVERT_PASSES_RANGE
             assert lo <= entry.convert_passes_per_entry <= hi
+            assert entry.compaction_factor is not None
+            lo, hi = calibrate.COMPACTION_FACTOR_RANGE
+            assert lo <= entry.compaction_factor <= hi
 
     def test_apply_overwrites_backend_constants(self):
         entry = BackendCalibration(
             backend="dense", flops_per_second=1e10,
             call_overhead_flops=12_345.0,
             inplace_discount=0.42, convert_passes_per_entry=3.5,
+            compaction_factor=64.0,
         )
         be = entry.apply(get_backend("dense").__class__())
         assert be.est_inplace_discount == 0.42
         assert be.est_convert_passes_per_entry == 3.5
+        assert be.est_compaction_factor == 64.0
         assert be.est_call_overhead(inplace=True) == pytest.approx(
             12_345.0 * 0.42)
+
+    def test_compaction_factor_moves_the_batch_decision(self):
+        """The fitted constant reprices compaction_cost end to end."""
+        from repro.cost.estimate import compaction_cost
+
+        cheap = BackendCalibration(
+            backend="dense", flops_per_second=1e10,
+            call_overhead_flops=10_000.0, compaction_factor=10.0,
+        ).apply(get_backend("dense").__class__())
+        dear = BackendCalibration(
+            backend="dense", flops_per_second=1e10,
+            call_overhead_flops=10_000.0, compaction_factor=5_000.0,
+        ).apply(get_backend("dense").__class__())
+        width = 32
+        gap = compaction_cost(dear, 64, 64, width) - compaction_cost(
+            cheap, 64, 64, width)
+        assert gap == pytest.approx((5_000.0 - 10.0) * width ** 3)
 
     def test_new_fields_round_trip_through_json(self, tmp_path):
         entry = BackendCalibration(
             backend="dense", flops_per_second=1e10,
             call_overhead_flops=10_000.0,
             inplace_discount=0.6, convert_passes_per_entry=2.25,
+            compaction_factor=48.0,
         )
         calibration = Calibration(key=cache_key(),
                                   backends={"dense": entry})
@@ -254,6 +277,7 @@ class TestInPlaceAndConversionConstants:
         restored = loaded.get("dense")
         assert restored.inplace_discount == 0.6
         assert restored.convert_passes_per_entry == 2.25
+        assert restored.compaction_factor == 48.0
 
     def test_old_caches_without_new_fields_still_load(self, tmp_path):
         calibration = synthetic()

@@ -86,6 +86,31 @@ class TestRun:
         assert main(["run", a4_file, "--dims", "n=4", "--rank", "8"]) == 2
         assert "--rank" in capsys.readouterr().err
 
+    def test_forced_batch_width_reports_compression(self, a4_file, capsys):
+        assert main(["run", a4_file, "--dims", "n=24", "--updates", "9",
+                     "--batch", "4", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["batch"]["width"] == 4
+        assert data["batch"]["updates"] == 9
+        assert data["batch"]["flushes"] >= 2
+        assert data["batch"]["compression"] >= 1.0
+
+    def test_batch_off_disables_batching(self, a4_file, capsys):
+        assert main(["run", a4_file, "--dims", "n=24", "--updates", "4",
+                     "--batch", "off"]) == 0
+        assert "batch    : off" in capsys.readouterr().out
+
+    def test_batch_auto_prints_plan_width(self, a4_file, capsys):
+        assert main(["run", a4_file, "--dims", "n=24", "--updates", "40",
+                     "--batch", "auto"]) == 0
+        out = capsys.readouterr().out
+        assert "batch    :" in out
+
+    def test_invalid_batch_rejected(self, a4_file, capsys):
+        assert main(["run", a4_file, "--dims", "n=16", "--batch", "maybe"]) == 2
+        assert "--batch" in capsys.readouterr().err
+        assert main(["run", a4_file, "--dims", "n=16", "--batch", "0"]) == 2
+
 
 class TestAdviseDensity:
     def test_density_adds_backend_axis(self, capsys):

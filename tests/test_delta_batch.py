@@ -256,3 +256,147 @@ class TestCollectorEdgeCases:
         dl, dr, _ = default.compacted()
         sl, sr, _ = sparse.compacted()
         np.testing.assert_allclose(dl @ dr.T, sl @ sr.T, atol=1e-12)
+
+
+class TestRankKAndRankCollapse:
+    """ISSUE 5 satellite: wide blocks, zero-rank batches, NaN guards."""
+
+    def test_rank_k_blocks_accepted(self, rng):
+        # A rank-2 block plus two rank-1 updates: widths accumulate.
+        collector = BatchCollector()
+        u2 = rng.normal(size=(8, 2))
+        v2 = rng.normal(size=(8, 2))
+        collector.add(u2, v2)
+        u1, v1 = rank1(rng, 8)
+        collector.add(u1, v1)
+        assert len(collector) == 2
+        assert collector.pending_width == 3
+        left, right, dropped = collector.compacted()
+        expected = u2 @ v2.T + u1 @ v1.T
+        np.testing.assert_allclose(left @ right.T, expected, atol=1e-9)
+        assert dropped == 0.0
+
+    def test_mismatched_block_widths_rejected(self, rng):
+        with pytest.raises(ValueError, match="widths disagree"):
+            BatchCollector().add(rng.normal(size=(6, 2)),
+                                 rng.normal(size=(6, 3)))
+
+    def test_zero_width_block_contributes_nothing(self, rng):
+        collector = BatchCollector()
+        collector.add(np.zeros((5, 0)), np.zeros((5, 0)))
+        u, v = rank1(rng, 5)
+        collector.add(u, v)
+        left, right, _ = collector.compacted()
+        assert not np.isnan(left).any() and not np.isnan(right).any()
+        np.testing.assert_allclose(left @ right.T, u @ v.T, atol=1e-12)
+
+    def test_all_zero_batch_compacts_to_rank_zero_without_nan(self):
+        collector = BatchCollector()
+        for _ in range(4):
+            collector.add(np.zeros((6, 1)), np.zeros((6, 1)))
+        left, right, dropped = collector.compacted()
+        assert left.shape == (6, 0) and right.shape == (6, 0)
+        assert not np.isnan(left).any() and not np.isnan(right).any()
+        assert dropped == 0.0
+
+    def test_cancelling_batch_flush_skips_refresh(self, rng):
+        class Exploding:
+            def refresh(self, u, v):
+                raise AssertionError("zero-rank batch must not refresh")
+
+        collector = BatchCollector()
+        u, v = rank1(rng, 6)
+        collector.add(u, v)
+        collector.add(u, -v)
+        size, rank, dropped = collector.flush(Exploding())
+        assert (size, rank, dropped) == (2, 0, 0.0)
+        assert len(collector) == 0
+
+    def test_duplicate_column_batch_no_nan(self, rng):
+        # Identical updates repeated: rank collapses to 1, factors stay
+        # finite (the QR of a rank-deficient stack must not poison the
+        # SVD core).
+        collector = BatchCollector()
+        u, v = rank1(rng, 7)
+        for _ in range(5):
+            collector.add(u.copy(), v.copy())
+        left, right, _ = collector.compacted()
+        assert left.shape[1] == 1
+        assert np.isfinite(left).all() and np.isfinite(right).all()
+        np.testing.assert_allclose(left @ right.T, 5.0 * (u @ v.T),
+                                   atol=1e-9)
+
+    def test_clear_drops_pending(self, rng):
+        collector = BatchCollector()
+        collector.add(*rank1(rng, 4))
+        collector.clear()
+        assert len(collector) == 0
+        assert collector.flush(object()) == (0, 0, 0.0)
+
+
+class TestBatchedRefresher:
+    def _maintainer(self, n=10, k=4):
+        return IncrementalPowers(np.eye(n) * 0.4, k, Model.linear())
+
+    def test_width_flush_and_parity(self, rng):
+        from repro.delta.batch import BatchedRefresher
+
+        n = 10
+        plain = self._maintainer(n)
+        batched = BatchedRefresher(self._maintainer(n), width=3)
+        for _ in range(7):
+            u, v = rank1(rng, n, row=int(rng.integers(2)))
+            plain.refresh(u, v)
+            batched.refresh(u, v)
+        np.testing.assert_allclose(batched.result(), plain.result(),
+                                   atol=1e-9)
+        # 2 width-triggered flushes + 1 read-triggered.
+        assert len(batched.flushes) == 3
+
+    def test_attribute_read_flushes_first(self, rng):
+        from repro.delta.batch import BatchedRefresher
+
+        n = 8
+        batched = BatchedRefresher(self._maintainer(n), width=100)
+        reference = self._maintainer(n)
+        u, v = rank1(rng, n)
+        batched.refresh(u, v)
+        reference.refresh(u, v)
+        # .result is reached through __getattr__, which flushes.
+        np.testing.assert_allclose(batched.result(), reference.result(),
+                                   atol=1e-12)
+        assert len(batched.collector) == 0
+
+    def test_max_staleness_caps_pending(self, rng):
+        from repro.delta.batch import BatchedRefresher
+
+        batched = BatchedRefresher(self._maintainer(), width=50,
+                                   max_staleness=2)
+        for _ in range(5):
+            batched.refresh(*rank1(rng, 10))
+        assert len(batched.collector) == 1
+        assert len(batched.flushes) == 2
+
+    def test_columnwise_replay_matches_block_flush(self, rng):
+        from repro.delta.batch import BatchedRefresher
+
+        n = 10
+        block = BatchedRefresher(self._maintainer(n), width=4)
+        column = BatchedRefresher(self._maintainer(n), width=4,
+                                  columnwise=True)
+        for _ in range(4):
+            u, v = rank1(rng, n, row=int(rng.integers(3)))
+            block.refresh(u, v)
+            column.refresh(u, v)
+        np.testing.assert_allclose(column.result(), block.result(),
+                                   atol=1e-9)
+        # Columnwise replay still compacted: 4 updates, <= 3 columns.
+        assert column.flushes[0][1] <= 3
+
+    def test_validation(self):
+        from repro.delta.batch import BatchedRefresher
+
+        with pytest.raises(ValueError, match="positive"):
+            BatchedRefresher(self._maintainer(), width=0)
+        with pytest.raises(ValueError, match="max_staleness"):
+            BatchedRefresher(self._maintainer(), width=2, max_staleness=0)
