@@ -1,0 +1,228 @@
+"""Snapshot serving vs flush-on-read under concurrent load (the PR-6 claim).
+
+The serving layer's pitch: splitting one session into a writer thread
+plus immutable epoch snapshots turns reads from "take the lock, flush
+the batch, copy the view" into one dict lookup — so read tail latency
+drops by orders of magnitude and adding readers does not collapse
+writer throughput.  Each cell drives :func:`repro.runtime.run_load`
+(write pressure thread + paced reader threads) against one server:
+
+* **baseline_r8** — :class:`FlushOnReadServer`: one mutex, reads flush
+  (what naively sharing a session between threads costs);
+* **snap_rK_s32** — :class:`ViewServer`, ``K`` readers at staleness
+  bound 32 (the reader-scaling sweep);
+* **snap_r8_sS** — 8 readers at staleness bound ``S`` (the
+  freshness-vs-overhead sweep: tighter bounds publish more epochs).
+
+Derived metrics: ``speedup_p99`` (baseline read p99 / snapshot read
+p99, same reader count — the headline, acceptance floor 5x) and
+``writer_scaling_r8_vs_r1`` (writer throughput with 8 readers vs 1 —
+acceptance floor 0.25, i.e. readers must not starve the writer).
+
+Run as a script (or ``--smoke`` in CI)::
+
+    PYTHONPATH=src python benchmarks/bench_serve_latency.py
+    PYTHONPATH=src python benchmarks/bench_serve_latency.py --smoke --json out.json
+
+``check_serve_trend.py`` compares the emitted JSON against the
+committed baseline and fails CI on a >25% p99-speedup regression or a
+staleness-bound violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from conftest import add_json_flag, write_bench_json
+
+A2_SOURCE = "input A(n, n); B := A * A; output B;"
+
+#: Reader-count sweep at the default staleness bound.
+READER_SWEEP = (1, 4, 8)
+READER_SWEEP_SMOKE = (1, 8)
+
+#: Staleness-bound sweep at the full reader count.
+STALENESS_SWEEP = (1, 8, 64)
+STALENESS_SWEEP_SMOKE = (4,)
+
+#: The bound used by the headline cells.
+DEFAULT_BOUND = 32
+
+#: Script acceptance: snapshot reads must beat flush-on-read p99 by
+#: this factor at 8 readers (the ISSUE's 5x criterion, with margin).
+MIN_P99_SPEEDUP = 5.0
+
+#: Script acceptance: writer throughput at 8 readers vs 1 reader.
+MIN_WRITER_SCALING = 0.25
+
+
+def _make_server(program, inputs, baseline: bool, **server_options):
+    from repro.runtime import FlushOnReadServer, ViewServer, open_session
+
+    session = open_session(
+        program, {k: v.copy() for k, v in inputs.items()},
+        plan="incr", backend="dense", mode="codegen",
+    )
+    if baseline:
+        return FlushOnReadServer(session, views=("B",))
+    return ViewServer(session, views=("B",), **server_options)
+
+
+def _update_pool(rng, n: int, count: int = 512):
+    from repro.runtime import FactoredUpdate
+
+    pool = []
+    for _ in range(count):
+        u = np.zeros((n, 1))
+        u[rng.integers(n), 0] = 1.0
+        pool.append(FactoredUpdate("A", u,
+                                   0.01 * rng.standard_normal((n, 1))))
+    return pool
+
+
+def bench_cell(program, inputs, pool, *, baseline: bool, readers: int,
+               duration: float, bound: int | None = DEFAULT_BOUND,
+               reader_rate: float = 300.0) -> dict:
+    from repro.runtime import run_load
+
+    if baseline:
+        server = _make_server(program, inputs, True)
+    else:
+        server = _make_server(program, inputs, False, max_staleness=bound)
+    try:
+        return run_load(server, lambda i: pool[i % len(pool)],
+                        read_names=("B",), duration=duration,
+                        readers=readers, reader_rate=reader_rate)
+    finally:
+        server.close()
+
+
+def run_all(smoke: bool = False) -> dict:
+    from repro.frontend import parse_program
+
+    rng = np.random.default_rng(20140622)
+    n = 64 if smoke else 128
+    duration = 0.3 if smoke else 1.5
+    program = parse_program(A2_SOURCE)
+    inputs = {"A": 0.2 * rng.standard_normal((n, n)) / np.sqrt(n)}
+    pool = _update_pool(rng, n)
+
+    readers_sweep = READER_SWEEP_SMOKE if smoke else READER_SWEEP
+    staleness_sweep = STALENESS_SWEEP_SMOKE if smoke else STALENESS_SWEEP
+    top_readers = max(readers_sweep)
+
+    results: dict = {"n": n, "duration": duration}
+    results[f"baseline_r{top_readers}"] = bench_cell(
+        program, inputs, pool, baseline=True, readers=top_readers,
+        duration=duration,
+    )
+    for readers in readers_sweep:
+        results[f"snap_r{readers}_s{DEFAULT_BOUND}"] = bench_cell(
+            program, inputs, pool, baseline=False, readers=readers,
+            duration=duration, bound=DEFAULT_BOUND,
+        )
+    for bound in staleness_sweep:
+        key = f"snap_r{top_readers}_s{bound}"
+        if key not in results:
+            results[key] = bench_cell(
+                program, inputs, pool, baseline=False, readers=top_readers,
+                duration=duration, bound=bound,
+            )
+
+    head = results[f"snap_r{top_readers}_s{DEFAULT_BOUND}"]
+    base = results[f"baseline_r{top_readers}"]
+    solo = results[f"snap_r1_s{DEFAULT_BOUND}"]
+    results["derived"] = {
+        "top_readers": top_readers,
+        "speedup_p99": base["read_p99_ms"] / max(head["read_p99_ms"], 1e-9),
+        "speedup_p50": base["read_p50_ms"] / max(head["read_p50_ms"], 1e-9),
+        "writer_scaling_r8_vs_r1": (
+            head["writer_updates_per_second"]
+            / max(solo["writer_updates_per_second"], 1e-9)
+        ),
+    }
+    return results
+
+
+def report(results: dict) -> None:
+    print(f"n={results['n']}  window={results['duration']}s per cell")
+    for key, cell in results.items():
+        if not isinstance(cell, dict) or "read_p99_ms" not in cell:
+            continue
+        bound = cell["staleness_bound"]
+        bound_text = "flush" if bound == 0 else f"s<={bound}"
+        print(f"{key:<16} {cell['readers']} readers  "
+              f"p50 {cell['read_p50_ms']:8.3f} ms  "
+              f"p99 {cell['read_p99_ms']:8.3f} ms  "
+              f"writer {cell['writer_updates_per_second']:9.0f}/s  "
+              f"staleness {cell['max_staleness_observed']:>3} ({bound_text})")
+    derived = results["derived"]
+    print(f"snapshot vs flush-on-read @ {derived['top_readers']} readers: "
+          f"p99 {derived['speedup_p99']:.1f}x, p50 "
+          f"{derived['speedup_p50']:.1f}x; writer keeps "
+          f"{derived['writer_scaling_r8_vs_r1']:.0%} of its 1-reader "
+          f"throughput")
+
+
+def check(results: dict) -> list[str]:
+    """Acceptance violations (empty = pass)."""
+    problems = []
+    derived = results["derived"]
+    if derived["speedup_p99"] < MIN_P99_SPEEDUP:
+        problems.append(
+            f"snapshot read p99 only {derived['speedup_p99']:.1f}x better "
+            f"than flush-on-read (floor {MIN_P99_SPEEDUP}x)"
+        )
+    if derived["writer_scaling_r8_vs_r1"] < MIN_WRITER_SCALING:
+        problems.append(
+            f"writer throughput collapsed to "
+            f"{derived['writer_scaling_r8_vs_r1']:.0%} with "
+            f"{derived['top_readers']} readers (floor "
+            f"{MIN_WRITER_SCALING:.0%})"
+        )
+    for key, cell in results.items():
+        if not isinstance(cell, dict) or "staleness_bound" not in cell:
+            continue
+        bound = cell["staleness_bound"]
+        if bound and cell["max_staleness_observed"] > bound:
+            problems.append(
+                f"{key}: observed staleness "
+                f"{cell['max_staleness_observed']} exceeds bound {bound}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run for CI harness-rot checks")
+    add_json_flag(parser)
+    args = parser.parse_args(argv)
+    results = run_all(smoke=args.smoke)
+    report(results)
+    if args.json:
+        path = write_bench_json(args.json, "serve_latency", results,
+                                smoke=args.smoke)
+        print(f"\nresults -> {path}")
+    problems = check(results)
+    for problem in problems:
+        print(f"\nWARNING: {problem}")
+    if not problems:
+        print("\nconcurrent serving: snapshot reads beat flush-on-read, "
+              "readers do not starve the writer, staleness bounds held")
+    return 1 if problems else 0
+
+
+def test_report_serve_latency(bench_record):
+    """Smoke-size run: p99 speedup + staleness-bound acceptance."""
+    results = run_all(smoke=True)
+    report(results)
+    bench_record(results, smoke=True)
+    problems = check(results)
+    assert not problems, "; ".join(problems)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,100 @@
+"""Fail CI when concurrent serving regresses against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_serve_trend.py CURRENT.json BASELINE.json
+
+Both files are ``bench_serve_latency.py --json`` outputs.  Absolute
+latencies are not comparable across machines, so the guarded metric is
+the **snapshot-vs-flush-on-read p99 speedup** — both servers run on the
+same machine in the same process, so the ratio isolates the serving
+layer's relative health.  It regresses when the current speedup falls
+more than ``MAX_REGRESSION`` (25%) below the baseline's; three
+machine-independent invariants are re-checked absolutely: the speedup
+must clear the ISSUE's 5x floor, no snapshot cell may exceed its
+staleness bound, and adding readers must not collapse writer
+throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Allowed fractional drop of the p99 speedup vs the baseline ratio.
+MAX_REGRESSION = 0.25
+
+#: Baseline speedups are capped here before the floor is derived:
+#: healthy snapshot reads are single-digit microseconds, so the raw
+#: ratio swings 2x with timer noise, while any real regression (a read
+#: that flushes, blocks, or copies) crashes it to near 1x.  The cap
+#: keeps the gate sensitive to the failure mode without flapping on
+#: how fast a dict lookup timed today.
+BASELINE_SPEEDUP_CAP = 40.0
+
+#: Absolute floors, machine-independent (mirrors bench_serve_latency).
+MIN_P99_SPEEDUP = 5.0
+MIN_WRITER_SCALING = 0.25
+
+
+def load(path: str) -> dict:
+    data = json.loads(Path(path).read_text())
+    return data.get("results", data)
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    current, baseline = load(argv[0]), load(argv[1])
+
+    failures = []
+    now = float(current["derived"]["speedup_p99"])
+    then = min(float(baseline["derived"]["speedup_p99"]),
+               BASELINE_SPEEDUP_CAP)
+    floor = then * (1.0 - MAX_REGRESSION)
+    status = "OK" if now >= floor else "REGRESSED"
+    print(f"snapshot read p99 speedup {now:.1f}x (baseline {then:.1f}x, "
+          f"floor {floor:.1f}x) {status}")
+    if now < floor:
+        failures.append(
+            f"read p99 speedup regressed >{MAX_REGRESSION:.0%} "
+            f"({now:.1f}x < floor {floor:.1f}x)"
+        )
+    if now < MIN_P99_SPEEDUP:
+        failures.append(
+            f"read p99 speedup {now:.1f}x below the absolute "
+            f"{MIN_P99_SPEEDUP}x floor"
+        )
+
+    scaling = float(current["derived"]["writer_scaling_r8_vs_r1"])
+    print(f"writer throughput scaling at {current['derived']['top_readers']} "
+          f"readers: {scaling:.0%} of 1-reader throughput")
+    if scaling < MIN_WRITER_SCALING:
+        failures.append(
+            f"writer throughput collapsed to {scaling:.0%} under readers "
+            f"(floor {MIN_WRITER_SCALING:.0%})"
+        )
+
+    for key, cell in current.items():
+        if not isinstance(cell, dict) or "staleness_bound" not in cell:
+            continue
+        bound = cell["staleness_bound"]
+        observed = int(cell["max_staleness_observed"])
+        if bound and observed > int(bound):
+            failures.append(
+                f"{key}: observed staleness {observed} exceeds bound {bound}"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("concurrent serving trend: within baseline envelope")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

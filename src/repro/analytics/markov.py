@@ -96,6 +96,28 @@ class _ColumnPerturbMixin:
     def _refresh(self, u: np.ndarray, v: np.ndarray) -> None:
         raise NotImplementedError
 
+    def serve(self, max_staleness: int | None = 32,
+              max_age: float | None = None, max_queue: int = 0):
+        """Serve ``result()`` snapshots concurrently (CQRS over this chain).
+
+        Returns a :class:`~repro.runtime.serving.ViewServer` whose
+        writer thread owns this maintainer: route mutations through it
+        (``server.call(chain.perturb_column, j, col)``) and read
+        ``server.read("result")`` from any number of threads — reads
+        serve the last published epoch, lock-free, never lagging more
+        than ``max_staleness`` edits (see
+        :mod:`repro.runtime.serving`).  Do not touch the maintainer
+        directly while the server is open.
+        """
+        from ..runtime.serving import MaintainerEngine, ViewServer
+
+        engine = MaintainerEngine(
+            self, views={"result": lambda: self.result()},
+            refresh=self._refresh,
+        )
+        return ViewServer(engine, max_staleness=max_staleness,
+                          max_age=max_age, max_queue=max_queue)
+
 
 class KStepTransitionMatrix(_ColumnPerturbMixin):
     """Maintained ``P^k`` of an evolving Markov chain.

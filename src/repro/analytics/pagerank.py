@@ -119,6 +119,28 @@ class IncrementalPageRank:
         """The maintained rank vector after ``k`` iterations (column)."""
         return self._general.result()
 
+    def serve(self, max_staleness: int | None = 32, max_age: float | None = None,
+              max_queue: int = 0):
+        """Serve rank snapshots concurrently (CQRS over this driver).
+
+        Returns a :class:`~repro.runtime.serving.ViewServer` whose
+        writer thread owns this driver: route every mutation through it
+        (``server.call(pr.add_edge, 2, 3)``, or ``server.submit`` with
+        raw transition-delta factors) and read ``server.read("ranks")``
+        from any number of threads — reads serve the last published
+        epoch, lock-free, never lagging more than ``max_staleness``
+        edits (see :mod:`repro.runtime.serving`).  Do not touch the
+        driver directly while the server is open.
+        """
+        from ..runtime.serving import MaintainerEngine, ViewServer
+
+        engine = MaintainerEngine(
+            self, views={"ranks": lambda: self.ranks},
+            refresh=self._general.refresh,
+        )
+        return ViewServer(engine, max_staleness=max_staleness,
+                          max_age=max_age, max_queue=max_queue)
+
     def top(self, count: int = 10) -> list[tuple[int, float]]:
         """The ``count`` highest-ranked nodes as ``(node, score)`` pairs."""
         flat = self.ranks.reshape(-1)

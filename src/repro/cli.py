@@ -31,6 +31,17 @@ FLOP counters and wall time::
     python -m repro run program.lvw --dims n=512 --replan 50
     python -m repro run program.lvw --dims n=512 --batch 16  # force a width
 
+``repro serve`` opens a concurrent view server over the session
+(:mod:`repro.runtime.serving`) and drives a load generator against it —
+one writer thread absorbing a random update stream, N reader threads on
+lock-free snapshot reads — reporting read p50/p99 latency, achieved
+staleness and writer throughput (``--baseline`` measures the
+flush-on-read mutex strawman instead)::
+
+    python -m repro serve program.lvw --dims n=256 --readers 8
+    python -m repro serve program.lvw --dims n=256 --staleness 8 --json
+    python -m repro serve program.lvw --dims n=256 --baseline
+
 ``repro calibrate`` microbenchmarks this machine's kernels and caches
 calibrated planner cost constants (see :mod:`repro.calibrate`)::
 
@@ -191,6 +202,56 @@ def build_parser() -> argparse.ArgumentParser:
                      help="magnitude of the update deltas (default 0.01)")
     run.add_argument("--json", action="store_true",
                      help="emit plan/counters/timings as JSON")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a program's views concurrently and measure read "
+             "latency under write pressure",
+    )
+    serve.add_argument("file", help="program source file")
+    serve.add_argument("--dims", action="append", default=[],
+                       metavar="NAME=SIZE",
+                       help="bind a symbolic dimension (repeatable)")
+    serve.add_argument("--density", type=float, default=1.0,
+                       help="nnz density of the generated inputs (default 1.0)")
+    serve.add_argument("--duration", type=float, default=2.0,
+                       help="load window in seconds (default 2.0)")
+    serve.add_argument("--readers", type=int, default=4,
+                       help="concurrent reader threads (default 4)")
+    serve.add_argument("--reader-rate", type=float, default=200.0,
+                       help="reads/second per reader thread (default 200; "
+                            "0 = unpaced tight loop)")
+    serve.add_argument("--staleness", default="32", metavar="{N,none}",
+                       help="publish an epoch at least every N absorbed "
+                            "updates ('none': publish only when the "
+                            "ingress queue idles; default 32)")
+    serve.add_argument("--max-age", type=float, default=None, metavar="SECONDS",
+                       help="also publish when the oldest unpublished "
+                            "update is this old")
+    serve.add_argument("--max-queue", type=int, default=4096,
+                       help="ingress queue bound (backpressure; default 4096)")
+    serve.add_argument("--baseline", action="store_true",
+                       help="measure the flush-on-read mutex baseline "
+                            "instead of snapshot serving")
+    serve.add_argument("--plan", choices=("auto", "incr", "reeval"),
+                       default="auto",
+                       help="maintenance strategy (default: planner)")
+    serve.add_argument("--backend", choices=("auto", "dense", "sparse"),
+                       default="auto",
+                       help="execution backend (default: planner's choice)")
+    serve.add_argument("--mode", choices=("auto", "interpret", "codegen"),
+                       default="auto",
+                       help="trigger execution mode (default: planner's choice)")
+    serve.add_argument("--batch", default="auto", metavar="{auto,off,N}",
+                       help="update batching under the writer (default: auto)")
+    serve.add_argument("--rank", type=int, default=1,
+                       help="width of each factored update (default 1)")
+    serve.add_argument("--scale", type=float, default=0.01,
+                       help="magnitude of the update deltas (default 0.01)")
+    serve.add_argument("--seed", type=int, default=20140622,
+                       help="random seed for inputs and updates")
+    serve.add_argument("--json", action="store_true",
+                       help="emit plan/latency/staleness results as JSON")
     return parser
 
 
@@ -472,6 +533,102 @@ def _run_run(args, program) -> int:
     return 0
 
 
+def _run_serve(args, program) -> int:
+    import numpy as np
+
+    from .runtime.serving import FlushOnReadServer, ViewServer, run_load
+    from .runtime.session import open_session
+    from .runtime.updates import FactoredUpdate
+
+    try:
+        dims = _parse_dims(args.dims)
+        inputs = _generate_inputs(program, dims, args.density,
+                                  np.random.default_rng(args.seed))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    staleness: int | None
+    if str(args.staleness).lower() in ("none", "off"):
+        staleness = None
+    elif str(args.staleness).isdigit() and int(args.staleness) >= 1:
+        staleness = int(args.staleness)
+    else:
+        print(f"error: --staleness must be a count >= 1 or 'none', "
+              f"got {args.staleness!r}", file=sys.stderr)
+        return 2
+    batch = args.batch
+    if batch not in ("auto", "off"):
+        if not str(batch).lstrip("-").isdigit() or int(batch) < 1:
+            print(f"error: --batch must be auto, off or a width >= 1, "
+                  f"got {batch!r}", file=sys.stderr)
+            return 2
+        batch = int(batch)
+
+    target = program.input_names[0]
+    n_rows, n_cols = inputs[target].shape
+    session = open_session(
+        program, inputs, dims=dims,
+        plan=args.plan,
+        backend=None if args.backend == "auto" else args.backend,
+        mode=None if args.mode == "auto" else args.mode,
+        rank=args.rank, batch=batch,
+    )
+    names = list(program.outputs)
+    if args.baseline:
+        server = FlushOnReadServer(session, views=names)
+    else:
+        server = ViewServer(session, views=names, max_staleness=staleness,
+                            max_age=args.max_age, max_queue=args.max_queue)
+
+    # A pre-generated update pool keeps the pressure thread's cost in
+    # submission, not in RNG work.
+    rng = np.random.default_rng(args.seed + 1)
+    pool = []
+    for _ in range(512):
+        u = np.zeros((n_rows, args.rank))
+        rows = rng.choice(n_rows, size=args.rank, replace=False)
+        u[rows, np.arange(args.rank)] = 1.0
+        v = args.scale * rng.standard_normal((n_cols, args.rank))
+        pool.append(FactoredUpdate(target, u, v))
+
+    try:
+        results = run_load(
+            server, lambda i: pool[i % len(pool)], names,
+            duration=args.duration, readers=args.readers,
+            reader_rate=args.reader_rate,
+        )
+    finally:
+        server.close()
+
+    plan = session.plan
+    mode = "flush-on-read baseline" if args.baseline else "snapshot (ViewServer)"
+    if args.json:
+        print(json.dumps({
+            "plan": plan.as_dict(),
+            "mode": "baseline" if args.baseline else "snapshot",
+            "staleness_bound": staleness if not args.baseline else 0,
+            "results": results,
+            "server_stats": server.stats.as_dict(),
+        }, indent=2))
+        return 0
+    print(f"# {args.file}: {args.readers} readers x {args.duration:g}s "
+          f"under write pressure ({mode})")
+    print(f"plan       : {plan.label}")
+    print(f"reads      : {results['reads']} "
+          f"({results['reads_per_second']:,.0f}/s across "
+          f"{args.readers} readers)")
+    print(f"read p50   : {results['read_p50_ms']:8.3f} ms")
+    print(f"read p99   : {results['read_p99_ms']:8.3f} ms")
+    print(f"read max   : {results['read_max_ms']:8.3f} ms")
+    print(f"writer     : {results['writer_updates']} updates "
+          f"({results['writer_updates_per_second']:,.0f}/s)")
+    if not args.baseline:
+        bound = "none" if staleness is None else staleness
+        print(f"staleness  : max {results['max_staleness_observed']} "
+              f"observed (bound {bound}), {results['epochs']} epochs")
+    return 0
+
+
 def _parse_dims(pairs: list[str]) -> dict[str, int]:
     dims: dict[str, int] = {}
     for pair in pairs:
@@ -508,6 +665,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "run":
         return _run_run(args, program)
+
+    if args.command == "serve":
+        return _run_serve(args, program)
 
     if args.materialize_inversions:
         program = materialize_inversions(program)

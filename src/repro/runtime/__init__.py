@@ -10,6 +10,17 @@ from .drift import (
     SessionDriftMonitor,
 )
 from .executor import EvaluationError, evaluate, resolve_dim
+from .serving import (
+    FlushOnReadServer,
+    MaintainerEngine,
+    ServerClosedError,
+    ServerStats,
+    SessionEngine,
+    Snapshot,
+    ViewServer,
+    WriterFailedError,
+    run_load,
+)
 from .session import IVMSession, ReevalSession, Session, open_session
 from .updates import (
     FactoredUpdate,
@@ -28,15 +39,24 @@ __all__ = [
     "DriftReport",
     "EvaluationError",
     "FactoredUpdate",
+    "FlushOnReadServer",
     "IVMSession",
+    "MaintainerEngine",
     "ReevalSession",
     "ReplanEvent",
     "ReplanMonitor",
+    "ServerClosedError",
+    "ServerStats",
     "Session",
     "SessionBatcher",
     "SessionDriftMonitor",
+    "SessionEngine",
+    "Snapshot",
+    "ViewServer",
     "ViewStore",
     "Workspace",
+    "WriterFailedError",
+    "run_load",
     "batch_row_update",
     "cell_update",
     "column_update",

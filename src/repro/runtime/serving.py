@@ -1,0 +1,750 @@
+"""Concurrent view serving: one writer, many snapshot readers (CQRS).
+
+A :class:`~repro.runtime.session.Session` is single-threaded — the same
+caller applies updates and reads views, and every read flushes batched
+pending work.  That is the right contract for a maintenance *engine*,
+but it makes "serving heavy read traffic while the stream keeps
+flowing" impossible: readers would serialize behind the writer and
+every read would pay a flush.
+
+:class:`ViewServer` splits the two roles (the CQRS pattern, run at
+production scale by Snowflake Dynamic Tables' delayed-view model):
+
+* **one writer thread** owns the session outright.  It drains an
+  ingress :class:`queue.Queue` of :class:`~repro.runtime.updates
+  .FactoredUpdate`\\ s (queue-based load leveling: bursts queue up
+  instead of stalling producers) through the session's normal
+  ``apply_update`` path — so PR 5 batching, drift probes and
+  :class:`~repro.runtime.drift.ReplanMonitor` re-planning all run
+  unchanged, **on the writer thread** (the flush-before-switch
+  convention is preserved because the writer is the only thread that
+  ever touches session state);
+* **epoch snapshots** are the read side: when the staleness policy
+  fires, the writer flushes the session and publishes an immutable
+  copy of the served views under a new epoch number.  Publication is
+  one reference assignment (atomic under the GIL), so
+* **readers are lock-free**: :meth:`ViewServer.read` returns the last
+  published epoch's value without taking any lock and **never forces a
+  flush** — a read can lag the stream by at most the staleness bound,
+  and never blocks (or is blocked by) the writer.
+
+The staleness policy is explicit: ``max_staleness`` bounds how many
+absorbed-but-unpublished updates a snapshot may lag (``None`` = only
+publish when the queue idles), ``max_age`` adds a wall-clock bound on
+the oldest unpublished update.  Whenever the ingress queue runs dry the
+writer publishes immediately, so an idle server is always fresh.
+
+:class:`FlushOnReadServer` is the strawman this replaces — a mutex
+around the session where every read flushes — kept as the measured
+baseline for ``benchmarks/bench_serve_latency.py`` and
+``repro serve --baseline``.  :func:`run_load` is the shared load
+generator (writer pressure + paced reader threads, p50/p99 read
+latency, achieved staleness, writer throughput) used by the benchmark
+and the ``repro serve`` CLI.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .updates import FactoredUpdate
+
+#: Default bound on absorbed-but-unpublished updates per snapshot.
+DEFAULT_MAX_STALENESS = 64
+
+_STOP = object()
+
+
+class ServerClosedError(RuntimeError):
+    """Raised when submitting to (or reading from) a closed server."""
+
+
+class WriterFailedError(RuntimeError):
+    """The writer thread died; the original exception is ``__cause__``."""
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One published epoch: an immutable view of the maintained state.
+
+    ``seq`` counts the update/task events folded in since the server
+    started; ``pending`` is how many of those landed since the previous
+    epoch (the staleness this publication cleared).  Arrays are
+    read-only copies — they never change after publication, so readers
+    may hold them indefinitely.
+    """
+
+    epoch: int
+    seq: int
+    views: Mapping[str, np.ndarray]
+    pending: int
+    published_at: float
+
+
+@dataclass
+class ServerStats:
+    """Counters describing one server's lifetime (writer-side unless noted)."""
+
+    #: Updates/tasks accepted into the ingress queue (submitter-side).
+    submitted: int = 0
+    #: Update/task events the writer has applied to the session.
+    applied: int = 0
+    #: Epochs published.
+    epochs: int = 0
+    #: Largest pending count any publication cleared (achieved staleness).
+    max_pending_at_publish: int = 0
+    #: Per-publication pending counts (the staleness trace).
+    pending_log: list[int] = field(default_factory=list)
+    #: Total seconds spent flushing + copying snapshots.
+    publish_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "applied": self.applied,
+            "epochs": self.epochs,
+            "max_pending_at_publish": self.max_pending_at_publish,
+            "publish_seconds": self.publish_seconds,
+        }
+
+
+# -- engines --------------------------------------------------------------
+#
+# A ViewServer drives an *engine*: the small surface it needs from
+# whatever maintains the state.  Sessions (and their drift/replan
+# monitors) get one adapter, the analytics drivers another, so the
+# writer loop itself stays agnostic.
+
+class SessionEngine:
+    """Adapts a :class:`Session` (or drift/replan monitor) for serving.
+
+    ``target`` may be a bare session or a
+    :class:`~repro.runtime.drift.SessionDriftMonitor` /
+    :class:`~repro.runtime.drift.ReplanMonitor`; attribute access on
+    monitors falls through to the *current* session, so a mid-stream
+    :meth:`~repro.runtime.session.Session.with_plan` switch is
+    transparent here — the writer keeps calling ``apply_update`` and
+    the monitor re-plans underneath it, on the writer thread.
+    """
+
+    def __init__(self, target):
+        self.target = target
+        self.program = target.program
+
+    def default_names(self) -> tuple[str, ...]:
+        return tuple(self.program.outputs)
+
+    def available(self) -> frozenset[str]:
+        return frozenset(self.target.views.names())
+
+    def apply(self, update: FactoredUpdate) -> None:
+        self.target.apply_update(update)
+
+    def flush(self) -> None:
+        self.target.flush()
+
+    def capture(self, names: Iterable[str]) -> dict[str, np.ndarray]:
+        """Fresh dense copies of ``names`` (caller flushed already).
+
+        ``get_dense`` may return live storage (the fused in-place path
+        mutates views without replacing them), so every published array
+        is copied here — copy-on-publish is what makes snapshots
+        immutable.
+        """
+        views = self.target.views
+        return {
+            name: np.array(views.get_dense(name), dtype=np.float64)
+            for name in names
+        }
+
+
+class MaintainerEngine:
+    """Adapts an analytics driver (pagerank, markov, ...) for serving.
+
+    ``views`` maps served names to zero-argument accessors returning
+    the current value (reads on drivers flush their own
+    :class:`~repro.delta.batch.BatchedRefresher` queues, so accessors
+    are always current).  ``refresh`` optionally accepts raw factored
+    updates — drivers whose mutations are richer than ``u v'`` (edge
+    edits, column replacements) route them through
+    :meth:`ViewServer.call` instead.
+    """
+
+    def __init__(
+        self,
+        owner,
+        views: Mapping[str, Callable[[], np.ndarray]],
+        refresh: Callable[[np.ndarray, np.ndarray], None] | None = None,
+    ):
+        if not views:
+            raise ValueError("a MaintainerEngine needs at least one view accessor")
+        self.owner = owner
+        self._views = dict(views)
+        self._refresh = refresh
+
+    def default_names(self) -> tuple[str, ...]:
+        return tuple(self._views)
+
+    def available(self) -> frozenset[str]:
+        return frozenset(self._views)
+
+    def apply(self, update: FactoredUpdate) -> None:
+        if self._refresh is None:
+            raise TypeError(
+                f"{type(self.owner).__name__} accepts mutations via "
+                "server.call(...), not raw factored updates"
+            )
+        self._refresh(update.u_block, update.v_block)
+
+    def flush(self) -> None:
+        flush = getattr(self.owner, "flush", None)
+        if callable(flush):
+            flush()
+
+    def capture(self, names: Iterable[str]) -> dict[str, np.ndarray]:
+        return {
+            name: np.array(self._views[name](), dtype=np.float64)
+            for name in names
+        }
+
+
+def _as_engine(target, views=None):
+    if isinstance(target, (SessionEngine, MaintainerEngine)):
+        return target
+    if hasattr(target, "apply_update") and hasattr(target, "views"):
+        return SessionEngine(target)
+    raise TypeError(
+        f"cannot serve {type(target).__name__}: expected a session, a "
+        "session monitor, or a serving engine"
+    )
+
+
+class _Flush:
+    """Control item: flush + publish, then release the waiter."""
+
+    __slots__ = ("event",)
+
+    def __init__(self):
+        self.event = threading.Event()
+
+
+class _Task:
+    """Control item: run ``fn`` on the writer thread (a CQRS command)."""
+
+    __slots__ = ("fn", "event", "error")
+
+    def __init__(self, fn, waitable: bool):
+        self.fn = fn
+        self.event = threading.Event() if waitable else None
+        self.error: BaseException | None = None
+
+
+class ViewServer:
+    """Serve a session's views to many threads at bounded staleness.
+
+    Parameters
+    ----------
+    target:
+        What to serve: a session, a drift/replan monitor wrapping one,
+        or a prepared engine (:class:`SessionEngine` /
+        :class:`MaintainerEngine`).  The server's writer thread becomes
+        the *only* thread allowed to touch it.
+    views:
+        Names to publish per epoch (default: the program's outputs for
+        sessions, every accessor for maintainer engines).  Reading an
+        unpublished-but-known name registers it and triggers one
+        synchronous publish — copy-on-publish grows to what readers
+        actually ask for, nothing more.
+    max_staleness:
+        Publish whenever this many updates/tasks have been absorbed
+        since the last epoch (``None``: no count bound — publish only
+        on idle, age, or explicit flush).  Bounds how far any read can
+        lag the applied stream.
+    max_age:
+        Publish whenever the oldest unpublished event is this many
+        seconds old (``None``: no wall-clock bound).
+    max_queue:
+        Ingress queue capacity; ``0`` (default) is unbounded, a
+        positive bound makes :meth:`submit` block — queue-based load
+        leveling with backpressure.
+
+    Use as a context manager, or call :meth:`close` — shutdown drains
+    the queue, publishes the final epoch, and joins the writer.
+    """
+
+    def __init__(
+        self,
+        target,
+        views: Sequence[str] | None = None,
+        max_staleness: int | None = DEFAULT_MAX_STALENESS,
+        max_age: float | None = None,
+        max_queue: int = 0,
+    ):
+        if max_staleness is not None and max_staleness < 1:
+            raise ValueError("max_staleness must be positive (or None)")
+        if max_age is not None and max_age <= 0:
+            raise ValueError("max_age must be positive (or None)")
+        self._engine = _as_engine(target, views)
+        self.max_staleness = max_staleness
+        self.max_age = max_age
+        self._queue: queue.Queue = queue.Queue(max_queue)
+        self.stats = ServerStats()
+        self._submit_lock = threading.Lock()
+        self._closed = False
+        self._error: BaseException | None = None
+
+        available = self._engine.available()
+        names = tuple(views) if views is not None else self._engine.default_names()
+        unknown = set(names) - set(available)
+        if unknown:
+            raise KeyError(f"cannot serve unknown views: {sorted(unknown)}")
+        self._names: tuple[str, ...] = names
+        self._names_lock = threading.Lock()
+
+        # Writer-thread state (no locks: one owner).
+        self._seq = 0
+        self._pending = 0
+        self._oldest_pending: float | None = None
+
+        # Epoch 0 is published before the writer starts, so reads never
+        # race an empty slot.
+        self._snapshot = self._make_snapshot(epoch=0)
+        self._pub_cond = threading.Condition()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-view-writer", daemon=True
+        )
+        self._thread.start()
+
+    # -- the read side (any thread, lock-free) ---------------------------
+    @property
+    def snapshot(self) -> Snapshot:
+        """The last published epoch (one atomic reference read)."""
+        return self._snapshot
+
+    @property
+    def epoch(self) -> int:
+        return self._snapshot.epoch
+
+    def read(self, name: str) -> np.ndarray:
+        """``name``'s value at the last published epoch.
+
+        Never flushes, never blocks on the writer: the common case is a
+        dict lookup on the current snapshot.  The first read of a view
+        that exists but is not yet in the publish set registers it and
+        waits for one publication (copy-on-publish of the views a
+        reader asked for).
+        """
+        snap = self._snapshot
+        value = snap.views.get(name)
+        if value is not None:
+            return value
+        self._raise_if_failed()
+        return self.watch(name)[name]
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.read(name)
+
+    def watch(self, *names: str) -> Mapping[str, np.ndarray]:
+        """Add ``names`` to the publish set; returns a snapshot with them."""
+        unknown = set(names) - set(self._engine.available())
+        if unknown:
+            raise KeyError(f"no view named {sorted(unknown)}")
+        with self._names_lock:
+            missing = [n for n in names if n not in self._names]
+            if missing:
+                self._check_open()
+                self._names = self._names + tuple(missing)
+        snap = self._snapshot
+        if all(n in snap.views for n in names):
+            return snap.views
+        return self.refresh().views
+
+    # -- the write side (any producer thread) ----------------------------
+    def submit(self, update: FactoredUpdate) -> None:
+        """Enqueue one factored update for the writer (non-blocking
+        unless ``max_queue`` backpressure applies)."""
+        self._check_open()
+        with self._submit_lock:
+            self.stats.submitted += 1
+        self._queue.put(update)
+
+    def submit_many(self, updates: Iterable[FactoredUpdate]) -> None:
+        for update in updates:
+            self.submit(update)
+
+    def call(self, fn: Callable, *args, wait: bool = False, **kwargs):
+        """Run ``fn(*args, **kwargs)`` on the writer thread, in stream order.
+
+        The command side of CQRS for mutations richer than a factored
+        update: analytics edits (``server.call(pr.add_edge, 2, 3)``),
+        re-configuration, manual plan switches.  ``wait=True`` blocks
+        until the call ran and re-raises its exception here; the
+        default is fire-and-forget (a failure poisons the server like
+        any writer error).
+        """
+        self._check_open()
+        task = _Task((lambda: fn(*args, **kwargs)), waitable=wait)
+        with self._submit_lock:
+            self.stats.submitted += 1
+        self._queue.put(task)
+        if wait:
+            self._wait(task.event)
+            if task.error is not None and task.error is not self._error:
+                raise task.error  # the task's own failure, writer survived
+            self._raise_if_failed()
+        return None
+
+    def refresh(self, timeout: float | None = None) -> Snapshot:
+        """Barrier: apply everything queued so far, publish, return it.
+
+        The one read-side verb that *does* synchronize with the writer
+        — for tests and callers that need read-your-writes semantics.
+        Ordinary reads never need it.
+        """
+        self._raise_if_failed()
+        if self._closed:
+            return self._snapshot
+        flush = _Flush()
+        self._queue.put(flush)
+        self._wait(flush.event, timeout)
+        # The event is also set by the failure drain: re-check before
+        # handing back a snapshot that predates the writer's death.
+        self._raise_if_failed()
+        return self._snapshot
+
+    def close(self) -> None:
+        """Drain the queue, publish the final epoch, stop the writer.
+
+        Idempotent.  Re-raises the writer's exception if it failed.
+        """
+        if not self._closed:
+            self._closed = True
+            self._queue.put(_STOP)
+        self._thread.join(timeout=60.0)
+        if self._thread.is_alive():  # pragma: no cover - deadlock guard
+            raise WriterFailedError("writer thread failed to stop in 60s")
+        self._raise_if_failed()
+
+    def __enter__(self) -> "ViewServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Surface shutdown errors only when the body didn't raise first.
+        if exc_type is None:
+            self.close()
+        else:
+            try:
+                self.close()
+            except Exception:
+                pass
+
+    # -- internals -------------------------------------------------------
+    def _check_open(self) -> None:
+        self._raise_if_failed()
+        if self._closed:
+            raise ServerClosedError("this ViewServer is closed")
+
+    def _raise_if_failed(self) -> None:
+        if self._error is not None:
+            raise WriterFailedError("the writer thread died") from self._error
+
+    def _wait(self, event: threading.Event, timeout: float | None = None) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not event.wait(0.05):
+            self._raise_if_failed()
+            if not self._thread.is_alive():
+                raise WriterFailedError("writer thread exited before the barrier")
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError("timed out waiting for the writer")
+
+    def _make_snapshot(self, epoch: int) -> Snapshot:
+        start = time.perf_counter()
+        self._engine.flush()
+        with self._names_lock:
+            names = self._names
+        views = self._engine.capture(names)
+        for arr in views.values():
+            arr.setflags(write=False)
+        pending = self._pending
+        snap = Snapshot(
+            epoch=epoch, seq=self._seq, views=views, pending=pending,
+            published_at=time.monotonic(),
+        )
+        self._pending = 0
+        self._oldest_pending = None
+        self.stats.epochs = epoch + 1
+        self.stats.publish_seconds += time.perf_counter() - start
+        if epoch > 0:
+            self.stats.pending_log.append(pending)
+            if pending > self.stats.max_pending_at_publish:
+                self.stats.max_pending_at_publish = pending
+        return snap
+    # The first (constructor) snapshot is epoch 0 with nothing pending;
+    # it is excluded from the staleness trace.
+
+    def _publish(self) -> None:
+        snap = self._make_snapshot(self._snapshot.epoch + 1)
+        self._snapshot = snap  # the atomic epoch-pointer swap
+        with self._pub_cond:
+            self._pub_cond.notify_all()
+
+    def _handle(self, item) -> None:
+        if isinstance(item, FactoredUpdate):
+            self._engine.apply(item)
+            self._note_event()
+        elif isinstance(item, _Task):
+            try:
+                item.fn()
+            except BaseException as exc:
+                if item.event is None:
+                    raise
+                item.error = exc
+            finally:
+                self._note_event()
+                if item.event is not None:
+                    # Publish before releasing the waiter so wait=True
+                    # callers read their own write.
+                    self._publish()
+                    item.event.set()
+        elif isinstance(item, _Flush):
+            self._publish()
+            item.event.set()
+        else:  # pragma: no cover - queue protocol violation
+            raise TypeError(f"unexpected queue item {item!r}")
+
+    def _note_event(self) -> None:
+        self._seq += 1
+        self._pending += 1
+        self.stats.applied += 1
+        if self._oldest_pending is None:
+            self._oldest_pending = time.monotonic()
+
+    def _should_publish(self) -> bool:
+        if self._pending <= 0:
+            return False
+        if self.max_staleness is not None and self._pending >= self.max_staleness:
+            return True
+        if self.max_age is not None and self._oldest_pending is not None:
+            return time.monotonic() - self._oldest_pending >= self.max_age
+        return False
+
+    def _run(self) -> None:
+        try:
+            stop = False
+            while not stop:
+                item = self._queue.get()
+                while True:
+                    if item is _STOP:
+                        stop = True
+                        break
+                    self._handle(item)
+                    if self._should_publish():
+                        self._publish()
+                    try:
+                        item = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                # Queue idle (or shutting down): publish promptly so an
+                # unloaded server serves fresh state.
+                if self._pending:
+                    self._publish()
+        except BaseException as exc:  # noqa: BLE001 - reported to callers
+            self._error = exc
+            self._drain_failed()
+
+    def _drain_failed(self) -> None:
+        """Release every waiter after a writer failure (no hangs)."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if isinstance(item, _Flush):
+                item.event.set()
+            elif isinstance(item, _Task) and item.event is not None:
+                item.error = self._error
+                item.event.set()
+
+
+class FlushOnReadServer:
+    """The pre-serving strawman: one mutex, reads flush (measured baseline).
+
+    Presents the same ``submit``/``read``/``refresh``/``close`` surface
+    as :class:`ViewServer`, but every operation serializes on one lock
+    and every read goes through ``session.view`` — which flushes
+    batched pending updates first.  This is exactly what sharing a
+    single-threaded session between threads costs; the benchmark's
+    p50/p99 gap against :class:`ViewServer` is the tentpole claim.
+    """
+
+    def __init__(self, target, views: Sequence[str] | None = None):
+        self._engine = _as_engine(target, views)
+        self._lock = threading.Lock()
+        self.stats = ServerStats()
+        names = tuple(views) if views is not None else self._engine.default_names()
+        self._names = names
+        self.max_staleness = 0
+        self.max_age = None
+
+    @property
+    def epoch(self) -> int:
+        return self.stats.applied
+
+    def submit(self, update: FactoredUpdate) -> None:
+        with self._lock:
+            self.stats.submitted += 1
+            self._engine.apply(update)
+            self.stats.applied += 1
+
+    def call(self, fn: Callable, *args, wait: bool = False, **kwargs):
+        with self._lock:
+            self.stats.submitted += 1
+            result = fn(*args, **kwargs)
+            self.stats.applied += 1
+        return result if wait else None
+
+    def read(self, name: str) -> np.ndarray:
+        with self._lock:
+            self._engine.flush()
+            return self._engine.capture((name,))[name]
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.read(name)
+
+    def refresh(self, timeout: float | None = None):
+        with self._lock:
+            self._engine.flush()
+            views = self._engine.capture(self._names)
+        return Snapshot(epoch=self.stats.applied, seq=self.stats.applied,
+                        views=views, pending=0, published_at=time.monotonic())
+
+    def close(self) -> None:
+        with self._lock:
+            self._engine.flush()
+
+    def __enter__(self) -> "FlushOnReadServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# -- load generation ------------------------------------------------------
+
+def run_load(
+    server,
+    make_update: Callable[[int], FactoredUpdate],
+    read_names: Sequence[str],
+    duration: float = 2.0,
+    readers: int = 4,
+    reader_rate: float = 200.0,
+    writer_pause: float = 0.0,
+) -> dict:
+    """Drive a server with write pressure + paced readers; measure both.
+
+    One pressure thread submits ``make_update(i)`` as fast as the
+    server accepts (``writer_pause`` seconds between submissions adds
+    an optional cap); ``readers`` threads each read a round-robin name
+    at ``reader_rate`` reads/second, timing every ``read`` call.
+    Returns read p50/p99/max latency, reader and writer throughput, and
+    the server's achieved staleness — the numbers ``repro serve`` and
+    ``bench_serve_latency.py`` report.
+    """
+    if readers < 1:
+        raise ValueError("need at least one reader thread")
+    stop = threading.Event()
+    interval = 1.0 / reader_rate if reader_rate > 0 else 0.0
+    latencies: list[list[float]] = [[] for _ in range(readers)]
+    errors: list[BaseException] = []
+
+    def read_loop(slot: int) -> None:
+        sink = latencies[slot]
+        try:
+            # Desynchronize reader ticks so they don't stampede the GIL.
+            time.sleep(interval * slot / max(readers, 1))
+            i = 0
+            while not stop.is_set():
+                name = read_names[i % len(read_names)]
+                start = time.perf_counter()
+                value = server.read(name)
+                sink.append(time.perf_counter() - start)
+                del value
+                i += 1
+                if interval:
+                    time.sleep(interval)
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            errors.append(exc)
+
+    applied_before = server.stats.applied
+
+    def write_loop() -> None:
+        try:
+            i = 0
+            while not stop.is_set():
+                server.submit(make_update(i))
+                i += 1
+                if writer_pause:
+                    time.sleep(writer_pause)
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=write_loop, name="repro-load-writer",
+                                daemon=True)]
+    threads += [
+        threading.Thread(target=read_loop, args=(slot,),
+                         name=f"repro-load-reader-{slot}", daemon=True)
+        for slot in range(readers)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    time.sleep(duration)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    elapsed = time.perf_counter() - start
+    # Throughput counts what the writer landed inside the window; the
+    # barrier below only drains the residual queue so the server's
+    # final state is consistent for later reads.
+    applied = server.stats.applied - applied_before
+    server.refresh()
+    if errors:
+        raise errors[0]
+
+    samples = np.array(sorted(x for sink in latencies for x in sink))
+    if samples.size == 0:
+        raise RuntimeError("load window too short: no reads completed")
+    return {
+        "duration_seconds": elapsed,
+        "readers": readers,
+        "reads": int(samples.size),
+        "read_p50_ms": float(np.percentile(samples, 50) * 1e3),
+        "read_p99_ms": float(np.percentile(samples, 99) * 1e3),
+        "read_max_ms": float(samples[-1] * 1e3),
+        "reads_per_second": float(samples.size / elapsed),
+        "writer_updates": int(applied),
+        "writer_updates_per_second": float(applied / elapsed),
+        "epochs": int(getattr(server.stats, "epochs", 0)),
+        "max_staleness_observed": int(server.stats.max_pending_at_publish),
+        "staleness_bound": server.max_staleness,
+    }
+
+
+__all__ = [
+    "DEFAULT_MAX_STALENESS",
+    "FlushOnReadServer",
+    "MaintainerEngine",
+    "ServerClosedError",
+    "ServerStats",
+    "SessionEngine",
+    "Snapshot",
+    "ViewServer",
+    "WriterFailedError",
+    "run_load",
+]

@@ -534,6 +534,7 @@ def open_session(
     replan=None,
     batch="auto",
     max_staleness: int | None = None,
+    serve=None,
 ):
     """Open a maintenance session, planning the configuration if asked.
 
@@ -582,12 +583,26 @@ def open_session(
     max_staleness:
         Upper bound on pending batched updates (a read-lag bound below
         the planned width); ``None`` leaves the width as the only bound.
+    serve:
+        ``None`` (default) returns the single-threaded session/monitor;
+        ``True`` (defaults) or a dict of
+        :class:`~repro.runtime.serving.ViewServer` options
+        (``max_staleness``, ``max_age``, ``views``, ``max_queue``)
+        wraps it in a concurrent view server instead: one writer
+        thread drains an ingress queue through ``apply_update`` (and
+        runs any ``replan=``/``drift=`` monitor on that thread), while
+        readers get lock-free snapshot reads of the last published
+        epoch.  Note the server's ``max_staleness`` (its own key in the
+        dict) is the *publication* bound, distinct from this
+        function's batching ``max_staleness`` parameter.
 
-    Returns the session (or its monitor), with the resolved
-    :class:`~repro.planner.plan.MaintenancePlan` attached as ``.plan``.
+    Returns the session (or its monitor, or its view server), with the
+    resolved :class:`~repro.planner.plan.MaintenancePlan` attached as
+    ``.plan``.
     """
     from ..planner import MaintenancePlan, WorkloadStats, plan_program
     from .drift import ReplanMonitor, SessionDriftMonitor
+    from .serving import ViewServer
 
     stats_kwargs = {"update_rank": rank}
     if refresh_count is not None:
@@ -642,6 +657,7 @@ def open_session(
             f"batch must be 'auto', 'off', None or a width >= 1, got {batch!r}"
         )
 
+    result = session
     if replan:
         options = {} if replan is True else dict(replan)
         if drift:
@@ -653,12 +669,17 @@ def open_session(
             for key, value in drift_options.items():
                 options.setdefault(key, value)
         options.setdefault("expected_refreshes", refresh_count)
-        monitor = ReplanMonitor(session, **options)
-        monitor.plan = resolved
-        return monitor
-    if drift:
+        result = ReplanMonitor(session, **options)
+        result.plan = resolved
+    elif drift:
         options = {} if drift is True else dict(drift)
-        monitor = SessionDriftMonitor(session, **options)
-        monitor.plan = resolved
-        return monitor
-    return session
+        result = SessionDriftMonitor(session, **options)
+        result.plan = resolved
+    if serve:
+        # The server's writer thread becomes the session's (and any
+        # monitor's) sole owner: replans and drift probes run there.
+        serve_options = {} if serve is True else dict(serve)
+        server = ViewServer(result, **serve_options)
+        server.plan = resolved
+        return server
+    return result

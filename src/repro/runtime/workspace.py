@@ -40,6 +40,7 @@ ROADMAP).
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 
 import numpy as np
@@ -48,40 +49,75 @@ import numpy as np
 _Key = tuple[int, int, str]
 
 
-class Workspace:
-    """A pool of reusable scratch buffers keyed by shape and dtype.
+class _ThreadArena:
+    """One thread's private pools/cursors/counters (no locking needed)."""
 
-    Statistics are exposed for tests and benchmarks: ``allocations``
-    counts buffers actually created (steady state: stops growing),
-    ``leases`` counts every hand-out.
-    """
+    __slots__ = ("pools", "cursors", "depth", "allocations", "leases")
 
     def __init__(self):
-        self._pools: dict[_Key, list[np.ndarray]] = {}
-        self._cursors: dict[_Key, int] = {}
-        self._depth = 0
+        self.pools: dict[_Key, list[np.ndarray]] = {}
+        self.cursors: dict[_Key, int] = {}
+        self.depth = 0
         self.allocations = 0
         self.leases = 0
 
+
+class Workspace:
+    """A pool of reusable scratch buffers keyed by shape and dtype.
+
+    **Thread safety:** pools, cursors and frame depth are *per thread*
+    (a concurrent view-serving writer must never be handed a buffer
+    another thread is still writing — see
+    :mod:`repro.runtime.serving`), so two threads leasing the same
+    shape concurrently always receive distinct buffers and each
+    thread's :meth:`frame` nesting is independent.  The cost is that a
+    workspace shared across threads holds one buffer set per thread
+    that actually leases — the serving layer's single-writer design
+    keeps that at one working set in practice.
+
+    Statistics are exposed for tests and benchmarks: ``allocations``
+    counts buffers actually created (steady state: stops growing),
+    ``leases`` counts every hand-out; both aggregate across threads.
+    """
+
+    def __init__(self):
+        self._local = threading.local()
+        self._arenas: list[_ThreadArena] = []
+        self._registry_lock = threading.Lock()
+
+    def _arena(self) -> _ThreadArena:
+        arena = getattr(self._local, "arena", None)
+        if arena is None:
+            arena = _ThreadArena()
+            self._local.arena = arena
+            with self._registry_lock:
+                self._arenas.append(arena)
+        return arena
+
+    def _snapshot_arenas(self) -> list[_ThreadArena]:
+        with self._registry_lock:
+            return list(self._arenas)
+
     # -- leasing ---------------------------------------------------------
     def lease(self, rows: int, cols: int, dtype=np.float64) -> np.ndarray:
-        """The next free ``(rows x cols)`` buffer of this frame.
+        """The next free ``(rows x cols)`` buffer of this thread's frame.
 
         Allocates only when the frame needs more buffers of this shape
         than any previous frame did; contents are unspecified (callers
         always overwrite via ``out=`` kernels).
         """
+        arena = self._arena()
         key = (int(rows), int(cols), np.dtype(dtype).name)
-        pool = self._pools.get(key)
+        pool = arena.pools.get(key)
         if pool is None:
-            pool = self._pools[key] = []
-            self._cursors[key] = 0
-        cursor = self._cursors[key]
-        self._cursors[key] = cursor + 1
-        self.leases += 1
+            pool = arena.pools[key] = []
+            arena.cursors[key] = 0
+        cursor = arena.cursors[key]
+        arena.cursors[key] = cursor + 1
+        arena.leases += 1
         if cursor >= len(pool):
             pool.append(np.empty((key[0], key[1]), dtype=dtype))
-            self.allocations += 1
+            arena.allocations += 1
         return pool[cursor]
 
     def lease_like(self, template: np.ndarray) -> np.ndarray:
@@ -94,40 +130,64 @@ class Workspace:
     def frame(self):
         """One firing's lease scope; nested frames share the outermost.
 
-        Leases are recycled when the *outermost* frame exits, so buffers
-        handed out anywhere inside stay valid until the next top-level
-        firing begins.
+        Leases are recycled when this thread's *outermost* frame exits,
+        so buffers handed out anywhere inside stay valid until the next
+        top-level firing begins.  Frames on different threads are
+        independent.
         """
-        self._depth += 1
+        arena = self._arena()
+        arena.depth += 1
         try:
             yield self
         finally:
-            self._depth -= 1
-            if self._depth == 0:
-                self._reset()
+            arena.depth -= 1
+            if arena.depth == 0:
+                self._reset(arena)
 
     def begin(self) -> None:
         """Start a new top-level firing without the context manager.
 
-        Equivalent to closing any previous implicit frame: all leases
-        are recycled.  No-op while an explicit :meth:`frame` is open
-        (nested maintainers must not clobber their caller's buffers).
+        Equivalent to closing any previous implicit frame: this
+        thread's leases are recycled.  No-op while an explicit
+        :meth:`frame` is open (nested maintainers must not clobber
+        their caller's buffers).
         """
-        if self._depth == 0:
-            self._reset()
+        arena = self._arena()
+        if arena.depth == 0:
+            self._reset(arena)
 
-    def _reset(self) -> None:
-        for key in self._cursors:
-            self._cursors[key] = 0
+    @staticmethod
+    def _reset(arena: _ThreadArena) -> None:
+        for key in arena.cursors:
+            arena.cursors[key] = 0
 
     # -- inspection ------------------------------------------------------
+    @property
+    def allocations(self) -> int:
+        """Buffers created, summed across every leasing thread."""
+        return sum(a.allocations for a in self._snapshot_arenas())
+
+    @property
+    def leases(self) -> int:
+        """Buffers handed out, summed across every leasing thread."""
+        return sum(a.leases for a in self._snapshot_arenas())
+
     def nbytes(self) -> int:
-        """Total bytes held across all pools."""
-        return sum(buf.nbytes for pool in self._pools.values() for buf in pool)
+        """Total bytes held across all pools (all threads)."""
+        return sum(
+            buf.nbytes
+            for arena in self._snapshot_arenas()
+            for pool in arena.pools.values()
+            for buf in pool
+        )
 
     def buffer_count(self) -> int:
-        """Number of distinct buffers the arena owns."""
-        return sum(len(pool) for pool in self._pools.values())
+        """Number of distinct buffers the arena owns (all threads)."""
+        return sum(
+            len(pool)
+            for arena in self._snapshot_arenas()
+            for pool in arena.pools.values()
+        )
 
     def __repr__(self) -> str:
         return (

@@ -1,6 +1,7 @@
 """Workspace arena, in-place backend kernels, and the zero-alloc contract."""
 
 import gc
+import threading
 import tracemalloc
 
 import numpy as np
@@ -56,6 +57,50 @@ class TestWorkspace:
             outer = ws.lease(2, 2)
             ws.begin()
             assert ws.lease(2, 2) is not outer
+
+    def test_concurrent_threads_never_share_buffers(self):
+        """Two threads leasing the same shapes get disjoint arenas.
+
+        The serving layer's writer thread runs maintenance concurrently
+        with whatever the spawning thread does; a shared lease pool
+        would hand both threads the same scratch buffer and corrupt
+        in-place kernels.  Regression for the thread-local arena.
+        """
+        ws = Workspace()
+        rounds = 100
+        seen: list[set[int]] = [set(), set()]
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(2)
+
+        def work(slot: int) -> None:
+            try:
+                barrier.wait()
+                for _ in range(rounds):
+                    with ws.frame():
+                        a = ws.lease(6, 6)
+                        a[:] = slot
+                        b = ws.lease(6, 6)
+                        b[:] = slot + 10
+                        seen[slot].add(id(a))
+                        seen[slot].add(id(b))
+                        # A shared buffer shows up as the other thread's
+                        # marker value bleeding in mid-frame.
+                        assert np.all(a == slot) and np.all(b == slot + 10)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(slot,))
+                   for slot in (0, 1)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors, errors[0]
+        assert seen[0].isdisjoint(seen[1])
+        # Counters aggregate across the per-thread arenas.
+        assert ws.allocations == 4
+        assert ws.leases == 4 * rounds
+        assert ws.buffer_count() == 4
 
     def test_shape_and_dtype_keying(self):
         ws = Workspace()
