@@ -20,6 +20,40 @@ Both paths share one schema: ``{schema, bench, platform, python,
 results, ...meta}``; CI uploads the files with ``actions/upload-artifact``
 so the perf trajectory is recorded per-run instead of scrolling away in
 logs.
+
+The ``comm`` block (distributed runs)
+-------------------------------------
+
+Sharded runs — ``repro run --nodes N --json`` and the cells of
+``bench_fig3g_distributed.py`` — attach one ``comm`` object of
+*measured* IPC traffic, harvested from the engine's
+:class:`~repro.distributed.comm.CommLog`:
+
+``bytes``
+    ``{kind: int}`` — real pickled payload bytes by kind
+    (``broadcast`` / ``shuffle`` / ``gather``).  Fan-out ops count
+    payload x workers (each worker receives its own copy); fan-in
+    counts reply payloads as ``gather``.
+``messages``
+    ``{kind: int}`` — pipe messages by kind (one per worker per op).
+``seconds``
+    ``{kind: float}`` — wall seconds by kind: send time for fan-out,
+    reply-wait time for fan-in (the first roundtrip after spawn
+    absorbs worker startup, by design — latency as experienced).
+``bytes_by_label``
+    ``{label: int}`` — bytes by operation label (``add_lowrank``,
+    ``mat_lowrank``, ...), the series the modeled-vs-measured tests
+    compare against ``est_broadcast`` / ``est_shuffle``.
+``total_bytes`` / ``total_messages``
+    Sums over kinds.
+``worker_seconds``
+    ``[float]`` — per-worker cumulative busy seconds (kernel time
+    reported by each worker, excludes pipe wait).
+``partition``
+    :meth:`RowShardPartitioner.describe()
+    <repro.distributed.partitioner.RowShardPartitioner.describe>`:
+    ``{n, nodes, strategy, tile_rows, n_tiles, shard_rows}`` — shard
+    sizes in rows per worker.
 """
 
 from __future__ import annotations

@@ -253,6 +253,17 @@ class Backend(ABC):
     #: compactions.
     est_compaction_factor: float = 22.0
 
+    #: Fixed cost of one coordinator->worker IPC round-trip, in
+    #: dense-FLOP equivalents (pipe send + pickle + scheduler wakeup).
+    #: Shipped from pipe measurements on a development box;
+    #: ``repro calibrate`` re-fits it from a timed spawn-pipe echo
+    #: microbenchmark.
+    est_ipc_call_flops: float = 50_000.0
+
+    #: Dense-FLOP equivalents per byte moved over an IPC pipe
+    #: (~flop_rate / pipe_bandwidth).  Also re-fitted by calibration.
+    est_ipc_flops_per_byte: float = 2.0
+
     def est_call_overhead(self, inplace: bool = False) -> float:
         """Per-call overhead in dense-FLOP equivalents.
 
@@ -263,6 +274,28 @@ class Backend(ABC):
         if inplace:
             return self.est_call_overhead_flops * self.est_inplace_discount
         return self.est_call_overhead_flops
+
+    def est_broadcast(self, nbytes: float, nodes: int) -> float:
+        """Predicted cost (dense-FLOP equivalents) of broadcasting
+        ``nbytes`` from the coordinator to each of ``nodes`` workers.
+
+        Over pipes every worker receives its own copy, so both the
+        per-message overhead and the bytes scale with the node count.
+        Zero at ``nodes <= 1``: single-process execution ships nothing.
+        """
+        if nodes <= 1:
+            return 0.0
+        return nodes * (self.est_ipc_call_flops
+                        + nbytes * self.est_ipc_flops_per_byte)
+
+    def est_shuffle(self, nbytes: float, nodes: int) -> float:
+        """Predicted cost of redistributing/gathering ``nbytes`` total
+        across ``nodes`` workers (each byte crosses a pipe once; one
+        message per worker)."""
+        if nodes <= 1:
+            return 0.0
+        return (nodes * self.est_ipc_call_flops
+                + nbytes * self.est_ipc_flops_per_byte)
 
     def est_stored_density(self, rows: int, cols: int, density: float) -> float:
         """Density at which this backend would *store* such a matrix.

@@ -41,7 +41,7 @@ import platform
 import statistics
 import time
 from copy import copy as _shallow_copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Mapping
 
@@ -89,6 +89,15 @@ CONVERT_PASSES_RANGE = (0.25, 256.0)
 #: SVD measures tens-to-thousands of m^3 passes once dispatch overhead
 #: is folded in at the widths batches actually use.
 COMPACTION_FACTOR_RANGE = (2.0, 20_000.0)
+
+#: Clamp range for the fitted per-IPC-round-trip cost (dense-FLOP
+#: equivalents): a spawn-pipe message costs ~10 microseconds of
+#: latency, i.e. 1e4-1e6 FLOPs on ordinary machines.
+IPC_CALL_FLOPS_RANGE = (1e3, 1e7)
+
+#: Clamp range for the fitted dense-FLOP-per-pipe-byte cost
+#: (~flop_rate / pipe bandwidth; pipes move GB/s, BLAS does GFLOP/s).
+IPC_FLOPS_PER_BYTE_RANGE = (0.05, 50.0)
 
 
 def cache_key() -> str:
@@ -166,6 +175,14 @@ class BackendCalibration:
     #: :func:`repro.cost.estimate.compaction_cost` and with it every
     #: plan's recommended batch width).
     compaction_factor: float | None = None
+    #: Measured cost of one coordinator->worker pipe round trip, in
+    #: dense-FLOP equivalents (replaces
+    #: :attr:`Backend.est_ipc_call_flops`; prices the sharded cells of
+    #: the planner grid via :meth:`Backend.est_broadcast`).
+    ipc_call_flops: float | None = None
+    #: Measured dense-FLOP equivalents per pipe byte (replaces
+    #: :attr:`Backend.est_ipc_flops_per_byte`).
+    ipc_flops_per_byte: float | None = None
     #: The raw measurements the fit came from (kept for reporting).
     samples: tuple[KernelSample, ...] = field(default=())
 
@@ -192,6 +209,10 @@ class BackendCalibration:
             )
         if self.compaction_factor is not None:
             be.est_compaction_factor = float(self.compaction_factor)
+        if self.ipc_call_flops is not None:
+            be.est_ipc_call_flops = float(self.ipc_call_flops)
+        if self.ipc_flops_per_byte is not None:
+            be.est_ipc_flops_per_byte = float(self.ipc_flops_per_byte)
         return be
 
     def as_dict(self) -> dict:
@@ -205,6 +226,8 @@ class BackendCalibration:
             "inplace_discount": self.inplace_discount,
             "convert_passes_per_entry": self.convert_passes_per_entry,
             "compaction_factor": self.compaction_factor,
+            "ipc_call_flops": self.ipc_call_flops,
+            "ipc_flops_per_byte": self.ipc_flops_per_byte,
             "samples": [
                 {"kernel": s.kernel, "seconds": s.seconds,
                  "model_flops": s.model_flops}
@@ -228,6 +251,8 @@ class BackendCalibration:
             inplace_discount=_opt("inplace_discount"),
             convert_passes_per_entry=_opt("convert_passes_per_entry"),
             compaction_factor=_opt("compaction_factor"),
+            ipc_call_flops=_opt("ipc_call_flops"),
+            ipc_flops_per_byte=_opt("ipc_flops_per_byte"),
             samples=tuple(
                 KernelSample(str(s["kernel"]), float(s["seconds"]),
                              float(s["model_flops"]))
@@ -589,6 +614,61 @@ def _fit_sparse(be: Backend, dense_fps: float, repeats: int, n: int,
     )
 
 
+def _ipc_echo_child(conn) -> None:
+    """Echo loop of the IPC microbenchmark (spawn target: must be a
+    module-level function so the child can import it)."""
+    try:
+        while True:
+            payload = conn.recv_bytes()
+            if len(payload) <= 1:
+                break
+            conn.send_bytes(payload)
+    except (EOFError, OSError):
+        pass
+    finally:
+        conn.close()
+
+
+def _fit_ipc(repeats: int) -> tuple[float, float]:
+    """Measured ``(seconds per one-way message, seconds per byte)`` over
+    a spawned-worker pipe — the transport the sharded engine uses.
+
+    Two payload sizes separate fixed latency from bandwidth: the small
+    round trip is nearly pure per-message cost, the large one adds
+    ``2 * nbytes`` of copying.
+    """
+    import multiprocessing as mp
+
+    ctx = mp.get_context("spawn")
+    parent, child = ctx.Pipe()
+    proc = ctx.Process(target=_ipc_echo_child, args=(child,), daemon=True)
+    proc.start()
+    child.close()
+    small = b"x" * 1024
+    big = b"x" * (1 << 20)
+
+    def roundtrip(payload: bytes) -> None:
+        parent.send_bytes(payload)
+        parent.recv_bytes()
+
+    try:
+        roundtrip(small)  # spawn warm-up: first message pays import cost
+        t_small = _best_seconds(lambda: roundtrip(small), repeats, inner=32)
+        t_big = _best_seconds(lambda: roundtrip(big), repeats, inner=4)
+        per_call = t_small / 2.0
+        per_byte = max(t_big - t_small, 1e-9) / (2.0 * (len(big) - len(small)))
+        return per_call, per_byte
+    finally:
+        try:
+            parent.send_bytes(b"q")
+        except (BrokenPipeError, OSError):
+            pass
+        parent.close()
+        proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover - hung child safety net
+            proc.terminate()
+
+
 def run_calibration(
     backends=None,
     repeats: int = 5,
@@ -598,7 +678,9 @@ def run_calibration(
 
     ``quick=True`` shrinks the microbenchmark sizes (CI smoke / tests);
     the fit is noisier but the machinery is identical.  Backends that
-    cannot be constructed (sparse without SciPy) are skipped.
+    cannot be constructed (sparse without SciPy) are skipped.  The IPC
+    microbenchmark (one spawned echo worker) runs once and its fit is
+    attached to every backend's calibration.
     """
     names = list(backends) if backends is not None else ["dense", "sparse"]
     big_n, tiny_n = (96, 8) if quick else (256, 8)
@@ -623,6 +705,31 @@ def run_calibration(
             fitted[name] = cal
             if name == "dense":
                 dense_fps = cal.flops_per_second
+
+    if fitted:
+        if dense_fps is None:
+            dense_fps = next(iter(fitted.values())).flops_per_second
+        try:
+            ipc_call_s, ipc_byte_s = _fit_ipc(repeats)
+        except (OSError, RuntimeError):  # pragma: no cover - no mp support
+            ipc_call_s = ipc_byte_s = None
+        if ipc_call_s is not None:
+            for name, cal in list(fitted.items()):
+                fps = cal.flops_per_second
+                fitted[name] = replace(
+                    cal,
+                    ipc_call_flops=_clamp(ipc_call_s * fps,
+                                          IPC_CALL_FLOPS_RANGE),
+                    ipc_flops_per_byte=_clamp(ipc_byte_s * fps,
+                                              IPC_FLOPS_PER_BYTE_RANGE),
+                    samples=cal.samples + (
+                        KernelSample("ipc roundtrip[1KB]", ipc_call_s * 2.0,
+                                     0.0),
+                        KernelSample("ipc roundtrip[1MB]",
+                                     ipc_call_s * 2.0 + ipc_byte_s * 2.0
+                                     * float(1 << 20), 0.0),
+                    ),
+                )
     return Calibration(key=cache_key(), backends=fitted)
 
 

@@ -194,6 +194,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "recommended width (QR+SVD-compacted batch "
                           "refreshes), 'off' applies per update, an "
                           "integer forces that width (default: auto)")
+    run.add_argument("--nodes", type=int, default=1, metavar="N",
+                     help="worker-process budget: N > 1 lets the planner "
+                          "price sharded execution over N shared-memory "
+                          "workers and picks it only when the comm-cost "
+                          "model says it pays (default 1: single-process)")
+    run.add_argument("--shard", choices=("range", "hash"), default="range",
+                     help="tile-to-worker assignment strategy for sharded "
+                          "runs (default range: contiguous block rows)")
     run.add_argument("--input", dest="target",
                      help="input the update stream hits (default: first)")
     run.add_argument("--seed", type=int, default=20140622,
@@ -457,6 +465,8 @@ def _run_run(args, program) -> int:
         counter=counter,
         replan={"check_every": args.replan} if args.replan > 0 else None,
         batch=batch,
+        nodes=args.nodes,
+        shard=args.shard,
     )
     setup_seconds = time.perf_counter() - start
     setup_flops = counter.total_flops
@@ -482,6 +492,20 @@ def _run_run(args, program) -> int:
     replans = list(getattr(session, "replans", ()))
     batch_stats = session.batch_stats
     batch_width = session.batch_size
+    # Sharded sessions carry a real multiprocess engine: harvest the
+    # measured comm traffic (schema: benchmarks/conftest.py) and shut
+    # the workers down before reporting.  A replan monitor wraps the
+    # session, so unwrap first.
+    inner = getattr(session, "session", session)
+    engine = getattr(inner, "engine", None)
+    comm = None
+    if engine is not None and hasattr(engine, "comm"):
+        comm = {
+            **engine.comm.as_dict(),
+            "worker_seconds": engine.worker_seconds(),
+            "partition": engine.part.describe(),
+        }
+        inner.close()
     if args.json:
         print(json.dumps({
             "plan": plan.as_dict(),
@@ -502,6 +526,7 @@ def _run_run(args, program) -> int:
                  "seconds_per_update": e.seconds_per_update}
                 for e in replans
             ],
+            **({"comm": comm} if comm is not None else {}),
         }, indent=2))
         return 0
 
@@ -530,6 +555,18 @@ def _run_run(args, program) -> int:
     print(f"FLOPs      : {total:,} total")
     for op, count in flops.items():
         print(f"  {op:<11} {count:,}")
+    if comm is not None:
+        part = comm["partition"]
+        print(f"comm       : {part['nodes']} workers, "
+              f"{part['strategy']} shards, "
+              f"{comm['total_bytes']:,} bytes / "
+              f"{comm['total_messages']:,} messages")
+        for kind in sorted(comm["bytes"]):
+            print(f"  {kind:<11} {comm['bytes'][kind]:,} bytes "
+                  f"({comm['messages'].get(kind, 0):,} msgs, "
+                  f"{comm['seconds'].get(kind, 0.0) * 1e3:.1f} ms)")
+        busy = ", ".join(f"{s * 1e3:.1f}" for s in comm["worker_seconds"])
+        print(f"  worker ms : [{busy}]")
     return 0
 
 

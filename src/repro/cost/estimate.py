@@ -378,12 +378,53 @@ def batch_unit_cost(
     return per_flush / batch
 
 
+#: Fraction of a sharded refresh that stays serial on the coordinator
+#: (factor assembly, the k x k cross terms, hstacks, result scatter).
+#: The Amdahl term that keeps predicted speedup sublinear in nodes.
+SHARDED_SERIAL_FRACTION = 0.1
+
+
+def sharded_refresh_cost(
+    be,
+    base_refresh: float,
+    n: int,
+    n_statements: int,
+    rank: int,
+    nodes: int,
+) -> float:
+    """Per-refresh cost (dense-FLOP equivalents) of the factored chain
+    refresh executed on ``nodes`` shared-memory workers.
+
+    The compute term is an Amdahl split of the single-process refresh
+    (``base_refresh``): the big per-tile dgemms divide across nodes,
+    the thin coordinator-side algebra does not.  The comm term prices
+    what the real engine actually ships per refresh — per statement,
+    two thin-factor broadcasts and two thin gathered partials; per
+    view, one stacked factor-pair broadcast whose width roughly doubles
+    along the chain — through the backend's fitted IPC hooks
+    (:meth:`est_broadcast` / :meth:`est_shuffle`).
+    """
+    if nodes <= 1:
+        return float(base_refresh)
+    compute = base_refresh * (
+        SHARDED_SERIAL_FRACTION + (1.0 - SHARDED_SERIAL_FRACTION) / nodes
+    )
+    factor_bytes = 8.0 * n * max(rank, 1)
+    broadcast_bytes = (4.0 * n_statements + 2.0) * factor_bytes
+    gather_bytes = 2.0 * n_statements * factor_bytes
+    comm = (be.est_broadcast(broadcast_bytes, nodes)
+            + be.est_shuffle(gather_bytes, nodes))
+    return float(compute + comm)
+
+
 __all__ = [
     "CostEstimate",
+    "SHARDED_SERIAL_FRACTION",
     "batch_unit_cost",
     "compaction_cost",
     "general_cost",
     "power_density",
     "powers_cost",
+    "sharded_refresh_cost",
     "sums_density",
 ]

@@ -1,9 +1,16 @@
-"""Simulated distributed backend (the paper's Spark substitute).
+"""Distributed backends: the BSP cost simulator and the real engine.
 
-Executes real block-matrix algebra in process while charging a BSP cost
-model (per-worker FLOPs, per-worker bytes, latency rounds) to a
-simulated cluster clock.  See DESIGN.md for why this preserves the
-paper's distributed findings.
+Two layers share the :class:`~repro.distributed.comm.CommLog` traffic
+ledger:
+
+* the **simulator** (:class:`DistributedEngine` over
+  :class:`BlockMatrix`) executes block algebra in process while
+  charging a BSP cost model — see DESIGN.md for why this preserves the
+  paper's distributed findings at any node count;
+* the **real engine** (:class:`ShardedEngine` over
+  :class:`ProcessCluster`) spawns persistent workers with views in
+  ``multiprocessing.shared_memory`` segments, so the same traffic
+  classes are measured in real bytes and real seconds.
 """
 
 from .blockmatrix import BlockMatrix
@@ -16,9 +23,20 @@ from .general import (
     make_distributed_general,
 )
 from .engine import DistributedEngine
-from .partitioner import GridPartitioner, hybrid_extra_bytes
+from .partitioner import GridPartitioner, RowShardPartitioner, hybrid_extra_bytes
 from .powers import DistributedIncrementalPowers, DistributedReevalPowers
+from .sharded import (
+    LocalShardEngine,
+    ShardedChainMaintainer,
+    ShardedEngine,
+    chain_steps,
+    power_chain,
+    sharded_reeval_refresh,
+    sharded_refresh,
+)
+from .shm import SharedArray
 from .sums import DistributedIncrementalPowerSums, DistributedReevalPowerSums
+from .workers import ProcessCluster, WorkerFailedError
 
 __all__ = [
     "BROADCAST",
@@ -37,8 +55,19 @@ __all__ = [
     "DistributedReevalPowers",
     "GATHER",
     "GridPartitioner",
+    "LocalShardEngine",
+    "ProcessCluster",
+    "RowShardPartitioner",
     "SHUFFLE",
+    "SharedArray",
+    "ShardedChainMaintainer",
+    "ShardedEngine",
     "StepCost",
+    "WorkerFailedError",
+    "chain_steps",
     "make_distributed_general",
     "hybrid_extra_bytes",
+    "power_chain",
+    "sharded_reeval_refresh",
+    "sharded_refresh",
 ]

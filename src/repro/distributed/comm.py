@@ -25,27 +25,35 @@ _KINDS = (SHUFFLE, BROADCAST, GATHER)
 
 @dataclass(frozen=True)
 class CommEvent:
-    """One communication action: ``bytes`` moved in ``messages`` sends."""
+    """One communication action: ``bytes`` moved in ``messages`` sends.
+
+    ``seconds`` is the measured wall time of the transfer — 0.0 for
+    simulated traffic, real pipe latency for the multiprocess engine.
+    """
 
     kind: str
     label: str
     nbytes: int
     messages: int
+    seconds: float = 0.0
 
 
 @dataclass
 class CommLog:
-    """Classified traffic tallies for one simulated execution."""
+    """Classified traffic tallies for one simulated or real execution."""
 
     events: list[CommEvent] = field(default_factory=list)
 
-    def record(self, kind: str, label: str, nbytes: int, messages: int = 1) -> None:
+    def record(self, kind: str, label: str, nbytes: int, messages: int = 1,
+               seconds: float = 0.0) -> None:
         """Append one traffic event (``kind`` must be a known class)."""
         if kind not in _KINDS:
             raise ValueError(f"unknown traffic kind {kind!r}; use one of {_KINDS}")
-        if nbytes < 0 or messages < 0:
+        if nbytes < 0 or messages < 0 or seconds < 0:
             raise ValueError("traffic cannot be negative")
-        self.events.append(CommEvent(kind, label, int(nbytes), int(messages)))
+        self.events.append(
+            CommEvent(kind, label, int(nbytes), int(messages), float(seconds))
+        )
 
     def bytes_by_kind(self) -> dict[str, int]:
         """Total bytes per traffic class (all classes always present)."""
@@ -60,6 +68,32 @@ class CommLog:
         for event in self.events:
             totals[event.label] = totals.get(event.label, 0) + event.nbytes
         return totals
+
+    def messages_by_kind(self) -> dict[str, int]:
+        """Total message count per traffic class."""
+        totals = {kind: 0 for kind in _KINDS}
+        for event in self.events:
+            totals[event.kind] += event.messages
+        return totals
+
+    def seconds_by_kind(self) -> dict[str, float]:
+        """Measured transfer wall time per traffic class."""
+        totals = {kind: 0.0 for kind in _KINDS}
+        for event in self.events:
+            totals[event.kind] += event.seconds
+        return totals
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (the ``comm`` block schema — see
+        ``benchmarks/conftest.py``)."""
+        return {
+            "bytes": self.bytes_by_kind(),
+            "messages": self.messages_by_kind(),
+            "seconds": self.seconds_by_kind(),
+            "bytes_by_label": self.bytes_by_label(),
+            "total_bytes": self.total_bytes,
+            "total_messages": self.total_messages,
+        }
 
     @property
     def shuffled_bytes(self) -> int:

@@ -163,14 +163,17 @@ class DistributedEngine:
                 )
                 a.tiles[(bi, bj)] = be.add_outer(tile, u_slice, v_slice)
         bytes_in = self.broadcast_cost(u, v)
+        # The factor pair is broadcast once per *node* (the cluster's
+        # worker count), not once per tile: a node owning several tiles
+        # still receives one copy.  `broadcast_cost` stays per-worker.
+        nodes = self.cluster.config.workers
         self.cluster.record_step(
             "lowrank_update", max(tile_flops), bytes_in, rounds=1,
             total_flops=sum(tile_flops),
-            total_bytes=bytes_in * part.grid * part.grid,
+            total_bytes=bytes_in * nodes,
         )
         self.cluster.comm.record(
-            BROADCAST, "lowrank_update", bytes_in * part.grid * part.grid,
-            messages=part.grid * part.grid,
+            BROADCAST, "lowrank_update", bytes_in * nodes, messages=nodes,
         )
 
     def mat_lowrank(self, a: BlockMatrix, u: np.ndarray) -> np.ndarray:
@@ -190,9 +193,10 @@ class DistributedEngine:
             strip = be.hstack([a.tiles[(bi, bj)] for bj in range(part.grid)])
             dense_rows.append(be.materialize(be.matmul(strip, u)))
         result = np.vstack(dense_rows)
-        # Cost model: the row strips are split across *all* g^2 workers
-        # ("we split the data horizontally among all available nodes").
-        workers = part.grid * part.grid
+        # Cost model: the row strips are split across all available
+        # nodes ("we split the data horizontally among all available
+        # nodes") — the cluster's worker count, not the tile count.
+        workers = self.cluster.config.workers
         strip_rows = -(-n_rows // workers)  # ceil
         per_worker_flops = 2 * strip_rows * n_cols * k
         bytes_in = u.nbytes + strip_rows * k * 8  # broadcast in + gather out
@@ -221,7 +225,7 @@ class DistributedEngine:
             strip = be.vstack([a.tiles[(bi, bj)] for bi in range(part.grid)])
             dense_cols.append(be.materialize(be.matmul(be.transpose(strip), v)))
         result = np.vstack(dense_cols)
-        workers = part.grid * part.grid
+        workers = self.cluster.config.workers
         strip_cols = -(-n_cols // workers)  # ceil
         per_worker_flops = 2 * strip_cols * n_rows * k
         bytes_in = v.nbytes + strip_cols * k * 8

@@ -1,0 +1,448 @@
+"""Persistent multiprocessing workers over shared-memory shards.
+
+The real (non-simulated) distributed engine: a coordinator spawns one
+persistent process per node, ships each maintained view into a
+shared-memory segment (:mod:`repro.distributed.shm`), and drives the
+workers over per-worker duplex pipes.  Only thin rank-k factors and
+thin gathered partials cross the pipes — the ``O(n^2)`` view blocks
+never move, which is exactly LINVIEW's Figure 3(g) argument, now
+measured in real bytes and real seconds through the same
+:class:`~repro.distributed.comm.CommLog` the simulator uses.
+
+Start method: ``spawn`` is the default (and the only safe choice once
+BLAS threads exist in the parent — ``fork`` duplicates OpenBLAS's
+thread pool state and can deadlock).  Workers are spawned with BLAS
+pinned to one thread: the shards already divide the matrix, so nested
+BLAS threading would only oversubscribe cores.
+
+Bit-identity: the per-tile kernels below are the *single* source of
+truth — the in-process reference engine and the worker loop call the
+same functions over the same fixed tile decomposition
+(:class:`~repro.distributed.partitioner.RowShardPartitioner`), so
+sharded results are bitwise equal to single-process results, not just
+``allclose``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import time
+import traceback
+import weakref
+
+import numpy as np
+
+from ..runtime.workspace import Workspace
+from .comm import BROADCAST, GATHER, CommLog
+from .partitioner import RowShardPartitioner
+from .shm import SharedArray
+
+#: Seconds the coordinator waits on a worker reply before declaring it
+#: hung (a dead worker is detected much faster via ``is_alive``).
+DEFAULT_TIMEOUT = 120.0
+
+#: Environment knobs pinned to one BLAS thread in spawned workers.
+_BLAS_VARS = ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS",
+              "MKL_NUM_THREADS", "NUMEXPR_NUM_THREADS")
+
+
+class WorkerFailedError(RuntimeError):
+    """A worker died, hung, or raised; the cluster is poisoned.
+
+    Carries the worker index and, when the worker managed to report it,
+    the remote traceback — so the coordinator-side exception reads like
+    the worker's own crash instead of an opaque pipe error.
+    """
+
+    def __init__(self, worker: int, reason: str,
+                 worker_traceback: str | None = None):
+        message = f"worker {worker} failed: {reason}"
+        if worker_traceback:
+            message += "\n--- worker traceback ---\n" + worker_traceback
+        super().__init__(message)
+        self.worker = worker
+        self.reason = reason
+        self.traceback = worker_traceback
+
+
+# -- per-tile kernels (shared by worker processes and the in-process
+# -- reference engine; identical calls => bitwise identical views) ------
+
+def tile_add_lowrank(view: np.ndarray, r0: int, r1: int, u: np.ndarray,
+                     vt: np.ndarray, workspace: Workspace) -> None:
+    """``view[r0:r1] += u[r0:r1] @ vt`` staged through a leased buffer."""
+    prod = workspace.lease(r1 - r0, vt.shape[1])
+    np.matmul(u[r0:r1], vt, out=prod)
+    view[r0:r1] += prod
+
+
+def tile_mat_lowrank(view: np.ndarray, r0: int, r1: int, u: np.ndarray,
+                     out: np.ndarray) -> None:
+    """``out[:] = view[r0:r1] @ u`` (thin ``(r1-r0, k)`` partial)."""
+    np.matmul(view[r0:r1], u, out=out)
+
+
+def tile_matT_lowrank(view: np.ndarray, c0: int, c1: int, v: np.ndarray,
+                      out: np.ndarray) -> None:
+    """``out[:] = view[:, c0:c1].T @ v`` (thin ``(c1-c0, k)`` partial)."""
+    np.matmul(view[:, c0:c1].T, v, out=out)
+
+
+def tile_matmul(out: np.ndarray, a: np.ndarray, b: np.ndarray,
+                r0: int, r1: int) -> None:
+    """``out[r0:r1] = a[r0:r1] @ b`` — the REEVAL shard product."""
+    np.matmul(a[r0:r1], b, out=out[r0:r1])
+
+
+# -- worker process ------------------------------------------------------
+
+def _execute(op: tuple, views: dict, segments: dict,
+             tile_bounds: tuple, owned: tuple, ws: Workspace):
+    """Run one coordinator op against this worker's shard."""
+    kind = op[0]
+    if kind == "ping":
+        return None
+    if kind == "attach":
+        _, name, shm_name, shape = op
+        seg = SharedArray.attach(shm_name, shape)
+        segments[name] = seg
+        views[name] = seg.array
+        return None
+    if kind == "detach":
+        _, name = op
+        views.pop(name, None)
+        seg = segments.pop(name, None)
+        if seg is not None:
+            seg.close()
+        return None
+    if kind == "add_lowrank":
+        _, name, u, v = op
+        view = views[name]
+        vt = v.T
+        with ws.frame():
+            for t in owned:
+                r0, r1 = tile_bounds[t]
+                tile_add_lowrank(view, r0, r1, u, vt, ws)
+        return None
+    if kind == "mat_lowrank":
+        _, name, u = op
+        view = views[name]
+        k = u.shape[1]
+        partials = {}
+        with ws.frame():
+            for t in owned:
+                r0, r1 = tile_bounds[t]
+                buf = ws.lease(r1 - r0, k)
+                tile_mat_lowrank(view, r0, r1, u, buf)
+                partials[t] = buf
+            # Pickled into the reply before the next op reuses the
+            # leased buffers, so returning them out of the frame is
+            # safe.
+            return partials
+    if kind == "matT_lowrank":
+        _, name, v = op
+        view = views[name]
+        k = v.shape[1]
+        partials = {}
+        with ws.frame():
+            for t in owned:
+                c0, c1 = tile_bounds[t]
+                buf = ws.lease(c1 - c0, k)
+                tile_matT_lowrank(view, c0, c1, v, buf)
+                partials[t] = buf
+            return partials
+    if kind == "matmul":
+        _, out_name, a_name, b_name = op
+        out, a, b = views[out_name], views[a_name], views[b_name]
+        for t in owned:
+            r0, r1 = tile_bounds[t]
+            tile_matmul(out, a, b, r0, r1)
+        return None
+    raise ValueError(f"unknown worker op {kind!r}")
+
+
+def _worker_main(conn, worker_id: int, tile_bounds: tuple,
+                 owned: tuple) -> None:
+    """Worker loop: recv op, execute on the shard, reply (ok|err)."""
+    ws = Workspace()
+    segments: dict[str, SharedArray] = {}
+    views: dict[str, np.ndarray] = {}
+    try:
+        while True:
+            try:
+                payload = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            op = pickle.loads(payload)
+            kind = op[0]
+            if kind == "exit":
+                try:
+                    conn.send_bytes(pickle.dumps(("ok", 0.0, None)))
+                except (BrokenPipeError, OSError):
+                    pass
+                break
+            if kind == "die":
+                # Test hook: crash without cleanup, as a real fault would.
+                os._exit(17)
+            try:
+                started = time.perf_counter()
+                data = _execute(op, views, segments, tile_bounds, owned, ws)
+                reply = ("ok", time.perf_counter() - started, data)
+            except Exception:
+                reply = ("err", traceback.format_exc())
+            try:
+                conn.send_bytes(
+                    pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        # Attach side of the shm protocol: close mappings, never unlink.
+        for seg in segments.values():
+            seg.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# -- coordinator ---------------------------------------------------------
+
+def _cleanup(procs, conns, segments, views=None) -> None:
+    """Best-effort teardown shared by close(), failure, and GC.
+
+    The coordinator's view dict is cleared *before* the segments close
+    so the unmap-safety refcount check in :meth:`SharedArray.close`
+    sees only references the caller still holds.
+    """
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in procs:
+        proc.join(timeout=1.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:
+            pass
+    if views is not None:
+        views.clear()
+    for seg in list(segments.values()):
+        seg.close()
+        seg.unlink()
+    segments.clear()
+
+
+class ProcessCluster:
+    """Coordinator over ``nodes`` persistent spawned workers.
+
+    Owns the shared-memory segments (creator side of the shm protocol)
+    and the per-worker pipes.  All traffic is recorded into ``comm``
+    with real byte counts (pickled payload sizes) and real wall time.
+
+    A worker failure — crash, raised exception, hang past ``timeout``
+    or a dropped pipe — raises :class:`WorkerFailedError`, terminates
+    the remaining workers, releases every segment, and poisons the
+    cluster: every later call re-raises instead of hanging.
+    """
+
+    def __init__(self, partitioner: RowShardPartitioner,
+                 start_method: str = "spawn", comm: CommLog | None = None,
+                 timeout: float = DEFAULT_TIMEOUT):
+        self.partitioner = partitioner
+        self.nodes = partitioner.nodes
+        self.comm = comm if comm is not None else CommLog()
+        self.timeout = timeout
+        self.failure: WorkerFailedError | None = None
+        self.worker_seconds = [0.0] * self.nodes
+        self._segments: dict[str, SharedArray] = {}
+        self._views: dict[str, np.ndarray] = {}
+        self._procs: list = []
+        self._conns: list = []
+        self._closed = False
+        ctx = mp.get_context(start_method)
+        saved = {var: os.environ.get(var) for var in _BLAS_VARS}
+        for var in _BLAS_VARS:
+            os.environ[var] = "1"
+        try:
+            for worker in range(self.nodes):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, worker, tuple(partitioner.tile_bounds),
+                          tuple(partitioner.shards[worker])),
+                    daemon=True, name=f"repro-shard-{worker}",
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        finally:
+            for var, value in saved.items():
+                if value is None:
+                    os.environ.pop(var, None)
+                else:
+                    os.environ[var] = value
+        self._finalizer = weakref.finalize(
+            self, _cleanup, self._procs, self._conns, self._segments,
+            self._views,
+        )
+
+    # -- failure handling ------------------------------------------------
+    def _fail(self, worker: int, reason: str, tb: str | None = None):
+        error = WorkerFailedError(worker, reason, tb)
+        self.failure = error
+        self._finalizer()
+        raise error
+
+    def _check_open(self) -> None:
+        if self.failure is not None:
+            raise WorkerFailedError(
+                self.failure.worker,
+                "cluster poisoned by an earlier worker failure",
+                self.failure.traceback,
+            )
+        if self._closed:
+            raise RuntimeError("cluster is closed")
+
+    def _recv(self, worker: int) -> bytes:
+        conn, proc = self._conns[worker], self._procs[worker]
+        deadline = time.perf_counter() + self.timeout
+        while True:
+            if conn.poll(0.05):
+                try:
+                    return conn.recv_bytes()
+                except (EOFError, OSError):
+                    self._fail(worker, "pipe closed mid-reply")
+            if not proc.is_alive():
+                self._fail(
+                    worker,
+                    f"worker process died (exit code {proc.exitcode})",
+                )
+            if time.perf_counter() > deadline:
+                self._fail(worker, f"no reply within {self.timeout}s (hung?)")
+
+    def roundtrip(self, op: tuple, kind: str, label: str) -> dict:
+        """Broadcast one op to every worker and gather the replies.
+
+        Records two comm events: the fan-out (``kind``) with the real
+        pickled payload bytes per worker, and the fan-in (``gather``)
+        with the real reply bytes — both with measured wall time.
+        """
+        self._check_open()
+        payload = pickle.dumps(op, protocol=pickle.HIGHEST_PROTOCOL)
+        started = time.perf_counter()
+        for worker in range(self.nodes):
+            try:
+                self._conns[worker].send_bytes(payload)
+            except (BrokenPipeError, OSError):
+                self._fail(worker, "pipe closed while sending (worker dead?)")
+        send_seconds = time.perf_counter() - started
+        self.comm.record(kind, label, len(payload) * self.nodes,
+                         messages=self.nodes, seconds=send_seconds)
+        replies = {}
+        reply_bytes = 0
+        started = time.perf_counter()
+        for worker in range(self.nodes):
+            raw = self._recv(worker)
+            reply = pickle.loads(raw)
+            if reply[0] == "err":
+                self._fail(worker, f"raised during {label!r}", reply[1])
+            _, seconds, data = reply
+            self.worker_seconds[worker] += seconds
+            reply_bytes += len(raw)
+            replies[worker] = data
+        gather_seconds = time.perf_counter() - started
+        self.comm.record(GATHER, label, reply_bytes,
+                         messages=self.nodes, seconds=gather_seconds)
+        return replies
+
+    # -- shared-memory views ---------------------------------------------
+    def put(self, name: str, value: np.ndarray) -> np.ndarray:
+        """Store ``value`` under ``name`` in shared memory; all workers
+        attach.  Overwrites in place if the name already exists."""
+        self._check_open()
+        arr = np.ascontiguousarray(value, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValueError(f"expected a matrix, got shape {arr.shape}")
+        if name in self._segments:
+            existing = self._views[name]
+            if existing.shape != arr.shape:
+                raise ValueError(
+                    f"view {name!r} exists with shape {existing.shape}, "
+                    f"cannot overwrite with {arr.shape}"
+                )
+            existing[...] = arr
+            return existing
+        seg = SharedArray.create(arr.shape)
+        seg.array[...] = arr
+        self._segments[name] = seg
+        self._views[name] = seg.array
+        self.roundtrip(("attach", name, seg.name, arr.shape),
+                       BROADCAST, "attach")
+        return seg.array
+
+    def alloc(self, name: str, shape: tuple[int, int]) -> np.ndarray:
+        """Allocate a zero-filled shared view (for matmul targets)."""
+        return self.put(name, np.zeros(shape))
+
+    def get(self, name: str) -> np.ndarray:
+        """The coordinator's zero-copy view of a stored matrix."""
+        self._check_open()
+        return self._views[name]
+
+    def names(self):
+        return tuple(self._views)
+
+    def free(self, name: str) -> None:
+        """Release one view: workers detach, the segment is unlinked."""
+        seg = self._segments.pop(name, None)
+        if seg is None:
+            return
+        self._views.pop(name, None)
+        if self.failure is None and not self._closed:
+            self.roundtrip(("detach", name), BROADCAST, "detach")
+        seg.close()
+        seg.unlink()
+
+    # -- lifecycle -------------------------------------------------------
+    def ping(self) -> None:
+        """Round-trip a no-op to every worker (liveness check)."""
+        self.roundtrip(("ping",), BROADCAST, "ping")
+
+    def kill_worker(self, worker: int) -> None:
+        """Test hook: make ``worker`` die abruptly (``os._exit``)."""
+        try:
+            self._conns[worker].send_bytes(pickle.dumps(("die",)))
+        except (BrokenPipeError, OSError):
+            pass
+        self._procs[worker].join(timeout=5.0)
+
+    def close(self) -> None:
+        """Stop the workers and release every shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.failure is None:
+            payload = pickle.dumps(("exit",))
+            for worker in range(self.nodes):
+                try:
+                    self._conns[worker].send_bytes(payload)
+                except (BrokenPipeError, OSError):
+                    pass
+            for proc in self._procs:
+                proc.join(timeout=2.0)
+        self._finalizer()
+
+
+__all__ = [
+    "DEFAULT_TIMEOUT",
+    "ProcessCluster",
+    "WorkerFailedError",
+    "tile_add_lowrank",
+    "tile_matT_lowrank",
+    "tile_mat_lowrank",
+    "tile_matmul",
+]

@@ -53,12 +53,19 @@ class MaintenancePlan:
     #: compacted refresh.  ``None`` when batching was not planned (or
     #: does not pay); 1 means "apply per update".
     batch_size: int | None = None
+    #: Worker-process count: 1 runs single-process; N > 1 shards block
+    #: rows over N shared-memory workers
+    #: (:class:`~repro.distributed.sharded.ShardedEngine`), priced with
+    #: the comm-cost term (:func:`repro.cost.estimate.sharded_refresh_cost`).
+    nodes: int = 1
 
     def __post_init__(self):
         if self.strategy not in (REEVAL, INCR, HYBRID):
             raise ValueError(f"unknown strategy {self.strategy!r}")
         if self.mode not in ("interpret", "codegen"):
             raise ValueError(f"unknown mode {self.mode!r}")
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
 
     @property
     def label(self) -> str:
@@ -66,7 +73,10 @@ class MaintenancePlan:
         model = {"linear": "LIN", "exponential": "EXP"}.get(self.model)
         if model is None:
             model = f"SKIP-{self.s}"
-        return f"{self.strategy}-{model}@{self.backend}/{self.mode}"
+        label = f"{self.strategy}-{model}@{self.backend}/{self.mode}"
+        if self.nodes > 1:
+            label += f"/x{self.nodes}"
+        return label
 
     def iterative_model(self) -> Model:
         """The plan's model as an :class:`~repro.iterative.models.Model`."""
@@ -85,6 +95,7 @@ class MaintenancePlan:
         backend: str | None = None,
         mode: str | None = None,
         strategy: str | None = None,
+        nodes: int | None = None,
     ) -> "MaintenancePlan":
         """A copy with user-forced axes replacing the planned ones."""
         changes = {}
@@ -94,6 +105,8 @@ class MaintenancePlan:
             changes["mode"] = mode
         if strategy is not None:
             changes["strategy"] = strategy
+        if nodes is not None:
+            changes["nodes"] = nodes
         return replace(self, **changes) if changes else self
 
     def as_dict(self) -> dict:
@@ -108,6 +121,7 @@ class MaintenancePlan:
             "predicted_time": self.predicted_time,
             "predicted_space": self.predicted_space,
             "batch_size": self.batch_size,
+            "nodes": self.nodes,
         }
 
 

@@ -24,7 +24,7 @@ from ..backends import available_backends
 from ..calibrate import calibrated
 from ..compiler.program import Program
 from ..cost.advisor import recommend_general, recommend_powers
-from ..cost.estimate import batch_unit_cost
+from ..cost.estimate import batch_unit_cost, sharded_refresh_cost
 from ..runtime.executor import resolve_dim
 from .plan import (
     INCR,
@@ -167,10 +167,18 @@ def rank_program(
     calibration="auto",
     amortize_setup: bool = True,
     price_batching: bool = False,
+    nodes=(1,),
 ) -> list[MaintenancePlan]:
     """Every admissible session plan, cheapest first.
 
-    The grid is (strategy in {INCR, REEVAL}) x backend; ``inputs``
+    The grid is (strategy in {INCR, REEVAL}) x backend x node-count;
+    ``nodes`` lists the worker counts to price (``(1,)`` keeps the
+    single-process grid).  Sharded cells (``N > 1``) exist only for
+    dense INCR over chain-shaped programs — the form the shared-memory
+    engine executes — and are priced with the Amdahl + IPC comm term
+    (:func:`repro.cost.estimate.sharded_refresh_cost`), so tiny views
+    lose to single-process on the IPC tax while large dense chains win.
+    ``inputs``
     (initial values) supply the dimension bindings and measured
     densities; ``stats`` supplies the update rank and expected refresh
     count.  ``calibration`` feeds machine-measured cost constants into
@@ -215,6 +223,15 @@ def rank_program(
     batch_hint = stats.batch_hint if stats is not None else None
     distinct = stats.distinct_fraction if stats is not None else None
 
+    node_counts = sorted({max(int(count), 1) for count in nodes}) or [1]
+    shardable = None
+    if any(count > 1 for count in node_counts):
+        from ..distributed.sharded import chain_steps
+
+        shardable = chain_steps(program)
+    target = update_input or program.input_names[0]
+    target_n = resolve_dim(program.input(target).shape.rows, resolved_dims)
+
     candidates = []
     for backend_name in backends:
         try:
@@ -243,11 +260,31 @@ def rank_program(
                 strategy, "linear", None, be.name, mode,
                 predicted, cost.space, batch_size=batch,
             ))
+            for count in node_counts:
+                # Sharded cells: dense INCR over chain programs only
+                # (what the shared-memory engine can execute), priced
+                # on the *unbatched* interpret path the engine runs.
+                if (count <= 1 or strategy != INCR
+                        or be.name != "dense" or shardable is None):
+                    continue
+                sharded = sharded_refresh_cost(
+                    be, cost.refresh, target_n, len(program.statements),
+                    rank, count,
+                )
+                predicted_sharded = (
+                    (cost.setup + refreshes * sharded) / max(refreshes, 1)
+                    if amortize_setup else sharded
+                )
+                candidates.append(MaintenancePlan(
+                    strategy, "linear", None, be.name, "interpret",
+                    predicted_sharded, cost.space, batch_size=batch,
+                    nodes=count,
+                ))
     if not candidates:
         raise RuntimeError("no execution backend available to plan over")
     return sorted(candidates,
                   key=lambda c: (c.predicted_time, c.predicted_space,
-                                 c.backend != "dense"))
+                                 c.backend != "dense", c.nodes))
 
 
 def plan_program(
@@ -259,6 +296,7 @@ def plan_program(
     backends=None,
     strategies=(REEVAL, INCR),
     calibration="auto",
+    nodes=(1,),
 ) -> MaintenancePlan:
     """Cheapest plan for maintaining a compiled program in a session.
 
@@ -274,6 +312,7 @@ def plan_program(
     return rank_program(
         program, inputs, stats=stats, dims=dims, update_input=update_input,
         backends=backends, strategies=strategies, calibration=calibration,
+        nodes=nodes,
     )[0]
 
 

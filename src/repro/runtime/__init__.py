@@ -21,7 +21,13 @@ from .serving import (
     WriterFailedError,
     run_load,
 )
-from .session import IVMSession, ReevalSession, Session, open_session
+from .session import (
+    IVMSession,
+    ReevalSession,
+    Session,
+    ShardedChainSession,
+    open_session,
+)
 from .updates import (
     FactoredUpdate,
     batch_row_update,
@@ -51,6 +57,7 @@ __all__ = [
     "SessionBatcher",
     "SessionDriftMonitor",
     "SessionEngine",
+    "ShardedChainSession",
     "Snapshot",
     "ViewServer",
     "ViewStore",

@@ -341,7 +341,7 @@ class ReplanMonitor(SessionDriftMonitor):
                        self.check_every)
         return max(self.refreshes, self.check_every)
 
-    def _switch_cost(self, to_backend: str) -> float:
+    def _switch_cost(self, to_backend: str, to_nodes: int = 1) -> float:
         """Predicted ops to convert the session's state to ``to_backend``.
 
         Conversion touches what is stored now plus what the target
@@ -353,15 +353,27 @@ class ReplanMonitor(SessionDriftMonitor):
         pre-calibration fixed constant).  A same-backend switch
         (strategy only) shares the arrays outright — its cost is just
         trigger (re)compilation, charged as a few kernel calls.
+
+        A node-count change adds one full pass over every maintained
+        view: sharded state lives in shared-memory segments and must be
+        copied out (or back in) when the worker fleet changes size —
+        the flush-before-switch contract's data movement, priced so the
+        IPC-tax fallback only fires when the stream will repay it.
         """
         from ..calibrate import calibrated
 
         old = calibrated(self.session.backend, self.calibration)
         new = calibrated(to_backend, self.calibration)
-        if new.name == old.name:
-            return 8.0 * new.est_call_overhead_flops
         views = self.session.views
-        cost = 0.0
+        reshard = 0.0
+        if to_nodes != getattr(self.session, "nodes", 1):
+            for name in views.names():
+                arr = views.get(name)
+                rows, cols = old.shape(arr)
+                reshard += old.est_entries((rows, cols), old.density(arr))
+        if new.name == old.name:
+            return 8.0 * new.est_call_overhead_flops + reshard
+        cost = reshard
         for name in views.names():
             arr = views.get(name)
             rows, cols = old.shape(arr)
@@ -401,10 +413,16 @@ class ReplanMonitor(SessionDriftMonitor):
         # acting on it flips sessions into configurations that lose on
         # the wall clock.  The conservative form under-sells batching
         # equally across cells, which keeps the *comparison* honest.
+        # Sharded sessions keep their node count on the grid so the
+        # single-process fallback competes head-to-head (the monitor
+        # can shrink the fleet, never grow it: switching *into* sharded
+        # needs a fresh open_session).
+        cur_nodes = getattr(session, "nodes", 1)
+        node_grid = (1, cur_nodes) if cur_nodes > 1 else (1,)
         ranked = rank_program(
             program, inputs, stats=stats, dims=session.views.dims,
             update_input=self._update_target, calibration=self.calibration,
-            amortize_setup=False,
+            amortize_setup=False, nodes=node_grid,
         )
         seconds = self._window_seconds / max(self._window_updates, 1)
         self._window_seconds = 0.0
@@ -413,17 +431,18 @@ class ReplanMonitor(SessionDriftMonitor):
         current = next(
             (c for c in ranked
              if c.strategy == session.strategy
-             and c.backend == session.backend.name),
+             and c.backend == session.backend.name
+             and c.nodes == cur_nodes),
             None,
         )
         self._retune_batch(current)
         best = ranked[0]
-        if current is None or (best.strategy, best.backend) == (
-                current.strategy, current.backend):
+        if current is None or (best.strategy, best.backend, best.nodes) == (
+                current.strategy, current.backend, cur_nodes):
             return None
 
         saving = (current.predicted_time - best.predicted_time) * remaining
-        cost = self._switch_cost(best.backend)
+        cost = self._switch_cost(best.backend, to_nodes=best.nodes)
         switched = saving > self.switch_margin * cost
         event = ReplanEvent(self.refreshes, current.label, best.label,
                             saving, cost, seconds, switched)

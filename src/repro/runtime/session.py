@@ -273,6 +273,11 @@ class Session:
         user-forced width is kept verbatim.
         """
         self.flush()
+        if getattr(plan, "nodes", 1) > 1:
+            raise ValueError(
+                "cannot switch into a sharded (nodes > 1) plan mid-stream; "
+                "open a new session with open_session(..., nodes=N)"
+            )
         backend = get_backend(plan.backend)
         if plan.strategy == "REEVAL":
             session: Session = ReevalSession(
@@ -519,6 +524,162 @@ class ReevalSession(Session):
         self._materialize_all()
 
 
+class ShardedChainSession(Session):
+    """INCR maintenance on a multiprocess shared-memory shard engine.
+
+    Views live in ``multiprocessing.shared_memory`` segments shared with
+    ``nodes`` persistent workers
+    (:class:`~repro.distributed.sharded.ShardedEngine`); each factored
+    update runs the chain recurrence with the big per-tile dgemms fanned
+    out across workers and only thin rank-k factors crossing pipes.
+    Requires the dense backend and a chain-shaped program (every
+    statement a product of two existing views of one square input —
+    :func:`~repro.distributed.sharded.chain_steps`).
+
+    ``session.views`` aliases the shared segments, so reads are
+    zero-copy *live* state — copy what must survive further updates.
+    Measured traffic accumulates in ``session.engine.comm``.
+
+    :meth:`with_plan` honors the flush-before-switch contract for node
+    count changes: pending deltas drain, view state is copied out of
+    shared memory, the workers stop, and only then does the ordinary
+    single-process switch run.
+    """
+
+    strategy = "INCR"
+    mode = "interpret"
+
+    def __init__(
+        self,
+        program: Program,
+        inputs: Mapping[str, np.ndarray],
+        dims: Mapping[str, int] | None = None,
+        counter: counters.Counter = counters.NULL_COUNTER,
+        backend=None,
+        nodes: int = 2,
+        shard: str = "range",
+        tile_rows: int | None = None,
+        start_method: str = "spawn",
+        timeout: float | None = None,
+    ):
+        from ..distributed.partitioner import RowShardPartitioner
+        from ..distributed.sharded import ShardedEngine, chain_steps
+        from ..distributed.workers import DEFAULT_TIMEOUT
+
+        resolved_backend = get_backend(backend)
+        if resolved_backend.name != "dense":
+            raise ValueError(
+                f"sharded sessions require the dense backend, "
+                f"got {resolved_backend.name!r}"
+            )
+        if nodes < 2:
+            raise ValueError(f"nodes must be >= 2 for a sharded session, "
+                             f"got {nodes}")
+        parsed = chain_steps(program)
+        if parsed is None:
+            raise ValueError(
+                "nodes > 1 requires a chain-shaped program: one input, "
+                "every statement a product of two existing views"
+            )
+        self._input_name, self._steps = parsed
+        super().__init__(program, inputs, dims, counter, resolved_backend)
+        seed = self.views.get_dense(self._input_name)
+        if seed.ndim != 2 or seed.shape[0] != seed.shape[1]:
+            raise ValueError(
+                f"sharded maintenance needs a square input, "
+                f"got shape {seed.shape}"
+            )
+        partitioner = RowShardPartitioner(seed.shape[0], nodes,
+                                          strategy=shard, tile_rows=tile_rows)
+        self.nodes = nodes
+        self.shard = shard
+        self.engine = ShardedEngine(
+            partitioner, start_method=start_method,
+            timeout=DEFAULT_TIMEOUT if timeout is None else timeout,
+        )
+        self._sharded = False
+        self._shard_views()
+
+    def _shard_names(self) -> list[str]:
+        return [self._input_name] + [target for target, _, _ in self._steps]
+
+    def _shard_views(self) -> None:
+        """Copy every maintained view into shared memory and re-point
+        the store at the segment-backed arrays (zero-copy reads)."""
+        for name in self._shard_names():
+            shared = self.engine.put(name, self.views.get_dense(name))
+            self.views._arrays[name] = shared
+        self._sharded = True
+
+    def _unshard(self) -> None:
+        """Copy state out of shared memory and stop the workers."""
+        if not self._sharded:
+            return
+        for name in self._shard_names():
+            self.views._arrays[name] = np.array(self.views._arrays[name])
+        self._sharded = False
+        self.engine.close()
+
+    def _apply_now(self, update: FactoredUpdate) -> None:
+        from ..distributed.sharded import sharded_refresh
+
+        if update.target != self._input_name:
+            raise KeyError(
+                f"sharded sessions maintain updates to "
+                f"{self._input_name!r}, got {update.target!r}"
+            )
+        flops = outer_update_flops(
+            self.backend, self.views.get(self._input_name),
+            update.u_block, update.v_block,
+        )
+        self.counter.record("sharded_refresh",
+                            flops * len(self._shard_names()))
+        sharded_refresh(self.engine, self._input_name, self._steps,
+                        update.u_block, update.v_block)
+
+    def rebuild(self) -> None:
+        """Re-evaluate from current inputs, then refill the segments.
+
+        ``_materialize_all`` replaces the store's arrays with freshly
+        evaluated private ones; the shared segments must be re-seeded
+        and re-pointed so workers keep seeing the maintained state.
+        """
+        self.flush()
+        if not self._sharded:
+            super().rebuild()
+            return
+        self._materialize_all()
+        for target, _, _ in self._steps:
+            fresh = self.views.get_dense(target)
+            shared = self.engine.get(target)
+            if fresh is not shared:
+                shared[...] = fresh
+                self.views._arrays[target] = shared
+
+    def with_plan(self, plan, rank: int = 1, optimize: bool = False) -> "Session":
+        """Fall back to a single-process configuration.
+
+        Flush-before-switch for node-count changes: pending deltas
+        drain into shared memory, the views are copied out, the cluster
+        shuts down, then the ordinary switch builds the new session
+        from the private state.
+        """
+        self.flush()
+        self._unshard()
+        return super().with_plan(plan, rank=rank, optimize=optimize)
+
+    def close(self) -> None:
+        """Copy view state out of shared memory and stop the workers."""
+        self._unshard()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
 def open_session(
     program: Program,
     inputs: Mapping[str, np.ndarray],
@@ -535,6 +696,8 @@ def open_session(
     batch="auto",
     max_staleness: int | None = None,
     serve=None,
+    nodes=1,
+    shard: str = "range",
 ):
     """Open a maintenance session, planning the configuration if asked.
 
@@ -595,6 +758,22 @@ def open_session(
         epoch.  Note the server's ``max_staleness`` (its own key in the
         dict) is the *publication* bound, distinct from this
         function's batching ``max_staleness`` parameter.
+    nodes:
+        Worker-process budget for the planner's node-count axis.  An
+        int ``N > 1`` prices the grid over ``(1, N)`` — the planner
+        picks sharded execution only when the comm-cost model says it
+        pays, so a tiny view still opens single-process; a tuple/list
+        prices exactly those counts (``(4,)`` forces the 4-worker
+        cell).  When the resolved plan has ``plan.nodes > 1`` the
+        session is a :class:`ShardedChainSession` over a spawned
+        :class:`~repro.distributed.workers.ProcessCluster` — call
+        ``session.close()`` (or use it as a context manager) to copy
+        state out of shared memory and stop the workers.
+    shard:
+        Shard strategy for sharded sessions: ``"range"`` (contiguous
+        tile runs) or ``"hash"`` (round-robin tiles).  Maintenance
+        results are bitwise identical either way; the axis exists for
+        the skew/locality ablation.
 
     Returns the session (or its monitor, or its view server), with the
     resolved :class:`~repro.planner.plan.MaintenancePlan` attached as
@@ -609,13 +788,19 @@ def open_session(
         stats_kwargs["refresh_count"] = refresh_count
     stats = WorkloadStats(n=1, **stats_kwargs)
 
+    if isinstance(nodes, (tuple, list)):
+        node_grid = tuple(int(count) for count in nodes) or (1,)
+    else:
+        node_grid = (1, int(nodes)) if int(nodes) > 1 else (1,)
+
     if isinstance(plan, MaintenancePlan):
         resolved = plan
     elif plan in ("auto", None):
-        resolved = plan_program(program, inputs, stats=stats, dims=dims)
+        resolved = plan_program(program, inputs, stats=stats, dims=dims,
+                                nodes=node_grid)
     elif isinstance(plan, str) and plan.upper() in ("INCR", "REEVAL"):
         resolved = plan_program(program, inputs, stats=stats, dims=dims,
-                                strategies=(plan.upper(),))
+                                strategies=(plan.upper(),), nodes=node_grid)
     else:
         raise ValueError(
             f"plan must be 'auto', 'incr', 'reeval' or a MaintenancePlan, "
@@ -629,10 +814,17 @@ def open_session(
             "(HYBRID exists only for the iterative maintainers)"
         )
 
-    if resolved.strategy == "REEVAL":
+    if resolved.nodes > 1:
+        # Sharded execution runs the interpret-style tile kernels.
+        resolved = resolved.with_overrides(mode="interpret")
+        session: Session = ShardedChainSession(
+            program, inputs, dims, counter=counter,
+            backend=resolved.backend, nodes=resolved.nodes, shard=shard,
+        )
+    elif resolved.strategy == "REEVAL":
         # Re-evaluation has no trigger code, so no execution mode.
         resolved = resolved.with_overrides(mode="interpret")
-        session: Session = ReevalSession(
+        session = ReevalSession(
             program, inputs, dims, counter=counter, backend=resolved.backend,
         )
     else:
