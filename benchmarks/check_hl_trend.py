@@ -1,0 +1,85 @@
+"""Fail CI when heavy-light maintenance regresses against the baseline.
+
+Usage::
+
+    python benchmarks/check_hl_trend.py CURRENT.json BASELINE.json
+
+Both files are ``bench_heavylight.py --json`` outputs.  Absolute seconds
+are not comparable across machines, so the guarded metric is the
+**heavy-light-vs-best-uniform speedup ratio** per skewed scenario — both
+paths run on the same machine in the same process, so the ratio isolates
+the partitioned pipeline's relative health.  A scenario regresses when
+its current speedup falls more than ``MAX_REGRESSION`` (25%) below the
+baseline's; three machine-independent invariants are re-checked
+absolutely: the speedup must clear the 2x acceptance bar, the planner
+must still recommend ``heavy-light`` on the skewed streams, and it must
+keep ``uniform`` on the flat stream.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Allowed fractional drop of the heavy-light speedup vs the baseline.
+MAX_REGRESSION = 0.25
+
+#: The ISSUE 8 acceptance bar, re-checked absolutely every run.
+MIN_SKEWED_SPEEDUP = 2.0
+
+#: Scenarios guarded by the ratio check (the skewed cells).
+GUARDED = ("theta1.2", "theta2")
+
+
+def load(path: str) -> dict:
+    data = json.loads(Path(path).read_text())
+    return data.get("results", data)
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    current, baseline = load(argv[0]), load(argv[1])
+
+    failures = []
+    for key in GUARDED:
+        if key not in current or key not in baseline:
+            failures.append(f"{key}: missing from current or baseline JSON")
+            continue
+        now = float(current[key]["speedup_hl_vs_best_uniform"])
+        then = float(baseline[key]["speedup_hl_vs_best_uniform"])
+        floor = max(then * (1.0 - MAX_REGRESSION), MIN_SKEWED_SPEEDUP)
+        status = "OK" if now >= floor else "REGRESSED"
+        print(f"{key}: heavy-light speedup {now:.2f}x (baseline {then:.2f}x, "
+              f"floor {floor:.2f}x) {status}")
+        if now < floor:
+            failures.append(
+                f"{key}: heavy-light per-update wall time regressed "
+                f"(speedup {now:.2f}x < floor {floor:.2f}x)"
+            )
+        if current[key]["recommended_partition"] != "heavy-light":
+            failures.append(
+                f"{key}: planner no longer recommends heavy-light "
+                f"(got {current[key]['recommended_partition']!r})"
+            )
+    flat = current.get("theta0")
+    if flat is not None and flat["recommended_partition"] != "uniform":
+        failures.append(
+            "theta0: planner recommends "
+            f"{flat['recommended_partition']!r} on a uniform stream "
+            "(heavy set must collapse, keeping uniform)"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("heavy-light maintenance trend: within baseline envelope")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

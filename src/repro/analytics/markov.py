@@ -164,7 +164,11 @@ class KStepTransitionMatrix(_ColumnPerturbMixin):
         self._maintainer.refresh(u, v)
 
     def result(self) -> np.ndarray:
-        """The current ``k``-step transition matrix."""
+        """The current ``k``-step transition matrix.
+
+        Flushes any batched pending edits first; the returned array is
+        live maintained storage — copy it to keep a snapshot.
+        """
         return self._maintainer.result()
 
     def step_distribution(self, pi0: np.ndarray) -> np.ndarray:
@@ -222,7 +226,11 @@ class KStepDistribution(_ColumnPerturbMixin):
         self._maintainer.refresh(u, v)
 
     def result(self) -> np.ndarray:
-        """The current ``k``-step distribution (an ``n x 1`` vector)."""
+        """The current ``k``-step distribution (an ``n x 1`` vector).
+
+        Flushes any batched pending edits first; the returned vector is
+        live maintained storage — copy it to keep a snapshot.
+        """
         return self._maintainer.result()
 
     def total_variation_from(self, other: np.ndarray) -> float:

@@ -80,6 +80,17 @@ class IncrementalPageRank:
     the same hot columns repeatedly, so the compacted rank is far below
     the batch size).  Reads (:attr:`ranks`, :meth:`top`,
     :meth:`revalidate`) flush first, so results never lag the edits.
+
+    ``partition="heavy-light"`` routes edge changes through a
+    :class:`~repro.runtime.heavylight.HeavyLightRefresher` instead
+    (mutually exclusive with ``batch``): changes to the same hot source
+    node merge eagerly into one accumulated transition-delta column —
+    zero marginal refresh rank, however bursty the crawl — while
+    changes to cold sources defer into a bounded pending block.  The
+    split is keyed on the *source column* (pagerank's update is
+    ``delta e_s'``: the indicator is the right factor), with at most
+    ``heavy_budget`` sources maintained eagerly.  The same
+    read-freshness contract holds: any read folds pending state first.
     """
 
     def __init__(
@@ -92,6 +103,8 @@ class IncrementalPageRank:
         counter: counters.Counter = counters.NULL_COUNTER,
         backend=None,
         batch: int | None = None,
+        partition: str | None = None,
+        heavy_budget: int | None = None,
     ):
         self.adjacency = np.array(adjacency, dtype=np.float64)
         self.n = self.adjacency.shape[0]
@@ -109,14 +122,32 @@ class IncrementalPageRank:
         )
         self._general = make_general(strategy, a, b, r0, k, model, counter,
                                      backend=backend)
-        if batch is not None and batch > 1:
+        if partition not in (None, "uniform", "heavy-light"):
+            raise ValueError(f"unknown partition {partition!r}")
+        if partition == "heavy-light":
+            if batch is not None and batch > 1:
+                raise ValueError(
+                    "batch and partition='heavy-light' are mutually "
+                    "exclusive: the heavy-light refresher already defers "
+                    "and compacts the light tail")
+            from ..runtime.heavylight import HeavyLightRefresher
+
+            options = {} if heavy_budget is None else {"budget": heavy_budget}
+            self._general = HeavyLightRefresher(self._general, backend=backend,
+                                                transpose=True, **options)
+        elif batch is not None and batch > 1:
             self._general = BatchedRefresher(self._general, batch,
                                              backend=backend)
         self.strategy = strategy if isinstance(strategy, str) else strategy.strategy
 
     @property
     def ranks(self) -> np.ndarray:
-        """The maintained rank vector after ``k`` iterations (column)."""
+        """The maintained rank vector after ``k`` iterations (column).
+
+        Folds/flushes any deferred (batched or heavy-light) edits
+        first; the returned vector is live maintained storage — copy
+        it to keep a snapshot that survives further edits.
+        """
         return self._general.result()
 
     def serve(self, max_staleness: int | None = 32, max_age: float | None = None,

@@ -30,6 +30,8 @@ FLOP counters and wall time::
     python -m repro run program.lvw --dims n=256 --updates 100 --json
     python -m repro run program.lvw --dims n=512 --replan 50
     python -m repro run program.lvw --dims n=512 --batch 16  # force a width
+    python -m repro run program.lvw --dims n=512 --theta 1.5 \
+        --partition heavy-light --heavy-budget 16  # skew-split maintenance
 
 ``repro serve`` opens a concurrent view server over the session
 (:mod:`repro.runtime.serving`) and drives a load generator against it —
@@ -189,6 +191,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="re-price the plan grid every N updates and "
                           "switch strategy/backend mid-stream when it "
                           "pays (0 = static plan)")
+    run.add_argument("--partition", default="auto",
+                     choices=("auto", "uniform", "heavy-light"),
+                     help="update-target partitioning: 'auto' honors the "
+                          "plan's recommendation (heavy-light splits "
+                          "heavy-hitter rows into eager accumulator rows "
+                          "and defers the light tail; chosen only when "
+                          "the stream sketch shows skew), 'uniform' "
+                          "disables the split, 'heavy-light' forces it")
+    run.add_argument("--heavy-budget", type=int, default=None, metavar="N",
+                     help="heavy-set capacity for --partition heavy-light "
+                          "(default: the plan's recommendation)")
+    run.add_argument("--theta", type=float, default=0.0, metavar="T",
+                     help="Zipf skew of the generated update stream's "
+                          "target rows (0 = uniform; ~1.2+ makes "
+                          "heavy-light pay)")
     run.add_argument("--batch", default="auto", metavar="{auto,off,N}",
                      help="update batching: 'auto' honors the plan's "
                           "recommended width (QR+SVD-compacted batch "
@@ -465,6 +482,8 @@ def _run_run(args, program) -> int:
         counter=counter,
         replan={"check_every": args.replan} if args.replan > 0 else None,
         batch=batch,
+        partition=args.partition,
+        heavy_budget=args.heavy_budget,
         nodes=args.nodes,
         shard=args.shard,
     )
@@ -472,10 +491,22 @@ def _run_run(args, program) -> int:
     setup_flops = counter.total_flops
     counter.reset()
 
+    from .workloads.zipf import sample_rows
+
+    # One draw for the whole stream: sample_rows fixes a single random
+    # rank -> row assignment, so the hot rows persist across updates
+    # (the skew heavy-light maintenance exploits).
+    zipf_rows = None
+    if args.theta > 0.0:
+        zipf_rows = sample_rows(rng, n_rows, args.updates * args.rank,
+                                args.theta).reshape(args.updates, args.rank)
     updates = []
-    for _ in range(args.updates):
+    for index in range(args.updates):
         u = np.zeros((n_rows, args.rank))
-        rows = rng.choice(n_rows, size=args.rank, replace=False)
+        if zipf_rows is not None:
+            rows = zipf_rows[index]
+        else:
+            rows = rng.choice(n_rows, size=args.rank, replace=False)
         u[rows, np.arange(args.rank)] = 1.0
         v = args.scale * rng.standard_normal((n_cols, args.rank))
         updates.append((u, v))
@@ -492,6 +523,8 @@ def _run_run(args, program) -> int:
     replans = list(getattr(session, "replans", ()))
     batch_stats = session.batch_stats
     batch_width = session.batch_size
+    partition_mode = session.partition
+    partition_stats = session.partition_stats
     # Sharded sessions carry a real multiprocess engine: harvest the
     # measured comm traffic (schema: benchmarks/conftest.py) and shut
     # the workers down before reporting.  A replan monitor wraps the
@@ -520,6 +553,10 @@ def _run_run(args, program) -> int:
                 "width": batch_width,
                 **(batch_stats.as_dict() if batch_stats else {}),
             },
+            "partition": {
+                "mode": partition_mode,
+                **(partition_stats.as_dict() if partition_stats else {}),
+            },
             "replans": [
                 {"refreshes": e.refreshes, "from": e.from_label,
                  "to": e.to_label, "switched": e.switched,
@@ -543,6 +580,16 @@ def _run_run(args, program) -> int:
     else:
         print(f"  batch    : "
               f"{'off' if batch_width <= 1 else batch_width}")
+    if partition_stats is not None:
+        partitioner = getattr(session, "_partitioner", None)
+        budget = partitioner.budget if partitioner is not None else "?"
+        print(f"  partition: heavy-light (budget {budget}, "
+              f"{partition_stats.heavy_hits} heavy / "
+              f"{partition_stats.light_hits} light hits, "
+              f"amortization {partition_stats.amortization:.1f} cols/rank "
+              f"over {partition_stats.folds} folds)")
+    else:
+        print("  partition: uniform")
     print(f"setup      : {setup_seconds * 1e3:10.2f} ms   "
           f"({setup_flops:,} FLOPs)")
     print(f"maintenance: {maintain_seconds * 1e3:10.2f} ms   "

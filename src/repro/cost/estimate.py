@@ -378,6 +378,73 @@ def batch_unit_cost(
     return per_flush / batch
 
 
+#: Per-update bookkeeping overhead of the heavy-light split (the column
+#: nonzero scan, the heavy-set dict probe, the sketch update) as a
+#: fraction of one backend call overhead — pure Python work, far below
+#: a kernel dispatch but not free.  Keeps ``heavy-light`` priced
+#: strictly above the best uniform width on streams with no skew to
+#: exploit, so it stays unchosen there.
+HL_BOOKKEEPING_CALL_FRACTION = 0.25
+
+#: Longest deferral window (updates between light-tail folds) the cost
+#: model will credit — a read/staleness horizon, not a correctness
+#: bound (reads always fold first).
+HL_MAX_FOLD_PERIOD = 4096.0
+
+
+def heavy_light_unit_cost(
+    be,
+    refresh_cost,
+    rows: int,
+    cols: int,
+    budget: int,
+    rank: int = 1,
+    heavy_share: float = 0.0,
+    light_fraction: float = 1.0,
+    rank_bound: int = 64,
+) -> float:
+    """Predicted per-*update* cost of heavy-light partitioned maintenance.
+
+    Prices :class:`repro.runtime.heavylight.HeavyLightMaintainer`:
+    heavy-hitter columns (observed mass ``heavy_share``) merge into
+    preallocated dense accumulator rows — ``O(cols)`` per hit, zero
+    marginal refresh rank — and the heavy block is folded as one
+    rank-``budget`` refresh only at the read/staleness horizon
+    (``HL_MAX_FOLD_PERIOD``), not per light fold.  Light indicator
+    columns merge by row the same exact way; the light tail folds when
+    its distinct merged rank reaches ``rank_bound``.  ``refresh_cost``
+    is the same ``rank -> flops`` closure :func:`batch_unit_cost`
+    takes; ``light_fraction`` is the sketch's distinct share of tail
+    draws (:meth:`~repro.planner.plan.StreamSketch.light_fraction`),
+    the light-rank growth rate that sets the fold period
+
+        T  =  rank_bound / (light_mass * rank * light_fraction).
+
+    Per update that is: an ``O(cols * rank)`` accumulate plus the
+    bookkeeping overhead, ``1/T``-th of a rank-``rank_bound`` light
+    fold, and the horizon-amortized heavy fold.  With no skew
+    (``heavy_share`` near 0) the tail carries the full mass with
+    ``light_fraction`` near 1, and the price lands at-or-above uniform
+    batching at the same width — the planner keeps ``uniform``.
+    """
+    share = min(max(float(heavy_share), 0.0), 1.0)
+    light_mass = 1.0 - share
+    accumulate = (2.0 * cols * rank
+                  + HL_BOOKKEEPING_CALL_FRACTION * be.est_call_overhead_flops)
+    per_update = accumulate
+    if share > 0.0:
+        per_update += (float(refresh_cost(max(int(budget), 1)))
+                       / HL_MAX_FOLD_PERIOD)
+    light_rate = light_mass * rank * min(max(float(light_fraction), 0.0), 1.0)
+    if light_rate > 0.0:
+        period = min(HL_MAX_FOLD_PERIOD, max(float(rank_bound) / light_rate, 1.0))
+        light_rank = max(1, min(int(round(light_rate * period)), int(rank_bound)))
+        per_fold = (float(refresh_cost(light_rank))
+                    + 2.0 * be.est_call_overhead_flops)
+        per_update += per_fold / period
+    return per_update
+
+
 #: Fraction of a sharded refresh that stays serial on the coordinator
 #: (factor assembly, the k x k cross terms, hstacks, result scatter).
 #: The Amdahl term that keeps predicted speedup sublinear in nodes.
@@ -419,10 +486,13 @@ def sharded_refresh_cost(
 
 __all__ = [
     "CostEstimate",
+    "HL_BOOKKEEPING_CALL_FRACTION",
+    "HL_MAX_FOLD_PERIOD",
     "SHARDED_SERIAL_FRACTION",
     "batch_unit_cost",
     "compaction_cost",
     "general_cost",
+    "heavy_light_unit_cost",
     "power_density",
     "powers_cost",
     "sharded_refresh_cost",

@@ -394,6 +394,7 @@ class ProcessCluster:
         return self._views[name]
 
     def names(self):
+        """Names of every view currently stored on the cluster."""
         return tuple(self._views)
 
     def free(self, name: str) -> None:

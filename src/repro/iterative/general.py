@@ -79,7 +79,12 @@ class _GeneralBase:
         self.iterates: dict[int, np.ndarray] = {}
 
     def result(self) -> np.ndarray:
-        """The maintained ``T_k``."""
+        """The maintained ``T_k``.
+
+        Live storage, not a copy: the in-place refresh path (PR 4)
+        repairs this array between calls — copy it to keep a snapshot
+        that survives further updates.
+        """
         return self.iterates[self.k]
 
     def _step(self, ops: Ops, t_prev: np.ndarray, power: np.ndarray,

@@ -58,6 +58,19 @@ class MaintenancePlan:
     #: (:class:`~repro.distributed.sharded.ShardedEngine`), priced with
     #: the comm-cost term (:func:`repro.cost.estimate.sharded_refresh_cost`).
     nodes: int = 1
+    #: Update-target partitioning: ``"uniform"`` treats every target the
+    #: same (per-update or width-batched maintenance), ``"heavy-light"``
+    #: splits targets into a small heavy-hitter set merged eagerly into
+    #: dense accumulator rows and a light tail deferred into a compacted
+    #: low-rank pending block (:mod:`repro.runtime.heavylight`).  Priced
+    #: by :func:`repro.cost.estimate.heavy_light_unit_cost` from
+    #: sketch-derived skew; stays ``"uniform"`` when the stream shows no
+    #: exploitable skew.
+    partition: str = "uniform"
+    #: Heavy-set budget for ``partition="heavy-light"``: at most this
+    #: many targets are maintained eagerly.  ``None`` when partitioning
+    #: is uniform (or left to the runtime default).
+    heavy_budget: int | None = None
 
     def __post_init__(self):
         if self.strategy not in (REEVAL, INCR, HYBRID):
@@ -66,6 +79,11 @@ class MaintenancePlan:
             raise ValueError(f"unknown mode {self.mode!r}")
         if self.nodes < 1:
             raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if self.partition not in ("uniform", "heavy-light"):
+            raise ValueError(f"unknown partition {self.partition!r}")
+        if self.heavy_budget is not None and self.heavy_budget < 1:
+            raise ValueError(
+                f"heavy_budget must be >= 1, got {self.heavy_budget}")
 
     @property
     def label(self) -> str:
@@ -76,6 +94,8 @@ class MaintenancePlan:
         label = f"{self.strategy}-{model}@{self.backend}/{self.mode}"
         if self.nodes > 1:
             label += f"/x{self.nodes}"
+        if self.partition == "heavy-light":
+            label += f"/hl{self.heavy_budget or ''}"
         return label
 
     def iterative_model(self) -> Model:
@@ -96,6 +116,8 @@ class MaintenancePlan:
         mode: str | None = None,
         strategy: str | None = None,
         nodes: int | None = None,
+        partition: str | None = None,
+        heavy_budget: int | None = None,
     ) -> "MaintenancePlan":
         """A copy with user-forced axes replacing the planned ones."""
         changes = {}
@@ -107,6 +129,10 @@ class MaintenancePlan:
             changes["strategy"] = strategy
         if nodes is not None:
             changes["nodes"] = nodes
+        if partition is not None:
+            changes["partition"] = partition
+        if heavy_budget is not None:
+            changes["heavy_budget"] = heavy_budget
         return replace(self, **changes) if changes else self
 
     def as_dict(self) -> dict:
@@ -122,6 +148,8 @@ class MaintenancePlan:
             "predicted_space": self.predicted_space,
             "batch_size": self.batch_size,
             "nodes": self.nodes,
+            "partition": self.partition,
+            "heavy_budget": self.heavy_budget,
         }
 
 
@@ -254,6 +282,83 @@ class StreamSketch:
         )
         # Untracked (overflow) mass: assume every draw is distinct.
         expected += (self.overflow / total) * m
+        return float(min(1.0, max(expected / m, 1.0 / m)))
+
+    def _heavy_threshold(self, budget: int, factor: float) -> float:
+        """Minimum hit count for a key to qualify as a heavy hitter.
+
+        A key is heavy when its observed share clears both
+        ``1/(2*budget)`` (it matters relative to the eager capacity) and
+        ``factor`` times the uniform share over the distinct targets
+        seen (it is genuinely hotter than a flat stream — on a uniform
+        stream no key clears this, so the heavy set collapses to empty).
+        The share bar is capped at 0.5 so a degenerate one- or
+        two-target stream still qualifies, and a key needs at least two
+        hits (one hit is not a hitter).
+        """
+        distinct = max(self.distinct_targets(), 1)
+        share = min(max(1.0 / (2.0 * budget), factor / distinct), 0.5)
+        return max(share * self.total, 2.0)
+
+    def heavy_keys(self, budget: int, factor: float = 4.0) -> list[int]:
+        """The top-``budget`` target keys qualifying as heavy hitters.
+
+        Sorted by descending hit count; empty before any observation and
+        on uniform streams (see :meth:`_heavy_threshold`).  Feeds both
+        the planner's heavy-light pricing and the
+        :class:`~repro.runtime.heavylight.HeavyLightMaintainer`'s
+        adaptive heavy-set membership.
+        """
+        if self.total == 0 or budget < 1:
+            return []
+        threshold = self._heavy_threshold(int(budget), factor)
+        qualified = sorted(
+            ((count, key) for key, count in self._counts.items()
+             if count >= threshold),
+            reverse=True,
+        )
+        return [key for _, key in qualified[:int(budget)]]
+
+    def heavy_share(self, budget: int, factor: float = 4.0) -> float:
+        """Observed hit-mass fraction of the heavy set for ``budget``.
+
+        0.0 on empty/uniform streams (no heavy set), approaching 1.0
+        when a few targets dominate — the planner charges eager cost on
+        this mass and deferred-fold cost on the remainder.
+        """
+        if self.total == 0:
+            return 0.0
+        keys = self.heavy_keys(budget, factor)
+        if not keys:
+            return 0.0
+        mass = sum(self._counts[key] for key in keys)
+        return float(mass) / float(self.total)
+
+    def light_fraction(self, budget: int, width: int,
+                       factor: float = 4.0) -> float:
+        """Expected distinct fraction of ``width`` *light-tail* draws.
+
+        Same occupancy estimate as :meth:`fraction`, but conditioned on
+        the stream with the heavy set (for ``budget``) removed — the
+        distribution the deferred pending block actually sees.  Repeats
+        in the tail compact across the (long) deferral window, so this
+        is the planner's light-rank growth rate.  1.0 when the tail is
+        empty or nothing has been observed.
+        """
+        m = max(int(width), 1)
+        if m <= 1 or self.total == 0:
+            return 1.0
+        heavy = set(self.heavy_keys(budget, factor))
+        light_counts = [count for key, count in self._counts.items()
+                        if key not in heavy]
+        light_total = float(sum(light_counts) + self.overflow)
+        if light_total <= 0:
+            return 1.0
+        expected = sum(
+            1.0 - (1.0 - count / light_total) ** m for count in light_counts
+        )
+        # Untracked (overflow) mass: assume every draw is distinct.
+        expected += (self.overflow / light_total) * m
         return float(min(1.0, max(expected / m, 1.0 / m)))
 
     def __repr__(self) -> str:

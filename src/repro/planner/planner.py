@@ -24,7 +24,11 @@ from ..backends import available_backends
 from ..calibrate import calibrated
 from ..compiler.program import Program
 from ..cost.advisor import recommend_general, recommend_powers
-from ..cost.estimate import batch_unit_cost, sharded_refresh_cost
+from ..cost.estimate import (
+    batch_unit_cost,
+    heavy_light_unit_cost,
+    sharded_refresh_cost,
+)
 from ..runtime.executor import resolve_dim
 from .plan import (
     INCR,
@@ -60,7 +64,7 @@ def _batch_widths(batch_hint: int | None) -> tuple[int, ...]:
     return tuple(widths)
 
 
-def _recommend_batch(
+def _refresh_cost_memo(
     be,
     strategy: str,
     program: Program,
@@ -68,39 +72,16 @@ def _recommend_batch(
     densities,
     rank: int,
     update_input: str | None,
-    batch_hint: int | None,
     inplace: bool,
     base_refresh: float | None = None,
-    distinct=None,
-) -> tuple[int, float]:
-    """Cheapest per-update batch width for this (strategy, backend) cell.
+):
+    """A memoized ``update_rank -> per-refresh flops`` closure.
 
-    Prices :meth:`BatchCollector.flush`'s QR+SVD compaction against the
-    per-unit-width propagation it saves (Table 4): a width-``m`` batch
-    pays one compaction plus one rank-``m·rank`` refresh instead of
-    ``m`` rank-``rank`` refreshes — amortizing both per-call overhead
-    and, for REEVAL, the whole re-evaluation.
-
-    ``base_refresh`` is the caller's already-computed rank-``rank``
-    per-refresh cost, seeding the memo so the width-1 cell costs no
-    extra tree walk (re-planning re-prices this grid mid-stream).
-
-    ``distinct`` is the workload's
-    :attr:`~repro.planner.plan.WorkloadStats.distinct_fraction`: how
-    much of a stacked batch survives compaction — ``None`` keeps the
-    conservative no-compression default, a
-    :class:`~repro.planner.plan.StreamSketch` prices each width from
-    the observed stream's target skew (the Zipf knob of Table 4).
-
-    Returns ``(width, per_update_cost)`` — the winning width and its
-    predicted per-*update* cost (equal to the plain refresh cost when
-    width 1 wins).
+    Shared by the batch-width and partition recommenders so each
+    (strategy, backend) cell walks the program tree once per distinct
+    rank, not once per candidate.  ``base_refresh`` seeds the memo with
+    the caller's already-computed rank-``rank`` cost.
     """
-    target = update_input or program.input_names[0]
-    sym = program.input(target)
-    rows = resolve_dim(sym.shape.rows, dims)
-    cols = resolve_dim(sym.shape.cols, dims)
-
     memo: dict[int, float] = {}
     if base_refresh is not None:
         memo[rank] = float(base_refresh)
@@ -113,6 +94,39 @@ def _recommend_batch(
             ).refresh
         return memo[r]
 
+    return refresh_cost
+
+
+def _recommend_batch(
+    be,
+    rows: int,
+    cols: int,
+    rank: int,
+    batch_hint: int | None,
+    refresh_cost,
+    distinct=None,
+) -> tuple[int, float]:
+    """Cheapest per-update batch width for this (strategy, backend) cell.
+
+    Prices :meth:`BatchCollector.flush`'s QR+SVD compaction against the
+    per-unit-width propagation it saves (Table 4): a width-``m`` batch
+    pays one compaction plus one rank-``m·rank`` refresh instead of
+    ``m`` rank-``rank`` refreshes — amortizing both per-call overhead
+    and, for REEVAL, the whole re-evaluation.
+
+    ``refresh_cost`` is a :func:`_refresh_cost_memo` closure.
+    ``distinct`` is the workload's
+    :attr:`~repro.planner.plan.WorkloadStats.distinct_fraction`: how
+    much of a stacked batch survives compaction — ``None`` keeps the
+    conservative no-compression default, a
+    :class:`~repro.planner.plan.StreamSketch` prices each width from
+    the observed stream's target skew (the Zipf knob of Table 4).
+
+    Returns ``(width, per_update_cost)`` — the winning width and its
+    predicted per-*update* cost (equal to the plain refresh cost when
+    width 1 wins).
+    """
+
     def unit_cost(m: int) -> float:
         return batch_unit_cost(
             be, refresh_cost, rows, cols, m, rank=rank,
@@ -121,6 +135,51 @@ def _recommend_batch(
 
     best = min(_batch_widths(batch_hint), key=unit_cost)
     return int(best), unit_cost(best)
+
+
+def _recommend_partition(
+    be,
+    rows: int,
+    cols: int,
+    rank: int,
+    refresh_cost,
+    distinct,
+    uniform_unit: float,
+) -> tuple[str, int | None, float]:
+    """Cheapest partition mode for this (strategy, backend) cell.
+
+    Grids the heavy-set budgets of
+    :data:`~repro.runtime.heavylight.HEAVY_BUDGET_GRID` through
+    :func:`~repro.cost.estimate.heavy_light_unit_cost`, charging eager
+    cost on the sketch's observed heavy mass and deferred-fold cost on
+    the tail, against ``uniform_unit`` — the best uniform-batching
+    per-update cost from :func:`_recommend_batch`.  ``heavy-light`` is
+    recommended only when a budget prices strictly below uniform;
+    without a skew-measuring sketch (a plain float or ``None``
+    ``distinct_fraction``) — or when the sketch sees a uniform stream
+    and its heavy set collapses to empty — the recommendation stays
+    ``uniform``.
+
+    Returns ``(partition, heavy_budget, per_update_cost)``.
+    """
+    if distinct is None or not hasattr(distinct, "heavy_share"):
+        return "uniform", None, float(uniform_unit)
+    from ..runtime.heavylight import DEFAULT_RANK_BOUND, HEAVY_BUDGET_GRID
+
+    best: tuple[str, int | None, float] = ("uniform", None, float(uniform_unit))
+    for budget in HEAVY_BUDGET_GRID:
+        share = float(distinct.heavy_share(budget))
+        if share <= 0.0:
+            continue
+        unit = heavy_light_unit_cost(
+            be, refresh_cost, rows, cols, budget, rank=rank,
+            heavy_share=share,
+            light_fraction=distinct.light_fraction(budget, DEFAULT_RANK_BOUND),
+            rank_bound=DEFAULT_RANK_BOUND,
+        )
+        if unit < best[2]:
+            best = ("heavy-light", int(budget), unit)
+    return best
 
 
 def plan_powers(stats: WorkloadStats) -> MaintenancePlan:
@@ -231,6 +290,7 @@ def rank_program(
         shardable = chain_steps(program)
     target = update_input or program.input_names[0]
     target_n = resolve_dim(program.input(target).shape.rows, resolved_dims)
+    target_cols = resolve_dim(program.input(target).shape.cols, resolved_dims)
 
     candidates = []
     for backend_name in backends:
@@ -247,18 +307,27 @@ def rank_program(
                 be, strategy, program, resolved_dims, densities,
                 rank=rank, update_input=update_input, inplace=inplace,
             )
-            batch, batched_unit = _recommend_batch(
+            refresh_fn = _refresh_cost_memo(
                 be, strategy, program, resolved_dims, densities,
-                rank, update_input, batch_hint, inplace,
-                base_refresh=cost.refresh, distinct=distinct,
+                rank, update_input, inplace, base_refresh=cost.refresh,
             )
-            refresh = batched_unit if price_batching else cost.refresh
+            batch, batched_unit = _recommend_batch(
+                be, target_n, target_cols, rank, batch_hint, refresh_fn,
+                distinct=distinct,
+            )
+            partition, heavy_budget, hl_unit = _recommend_partition(
+                be, target_n, target_cols, rank, refresh_fn, distinct,
+                batched_unit,
+            )
+            unit = hl_unit if partition == "heavy-light" else batched_unit
+            refresh = unit if price_batching else cost.refresh
             predicted = ((cost.setup + refreshes * refresh)
                          / max(refreshes, 1)
                          if amortize_setup else refresh)
             candidates.append(MaintenancePlan(
                 strategy, "linear", None, be.name, mode,
                 predicted, cost.space, batch_size=batch,
+                partition=partition, heavy_budget=heavy_budget,
             ))
             for count in node_counts:
                 # Sharded cells: dense INCR over chain programs only

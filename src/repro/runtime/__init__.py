@@ -10,6 +10,11 @@ from .drift import (
     SessionDriftMonitor,
 )
 from .executor import EvaluationError, evaluate, resolve_dim
+from .heavylight import (
+    HeavyLightMaintainer,
+    HeavyLightRefresher,
+    HeavyLightStats,
+)
 from .serving import (
     FlushOnReadServer,
     MaintainerEngine,
@@ -46,6 +51,9 @@ __all__ = [
     "EvaluationError",
     "FactoredUpdate",
     "FlushOnReadServer",
+    "HeavyLightMaintainer",
+    "HeavyLightRefresher",
+    "HeavyLightStats",
     "IVMSession",
     "MaintainerEngine",
     "ReevalSession",

@@ -57,6 +57,7 @@ class BatchStats:
         return self.stacked_width / self.compacted_width
 
     def as_dict(self) -> dict:
+        """Counters as a JSON-ready dict (the bench/CLI schema)."""
         return {
             "updates": self.updates,
             "flushes": self.flushes,

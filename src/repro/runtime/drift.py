@@ -436,6 +436,7 @@ class ReplanMonitor(SessionDriftMonitor):
             None,
         )
         self._retune_batch(current)
+        self._retune_partition(current)
         best = ranked[0]
         if current is None or (best.strategy, best.backend, best.nodes) == (
                 current.strategy, current.backend, cur_nodes):
@@ -479,6 +480,41 @@ class ReplanMonitor(SessionDriftMonitor):
             return
         session.set_batching(desired, max_staleness=session._batch_staleness,
                              auto=True)
+
+    def _retune_partition(self, cell) -> None:
+        """Re-tune heavy-light partitioning from live stream stats.
+
+        Only plan-derived modes (``open_session(partition="auto")``)
+        move; a user-forced mode stays put.  The freshly ranked
+        ``cell`` for the running configuration carries the partition
+        mode and heavy budget the skew-aware estimator
+        (:func:`~repro.cost.estimate.heavy_light_unit_cost`, fed by
+        this monitor's :attr:`stream_sketch`) now recommends: the
+        split switches on when the observed stream turned skewed
+        enough to pay, the budget follows the measured heavy mass, and
+        the split switches back off when the skew evaporates.  Every
+        re-configuration goes through :meth:`Session.set_partition
+        <repro.runtime.session.Session.set_partition>`, which flushes
+        pending state first (flush-before-switch); heavy-set
+        *membership* re-tunes continuously inside the maintainer
+        itself, seeded from this monitor's warm sketch.
+        """
+        session = self.session
+        if cell is None or not getattr(session, "_auto_partition", False):
+            return
+        if cell.partition == "heavy-light":
+            partitioner = session._partitioner
+            budget = cell.heavy_budget
+            if partitioner is None:
+                session.set_partition(
+                    "heavy-light", heavy_budget=budget,
+                    max_staleness=session._batch_staleness, auto=True,
+                    sketch=self.stream_sketch, observe=False,
+                )
+            elif budget is not None and budget != partitioner.budget:
+                partitioner.retune(session, budget=budget)
+        elif session._partitioner is not None:
+            session.set_partition("uniform", auto=True)
 
     @property
     def switch_count(self) -> int:

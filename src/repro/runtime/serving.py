@@ -105,6 +105,7 @@ class ServerStats:
     publish_seconds: float = 0.0
 
     def as_dict(self) -> dict:
+        """Scalar counters as a JSON-ready dict (the bench schema)."""
         return {
             "submitted": self.submitted,
             "applied": self.applied,
@@ -138,15 +139,19 @@ class SessionEngine:
         self.program = target.program
 
     def default_names(self) -> tuple[str, ...]:
+        """Views published when the caller named none: the outputs."""
         return tuple(self.program.outputs)
 
     def available(self) -> frozenset[str]:
+        """Every view name a reader may :meth:`ViewServer.watch`."""
         return frozenset(self.target.views.names())
 
     def apply(self, update: FactoredUpdate) -> None:
+        """Apply one factored update (writer thread only)."""
         self.target.apply_update(update)
 
     def flush(self) -> None:
+        """Land deferred (batched / heavy-light) updates before capture."""
         self.target.flush()
 
     def capture(self, names: Iterable[str]) -> dict[str, np.ndarray]:
@@ -189,12 +194,15 @@ class MaintainerEngine:
         self._refresh = refresh
 
     def default_names(self) -> tuple[str, ...]:
+        """Views published when the caller named none: all accessors."""
         return tuple(self._views)
 
     def available(self) -> frozenset[str]:
+        """Every view name a reader may :meth:`ViewServer.watch`."""
         return frozenset(self._views)
 
     def apply(self, update: FactoredUpdate) -> None:
+        """Route a raw factored update through the driver's refresh."""
         if self._refresh is None:
             raise TypeError(
                 f"{type(self.owner).__name__} accepts mutations via "
@@ -203,11 +211,13 @@ class MaintainerEngine:
         self._refresh(update.u_block, update.v_block)
 
     def flush(self) -> None:
+        """Land the driver's deferred updates, when it defers any."""
         flush = getattr(self.owner, "flush", None)
         if callable(flush):
             flush()
 
     def capture(self, names: Iterable[str]) -> dict[str, np.ndarray]:
+        """Fresh dense copies from the accessors (copy-on-publish)."""
         return {
             name: np.array(self._views[name](), dtype=np.float64)
             for name in names
@@ -329,6 +339,7 @@ class ViewServer:
 
     @property
     def epoch(self) -> int:
+        """Publication count of the snapshot reads currently serve."""
         return self._snapshot.epoch
 
     def read(self, name: str) -> np.ndarray:
@@ -375,6 +386,7 @@ class ViewServer:
         self._queue.put(update)
 
     def submit_many(self, updates: Iterable[FactoredUpdate]) -> None:
+        """Enqueue a whole stream in order (convenience over submit)."""
         for update in updates:
             self.submit(update)
 
@@ -594,15 +606,18 @@ class FlushOnReadServer:
 
     @property
     def epoch(self) -> int:
+        """Applied-update count (this server has no real epochs)."""
         return self.stats.applied
 
     def submit(self, update: FactoredUpdate) -> None:
+        """Apply one update under the global lock (blocking)."""
         with self._lock:
             self.stats.submitted += 1
             self._engine.apply(update)
             self.stats.applied += 1
 
     def call(self, fn: Callable, *args, wait: bool = False, **kwargs):
+        """Run a mutation under the global lock, in caller order."""
         with self._lock:
             self.stats.submitted += 1
             result = fn(*args, **kwargs)
@@ -610,6 +625,7 @@ class FlushOnReadServer:
         return result if wait else None
 
     def read(self, name: str) -> np.ndarray:
+        """Flush, then copy ``name`` out — the cost being measured."""
         with self._lock:
             self._engine.flush()
             return self._engine.capture((name,))[name]
@@ -618,6 +634,7 @@ class FlushOnReadServer:
         return self.read(name)
 
     def refresh(self, timeout: float | None = None):
+        """Flush and capture the full publish set as a Snapshot."""
         with self._lock:
             self._engine.flush()
             views = self._engine.capture(self._names)
@@ -625,6 +642,7 @@ class FlushOnReadServer:
                         views=views, pending=0, published_at=time.monotonic())
 
     def close(self) -> None:
+        """Flush pending state; nothing to join (no writer thread)."""
         with self._lock:
             self._engine.flush()
 

@@ -65,6 +65,7 @@ from ..cost.ops import outer_update_flops
 from ..delta.batch import DEFAULT_RTOL
 from .batching import SessionBatcher
 from .executor import evaluate
+from .heavylight import HeavyLightMaintainer
 from .updates import FactoredUpdate
 from .views import ViewStore
 from .workspace import Workspace
@@ -113,6 +114,8 @@ class Session:
         self._batcher: SessionBatcher | None = None
         self._auto_batch = False
         self._batch_staleness: int | None = None
+        self._partitioner: HeavyLightMaintainer | None = None
+        self._auto_partition = False
         if isinstance(inputs, ViewStore):
             # Adopt live state: one conversion pass, no re-evaluation.
             self.views = inputs.converted(self.backend)
@@ -151,8 +154,15 @@ class Session:
         ``batch_size > 1`` honored by :func:`open_session`), the update
         is queued in the session's :class:`BatchCollector` and applied
         on the next flush — on width, staleness, read, or plan switch.
+        With heavy-light partitioning enabled (:meth:`set_partition`,
+        or a plan whose ``partition == "heavy-light"``), the update is
+        instead split by target row through the session's
+        :class:`~repro.runtime.heavylight.HeavyLightMaintainer` —
+        partitioning takes precedence over uniform batching.
         """
-        if self._batcher is not None:
+        if self._partitioner is not None:
+            self._partitioner.absorb(self, update)
+        elif self._batcher is not None:
             self._batcher.absorb(self, update)
         else:
             self._apply_now(update)
@@ -208,16 +218,86 @@ class Session:
         if prior_stats is not None:
             self._batcher.stats = prior_stats
 
-    def flush(self) -> tuple[int, int, float]:
-        """Apply any batched pending updates now.
+    def set_partition(
+        self,
+        mode: str | None,
+        heavy_budget: int | None = None,
+        rank_bound: int | None = None,
+        retune_every: int | None = None,
+        max_staleness: int | None = None,
+        rtol: float = DEFAULT_RTOL,
+        auto: bool = False,
+        sketch=None,
+        observe: bool | None = None,
+    ) -> None:
+        """Enable (``"heavy-light"``) or disable (``"uniform"``/``None``)
+        heavy-light partitioned maintenance.
 
-        Returns ``(batch_size, compacted_rank, dropped)``; a session
-        without batching (or with nothing pending) is a no-op returning
-        ``(0, 0, 0.0)``.
+        Pending updates (batched *and* partitioned) are flushed before
+        the policy changes — the flush-before-switch convention.  With
+        ``"heavy-light"``, ``apply_update`` routes through a
+        :class:`~repro.runtime.heavylight.HeavyLightMaintainer`:
+        heavy-hitter rows (at most ``heavy_budget``, chosen adaptively
+        from the stream) merge eagerly into accumulator rows while the
+        light tail defers into a compacted pending block folded at
+        ``rank_bound``.  ``max_staleness`` caps the total pending
+        update count (a read-lag bound; reads always flush regardless).
+        ``auto=True`` marks the mode as plan-derived so online
+        re-planning (:class:`~repro.runtime.drift.ReplanMonitor`) may
+        re-tune it from live stream statistics — a user-forced mode is
+        never overridden.  ``sketch`` optionally seeds the maintainer
+        with an already-warm
+        :class:`~repro.planner.plan.StreamSketch` (the monitor shares
+        its own, so the heavy set starts from history, not cold);
+        ``observe=False`` marks that sketch as externally fed so the
+        maintainer does not double-count the stream (``None`` inherits
+        the prior partitioner's setting, defaulting to self-observed).
+
+        Achieved split statistics survive re-configuration (budget
+        re-tunes, :meth:`with_plan` switches): ``partition_stats``
+        keeps describing the whole stream, not just the tail segment.
         """
-        if self._batcher is None:
-            return 0, 0, 0.0
-        return self._batcher.flush(self)
+        self.flush()
+        prior = self._partitioner
+        self._auto_partition = auto
+        if mode is None or mode == "uniform":
+            self._partitioner = None
+            return
+        if mode != "heavy-light":
+            raise ValueError(f"unknown partition mode {mode!r}")
+        options = {}
+        if heavy_budget is not None:
+            options["budget"] = heavy_budget
+        if rank_bound is not None:
+            options["rank_bound"] = rank_bound
+        if retune_every is not None:
+            options["retune_every"] = retune_every
+        if sketch is None and prior is not None:
+            sketch = prior.sketch
+            if observe is None:
+                observe = prior.observe_stream
+        self._partitioner = HeavyLightMaintainer(
+            max_staleness=max_staleness, rtol=rtol, backend=self.backend,
+            sketch=sketch, observe=observe if observe is not None else True,
+            **options,
+        )
+        if prior is not None:
+            self._partitioner.stats = prior.stats
+
+    def flush(self) -> tuple[int, int, float]:
+        """Apply any batched or partitioned pending updates now.
+
+        Returns ``(batch_size, compacted_rank, dropped)`` summed over
+        the active pending paths; a session with nothing pending is a
+        no-op returning ``(0, 0, 0.0)``.
+        """
+        size, rank, dropped = 0, 0, 0.0
+        if self._partitioner is not None:
+            size, rank, dropped = self._partitioner.flush(self)
+        if self._batcher is not None:
+            b_size, b_rank, b_dropped = self._batcher.flush(self)
+            size, rank, dropped = size + b_size, rank + b_rank, dropped + b_dropped
+        return size, rank, dropped
 
     @property
     def batch_size(self) -> int:
@@ -228,6 +308,17 @@ class Session:
     def batch_stats(self):
         """Achieved :class:`~repro.runtime.batching.BatchStats` (or None)."""
         return self._batcher.stats if self._batcher is not None else None
+
+    @property
+    def partition(self) -> str:
+        """The active partition mode (``"uniform"`` or ``"heavy-light"``)."""
+        return "heavy-light" if self._partitioner is not None else "uniform"
+
+    @property
+    def partition_stats(self):
+        """Achieved :class:`~repro.runtime.heavylight.HeavyLightStats`
+        of the partitioned path (or ``None`` under uniform maintenance)."""
+        return self._partitioner.stats if self._partitioner is not None else None
 
     # -- validation ------------------------------------------------------
     def _materialize_all(self) -> None:
@@ -308,7 +399,43 @@ class Session:
             # Compression accounting spans the whole stream, not just
             # the segment since the last switch.
             session._batcher.stats = self._batcher.stats
+        # The partition policy carries over the same way: plan-derived
+        # modes are re-read from the new plan, a user-forced mode is
+        # kept verbatim; the warm sketch and split statistics follow.
+        if self._auto_partition:
+            if getattr(plan, "partition", "uniform") == "heavy-light":
+                session.set_partition(
+                    "heavy-light", heavy_budget=plan.heavy_budget,
+                    max_staleness=self._partition_staleness(),
+                    auto=True, sketch=self._partition_sketch(),
+                    observe=self._partition_observe(),
+                )
+            else:
+                session.set_partition("uniform", auto=True)
+        elif self._partitioner is not None:
+            prior = self._partitioner
+            session.set_partition(
+                "heavy-light", heavy_budget=prior.budget,
+                rank_bound=prior.rank_bound, retune_every=prior.retune_every,
+                max_staleness=prior.max_staleness, rtol=prior.rtol,
+                sketch=prior.sketch, observe=prior.observe_stream,
+            )
+        if self._partitioner is not None and session._partitioner is not None:
+            session._partitioner.stats = self._partitioner.stats
         return session
+
+    def _partition_staleness(self) -> int | None:
+        if self._partitioner is not None:
+            return self._partitioner.max_staleness
+        return self._batch_staleness
+
+    def _partition_sketch(self):
+        return self._partitioner.sketch if self._partitioner is not None else None
+
+    def _partition_observe(self):
+        if self._partitioner is not None:
+            return self._partitioner.observe_stream
+        return None
 
     def revalidate(self) -> float:
         """Recompute every view from the current inputs; return max drift.
@@ -695,6 +822,8 @@ def open_session(
     replan=None,
     batch="auto",
     max_staleness: int | None = None,
+    partition="auto",
+    heavy_budget: int | None = None,
     serve=None,
     nodes=1,
     shard: str = "range",
@@ -746,6 +875,25 @@ def open_session(
     max_staleness:
         Upper bound on pending batched updates (a read-lag bound below
         the planned width); ``None`` leaves the width as the only bound.
+        Applies to the heavy-light path too (total pending count).
+    partition:
+        ``"auto"`` (default) honors the resolved plan's ``partition``
+        axis: when the planner recommended ``"heavy-light"`` (it needs
+        a skew-measuring :class:`~repro.planner.plan.StreamSketch` in
+        ``WorkloadStats.distinct_fraction`` to do so), ``apply_update``
+        routes through a
+        :class:`~repro.runtime.heavylight.HeavyLightMaintainer` —
+        heavy-hitter rows merge eagerly into accumulator rows, the
+        light tail defers into a compacted pending block (see
+        :meth:`Session.set_partition`); re-planning may re-tune the
+        mode mid-stream.  ``"uniform"`` forces the split off;
+        ``"heavy-light"`` forces it on regardless of the plan (never
+        overridden by re-planning).  Partitioning takes precedence
+        over uniform batching when both resolve on.
+    heavy_budget:
+        Heavy-set capacity for ``partition="heavy-light"``; ``None``
+        takes the plan's recommendation or the runtime default
+        (:data:`~repro.runtime.heavylight.DEFAULT_HEAVY_BUDGET`).
     serve:
         ``None`` (default) returns the single-threaded session/monitor;
         ``True`` (defaults) or a dict of
@@ -847,6 +995,30 @@ def open_session(
     else:
         raise ValueError(
             f"batch must be 'auto', 'off', None or a width >= 1, got {batch!r}"
+        )
+
+    if partition == "auto" or partition is True:
+        if resolved.partition == "heavy-light":
+            session.set_partition(
+                "heavy-light",
+                heavy_budget=heavy_budget or resolved.heavy_budget,
+                max_staleness=max_staleness, auto=True,
+            )
+        else:
+            # Uniform for now, but plan-derived: re-planning may still
+            # switch the split on when the stream turns out skewed.
+            session.set_partition("uniform", auto=True)
+    elif partition in ("uniform", "off") or partition is None or partition is False:
+        session.set_partition("uniform")
+    elif partition == "heavy-light":
+        session.set_partition(
+            "heavy-light", heavy_budget=heavy_budget,
+            max_staleness=max_staleness,
+        )
+    else:
+        raise ValueError(
+            f"partition must be 'auto', 'uniform' or 'heavy-light', "
+            f"got {partition!r}"
         )
 
     result = session

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Fail on dead intra-repo links in the markdown docs.
+
+Scans README.md, ROADMAP.md, CHANGES.md and everything under docs/ for
+markdown links, and checks that every *relative* target resolves to a
+real file or directory in the repo — including ``#fragment`` anchors,
+which are slugified the way GitHub renders headings.  External links
+(``http(s)://``) are not fetched: CI must not depend on the network,
+and the intra-repo links are the ones refactors silently break.
+
+Usage::
+
+    python tools/check_links.py            # check the default doc set
+    python tools/check_links.py FILE...    # check specific files
+
+Exit status is the number of dead links (0 = all good).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+DEFAULT_DOCS = ("README.md", "ROADMAP.md", "CHANGES.md")
+
+#: ``[text](target)`` — target captured up to the closing paren.
+#: Images (``![alt](src)``) match too; they resolve the same way.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Markdown headings, for anchor resolution.
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def slugify(heading: str) -> str:
+    """GitHub's heading-to-anchor rule: lowercase, drop punctuation,
+    spaces to hyphens (hyphens survive, backticks and parens do not)."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_~]", "", text)          # inline markup
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    """Every anchor a markdown file exposes (deduplicated GitHub-style:
+    repeated headings get ``-1``, ``-2``, ... suffixes)."""
+    seen: dict[str, int] = {}
+    out: set[str] = set()
+    for match in HEADING.finditer(path.read_text(encoding="utf-8")):
+        slug = slugify(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        out.add(slug if count == 0 else f"{slug}-{count}")
+    return out
+
+
+def check_file(path: Path) -> list[str]:
+    """Dead-link messages for one markdown file."""
+    problems: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        line = text[: match.start()].count("\n") + 1
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.is_relative_to(REPO):
+                # GitHub-relative idioms (the ../../actions/... CI
+                # badge) resolve on github.com, not on disk.
+                continue
+            if not resolved.exists():
+                problems.append(f"{path.relative_to(REPO)}:{line}: "
+                                f"dead link target {target!r}")
+                continue
+        else:
+            resolved = path.resolve()
+        if fragment and resolved.suffix == ".md":
+            if fragment not in anchors_of(resolved):
+                problems.append(f"{path.relative_to(REPO)}:{line}: "
+                                f"dead anchor {target!r}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(a).resolve() for a in argv]
+    else:
+        files = [REPO / name for name in DEFAULT_DOCS]
+        files += sorted((REPO / "docs").glob("**/*.md"))
+    files = [f for f in files if f.exists()]
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for message in problems:
+        print(message, file=sys.stderr)
+    print(f"checked {len(files)} files: "
+          f"{len(problems)} dead link(s)")
+    return min(len(problems), 125)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
