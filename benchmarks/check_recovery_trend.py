@@ -1,0 +1,89 @@
+"""Fail CI when checkpoint recovery regresses against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_recovery_trend.py CURRENT.json BASELINE.json
+
+Both files are ``bench_recovery.py --json`` outputs.  Absolute restore
+times are not comparable across machines, so the guarded metric is the
+**recovery speedup** — full-log-replay time over restore+tail time,
+measured in the same process on the same machine, isolating the
+checkpoint path's relative health.  It regresses when the current
+speedup falls more than ``MAX_REGRESSION`` (25%) below the baseline's;
+two machine-independent invariants are re-checked absolutely: both
+recovery paths must be **bitwise exact** (an inexact recovery is state
+corruption, not a slowdown), and the speedup must clear the bench's
+absolute floor.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Allowed fractional drop of the recovery speedup vs the baseline's.
+MAX_REGRESSION = 0.25
+
+#: Baseline speedups are capped before the floor is derived: the raw
+#: ratio scales with ``updates/cadence`` and swings with disk-cache
+#: luck, while the failure mode being guarded (restore doing hidden
+#: re-evaluation, or checksum passes getting quadratically slower)
+#: crashes it toward 1x.  The cap keeps the gate sensitive without
+#: flapping on how fast the filesystem felt today.
+BASELINE_SPEEDUP_CAP = 20.0
+
+#: Absolute floor, machine-independent (mirrors bench_recovery).
+MIN_RECOVERY_SPEEDUP = 1.5
+
+
+def load(path: str) -> dict:
+    data = json.loads(Path(path).read_text())
+    return data.get("results", data)
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    current, baseline = load(argv[0]), load(argv[1])
+
+    failures = []
+    for key in ("exact_restore", "exact_log_replay"):
+        if not current.get(key, False):
+            failures.append(f"{key} is False — recovery corrupted state")
+
+    now = float(current["derived"]["recovery_speedup"])
+    then = min(float(baseline["derived"]["recovery_speedup"]),
+               BASELINE_SPEEDUP_CAP)
+    floor = then * (1.0 - MAX_REGRESSION)
+    status = "OK" if now >= floor else "REGRESSED"
+    print(f"checkpoint recovery speedup {now:.1f}x (baseline {then:.1f}x, "
+          f"floor {floor:.1f}x) {status}")
+    if now < floor:
+        failures.append(
+            f"recovery speedup regressed >{MAX_REGRESSION:.0%} "
+            f"({now:.1f}x < floor {floor:.1f}x)"
+        )
+    if now < MIN_RECOVERY_SPEEDUP:
+        failures.append(
+            f"recovery speedup {now:.1f}x below the absolute "
+            f"{MIN_RECOVERY_SPEEDUP}x floor"
+        )
+
+    overhead = float(current["derived"]["snapshot_overhead_fraction"])
+    print(f"durability overhead: {overhead:.1%} of maintenance time "
+          f"({current['snapshots']} snapshots over "
+          f"{current['updates']} updates)")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("checkpoint recovery trend: within baseline envelope")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

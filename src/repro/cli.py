@@ -219,6 +219,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--shard", choices=("range", "hash"), default="range",
                      help="tile-to-worker assignment strategy for sharded "
                           "runs (default range: contiguous block rows)")
+    run.add_argument("--supervise", action="store_true",
+                     help="supervise sharded workers: respawn dead or hung "
+                          "processes and replay their shard's oplog so a "
+                          "kill -9 becomes a logged recovery, not a crash")
+    run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="write epoch-consistent checkpoints of the "
+                          "maintained state into DIR (created if missing)")
+    run.add_argument("--checkpoint-every", default="auto",
+                     metavar="{auto,N}",
+                     help="snapshot cadence in updates; auto prices the "
+                          "snapshot cost against replay cost (default auto)")
+    run.add_argument("--restore", action="store_true",
+                     help="resume from the newest valid checkpoint in "
+                          "--checkpoint-dir (fresh start when none exists), "
+                          "then apply the update stream on top")
     run.add_argument("--input", dest="target",
                      help="input the update stream hits (default: first)")
     run.add_argument("--seed", type=int, default=20140622,
@@ -469,6 +484,20 @@ def _run_run(args, program) -> int:
                   f"got {batch!r}", file=sys.stderr)
             return 2
         batch = int(batch)
+    checkpoint = None
+    if args.checkpoint_dir is not None:
+        every = args.checkpoint_every
+        if every != "auto":
+            if not str(every).isdigit() or int(every) < 1:
+                print(f"error: --checkpoint-every must be auto or a count "
+                      f">= 1, got {every!r}", file=sys.stderr)
+                return 2
+            every = int(every)
+        checkpoint = {"directory": args.checkpoint_dir, "every": every,
+                      "restore": "auto" if args.restore else False}
+    elif args.restore:
+        print("error: --restore needs --checkpoint-dir", file=sys.stderr)
+        return 2
 
     counter = Counter()
     start = time.perf_counter()
@@ -486,7 +515,11 @@ def _run_run(args, program) -> int:
         heavy_budget=args.heavy_budget,
         nodes=args.nodes,
         shard=args.shard,
+        supervise=args.supervise,
+        checkpoint=checkpoint,
     )
+    restored_updates = getattr(
+        getattr(session, "session", session), "update_count", 0)
     setup_seconds = time.perf_counter() - start
     setup_flops = counter.total_flops
     counter.reset()
@@ -530,6 +563,25 @@ def _run_run(args, program) -> int:
     # the workers down before reporting.  A replan monitor wraps the
     # session, so unwrap first.
     inner = getattr(session, "session", session)
+    # Leave the directory durable: land any logged tail as a final
+    # snapshot so a later --restore resumes exactly here.
+    checkpointer = getattr(inner, "checkpointer", None)
+    ckpt = None
+    if checkpointer is not None:
+        if checkpointer.pending:
+            checkpointer.checkpoint()
+        ckpt = {
+            "directory": str(checkpointer.manager.directory),
+            "every": checkpointer.every,
+            "saves": checkpointer.saves,
+            "restored_updates": restored_updates,
+            "last": str(checkpointer.last_path),
+        }
+    import dataclasses as _dc
+
+    recoveries = [_dc.asdict(event) for event in
+                  getattr(inner, "recoveries", ())]
+    fallbacks = list(getattr(inner, "fallback_events", ()))
     engine = getattr(inner, "engine", None)
     comm = None
     if engine is not None and hasattr(engine, "comm"):
@@ -564,6 +616,9 @@ def _run_run(args, program) -> int:
                 for e in replans
             ],
             **({"comm": comm} if comm is not None else {}),
+            **({"checkpoint": ckpt} if ckpt is not None else {}),
+            **({"recoveries": recoveries} if recoveries else {}),
+            **({"fallbacks": fallbacks} if fallbacks else {}),
         }, indent=2))
         return 0
 
@@ -614,6 +669,18 @@ def _run_run(args, program) -> int:
                   f"{comm['seconds'].get(kind, 0.0) * 1e3:.1f} ms)")
         busy = ", ".join(f"{s * 1e3:.1f}" for s in comm["worker_seconds"])
         print(f"  worker ms : [{busy}]")
+    if ckpt is not None:
+        resumed = (f", resumed at update {ckpt['restored_updates']}"
+                   if ckpt["restored_updates"] else "")
+        print(f"checkpoint : {ckpt['saves']} snapshots every "
+              f"{ckpt['every']} updates -> {ckpt['directory']}{resumed}")
+    for event in recoveries:
+        print(f"  recovery : worker {event['worker']} {event['reason']} "
+              f"during {event['label']}; replayed {event['replayed']} "
+              f"refreshes in {event['seconds'] * 1e3:.1f} ms")
+    for event in fallbacks:
+        print(f"  fallback : sharded -> single-process "
+              f"({event['mode']} after {event['reason']})")
     return 0
 
 

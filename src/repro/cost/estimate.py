@@ -484,10 +484,74 @@ def sharded_refresh_cost(
     return float(compute + comm)
 
 
+# -- fault tolerance ------------------------------------------------------
+#
+# Checkpointing is priced in the same flop-equivalent ranking units as
+# maintenance: a snapshot streams every stored byte once through
+# serialization + checksum + write, which on the machines the planner
+# models costs a small constant per byte relative to one dense flop.
+
+#: Flop-equivalents charged per checkpoint byte written (serialize +
+#: SHA-256 + buffered write, amortized).
+CHECKPOINT_BYTE_FLOPS = 4.0
+#: Fixed per-snapshot overhead (header encode, fsync, rename).
+CHECKPOINT_BASE_FLOPS = 1.0e6
+#: Default tolerated write-path overhead of auto-cadenced checkpointing.
+CHECKPOINT_TARGET_OVERHEAD = 0.05
+#: Cadence clamp: even tiny sessions checkpoint no more than every
+#: update, and huge ones at least once per this many updates.
+CHECKPOINT_MAX_EVERY = 1_000_000
+
+
+def checkpoint_write_cost(views_bytes: float) -> float:
+    """Predicted cost of cutting one snapshot of ``views_bytes`` state."""
+    return CHECKPOINT_BASE_FLOPS + CHECKPOINT_BYTE_FLOPS * max(views_bytes, 0.0)
+
+
+def restore_cost(views_bytes: float, tail_updates: float,
+                 refresh_flops: float) -> float:
+    """Predicted cost of recovery: read the snapshot, replay the tail.
+
+    The quantity the log+checkpoint discipline minimizes — compare
+    against REEVAL's setup cost to see why restoring beats recomputing
+    (``benchmarks/bench_recovery.py`` measures the same ratio).
+    """
+    read = CHECKPOINT_BYTE_FLOPS * max(views_bytes, 0.0)
+    return read + max(tail_updates, 0.0) * max(refresh_flops, 0.0)
+
+
+def recommend_checkpoint_every(
+    views_bytes: float,
+    refresh_flops: float,
+    target_overhead: float = CHECKPOINT_TARGET_OVERHEAD,
+) -> int:
+    """Snapshot cadence keeping checkpoint cost under ``target_overhead``.
+
+    Amortizes one :func:`checkpoint_write_cost` over enough updates
+    that the write path pays at most ``target_overhead`` of its
+    maintenance work to durability — the ``every="auto"`` policy of
+    :class:`repro.runtime.checkpoint.Checkpointer`.  Larger views or
+    cheaper refreshes stretch the cadence (more replay on recovery);
+    the clamp keeps degenerate inputs sane.
+    """
+    if target_overhead <= 0.0:
+        raise ValueError("target_overhead must be positive")
+    per_update = target_overhead * max(refresh_flops, 1.0)
+    every = checkpoint_write_cost(views_bytes) / per_update
+    return int(min(max(every, 1.0), CHECKPOINT_MAX_EVERY))
+
+
 __all__ = [
+    "CHECKPOINT_BASE_FLOPS",
+    "CHECKPOINT_BYTE_FLOPS",
+    "CHECKPOINT_MAX_EVERY",
+    "CHECKPOINT_TARGET_OVERHEAD",
     "CostEstimate",
     "HL_BOOKKEEPING_CALL_FRACTION",
     "HL_MAX_FOLD_PERIOD",
+    "checkpoint_write_cost",
+    "recommend_checkpoint_every",
+    "restore_cost",
     "SHARDED_SERIAL_FRACTION",
     "batch_unit_cost",
     "compaction_cost",

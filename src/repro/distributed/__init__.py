@@ -34,9 +34,9 @@ from .sharded import (
     sharded_reeval_refresh,
     sharded_refresh,
 )
-from .shm import SharedArray
+from .shm import SharedArray, SharedMemoryBudgetError
 from .sums import DistributedIncrementalPowerSums, DistributedReevalPowerSums
-from .workers import ProcessCluster, WorkerFailedError
+from .workers import ProcessCluster, RecoveryEvent, WorkerFailedError
 
 __all__ = [
     "BROADCAST",
@@ -57,9 +57,11 @@ __all__ = [
     "GridPartitioner",
     "LocalShardEngine",
     "ProcessCluster",
+    "RecoveryEvent",
     "RowShardPartitioner",
     "SHUFFLE",
     "SharedArray",
+    "SharedMemoryBudgetError",
     "ShardedChainMaintainer",
     "ShardedEngine",
     "StepCost",

@@ -63,16 +63,22 @@ class ShardedEngine:
 
     def __init__(self, partitioner: RowShardPartitioner,
                  start_method: str = "spawn",
-                 timeout: float = DEFAULT_TIMEOUT):
+                 timeout: float = DEFAULT_TIMEOUT, supervise: bool = False):
         self.part = partitioner
         self.comm = CommLog()
         self.model = CommLog()
         self.cluster = ProcessCluster(partitioner, start_method,
-                                      comm=self.comm, timeout=timeout)
+                                      comm=self.comm, timeout=timeout,
+                                      supervise=supervise)
 
     @property
     def nodes(self) -> int:
         return self.part.nodes
+
+    @property
+    def recoveries(self) -> list:
+        """Logged worker recoveries (supervised clusters only)."""
+        return self.cluster.recoveries
 
     def put(self, name: str, value: np.ndarray) -> np.ndarray:
         return self.cluster.put(name, value)
@@ -268,7 +274,8 @@ def power_chain(k: int) -> list[tuple[str, str, str]]:
     return steps
 
 
-def sharded_refresh(engine, input_name: str, steps, u, v) -> dict:
+def sharded_refresh(engine, input_name: str, steps, u, v,
+                    progress: list | None = None) -> dict:
     """Propagate one factored update ``A += u v'`` through the chain.
 
     All ``mat/matT`` products read *old* view values in statement
@@ -276,6 +283,17 @@ def sharded_refresh(engine, input_name: str, steps, u, v) -> dict:
     arithmetic on every engine, so the results are bitwise equal
     across :class:`ShardedEngine` / :class:`LocalShardEngine` and any
     shard strategy.  Returns the per-view ``(U, V)`` factor map.
+
+    ``progress`` (a caller-owned list) receives checkpoints as the
+    refresh advances — ``("factors", factor_map)`` once every product
+    of old values is computed, then ``("adding", name)`` /
+    ``("added", name)`` around each view's absorption.  On a worker
+    failure, the caller can read exactly how far durable state got:
+    views before the last ``"adding"`` entry absorbed their deltas,
+    the named one may be torn, later ones are untouched
+    (:meth:`ShardedChainSession._reeval_recover
+    <repro.runtime.session.ShardedChainSession>` keys its fallback off
+    this).
     """
     u, v = _factor(u), _factor(v)
     factors = {input_name: (u, v)}
@@ -289,8 +307,14 @@ def sharded_refresh(engine, input_name: str, steps, u, v) -> dict:
             np.hstack([ul, left_ur + cross]),
             np.hstack([rightT_vl, vr]),
         )
+    if progress is not None:
+        progress.append(("factors", factors))
     for name, (fu, fv) in factors.items():
+        if progress is not None:
+            progress.append(("adding", name))
         engine.add_lowrank(name, fu, fv)
+        if progress is not None:
+            progress.append(("added", name))
     return factors
 
 
@@ -316,7 +340,7 @@ class ShardedChainMaintainer:
                  nodes: int = 1, strategy: str = "range",
                  tile_rows: int | None = None, process: bool | None = None,
                  start_method: str = "spawn", reeval: bool = False,
-                 timeout: float = DEFAULT_TIMEOUT):
+                 timeout: float = DEFAULT_TIMEOUT, supervise: bool = False):
         a = np.ascontiguousarray(a, dtype=np.float64)
         if a.ndim != 2 or a.shape[0] != a.shape[1]:
             raise ValueError(f"need a square input, got shape {a.shape}")
@@ -327,7 +351,8 @@ class ShardedChainMaintainer:
         if process is None:
             process = nodes > 1
         if process:
-            self.engine = ShardedEngine(part, start_method, timeout=timeout)
+            self.engine = ShardedEngine(part, start_method, timeout=timeout,
+                                        supervise=supervise)
         else:
             self.engine = LocalShardEngine(part)
         self.engine.put(input_name, a)

@@ -18,10 +18,42 @@ corrupts the tracker's registry):
 
 from __future__ import annotations
 
+import errno
 import sys
 from multiprocessing import shared_memory
 
 import numpy as np
+
+from ..testing import faults
+
+
+class SharedMemoryBudgetError(OSError):
+    """Shared-memory allocation failed for lack of space.
+
+    Raised by :meth:`SharedArray.create` when the kernel refuses the
+    segment (``ENOSPC``/``ENOMEM`` — a full ``/dev/shm`` tmpfs being
+    the common cause), so callers see a typed, actionable error instead
+    of a raw ``OSError`` from deep inside worker spawn.
+    :func:`repro.runtime.session.open_session` catches it and falls
+    back to a single-process plan with a warning.
+    """
+
+    def __init__(self, nbytes: int, cause: OSError):
+        super().__init__(
+            cause.errno,
+            f"cannot allocate a {nbytes}-byte shared-memory segment: "
+            f"{cause.strerror or cause} (is /dev/shm full?)",
+        )
+        self.nbytes = nbytes
+
+
+#: Mappings kept alive past their :class:`SharedArray`'s lifetime
+#: because an outside ndarray still points into them (see
+#: :meth:`SharedArray.close`).  ``SharedMemory.__del__`` unmaps, so
+#: dropping the object here would leave those arrays dangling; pinned
+#: mappings persist until process exit (their *names* are unlinked, so
+#: nothing outlives the process).
+_pinned_mappings: list = []
 
 
 class SharedArray:
@@ -32,17 +64,29 @@ class SharedArray:
         self._shm = shm
         self.shape = tuple(shape)
         self.owner = owner
+        self._pinned = False
         self.array: np.ndarray | None = np.ndarray(
             self.shape, dtype=np.float64, buffer=shm.buf
         )
 
     @classmethod
     def create(cls, shape: tuple[int, int]) -> "SharedArray":
-        """Allocate a new (zero-filled) segment sized for ``shape``."""
+        """Allocate a new (zero-filled) segment sized for ``shape``.
+
+        Raises :class:`SharedMemoryBudgetError` when the system is out
+        of shared-memory space (``ENOSPC``/``ENOMEM``); other errors
+        propagate untouched.
+        """
         rows, cols = shape
         size = max(8 * rows * cols, 1)
-        return cls(shared_memory.SharedMemory(create=True, size=size),
-                   shape, owner=True)
+        try:
+            faults.fire("shm.create", nbytes=size, shape=shape)
+            shm = shared_memory.SharedMemory(create=True, size=size)
+        except OSError as exc:
+            if exc.errno in (errno.ENOSPC, errno.ENOMEM):
+                raise SharedMemoryBudgetError(size, exc) from exc
+            raise
+        return cls(shm, shape, owner=True)
 
     @classmethod
     def attach(cls, name: str, shape: tuple[int, int]) -> "SharedArray":
@@ -68,9 +112,17 @@ class SharedArray:
         array, self.array = self.array, None
         if array is not None and sys.getrefcount(array) > 2:
             # Held by a session view, a caller, or a derived slice:
-            # keep the mapping; the name is (or will be) unlinked.
+            # keep the mapping; the name is (or will be) unlinked.  Pin
+            # the SharedMemory object too — its __del__ unmaps, which
+            # would dangle the surviving array once this SharedArray is
+            # garbage-collected (e.g. cluster teardown on a worker
+            # failure, with the session about to copy its views out).
+            _pinned_mappings.append(self._shm)
+            self._pinned = True
             return
         del array
+        if self._pinned:
+            return
         try:
             self._shm.close()
         except BufferError:
@@ -86,4 +138,4 @@ class SharedArray:
             pass
 
 
-__all__ = ["SharedArray"]
+__all__ = ["SharedArray", "SharedMemoryBudgetError"]

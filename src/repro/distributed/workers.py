@@ -31,10 +31,12 @@ import pickle
 import time
 import traceback
 import weakref
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..runtime.workspace import Workspace
+from ..testing import faults
 from .comm import BROADCAST, GATHER, CommLog
 from .partitioner import RowShardPartitioner
 from .shm import SharedArray
@@ -42,6 +44,16 @@ from .shm import SharedArray
 #: Seconds the coordinator waits on a worker reply before declaring it
 #: hung (a dead worker is detected much faster via ``is_alive``).
 DEFAULT_TIMEOUT = 120.0
+
+#: Supervised recovery: respawn attempts per failed call, and the
+#: capped exponential backoff between them.
+DEFAULT_MAX_RETRIES = 2
+DEFAULT_BACKOFF = 0.05
+DEFAULT_BACKOFF_CAP = 1.0
+#: Completed factored refreshes retained for recovery replay before the
+#: coordinator refreshes its basis copy instead (bounds both the replay
+#: cost of a recovery and the log's memory).
+DEFAULT_OPLOG_LIMIT = 64
 
 #: Environment knobs pinned to one BLAS thread in spawned workers.
 _BLAS_VARS = ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS",
@@ -65,6 +77,32 @@ class WorkerFailedError(RuntimeError):
         self.worker = worker
         self.reason = reason
         self.traceback = worker_traceback
+
+
+class _WorkerUnavailable(Exception):
+    """Internal: one worker cannot answer (dead, hung, or pipe gone).
+
+    The supervised path turns this into a recovery; the unsupervised
+    path turns it into :class:`WorkerFailedError` + poison.
+    """
+
+    def __init__(self, worker: int, reason: str):
+        super().__init__(reason)
+        self.worker = worker
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One logged worker recovery (what a ``kill -9`` becomes)."""
+
+    worker: int            #: index of the recovered worker
+    label: str             #: op in flight when the failure was detected
+    reason: str            #: what the supervisor observed (died/hung/...)
+    attempts: int          #: respawns needed (1 = first respawn worked)
+    replayed: int          #: oplog refreshes replayed into the new shard
+    restored_views: int    #: views whose shard rows were reseeded
+    seconds: float         #: wall time from detection to recovery
 
 
 # -- per-tile kernels (shared by worker processes and the in-process
@@ -186,6 +224,11 @@ def _worker_main(conn, worker_id: int, tile_bounds: tuple,
             if kind == "die":
                 # Test hook: crash without cleanup, as a real fault would.
                 os._exit(17)
+            if kind == "hang":
+                # Test hook: go quiet without replying, as a livelock
+                # would — the supervisor's deadline must catch this.
+                time.sleep(op[1])
+                continue
             try:
                 started = time.perf_counter()
                 data = _execute(op, views, segments, tile_bounds, owned, ws)
@@ -246,49 +289,85 @@ class ProcessCluster:
     or a dropped pipe — raises :class:`WorkerFailedError`, terminates
     the remaining workers, releases every segment, and poisons the
     cluster: every later call re-raises instead of hanging.
+
+    With ``supervise=True`` the coordinator instead *recovers*: the
+    dead (or hung — terminated) worker is respawned with capped
+    exponential backoff, its shard rows are reseeded from the
+    coordinator's basis copy of every view, the completed factored
+    refreshes since that basis are replayed **inside the respawned
+    worker** (same pinned single-thread BLAS, same tile kernels, same
+    order — so the rebuilt shard is bitwise identical to an unfailed
+    one), the in-flight op is retried, and a :class:`RecoveryEvent` is
+    appended to ``recoveries``.  Only exhausted retries — or a worker
+    *raising* (a deterministic application error, which a respawn would
+    just repeat) — poison the cluster.  Supervision costs one
+    coordinator-side copy of every view plus a bounded oplog; leave it
+    off (the default) when a failure should simply fail.
     """
 
     def __init__(self, partitioner: RowShardPartitioner,
                  start_method: str = "spawn", comm: CommLog | None = None,
-                 timeout: float = DEFAULT_TIMEOUT):
+                 timeout: float = DEFAULT_TIMEOUT, supervise: bool = False,
+                 max_retries: int = DEFAULT_MAX_RETRIES,
+                 backoff: float = DEFAULT_BACKOFF,
+                 backoff_cap: float = DEFAULT_BACKOFF_CAP,
+                 oplog_limit: int = DEFAULT_OPLOG_LIMIT):
         self.partitioner = partitioner
         self.nodes = partitioner.nodes
         self.comm = comm if comm is not None else CommLog()
         self.timeout = timeout
+        self.supervise = bool(supervise)
+        self.max_retries = int(max_retries)
+        self.backoff = float(backoff)
+        self.backoff_cap = float(backoff_cap)
+        self.oplog_limit = int(oplog_limit)
         self.failure: WorkerFailedError | None = None
         self.worker_seconds = [0.0] * self.nodes
+        #: Logged :class:`RecoveryEvent`\s (supervised clusters only).
+        self.recoveries: list[RecoveryEvent] = []
+        self._basis: dict[str, np.ndarray] = {}
+        self._oplog: list[tuple[str, np.ndarray, np.ndarray]] = []
         self._segments: dict[str, SharedArray] = {}
         self._views: dict[str, np.ndarray] = {}
-        self._procs: list = []
-        self._conns: list = []
+        self._procs: list = [None] * self.nodes
+        self._conns: list = [None] * self.nodes
         self._closed = False
-        ctx = mp.get_context(start_method)
+        self._ctx = mp.get_context(start_method)
+        for worker in range(self.nodes):
+            self._spawn_worker(worker)
+        self._finalizer = weakref.finalize(
+            self, _cleanup, self._procs, self._conns, self._segments,
+            self._views,
+        )
+
+    def _spawn_worker(self, worker: int) -> None:
+        """(Re)spawn one worker process with BLAS pinned to one thread.
+
+        Replaces the slot in place so the GC finalizer always sees the
+        current incarnation.
+        """
         saved = {var: os.environ.get(var) for var in _BLAS_VARS}
         for var in _BLAS_VARS:
             os.environ[var] = "1"
         try:
-            for worker in range(self.nodes):
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(child_conn, worker, tuple(partitioner.tile_bounds),
-                          tuple(partitioner.shards[worker])),
-                    daemon=True, name=f"repro-shard-{worker}",
-                )
-                proc.start()
-                child_conn.close()
-                self._procs.append(proc)
-                self._conns.append(parent_conn)
+            parent_conn, child_conn = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn, worker,
+                      tuple(self.partitioner.tile_bounds),
+                      tuple(self.partitioner.shards[worker])),
+                daemon=True, name=f"repro-shard-{worker}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs[worker] = proc
+            self._conns[worker] = parent_conn
         finally:
             for var, value in saved.items():
                 if value is None:
                     os.environ.pop(var, None)
                 else:
                     os.environ[var] = value
-        self._finalizer = weakref.finalize(
-            self, _cleanup, self._procs, self._conns, self._segments,
-            self._views,
-        )
 
     # -- failure handling ------------------------------------------------
     def _fail(self, worker: int, reason: str, tb: str | None = None):
@@ -307,7 +386,8 @@ class ProcessCluster:
         if self._closed:
             raise RuntimeError("cluster is closed")
 
-    def _recv(self, worker: int) -> bytes:
+    def _try_recv(self, worker: int) -> bytes:
+        """One worker's reply bytes, or :class:`_WorkerUnavailable`."""
         conn, proc = self._conns[worker], self._procs[worker]
         deadline = time.perf_counter() + self.timeout
         while True:
@@ -315,14 +395,21 @@ class ProcessCluster:
                 try:
                     return conn.recv_bytes()
                 except (EOFError, OSError):
-                    self._fail(worker, "pipe closed mid-reply")
+                    raise _WorkerUnavailable(worker, "pipe closed mid-reply")
             if not proc.is_alive():
-                self._fail(
+                raise _WorkerUnavailable(
                     worker,
                     f"worker process died (exit code {proc.exitcode})",
                 )
             if time.perf_counter() > deadline:
-                self._fail(worker, f"no reply within {self.timeout}s (hung?)")
+                raise _WorkerUnavailable(
+                    worker, f"no reply within {self.timeout}s (hung?)")
+
+    def _recv(self, worker: int) -> bytes:
+        try:
+            return self._try_recv(worker)
+        except _WorkerUnavailable as exc:
+            self._fail(exc.worker, exc.reason)
 
     def roundtrip(self, op: tuple, kind: str, label: str) -> dict:
         """Broadcast one op to every worker and gather the replies.
@@ -330,15 +417,26 @@ class ProcessCluster:
         Records two comm events: the fan-out (``kind``) with the real
         pickled payload bytes per worker, and the fan-in (``gather``)
         with the real reply bytes — both with measured wall time.
+
+        Unsupervised, a worker failure poisons the cluster.  Supervised,
+        the failed workers are recovered (respawn + reseed + replay +
+        retry, see the class docstring) and the call completes as if
+        nothing happened; the surviving workers' shard rows are
+        untouched throughout, so state never regresses.
         """
         self._check_open()
+        faults.fire("cluster.roundtrip", cluster=self, label=label)
         payload = pickle.dumps(op, protocol=pickle.HIGHEST_PROTOCOL)
         started = time.perf_counter()
+        failed: dict[int, str] = {}
         for worker in range(self.nodes):
             try:
                 self._conns[worker].send_bytes(payload)
             except (BrokenPipeError, OSError):
-                self._fail(worker, "pipe closed while sending (worker dead?)")
+                reason = "pipe closed while sending (worker dead?)"
+                if not self.supervise:
+                    self._fail(worker, reason)
+                failed[worker] = reason
         send_seconds = time.perf_counter() - started
         self.comm.record(kind, label, len(payload) * self.nodes,
                          messages=self.nodes, seconds=send_seconds)
@@ -346,7 +444,15 @@ class ProcessCluster:
         reply_bytes = 0
         started = time.perf_counter()
         for worker in range(self.nodes):
-            raw = self._recv(worker)
+            if worker in failed:
+                continue
+            try:
+                raw = self._try_recv(worker)
+            except _WorkerUnavailable as exc:
+                if not self.supervise:
+                    self._fail(exc.worker, exc.reason)
+                failed[worker] = exc.reason
+                continue
             reply = pickle.loads(raw)
             if reply[0] == "err":
                 self._fail(worker, f"raised during {label!r}", reply[1])
@@ -357,7 +463,155 @@ class ProcessCluster:
         gather_seconds = time.perf_counter() - started
         self.comm.record(GATHER, label, reply_bytes,
                          messages=self.nodes, seconds=gather_seconds)
+        for worker, reason in failed.items():
+            replies[worker] = self._recover_worker(worker, reason, op,
+                                                   payload, label)
+        if self.supervise:
+            if op[0] == "add_lowrank":
+                self._log_refresh(op)
+            elif op[0] == "matmul":
+                self._refresh_basis()
         return replies
+
+    # -- supervision -----------------------------------------------------
+    def _refresh_basis(self) -> None:
+        """Re-copy every view into the recovery basis; drop the oplog."""
+        if not self.supervise:
+            return
+        self._basis = {name: np.array(view)
+                       for name, view in self._views.items()}
+        self._oplog.clear()
+
+    def _log_refresh(self, op: tuple) -> None:
+        """Append one completed factored refresh to the recovery oplog."""
+        _, name, u, v = op
+        self._oplog.append((name, np.array(u), np.array(v)))
+        if len(self._oplog) > self.oplog_limit:
+            self._refresh_basis()
+
+    def _retire_worker(self, worker: int) -> None:
+        """Make sure a failed incarnation is dead and its pipe closed.
+
+        A *hung* worker is still alive and would otherwise wake up later
+        and apply a stale op to rows its successor now owns — terminate
+        before respawning, escalating to SIGKILL if need be.
+        """
+        proc, conn = self._procs[worker], self._conns[worker]
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=2.0)
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    def _recover_worker(self, worker: int, reason: str, op: tuple,
+                        payload: bytes, label: str):
+        """Respawn + reseed + replay + retry one failed worker.
+
+        Returns the retried op's reply data.  Exhausted retries poison
+        the cluster like an unsupervised failure would.
+        """
+        started = time.perf_counter()
+        self._retire_worker(worker)
+        if not self.supervise:
+            self._fail(worker, reason)
+        last_reason = reason
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                time.sleep(min(self.backoff * (2 ** (attempt - 1)),
+                               self.backoff_cap))
+            self._spawn_worker(worker)
+            try:
+                data = self._rebuild_worker(worker, op, payload, label)
+            except _WorkerUnavailable as exc:
+                last_reason = exc.reason
+                self._retire_worker(worker)
+                continue
+            self.recoveries.append(RecoveryEvent(
+                worker=worker, label=label, reason=reason,
+                attempts=attempt + 1, replayed=len(self._oplog),
+                restored_views=len(self._basis),
+                seconds=time.perf_counter() - started,
+            ))
+            return data
+        self._fail(
+            worker,
+            f"unrecoverable after {self.max_retries + 1} respawn attempts "
+            f"({last_reason}); first failure: {reason}",
+        )
+
+    def _rebuild_worker(self, worker: int, op: tuple, payload: bytes,
+                        label: str):
+        """Bring a freshly spawned worker to the pre-op state, retry.
+
+        Three phases, each bitwise-safe: (1) re-attach every live
+        segment; (2) reseed the worker's own tile rows from the basis —
+        pure copies, coordinator-side, erasing any torn partial write
+        the dead incarnation left; (3) replay the oplog's completed
+        refreshes *in the worker* (pinned single-thread BLAS, same
+        kernels, same tile order as the lost incarnation ran them).
+        Then the in-flight op is re-sent.  Surviving workers already
+        applied it to their disjoint rows, so after the retry every row
+        of every view is exactly where a fault-free run would be.
+        """
+        conn = self._conns[worker]
+        sent_bytes = 0
+        messages = 0
+        recover_started = time.perf_counter()
+
+        def call(message: tuple):
+            nonlocal sent_bytes, messages
+            blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+            try:
+                conn.send_bytes(blob)
+            except (BrokenPipeError, OSError):
+                raise _WorkerUnavailable(
+                    worker, "pipe closed during recovery")
+            sent_bytes += len(blob)
+            messages += 1
+            raw = self._try_recv(worker)
+            reply = pickle.loads(raw)
+            if reply[0] == "err":
+                self._fail(worker, "raised during recovery replay", reply[1])
+            return reply[2]
+
+        # An in-flight attach re-attaches via the retried op itself.
+        skip_attach = op[1] if op[0] == "attach" else None
+        for name, seg in self._segments.items():
+            if name == skip_attach:
+                continue
+            call(("attach", name, seg.name, seg.shape))
+        owned = self.partitioner.shards[worker]
+        bounds = self.partitioner.tile_bounds
+        for name, block in self._basis.items():
+            view = self._views.get(name)
+            if view is None:
+                continue
+            for t in owned:
+                r0, r1 = bounds[t]
+                view[r0:r1] = block[r0:r1]
+        for name, u, v in self._oplog:
+            call(("add_lowrank", name, u, v))
+        try:
+            conn.send_bytes(payload)
+        except (BrokenPipeError, OSError):
+            raise _WorkerUnavailable(worker, "pipe closed during retry")
+        sent_bytes += len(payload)
+        messages += 1
+        raw = self._try_recv(worker)
+        reply = pickle.loads(raw)
+        if reply[0] == "err":
+            self._fail(worker, f"raised during {label!r}", reply[1])
+        _, seconds, data = reply
+        self.worker_seconds[worker] += seconds
+        self.comm.record(BROADCAST, "recover", sent_bytes,
+                         messages=messages,
+                         seconds=time.perf_counter() - recover_started)
+        return data
 
     # -- shared-memory views ---------------------------------------------
     def put(self, name: str, value: np.ndarray) -> np.ndarray:
@@ -375,6 +629,8 @@ class ProcessCluster:
                     f"cannot overwrite with {arr.shape}"
                 )
             existing[...] = arr
+            if self.supervise:
+                self._refresh_basis()
             return existing
         seg = SharedArray.create(arr.shape)
         seg.array[...] = arr
@@ -382,6 +638,8 @@ class ProcessCluster:
         self._views[name] = seg.array
         self.roundtrip(("attach", name, seg.name, arr.shape),
                        BROADCAST, "attach")
+        if self.supervise:
+            self._refresh_basis()
         return seg.array
 
     def alloc(self, name: str, shape: tuple[int, int]) -> np.ndarray:
@@ -403,6 +661,8 @@ class ProcessCluster:
         if seg is None:
             return
         self._views.pop(name, None)
+        self._basis.pop(name, None)
+        self._oplog = [entry for entry in self._oplog if entry[0] != name]
         if self.failure is None and not self._closed:
             self.roundtrip(("detach", name), BROADCAST, "detach")
         seg.close()
@@ -420,6 +680,19 @@ class ProcessCluster:
         except (BrokenPipeError, OSError):
             pass
         self._procs[worker].join(timeout=5.0)
+
+    def hang_worker(self, worker: int, seconds: float = 3600.0) -> None:
+        """Test hook: make ``worker`` go quiet for ``seconds`` (no reply).
+
+        The next call's per-worker deadline (``timeout``) is what must
+        notice; supervised clusters then terminate and recover the
+        hung incarnation.
+        """
+        try:
+            self._conns[worker].send_bytes(
+                pickle.dumps(("hang", float(seconds))))
+        except (BrokenPipeError, OSError):
+            pass
 
     def close(self) -> None:
         """Stop the workers and release every shared segment (idempotent)."""
@@ -439,8 +712,13 @@ class ProcessCluster:
 
 
 __all__ = [
+    "DEFAULT_BACKOFF",
+    "DEFAULT_BACKOFF_CAP",
+    "DEFAULT_MAX_RETRIES",
+    "DEFAULT_OPLOG_LIMIT",
     "DEFAULT_TIMEOUT",
     "ProcessCluster",
+    "RecoveryEvent",
     "WorkerFailedError",
     "tile_add_lowrank",
     "tile_matT_lowrank",

@@ -1,6 +1,15 @@
 """Single-node NumPy backend: executor, views, update events, IVM sessions."""
 
 from .batching import BatchStats, SessionBatcher
+from .checkpoint import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointManager,
+    Checkpointer,
+    load_checkpoint,
+    restore_session,
+    write_checkpoint,
+)
 from .drift import (
     DriftExceededError,
     DriftMonitor,
@@ -17,7 +26,10 @@ from .heavylight import (
 )
 from .serving import (
     FlushOnReadServer,
+    IngressOverflowError,
+    IngressTimeoutError,
     MaintainerEngine,
+    OVERLOAD_POLICIES,
     ServerClosedError,
     ServerStats,
     SessionEngine,
@@ -35,6 +47,7 @@ from .session import (
 )
 from .updates import (
     FactoredUpdate,
+    InvalidUpdateError,
     batch_row_update,
     cell_update,
     column_update,
@@ -45,6 +58,10 @@ from .workspace import Workspace
 
 __all__ = [
     "BatchStats",
+    "CheckpointCorruptError",
+    "CheckpointError",
+    "CheckpointManager",
+    "Checkpointer",
     "DriftExceededError",
     "DriftMonitor",
     "DriftReport",
@@ -55,6 +72,10 @@ __all__ = [
     "HeavyLightRefresher",
     "HeavyLightStats",
     "IVMSession",
+    "IngressOverflowError",
+    "IngressTimeoutError",
+    "InvalidUpdateError",
+    "OVERLOAD_POLICIES",
     "MaintainerEngine",
     "ReevalSession",
     "ReplanEvent",
@@ -76,7 +97,10 @@ __all__ = [
     "cell_update",
     "column_update",
     "evaluate",
+    "load_checkpoint",
     "open_session",
+    "restore_session",
     "resolve_dim",
     "row_update",
+    "write_checkpoint",
 ]

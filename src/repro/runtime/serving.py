@@ -48,6 +48,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
@@ -58,6 +59,9 @@ from .updates import FactoredUpdate
 #: Default bound on absorbed-but-unpublished updates per snapshot.
 DEFAULT_MAX_STALENESS = 64
 
+#: Ingress overload policies a bounded server accepts.
+OVERLOAD_POLICIES = ("block", "reject", "shed-oldest")
+
 _STOP = object()
 
 
@@ -67,6 +71,14 @@ class ServerClosedError(RuntimeError):
 
 class WriterFailedError(RuntimeError):
     """The writer thread died; the original exception is ``__cause__``."""
+
+
+class IngressOverflowError(RuntimeError):
+    """A bounded ``overload="reject"`` ingress queue refused an update."""
+
+
+class IngressTimeoutError(RuntimeError):
+    """A blocking ingress enqueue exceeded its ``timeout``."""
 
 
 @dataclass(frozen=True)
@@ -103,6 +115,14 @@ class ServerStats:
     pending_log: list[int] = field(default_factory=list)
     #: Total seconds spent flushing + copying snapshots.
     publish_seconds: float = 0.0
+    #: Updates dropped by the ``shed-oldest`` overload policy.
+    shed: int = 0
+    #: Updates refused by the ``reject`` overload policy.
+    rejected: int = 0
+    #: Queued updates thrown away by ``close(discard=True)`` / deadline.
+    discarded: int = 0
+    #: Snapshots cut at epoch-publish boundaries (writer thread).
+    checkpoints: int = 0
 
     def as_dict(self) -> dict:
         """Scalar counters as a JSON-ready dict (the bench schema)."""
@@ -112,6 +132,10 @@ class ServerStats:
             "epochs": self.epochs,
             "max_pending_at_publish": self.max_pending_at_publish,
             "publish_seconds": self.publish_seconds,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "discarded": self.discarded,
+            "checkpoints": self.checkpoints,
         }
 
 
@@ -168,6 +192,10 @@ class SessionEngine:
             for name in names
         }
 
+    def checkpointer(self):
+        """The served session's attached checkpointer (or ``None``)."""
+        return getattr(self.target, "checkpointer", None)
+
 
 class MaintainerEngine:
     """Adapts an analytics driver (pagerank, markov, ...) for serving.
@@ -223,6 +251,10 @@ class MaintainerEngine:
             for name in names
         }
 
+    def checkpointer(self):
+        """Analytics drivers have no session checkpointer."""
+        return None
+
 
 def _as_engine(target, views=None):
     if isinstance(target, (SessionEngine, MaintainerEngine)):
@@ -233,6 +265,138 @@ def _as_engine(target, views=None):
         f"cannot serve {type(target).__name__}: expected a session, a "
         "session monitor, or a serving engine"
     )
+
+
+class _IngressQueue:
+    """Bounded ingress with an explicit overload policy.
+
+    Only :class:`FactoredUpdate` items count against ``maxsize`` —
+    control items (flush barriers, tasks, the stop sentinel) always
+    enqueue, because shutdown and read barriers must never be refused
+    by a full queue.  Overload policies for updates:
+
+    * ``"block"`` — wait for space (bounded by the per-enqueue
+      ``timeout``, raising :class:`IngressTimeoutError` on expiry) —
+      classic backpressure;
+    * ``"reject"`` — raise :class:`IngressOverflowError` immediately,
+      pushing the retry decision to the producer;
+    * ``"shed-oldest"`` — drop the oldest *queued* update to admit the
+      new one (freshness over completeness; sheds are counted).
+
+    :meth:`close_for_updates` wakes every blocked producer with
+    :class:`ServerClosedError` so a closing (or failed) server never
+    strands a producer in an un-wakeable wait.
+    """
+
+    def __init__(self, maxsize: int, policy: str):
+        if policy not in OVERLOAD_POLICIES:
+            raise ValueError(
+                f"overload must be one of {OVERLOAD_POLICIES}, got {policy!r}")
+        if maxsize < 0:
+            raise ValueError(f"max_queue must be >= 0, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self.policy = policy
+        self.shed = 0
+        self._items: deque = deque()
+        self._updates = 0
+        self._closed = False
+        self._cond = threading.Condition()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    def _has_space(self) -> bool:
+        return self.maxsize <= 0 or self._updates < self.maxsize
+
+    def put_control(self, item) -> None:
+        """Enqueue a control item unconditionally (never refused)."""
+        with self._cond:
+            self._items.append(item)
+            self._cond.notify_all()
+
+    def put_update(self, update: FactoredUpdate,
+                   timeout: float | None = None) -> None:
+        """Enqueue one update under the overload policy."""
+        with self._cond:
+            if self._closed:
+                raise ServerClosedError("this ViewServer is closed")
+            if not self._has_space():
+                if self.policy == "reject":
+                    raise IngressOverflowError(
+                        f"ingress queue full ({self.maxsize} updates)")
+                if self.policy == "shed-oldest":
+                    self._shed_oldest()
+                else:
+                    deadline = (None if timeout is None
+                                else time.monotonic() + timeout)
+                    # Re-test closed even once space appears: close()
+                    # discards the queue (making space) right after
+                    # refusing updates, and an update admitted then
+                    # would land behind _STOP and vanish unapplied.
+                    while not self._has_space() or self._closed:
+                        if self._closed:
+                            raise ServerClosedError(
+                                "this ViewServer is closed")
+                        remaining = None
+                        if deadline is not None:
+                            remaining = deadline - time.monotonic()
+                            if remaining <= 0:
+                                raise IngressTimeoutError(
+                                    f"no ingress space within {timeout}s "
+                                    f"(queue bound {self.maxsize})")
+                        self._cond.wait(remaining)
+            self._items.append(update)
+            self._updates += 1
+            self._cond.notify_all()
+
+    def _shed_oldest(self) -> None:
+        for index, item in enumerate(self._items):
+            if isinstance(item, FactoredUpdate):
+                del self._items[index]
+                self._updates -= 1
+                self.shed += 1
+                return
+        # No queued update to shed (all control items): admit anyway —
+        # control items don't consume update capacity.
+
+    def get(self):
+        """Blocking dequeue (writer thread)."""
+        with self._cond:
+            while not self._items:
+                self._cond.wait()
+            return self._pop_locked()
+
+    def get_nowait(self):
+        """Non-blocking dequeue; raises :class:`queue.Empty` when idle."""
+        with self._cond:
+            if not self._items:
+                raise queue.Empty
+            return self._pop_locked()
+
+    def _pop_locked(self):
+        item = self._items.popleft()
+        if isinstance(item, FactoredUpdate):
+            self._updates -= 1
+            self._cond.notify_all()  # space freed: wake blocked producers
+        return item
+
+    def discard_updates(self) -> int:
+        """Drop every queued update (control items survive); return count."""
+        with self._cond:
+            kept = deque(item for item in self._items
+                         if not isinstance(item, FactoredUpdate))
+            dropped = len(self._items) - len(kept)
+            self._items = kept
+            self._updates = 0
+            self._cond.notify_all()
+            return dropped
+
+    def close_for_updates(self) -> None:
+        """Refuse future updates; wake blocked producers to raise."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
 
 
 class _Flush:
@@ -281,11 +445,27 @@ class ViewServer:
         seconds old (``None``: no wall-clock bound).
     max_queue:
         Ingress queue capacity; ``0`` (default) is unbounded, a
-        positive bound makes :meth:`submit` block — queue-based load
-        leveling with backpressure.
+        positive bound applies the ``overload`` policy — queue-based
+        load leveling with explicit backpressure.
+    overload:
+        What a full (bounded) ingress queue does with a new update:
+        ``"block"`` (default) waits for space — per-call ``timeout``
+        on :meth:`submit` bounds the wait with
+        :class:`IngressTimeoutError`; ``"reject"`` raises
+        :class:`IngressOverflowError` immediately; ``"shed-oldest"``
+        drops the oldest queued update to admit the new one (sheds are
+        counted in ``stats.shed``).  Control items — flush barriers,
+        :meth:`call` tasks, shutdown — are never refused.
+
+    If the served session has an attached
+    :class:`~repro.runtime.checkpoint.Checkpointer`, the writer thread
+    additionally cuts any *due* snapshot right after each epoch
+    publication — durability rides the epoch cadence, on the writer
+    thread, so readers never block on a checkpoint write.
 
     Use as a context manager, or call :meth:`close` — shutdown drains
-    the queue, publishes the final epoch, and joins the writer.
+    the queue (or discards it: ``close(discard=True)``), publishes the
+    final epoch, and joins the writer.
     """
 
     def __init__(
@@ -295,6 +475,7 @@ class ViewServer:
         max_staleness: int | None = DEFAULT_MAX_STALENESS,
         max_age: float | None = None,
         max_queue: int = 0,
+        overload: str = "block",
     ):
         if max_staleness is not None and max_staleness < 1:
             raise ValueError("max_staleness must be positive (or None)")
@@ -303,7 +484,7 @@ class ViewServer:
         self._engine = _as_engine(target, views)
         self.max_staleness = max_staleness
         self.max_age = max_age
-        self._queue: queue.Queue = queue.Queue(max_queue)
+        self._queue = _IngressQueue(max_queue, overload)
         self.stats = ServerStats()
         self._submit_lock = threading.Lock()
         self._closed = False
@@ -377,13 +558,32 @@ class ViewServer:
         return self.refresh().views
 
     # -- the write side (any producer thread) ----------------------------
-    def submit(self, update: FactoredUpdate) -> None:
-        """Enqueue one factored update for the writer (non-blocking
-        unless ``max_queue`` backpressure applies)."""
+    def submit(self, update: FactoredUpdate,
+               timeout: float | None = None) -> None:
+        """Enqueue one factored update for the writer.
+
+        Non-blocking on an unbounded queue; on a bounded one the
+        ``overload`` policy decides (block / reject / shed-oldest).
+        ``timeout`` bounds a blocking wait — expiry raises
+        :class:`IngressTimeoutError` and the update is *not* enqueued,
+        so the producer can apply its own shed/retry policy.
+        """
         self._check_open()
+        try:
+            self._queue.put_update(update, timeout=timeout)
+        except ServerClosedError:
+            # The writer closed (or died) while we waited for space:
+            # surface the richer failure when there is one.
+            self._raise_if_failed()
+            raise
+        except IngressOverflowError:
+            with self._submit_lock:
+                self.stats.rejected += 1
+            raise
+        finally:
+            self.stats.shed = self._queue.shed
         with self._submit_lock:
             self.stats.submitted += 1
-        self._queue.put(update)
 
     def submit_many(self, updates: Iterable[FactoredUpdate]) -> None:
         """Enqueue a whole stream in order (convenience over submit)."""
@@ -404,7 +604,7 @@ class ViewServer:
         task = _Task((lambda: fn(*args, **kwargs)), waitable=wait)
         with self._submit_lock:
             self.stats.submitted += 1
-        self._queue.put(task)
+        self._queue.put_control(task)
         if wait:
             self._wait(task.event)
             if task.error is not None and task.error is not self._error:
@@ -423,24 +623,46 @@ class ViewServer:
         if self._closed:
             return self._snapshot
         flush = _Flush()
-        self._queue.put(flush)
+        self._queue.put_control(flush)
         self._wait(flush.event, timeout)
         # The event is also set by the failure drain: re-check before
         # handing back a snapshot that predates the writer's death.
         self._raise_if_failed()
         return self._snapshot
 
-    def close(self) -> None:
-        """Drain the queue, publish the final epoch, stop the writer.
+    def close(self, deadline: float | None = None,
+              discard: bool = False) -> None:
+        """Stop the writer: drain the queue (default) or discard it.
 
-        Idempotent.  Re-raises the writer's exception if it failed.
+        Idempotent — a second close is a no-op join.  New submissions
+        are refused immediately (producers blocked on a full queue wake
+        with :class:`ServerClosedError`); queued updates are applied
+        and folded into one final epoch before the writer stops, unless
+        ``discard=True`` throws them away (counted in
+        ``stats.discarded``).  ``deadline`` bounds the drain in
+        seconds: on expiry whatever is still queued is discarded so
+        close always returns (default: a 60 s deadlock guard).
+        Re-raises the writer's exception if it failed.
         """
         if not self._closed:
             self._closed = True
-            self._queue.put(_STOP)
-        self._thread.join(timeout=60.0)
-        if self._thread.is_alive():  # pragma: no cover - deadlock guard
-            raise WriterFailedError("writer thread failed to stop in 60s")
+            self._queue.close_for_updates()
+            if discard:
+                dropped = self._queue.discard_updates()
+                with self._submit_lock:
+                    self.stats.discarded += dropped
+            self._queue.put_control(_STOP)
+        self._thread.join(timeout=60.0 if deadline is None else deadline)
+        if self._thread.is_alive():
+            if deadline is not None:
+                # Deadline expired mid-drain: give up on the remaining
+                # queue and let the writer hit _STOP promptly.
+                dropped = self._queue.discard_updates()
+                with self._submit_lock:
+                    self.stats.discarded += dropped
+                self._thread.join(timeout=60.0)
+            if self._thread.is_alive():  # pragma: no cover - deadlock guard
+                raise WriterFailedError("writer thread failed to stop")
         self._raise_if_failed()
 
     def __enter__(self) -> "ViewServer":
@@ -505,6 +727,13 @@ class ViewServer:
         self._snapshot = snap  # the atomic epoch-pointer swap
         with self._pub_cond:
             self._pub_cond.notify_all()
+        # Epoch boundary = durability boundary: cut any due checkpoint
+        # *after* the swap, on the writer thread — readers already have
+        # the new snapshot and never wait on the disk write.
+        checkpointer = self._engine.checkpointer()
+        if checkpointer is not None:
+            if checkpointer.maybe_checkpoint() is not None:
+                self.stats.checkpoints += 1
 
     def _handle(self, item) -> None:
         if isinstance(item, FactoredUpdate):
@@ -572,6 +801,8 @@ class ViewServer:
 
     def _drain_failed(self) -> None:
         """Release every waiter after a writer failure (no hangs)."""
+        # Producers blocked on a full ingress queue must wake too.
+        self._queue.close_for_updates()
         while True:
             try:
                 item = self._queue.get_nowait()
@@ -757,7 +988,10 @@ def run_load(
 __all__ = [
     "DEFAULT_MAX_STALENESS",
     "FlushOnReadServer",
+    "IngressOverflowError",
+    "IngressTimeoutError",
     "MaintainerEngine",
+    "OVERLOAD_POLICIES",
     "ServerClosedError",
     "ServerStats",
     "SessionEngine",

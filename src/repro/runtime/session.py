@@ -49,6 +49,9 @@ switch, and within ``max_staleness`` updates (see
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
+from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -66,7 +69,7 @@ from ..delta.batch import DEFAULT_RTOL
 from .batching import SessionBatcher
 from .executor import evaluate
 from .heavylight import HeavyLightMaintainer
-from .updates import FactoredUpdate
+from .updates import FactoredUpdate, InvalidUpdateError
 from .views import ViewStore
 from .workspace import Workspace
 
@@ -116,6 +119,7 @@ class Session:
         self._batch_staleness: int | None = None
         self._partitioner: HeavyLightMaintainer | None = None
         self._auto_partition = False
+        self._checkpointer = None
         if isinstance(inputs, ViewStore):
             # Adopt live state: one conversion pass, no re-evaluation.
             self.views = inputs.converted(self.backend)
@@ -159,7 +163,14 @@ class Session:
         instead split by target row through the session's
         :class:`~repro.runtime.heavylight.HeavyLightMaintainer` —
         partitioning takes precedence over uniform batching.
+
+        Malformed updates — NaN/Inf factor entries, factor shapes the
+        target view cannot absorb — are rejected with
+        :class:`~repro.runtime.updates.InvalidUpdateError` *before* any
+        view, batcher or accumulator is touched, so a bad update never
+        poisons maintained state.
         """
+        self._validate_update(update)
         if self._partitioner is not None:
             self._partitioner.absorb(self, update)
         elif self._batcher is not None:
@@ -167,6 +178,8 @@ class Session:
         else:
             self._apply_now(update)
         self.update_count += 1
+        if self._checkpointer is not None:
+            self._checkpointer.note(update)
 
     def apply_updates(self, updates: Sequence[FactoredUpdate]) -> None:
         """Maintain the views across a sequence of updates, in order."""
@@ -181,6 +194,66 @@ class Session:
         """Raise early for updates no flush could ever apply."""
         if update.target not in self.views:
             raise KeyError(f"no view or input named {update.target!r}")
+
+    def _validate_update(self, update: FactoredUpdate) -> None:
+        """Reject malformed updates before they can touch any state."""
+        update.validate_finite()
+        self._check_update_target(update)
+        if update.target not in self.views:
+            return
+        rows, cols = self.backend.shape(self.views.get(update.target))
+        if update.u_block.shape[0] != rows or update.v_block.shape[0] != cols:
+            raise InvalidUpdateError(
+                f"update factors ({update.u_block.shape[0]} x "
+                f"{update.v_block.shape[0]}) do not match {update.target!r} "
+                f"({rows} x {cols})"
+            )
+
+    # -- checkpointing ---------------------------------------------------
+    def attach_checkpointer(self, target, **options):
+        """Attach a checkpoint policy; every applied update is logged.
+
+        ``target`` is a directory (snapshots land there under a
+        :class:`~repro.runtime.checkpoint.CheckpointManager`) or an
+        existing :class:`~repro.runtime.checkpoint.Checkpointer` to
+        re-point at this session; ``options`` pass through to the
+        ``Checkpointer`` constructor (``every``, ``keep``, ``auto``,
+        ``rank``, ``optimize``, ``delta_limit``).  Returns the attached
+        checkpointer.
+        """
+        from .checkpoint import Checkpointer
+
+        if isinstance(target, Checkpointer):
+            checkpointer = target
+            checkpointer.session = self
+        else:
+            checkpointer = Checkpointer(self, target, **options)
+        self._checkpointer = checkpointer
+        return checkpointer
+
+    @property
+    def checkpointer(self):
+        """The attached :class:`Checkpointer`, or ``None``."""
+        return self._checkpointer
+
+    def restore(self):
+        """Rebuild this session's state from its latest valid snapshot.
+
+        Delegates to the attached checkpointer: the newest valid
+        snapshot is loaded, the logged delta tail replays, and the
+        returned *fresh* session (bitwise-identical to this one) takes
+        over the checkpointer.  Raises
+        :class:`~repro.runtime.checkpoint.CheckpointError` when no
+        checkpointer is attached.
+        """
+        from .checkpoint import CheckpointError
+
+        if self._checkpointer is None:
+            raise CheckpointError(
+                "no checkpointer attached (open_session(checkpoint=...) "
+                "or session.attach_checkpointer(directory))"
+            )
+        return self._checkpointer.restore()
 
     # -- batching --------------------------------------------------------
     def set_batching(
@@ -422,6 +495,16 @@ class Session:
             )
         if self._partitioner is not None and session._partitioner is not None:
             session._partitioner.stats = self._partitioner.stats
+        # The checkpoint policy follows the live state: the delta log
+        # keeps accumulating across the switch (snapshots capture the
+        # new configuration), and the old session stops noting.
+        if self._checkpointer is not None:
+            checkpointer = self._checkpointer
+            checkpointer.session = session
+            checkpointer.rank = rank
+            checkpointer.optimize = optimize
+            session._checkpointer = checkpointer
+            self._checkpointer = None
         return session
 
     def _partition_staleness(self) -> int | None:
@@ -688,10 +771,16 @@ class ShardedChainSession(Session):
         tile_rows: int | None = None,
         start_method: str = "spawn",
         timeout: float | None = None,
+        supervise: bool = False,
+        recover: str = "reeval",
     ):
         from ..distributed.partitioner import RowShardPartitioner
         from ..distributed.sharded import ShardedEngine, chain_steps
         from ..distributed.workers import DEFAULT_TIMEOUT
+
+        if recover not in ("reeval", "fail"):
+            raise ValueError(f"recover must be 'reeval' or 'fail', "
+                             f"got {recover!r}")
 
         resolved_backend = get_backend(backend)
         if resolved_backend.name != "dense":
@@ -720,22 +809,48 @@ class ShardedChainSession(Session):
                                           strategy=shard, tile_rows=tile_rows)
         self.nodes = nodes
         self.shard = shard
+        self.recover = recover
+        #: One record per REEVAL fallback taken after an unrecoverable
+        #: worker failure (see :meth:`_reeval_recover`).
+        self.fallback_events: list[dict] = []
         self.engine = ShardedEngine(
             partitioner, start_method=start_method,
             timeout=DEFAULT_TIMEOUT if timeout is None else timeout,
+            supervise=supervise,
         )
         self._sharded = False
         self._shard_views()
+
+    @property
+    def recoveries(self) -> list:
+        """Supervised worker recoveries logged by the cluster."""
+        return self.engine.recoveries
 
     def _shard_names(self) -> list[str]:
         return [self._input_name] + [target for target, _, _ in self._steps]
 
     def _shard_views(self) -> None:
         """Copy every maintained view into shared memory and re-point
-        the store at the segment-backed arrays (zero-copy reads)."""
-        for name in self._shard_names():
-            shared = self.engine.put(name, self.views.get_dense(name))
-            self.views._arrays[name] = shared
+        the store at the segment-backed arrays (zero-copy reads).
+
+        On any failure mid-sharding (a full ``/dev/shm`` raising
+        :class:`~repro.distributed.shm.SharedMemoryBudgetError`, a
+        worker dying during attach) the already-sharded views are
+        copied back to private arrays and the cluster is shut down
+        before the error propagates — the session's state stays intact
+        for a single-process fallback.
+        """
+        done: list[str] = []
+        try:
+            for name in self._shard_names():
+                shared = self.engine.put(name, self.views.get_dense(name))
+                self.views._arrays[name] = shared
+                done.append(name)
+        except Exception:
+            for name in done:
+                self.views._arrays[name] = np.array(self.views._arrays[name])
+            self.engine.close()
+            raise
         self._sharded = True
 
     def _unshard(self) -> None:
@@ -749,6 +864,7 @@ class ShardedChainSession(Session):
 
     def _apply_now(self, update: FactoredUpdate) -> None:
         from ..distributed.sharded import sharded_refresh
+        from ..distributed.workers import WorkerFailedError
 
         if update.target != self._input_name:
             raise KeyError(
@@ -761,8 +877,75 @@ class ShardedChainSession(Session):
         )
         self.counter.record("sharded_refresh",
                             flops * len(self._shard_names()))
-        sharded_refresh(self.engine, self._input_name, self._steps,
-                        update.u_block, update.v_block)
+        progress: list = []
+        try:
+            sharded_refresh(self.engine, self._input_name, self._steps,
+                            update.u_block, update.v_block,
+                            progress=progress)
+        except WorkerFailedError as error:
+            if self.recover != "reeval" or not self._sharded:
+                raise
+            self._reeval_recover(progress, update, error)
+
+    def _reeval_recover(self, progress: list, update: FactoredUpdate,
+                        error: Exception) -> None:
+        """Recover from an unrecoverable cluster failure mid-refresh.
+
+        The refresh's ``progress`` log pins down exactly how far the
+        shared-memory state got (see
+        :func:`~repro.distributed.sharded.sharded_refresh`): views
+        whose ``"added"`` entry landed absorbed their delta, the one
+        with an unmatched ``"adding"`` may hold torn rows, later ones
+        are untouched.  Recovery migrates onto a single-process
+        :class:`~repro.distributed.sharded.LocalShardEngine` (same
+        tiles, same kernels):
+
+        * input not yet absorbed → nothing durable changed; the whole
+          refresh reruns locally (the INCR path, bitwise-identical
+          arithmetic);
+        * input absorbed → every derived view is re-evaluated from the
+          consistent input via tiled ``matmul`` (the REEVAL path of
+          Section 2 — more expensive, erases any torn rows).
+
+        A torn *input* has no consistent basis on either path, so that
+        case re-raises — restore from a checkpoint instead.  The
+        session continues single-process; re-sharding is a fresh
+        ``open_session(nodes=N)``.
+        """
+        from ..distributed.sharded import LocalShardEngine, sharded_refresh
+
+        added = {entry[1] for entry in progress if entry[0] == "added"}
+        adding = [entry[1] for entry in progress if entry[0] == "adding"]
+        torn = (adding[-1]
+                if adding and adding[-1] not in added else None)
+        if torn == self._input_name:
+            raise RuntimeError(
+                f"input {self._input_name!r} torn mid-absorption; no "
+                f"consistent basis to re-evaluate from — restore from a "
+                f"checkpoint"
+            ) from error
+        local = LocalShardEngine(self.engine.part)
+        for name in self._shard_names():
+            # The shm mappings survive the cluster teardown (the store
+            # still references them); copy out to private arrays.
+            local.put(name, np.array(self.views._arrays[name]))
+        if self._input_name in added:
+            mode = "reeval"
+            for target, left, right in self._steps:
+                local.matmul(target, left, right)
+        else:
+            mode = "replay"
+            sharded_refresh(local, self._input_name, self._steps,
+                            update.u_block, update.v_block)
+        for name in self._shard_names():
+            self.views._arrays[name] = local.get(name)
+        old, self.engine = self.engine, local
+        old.close()
+        self.nodes = 1
+        self.fallback_events.append({
+            "mode": mode, "torn": torn, "applied": sorted(added),
+            "reason": str(error), "update_count": self.update_count,
+        })
 
     def rebuild(self) -> None:
         """Re-evaluate from current inputs, then refill the segments.
@@ -827,6 +1010,8 @@ def open_session(
     serve=None,
     nodes=1,
     shard: str = "range",
+    supervise: bool = False,
+    checkpoint=None,
 ):
     """Open a maintenance session, planning the configuration if asked.
 
@@ -922,104 +1107,209 @@ def open_session(
         tile runs) or ``"hash"`` (round-robin tiles).  Maintenance
         results are bitwise identical either way; the axis exists for
         the skew/locality ablation.
+    supervise:
+        For sharded sessions: run the cluster under worker supervision
+        (:class:`~repro.distributed.workers.ProcessCluster` with
+        ``supervise=True``) — a killed or hung worker is detected,
+        respawned, and its shard re-materialized with the in-flight
+        call retried, so ``kill -9`` becomes a logged
+        :class:`~repro.distributed.workers.RecoveryEvent` instead of a
+        poisoned cluster.  When even supervision cannot save the
+        cluster, the session falls back to single-process maintenance
+        (:meth:`ShardedChainSession._reeval_recover`).  If the
+        machine's shared-memory budget cannot hold the views at all
+        (:class:`~repro.distributed.shm.SharedMemoryBudgetError`), the
+        session opens single-process with a ``RuntimeWarning``
+        regardless of this flag.
+    checkpoint:
+        ``None`` (off); a directory path enabling durable
+        checkpointing there with default policy; or a dict of
+        :class:`~repro.runtime.checkpoint.Checkpointer` options plus
+        ``"directory"`` and optionally ``"restore"``: ``restore=True``
+        requires a valid snapshot (raises
+        :class:`~repro.runtime.checkpoint.CheckpointError` otherwise),
+        ``restore="auto"`` resumes from one when present and falls
+        through to a fresh planned session when not.  A restored
+        session resumes on the checkpointed plan (single-process; pass
+        ``nodes=`` on a fresh open to re-shard) and keeps
+        checkpointing to the same directory.  With ``serve=`` the
+        server's writer thread additionally cuts due snapshots at
+        epoch-publish boundaries, so readers never block on a write.
+        An existing :class:`~repro.runtime.checkpoint.Checkpointer`
+        is re-attached as-is.
 
     Returns the session (or its monitor, or its view server), with the
     resolved :class:`~repro.planner.plan.MaintenancePlan` attached as
     ``.plan``.
     """
+    from ..distributed.shm import SharedMemoryBudgetError
     from ..planner import MaintenancePlan, WorkloadStats, plan_program
+    from .checkpoint import CheckpointError, Checkpointer, restore_session
     from .drift import ReplanMonitor, SessionDriftMonitor
     from .serving import ViewServer
 
-    stats_kwargs = {"update_rank": rank}
-    if refresh_count is not None:
-        stats_kwargs["refresh_count"] = refresh_count
-    stats = WorkloadStats(n=1, **stats_kwargs)
+    ckpt_target = None
+    ckpt_options: dict = {}
+    ckpt_restore = False
+    if checkpoint is not None:
+        if isinstance(checkpoint, (Checkpointer, str, Path)):
+            ckpt_target = checkpoint
+        elif isinstance(checkpoint, Mapping):
+            ckpt_options = dict(checkpoint)
+            ckpt_target = ckpt_options.pop("directory", None)
+            ckpt_restore = ckpt_options.pop("restore", False)
+            if ckpt_target is None:
+                raise ValueError("checkpoint dict needs a 'directory' entry")
+            if ckpt_restore not in (False, True, "auto"):
+                raise ValueError(
+                    f"checkpoint restore must be True, False or 'auto', "
+                    f"got {ckpt_restore!r}"
+                )
+        else:
+            raise ValueError(
+                f"checkpoint must be a directory, an options dict or a "
+                f"Checkpointer, got {checkpoint!r}"
+            )
 
-    if isinstance(nodes, (tuple, list)):
-        node_grid = tuple(int(count) for count in nodes) or (1,)
+    session: Session | None = None
+    if ckpt_restore and not isinstance(ckpt_target, Checkpointer):
+        try:
+            session = restore_session(program, ckpt_target, counter=counter)
+        except CheckpointError:
+            if ckpt_restore is True:
+                raise
+            # restore="auto": no valid snapshot yet — plan fresh below.
+            session = None
+
+    if session is not None:
+        # Resume on the checkpointed configuration: the snapshot's plan
+        # wins over this call's plan/batch/partition arguments (they
+        # describe a fresh open, not the state being resumed).
+        resolved = getattr(session, "plan", None)
+        if resolved is None:
+            resolved = plan_program(
+                program, inputs, stats=WorkloadStats(n=1, update_rank=rank),
+                dims=dims)
+            session.plan = resolved
     else:
-        node_grid = (1, int(nodes)) if int(nodes) > 1 else (1,)
+        stats_kwargs = {"update_rank": rank}
+        if refresh_count is not None:
+            stats_kwargs["refresh_count"] = refresh_count
+        stats = WorkloadStats(n=1, **stats_kwargs)
 
-    if isinstance(plan, MaintenancePlan):
-        resolved = plan
-    elif plan in ("auto", None):
-        resolved = plan_program(program, inputs, stats=stats, dims=dims,
-                                nodes=node_grid)
-    elif isinstance(plan, str) and plan.upper() in ("INCR", "REEVAL"):
-        resolved = plan_program(program, inputs, stats=stats, dims=dims,
-                                strategies=(plan.upper(),), nodes=node_grid)
-    else:
-        raise ValueError(
-            f"plan must be 'auto', 'incr', 'reeval' or a MaintenancePlan, "
-            f"got {plan!r}"
-        )
-    resolved = resolved.with_overrides(backend=backend and get_backend(backend).name,
-                                       mode=mode)
-    if resolved.strategy not in ("INCR", "REEVAL"):
-        raise ValueError(
-            f"sessions support INCR or REEVAL, not {resolved.strategy!r} "
-            "(HYBRID exists only for the iterative maintainers)"
-        )
+        if isinstance(nodes, (tuple, list)):
+            node_grid = tuple(int(count) for count in nodes) or (1,)
+        else:
+            node_grid = (1, int(nodes)) if int(nodes) > 1 else (1,)
 
-    if resolved.nodes > 1:
-        # Sharded execution runs the interpret-style tile kernels.
-        resolved = resolved.with_overrides(mode="interpret")
-        session: Session = ShardedChainSession(
-            program, inputs, dims, counter=counter,
-            backend=resolved.backend, nodes=resolved.nodes, shard=shard,
-        )
-    elif resolved.strategy == "REEVAL":
-        # Re-evaluation has no trigger code, so no execution mode.
-        resolved = resolved.with_overrides(mode="interpret")
-        session = ReevalSession(
-            program, inputs, dims, counter=counter, backend=resolved.backend,
-        )
-    else:
-        session = IVMSession(
-            program, inputs, dims, rank=rank, optimize=optimize,
-            mode=resolved.mode, counter=counter, backend=resolved.backend,
-        )
-    session.plan = resolved
+        if isinstance(plan, MaintenancePlan):
+            resolved = plan
+        elif plan in ("auto", None):
+            resolved = plan_program(program, inputs, stats=stats, dims=dims,
+                                    nodes=node_grid)
+        elif isinstance(plan, str) and plan.upper() in ("INCR", "REEVAL"):
+            resolved = plan_program(program, inputs, stats=stats, dims=dims,
+                                    strategies=(plan.upper(),),
+                                    nodes=node_grid)
+        else:
+            raise ValueError(
+                f"plan must be 'auto', 'incr', 'reeval' or a MaintenancePlan, "
+                f"got {plan!r}"
+            )
+        resolved = resolved.with_overrides(
+            backend=backend and get_backend(backend).name, mode=mode)
+        if resolved.strategy not in ("INCR", "REEVAL"):
+            raise ValueError(
+                f"sessions support INCR or REEVAL, not {resolved.strategy!r} "
+                "(HYBRID exists only for the iterative maintainers)"
+            )
 
-    if batch == "auto" or batch is True:
-        session.set_batching(resolved.batch_size,
-                             max_staleness=max_staleness, auto=True)
-    elif batch == "off" or batch is None or batch is False:
-        pass
-    elif isinstance(batch, int) and not isinstance(batch, bool):
-        if batch < 1:
-            raise ValueError(f"batch width must be >= 1, got {batch!r}")
-        if batch > 1:
-            session.set_batching(batch, max_staleness=max_staleness)
-    else:
-        raise ValueError(
-            f"batch must be 'auto', 'off', None or a width >= 1, got {batch!r}"
-        )
-
-    if partition == "auto" or partition is True:
-        if resolved.partition == "heavy-light":
-            session.set_partition(
-                "heavy-light",
-                heavy_budget=heavy_budget or resolved.heavy_budget,
-                max_staleness=max_staleness, auto=True,
+        if resolved.nodes > 1:
+            # Sharded execution runs the interpret-style tile kernels.
+            resolved = resolved.with_overrides(mode="interpret")
+            try:
+                session = ShardedChainSession(
+                    program, inputs, dims, counter=counter,
+                    backend=resolved.backend, nodes=resolved.nodes,
+                    shard=shard, supervise=supervise,
+                )
+            except SharedMemoryBudgetError as exc:
+                # Out of /dev/shm: a sharded plan cannot hold its views.
+                # Degrade to the single-process configuration instead of
+                # failing the open — the planner's grid always prices it.
+                warnings.warn(
+                    f"shared-memory budget exhausted; opening the planned "
+                    f"{resolved.nodes}-node session single-process instead "
+                    f"({exc})",
+                    RuntimeWarning, stacklevel=2,
+                )
+                resolved = dataclasses.replace(resolved, nodes=1)
+                session = IVMSession(
+                    program, inputs, dims, rank=rank, optimize=optimize,
+                    mode=resolved.mode, counter=counter,
+                    backend=resolved.backend,
+                )
+        elif resolved.strategy == "REEVAL":
+            # Re-evaluation has no trigger code, so no execution mode.
+            resolved = resolved.with_overrides(mode="interpret")
+            session = ReevalSession(
+                program, inputs, dims, counter=counter,
+                backend=resolved.backend,
             )
         else:
-            # Uniform for now, but plan-derived: re-planning may still
-            # switch the split on when the stream turns out skewed.
-            session.set_partition("uniform", auto=True)
-    elif partition in ("uniform", "off") or partition is None or partition is False:
-        session.set_partition("uniform")
-    elif partition == "heavy-light":
-        session.set_partition(
-            "heavy-light", heavy_budget=heavy_budget,
-            max_staleness=max_staleness,
-        )
-    else:
-        raise ValueError(
-            f"partition must be 'auto', 'uniform' or 'heavy-light', "
-            f"got {partition!r}"
-        )
+            session = IVMSession(
+                program, inputs, dims, rank=rank, optimize=optimize,
+                mode=resolved.mode, counter=counter, backend=resolved.backend,
+            )
+        session.plan = resolved
+
+        if batch == "auto" or batch is True:
+            session.set_batching(resolved.batch_size,
+                                 max_staleness=max_staleness, auto=True)
+        elif batch == "off" or batch is None or batch is False:
+            pass
+        elif isinstance(batch, int) and not isinstance(batch, bool):
+            if batch < 1:
+                raise ValueError(f"batch width must be >= 1, got {batch!r}")
+            if batch > 1:
+                session.set_batching(batch, max_staleness=max_staleness)
+        else:
+            raise ValueError(
+                f"batch must be 'auto', 'off', None or a width >= 1, "
+                f"got {batch!r}"
+            )
+
+        if partition == "auto" or partition is True:
+            if resolved.partition == "heavy-light":
+                session.set_partition(
+                    "heavy-light",
+                    heavy_budget=heavy_budget or resolved.heavy_budget,
+                    max_staleness=max_staleness, auto=True,
+                )
+            else:
+                # Uniform for now, but plan-derived: re-planning may
+                # still switch the split on when the stream turns skewed.
+                session.set_partition("uniform", auto=True)
+        elif (partition in ("uniform", "off") or partition is None
+                or partition is False):
+            session.set_partition("uniform")
+        elif partition == "heavy-light":
+            session.set_partition(
+                "heavy-light", heavy_budget=heavy_budget,
+                max_staleness=max_staleness,
+            )
+        else:
+            raise ValueError(
+                f"partition must be 'auto', 'uniform' or 'heavy-light', "
+                f"got {partition!r}"
+            )
+
+    if ckpt_target is not None:
+        options = dict(ckpt_options)
+        if not isinstance(ckpt_target, Checkpointer):
+            options.setdefault("rank", rank)
+            options.setdefault("optimize", optimize)
+        session.attach_checkpointer(ckpt_target, **options)
 
     result = session
     if replan:

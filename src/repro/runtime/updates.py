@@ -10,11 +10,29 @@ factor blocks; constructors cover the practical patterns:
 * :func:`column_update` — change one column (rank 1);
 * :func:`batch_row_update` — change many rows at once (rank = #rows),
   the Table 4 workload.
+
+Malformed updates are rejected with a typed :class:`InvalidUpdateError`
+— at construction for factor-width disagreement, and at the session
+boundary (:meth:`Session.apply_update
+<repro.runtime.session.Session.apply_update>`) for NaN/Inf entries and
+shapes the target view cannot absorb — before any view or accumulator
+is touched.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+
+class InvalidUpdateError(ValueError):
+    """A malformed update rejected before it could touch any state.
+
+    Raised at the session boundary for non-finite factors (NaN/Inf —
+    one such entry silently poisons every downstream view through
+    ``add_outer``) and for factor shapes no view could absorb, and at
+    construction for factor widths that disagree.  Subclasses
+    ``ValueError`` so pre-existing callers catching that still work.
+    """
 
 
 class FactoredUpdate:
@@ -29,13 +47,29 @@ class FactoredUpdate:
             u = u.reshape(-1, 1)
         if v.ndim == 1:
             v = v.reshape(-1, 1)
+        if u.ndim != 2 or v.ndim != 2:
+            raise InvalidUpdateError(
+                f"factor blocks must be matrices, got shapes "
+                f"{u.shape} and {v.shape} for {target!r}"
+            )
         if u.shape[1] != v.shape[1]:
-            raise ValueError(
+            raise InvalidUpdateError(
                 f"factor widths disagree: {u.shape} vs {v.shape} for {target!r}"
             )
         self.target = target
         self.u_block = u
         self.v_block = v
+
+    def validate_finite(self) -> None:
+        """Raise :class:`InvalidUpdateError` on any NaN/Inf factor entry."""
+        if not np.isfinite(self.u_block).all():
+            raise InvalidUpdateError(
+                f"non-finite entries in the left factor for {self.target!r}"
+            )
+        if not np.isfinite(self.v_block).all():
+            raise InvalidUpdateError(
+                f"non-finite entries in the right factor for {self.target!r}"
+            )
 
     @property
     def rank(self) -> int:

@@ -1,0 +1,23 @@
+"""Test harnesses shipped with the library (fault injection, chaos)."""
+
+from .faults import (
+    FaultInjector,
+    InjectedFaultError,
+    active_injector,
+    fire,
+    inject_faults,
+    kill_worker_at,
+    shm_budget_exhausted,
+    truncate_bytes,
+)
+
+__all__ = [
+    "FaultInjector",
+    "InjectedFaultError",
+    "active_injector",
+    "fire",
+    "inject_faults",
+    "kill_worker_at",
+    "shm_budget_exhausted",
+    "truncate_bytes",
+]

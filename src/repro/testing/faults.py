@@ -1,0 +1,198 @@
+"""Deterministic fault injection for the fault-tolerance chaos suite.
+
+Production code exposes *seams*: named call sites that invoke
+:func:`fire` with a site string, the value flowing through (when one
+does), and keyword context.  With no injector armed a seam is a single
+``None`` check — effectively free — so the seams stay compiled into the
+hot paths permanently instead of living behind a debug build.
+
+Tests arm an injector with :func:`inject_faults`::
+
+    with inject_faults() as faults:
+        faults.inject("checkpoint.write", truncate_bytes(0.5), at=1)
+        ...  # the second checkpoint write is torn in half
+
+Each injection names a site, an action, the 0-based occurrence index
+``at`` which it first fires, and how many ``times`` it repeats — so a
+fault lands at a *chosen* update/op index, deterministically, which is
+what lets the chaos suite compare a faulted run against a no-fault
+oracle.  Actions either mutate the value flowing through the seam
+(return a replacement) or raise; raising simulates a crash at that
+site.  The injector also counts every seam hit (armed or not), so
+tests can assert a fault actually fired instead of silently missing
+its site.
+
+Sites currently wired into the library:
+
+========================  ==================================================
+``shm.create``            before every shared-memory segment allocation
+                          (``nbytes=``); raise ``OSError(ENOSPC)`` via
+                          :func:`shm_budget_exhausted` to simulate
+                          ``/dev/shm`` exhaustion.
+``checkpoint.write``      the serialized checkpoint blob before it reaches
+                          the filesystem (``path=``); truncate for a torn
+                          write, raise for a crashed writer.
+``cluster.roundtrip``     at the start of every coordinator fan-out
+                          (``cluster=``, ``label=``); call
+                          :func:`kill_worker_at` to kill a worker
+                          immediately before a chosen op.
+========================  ==================================================
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable
+
+_lock = threading.Lock()
+_active: "FaultInjector | None" = None
+
+
+class InjectedFaultError(RuntimeError):
+    """The default injected failure (a typed, recognizable crash)."""
+
+
+class _Injection:
+    __slots__ = ("action", "at", "times", "fired")
+
+    def __init__(self, action: Callable, at: int, times: int):
+        self.action = action
+        self.at = int(at)
+        self.times = int(times)
+        self.fired = 0
+
+
+class FaultInjector:
+    """Armed fault plan: site -> (action, occurrence window)."""
+
+    def __init__(self):
+        self._injections: dict[str, list[_Injection]] = {}
+        #: Seam hits per site (counted whether or not anything fired).
+        self.hits: dict[str, int] = {}
+        #: ``(site, context)`` log of every injection that fired.
+        self.fired: list[tuple[str, dict]] = []
+
+    def inject(self, site: str, action: Callable | None = None,
+               at: int = 0, times: int = 1) -> None:
+        """Arm ``action`` at occurrences ``at .. at+times-1`` of ``site``.
+
+        ``action(value, **context)`` may return a replacement value
+        (``None`` keeps the original) or raise.  ``action=None`` raises
+        :class:`InjectedFaultError` — the generic crash.
+        """
+        if at < 0 or times < 1:
+            raise ValueError("need at >= 0 and times >= 1")
+        if action is None:
+            def action(value, **context):
+                raise InjectedFaultError(f"injected fault at {site!r}")
+        self._injections.setdefault(site, []).append(
+            _Injection(action, at, times))
+
+    def fire(self, site: str, value=None, **context):
+        """Seam entry: count the hit, run any armed action, pass value."""
+        count = self.hits.get(site, 0)
+        self.hits[site] = count + 1
+        for injection in self._injections.get(site, ()):
+            if (count >= injection.at
+                    and injection.fired < injection.times):
+                injection.fired += 1
+                self.fired.append((site, dict(context)))
+                replacement = injection.action(value, **context)
+                if replacement is not None:
+                    value = replacement
+        return value
+
+    def count(self, site: str) -> int:
+        """Seam hits observed at ``site`` so far."""
+        return self.hits.get(site, 0)
+
+
+def active_injector() -> FaultInjector | None:
+    """The currently armed injector, or ``None`` outside a chaos test."""
+    return _active
+
+
+def fire(site: str, value=None, **context):
+    """The seam call production code makes; a no-op when nothing is armed."""
+    injector = _active
+    if injector is None:
+        return value
+    return injector.fire(site, value, **context)
+
+
+@contextmanager
+def inject_faults():
+    """Arm a fresh :class:`FaultInjector` for the duration of the block.
+
+    Injectors do not nest (one global seam registry keeps the inactive
+    path a single ``None`` check); arming a second one raises.
+    """
+    global _active
+    injector = FaultInjector()
+    with _lock:
+        if _active is not None:
+            raise RuntimeError("a FaultInjector is already armed")
+        _active = injector
+    try:
+        yield injector
+    finally:
+        with _lock:
+            _active = None
+
+
+# -- canned actions -------------------------------------------------------
+
+def truncate_bytes(fraction: float) -> Callable:
+    """Action for ``checkpoint.write``: keep only the leading fraction.
+
+    The torn-write simulation: the file that lands on disk is a valid
+    prefix of a real checkpoint, exactly what a crash mid-write (or a
+    non-atomic writer) leaves behind.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must be in [0, 1)")
+
+    def action(value, **context):
+        if value is None:
+            raise TypeError("truncate_bytes needs the blob flowing through")
+        return bytes(value[: int(len(value) * fraction)])
+
+    return action
+
+
+def shm_budget_exhausted() -> Callable:
+    """Action for ``shm.create``: fail the allocation like a full tmpfs."""
+    import errno
+
+    def action(value, **context):
+        raise OSError(errno.ENOSPC, "No space left on device (injected)")
+
+    return action
+
+
+def kill_worker_at(worker: int) -> Callable:
+    """Action for ``cluster.roundtrip``: kill ``worker`` before the op.
+
+    The op then fans out to a dead process — the deterministic stand-in
+    for a ``kill -9`` landing between two operations.
+    """
+
+    def action(value, cluster=None, **context):
+        if cluster is None:
+            raise TypeError("kill_worker_at needs the cluster= context")
+        cluster.kill_worker(worker)
+
+    return action
+
+
+__all__ = [
+    "FaultInjector",
+    "InjectedFaultError",
+    "active_injector",
+    "fire",
+    "inject_faults",
+    "kill_worker_at",
+    "shm_budget_exhausted",
+    "truncate_bytes",
+]

@@ -430,3 +430,167 @@ class TestServeCLI:
         payload = json.loads(capsys.readouterr().out)
         assert payload["mode"] == "baseline"
         assert payload["results"]["reads"] > 0
+
+
+class TestIngressRobustness:
+    """Bounded ingress (ISSUE 9): overload policy, timeouts, draining
+    shutdown — a stalled writer must cost callers a *typed* error or a
+    bounded wait, never a hang or an unbounded queue."""
+
+    def _stalled_server(self, rng, **kwargs):
+        program, n, inputs = _fixed_scenario(rng)
+        server = ViewServer(IVMSession(program, inputs),
+                            max_staleness=None, **kwargs)
+        gate = threading.Event()
+        server.call(gate.wait)  # park the writer: nothing drains
+        return server, gate, zipf_row_updates(rng, n, 64, 0.0)
+
+    def test_reject_policy_raises_typed_overflow(self, rng):
+        from repro.runtime import IngressOverflowError
+
+        server, gate, updates = self._stalled_server(
+            rng, max_queue=2, overload="reject")
+        try:
+            with pytest.raises(IngressOverflowError, match="full"):
+                for update in updates:
+                    server.submit(update)
+            assert server.stats.rejected >= 1
+            assert server.stats.submitted == 3  # the parked call + 2 admitted
+        finally:
+            gate.set()
+            server.close()
+
+    def test_shed_oldest_admits_new_and_counts(self, rng):
+        server, gate, updates = self._stalled_server(
+            rng, max_queue=2, overload="shed-oldest")
+        try:
+            for update in updates[:10]:
+                server.submit(update)
+            gate.set()
+            server.refresh()
+            assert server.stats.shed == 8
+            # Everything admitted was either applied or shed, none lost.
+            assert server.stats.applied >= 2  # the parked call + newest
+        finally:
+            gate.set()
+            server.close()
+
+    def test_block_policy_timeout_is_bounded(self, rng):
+        from repro.runtime import IngressTimeoutError
+
+        server, gate, updates = self._stalled_server(
+            rng, max_queue=1, overload="block")
+        try:
+            server.submit(updates[0])
+            started = time.monotonic()
+            with pytest.raises(IngressTimeoutError, match="0.1"):
+                server.submit(updates[1], timeout=0.1)
+            assert time.monotonic() - started < 5.0
+        finally:
+            gate.set()
+            server.close()
+
+    def test_blocked_producer_released_by_close(self, rng):
+        server, gate, updates = self._stalled_server(
+            rng, max_queue=1, overload="block")
+        server.submit(updates[0])
+        outcome = []
+
+        def producer():
+            try:
+                server.submit(updates[1], timeout=30.0)
+                outcome.append("enqueued")
+            except ServerClosedError:
+                outcome.append("closed")
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.05)  # let the producer block on the full queue
+        threading.Timer(0.2, gate.set).start()
+        server.close(discard=True)
+        thread.join(10.0)
+        assert not thread.is_alive(), "producer hung across close()"
+        assert outcome == ["closed"]
+
+    def test_close_drains_then_is_idempotent(self, rng):
+        program, n, inputs = _fixed_scenario(rng)
+        server = ViewServer(IVMSession(program, inputs), max_staleness=8)
+        updates = zipf_row_updates(rng, n, 25, 0.0)
+        server.submit_many(updates)
+        server.close()
+        assert server.stats.applied == len(updates)
+        server.close()  # double close is a no-op, not an error
+        with pytest.raises(ServerClosedError):
+            server.submit(updates[0])
+
+    def test_close_discard_counts_dropped_updates(self, rng):
+        server, gate, updates = self._stalled_server(rng)
+        for update in updates[:10]:
+            server.submit(update)
+        # The writer stays parked until after close() has discarded, so
+        # every queued update is dropped — deterministically.
+        threading.Timer(0.2, gate.set).start()
+        server.close(discard=True)
+        assert server.stats.discarded == 10
+        assert server.stats.applied == 1  # just the parked call
+
+    def test_close_deadline_discards_the_remainder(self, rng):
+        program, n, inputs = _fixed_scenario(rng)
+        server = ViewServer(IVMSession(program, inputs), max_staleness=None)
+        server.call(time.sleep, 0.5)
+        server.submit_many(zipf_row_updates(rng, n, 20, 0.0))
+        started = time.monotonic()
+        server.close(deadline=0.1)
+        assert time.monotonic() - started < 30.0
+        assert server.stats.discarded > 0
+
+    def test_readers_keep_serving_through_close(self, rng):
+        program, n, inputs = _fixed_scenario(rng)
+        server = ViewServer(IVMSession(program, inputs), max_staleness=4)
+        server.submit_many(zipf_row_updates(rng, n, 10, 0.0))
+        sums = []
+
+        def reader():
+            for _ in range(100):
+                sums.append(float(np.sum(server.read("C"))))
+                time.sleep(0.0005)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        server.close()
+        thread.join(10.0)
+        assert not thread.is_alive()
+        assert len(sums) == 100  # reads never raised nor blocked
+
+    def test_constructor_rejects_unknown_policy(self, rng):
+        program, n, inputs = _fixed_scenario(rng)
+        with pytest.raises(ValueError, match="overload"):
+            ViewServer(IVMSession(program, inputs), max_queue=2,
+                       overload="drop-newest")
+
+
+class TestEpochCheckpointing:
+    def test_writer_cuts_due_snapshots_at_publish(self, rng, tmp_path):
+        from repro.runtime import restore_session
+
+        program, n, inputs = _fixed_scenario(rng)
+        updates = zipf_row_updates(rng, n, 40, 0.0)
+        server = open_session(
+            program, inputs, serve={"max_staleness": 4},
+            checkpoint={"directory": tmp_path, "every": 4, "auto": False})
+        for update in updates:
+            server.submit(update)
+        server.close()
+        assert server.stats.checkpoints >= 5
+        # The directory restores to a flushed-epoch state a fresh
+        # process can serve from.
+        restored = restore_session(program, tmp_path)
+        assert restored.update_count > 0
+        assert restored.update_count % 4 == 0
+
+    def test_unattached_session_cuts_nothing(self, rng):
+        program, n, inputs = _fixed_scenario(rng)
+        server = ViewServer(IVMSession(program, inputs), max_staleness=4)
+        server.submit_many(zipf_row_updates(rng, n, 10, 0.0))
+        server.close()
+        assert server.stats.checkpoints == 0

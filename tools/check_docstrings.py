@@ -39,6 +39,8 @@ GATED = (
     "src/repro/runtime/batching.py",
     "src/repro/runtime/heavylight.py",
     "src/repro/runtime/serving.py",
+    "src/repro/runtime/checkpoint.py",
+    "src/repro/testing/faults.py",
     "src/repro/runtime/workspace.py",
     "src/repro/planner/plan.py",
     "src/repro/distributed/workers.py",
