@@ -1,0 +1,99 @@
+"""Gate catalog-sharing results against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_catalog_trend.py BASELINE.json CURRENT.json
+
+Compares the ``derived`` metrics emitted by
+``bench_catalog_sharing.py --json`` against the baseline.  The metrics
+are counted FLOP ratios — deterministic and machine-independent — so a
+regression here means the catalog genuinely started doing more work,
+not that the runner was noisy.
+
+Guards:
+
+* ``speedup_at_top`` (shared vs independent FLOPs at the top tenant
+  count) may not fall more than ``MAX_REGRESSION`` below baseline, and
+  never below the absolute floor ``MIN_SPEEDUP``.
+* ``flatness`` (shared FLOPs at top N over N=1) may not rise more than
+  ``MAX_REGRESSION`` above baseline, and never above ``MAX_FLATNESS``.
+* ``mixed_flops_ratio / mixed_nodes_ratio`` (work growth per
+  distinct-node growth) may not exceed ``MAX_TRACKING``.
+
+Exit status: 0 = within bounds, 1 = regression, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Relative slack against the baseline ratio before a change counts as
+#: a regression (same convention as check_serve_trend.py).
+MAX_REGRESSION = 0.25
+
+#: Absolute floors/ceilings — the ISSUE's acceptance criteria.  These
+#: hold regardless of how generous the baseline happens to be.
+MIN_SPEEDUP = 3.0
+MAX_FLATNESS = 1.3
+MAX_TRACKING = 1.5
+
+
+def load(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    return data.get("results", data)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    baseline = load(argv[0])["derived"]
+    current = load(argv[1])["derived"]
+    failures: list[str] = []
+
+    base_speedup = baseline["speedup_at_top"]
+    cur_speedup = current["speedup_at_top"]
+    speedup_floor = max(MIN_SPEEDUP, base_speedup * (1 - MAX_REGRESSION))
+    status = "ok" if cur_speedup >= speedup_floor else "REGRESSED"
+    print(f"speedup_at_top  baseline {base_speedup:6.2f}x  "
+          f"current {cur_speedup:6.2f}x  floor {speedup_floor:6.2f}x  "
+          f"[{status}]")
+    if cur_speedup < speedup_floor:
+        failures.append(
+            f"sharing speedup fell to {cur_speedup:.2f}x "
+            f"(floor {speedup_floor:.2f}x)")
+
+    base_flat = baseline["flatness"]
+    cur_flat = current["flatness"]
+    flat_ceiling = min(MAX_FLATNESS, base_flat * (1 + MAX_REGRESSION))
+    status = "ok" if cur_flat <= flat_ceiling else "REGRESSED"
+    print(f"flatness        baseline {base_flat:6.2f}x  "
+          f"current {cur_flat:6.2f}x  ceiling {flat_ceiling:6.2f}x  "
+          f"[{status}]")
+    if cur_flat > flat_ceiling:
+        failures.append(
+            f"shared work now grows {cur_flat:.2f}x with tenant count "
+            f"(ceiling {flat_ceiling:.2f}x)")
+
+    cur_tracking = (current["mixed_flops_ratio"]
+                    / max(current["mixed_nodes_ratio"], 1e-9))
+    status = "ok" if cur_tracking <= MAX_TRACKING else "REGRESSED"
+    print(f"mixed tracking  current {cur_tracking:6.2f}x  "
+          f"ceiling {MAX_TRACKING:6.2f}x  [{status}]")
+    if cur_tracking > MAX_TRACKING:
+        failures.append(
+            f"mixed-family work outgrew distinct nodes {cur_tracking:.2f}x "
+            f"(ceiling {MAX_TRACKING:.2f}x)")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("catalog sharing trend: within bounds")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,22 @@ FLOP counters and wall time::
     python -m repro run program.lvw --dims n=512 --theta 1.5 \
         --partition heavy-light --heavy-budget 16  # skew-split maintenance
 
+``repro run --tenants N`` replicates the program across N tenants —
+``--share`` maintains them through one shared
+:class:`~repro.catalog.ViewCatalog` (each distinct subexpression kept
+fresh once), without it each tenant pays for its own session — so the
+two invocations bracket the sharing win::
+
+    python -m repro run program.lvw --dims n=256 --tenants 8 --share
+    python -m repro run program.lvw --dims n=256 --tenants 8
+
+``repro catalog`` registers several tenant program files on one shared
+catalog, streams updates through it, and reports the sharing stats and
+the lineage DAG of shared intermediates::
+
+    python -m repro catalog a.lvw b.lvw --dims n=256 --updates 100
+    python -m repro catalog a.lvw --tenants 4 --memory-budget 500000 --json
+
 ``repro serve`` opens a concurrent view server over the session
 (:mod:`repro.runtime.serving`) and drives a load generator against it —
 one writer thread absorbing a random update stream, N reader threads on
@@ -234,6 +250,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="resume from the newest valid checkpoint in "
                           "--checkpoint-dir (fresh start when none exists), "
                           "then apply the update stream on top")
+    run.add_argument("--tenants", type=int, default=1, metavar="N",
+                     help="replicate the program across N tenants and "
+                          "stream the updates to all of them (default 1; "
+                          "see --share)")
+    run.add_argument("--share", action="store_true",
+                     help="maintain the --tenants replicas through one "
+                          "shared view catalog (each distinct "
+                          "subexpression kept fresh once) instead of N "
+                          "independent sessions")
     run.add_argument("--input", dest="target",
                      help="input the update stream hits (default: first)")
     run.add_argument("--seed", type=int, default=20140622,
@@ -242,6 +267,53 @@ def build_parser() -> argparse.ArgumentParser:
                      help="magnitude of the update deltas (default 0.01)")
     run.add_argument("--json", action="store_true",
                      help="emit plan/counters/timings as JSON")
+
+    cat = sub.add_parser(
+        "catalog",
+        help="maintain several tenant programs on one shared view "
+             "catalog and report sharing stats and the lineage DAG",
+    )
+    cat.add_argument("files", nargs="+",
+                     help="tenant program source files (each registers "
+                          "one tenant on the catalog)")
+    cat.add_argument("--tenants", type=int, default=1, metavar="N",
+                     help="register the file list N times (N tenants "
+                          "per file; default 1)")
+    cat.add_argument("--dims", action="append", default=[],
+                     metavar="NAME=SIZE",
+                     help="bind a symbolic dimension (repeatable)")
+    cat.add_argument("--density", type=float, default=1.0,
+                     help="nnz density of the generated inputs (default 1.0)")
+    cat.add_argument("--updates", type=int, default=50,
+                     help="number of rank-r row updates to stream "
+                          "through the shared base table (default 50)")
+    cat.add_argument("--rank", type=int, default=1,
+                     help="width of each factored update (default 1)")
+    cat.add_argument("--plan", choices=("incr", "reeval"), default="incr",
+                     help="maintenance strategy of the shared inner "
+                          "session (default incr)")
+    cat.add_argument("--backend", choices=("dense", "sparse"),
+                     default="dense",
+                     help="execution backend of the shared inner "
+                          "session (default dense)")
+    cat.add_argument("--mode", choices=("interpret", "codegen"),
+                     default="interpret",
+                     help="trigger execution mode of the shared inner "
+                          "session (default interpret)")
+    cat.add_argument("--memory-budget", type=int, default=None,
+                     metavar="BYTES",
+                     help="byte budget for admitted shared state; over "
+                          "it, frontier nodes demote to "
+                          "REEVAL-on-demand (default: unbounded)")
+    cat.add_argument("--input", dest="target",
+                     help="input the update stream hits (default: first "
+                          "input of the first program)")
+    cat.add_argument("--scale", type=float, default=0.01,
+                     help="magnitude of the update deltas (default 0.01)")
+    cat.add_argument("--seed", type=int, default=20140622,
+                     help="random seed for inputs and updates")
+    cat.add_argument("--json", action="store_true",
+                     help="emit stats/lineage/counters as JSON")
 
     serve = sub.add_parser(
         "serve",
@@ -423,27 +495,146 @@ def _run_calibrate(args) -> int:
     return 0
 
 
-def _generate_inputs(program, dims, density, rng):
-    """Seeded random inputs at the requested density, spectrally tamed."""
+def _generate_input(sym, dims, density, rng):
+    """One seeded random input at the requested density, spectrally tamed."""
     from .runtime.executor import EvaluationError, resolve_dim
     from .workloads.generators import spectral_scale
 
-    inputs = {}
-    for sym in program.inputs:
-        try:
-            rows = resolve_dim(sym.shape.rows, dims)
-            cols = resolve_dim(sym.shape.cols, dims)
-        except EvaluationError as exc:
-            raise ValueError(f"{exc}; bind it with --dims NAME=SIZE") from None
-        arr = rng.standard_normal((rows, cols))
-        if density < 1.0:
-            arr *= rng.random((rows, cols)) < density
-        # Keep iterated programs numerically tame: scale square inputs
-        # toward spectral radius 0.9 (the workloads convention).
-        if rows == cols and rows > 1:
-            arr = spectral_scale(rng, arr, radius=0.9, iterations=10)
-        inputs[sym.name] = arr
-    return inputs
+    try:
+        rows = resolve_dim(sym.shape.rows, dims)
+        cols = resolve_dim(sym.shape.cols, dims)
+    except EvaluationError as exc:
+        raise ValueError(f"{exc}; bind it with --dims NAME=SIZE") from None
+    arr = rng.standard_normal((rows, cols))
+    if density < 1.0:
+        arr *= rng.random((rows, cols)) < density
+    # Keep iterated programs numerically tame: scale square inputs
+    # toward spectral radius 0.9 (the workloads convention).
+    if rows == cols and rows > 1:
+        arr = spectral_scale(rng, arr, radius=0.9, iterations=10)
+    return arr
+
+
+def _generate_inputs(program, dims, density, rng):
+    """Seeded random inputs at the requested density, spectrally tamed."""
+    return {sym.name: _generate_input(sym, dims, density, rng)
+            for sym in program.inputs}
+
+
+def _update_stream(rng, n_rows, n_cols, count, rank, scale):
+    """A pre-generated stream of rank-``rank`` row-update factor pairs."""
+    import numpy as np
+
+    updates = []
+    for _ in range(count):
+        u = np.zeros((n_rows, rank))
+        rows = rng.choice(n_rows, size=rank, replace=False)
+        u[rows, np.arange(rank)] = 1.0
+        v = scale * rng.standard_normal((n_cols, rank))
+        updates.append((u, v))
+    return updates
+
+
+def _run_run_tenants(args, program) -> int:
+    """The ``repro run --tenants N [--share]`` multi-tenant branch."""
+    import numpy as np
+
+    from .catalog import ViewCatalog
+    from .cost.counters import Counter
+    from .runtime.session import IVMSession, ReevalSession
+    from .runtime.updates import FactoredUpdate
+
+    try:
+        dims = _parse_dims(args.dims)
+        rng = np.random.default_rng(args.seed)
+        inputs = _generate_inputs(program, dims, args.density, rng)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    target = args.target or program.input_names[0]
+    if target not in program.input_names:
+        print(f"error: no input named {target!r}", file=sys.stderr)
+        return 2
+    if args.updates < 1 or args.tenants < 1:
+        print("error: need --updates >= 1 and --tenants >= 1",
+              file=sys.stderr)
+        return 2
+
+    strategy = "REEVAL" if args.plan == "reeval" else "INCR"
+    mode = "interpret" if args.mode == "auto" else args.mode
+    backend = None if args.backend == "auto" else args.backend
+    n_rows, n_cols = inputs[target].shape
+    updates = _update_stream(rng, n_rows, n_cols, args.updates, args.rank,
+                             args.scale)
+
+    counter = Counter()
+    catalog = None
+    start = time.perf_counter()
+    if args.share:
+        catalog = ViewCatalog(strategy=strategy, mode=mode, backend=backend,
+                              rank=args.rank, counter=counter)
+        tenants = [catalog.open(program, inputs if i == 0 else None,
+                                dims=dims)
+                   for i in range(args.tenants)]
+    else:
+        make = (ReevalSession if strategy == "REEVAL" else
+                lambda *a, **kw: IVMSession(*a, rank=args.rank, mode=mode,
+                                            **kw))
+        tenants = [make(program, inputs, dims=dims, counter=counter,
+                        backend=backend)
+                   for _ in range(args.tenants)]
+    setup_seconds = time.perf_counter() - start
+    counter.reset()
+
+    start = time.perf_counter()
+    if catalog is not None:
+        # One shared base table: the stream lands once, every tenant
+        # observes it.
+        for u, v in updates:
+            catalog.apply_update(FactoredUpdate(target, u, v))
+        catalog.flush()
+    else:
+        for u, v in updates:
+            for tenant in tenants:
+                tenant.apply_update(FactoredUpdate(target, u, v))
+        for tenant in tenants:
+            tenant.flush()
+    maintain_seconds = time.perf_counter() - start
+
+    label = "shared catalog" if args.share else "independent sessions"
+    payload = {
+        "tenants": args.tenants,
+        "share": bool(args.share),
+        "strategy": strategy,
+        "mode": mode,
+        "backend": backend or "dense",
+        "updates": len(updates),
+        "setup_seconds": setup_seconds,
+        "maintain_seconds": maintain_seconds,
+        "seconds_per_update": maintain_seconds / len(updates),
+        "total_flops": counter.total_flops,
+        "tenant_views": args.tenants * len(program.statements),
+    }
+    if catalog is not None:
+        payload["distinct_nodes"] = catalog.distinct_nodes
+        payload["catalog"] = catalog.stats.as_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"# {args.file}: {len(updates)} rank-{args.rank} updates x "
+          f"{args.tenants} tenants ({label})")
+    print(f"config     : {strategy} / {payload['backend']} / {mode}")
+    if catalog is not None:
+        print(f"sharing    : {catalog.distinct_nodes} distinct nodes for "
+              f"{payload['tenant_views']} tenant views "
+              f"({catalog.stats.shared_hits} shared hits)")
+        print(f"refreshes  : {catalog.stats.node_refreshes} node refreshes "
+              f"({len(updates)} updates)")
+    print(f"setup      : {setup_seconds * 1e3:10.2f} ms")
+    print(f"maintenance: {maintain_seconds * 1e3:10.2f} ms   "
+          f"({payload['seconds_per_update'] * 1e3:.3f} ms/update)")
+    print(f"FLOPs      : {counter.total_flops:,} total")
+    return 0
 
 
 def _run_run(args, program) -> int:
@@ -452,6 +643,9 @@ def _run_run(args, program) -> int:
     from .cost.counters import Counter
     from .runtime.session import open_session
     from .runtime.updates import FactoredUpdate
+
+    if args.share or args.tenants > 1:
+        return _run_run_tenants(args, program)
 
     try:
         dims = _parse_dims(args.dims)
@@ -684,6 +878,131 @@ def _run_run(args, program) -> int:
     return 0
 
 
+def _run_catalog(args) -> int:
+    """The ``repro catalog`` subcommand: shared multi-tenant maintenance."""
+    import numpy as np
+
+    from .catalog import CatalogError, ViewCatalog
+    from .cost.counters import Counter
+    from .cost.estimate import (
+        catalog_refresh_cost,
+        private_maintenance_cost,
+        shared_maintenance_cost,
+    )
+    from .runtime.updates import FactoredUpdate
+
+    try:
+        programs = [_load_program(path) for path in args.files]
+    except FileNotFoundError as exc:
+        print(f"error: no such file: {exc.filename}", file=sys.stderr)
+        return 2
+    except SyntaxErrorWithPosition as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.updates < 1 or args.tenants < 1:
+        print("error: need --updates >= 1 and --tenants >= 1",
+              file=sys.stderr)
+        return 2
+    try:
+        dims = _parse_dims(args.dims)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    rng = np.random.default_rng(args.seed)
+    counter = Counter()
+    catalog = ViewCatalog(
+        memory_budget=args.memory_budget,
+        strategy="REEVAL" if args.plan == "reeval" else "INCR",
+        mode=args.mode, backend=args.backend, rank=args.rank,
+        counter=counter)
+    tenant_programs = [p for _ in range(args.tenants) for p in programs]
+
+    start = time.perf_counter()
+    known: dict[str, bool] = {}
+    try:
+        for program in tenant_programs:
+            fresh = {}
+            for sym in program.inputs:
+                if sym.name not in known:
+                    fresh[sym.name] = _generate_input(
+                        sym, dims, args.density, rng)
+                    known[sym.name] = True
+            catalog.open(program, fresh, dims=dims)
+    except (CatalogError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    setup_seconds = time.perf_counter() - start
+
+    target = args.target or tenant_programs[0].input_names[0]
+    value = None
+    try:
+        value = catalog.read(target)
+    except KeyError:
+        print(f"error: no catalog input named {target!r}", file=sys.stderr)
+        return 2
+    n_rows, n_cols = value.shape
+    counter.reset()
+    start = time.perf_counter()
+    for u, v in _update_stream(rng, n_rows, n_cols, args.updates,
+                               args.rank, args.scale):
+        catalog.apply_update(FactoredUpdate(target, u, v))
+    catalog.flush()
+    maintain_seconds = time.perf_counter() - start
+
+    stats = catalog.stats
+    tenant_views = stats.registered_views
+    refresh = catalog_refresh_cost(n_rows, n_cols, args.rank)
+    est_shared = shared_maintenance_cost(
+        catalog.distinct_nodes, tenant_views, refresh)
+    est_private = private_maintenance_cost(tenant_views, refresh)
+    if args.json:
+        print(json.dumps({
+            "files": list(args.files),
+            "tenants": len(tenant_programs),
+            "tenant_views": tenant_views,
+            "distinct_nodes": catalog.distinct_nodes,
+            "stats": stats.as_dict(),
+            "memory_bytes": catalog.memory_bytes(),
+            "memory_budget": args.memory_budget,
+            "updates": args.updates,
+            "setup_seconds": setup_seconds,
+            "maintain_seconds": maintain_seconds,
+            "total_flops": counter.total_flops,
+            "estimated_flops_per_update": {
+                "shared": est_shared, "private": est_private,
+            },
+            "lineage": catalog.lineage(),
+        }, indent=2))
+        return 0
+
+    print(f"# {len(tenant_programs)} tenants over {', '.join(args.files)}: "
+          f"{args.updates} rank-{args.rank} updates to {target!r}")
+    print(f"sharing    : {catalog.distinct_nodes} distinct nodes maintain "
+          f"{tenant_views} tenant views "
+          f"({stats.shared_hits} shared hits)")
+    print(f"refreshes  : {stats.node_refreshes} node refreshes, "
+          f"{stats.demand_reads} on-demand reads, "
+          f"{stats.evictions} evictions / {stats.readmissions} re-admissions")
+    budget = ("unbounded" if args.memory_budget is None
+              else f"{args.memory_budget:,} bytes")
+    print(f"memory     : {catalog.memory_bytes():,} bytes admitted "
+          f"(budget {budget})")
+    print(f"est. FLOPs : {est_shared:,.0f}/update shared vs "
+          f"{est_private:,.0f}/update private "
+          f"({est_private / max(est_shared, 1.0):.1f}x)")
+    print(f"setup      : {setup_seconds * 1e3:10.2f} ms")
+    print(f"maintenance: {maintain_seconds * 1e3:10.2f} ms   "
+          f"({counter.total_flops:,} FLOPs)")
+    print("lineage DAG:")
+    for rec in catalog.lineage():
+        status = "admitted" if rec["admitted"] else "evicted"
+        deps = ", ".join(rec["deps"]) or "-"
+        print(f"  {rec['name']:<6} {rec['expr']:<40} "
+              f"[{status}, {rec['tenants']} tenants, deps: {deps}]")
+    return 0
+
+
 def _run_serve(args, program) -> int:
     import numpy as np
 
@@ -800,6 +1119,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "calibrate":
         return _run_calibrate(args)
+
+    if args.command == "catalog":
+        return _run_catalog(args)
 
     try:
         program = _load_program(args.file)

@@ -31,6 +31,12 @@ from .latex import to_latex, trigger_to_latex
 from .printer import to_string, to_tree
 from .shapes import DimSum, NamedDim, Shape, ShapeError, dim_add, dims_equal
 from .simplify import simplify
+from .structural import (
+    canonicalize,
+    structural_equal,
+    structural_fingerprint,
+    structural_key,
+)
 from .visitors import (
     contains_inverse,
     count_nodes,
@@ -60,6 +66,7 @@ __all__ = [
     "VStack",
     "ZeroMatrix",
     "add",
+    "canonicalize",
     "contains_inverse",
     "count_nodes",
     "depth",
@@ -73,6 +80,9 @@ __all__ = [
     "references",
     "scalar_mul",
     "simplify",
+    "structural_equal",
+    "structural_fingerprint",
+    "structural_key",
     "sub",
     "substitute",
     "substitute_symbol",

@@ -1012,6 +1012,7 @@ def open_session(
     shard: str = "range",
     supervise: bool = False,
     checkpoint=None,
+    catalog=None,
 ):
     """Open a maintenance session, planning the configuration if asked.
 
@@ -1137,11 +1138,29 @@ def open_session(
         epoch-publish boundaries, so readers never block on a write.
         An existing :class:`~repro.runtime.checkpoint.Checkpointer`
         is re-attached as-is.
+    catalog:
+        A :class:`~repro.catalog.ViewCatalog` to register this program
+        with instead of opening a private session: shared
+        subexpressions are maintained once across every tenant on the
+        catalog, and the catalog's own maintenance configuration
+        (strategy/mode/backend, fixed at its construction) wins over
+        this call's planning arguments.  Returns the tenant's
+        :class:`~repro.catalog.CatalogSession` — or, with ``serve=``,
+        a :class:`~repro.runtime.serving.ViewServer` over it whose
+        snapshot captures are atomic against other tenants' writers.
+        Incompatible session-shaping arguments (``nodes``, monitors,
+        batching, checkpointing) are ignored on this path.
 
     Returns the session (or its monitor, or its view server), with the
     resolved :class:`~repro.planner.plan.MaintenancePlan` attached as
     ``.plan``.
     """
+    if catalog is not None:
+        tenant = catalog.open(program, inputs, dims=dims)
+        if serve:
+            serve_options = {} if serve is True else dict(serve)
+            return tenant.serve(**serve_options)
+        return tenant
     from ..distributed.shm import SharedMemoryBudgetError
     from ..planner import MaintenancePlan, WorkloadStats, plan_program
     from .checkpoint import CheckpointError, Checkpointer, restore_session

@@ -164,6 +164,60 @@ def session_scenario(draw, max_statements: int = 3, max_depth: int = 2):
     return program, n, inputs
 
 
+@st.composite
+def shared_family(draw, max_tenants: int = 4, max_private: int = 2,
+                  max_depth: int = 2):
+    """A family of tenant programs that deliberately *share* sub-terms.
+
+    The latent gap this closes: :func:`session_scenario` draws one
+    program at a time, so no generated harness ever exercised two
+    sessions whose statements alias the same subexpression — exactly
+    the regime the multi-view catalog (:mod:`repro.catalog`) exists
+    for.  Returns ``(programs, n, inputs)``: 2–``max_tenants``
+    square-matrix programs over one shared input ``A``, each consisting
+    of a common chain prefix (``V0 := A * A``, optionally
+    ``V1 := V0 * V0`` — identical across tenants, so a catalog must
+    collapse them), 0–``max_private`` private statements drawn over the
+    defined names, and possibly a bare alias statement (``F := V0``).
+    The final statement is always the output.
+    """
+    from repro.compiler import Program, Statement
+
+    n = draw(st.sampled_from(PROGRAM_DIMS))
+    input_sym = MatrixSymbol("A", n, n)
+    shared_depth = draw(st.integers(1, 2))
+    tenant_count = draw(st.integers(2, max_tenants))
+    programs = []
+    for _ in range(tenant_count):
+        defined = [input_sym]
+        statements = []
+        # The common prefix: every tenant spells these identically.
+        prev = input_sym
+        for index in range(shared_depth):
+            target = MatrixSymbol(f"V{index}", n, n)
+            statements.append(Statement(target, matmul(prev, prev)))
+            defined.append(target)
+            prev = target
+        private = draw(st.integers(0, max_private))
+        for index in range(private):
+            depth = draw(st.integers(1, max_depth))
+            expr = draw(closed_expr(defined, n, depth))
+            target = MatrixSymbol(f"P{index}", n, n)
+            statements.append(Statement(target, expr))
+            defined.append(target)
+        if draw(st.booleans()):
+            alias_of = draw(st.sampled_from(
+                [s.target for s in statements]))
+            statements.append(Statement(MatrixSymbol("F", n, n), alias_of))
+        program = Program((input_sym,), statements,
+                          outputs=(statements[-1].target.name,))
+        programs.append(program)
+    seed = draw(st.integers(0, 2 ** 16))
+    rng = np.random.default_rng(seed)
+    inputs = {"A": 0.4 * rng.standard_normal((n, n)) / np.sqrt(n)}
+    return programs, n, inputs
+
+
 __all__ = [
     "DIMS",
     "ExprPool",
@@ -172,5 +226,6 @@ __all__ = [
     "closed_expr",
     "expr_with_env",
     "session_scenario",
+    "shared_family",
     "shaped_expr",
 ]

@@ -13,7 +13,13 @@ from hypothesis import strategies as st
 
 from tests.exprgen import ExprPool, expr_with_env, shaped_expr
 from repro.delta import FactoredDelta, compute_delta
-from repro.expr import MatrixSymbol
+from repro.expr import (
+    MatrixSymbol,
+    canonicalize,
+    structural_equal,
+    structural_fingerprint,
+    structural_key,
+)
 from repro.expr.printer import to_string
 from repro.expr.simplify import simplify
 from repro.frontend import parse_program
@@ -76,6 +82,87 @@ class TestSimplifySemantics:
         expr, _ = data
         once = simplify(expr)
         assert simplify(once) == once
+
+
+class TestStructuralHashing:
+    """The catalog's sharing key: hash equality ⇔ canonical-form equality."""
+
+    @settings(**SETTINGS)
+    @given(data=expr_with_env(), other=expr_with_env())
+    def test_key_equality_iff_canonical_equality(self, data, other):
+        left, _ = data
+        right, _ = other
+        same_canon = canonicalize(left) == canonicalize(right)
+        assert structural_equal(left, right) == same_canon
+        assert (structural_key(left) == structural_key(right)) == same_canon
+
+    @settings(**SETTINGS)
+    @given(data=expr_with_env())
+    def test_key_stable_across_simplifier_round_trips(self, data):
+        expr, _ = data
+        once = simplify(expr)
+        assert structural_key(once) == structural_key(expr)
+        assert structural_key(simplify(once)) == structural_key(expr)
+        assert structural_fingerprint(once) == structural_fingerprint(expr)
+
+    @settings(**SETTINGS)
+    @given(data=expr_with_env(), seed=st.integers(0, 9999))
+    def test_equal_keys_denote_equal_values(self, data, seed):
+        """Soundness: colliding keys may only ever merge expressions
+        that evaluate identically (what the catalog's exactness rides on)."""
+        expr, pool = data
+        canon = canonicalize(expr)
+        if structural_key(canon) == structural_key(expr):
+            env = pool.env(seed)
+            np.testing.assert_allclose(
+                evaluate(canon, env), evaluate(expr, env), atol=1e-8)
+
+    def test_no_collisions_across_generated_corpus(self):
+        """Distinct canonical forms must get distinct keys over a corpus
+        far larger than any real catalog's node population."""
+        corpus = {}
+        pool = ExprPool()
+        # Deterministic sweep over the generator's shapes and operators
+        # at depth <= 2 via seeded draws.
+        for seed in range(400):
+            local = np.random.default_rng(seed)
+            expr = _random_expr(pool, local, depth=int(local.integers(0, 3)))
+            key = structural_key(expr)
+            fingerprint = structural_fingerprint(expr)
+            if key in corpus:
+                assert corpus[key] == fingerprint, (
+                    f"collision: {fingerprint!r} vs {corpus[key]!r}")
+            corpus[key] = fingerprint
+        assert len(corpus) > 50  # the sweep really covered distinct forms
+
+
+def _random_expr(pool, rng, depth):
+    """A seeded random square tree mirroring ``shaped_expr``'s grammar."""
+    from repro.expr import Identity, add, matmul, scalar_mul, transpose
+
+    n = int(rng.choice([2, 3, 4]))
+
+    def build(rows, cols, depth):
+        if depth <= 0:
+            return pool.symbol(rows, cols, int(rng.integers(0, 3)))
+        choice = rng.integers(0, 5)
+        if choice == 0:
+            return pool.symbol(rows, cols, int(rng.integers(0, 3)))
+        if choice == 1:
+            return add(build(rows, cols, depth - 1),
+                       build(rows, cols, depth - 1))
+        if choice == 2:
+            mid = int(rng.choice([2, 3, 4]))
+            return matmul(build(rows, mid, depth - 1),
+                          build(mid, cols, depth - 1))
+        if choice == 3:
+            return transpose(build(cols, rows, depth - 1))
+        if rows == cols and rng.integers(0, 2):
+            return Identity(rows)
+        return scalar_mul(float(rng.choice([2.0, 3.0, 0.5, -2.0])),
+                          build(rows, cols, depth - 1))
+
+    return build(n, n, depth)
 
 
 class TestDeltaFiniteDifference:

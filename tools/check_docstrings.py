@@ -49,6 +49,8 @@ GATED = (
     "src/repro/analytics/ols.py",
     "src/repro/analytics/expm.py",
     "src/repro/analytics/reachability.py",
+    "src/repro/catalog.py",
+    "src/repro/expr/structural.py",
 )
 
 DEFS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
